@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Section 1's EXFLOW comparison: communication intensity (volume per
+ * MFLOP, messages per MFLOP, mean message size) of the Quake SMVP vs.
+ * the EXFLOW unstructured CFD code from Cypher et al. [5].  The point
+ * to reproduce: two unstructured finite element codes from different
+ * domains have nearly identical communication signatures — many small
+ * messages, moderate total volume.
+ */
+
+#include "bench/bench_util.h"
+
+#include "core/reference.h"
+#include "sparse/assembly.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace quake;
+    namespace ref = core::reference;
+    const common::Args args(argc, argv);
+    bench::benchHeader("Communication intensity: Quake vs. EXFLOW",
+                       "the Section 1 comparison");
+
+    const bench::BenchMesh bm =
+        args.has("full")
+            ? bench::BenchMesh{mesh::SfClass::kSf2, 1.0, "sf2"}
+            : bench::BenchMesh{mesh::SfClass::kSf2, 2.0,
+                               "sf2 (1/2 scale)"};
+    const mesh::TetMesh &m = bench::cachedMesh(bm);
+    const int pes = 128;
+
+    const core::SmvpCharacterization ch =
+        bench::characterizeInstance(m, pes, bm.label);
+
+    // Memory per PE: stiffness bytes/node x nodes / PEs, plus vectors.
+    const mesh::LayeredBasinModel model;
+    const sparse::Bcsr3Matrix k = sparse::assembleStiffness(m, model);
+    const double mbytes_per_pe = sparse::bytesPerNode(k, 5) *
+                                 static_cast<double>(m.numNodes()) /
+                                 pes / 1e6;
+
+    const ref::CommIntensity synthetic =
+        ref::intensityFrom(ch, mbytes_per_pe);
+    const ref::CommIntensity &paper_quake = ref::quakeSf2Intensity();
+    const ref::CommIntensity &exflow = ref::exflowIntensity();
+
+    common::Table t({"metric", "synthetic " + bm.label + "/128",
+                     "paper sf2/128", "EXFLOW (512 PEs)"});
+    t.addRow({"memory per PE (MB)",
+              common::formatFixed(synthetic.memoryPerPeMBytes, 1),
+              common::formatFixed(paper_quake.memoryPerPeMBytes, 1),
+              common::formatFixed(exflow.memoryPerPeMBytes, 1)});
+    t.addRow({"comm volume / MFLOP (KB)",
+              common::formatFixed(synthetic.commKBytesPerMflop, 0),
+              common::formatFixed(paper_quake.commKBytesPerMflop, 0),
+              common::formatFixed(exflow.commKBytesPerMflop, 0)});
+    t.addRow({"messages / MFLOP",
+              common::formatFixed(synthetic.messagesPerMflop, 0),
+              common::formatFixed(paper_quake.messagesPerMflop, 0),
+              common::formatFixed(exflow.messagesPerMflop, 0)});
+    t.addRow({"avg message size (KB)",
+              common::formatFixed(synthetic.avgMessageKBytes, 1),
+              common::formatFixed(paper_quake.avgMessageKBytes, 1),
+              common::formatFixed(exflow.avgMessageKBytes, 1)});
+    t.print(std::cout);
+
+    std::cout << "\nThe reproduced claim: unstructured FEM codes share "
+                 "a signature — KB-scale average messages, tens of "
+                 "messages and ~100+ KB of traffic per MFLOP — across "
+                 "application domains.  (The scaled synthetic mesh has "
+                 "proportionally less work per PE, which raises its "
+                 "per-MFLOP intensities; --full closes the gap.)\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 11 — half-bandwidths and half-bandwidth latencies for the
+ * entire space of sf2 SMVPs (6 subdomain counts x 2 machine rates x 3
+ * efficiencies), for maximal and four-word blocks.  Derived exactly
+ * from the paper's Figure 7 entries via Equations (1) and (2).
+ */
+
+#include "bench/bench_util.h"
+
+#include "core/reference.h"
+#include "core/requirements.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace quake;
+    namespace ref = core::reference;
+    const common::Args args(argc, argv);
+
+    bench::benchHeader(
+        "Half-bandwidths and half-bandwidth latencies (sf2)",
+        "Figure 11");
+
+    for (bool four_word : {false, true}) {
+        std::cout << (four_word
+                          ? "--- four-word (cache-line) blocks ---\n"
+                          : "--- maximally aggregated blocks ---\n");
+        common::Table t({"subdomains", "MFLOPS", "E", "half burst bw",
+                         "half-bw latency"});
+        for (int subdomains : ref::kSubdomainCounts) {
+            core::SmvpShape shape =
+                ref::shapeFor(ref::PaperMesh::kSf2, subdomains);
+            if (four_word)
+                shape = core::withFixedBlockSize(shape, 4.0);
+            for (double mflops : {ref::kCurrentMachineMflops,
+                                  ref::kFutureMachineMflops}) {
+                for (double e : ref::kEfficiencyGrid) {
+                    const double tc = core::requiredTc(
+                        shape, e, core::tfFromMflops(mflops));
+                    const core::HalfBandwidthPoint p =
+                        core::halfBandwidthPoint(shape, tc);
+                    t.addRow({std::to_string(subdomains),
+                              common::formatFixed(mflops, 0),
+                              common::formatFixed(e, 1),
+                              common::formatBandwidth(
+                                  p.burstBandwidthBytes),
+                              common::formatTime(p.latency)});
+                }
+            }
+        }
+        bench::printTable(t, args);
+        std::cout << "\n";
+    }
+
+    std::cout
+        << "Corners to reproduce from Section 4.4:\n"
+           "  - easiest maximal-block case (4 subdomains, 100 MFLOPS, "
+           "E = 0.5): ~3 MB/s burst with millisecond-scale latency\n"
+           "  - hardest maximal-block case (128, 200 MFLOPS, E = 0.9): "
+           "~600 MB/s burst, microsecond-scale latency\n"
+           "  - hardest four-word case: ~600 MB/s burst with a "
+           "latency budget under 100 ns\n";
+    return 0;
+}

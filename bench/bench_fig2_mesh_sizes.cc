@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 2 — sizes of the Quake meshes — regenerated on the synthetic
+ * San Fernando pipeline, with the published values alongside.  Also
+ * checks the §2.1 memory claim (~1.2 KByte per node at runtime).
+ */
+
+#include "bench/bench_util.h"
+
+#include "core/reference.h"
+#include "sparse/assembly.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace quake;
+    namespace ref = core::reference;
+    const common::Args args(argc, argv);
+    bench::benchHeader("Mesh sizes: synthetic vs. published",
+                       "Figure 2 and the Section 2.1 memory claim");
+
+    common::Table t({"mesh", "nodes", "elements", "edges", "avg degree",
+                     "paper nodes", "paper elements", "paper edges"});
+
+    for (const bench::BenchMesh &bm : bench::meshLadder(args)) {
+        const mesh::TetMesh &m = bench::cachedMesh(bm);
+        const mesh::MeshStats s = m.computeStats();
+        const ref::MeshSizes &paper =
+            ref::figure2(ref::paperMeshFromName(mesh::sfClassName(bm.cls)));
+        t.addRow({bm.label, common::formatCount(s.numNodes),
+                  common::formatCount(s.numElements),
+                  common::formatCount(s.numEdges),
+                  common::formatFixed(s.avgDegree, 1),
+                  common::formatCount(paper.nodes),
+                  common::formatCount(paper.elements),
+                  common::formatCount(paper.edges)});
+    }
+    t.print(std::cout);
+    std::cout << "\n(Scaled rows generate fewer nodes by design: an "
+                 "h-scale of k reduces counts by ~k^3.  Pass --full for "
+                 "full-size sf2/sf1.)\n";
+
+    // Section 2.1: ~1.2 KByte of runtime memory per node.
+    std::cout << "\nRuntime memory per node (stiffness + 5 state "
+                 "vectors; paper: ~1.2 KByte/node):\n";
+    common::Table mem({"mesh", "bytes/node"});
+    const mesh::LayeredBasinModel model;
+    for (const bench::BenchMesh &bm : bench::meshLadder(args)) {
+        if (bm.cls == mesh::SfClass::kSf1 && !args.has("full"))
+            break; // the 1/4-scale stand-in adds nothing here
+        const mesh::TetMesh &m = bench::cachedMesh(bm);
+        const sparse::Bcsr3Matrix k = sparse::assembleStiffness(m, model);
+        mem.addRow({bm.label,
+                    common::formatFixed(sparse::bytesPerNode(k, 5), 0)});
+    }
+    mem.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 8 — sustained bisection bandwidth required for the sf2 SMVPs
+ * under E in {0.5, 0.8, 0.9} and PE rates of 100 and 200 MFLOPS.
+ *
+ * The bisection volume V is a property of the partition that the paper
+ * does not tabulate, so this figure runs on the synthetic pipeline
+ * end-to-end (mesh -> partition -> V and C_max -> Equation 1).  The
+ * published conclusion to reproduce: the worst case is modest (~700
+ * MB/s at E = 0.9 on 200-MFLOP PEs) — a couple of links' worth — so
+ * bisection bandwidth is not the binding constraint.
+ */
+
+#include "bench/bench_util.h"
+
+#include "core/reference.h"
+#include "core/requirements.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace quake;
+    namespace ref = core::reference;
+    const common::Args args(argc, argv);
+    bench::benchHeader("Required sustained bisection bandwidth (sf2)",
+                       "Figure 8");
+
+    const bench::BenchMesh bm =
+        args.has("full")
+            ? bench::BenchMesh{mesh::SfClass::kSf2, 1.0, "sf2"}
+            : bench::BenchMesh{mesh::SfClass::kSf2, 2.0,
+                               "sf2 (1/2 scale)"};
+    const mesh::TetMesh &m = bench::cachedMesh(bm);
+
+    for (double mflops : {ref::kCurrentMachineMflops,
+                          ref::kFutureMachineMflops}) {
+        std::cout << "--- " << common::formatFixed(mflops, 0)
+                  << "-MFLOP PEs ---\n";
+        common::Table t({"subdomains", "V (words)", "E=0.5", "E=0.8",
+                         "E=0.9", "per-PE bw @E=0.9"});
+        for (int subdomains : ref::kSubdomainCounts) {
+            const core::SmvpCharacterization ch =
+                bench::characterizeInstance(m, subdomains, bm.label);
+            const core::CharacterizationSummary s = core::summarize(ch);
+            const core::SmvpShape shape =
+                core::SmvpShape::fromSummary(s);
+            const double tf = core::tfFromMflops(mflops);
+
+            std::vector<std::string> row = {
+                std::to_string(subdomains),
+                common::formatCount(s.bisectionWords)};
+            for (double e : ref::kEfficiencyGrid) {
+                row.push_back(common::formatBandwidth(
+                    core::requiredBisectionBandwidth(
+                        shape, s.bisectionWords, e, tf)));
+            }
+            row.push_back(common::formatBandwidth(
+                core::requiredSustainedBandwidth(shape, 0.9, tf)));
+            t.addRow(row);
+        }
+        bench::printTable(t, args);
+        std::cout << "\n";
+    }
+
+    std::cout << "Paper's reading of this figure: the worst case (~700 "
+                 "MB/s at 128 subdomains, E = 0.9, 200 MFLOPS) is on "
+                 "the order of a couple of modern links, so \"bisection "
+                 "bandwidth is unlikely to be an issue\"; compare the "
+                 "last column — the bisection demand is only a small "
+                 "multiple of a single PE's own bandwidth demand.\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Section 3.3's model-comparison discussion made quantitative: the
+ * paper's Equation (2) vs. the LogGP accounting of the same exchange
+ * phase, with the documented correspondence o = T_l, G = T_w.  The
+ * point: the two agree to within one per-message word-time when the
+ * wire latency L is negligible — and the paper's "infinite capacity,
+ * constant latency" network assumption is visible as the L at which
+ * they diverge.
+ */
+
+#include "bench/bench_util.h"
+
+#include "core/logp.h"
+#include "core/reference.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace quake;
+    namespace ref = core::reference;
+    const common::Args args(argc, argv);
+    bench::benchHeader("Equation (2) vs. LogGP on the exchange phase",
+                       "the Section 3.3 LogP discussion");
+
+    const bench::BenchMesh bm =
+        args.has("full")
+            ? bench::BenchMesh{mesh::SfClass::kSf2, 1.0, "sf2"}
+            : bench::BenchMesh{mesh::SfClass::kSf2, 2.0,
+                               "sf2 (1/2 scale)"};
+    const mesh::TetMesh &m = bench::cachedMesh(bm);
+
+    const double tl = ref::kCrayT3eTl;
+    const double tw = ref::kCrayT3eTw;
+    std::cout << "Machine constants: o = T_l = "
+              << common::formatTime(tl) << ", G = T_w = "
+              << common::formatTime(tw) << " (Cray T3E)\n\n";
+
+    common::Table t({"subdomains", "Eq.(2) T_comm", "LogGP (L=0)",
+                     "LogGP (L=1us)", "LogGP (L=100us)", "gap @ L=0"});
+    for (int subdomains : ref::kSubdomainCounts) {
+        const core::SmvpCharacterization ch =
+            bench::characterizeInstance(m, subdomains, bm.label);
+
+        const double block = core::blockModelCommTime(ch, tl, tw);
+        std::vector<std::string> row = {std::to_string(subdomains),
+                                        common::formatTime(block)};
+        double loggp0 = 0;
+        for (double wire : {0.0, 1e-6, 100e-6}) {
+            const core::LogGpPhase phase = core::logGpCommTime(
+                ch, core::LogGpParams::fromBlockModel(tl, tw, wire));
+            if (wire == 0.0)
+                loggp0 = phase.tComm;
+            row.push_back(common::formatTime(phase.tComm));
+        }
+        row.push_back(common::formatFixed(
+                          100.0 * (block - loggp0) / block, 2) +
+                      "%");
+        t.addRow(row);
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nReading: at L = 0 the two models differ only by B_max "
+           "word-times (the k vs k-1 payload convention) — a fraction "
+           "of a percent.  A 1 us wire latency is invisible next to "
+           "the 22 us per-message overhead; only an implausible 100 us "
+           "network moves the numbers, supporting the paper's decision "
+           "to model the network as constant-latency and focus on the "
+           "per-PE overheads (T_l) instead.  This is also why the "
+           "paper says its T_l \"is similar to the overhead parameter "
+           "o in LogP\" while T_w, F, B_max, C_max have no LogP "
+           "counterparts.\n";
+    return 0;
+}

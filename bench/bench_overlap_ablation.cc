@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: the overlap question from the paper's footnote 1.  The
+ * Quake implementations do not overlap computation with communication;
+ * the paper models T = T_comp + T_comm and argues this is conservative.
+ * This harness quantifies what perfect overlap (T = max(T_comp,
+ * T_comm)) would buy on the published sf2 instances across machines —
+ * bounded by 2x, and small wherever efficiency is already high.
+ */
+
+#include "bench/bench_util.h"
+
+#include "core/reference.h"
+#include "parallel/machine.h"
+#include "parallel/phase_simulator.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace quake;
+    namespace ref = core::reference;
+    const common::Args args(argc, argv);
+    bench::benchHeader("Overlap ablation (footnote 1)",
+                       "the modeling choice in Section 3");
+
+    const bench::BenchMesh bm =
+        args.has("full")
+            ? bench::BenchMesh{mesh::SfClass::kSf2, 1.0, "sf2"}
+            : bench::BenchMesh{mesh::SfClass::kSf2, 2.0,
+                               "sf2 (1/2 scale)"};
+    const mesh::TetMesh &m = bench::cachedMesh(bm);
+
+    for (const parallel::MachineModel &machine :
+         {parallel::crayT3e(), parallel::futureMachine200()}) {
+        std::cout << "--- " << machine.name << " ---\n";
+        common::Table t({"subdomains", "E (no overlap)",
+                         "E (perfect overlap)", "speedup from overlap"});
+        for (int subdomains : ref::kSubdomainCounts) {
+            const core::SmvpCharacterization ch =
+                bench::characterizeInstance(m, subdomains, bm.label);
+            const parallel::PhaseTimes none =
+                parallel::simulateSmvp(ch, machine);
+            const parallel::PhaseTimes overlap = parallel::simulateSmvp(
+                ch, machine, parallel::OverlapMode::kPerfect);
+            t.addRow({std::to_string(subdomains),
+                      common::formatFixed(none.efficiency, 3),
+                      common::formatFixed(overlap.efficiency, 3),
+                      common::formatFixed(none.tSmvp / overlap.tSmvp,
+                                          2) +
+                          "x"});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout
+        << "Reading: overlap can never help by more than 2x, and where "
+           "the code already runs at E > 0.9 it buys almost nothing — "
+           "supporting the paper's choice to model (and build) the "
+           "simpler non-overlapped runtime and keep its bandwidth and "
+           "latency estimates conservative.\n";
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The §3.3 companion-TR methodology: estimate T_l and T_w by timing a
+ * ladder of block transfers and fitting t = T_l + k * T_w.
+ *
+ * Two subjects: (a) a simulated T3E-like interface with measurement
+ * noise — verifying the recipe recovers the paper's published 22 us /
+ * 55 ns, and (b) this host's own memory system, timed for real with a
+ * strided-copy transfer (the paper's ref [19] measures exactly this:
+ * communication cost on modern systems is dominated by the copies at
+ * the PEs).
+ */
+
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/param_fit.h"
+#include "core/reference.h"
+
+namespace
+{
+
+using namespace quake;
+
+void
+printFit(const std::string &label, const core::BlockFit &fit)
+{
+    std::cout << label << ":\n"
+              << "  T_l (block latency) : "
+              << common::formatTime(fit.tl) << "\n"
+              << "  T_w (per word)      : " << common::formatTime(fit.tw)
+              << "  (burst "
+              << common::formatBandwidth(fit.burstBandwidthBytes())
+              << ")\n"
+              << "  R^2                 : "
+              << common::formatFixed(fit.rSquared, 6) << "\n\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace quake;
+    namespace ref = core::reference;
+    const common::Args args(argc, argv);
+    (void)args;
+    bench::benchHeader("Estimating T_l and T_w from block transfers",
+                       "the Section 3.3 methodology (companion TR)");
+
+    // (a) Simulated T3E with +/-3% noise: the recipe must recover the
+    // published constants.
+    common::SplitMix64 rng(0x73e);
+    core::TransferFn t3e_like = [&rng](std::int64_t words) {
+        const double truth =
+            ref::kCrayT3eTl + static_cast<double>(words) * ref::kCrayT3eTw;
+        return truth * rng.uniform(0.97, 1.03);
+    };
+    printFit("Simulated Cray T3E (truth: T_l = 22 us, T_w = 55 ns)",
+             core::estimateMachine(t3e_like, core::standardBlockLadder(),
+                                   5));
+
+    // (b) This host's memory system: a block "transfer" is a strided
+    // gather into a message buffer followed by a copy-out, the exact
+    // data path of the SMVP exchange phase (ref [19]).
+    std::vector<double> source(1 << 20);
+    std::vector<double> staging(1 << 17);
+    std::vector<double> dest(1 << 17);
+    for (std::size_t i = 0; i < source.size(); ++i)
+        source[i] = static_cast<double>(i);
+
+    core::TransferFn host_copy = [&](std::int64_t words) {
+        const auto t0 = std::chrono::steady_clock::now();
+        constexpr int reps = 64;
+        for (int r = 0; r < reps; ++r) {
+            // Gather with stride 4 (nodal data is strided in practice),
+            // then contiguous copy out — in and out of the "NI".
+            for (std::int64_t i = 0; i < words; ++i)
+                staging[i] = source[(4 * i + r) & (source.size() - 1)];
+            std::memcpy(dest.data(), staging.data(),
+                        static_cast<std::size_t>(words) * sizeof(double));
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(t1 - t0).count() / reps;
+    };
+    printFit("This host (strided gather + copy-out)",
+             core::estimateMachine(host_copy, core::standardBlockLadder(),
+                                   3));
+
+    std::cout
+        << "Reading: the linear block model t = T_l + k T_w fits both "
+           "subjects with R^2 near 1, which is what justifies Equation "
+           "(2)'s two-parameter communication model.  On the host, T_l "
+           "reflects call overhead (far below the T3E's 22 us message "
+           "overhead) while T_w tracks copy bandwidth — the component "
+           "the paper says dominates modern communication costs.\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The §4.1 scaling story as a table: efficiency of every Quake instance
+ * (Figure 7 reference data) on the paper's named machines, plus the
+ * largest PE count that holds 90% / 80% / 50% efficiency.  Shows the
+ * two laws the paper derives: F/C_max ~ O(n^{1/3}) (tenfold problem
+ * growth buys only ~2x in the ratio) and the resulting ceiling on
+ * scalable PE counts for a fixed network.
+ */
+
+#include "bench/bench_util.h"
+
+#include "core/reference.h"
+#include "parallel/machine.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace quake;
+    namespace ref = core::reference;
+    const common::Args args(argc, argv);
+    (void)args;
+    bench::benchHeader("Efficiency and scalability across machines",
+                       "the Section 4.1 scaling analysis");
+
+    for (const parallel::MachineModel &machine :
+         {parallel::crayT3d(), parallel::crayT3e(),
+          parallel::currentMachine100(), parallel::futureMachine200()}) {
+        std::cout << "--- " << machine.name << " (T_f = "
+                  << common::formatTime(machine.tf) << ", T_l = "
+                  << common::formatTime(machine.tl) << ", T_w = "
+                  << common::formatTime(machine.tw) << ") ---\n";
+        common::Table t({"mesh", "E@4", "E@8", "E@16", "E@32", "E@64",
+                         "E@128", "max p for E>=0.9", "E>=0.8",
+                         "E>=0.5"});
+        for (int mi = 0; mi < ref::kNumMeshes; ++mi) {
+            const ref::PaperMesh mesh = static_cast<ref::PaperMesh>(mi);
+            std::vector<std::string> row = {ref::paperMeshName(mesh)};
+            int max90 = 0, max80 = 0, max50 = 0;
+            for (int subdomains : ref::kSubdomainCounts) {
+                const core::SmvpShape shape =
+                    ref::shapeFor(mesh, subdomains);
+                const double t_comp = shape.flops * machine.tf;
+                const double t_comm = shape.blocksMax * machine.tl +
+                                      shape.wordsMax * machine.tw;
+                const double e = t_comp / (t_comp + t_comm);
+                row.push_back(common::formatFixed(e, 2));
+                if (e >= 0.9)
+                    max90 = subdomains;
+                if (e >= 0.8)
+                    max80 = subdomains;
+                if (e >= 0.5)
+                    max50 = subdomains;
+            }
+            auto cell = [](int p) {
+                return p == 0 ? std::string("none") : std::to_string(p);
+            };
+            row.push_back(cell(max90));
+            row.push_back(cell(max80));
+            row.push_back(cell(max50));
+            t.addRow(row);
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout
+        << "Reading: each tenfold problem-size step (sf5 -> sf2 -> "
+           "sf1) roughly doubles F/C_max and therefore roughly doubles "
+           "the PE count a fixed network can sustain at a given "
+           "efficiency — the O(n^{1/3}) law of Section 4.1.  \"We "
+           "cannot rely on simply increasing the problem size to "
+           "guarantee good efficiency.\"\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Section 2.3's premise: the SMVP consumes over 80% of the sequential
+ * running time, which is what licenses modeling the whole application
+ * by its SMVP.  This harness runs the instrumented explicit solver on
+ * sf-class meshes and reports the measured SMVP share of step time.
+ */
+
+#include "bench/bench_util.h"
+
+#include "quake/simulation.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace quake;
+    const common::Args args(argc, argv);
+    bench::benchHeader("SMVP share of sequential running time",
+                       "the Section 2.3 claim (>80%)");
+
+    common::Table t({"mesh", "steps", "dt", "SMVP share",
+                     "peak |u|"});
+    for (const bench::BenchMesh &bm : bench::meshLadder(args)) {
+        if (bm.cls == mesh::SfClass::kSf1 && !args.has("full"))
+            continue; // skip the smallest stand-in; sf2s already large
+        const mesh::TetMesh &m = bench::cachedMesh(bm);
+        const mesh::LayeredBasinModel model;
+
+        sim::SimulationConfig config;
+        config.durationSeconds = 1e9; // maxSteps binds
+        config.maxSteps = args.getInt("steps", 60);
+        config.sampleInterval = 0;
+        // Peak the source immediately so the short instrumented run
+        // actually excites the wavefield.
+        config.wavelet.peakFrequencyHz = 0.25;
+        config.wavelet.delaySeconds = 0.0;
+        config.wavelet.amplitude = 1e3;
+
+        const sim::SimulationReport report =
+            sim::runSimulation(m, model, config);
+        t.addRow({bm.label, std::to_string(report.steps),
+                  common::formatTime(report.dt),
+                  common::formatFixed(100.0 * report.smvpFraction, 1) +
+                      "%",
+                  common::formatFixed(report.peakDisplacement, 6)});
+    }
+    t.print(std::cout);
+    std::cout << "\nPaper: SMVP operations consume over 80% of total "
+                 "sequential running time.  Shares rise with mesh size "
+                 "as the O(n) vector updates amortize against the "
+                 "heavier O(nnz) SMVP.\n";
+    return 0;
+}

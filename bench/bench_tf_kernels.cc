@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Section 3.1 — measuring T_f, the sustained per-flop time of the local
+ * SMVP, with google-benchmark.  The paper measures 30 ns on the Cray
+ * T3D and 14 ns on the T3E and stresses that sustained rates sit far
+ * below peak (12% on the T3E); this harness produces the same
+ * measurement for this host across the kernel formats and mesh classes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "mesh/generator.h"
+#include "spark/kernels.h"
+
+namespace
+{
+
+using namespace quake;
+
+/** Lazily built suite per mesh class (shared across benchmarks). */
+const spark::KernelSuite &
+suiteFor(mesh::SfClass cls)
+{
+    static std::map<mesh::SfClass, std::unique_ptr<spark::KernelSuite>>
+        suites;
+    auto it = suites.find(cls);
+    if (it == suites.end()) {
+        static const mesh::LayeredBasinModel model;
+        const mesh::GeneratedMesh generated = mesh::generateSfMesh(cls);
+        it = suites
+                 .emplace(cls, std::make_unique<spark::KernelSuite>(
+                                   generated.mesh, model))
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+runKernelBench(benchmark::State &state, mesh::SfClass cls,
+               spark::Kernel kernel)
+{
+    const spark::KernelSuite &suite = suiteFor(cls);
+    std::vector<double> x(static_cast<std::size_t>(suite.dof()));
+    common::SplitMix64 rng(1998);
+    for (double &v : x)
+        v = rng.uniform(-1, 1);
+    std::vector<double> y(x.size());
+
+    for (auto _ : state) {
+        switch (kernel) {
+          case spark::Kernel::kCsr:
+            sparse::smvpCsr(suite.csr(), x.data(), y.data());
+            break;
+          case spark::Kernel::kBcsr3:
+            sparse::smvpBcsr3(suite.bcsr(), x.data(), y.data());
+            break;
+          case spark::Kernel::kSym:
+            sparse::smvpSym(suite.sym(), x.data(), y.data());
+            break;
+        }
+        benchmark::DoNotOptimize(y.data());
+        benchmark::ClobberMemory();
+    }
+
+    // The paper's F = 2m flops per SMVP, regardless of storage format.
+    // FLOPS prints as a rate (e.g. "1.9G/s"); T_f is its inverse — the
+    // paper's 30 ns (T3D) / 14 ns (T3E) comparison points.
+    const double flops = static_cast<double>(2 * suite.nnz());
+    state.counters["flops_per_smvp"] = flops;
+    state.counters["FLOPS"] = benchmark::Counter(
+        flops, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(runKernelBench, sf20_csr, mesh::SfClass::kSf20,
+                  spark::Kernel::kCsr);
+BENCHMARK_CAPTURE(runKernelBench, sf20_bcsr3, mesh::SfClass::kSf20,
+                  spark::Kernel::kBcsr3);
+BENCHMARK_CAPTURE(runKernelBench, sf20_sym, mesh::SfClass::kSf20,
+                  spark::Kernel::kSym);
+BENCHMARK_CAPTURE(runKernelBench, sf10_csr, mesh::SfClass::kSf10,
+                  spark::Kernel::kCsr);
+BENCHMARK_CAPTURE(runKernelBench, sf10_bcsr3, mesh::SfClass::kSf10,
+                  spark::Kernel::kBcsr3);
+BENCHMARK_CAPTURE(runKernelBench, sf10_sym, mesh::SfClass::kSf10,
+                  spark::Kernel::kSym);
+BENCHMARK_CAPTURE(runKernelBench, sf5_csr, mesh::SfClass::kSf5,
+                  spark::Kernel::kCsr);
+BENCHMARK_CAPTURE(runKernelBench, sf5_bcsr3, mesh::SfClass::kSf5,
+                  spark::Kernel::kBcsr3);
+BENCHMARK_CAPTURE(runKernelBench, sf5_sym, mesh::SfClass::kSf5,
+                  spark::Kernel::kSym);
+
+BENCHMARK_MAIN();

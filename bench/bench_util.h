@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction harnesses.
+ *
+ * Every bench binary regenerates one table or figure from the paper and
+ * prints (a) the paper's published numbers where they exist and (b) the
+ * values measured on the synthetic pipeline or derived from the models.
+ * Meshes default to scaled-down stand-ins for the big classes so the
+ * whole suite runs in minutes on a laptop; pass --full for full scale.
+ */
+
+#ifndef QUAKE98_BENCH_BENCH_UTIL_H_
+#define QUAKE98_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/args.h"
+#include "common/table.h"
+#include "mesh/generator.h"
+#include "parallel/characterize.h"
+#include "partition/geometric_bisection.h"
+
+namespace quake::bench
+{
+
+/** A mesh class plus the scale it is generated at. */
+struct BenchMesh
+{
+    mesh::SfClass cls;
+    double hScale;   ///< 1.0 = full scale
+    std::string label; ///< e.g. "sf2" or "sf2 (1/2 scale)"
+};
+
+/**
+ * The default mesh ladder: sf10 and sf5 at full scale, sf2 and sf1
+ * scaled down to laptop size unless --full is given.
+ */
+inline std::vector<BenchMesh>
+meshLadder(const common::Args &args)
+{
+    const bool full = args.has("full");
+    std::vector<BenchMesh> ladder = {
+        {mesh::SfClass::kSf10, 1.0, "sf10"},
+        {mesh::SfClass::kSf5, 1.0, "sf5"},
+    };
+    if (full) {
+        ladder.push_back({mesh::SfClass::kSf2, 1.0, "sf2"});
+        ladder.push_back({mesh::SfClass::kSf1, 1.0, "sf1"});
+    } else {
+        // Scales are chosen so the two stand-ins are distinct meshes
+        // (1 s x 4 = 2 s x 2 would make them literally identical).
+        ladder.push_back({mesh::SfClass::kSf2, 2.0, "sf2 (1/2 scale)"});
+        ladder.push_back({mesh::SfClass::kSf1, 3.0, "sf1 (1/3 scale)"});
+    }
+    return ladder;
+}
+
+/** Generate (and cache per process) the mesh for a ladder entry. */
+inline const mesh::TetMesh &
+cachedMesh(const BenchMesh &bm)
+{
+    static std::map<std::string, mesh::GeneratedMesh> cache;
+    auto it = cache.find(bm.label);
+    if (it == cache.end()) {
+        std::cerr << "[bench] generating " << bm.label << "...\n";
+        it = cache
+                 .emplace(bm.label,
+                          mesh::generateSfMesh(bm.cls, bm.hScale))
+                 .first;
+    }
+    return it->second.mesh;
+}
+
+/** Characterize one (mesh, subdomains) instance through the pipeline. */
+inline core::SmvpCharacterization
+characterizeInstance(const mesh::TetMesh &m, int subdomains,
+                     const std::string &label,
+                     const parallel::CharacterizeOptions &options = {})
+{
+    const partition::GeometricBisection partitioner;
+    const parallel::DistributedProblem problem =
+        parallel::distributeTopology(m,
+                                     partitioner.partition(m, subdomains));
+    return parallel::characterize(
+        problem, label + "/" + std::to_string(subdomains), options);
+}
+
+/** Print a table as text, or as CSV when --csv was passed. */
+inline void
+printTable(const common::Table &table, const common::Args &args)
+{
+    if (args.has("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+}
+
+/** Standard header line for a bench binary. */
+inline void
+benchHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::cout << "=================================================="
+                 "====================\n"
+              << title << "\n(reproduces " << paper_ref
+              << " of O'Hallaron, Shewchuk & Gross, HPCA 1998)\n"
+              << "=================================================="
+                 "====================\n\n";
+}
+
+} // namespace quake::bench
+
+#endif // QUAKE98_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Capacity planner: the paper's models turned into an engineering tool.
+ *
+ * Given a machine description (sustained MFLOPS, block latency, burst
+ * bandwidth), predict the efficiency of every Quake SMVP instance from
+ * the paper's Figure 7, show whether latency or bandwidth dominates the
+ * communication phase, and say what to fix first.
+ *
+ * Usage: capacity_planner [--mflops F] [--latency-us L] [--burst-mbs B]
+ *                         [--mesh sf10|sf5|sf2|sf1] [--block-words W]
+ *
+ * Defaults describe the Cray T3E as measured in the paper.
+ */
+
+#include <iostream>
+
+#include "common/args.h"
+#include "common/table.h"
+#include "core/requirements.h"
+#include "core/reference.h"
+#include "parallel/machine.h"
+#include "parallel/phase_simulator.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace quake;
+    namespace ref = core::reference;
+    const common::Args args(argc, argv);
+
+    const parallel::MachineModel machine = parallel::customMachine(
+        "planned", args.getDouble("mflops", 70.0),
+        args.getDouble("latency-us", 22.0) * 1e-6,
+        args.getDouble("burst-mbs", 145.0) * 1e6);
+    const ref::PaperMesh mesh =
+        ref::paperMeshFromName(args.get("mesh", "sf2"));
+    const long block_words = args.getInt("block-words", 0); // 0 = maximal
+
+    std::cout << "Machine: " << common::formatFixed(machine.mflops(), 0)
+              << " MFLOPS sustained, T_l = "
+              << common::formatTime(machine.tl) << ", burst = "
+              << common::formatBandwidth(machine.burstBandwidthBytes())
+              << (block_words > 0 ? " (" + std::to_string(block_words) +
+                                        "-word blocks)"
+                                  : " (maximally aggregated blocks)")
+              << "\n\n";
+
+    common::Table t({"instance", "F/C_max", "T_comp", "T_comm",
+                     "efficiency", "latency share", "advice"});
+    for (int subdomains : ref::kSubdomainCounts) {
+        core::SmvpShape shape = ref::shapeFor(mesh, subdomains);
+        if (block_words > 0)
+            shape = core::withFixedBlockSize(
+                shape, static_cast<double>(block_words));
+
+        const double t_comp = shape.flops * machine.tf;
+        const double lat_time = shape.blocksMax * machine.tl;
+        const double burst_time = shape.wordsMax * machine.tw;
+        const double t_comm = lat_time + burst_time;
+        const double eff = t_comp / (t_comp + t_comm);
+        const double lat_share = lat_time / t_comm;
+
+        const char *advice =
+            eff > 0.9 ? "network is adequate"
+            : (lat_share > 0.67
+                   ? "reduce block latency"
+                   : (lat_share < 0.33 ? "raise burst bandwidth"
+                                       : "improve both equally"));
+
+        t.addRow({ref::paperMeshName(mesh) + "/" +
+                      std::to_string(subdomains),
+                  common::formatFixed(shape.flops / shape.wordsMax, 0),
+                  common::formatTime(t_comp), common::formatTime(t_comm),
+                  common::formatFixed(eff, 3),
+                  common::formatFixed(100.0 * lat_share, 0) + "%",
+                  advice});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nTargets from Equation (1) for this machine at 90% "
+                 "efficiency (worst instance, "
+              << ref::paperMeshName(mesh) << "/128):\n";
+    const core::SmvpShape worst = ref::shapeFor(mesh, 128);
+    const core::Headline h =
+        core::computeHeadline(worst, machine.mflops(), 0.9);
+    std::cout << "  sustained bandwidth : "
+              << common::formatBandwidth(h.sustainedBandwidthBytes) << "\n"
+              << "  half-bw burst       : "
+              << common::formatBandwidth(h.halfPoint.burstBandwidthBytes)
+              << "\n"
+              << "  half-bw latency     : "
+              << common::formatTime(h.halfPoint.latency) << "\n";
+    return 0;
+}

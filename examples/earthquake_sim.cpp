@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The Quake application itself: simulate seismic wave propagation
+ * through the synthetic San Fernando basin with the explicit finite
+ * element method, sequentially or distributed over logical PEs.
+ *
+ * Usage: earthquake_sim [--mesh sf20|sf10|sf5] [--pes N]
+ *                       [--duration seconds] [--max-steps N]
+ *                       [--freq hz] [--scale h-scale]
+ *                       [--damping a0] [--seismogram path]
+ */
+
+#include <iostream>
+
+#include "common/args.h"
+#include "common/table.h"
+#include "quake/simulation.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace quake;
+    const common::Args args(argc, argv);
+    const mesh::SfClass cls =
+        mesh::sfClassFromName(args.get("mesh", "sf20"));
+
+    sim::SimulationConfig config;
+    config.numPes = static_cast<int>(args.getInt("pes", 1));
+    config.durationSeconds = args.getDouble("duration", 20.0);
+    config.maxSteps = args.getInt("max-steps", 2000);
+    config.wavelet.peakFrequencyHz = args.getDouble("freq", 0.25);
+    config.wavelet.delaySeconds = 2.0 / config.wavelet.peakFrequencyHz;
+    config.sampleInterval = 50;
+    config.dampingA0 = args.getDouble("damping", 0.0);
+
+    std::cout << "Simulating " << mesh::sfClassName(cls) << " on "
+              << config.numPes << " PE(s), source at ("
+              << config.hypocenter.x << ", " << config.hypocenter.y
+              << ", " << config.hypocenter.z << ") km depth...\n";
+
+    // Generate the mesh up front so receiver stations can be placed.
+    const mesh::LayeredBasinModel model;
+    const mesh::GeneratedMesh generated = mesh::generateMesh(
+        model,
+        mesh::MeshSpec::forClass(cls, args.getDouble("scale", 1.0)));
+
+    sim::Seismogram record = sim::Seismogram::surfaceLine(
+        generated.mesh, 8, model.params().basinCenter.y);
+    config.recorder = &record;
+
+    const sim::SimulationReport report =
+        sim::runSimulation(generated.mesh, model, config);
+
+    std::cout << "\nRun summary:\n"
+              << "  time step (CFL)      : "
+              << common::formatTime(report.dt) << "\n"
+              << "  steps taken          : " << report.steps << "\n"
+              << "  simulated time       : "
+              << common::formatFixed(report.simulatedSeconds, 2)
+              << " s\n"
+              << "  wall time in step()  : "
+              << common::formatFixed(report.totalSeconds, 2) << " s\n"
+              << "  wall time in SMVP    : "
+              << common::formatFixed(report.smvpSeconds, 2) << " s  ("
+              << common::formatFixed(100.0 * report.smvpFraction, 1)
+              << "% — paper reports >80%)\n"
+              << "  peak |displacement|  : "
+              << common::formatFixed(report.peakDisplacement, 6) << "\n";
+
+    if (!report.samples.empty()) {
+        std::cout << "\nWavefield history:\n";
+        common::Table t({"t (s)", "peak |u|", "kinetic energy"});
+        for (const sim::FieldSample &s : report.samples) {
+            t.addRow({common::formatFixed(s.time, 2),
+                      common::formatFixed(s.peakDisplacement, 6),
+                      common::formatFixed(s.kineticEnergy, 6)});
+        }
+        t.print(std::cout);
+    }
+
+    // Seismograms: per-station peak ground motion, plus a file dump.
+    std::cout << "\nReceiver stations (surface line through the basin):\n";
+    common::Table stations({"station", "x (km)", "peak |u|"});
+    for (std::size_t s = 0; s < record.stations().size(); ++s) {
+        stations.addRow(
+            {record.stations()[s].name,
+             common::formatFixed(record.stations()[s].position.x, 1),
+             common::formatFixed(record.peakAmplitude(s), 6)});
+    }
+    stations.print(std::cout);
+    if (args.has("seismogram")) {
+        record.write(args.get("seismogram"));
+        std::cout << "wrote traces to " << args.get("seismogram")
+                  << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,158 @@
+#include "arch/cache_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace quake::arch
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::int64_t v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+int
+log2OfPowerOfTwo(std::int64_t v)
+{
+    int shift = 0;
+    while ((std::int64_t{1} << shift) < v)
+        ++shift;
+    return shift;
+}
+
+} // namespace
+
+std::int64_t
+CacheConfig::numSets() const
+{
+    return sizeBytes / (static_cast<std::int64_t>(lineBytes) *
+                        associativity);
+}
+
+void
+CacheConfig::validate() const
+{
+    QUAKE_EXPECT(sizeBytes > 0 && lineBytes > 0 && associativity > 0,
+                 "cache geometry must be positive");
+    QUAKE_EXPECT(isPowerOfTwo(lineBytes),
+                 "line size must be a power of two");
+    QUAKE_EXPECT(sizeBytes % (static_cast<std::int64_t>(lineBytes) *
+                              associativity) ==
+                     0,
+                 "size must be a multiple of line * associativity");
+    QUAKE_EXPECT(isPowerOfTwo(numSets()),
+                 "set count must be a power of two");
+}
+
+CacheSim::CacheSim(const CacheConfig &config) : config_(config)
+{
+    config_.validate();
+    num_sets_ = config_.numSets();
+    line_shift_ = log2OfPowerOfTwo(config_.lineBytes);
+    reset();
+}
+
+void
+CacheSim::reset()
+{
+    const std::size_t slots = static_cast<std::size_t>(
+        num_sets_ * config_.associativity);
+    ways_.assign(slots, kInvalidTag);
+    lru_.assign(slots, 0);
+    accesses_ = 0;
+    misses_ = 0;
+}
+
+bool
+CacheSim::access(std::uint64_t address)
+{
+    ++accesses_;
+    const std::uint64_t line = address >> line_shift_;
+    const std::uint64_t set =
+        line & static_cast<std::uint64_t>(num_sets_ - 1);
+    const std::uint64_t tag = line >> log2OfPowerOfTwo(num_sets_);
+
+    const std::size_t base = static_cast<std::size_t>(
+        set * static_cast<std::uint64_t>(config_.associativity));
+
+    // Hit: refresh LRU ages.
+    int hit_way = -1;
+    for (int w = 0; w < config_.associativity; ++w) {
+        if (ways_[base + w] == tag) {
+            hit_way = w;
+            break;
+        }
+    }
+    const bool hit = hit_way >= 0;
+
+    if (hit_way < 0) {
+        ++misses_;
+        // Victim: the way with the largest age (or an invalid way).
+        int victim = 0;
+        std::uint32_t oldest = 0;
+        for (int w = 0; w < config_.associativity; ++w) {
+            if (ways_[base + w] == kInvalidTag) {
+                victim = w;
+                break;
+            }
+            if (lru_[base + w] >= oldest) {
+                oldest = lru_[base + w];
+                victim = w;
+            }
+        }
+        ways_[base + victim] = tag;
+        hit_way = victim;
+    }
+
+    // Age everyone in the set; zero the touched way.
+    for (int w = 0; w < config_.associativity; ++w)
+        ++lru_[base + w];
+    lru_[base + hit_way] = 0;
+    return hit;
+}
+
+double
+CacheSim::missRate()
+    const
+{
+    return accesses_ > 0 ? static_cast<double>(misses_) / accesses_
+                         : 0.0;
+}
+
+HierarchySim::HierarchySim(const MemoryHierarchy &config)
+    : config_(config), l1_(config.l1), l2_(config.l2)
+{
+    QUAKE_EXPECT(config.l1HitSeconds >= 0 && config.l2HitSeconds >= 0 &&
+                     config.memorySeconds >= 0,
+                 "service times must be nonnegative");
+}
+
+void
+HierarchySim::access(std::uint64_t address)
+{
+    ++stats_.accesses;
+    stats_.seconds += config_.l1HitSeconds;
+    if (l1_.access(address))
+        return;
+    ++stats_.l1Misses;
+    stats_.seconds += config_.l2HitSeconds;
+    if (l2_.access(address))
+        return;
+    ++stats_.l2Misses;
+    stats_.seconds += config_.memorySeconds;
+}
+
+void
+HierarchySim::reset()
+{
+    l1_.reset();
+    l2_.reset();
+    stats_ = HierarchyStats{};
+}
+
+} // namespace quake::arch

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A set-associative LRU cache simulator.
+ *
+ * The paper's §4 explains why sustained SMVP rates sit far below peak:
+ * "irregular memory reference patterns and ... data structures too
+ * large to fit in cache" (the T3E sustains 70 MFLOPS of a 600-MFLOPS
+ * peak — 12%).  This substrate makes that argument executable: replay
+ * the SMVP's address stream through a modeled hierarchy and predict
+ * T_f from first principles (see smvp_trace.h).
+ */
+
+#ifndef QUAKE98_ARCH_CACHE_MODEL_H_
+#define QUAKE98_ARCH_CACHE_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace quake::arch
+{
+
+/** Geometry of one cache level. */
+struct CacheConfig
+{
+    std::int64_t sizeBytes = 8 * 1024;
+    int lineBytes = 32;
+    int associativity = 1;
+
+    /** Number of sets implied by the geometry. */
+    std::int64_t numSets() const;
+
+    /** Check invariants (powers of two, divisibility); throws. */
+    void validate() const;
+};
+
+/** One set-associative LRU cache level. */
+class CacheSim
+{
+  public:
+    explicit CacheSim(const CacheConfig &config);
+
+    /**
+     * Access one byte address; returns true on hit.  Misses fill the
+     * line (allocate-on-miss for reads and writes alike).
+     */
+    bool access(std::uint64_t address);
+
+    /** Accesses so far. */
+    std::int64_t accesses() const { return accesses_; }
+
+    /** Misses so far. */
+    std::int64_t misses() const { return misses_; }
+
+    /** Miss ratio in [0, 1]; zero before any access. */
+    double missRate() const;
+
+    /** Forget all contents and statistics. */
+    void reset();
+
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    CacheConfig config_;
+    std::int64_t num_sets_;
+    int line_shift_;
+
+    /**
+     * ways_[set * associativity + way] holds the tag; lru_ the age
+     * (smaller = more recently used).  Empty ways hold kInvalidTag.
+     */
+    std::vector<std::uint64_t> ways_;
+    std::vector<std::uint32_t> lru_;
+
+    std::int64_t accesses_ = 0;
+    std::int64_t misses_ = 0;
+
+    static constexpr std::uint64_t kInvalidTag = ~0ULL;
+};
+
+/** A two-level hierarchy with per-level service times. */
+struct MemoryHierarchy
+{
+    CacheConfig l1{8 * 1024, 32, 1};      ///< 21164-like 8KB direct L1
+    CacheConfig l2{96 * 1024, 64, 3};     ///< 21164-like 96KB 3-way L2
+    double l1HitSeconds = 3.3e-9;  ///< ~1 cycle at 300 MHz
+    double l2HitSeconds = 20e-9;   ///< L2 service on L1 miss
+    double memorySeconds = 100e-9; ///< DRAM service on L2 miss
+};
+
+/** Access counts and predicted time for a replayed stream. */
+struct HierarchyStats
+{
+    std::int64_t accesses = 0;
+    std::int64_t l1Misses = 0;
+    std::int64_t l2Misses = 0;
+    double seconds = 0.0; ///< predicted total service time
+
+    double
+    l1MissRate() const
+    {
+        return accesses > 0
+                   ? static_cast<double>(l1Misses) / accesses
+                   : 0.0;
+    }
+};
+
+/** Stateful two-level simulator built from a MemoryHierarchy. */
+class HierarchySim
+{
+  public:
+    explicit HierarchySim(const MemoryHierarchy &config);
+
+    /** Access an address through L1 then (on miss) L2 then memory. */
+    void access(std::uint64_t address);
+
+    /** Stats accumulated so far. */
+    const HierarchyStats &stats() const { return stats_; }
+
+    /** Clear contents and statistics. */
+    void reset();
+
+    const MemoryHierarchy &config() const { return config_; }
+
+  private:
+    MemoryHierarchy config_;
+    CacheSim l1_;
+    CacheSim l2_;
+    HierarchyStats stats_;
+};
+
+} // namespace quake::arch
+
+#endif // QUAKE98_ARCH_CACHE_MODEL_H_

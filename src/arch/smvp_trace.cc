@@ -1,0 +1,76 @@
+#include "arch/smvp_trace.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace quake::arch
+{
+
+TfPrediction
+predictSmvpTf(const sparse::Bcsr3Matrix &matrix,
+              const MemoryHierarchy &hierarchy, const CoreModel &core)
+{
+    QUAKE_EXPECT(matrix.numBlockRows() > 0, "empty matrix");
+    QUAKE_EXPECT(core.peakFlopsPerSecond > 0,
+                 "peak rate must be positive");
+
+    HierarchySim sim(hierarchy);
+
+    // Synthetic contiguous layout, in allocation order.
+    const std::uint64_t xadj_base = 0x10000;
+    const std::uint64_t cols_base =
+        xadj_base +
+        static_cast<std::uint64_t>(matrix.xadj().size()) * 8;
+    const std::uint64_t values_base =
+        cols_base +
+        static_cast<std::uint64_t>(matrix.blockCols().size()) * 4;
+    const std::uint64_t x_base =
+        values_base +
+        static_cast<std::uint64_t>(matrix.numBlocks()) * 72;
+    const std::uint64_t y_base =
+        x_base + static_cast<std::uint64_t>(matrix.numRows()) * 8;
+
+    const auto &xadj = matrix.xadj();
+    const auto &cols = matrix.blockCols();
+
+    for (std::int64_t br = 0; br < matrix.numBlockRows(); ++br) {
+        // Row bounds: two 8-byte loads (the second is reused next row
+        // in real code; modeling both is the conservative choice).
+        sim.access(xadj_base + static_cast<std::uint64_t>(br) * 8);
+        sim.access(xadj_base + static_cast<std::uint64_t>(br + 1) * 8);
+
+        for (std::int64_t k = xadj[br]; k < xadj[br + 1]; ++k) {
+            // Column index: one 4-byte load.
+            sim.access(cols_base + static_cast<std::uint64_t>(k) * 4);
+            // Block values: nine 8-byte loads.
+            const std::uint64_t blk =
+                values_base + static_cast<std::uint64_t>(k) * 72;
+            for (int v = 0; v < 9; ++v)
+                sim.access(blk + static_cast<std::uint64_t>(v) * 8);
+            // Gathered x: three 8-byte loads at the block column.
+            const std::uint64_t xaddr =
+                x_base + static_cast<std::uint64_t>(cols[k]) * 24;
+            for (int v = 0; v < 3; ++v)
+                sim.access(xaddr + static_cast<std::uint64_t>(v) * 8);
+        }
+
+        // y writes: three 8-byte stores.
+        const std::uint64_t yaddr =
+            y_base + static_cast<std::uint64_t>(br) * 24;
+        for (int v = 0; v < 3; ++v)
+            sim.access(yaddr + static_cast<std::uint64_t>(v) * 8);
+    }
+
+    TfPrediction out;
+    out.memory = sim.stats();
+    out.flops = matrix.flopsPerMultiply();
+    out.flopSeconds =
+        static_cast<double>(out.flops) / core.peakFlopsPerSecond;
+    out.seconds = std::max(out.memory.seconds, out.flopSeconds);
+    out.tf = out.seconds / static_cast<double>(out.flops);
+    out.mflops = 1.0 / (out.tf * 1e6);
+    return out;
+}
+
+} // namespace quake::arch

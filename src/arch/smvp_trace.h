@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SMVP address-stream replay: predict T_f from the memory hierarchy.
+ *
+ * The local SMVP's arithmetic is trivial; its sustained rate is set by
+ * the memory system (paper §3.1/§4: the T3E sustains 12% of peak on
+ * this kernel).  This module walks the exact address sequence of the
+ * 3x3-block CSR product — row pointers, block column indices, block
+ * values, the gathered x entries, the y writes — through a modeled
+ * hierarchy and converts the access-time total into a predicted T_f.
+ *
+ * The irregular, mesh-dependent part is the x gather: its locality is
+ * the node-numbering locality of the mesh, which is exactly why the
+ * paper's measured T_f is an application property, not a datasheet
+ * number.
+ */
+
+#ifndef QUAKE98_ARCH_SMVP_TRACE_H_
+#define QUAKE98_ARCH_SMVP_TRACE_H_
+
+#include "arch/cache_model.h"
+#include "sparse/bcsr3.h"
+
+namespace quake::arch
+{
+
+/** Predicted kernel performance from the hierarchy replay. */
+struct TfPrediction
+{
+    HierarchyStats memory; ///< access counts and service time
+    std::int64_t flops = 0;
+    double flopSeconds = 0.0; ///< issue-limited arithmetic time
+    double seconds = 0.0;     ///< max(memory time, arithmetic time)
+    double tf = 0.0;          ///< predicted seconds per flop
+    double mflops = 0.0;      ///< predicted sustained rate
+};
+
+/** Arithmetic-side parameters. */
+struct CoreModel
+{
+    /** Peak flops/second of the core (e.g. 600e6 for the 21164). */
+    double peakFlopsPerSecond = 600e6;
+};
+
+/**
+ * Replay one y = Kx of the block matrix through `hierarchy` and
+ * predict the sustained rate.  Array base addresses are laid out
+ * contiguously in a synthetic address space in the same order a real
+ * allocation would produce.  The prediction takes the max of memory
+ * time and issue-limited arithmetic time (a simple bound, no overlap
+ * modeling — consistent with the paper's conservative style).
+ */
+TfPrediction predictSmvpTf(const sparse::Bcsr3Matrix &matrix,
+                           const MemoryHierarchy &hierarchy,
+                           const CoreModel &core = {});
+
+} // namespace quake::arch
+
+#endif // QUAKE98_ARCH_SMVP_TRACE_H_

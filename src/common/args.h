@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for the example and benchmark binaries.
+ *
+ * Supports the forms `--flag`, `--key value`, and `--key=value`.  This is
+ * deliberately tiny: the harnesses need a handful of switches (mesh class,
+ * full-scale toggle, output path), not a framework.
+ */
+
+#ifndef QUAKE98_COMMON_ARGS_H_
+#define QUAKE98_COMMON_ARGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace quake::common
+{
+
+/** Parsed command line: named options plus positional arguments. */
+class Args
+{
+  public:
+    /**
+     * Parse argv.  An argument `--k v` is treated as key/value when v does
+     * not itself start with `--`; `--k=v` always binds; a bare `--k` is a
+     * boolean flag with value "true".
+     */
+    Args(int argc, const char *const *argv);
+
+    /** True when --name was given (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** Value of --name, or fallback when absent. */
+    std::string get(const std::string &name,
+                    const std::string &fallback = "") const;
+
+    /** Value of --name parsed as long, or fallback when absent. */
+    long getInt(const std::string &name, long fallback) const;
+
+    /** Value of --name parsed as double, or fallback when absent. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Positional (non-flag) arguments in order of appearance. */
+    const std::vector<std::string> &positional() const { return positionals; }
+
+  private:
+    std::map<std::string, std::string> options;
+    std::vector<std::string> positionals;
+};
+
+} // namespace quake::common
+
+#endif // QUAKE98_COMMON_ARGS_H_

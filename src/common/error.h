@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Error-reporting helpers shared by every quake98 module.
+ *
+ * Following the gem5 convention, we distinguish two failure classes:
+ *  - fatal():  the caller (user input, configuration) is at fault and the
+ *              process cannot continue.  Exits with status 1.
+ *  - panic():  an internal invariant is broken (a library bug).  Aborts so
+ *              a debugger or core dump can capture the state.
+ */
+
+#ifndef QUAKE98_COMMON_ERROR_H_
+#define QUAKE98_COMMON_ERROR_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace quake::common
+{
+
+/** Exception thrown for user-recoverable errors (bad input, bad config). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/**
+ * Raise a FatalError for a condition that is the caller's fault.
+ *
+ * @param message Human-readable description of what went wrong.
+ */
+[[noreturn]] inline void
+fatal(const std::string &message)
+{
+    throw FatalError(message);
+}
+
+/**
+ * Abort for a condition that indicates an internal bug.
+ *
+ * @param message Description of the broken invariant.
+ * @param file    Source file (filled in by the QUAKE_PANIC macro).
+ * @param line    Source line (filled in by the QUAKE_PANIC macro).
+ */
+[[noreturn]] inline void
+panic(const std::string &message, const char *file, int line)
+{
+    std::cerr << "panic: " << message << " (" << file << ":" << line << ")"
+              << std::endl;
+    std::abort();
+}
+
+} // namespace quake::common
+
+/** Abort with a message when an internal invariant is violated. */
+#define QUAKE_PANIC(msg) ::quake::common::panic((msg), __FILE__, __LINE__)
+
+/**
+ * Check an internal invariant.  Unlike assert(), this is always compiled in:
+ * the analyses in this library are cheap relative to mesh generation, and a
+ * silently-wrong table is worse than a slow one.
+ */
+#define QUAKE_REQUIRE(cond, msg)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream quake_require_oss_;                          \
+            quake_require_oss_ << "requirement failed: " #cond ": " << msg; \
+            ::quake::common::panic(quake_require_oss_.str(),                \
+                                   __FILE__, __LINE__);                     \
+        }                                                                   \
+    } while (0)
+
+/** Validate a user-supplied precondition; throws FatalError on failure. */
+#define QUAKE_EXPECT(cond, msg)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream quake_expect_oss_;                           \
+            quake_expect_oss_ << "precondition failed: " << msg;            \
+            ::quake::common::fatal(quake_expect_oss_.str());                \
+        }                                                                   \
+    } while (0)
+
+#endif // QUAKE98_COMMON_ERROR_H_

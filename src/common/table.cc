@@ -1,0 +1,149 @@
+#include "common/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace quake::common
+{
+
+Table::Table(std::vector<std::string> header_cells)
+    : header(std::move(header_cells))
+{
+    QUAKE_EXPECT(!header.empty(), "table must have at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    QUAKE_EXPECT(row.size() == header.size(),
+                 "row width " << row.size() << " != header width "
+                              << header.size());
+    rows.push_back(std::move(row));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                os << std::string(widths[c] - cells[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit(header);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const std::string &cell = cells[c];
+            const bool needs_quotes =
+                cell.find_first_of(",\"\n") != std::string::npos;
+            if (needs_quotes) {
+                os << '"';
+                for (char ch : cell) {
+                    if (ch == '"')
+                        os << '"';
+                    os << ch;
+                }
+                os << '"';
+            } else {
+                os << cell;
+            }
+            if (c + 1 < cells.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    emit(header);
+    for (const auto &row : rows)
+        emit(row);
+}
+
+std::string
+Table::toString() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+std::string
+formatCount(long long value)
+{
+    const bool negative = value < 0;
+    unsigned long long magnitude =
+        negative ? 0ULL - static_cast<unsigned long long>(value)
+                 : static_cast<unsigned long long>(value);
+    std::string digits = std::to_string(magnitude);
+    std::string out;
+    int since_sep = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (since_sep == 3) {
+            out.push_back(',');
+            since_sep = 0;
+        }
+        out.push_back(*it);
+        ++since_sep;
+    }
+    if (negative)
+        out.push_back('-');
+    return std::string(out.rbegin(), out.rend());
+}
+
+std::string
+formatFixed(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+formatBandwidth(double bytes_per_second)
+{
+    constexpr double mbyte = 1e6;
+    constexpr double gbyte = 1e9;
+    if (bytes_per_second >= gbyte)
+        return formatFixed(bytes_per_second / gbyte, 2) + " GB/s";
+    if (bytes_per_second >= mbyte)
+        return formatFixed(bytes_per_second / mbyte, 1) + " MB/s";
+    return formatFixed(bytes_per_second / 1e3, 1) + " KB/s";
+}
+
+std::string
+formatTime(double seconds)
+{
+    const double mag = std::fabs(seconds);
+    if (mag >= 1.0)
+        return formatFixed(seconds, 2) + " s";
+    if (mag >= 1e-3)
+        return formatFixed(seconds * 1e3, 2) + " ms";
+    if (mag >= 1e-6)
+        return formatFixed(seconds * 1e6, 2) + " us";
+    return formatFixed(seconds * 1e9, 1) + " ns";
+}
+
+} // namespace quake::common

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harnesses.
+ *
+ * Every figure and table reproduction prints its rows through this class so
+ * the output is uniformly aligned and machine-diffable.  Cells are strings;
+ * helpers format the numeric types that appear in the paper (counts, ratios,
+ * bandwidths, latencies).
+ */
+
+#ifndef QUAKE98_COMMON_TABLE_H_
+#define QUAKE98_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace quake::common
+{
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Subdomains", "F", "Cmax"});
+ *   t.addRow({"4", "453924", "2352"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with one header cell per column. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render to a stream with two-space column gutters. */
+    void print(std::ostream &os) const;
+
+    /**
+     * Render as CSV (comma-separated, fields quoted when they contain
+     * commas or quotes) for downstream plotting tools.
+     */
+    void printCsv(std::ostream &os) const;
+
+    /** Render to a string (used in tests). */
+    std::string toString() const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format an integer with thousands separators, e.g. 24,640,110. */
+std::string formatCount(long long value);
+
+/** Format a double with a fixed number of decimals. */
+std::string formatFixed(double value, int decimals);
+
+/**
+ * Format a bandwidth given in bytes/second using the unit conventions of
+ * the paper (MBytes/sec or GBytes/sec as magnitude dictates).
+ */
+std::string formatBandwidth(double bytes_per_second);
+
+/**
+ * Format a time given in seconds with an auto-selected engineering unit
+ * (s, ms, us, ns) — the paper quotes latencies across this whole range.
+ */
+std::string formatTime(double seconds);
+
+} // namespace quake::common
+
+#endif // QUAKE98_COMMON_TABLE_H_

@@ -1,0 +1,60 @@
+#include "core/app_model.h"
+
+#include "common/error.h"
+
+namespace quake::core
+{
+
+AppPrediction
+predictRun(const SmvpShape &shape, double nodes_per_pe,
+           const AppMachine &machine, const AppModelParams &params)
+{
+    QUAKE_EXPECT(shape.flops > 0, "shape needs positive flops");
+    QUAKE_EXPECT(nodes_per_pe > 0, "nodes per PE must be positive");
+    QUAKE_EXPECT(machine.tf > 0, "tf must be positive");
+    QUAKE_EXPECT(machine.tl >= 0 && machine.tw >= 0,
+                 "tl and tw must be nonnegative");
+    QUAKE_EXPECT(params.steps > 0, "steps must be positive");
+    QUAKE_EXPECT(params.vectorFlopsPerNode >= 0 &&
+                     params.vectorTfRatio > 0,
+                 "vector-update parameters out of range");
+
+    const double t_smvp_comp = shape.flops * machine.tf;
+    const double t_comm = shape.blocksMax * machine.tl +
+                          shape.wordsMax * machine.tw;
+    const double t_vector = nodes_per_pe * params.vectorFlopsPerNode *
+                            machine.tf * params.vectorTfRatio;
+
+    AppPrediction out;
+    out.stepSeconds = t_smvp_comp + t_comm + t_vector;
+    out.totalSeconds = out.stepSeconds * static_cast<double>(params.steps);
+    out.smvpFraction = (t_smvp_comp + t_comm) / out.stepSeconds;
+    out.commFraction = t_comm / out.stepSeconds;
+    return out;
+}
+
+double
+predictedSpeedup(const SmvpShape &shape_p, int p, double total_nodes,
+                 double nodes_per_pe, const AppMachine &machine,
+                 const AppModelParams &params)
+{
+    QUAKE_EXPECT(p >= 1, "p must be >= 1");
+    QUAKE_EXPECT(total_nodes > 0, "total nodes must be positive");
+
+    // The 1-PE baseline: all the flops, none of the communication.
+    SmvpShape sequential = shape_p;
+    sequential.flops = shape_p.flops * p;
+    sequential.wordsMax = 1; // harmless nonzero; comm charged at zero
+    sequential.blocksMax = 0;
+    AppMachine no_comm = machine;
+    no_comm.tl = 0;
+    no_comm.tw = 0;
+
+    const AppPrediction base =
+        predictRun(sequential, total_nodes, no_comm, params);
+    const AppPrediction parallel =
+        predictRun(shape_p, nodes_per_pe, machine, params);
+    return base.totalSeconds / parallel.totalSeconds;
+}
+
+} // namespace quake::core

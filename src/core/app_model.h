@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Whole-application performance model.
+ *
+ * The paper reduces the Quake applications to the SMVP because the
+ * SMVP dominates (>80% of sequential time) and is the only
+ * communicating operation.  This module closes the loop: a model of
+ * the *entire* explicit time-stepping run — 6000 steps of one SMVP
+ * plus the pointwise vector update — so end-to-end running time,
+ * speedup, and parallel efficiency can be predicted for any machine
+ * and any Figure 7 instance, and the "SMVP fraction" itself becomes a
+ * derived quantity that can be checked against §2.3.
+ */
+
+#ifndef QUAKE98_CORE_APP_MODEL_H_
+#define QUAKE98_CORE_APP_MODEL_H_
+
+#include "core/perf_model.h"
+
+namespace quake::core
+{
+
+/** Parameters of the whole application run. */
+struct AppModelParams
+{
+    /** Time steps (the paper's runs take 6000). */
+    std::int64_t steps = 6000;
+
+    /**
+     * Pointwise (non-SMVP) flops per mesh node per step: the central-
+     * difference update u_{n+1} = 2u - u_prev + dt^2 M^{-1} (f - Ku)
+     * costs ~5 flops per DOF = 15 per node, plus source/sampling
+     * incidentals.
+     */
+    double vectorFlopsPerNode = 18.0;
+
+    /**
+     * Effective per-flop time of the vector update relative to the
+     * SMVP's T_f.  Streaming updates run faster than the irregular
+     * SMVP; 0.5 is a typical ratio of streaming to gather kernels.
+     */
+    double vectorTfRatio = 0.5;
+};
+
+/** Machine constants the app model consumes (same as Figure 4's). */
+struct AppMachine
+{
+    double tf = 0.0; ///< seconds per SMVP flop
+    double tl = 0.0; ///< block latency
+    double tw = 0.0; ///< seconds per word
+};
+
+/** Predicted end-to-end behaviour of one run. */
+struct AppPrediction
+{
+    double stepSeconds = 0.0;  ///< one time step
+    double totalSeconds = 0.0; ///< steps * stepSeconds
+    double smvpFraction = 0.0; ///< SMVP share of a step (§2.3's >80%)
+    double commFraction = 0.0; ///< communication share of a step
+};
+
+/**
+ * Predict one run of the application on `p` PEs.
+ *
+ * @param shape          SMVP shape of the instance (per-PE F, C, B).
+ * @param nodes_per_pe   Mesh nodes resident on one PE (for the vector
+ *                       update term); shared replicas included.
+ * @param machine        Machine constants.
+ * @param params         Application parameters.
+ */
+AppPrediction predictRun(const SmvpShape &shape, double nodes_per_pe,
+                         const AppMachine &machine,
+                         const AppModelParams &params = {});
+
+/**
+ * Predicted speedup of the `p`-PE instance over the 1-PE run of the
+ * same problem: S = T(1) / T(p).  The 1-PE baseline has no
+ * communication and p times the work per PE.
+ *
+ * @param shape_p        Shape of the p-PE instance.
+ * @param p              PE count of that instance.
+ * @param total_nodes    Mesh nodes in the whole problem.
+ * @param nodes_per_pe   Nodes per PE in the p-PE instance.
+ */
+double predictedSpeedup(const SmvpShape &shape_p, int p,
+                        double total_nodes, double nodes_per_pe,
+                        const AppMachine &machine,
+                        const AppModelParams &params = {});
+
+} // namespace quake::core
+
+#endif // QUAKE98_CORE_APP_MODEL_H_

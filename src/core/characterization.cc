@@ -1,0 +1,77 @@
+#include "core/characterization.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace quake::core
+{
+
+CharacterizationSummary
+summarize(const SmvpCharacterization &ch)
+{
+    QUAKE_EXPECT(!ch.pes.empty(), "characterization has no PEs");
+
+    CharacterizationSummary s;
+    double flop_sum = 0.0;
+    double word_sum = 0.0;
+    double block_sum = 0.0;
+    std::int64_t communicating = 0;
+    for (const PeLoad &pe : ch.pes) {
+        s.flopsMax = std::max(s.flopsMax, pe.flops);
+        s.wordsMax = std::max(s.wordsMax, pe.words);
+        s.blocksMax = std::max(s.blocksMax, pe.blocks);
+        flop_sum += static_cast<double>(pe.flops);
+        if (pe.words > 0) {
+            word_sum += static_cast<double>(pe.words);
+            block_sum += static_cast<double>(pe.blocks);
+            ++communicating;
+        }
+    }
+    s.flopsMean = flop_sum / static_cast<double>(ch.pes.size());
+    if (communicating > 0 && word_sum > 0)
+        s.wordBalance = static_cast<double>(s.wordsMax) /
+                        (word_sum / static_cast<double>(communicating));
+    if (communicating > 0 && block_sum > 0)
+        s.blockBalance =
+            static_cast<double>(s.blocksMax) /
+            (block_sum / static_cast<double>(communicating));
+    s.flopBalance =
+        s.flopsMean > 0 ? static_cast<double>(s.flopsMax) / s.flopsMean
+                        : 1.0;
+
+    if (!ch.messageSizes.empty()) {
+        std::int64_t total = 0;
+        for (std::int64_t m : ch.messageSizes)
+            total += m;
+        s.messageSizeAvg = static_cast<double>(total) /
+                           static_cast<double>(ch.messageSizes.size());
+    }
+
+    s.flopsPerWord = s.wordsMax > 0 ? static_cast<double>(s.flopsMax) /
+                                          static_cast<double>(s.wordsMax)
+                                    : 0.0;
+    s.bisectionWords = ch.bisectionWords;
+
+    // Paper §3.4: the overestimate bound.  Equal to 1 when some PE
+    // attains both maxima simultaneously.
+    if (s.wordsMax > 0 && s.blocksMax > 0) {
+        double min_term = 1.0; // beta never exceeds 2
+        for (const PeLoad &pe : ch.pes) {
+            if (pe.words <= 0 || pe.blocks <= 0)
+                continue;
+            const double cmax = static_cast<double>(s.wordsMax);
+            const double bmax = static_cast<double>(s.blocksMax);
+            const double ci = static_cast<double>(pe.words);
+            const double bi = static_cast<double>(pe.blocks);
+            const double term =
+                std::max(cmax * (bmax - bi) / (ci * bmax),
+                         bmax * (cmax - ci) / (bi * cmax));
+            min_term = std::min(min_term, term);
+        }
+        s.beta = 1.0 + min_term;
+    }
+    return s;
+}
+
+} // namespace quake::core

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Machine-independent characterization of one parallel SMVP instance —
+ * the quantities the paper's models consume (Figure 4): per-PE flops F,
+ * communication words C_i, communication blocks B_i, the message-size
+ * distribution, and the bisection volume.  These are pure application +
+ * partitioner properties; quake::parallel produces them from a mesh and
+ * a partition, and the models in perf_model.h turn them into
+ * communication-system requirements.
+ */
+
+#ifndef QUAKE98_CORE_CHARACTERIZATION_H_
+#define QUAKE98_CORE_CHARACTERIZATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace quake::core
+{
+
+/** Per-PE load for one SMVP (paper Figure 4 symbols F, C_i, B_i). */
+struct PeLoad
+{
+    std::int64_t flops = 0;  ///< F: adds+multiplies in the local SMVP
+    std::int64_t words = 0;  ///< C_i: 64-bit words sent + received
+    std::int64_t blocks = 0; ///< B_i: blocks sent + received
+};
+
+/** A machine-independent description of one parallel SMVP instance. */
+struct SmvpCharacterization
+{
+    std::string name;     ///< e.g. "sf2/128"
+    int numPes = 0;       ///< p, the number of subdomains
+    std::vector<PeLoad> pes;
+
+    /**
+     * Size in words of every directed message (maximally aggregated:
+     * one message per ordered PE pair that shares nodes).
+     */
+    std::vector<std::int64_t> messageSizes;
+
+    /**
+     * Words crossing the fixed bisection {0..p/2-1} | {p/2..p-1} in both
+     * directions (paper §4.2's V).
+     */
+    std::int64_t bisectionWords = 0;
+};
+
+/** The derived row of the paper's Figure 7, plus the Figure 6 bound. */
+struct CharacterizationSummary
+{
+    std::int64_t flopsMax = 0;      ///< F (max over PEs)
+    double flopsMean = 0.0;         ///< mean F_i, for balance reporting
+    std::int64_t wordsMax = 0;      ///< C_max
+    std::int64_t blocksMax = 0;     ///< B_max
+    double messageSizeAvg = 0.0;    ///< M_avg (words)
+    double flopsPerWord = 0.0;      ///< F / C_max
+    double beta = 1.0;              ///< error bound on T_c (paper §3.4)
+    std::int64_t bisectionWords = 0;
+    double flopBalance = 1.0;       ///< max F_i / mean F_i
+
+    /**
+     * Communication balance: C_max / mean C_i and B_max / mean B_i
+     * over communicating PEs.  Ref [15]'s observation — partitioners
+     * balance computation well but words and blocks less well — is
+     * exactly why the §3.4 beta bound is needed; these make it
+     * measurable.
+     */
+    double wordBalance = 1.0;
+    double blockBalance = 1.0;
+};
+
+/**
+ * Reduce a characterization to the paper's summary statistics.
+ *
+ * The beta bound is computed exactly as in §3.4:
+ *   beta = 1 + min over PEs i of
+ *            max( C_max (B_max - B_i) / (C_i B_max),
+ *                 B_max (C_max - C_i) / (B_i C_max) ).
+ * PEs with zero words or blocks are skipped in the min (an isolated PE
+ * communicates nothing and cannot bound the overestimate).
+ */
+CharacterizationSummary summarize(const SmvpCharacterization &ch);
+
+} // namespace quake::core
+
+#endif // QUAKE98_CORE_CHARACTERIZATION_H_

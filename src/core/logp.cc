@@ -1,0 +1,71 @@
+#include "core/logp.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace quake::core
+{
+
+LogGpParams
+LogGpParams::fromBlockModel(double tl, double tw, double wire_latency,
+                            double message_gap)
+{
+    QUAKE_EXPECT(tl >= 0 && tw >= 0, "tl and tw must be nonnegative");
+    QUAKE_EXPECT(wire_latency >= 0 && message_gap >= 0,
+                 "latency and gap must be nonnegative");
+    LogGpParams p;
+    p.overhead = tl;
+    p.gapPerWord = tw;
+    p.latency = wire_latency;
+    p.gap = message_gap;
+    return p;
+}
+
+LogGpPhase
+logGpCommTime(const SmvpCharacterization &ch, const LogGpParams &params)
+{
+    QUAKE_EXPECT(!ch.pes.empty(), "characterization has no PEs");
+
+    LogGpPhase phase;
+    for (const PeLoad &pe : ch.pes) {
+        if (pe.blocks <= 0) {
+            // PE communicates nothing; costs only the barrier.
+            continue;
+        }
+        // B_i counts blocks sent + received; each costs one overhead o
+        // and is separated from its neighbour by at least max(g, its
+        // own gap train).  Word payload: (C_i - B_i) extra words at G
+        // each ((k-1) per message, summed over B_i messages of C_i
+        // total words).
+        const double msgs = static_cast<double>(pe.blocks);
+        const double words = static_cast<double>(pe.words);
+        const double overhead_part = msgs * params.overhead;
+        const double gap_part =
+            msgs > 1 ? (msgs - 1) * params.gap : 0.0;
+        const double payload_part =
+            std::max(0.0, words - msgs) * params.gapPerWord;
+        const double t = overhead_part + gap_part + payload_part +
+                         params.latency;
+        if (t > phase.tComm) {
+            phase.tComm = t;
+            phase.commOfMaxPe = overhead_part;
+        }
+    }
+    return phase;
+}
+
+double
+blockModelCommTime(const SmvpCharacterization &ch, double tl, double tw)
+{
+    QUAKE_EXPECT(!ch.pes.empty(), "characterization has no PEs");
+    double worst = 0.0;
+    for (const PeLoad &pe : ch.pes) {
+        const double t = static_cast<double>(pe.blocks) * tl +
+                         static_cast<double>(pe.words) * tw;
+        worst = std::max(worst, t);
+    }
+    return worst;
+}
+
+} // namespace quake::core

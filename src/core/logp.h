@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The LogP/LogGP view of the SMVP communication phase (paper §3.3).
+ *
+ * The paper situates its model against LogP (Culler et al., ref [4]):
+ * "our T_l parameter is similar to the overhead parameter o in LogP",
+ * while T_f, T_w, F, B_max, C_max "have no counterparts".  This module
+ * makes the correspondence precise using LogGP (LogP with a Gap-per-
+ * byte G for long messages):
+ *
+ *   per directed message of k words:  o_send + (k - 1) G + L + o_recv
+ *   per-PE phase time: sum of its send overheads and gaps + sum of its
+ *   receive overheads and gaps (+ one wire latency L on the critical
+ *   path)
+ *
+ * With o = T_l, G = T_w, and L -> 0 this reduces exactly to the
+ * paper's Equation (2) accounting (each PE pays B_i block overheads
+ * and ~C_i word times), which is the comparison the bench prints.
+ */
+
+#ifndef QUAKE98_CORE_LOGP_H_
+#define QUAKE98_CORE_LOGP_H_
+
+#include "core/characterization.h"
+
+namespace quake::core
+{
+
+/** LogGP machine parameters (seconds; G is per 64-bit word here). */
+struct LogGpParams
+{
+    double latency = 0.0;  ///< L: wire latency
+    double overhead = 0.0; ///< o: per-message CPU overhead (each side)
+    double gap = 0.0;      ///< g: minimum inter-message gap
+    double gapPerWord = 0.0; ///< G: per-word gap for long messages
+
+    /** The paper's correspondence: o = T_l, G = T_w, L and g chosen. */
+    static LogGpParams fromBlockModel(double tl, double tw,
+                                      double wire_latency = 0.0,
+                                      double message_gap = 0.0);
+};
+
+/** Per-phase times under the LogGP accounting. */
+struct LogGpPhase
+{
+    double tComm = 0.0;       ///< max over PEs of the phase time
+    double commOfMaxPe = 0.0; ///< the same PE's overhead-only portion
+};
+
+/**
+ * LogGP time of the SMVP exchange phase for `ch`.  Each PE serializes
+ * its sends (o + (k-1)G each, separated by at least g) and its
+ * receives likewise; one wire latency L sits on the critical path.
+ * Message sizes per PE are derived from the characterization: each
+ * PE's messages are its share of ch.messageSizes (B_i/2 sends of
+ * C_i / B_i words on average) — exact per-message sizes are not needed
+ * because the accounting is linear in them.
+ */
+LogGpPhase logGpCommTime(const SmvpCharacterization &ch,
+                         const LogGpParams &params);
+
+/**
+ * The paper's Equation (2) communication time for the same inputs:
+ * max over PEs of B_i * T_l + C_i * T_w.  Provided here so callers can
+ * print the two models side by side.
+ */
+double blockModelCommTime(const SmvpCharacterization &ch, double tl,
+                          double tw);
+
+} // namespace quake::core
+
+#endif // QUAKE98_CORE_LOGP_H_

@@ -1,0 +1,89 @@
+#include "core/param_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace quake::core
+{
+
+BlockFit
+fitBlockModel(const std::vector<TransferSample> &samples)
+{
+    QUAKE_EXPECT(samples.size() >= 2, "need at least two samples");
+
+    double min_k = samples.front().words, max_k = min_k;
+    double sum_k = 0, sum_t = 0;
+    for (const TransferSample &s : samples) {
+        QUAKE_EXPECT(s.words > 0 && s.seconds >= 0,
+                     "samples need positive sizes, nonnegative times");
+        min_k = std::min(min_k, s.words);
+        max_k = std::max(max_k, s.words);
+        sum_k += s.words;
+        sum_t += s.seconds;
+    }
+    QUAKE_EXPECT(max_k > min_k, "need at least two distinct block sizes");
+
+    const double n = static_cast<double>(samples.size());
+    const double mean_k = sum_k / n;
+    const double mean_t = sum_t / n;
+    double sxx = 0, sxy = 0, stt = 0;
+    for (const TransferSample &s : samples) {
+        sxx += (s.words - mean_k) * (s.words - mean_k);
+        sxy += (s.words - mean_k) * (s.seconds - mean_t);
+        stt += (s.seconds - mean_t) * (s.seconds - mean_t);
+    }
+
+    BlockFit fit;
+    fit.tw = sxy / sxx;
+    fit.tl = mean_t - fit.tw * mean_k;
+    if (fit.tl < 0)
+        fit.tl = 0; // latency below timer resolution
+    QUAKE_EXPECT(fit.tw > 0,
+                 "fitted per-word time is not positive; the block "
+                 "model does not describe these samples");
+
+    if (stt > 0) {
+        double ss_res = 0;
+        for (const TransferSample &s : samples) {
+            const double pred = fit.tl + fit.tw * s.words;
+            ss_res += (s.seconds - pred) * (s.seconds - pred);
+        }
+        fit.rSquared = std::max(0.0, 1.0 - ss_res / stt);
+    } else {
+        fit.rSquared = 0.0;
+    }
+    return fit;
+}
+
+BlockFit
+estimateMachine(const TransferFn &transfer,
+                const std::vector<std::int64_t> &sizes, int repetitions)
+{
+    QUAKE_EXPECT(repetitions >= 1, "need at least one repetition");
+    QUAKE_EXPECT(sizes.size() >= 2, "need at least two block sizes");
+
+    std::vector<TransferSample> samples;
+    samples.reserve(sizes.size());
+    for (std::int64_t k : sizes) {
+        QUAKE_EXPECT(k > 0, "block sizes must be positive");
+        double total = 0;
+        for (int r = 0; r < repetitions; ++r)
+            total += transfer(k);
+        samples.push_back(TransferSample{static_cast<double>(k),
+                                         total / repetitions});
+    }
+    return fitBlockModel(samples);
+}
+
+std::vector<std::int64_t>
+standardBlockLadder()
+{
+    std::vector<std::int64_t> sizes;
+    for (std::int64_t k = 1; k <= 65'536; k *= 2)
+        sizes.push_back(k);
+    return sizes;
+}
+
+} // namespace quake::core

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Estimating the machine constants T_l and T_w from measurements —
+ * the "simple methodology for estimating these parameters on real
+ * systems" the paper defers to its companion technical report (§3.3).
+ *
+ * A block transfer of k words costs T_l + k*T_w, so a set of measured
+ * (k_i, t_i) samples determines (T_l, T_w) by ordinary least squares;
+ * the fit quality (R^2) tells whether the linear block model holds on
+ * the machine at all.  estimateMachine() runs the whole recipe the way
+ * the paper's authors would have on the T3E: time a ladder of block
+ * sizes, fit the line, sanity-check the residuals.
+ */
+
+#ifndef QUAKE98_CORE_PARAM_FIT_H_
+#define QUAKE98_CORE_PARAM_FIT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace quake::core
+{
+
+/** One timed transfer: a block of `words` took `seconds`. */
+struct TransferSample
+{
+    double words = 0.0;
+    double seconds = 0.0;
+};
+
+/** Result of the least-squares fit t = T_l + k * T_w. */
+struct BlockFit
+{
+    double tl = 0.0;       ///< intercept: block latency (seconds)
+    double tw = 0.0;       ///< slope: seconds per word
+    double rSquared = 0.0; ///< goodness of fit in [0, 1]
+
+    /** Burst bandwidth implied by the slope, bytes/second. */
+    double burstBandwidthBytes() const { return 8.0 / tw; }
+};
+
+/**
+ * Ordinary least squares on the samples.  Requires at least two
+ * distinct block sizes; throws FatalError otherwise.  A negative
+ * fitted intercept is clamped to zero (measurement noise on machines
+ * whose latency is below timer resolution).
+ */
+BlockFit fitBlockModel(const std::vector<TransferSample> &samples);
+
+/** A transfer function: seconds to move a block of `words` words. */
+using TransferFn = std::function<double(std::int64_t words)>;
+
+/**
+ * The full recipe: time `repetitions` transfers at each block size in
+ * `sizes` through `transfer`, average, and fit.  `transfer` may be a
+ * real communication call or a machine model (tests use the latter to
+ * verify the recipe recovers known constants, including under noise).
+ */
+BlockFit estimateMachine(const TransferFn &transfer,
+                         const std::vector<std::int64_t> &sizes,
+                         int repetitions = 3);
+
+/**
+ * The standard block-size ladder used by the estimate: powers of two
+ * from 1 to 64K words (the range of real SMVP messages per Figure 7).
+ */
+std::vector<std::int64_t> standardBlockLadder();
+
+} // namespace quake::core
+
+#endif // QUAKE98_CORE_PARAM_FIT_H_

@@ -1,0 +1,143 @@
+#include "core/perf_model.h"
+
+#include "common/error.h"
+
+namespace quake::core
+{
+
+SmvpShape
+SmvpShape::fromSummary(const CharacterizationSummary &s)
+{
+    SmvpShape shape;
+    shape.flops = static_cast<double>(s.flopsMax);
+    shape.wordsMax = static_cast<double>(s.wordsMax);
+    shape.blocksMax = static_cast<double>(s.blocksMax);
+    return shape;
+}
+
+namespace
+{
+
+void
+checkShape(const SmvpShape &shape)
+{
+    QUAKE_EXPECT(shape.flops > 0, "shape needs positive flops");
+    QUAKE_EXPECT(shape.wordsMax > 0, "shape needs positive wordsMax");
+}
+
+void
+checkEfficiency(double e)
+{
+    QUAKE_EXPECT(e > 0.0 && e < 1.0,
+                 "target efficiency must be in (0, 1), got " << e);
+}
+
+} // namespace
+
+double
+requiredTc(const SmvpShape &shape, double e, double tf)
+{
+    checkShape(shape);
+    checkEfficiency(e);
+    QUAKE_EXPECT(tf > 0, "tf must be positive");
+    return (shape.flops / shape.wordsMax) * ((1.0 - e) / e) * tf;
+}
+
+double
+requiredSustainedBandwidth(const SmvpShape &shape, double e, double tf)
+{
+    return bandwidthFromTc(requiredTc(shape, e, tf));
+}
+
+double
+achievedEfficiency(const SmvpShape &shape, double tf, double tc)
+{
+    checkShape(shape);
+    QUAKE_EXPECT(tf > 0 && tc >= 0, "tf must be positive, tc nonnegative");
+    const double t_comp = shape.flops * tf;
+    const double t_comm = shape.wordsMax * tc;
+    return t_comp / (t_comp + t_comm);
+}
+
+double
+tcFromBlocks(const SmvpShape &shape, double tl, double tw)
+{
+    checkShape(shape);
+    QUAKE_EXPECT(shape.blocksMax > 0, "shape needs positive blocksMax");
+    QUAKE_EXPECT(tl >= 0 && tw >= 0, "tl and tw must be nonnegative");
+    return (shape.blocksMax / shape.wordsMax) * tl + tw;
+}
+
+double
+latencyBudget(const SmvpShape &shape, double tc_target, double tw)
+{
+    checkShape(shape);
+    QUAKE_EXPECT(shape.blocksMax > 0, "shape needs positive blocksMax");
+    QUAKE_EXPECT(tc_target > 0 && tw >= 0,
+                 "tc_target must be positive, tw nonnegative");
+    return (tc_target - tw) * shape.wordsMax / shape.blocksMax;
+}
+
+double
+latencyForBurstBandwidth(const SmvpShape &shape, double tc_target,
+                         double burst_bytes_per_sec)
+{
+    QUAKE_EXPECT(burst_bytes_per_sec > 0,
+                 "burst bandwidth must be positive");
+    const double tw = kBytesPerWord / burst_bytes_per_sec;
+    return latencyBudget(shape, tc_target, tw);
+}
+
+HalfBandwidthPoint
+halfBandwidthPoint(const SmvpShape &shape, double tc_target)
+{
+    checkShape(shape);
+    QUAKE_EXPECT(shape.blocksMax > 0, "shape needs positive blocksMax");
+    QUAKE_EXPECT(tc_target > 0, "tc_target must be positive");
+
+    const double t_comm = shape.wordsMax * tc_target;
+    HalfBandwidthPoint point;
+    // C_max * T_w = T_comm / 2  =>  T_w = T_comm / (2 C_max) = tc / 2.
+    const double tw = t_comm / (2.0 * shape.wordsMax);
+    point.burstBandwidthBytes = kBytesPerWord / tw;
+    // B_max * T_l = T_comm / 2.
+    point.latency = t_comm / (2.0 * shape.blocksMax);
+    return point;
+}
+
+double
+requiredBisectionBandwidth(const SmvpShape &shape,
+                           std::int64_t bisection_words, double e,
+                           double tf)
+{
+    QUAKE_EXPECT(bisection_words >= 0, "negative bisection volume");
+    const double t_comm = shape.wordsMax * requiredTc(shape, e, tf);
+    if (t_comm <= 0)
+        return 0.0;
+    return static_cast<double>(bisection_words) * kBytesPerWord / t_comm;
+}
+
+SmvpShape
+withFixedBlockSize(const SmvpShape &shape, double block_words)
+{
+    QUAKE_EXPECT(block_words > 0, "block size must be positive");
+    SmvpShape out = shape;
+    out.blocksMax = shape.wordsMax / block_words;
+    return out;
+}
+
+double
+tfFromMflops(double mflops)
+{
+    QUAKE_EXPECT(mflops > 0, "MFLOPS rating must be positive");
+    return 1.0 / (mflops * 1e6);
+}
+
+double
+bandwidthFromTc(double tc)
+{
+    QUAKE_EXPECT(tc > 0, "tc must be positive");
+    return kBytesPerWord / tc;
+}
+
+} // namespace quake::core

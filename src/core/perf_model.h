@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The paper's SMVP performance models (§3) and the requirement analyses
+ * built on them (§4).
+ *
+ * Model of one global SMVP (Equation 1, the high-level view):
+ *
+ *     T_smvp = T_comp + T_comm
+ *     T_comp = F * T_f
+ *     T_comm = C_max * T_c
+ *     E      = T_comp / T_smvp
+ *  => T_c    = (F / C_max) * ((1 - E) / E) * T_f
+ *
+ * Block-level decomposition (Equation 2, the low-level view):
+ *
+ *     T_comm = B_max * T_l + C_max * T_w
+ *  => T_c    = (B_max / C_max) * T_l + T_w
+ *
+ * All times are in seconds; rates derived from them are in flops/sec or
+ * words/sec (a word is 64 bits; multiply by 8 for bytes).
+ */
+
+#ifndef QUAKE98_CORE_PERF_MODEL_H_
+#define QUAKE98_CORE_PERF_MODEL_H_
+
+#include <vector>
+
+#include "core/characterization.h"
+
+namespace quake::core
+{
+
+/** Bytes per communication word (the paper uses 64-bit values). */
+inline constexpr double kBytesPerWord = 8.0;
+
+/** Application-side inputs of Equation (1): F and C_max for one SMVP. */
+struct SmvpShape
+{
+    double flops = 0.0;    ///< F: flops per PE per SMVP
+    double wordsMax = 0.0; ///< C_max: max words per PE per SMVP
+    double blocksMax = 0.0; ///< B_max: max blocks per PE per SMVP
+
+    /** Extract from a characterization summary. */
+    static SmvpShape fromSummary(const CharacterizationSummary &s);
+};
+
+// ---------------------------------------------------------------------
+// Equation (1): sustained bandwidth requirement.
+// ---------------------------------------------------------------------
+
+/**
+ * Required amortized time per communication word T_c (seconds) to hit
+ * efficiency `e` with per-flop time `tf`.
+ *
+ * @param shape Application shape (uses flops and wordsMax).
+ * @param e     Target efficiency in (0, 1).
+ * @param tf    Amortized seconds per flop (inverse sustained MFLOPS).
+ */
+double requiredTc(const SmvpShape &shape, double e, double tf);
+
+/** Sustained per-PE bandwidth T_c^-1 in bytes/second for the same goal. */
+double requiredSustainedBandwidth(const SmvpShape &shape, double e,
+                                  double tf);
+
+/**
+ * Efficiency achieved when the communication system delivers amortized
+ * word time `tc`: E = T_comp / (T_comp + T_comm).
+ */
+double achievedEfficiency(const SmvpShape &shape, double tf, double tc);
+
+// ---------------------------------------------------------------------
+// Equation (2): block latency / burst bandwidth decomposition.
+// ---------------------------------------------------------------------
+
+/** T_c produced by block latency `tl` and per-word burst time `tw`. */
+double tcFromBlocks(const SmvpShape &shape, double tl, double tw);
+
+/**
+ * Largest block latency T_l that still meets a target T_c given burst
+ * word time `tw` (Equation 2 solved for T_l).  Returns a negative value
+ * when even zero latency cannot meet the target (tw >= tc).
+ */
+double latencyBudget(const SmvpShape &shape, double tc_target, double tw);
+
+/**
+ * One point of the Figure 10 tradeoff curve: for a given burst bandwidth
+ * (bytes/sec), the admissible block latency (seconds).
+ */
+double latencyForBurstBandwidth(const SmvpShape &shape, double tc_target,
+                                double burst_bytes_per_sec);
+
+/** The half-bandwidth design point of §4.4. */
+struct HalfBandwidthPoint
+{
+    double burstBandwidthBytes = 0.0; ///< burst bandwidth T_w^-1 (bytes/s)
+    double latency = 0.0;             ///< half-bandwidth latency T_l (s)
+};
+
+/**
+ * The design point where block latency and burst transfer each consume
+ * half of the communication phase:
+ *   C_max * T_w = B_max * T_l = T_comm / 2.
+ */
+HalfBandwidthPoint halfBandwidthPoint(const SmvpShape &shape,
+                                      double tc_target);
+
+// ---------------------------------------------------------------------
+// Bisection bandwidth (§4.2).
+// ---------------------------------------------------------------------
+
+/**
+ * Sustained bisection bandwidth (bytes/sec) required so that the
+ * `bisection_words` crossing the fixed bisection fit inside the
+ * communication phase T_comm = C_max * T_c.
+ */
+double requiredBisectionBandwidth(const SmvpShape &shape,
+                                  std::int64_t bisection_words, double e,
+                                  double tf);
+
+// ---------------------------------------------------------------------
+// Fixed-size blocks (§4.4, Figure 10b): cache-line style transfers.
+// ---------------------------------------------------------------------
+
+/**
+ * Reshape a characterization for fixed `block_words`-word transfer units:
+ * B_max becomes C_max / block_words (the paper's modeling choice for
+ * shared-memory machines with cache-line interchange).
+ */
+SmvpShape withFixedBlockSize(const SmvpShape &shape, double block_words);
+
+// ---------------------------------------------------------------------
+// Convenience conversions.
+// ---------------------------------------------------------------------
+
+/** seconds-per-flop from a sustained MFLOPS rating. */
+double tfFromMflops(double mflops);
+
+/** bytes/second from an amortized per-word time. */
+double bandwidthFromTc(double tc);
+
+} // namespace quake::core
+
+#endif // QUAKE98_CORE_PERF_MODEL_H_

@@ -1,0 +1,176 @@
+#include "core/reference.h"
+
+#include "common/error.h"
+
+namespace quake::core::reference
+{
+
+namespace
+{
+
+constexpr std::array<MeshSizes, kNumMeshes> kFigure2 = {{
+    {7'294, 35'025, 44'922},          // sf10
+    {30'169, 151'239, 190'377},       // sf5
+    {378'747, 2'067'739, 2'509'064},  // sf2
+    {2'461'694, 13'980'162, 16'684'112}, // sf1
+}};
+
+/**
+ * Figure 7, transcribed row group by row group.  Outer index: subdomain
+ * count (4, 8, 16, 32, 64, 128); inner index: mesh (sf10, sf5, sf2, sf1).
+ */
+constexpr Figure7Entry kFigure7[6][kNumMeshes] = {
+    // 4 subdomains
+    {{453'924, 2'352, 6, 369, 193},
+     {1'899'396, 7'746, 6, 1'290, 245},
+     {24'640'110, 55'338, 6, 8'682, 445},
+     {162'372'024, 186'162, 6, 27'540, 872}},
+    // 8 subdomains
+    {{235'566, 2'550, 12, 237, 92},
+     {970'740, 7'080, 12, 699, 137},
+     {12'414'006, 35'148, 10, 4'152, 353},
+     {81'602'442, 151'764, 14, 13'761, 538}},
+    // 16 subdomains
+    {{122'742, 2'208, 18, 159, 56},
+     {496'872, 5'292, 20, 342, 94},
+     {6'278'076, 28'482, 16, 1'920, 220},
+     {41'116'374, 119'280, 18, 7'434, 345}},
+    // 32 subdomains
+    {{64'980, 2'172, 30, 87, 30},
+     {257'004, 4'476, 30, 213, 57},
+     {3'191'436, 24'018, 26, 1'239, 133},
+     {20'740'734, 87'228, 26, 4'044, 238}},
+    // 64 subdomains
+    {{34'956, 1'764, 38, 57, 20},
+     {134'424, 4'296, 40, 135, 31},
+     {1'632'708, 20'520, 36, 765, 80},
+     {10'511'586, 73'062, 38, 2'712, 144}},
+    // 128 subdomains
+    {{18'954, 1'740, 62, 36, 11},
+     {70'956, 3'360, 52, 135, 21},
+     {838'224, 16'260, 50, 459, 52},
+     {5'332'806, 51'048, 46, 1'515, 104}},
+};
+
+/** Figure 6: beta bounds, same index order as kFigure7. */
+constexpr double kFigure6[6][kNumMeshes] = {
+    {1.00, 1.00, 1.00, 1.00}, // 4
+    {1.00, 1.00, 1.00, 1.00}, // 8
+    {1.09, 1.10, 1.07, 1.00}, // 16
+    {1.01, 1.01, 1.15, 1.00}, // 32
+    {1.03, 1.08, 1.11, 1.05}, // 64
+    {1.03, 1.04, 1.04, 1.11}, // 128
+};
+
+int
+subdomainIndex(int subdomains)
+{
+    for (std::size_t i = 0; i < kSubdomainCounts.size(); ++i)
+        if (kSubdomainCounts[i] == subdomains)
+            return static_cast<int>(i);
+    quake::common::fatal("subdomain count " + std::to_string(subdomains) +
+                         " is not tabulated in the paper (use 4, 8, 16, "
+                         "32, 64, or 128)");
+}
+
+} // namespace
+
+std::string
+paperMeshName(PaperMesh mesh)
+{
+    switch (mesh) {
+      case PaperMesh::kSf10: return "sf10";
+      case PaperMesh::kSf5: return "sf5";
+      case PaperMesh::kSf2: return "sf2";
+      case PaperMesh::kSf1: return "sf1";
+    }
+    QUAKE_PANIC("unknown PaperMesh");
+}
+
+PaperMesh
+paperMeshFromName(const std::string &name)
+{
+    if (name == "sf10")
+        return PaperMesh::kSf10;
+    if (name == "sf5")
+        return PaperMesh::kSf5;
+    if (name == "sf2")
+        return PaperMesh::kSf2;
+    if (name == "sf1")
+        return PaperMesh::kSf1;
+    quake::common::fatal("unknown paper mesh '" + name + "'");
+}
+
+const MeshSizes &
+figure2(PaperMesh mesh)
+{
+    return kFigure2[static_cast<int>(mesh)];
+}
+
+const Figure7Entry &
+figure7(PaperMesh mesh, int subdomains)
+{
+    return kFigure7[subdomainIndex(subdomains)][static_cast<int>(mesh)];
+}
+
+double
+figure6Beta(PaperMesh mesh, int subdomains)
+{
+    return kFigure6[subdomainIndex(subdomains)][static_cast<int>(mesh)];
+}
+
+SmvpShape
+shapeFor(PaperMesh mesh, int subdomains)
+{
+    const Figure7Entry &e = figure7(mesh, subdomains);
+    SmvpShape shape;
+    shape.flops = static_cast<double>(e.flops);
+    shape.wordsMax = static_cast<double>(e.wordsMax);
+    shape.blocksMax = static_cast<double>(e.blocksMax);
+    return shape;
+}
+
+const CommIntensity &
+exflowIntensity()
+{
+    static const CommIntensity intensity{2.0, 144.0, 66.0, 2.2};
+    return intensity;
+}
+
+const CommIntensity &
+quakeSf2Intensity()
+{
+    static const CommIntensity intensity{2.0, 155.0, 60.0, 3.6};
+    return intensity;
+}
+
+CommIntensity
+intensityFrom(const SmvpCharacterization &ch, double memory_per_pe_mbytes)
+{
+    QUAKE_EXPECT(!ch.pes.empty(), "characterization has no PEs");
+
+    double total_flops = 0.0;
+    for (const PeLoad &pe : ch.pes)
+        total_flops += static_cast<double>(pe.flops);
+
+    double total_words = 0.0;
+    for (std::int64_t m : ch.messageSizes)
+        total_words += static_cast<double>(m);
+    const double total_messages =
+        static_cast<double>(ch.messageSizes.size());
+
+    CommIntensity intensity;
+    intensity.memoryPerPeMBytes = memory_per_pe_mbytes;
+    const double mflops = total_flops / 1e6;
+    intensity.commKBytesPerMflop =
+        mflops > 0 ? total_words * kBytesPerWord / 1e3 / mflops : 0.0;
+    intensity.messagesPerMflop =
+        mflops > 0 ? total_messages / mflops : 0.0;
+    intensity.avgMessageKBytes =
+        total_messages > 0
+            ? total_words * kBytesPerWord / 1e3 / total_messages
+            : 0.0;
+    return intensity;
+}
+
+} // namespace quake::core::reference

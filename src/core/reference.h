@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The paper's published measurements, embedded as data.
+ *
+ * Figures 8-11 of the paper are *derived* figures: they apply Equations
+ * (1) and (2) to the application properties tabulated in Figure 7.  With
+ * those properties embedded here, the benchmark harnesses can regenerate
+ * the derived figures exactly as the authors did, independently of the
+ * synthetic mesh pipeline (DESIGN.md §2 explains this two-mode approach).
+ */
+
+#ifndef QUAKE98_CORE_REFERENCE_H_
+#define QUAKE98_CORE_REFERENCE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/perf_model.h"
+
+namespace quake::core::reference
+{
+
+/** Index order of the Quake applications everywhere in this module. */
+enum class PaperMesh : int
+{
+    kSf10 = 0,
+    kSf5 = 1,
+    kSf2 = 2,
+    kSf1 = 3,
+};
+
+/** Number of Quake applications. */
+inline constexpr int kNumMeshes = 4;
+
+/** Subdomain counts used throughout the paper's tables. */
+inline constexpr std::array<int, 6> kSubdomainCounts = {4,  8,  16,
+                                                        32, 64, 128};
+
+/** Name ("sf10", ...) of a paper mesh. */
+std::string paperMeshName(PaperMesh mesh);
+
+/** Parse "sf10"/"sf5"/"sf2"/"sf1"; throws FatalError otherwise. */
+PaperMesh paperMeshFromName(const std::string &name);
+
+/** One column of Figure 2: mesh sizes. */
+struct MeshSizes
+{
+    std::int64_t nodes;
+    std::int64_t elements;
+    std::int64_t edges;
+};
+
+/** Figure 2 entry for a mesh. */
+const MeshSizes &figure2(PaperMesh mesh);
+
+/** One cell group of Figure 7: SMVP properties of mesh/subdomains. */
+struct Figure7Entry
+{
+    std::int64_t flops;       ///< F: flops per PE
+    std::int64_t wordsMax;    ///< C_max
+    std::int64_t blocksMax;   ///< B_max
+    std::int64_t messageAvg;  ///< M_avg (words), as printed in the paper
+    std::int64_t flopsPerWord; ///< F/C_max, as printed (rounded)
+};
+
+/**
+ * Figure 7 entry for (mesh, subdomains); `subdomains` must be one of
+ * kSubdomainCounts.
+ */
+const Figure7Entry &figure7(PaperMesh mesh, int subdomains);
+
+/** Figure 6: the beta error bound for (mesh, subdomains). */
+double figure6Beta(PaperMesh mesh, int subdomains);
+
+/** Equation-(1)/(2) input shape built from the Figure 7 entry. */
+SmvpShape shapeFor(PaperMesh mesh, int subdomains);
+
+// ---------------------------------------------------------------------
+// Machine constants quoted in the paper (§3.1, §3.3, §4).
+// ---------------------------------------------------------------------
+
+inline constexpr double kCrayT3dTf = 30e-9; ///< measured T_f, T3D (§3.1)
+inline constexpr double kCrayT3eTf = 14e-9; ///< measured T_f, T3E (§3.1)
+inline constexpr double kCrayT3eTl = 22e-6; ///< measured T_l, T3E (§3.3)
+inline constexpr double kCrayT3eTw = 55e-9; ///< measured T_w, T3E (§3.3)
+
+/** The paper's hypothetical machines (§4): sustained local MFLOPS. */
+inline constexpr double kCurrentMachineMflops = 100.0;
+inline constexpr double kFutureMachineMflops = 200.0;
+
+/** Efficiency grid used by Figures 8, 9, and 11. */
+inline constexpr std::array<double, 3> kEfficiencyGrid = {0.5, 0.8, 0.9};
+
+// ---------------------------------------------------------------------
+// The EXFLOW comparison (§1).
+// ---------------------------------------------------------------------
+
+/** Communication intensity of one application, per MFLOP of work. */
+struct CommIntensity
+{
+    double memoryPerPeMBytes;   ///< resident data per PE
+    double commKBytesPerMflop;  ///< communication volume / MFLOP
+    double messagesPerMflop;    ///< messages / MFLOP
+    double avgMessageKBytes;    ///< average message size
+};
+
+/** Published EXFLOW numbers (512-PE fluid dynamics code, ref [5]). */
+const CommIntensity &exflowIntensity();
+
+/** Published numbers for the comparable Quake instance (sf2/128). */
+const CommIntensity &quakeSf2Intensity();
+
+/**
+ * Derive the same intensity metrics from a characterization (aggregate
+ * over PEs: total volume / total flops, etc.).
+ */
+CommIntensity intensityFrom(const SmvpCharacterization &ch,
+                            double memory_per_pe_mbytes);
+
+} // namespace quake::core::reference
+
+#endif // QUAKE98_CORE_REFERENCE_H_

@@ -1,0 +1,98 @@
+#include "core/report.h"
+
+#include <ostream>
+
+#include "common/error.h"
+#include "common/table.h"
+
+namespace quake::core
+{
+
+AnalysisReport
+analyze(const SmvpCharacterization &ch, const AnalysisRequest &request)
+{
+    QUAKE_EXPECT(!request.mflopsGrid.empty() &&
+                     !request.efficiencyGrid.empty(),
+                 "analysis grids must be nonempty");
+    QUAKE_EXPECT(request.fixedBlockWords > 0,
+                 "fixed block size must be positive");
+
+    AnalysisReport report;
+    report.name = ch.name;
+    report.summary = summarize(ch);
+    const SmvpShape shape = SmvpShape::fromSummary(report.summary);
+    const SmvpShape fixed_shape = withFixedBlockSize(
+        shape, static_cast<double>(request.fixedBlockWords));
+
+    for (double mflops : request.mflopsGrid) {
+        for (double e : request.efficiencyGrid) {
+            const double tf = tfFromMflops(mflops);
+            const double tc = requiredTc(shape, e, tf);
+
+            AnalysisEntry entry;
+            entry.mflops = mflops;
+            entry.efficiency = e;
+            entry.sustainedBandwidthBytes = bandwidthFromTc(tc);
+            entry.bisectionBandwidthBytes = requiredBisectionBandwidth(
+                shape, report.summary.bisectionWords, e, tf);
+            entry.maximalBlocks = halfBandwidthPoint(shape, tc);
+            entry.fixedBlocks = halfBandwidthPoint(
+                fixed_shape, requiredTc(fixed_shape, e, tf));
+            entry.infiniteBurstLatency = latencyBudget(shape, tc, 0.0);
+            report.entries.push_back(entry);
+        }
+    }
+    return report;
+}
+
+void
+printReport(const AnalysisReport &report, std::ostream &os)
+{
+    using common::formatBandwidth;
+    using common::formatCount;
+    using common::formatFixed;
+    using common::formatTime;
+
+    os << "SMVP analysis: " << report.name << "\n\n";
+
+    common::Table properties({"application property", "value"});
+    const CharacterizationSummary &s = report.summary;
+    properties.addRow({"F (flops/PE, max)", formatCount(s.flopsMax)});
+    properties.addRow({"C_max (words)", formatCount(s.wordsMax)});
+    properties.addRow({"B_max (blocks)", formatCount(s.blocksMax)});
+    properties.addRow({"M_avg (words)",
+                       formatFixed(s.messageSizeAvg, 0)});
+    properties.addRow({"F/C_max", formatFixed(s.flopsPerWord, 1)});
+    properties.addRow({"beta bound", formatFixed(s.beta, 3)});
+    properties.addRow({"flop balance", formatFixed(s.flopBalance, 3)});
+    properties.addRow({"word balance", formatFixed(s.wordBalance, 3)});
+    properties.addRow({"block balance",
+                       formatFixed(s.blockBalance, 3)});
+    properties.addRow({"bisection volume (words)",
+                       formatCount(s.bisectionWords)});
+    properties.print(os);
+
+    os << "\ncommunication-system requirements:\n";
+    common::Table reqs({"MFLOPS", "E", "sustained bw", "bisection bw",
+                        "burst (max blk)", "T_l (max blk)",
+                        "burst (fixed blk)", "T_l (fixed blk)",
+                        "T_l @ inf burst"});
+    for (const AnalysisEntry &entry : report.entries) {
+        reqs.addRow({formatFixed(entry.mflops, 0),
+                     formatFixed(entry.efficiency, 2),
+                     formatBandwidth(entry.sustainedBandwidthBytes),
+                     entry.bisectionBandwidthBytes > 0
+                         ? formatBandwidth(entry.bisectionBandwidthBytes)
+                         : "n/a",
+                     formatBandwidth(
+                         entry.maximalBlocks.burstBandwidthBytes),
+                     formatTime(entry.maximalBlocks.latency),
+                     formatBandwidth(
+                         entry.fixedBlocks.burstBandwidthBytes),
+                     formatTime(entry.fixedBlocks.latency),
+                     formatTime(entry.infiniteBurstLatency)});
+    }
+    reqs.print(os);
+}
+
+} // namespace quake::core

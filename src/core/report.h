@@ -1,0 +1,64 @@
+/**
+ * @file
+ * One-call analysis report: everything Section 4 computes, generated
+ * for an arbitrary SMVP characterization and machine assumption grid.
+ * This is the library's "apply the paper to *your* application"
+ * entry point (examples/analyze.cpp drives it).
+ */
+
+#ifndef QUAKE98_CORE_REPORT_H_
+#define QUAKE98_CORE_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/characterization.h"
+#include "core/requirements.h"
+
+namespace quake::core
+{
+
+/** Inputs of one analysis. */
+struct AnalysisRequest
+{
+    /** Sustained MFLOPS assumptions (the paper uses 100 and 200). */
+    std::vector<double> mflopsGrid = {100.0, 200.0};
+
+    /** Target efficiencies (the paper uses 0.5, 0.8, 0.9). */
+    std::vector<double> efficiencyGrid = {0.5, 0.8, 0.9};
+
+    /** Fixed block size (words) for the cache-line variant (§4.4). */
+    int fixedBlockWords = 4;
+};
+
+/** One operating point's full requirement set. */
+struct AnalysisEntry
+{
+    double mflops = 0.0;
+    double efficiency = 0.0;
+    double sustainedBandwidthBytes = 0.0;
+    double bisectionBandwidthBytes = 0.0;
+    HalfBandwidthPoint maximalBlocks;
+    HalfBandwidthPoint fixedBlocks;
+    double infiniteBurstLatency = 0.0; ///< maximal-block T_l ceiling
+};
+
+/** The complete analysis. */
+struct AnalysisReport
+{
+    std::string name;
+    CharacterizationSummary summary;
+    std::vector<AnalysisEntry> entries; ///< grid order: mflops-major
+};
+
+/** Run the §4 analysis over the request grid. */
+AnalysisReport analyze(const SmvpCharacterization &ch,
+                       const AnalysisRequest &request = {});
+
+/** Render the report as aligned text (the examples/benches format). */
+void printReport(const AnalysisReport &report, std::ostream &os);
+
+} // namespace quake::core
+
+#endif // QUAKE98_CORE_REPORT_H_

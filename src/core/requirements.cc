@@ -1,0 +1,73 @@
+#include "core/requirements.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace quake::core
+{
+
+std::vector<RequirementRow>
+requirementSweep(const SmvpShape &shape,
+                 const std::vector<OperatingPoint> &grid,
+                 std::int64_t bisection_words)
+{
+    std::vector<RequirementRow> rows;
+    rows.reserve(grid.size());
+    for (const OperatingPoint &point : grid) {
+        RequirementRow row;
+        row.point = point;
+        const double tf = tfFromMflops(point.mflops);
+        row.tc = requiredTc(shape, point.efficiency, tf);
+        row.sustainedBandwidthBytes = bandwidthFromTc(row.tc);
+        if (bisection_words > 0) {
+            row.bisectionBandwidthBytes = requiredBisectionBandwidth(
+                shape, bisection_words, point.efficiency, tf);
+        }
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::vector<TradeoffPoint>
+tradeoffCurve(const SmvpShape &shape, double tc_target, double bw_min_bytes,
+              double bw_max_bytes, int num_points)
+{
+    QUAKE_EXPECT(num_points >= 2, "need at least two sweep points");
+    std::vector<TradeoffPoint> curve;
+    for (double bw : logspace(bw_min_bytes, bw_max_bytes, num_points)) {
+        const double tl = latencyForBurstBandwidth(shape, tc_target, bw);
+        if (tl < 0)
+            continue; // infeasible: burst time alone exceeds the budget
+        curve.push_back(TradeoffPoint{bw, tl});
+    }
+    return curve;
+}
+
+Headline
+computeHeadline(const SmvpShape &shape, double mflops, double efficiency)
+{
+    const double tf = tfFromMflops(mflops);
+    const double tc = requiredTc(shape, efficiency, tf);
+
+    Headline h;
+    h.sustainedBandwidthBytes = bandwidthFromTc(tc);
+    h.halfPoint = halfBandwidthPoint(shape, tc);
+    h.infiniteBurstLatency = latencyBudget(shape, tc, 0.0);
+    return h;
+}
+
+std::vector<double>
+logspace(double lo, double hi, int num)
+{
+    QUAKE_EXPECT(lo > 0 && hi > lo, "logspace needs 0 < lo < hi");
+    QUAKE_EXPECT(num >= 2, "logspace needs at least two points");
+    std::vector<double> out;
+    out.reserve(static_cast<std::size_t>(num));
+    const double step = std::log(hi / lo) / (num - 1);
+    for (int i = 0; i < num; ++i)
+        out.push_back(lo * std::exp(step * i));
+    return out;
+}
+
+} // namespace quake::core

@@ -1,0 +1,84 @@
+#include "core/synthetic_workloads.h"
+
+#include "common/error.h"
+
+namespace quake::core
+{
+
+SmvpCharacterization
+regularGrid3d(std::int64_t grid_n, int pe_side)
+{
+    QUAKE_EXPECT(grid_n > 0 && pe_side > 0, "sizes must be positive");
+    QUAKE_EXPECT(grid_n % pe_side == 0,
+                 "pe_side must divide grid_n (block decomposition)");
+    const std::int64_t local_side = grid_n / pe_side;
+    const std::int64_t local_cells =
+        local_side * local_side * local_side;
+    const std::int64_t face_words = local_side * local_side;
+    const int p = pe_side * pe_side * pe_side;
+
+    SmvpCharacterization ch;
+    ch.name = "grid-" + std::to_string(grid_n) + "^3/" +
+              std::to_string(p);
+    ch.numPes = p;
+
+    // Every PE is interior (periodic grid): 6 sends + 6 receives of one
+    // face each; 7-point stencil = 7 coefficients = 14 flops per cell.
+    // When pe_side == 1 (or 2, where +1 and -1 are the same peer) the
+    // distinct-neighbour count shrinks.
+    int neighbours = 6;
+    if (pe_side == 1)
+        neighbours = 0;
+    else if (pe_side == 2)
+        neighbours = 3; // +1 and -1 wrap to the same PE per axis
+
+    PeLoad load;
+    load.flops = 14 * local_cells;
+    load.words = 2 * neighbours * face_words;
+    load.blocks = 2 * neighbours;
+    ch.pes.assign(static_cast<std::size_t>(p), load);
+
+    // One directed message per (PE, neighbour).
+    ch.messageSizes.assign(
+        static_cast<std::size_t>(p) * neighbours, face_words);
+
+    // Bisection {0 .. p/2-1} | {p/2 .. p-1}: with PEs numbered
+    // x-major ((i * pe_side + j) * pe_side + k splits at i = pe_side/2),
+    // the crossing traffic is the two x-planes (one interior cut plus
+    // the periodic wrap), each pe_side^2 PE pairs exchanging both ways.
+    if (pe_side >= 2) {
+        const std::int64_t crossing_pairs =
+            2 * static_cast<std::int64_t>(pe_side) * pe_side;
+        ch.bisectionWords = 2 * crossing_pairs * face_words;
+    }
+    return ch;
+}
+
+SmvpCharacterization
+allToAll(int pes, std::int64_t words_per_peer, std::int64_t flops_per_pe)
+{
+    QUAKE_EXPECT(pes >= 2, "all-to-all needs at least two PEs");
+    QUAKE_EXPECT(words_per_peer > 0 && flops_per_pe > 0,
+                 "sizes must be positive");
+
+    SmvpCharacterization ch;
+    ch.name = "all-to-all/" + std::to_string(pes);
+    ch.numPes = pes;
+
+    PeLoad load;
+    load.flops = flops_per_pe;
+    load.words = 2 * static_cast<std::int64_t>(pes - 1) * words_per_peer;
+    load.blocks = 2 * (pes - 1);
+    ch.pes.assign(static_cast<std::size_t>(pes), load);
+
+    ch.messageSizes.assign(static_cast<std::size_t>(pes) * (pes - 1),
+                           words_per_peer);
+
+    // Bisection: each of the p/2 PEs on one side sends to the p/2 PEs
+    // on the other, both directions.
+    const std::int64_t half = pes / 2;
+    ch.bisectionWords = 2 * half * (pes - half) * words_per_peer;
+    return ch;
+}
+
+} // namespace quake::core

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Characterizations of the paper's comparison workloads.
+ *
+ * §4.1 places the Quake SMVP "in an interesting middle ground between
+ * difficult applications like the 2D FFT that require an all-to-all
+ * communication, and simple applications like regular grid problems
+ * wherein PEs communicate with at most four neighbors."  This module
+ * builds exact SmvpCharacterizations for those two poles — a 3D
+ * regular-grid stencil with block decomposition, and an all-to-all
+ * transpose — so the claim can be shown quantitatively next to the
+ * Quake numbers (bench_middle_ground).
+ */
+
+#ifndef QUAKE98_CORE_SYNTHETIC_WORKLOADS_H_
+#define QUAKE98_CORE_SYNTHETIC_WORKLOADS_H_
+
+#include "core/characterization.h"
+
+namespace quake::core
+{
+
+/**
+ * A periodic 3D regular grid of `grid_n`^3 cells updated with a
+ * 7-point stencil, block-decomposed over `pe_side`^3 PEs.  Every PE
+ * holds a (grid_n / pe_side)^3 subgrid and exchanges one face halo
+ * with each of its six neighbours per step.
+ *
+ * Flops: 2 per stencil coefficient per cell (the F = 2m convention).
+ * Requires pe_side to divide grid_n.
+ */
+SmvpCharacterization regularGrid3d(std::int64_t grid_n, int pe_side);
+
+/**
+ * An all-to-all exchange (the 2D FFT transpose pattern): every PE
+ * sends `words_per_peer` words to each of the other p-1 PEs, and
+ * performs `flops_per_pe` arithmetic.
+ */
+SmvpCharacterization allToAll(int pes, std::int64_t words_per_peer,
+                              std::int64_t flops_per_pe);
+
+} // namespace quake::core
+
+#endif // QUAKE98_CORE_SYNTHETIC_WORKLOADS_H_

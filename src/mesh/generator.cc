@@ -1,0 +1,279 @@
+#include "mesh/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace quake::mesh
+{
+
+std::string
+sfClassName(SfClass cls)
+{
+    switch (cls) {
+      case SfClass::kSf20: return "sf20";
+      case SfClass::kSf10: return "sf10";
+      case SfClass::kSf5: return "sf5";
+      case SfClass::kSf2: return "sf2";
+      case SfClass::kSf1: return "sf1";
+    }
+    QUAKE_PANIC("unknown SfClass");
+}
+
+SfClass
+sfClassFromName(const std::string &name)
+{
+    if (name == "sf20")
+        return SfClass::kSf20;
+    if (name == "sf10")
+        return SfClass::kSf10;
+    if (name == "sf5")
+        return SfClass::kSf5;
+    if (name == "sf2")
+        return SfClass::kSf2;
+    if (name == "sf1")
+        return SfClass::kSf1;
+    quake::common::fatal("unknown mesh class '" + name +
+                         "' (expected sf20|sf10|sf5|sf2|sf1)");
+}
+
+double
+sfClassPeriod(SfClass cls)
+{
+    switch (cls) {
+      case SfClass::kSf20: return 20.0;
+      case SfClass::kSf10: return 10.0;
+      case SfClass::kSf5: return 5.0;
+      case SfClass::kSf2: return 2.0;
+      case SfClass::kSf1: return 1.0;
+    }
+    QUAKE_PANIC("unknown SfClass");
+}
+
+std::int64_t
+sfClassPaperNodes(SfClass cls)
+{
+    switch (cls) {
+      case SfClass::kSf20: return 2'000; // extrapolated; not in the paper
+      case SfClass::kSf10: return 7'294;
+      case SfClass::kSf5: return 30'169;
+      case SfClass::kSf2: return 378'747;
+      case SfClass::kSf1: return 2'461'694;
+    }
+    QUAKE_PANIC("unknown SfClass");
+}
+
+MeshSpec
+MeshSpec::forClass(SfClass cls, double h_scale)
+{
+    MeshSpec spec;
+    spec.periodSeconds = sfClassPeriod(cls);
+    spec.hScale = h_scale;
+    return spec;
+}
+
+TetMesh
+buildKuhnLattice(const Aabb &box, int nx, int ny, int nz)
+{
+    QUAKE_EXPECT(nx > 0 && ny > 0 && nz > 0,
+                 "lattice resolution must be positive");
+    TetMesh mesh;
+    const Vec3 ext = box.extent();
+    const double dx = ext.x / nx;
+    const double dy = ext.y / ny;
+    const double dz = ext.z / nz;
+
+    auto nodeId = [&](int i, int j, int k) {
+        return static_cast<NodeId>((static_cast<std::int64_t>(k) * (ny + 1) +
+                                    j) * (nx + 1) + i);
+    };
+
+    mesh.reserve(static_cast<std::int64_t>(nx + 1) * (ny + 1) * (nz + 1),
+                 static_cast<std::int64_t>(nx) * ny * nz * 6);
+    for (int k = 0; k <= nz; ++k)
+        for (int j = 0; j <= ny; ++j)
+            for (int i = 0; i <= nx; ++i)
+                mesh.addNode(Vec3{box.lo.x + i * dx, box.lo.y + j * dy,
+                                  box.lo.z + k * dz});
+
+    // The six permutations of the axes: each defines one Kuhn simplex as a
+    // monotone lattice path from corner (0,0,0) to corner (1,1,1).
+    static constexpr int kPerms[6][3] = {
+        {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+    };
+
+    for (int k = 0; k < nz; ++k) {
+        for (int j = 0; j < ny; ++j) {
+            for (int i = 0; i < nx; ++i) {
+                for (const auto &perm : kPerms) {
+                    int corner[3] = {i, j, k};
+                    NodeId verts[4];
+                    verts[0] = nodeId(corner[0], corner[1], corner[2]);
+                    for (int step = 0; step < 3; ++step) {
+                        ++corner[perm[step]];
+                        verts[step + 1] =
+                            nodeId(corner[0], corner[1], corner[2]);
+                    }
+                    // Normalize orientation so the signed volume is
+                    // positive (half of the permutations are mirrored).
+                    const double vol = tetSignedVolume(
+                        mesh.node(verts[0]), mesh.node(verts[1]),
+                        mesh.node(verts[2]), mesh.node(verts[3]));
+                    if (vol < 0)
+                        std::swap(verts[2], verts[3]);
+                    mesh.addTet(verts[0], verts[1], verts[2], verts[3]);
+                }
+            }
+        }
+    }
+    return mesh;
+}
+
+namespace
+{
+
+/**
+ * Random bounded perturbation of interior vertices.  Boundary vertices
+ * keep their clamped coordinates (face nodes move within the face, edge
+ * nodes along the edge, corners stay fixed) so the domain box is exact.
+ * A move is accepted only if every incident element keeps at least a
+ * quarter of its signed volume, which both prevents inversion and bounds
+ * quality loss.
+ */
+void
+jitterMesh(TetMesh &mesh, const Aabb &box, double fraction,
+           std::uint64_t seed, std::int64_t &accepted,
+           std::int64_t &reverted)
+{
+    accepted = 0;
+    reverted = 0;
+    if (fraction <= 0)
+        return;
+
+    const std::int64_t n = mesh.numNodes();
+    const std::int64_t m = mesh.numElements();
+
+    // Node -> incident elements (CSR).
+    std::vector<std::int32_t> tet_count(static_cast<std::size_t>(n) + 1, 0);
+    for (TetId t = 0; t < m; ++t)
+        for (NodeId v : mesh.tet(t).v)
+            ++tet_count[v + 1];
+    std::vector<std::int64_t> tet_xadj(static_cast<std::size_t>(n) + 1, 0);
+    for (std::int64_t i = 0; i < n; ++i)
+        tet_xadj[i + 1] = tet_xadj[i] + tet_count[i + 1];
+    std::vector<TetId> tet_adj(static_cast<std::size_t>(tet_xadj[n]));
+    {
+        std::vector<std::int64_t> cursor(tet_xadj.begin(),
+                                         tet_xadj.end() - 1);
+        for (TetId t = 0; t < m; ++t)
+            for (NodeId v : mesh.tet(t).v)
+                tet_adj[cursor[v]++] = t;
+    }
+
+    const double eps = 1e-9 * box.extent().norm();
+    quake::common::SplitMix64 rng(seed);
+
+    for (NodeId v = 0; v < n; ++v) {
+        const Vec3 old_pos = mesh.node(v);
+
+        // Shortest incident edge bounds the jitter radius.
+        double min_edge2 = std::numeric_limits<double>::infinity();
+        for (std::int64_t ti = tet_xadj[v]; ti < tet_xadj[v + 1]; ++ti) {
+            const Tet &t = mesh.tet(tet_adj[ti]);
+            for (NodeId w : t.v) {
+                if (w == v)
+                    continue;
+                min_edge2 = std::min(
+                    min_edge2, (mesh.node(w) - old_pos).norm2());
+            }
+        }
+        if (!std::isfinite(min_edge2))
+            continue; // isolated node: nothing to do
+
+        const double radius = fraction * std::sqrt(min_edge2);
+        Vec3 delta{rng.uniform(-radius, radius),
+                   rng.uniform(-radius, radius),
+                   rng.uniform(-radius, radius)};
+
+        // Freeze coordinates clamped to the domain boundary.
+        if (std::fabs(old_pos.x - box.lo.x) < eps ||
+            std::fabs(old_pos.x - box.hi.x) < eps)
+            delta.x = 0;
+        if (std::fabs(old_pos.y - box.lo.y) < eps ||
+            std::fabs(old_pos.y - box.hi.y) < eps)
+            delta.y = 0;
+        if (std::fabs(old_pos.z - box.lo.z) < eps ||
+            std::fabs(old_pos.z - box.hi.z) < eps)
+            delta.z = 0;
+        if (delta.norm2() == 0)
+            continue;
+
+        // Record current signed volumes, then trial-move.
+        bool ok = true;
+        mesh.node(v) = old_pos + delta;
+        for (std::int64_t ti = tet_xadj[v]; ti < tet_xadj[v + 1]; ++ti) {
+            const Tet &t = mesh.tet(tet_adj[ti]);
+            const double new_vol = tetSignedVolume(
+                mesh.node(t.v[0]), mesh.node(t.v[1]), mesh.node(t.v[2]),
+                mesh.node(t.v[3]));
+            mesh.node(v) = old_pos;
+            const double old_vol = tetSignedVolume(
+                mesh.node(t.v[0]), mesh.node(t.v[1]), mesh.node(t.v[2]),
+                mesh.node(t.v[3]));
+            mesh.node(v) = old_pos + delta;
+            if (!(new_vol > 0.25 * old_vol)) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) {
+            ++accepted;
+        } else {
+            mesh.node(v) = old_pos;
+            ++reverted;
+        }
+    }
+}
+
+} // namespace
+
+GeneratedMesh
+generateMesh(const SoilModel &model, const MeshSpec &spec)
+{
+    QUAKE_EXPECT(spec.periodSeconds > 0, "wave period must be positive");
+    QUAKE_EXPECT(spec.pointsPerWavelength > 0,
+                 "points per wavelength must be positive");
+    QUAKE_EXPECT(spec.hScale > 0, "hScale must be positive");
+
+    const Aabb box = model.domain();
+    GeneratedMesh out;
+    out.mesh = buildKuhnLattice(box, spec.coarseNx, spec.coarseNy,
+                                spec.coarseNz);
+
+    // Target edge length: wavelength / points-per-wavelength, clamped.
+    const double scale =
+        spec.hScale * spec.periodSeconds / spec.pointsPerWavelength;
+    SizeField h = [&model, scale, hmin = spec.hMin](const Vec3 &p) {
+        return std::max(hmin, model.shearWaveSpeed(p) * scale);
+    };
+
+    out.refineReport = refineToSizeField(out.mesh, h, spec.refine);
+    jitterMesh(out.mesh, box, spec.jitterFraction, spec.seed,
+               out.jitterAccepted, out.jitterReverted);
+    out.mesh.validate();
+    return out;
+}
+
+GeneratedMesh
+generateSfMesh(SfClass cls, double h_scale)
+{
+    const LayeredBasinModel model;
+    return generateMesh(model, MeshSpec::forClass(cls, h_scale));
+}
+
+} // namespace quake::mesh

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Synthetic San Fernando Valley mesh generation.
+ *
+ * The paper's meshes (sf10, sf5, sf2, sf1) were produced by the Archimedes
+ * tool chain from proprietary geological profiles of the San Fernando
+ * Valley; those inputs are not available, so this module substitutes a
+ * generator that reproduces the *structural* properties the architectural
+ * analysis consumes (DESIGN.md §2): element size matched to the local
+ * seismic wavelength, ~13 neighbours per node on average, an O(n^{2/3})
+ * partition surface law, and node counts that grow by ~8x when the wave
+ * period halves.
+ *
+ * Pipeline: coarse Kuhn lattice over the domain -> graded conforming
+ * longest-edge refinement driven by h(p) = Vs(p) * period / points-per-
+ * wavelength -> bounded random vertex jitter (keeping all element volumes
+ * positive) to break the lattice symmetry.
+ */
+
+#ifndef QUAKE98_MESH_GENERATOR_H_
+#define QUAKE98_MESH_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "mesh/refine.h"
+#include "mesh/soil_model.h"
+#include "mesh/tet_mesh.h"
+
+namespace quake::mesh
+{
+
+/** The four Quake problem classes, plus a tiny class for unit tests. */
+enum class SfClass
+{
+    kSf20, ///< 20-second waves; test-sized (not in the paper)
+    kSf10, ///< 10-second waves (paper: 7,294 nodes)
+    kSf5,  ///< 5-second waves (paper: 30,169 nodes)
+    kSf2,  ///< 2-second waves (paper: 378,747 nodes)
+    kSf1,  ///< 1-second waves (paper: 2,461,694 nodes)
+};
+
+/** Short name ("sf10", ...) for a problem class. */
+std::string sfClassName(SfClass cls);
+
+/** Parse "sf10"/"sf5"/"sf2"/"sf1"/"sf20"; throws FatalError otherwise. */
+SfClass sfClassFromName(const std::string &name);
+
+/** The wave period in seconds that a class resolves. */
+double sfClassPeriod(SfClass cls);
+
+/** Paper-reported node count for the class (sf20 extrapolated). */
+std::int64_t sfClassPaperNodes(SfClass cls);
+
+/** All generation knobs. */
+struct MeshSpec
+{
+    /** Period (seconds) of the highest-frequency wave to resolve. */
+    double periodSeconds = 5.0;
+
+    /**
+     * Mesh vertices per wavelength; the single calibration constant that
+     * sets absolute mesh density.  The default is tuned so the synthetic
+     * sf5 lands near the paper's 30,169 nodes.
+     */
+    double pointsPerWavelength = 3.0;
+
+    /**
+     * Multiplier on the target edge length; > 1 coarsens.  Used to run
+     * "sf1-shaped" experiments at reduced scale on small hosts.
+     */
+    double hScale = 1.0;
+
+    /** Lower clamp on target edge length (km); guards runaway refinement. */
+    double hMin = 0.02;
+
+    /** Coarse lattice resolution (cubes per axis). */
+    int coarseNx = 10;
+    int coarseNy = 10;
+    int coarseNz = 2;
+
+    /** Interior vertex jitter as a fraction of the local min edge length. */
+    double jitterFraction = 0.22;
+
+    /** RNG seed for the jitter pass. */
+    std::uint64_t seed = 0x5eed5f98ULL;
+
+    /** Refinement caps. */
+    RefineOptions refine;
+
+    /** Spec for a named problem class at optional reduced scale. */
+    static MeshSpec forClass(SfClass cls, double h_scale = 1.0);
+};
+
+/** Everything the generator produced, for reporting and tests. */
+struct GeneratedMesh
+{
+    TetMesh mesh;
+    RefineReport refineReport;
+    std::int64_t jitterAccepted = 0; ///< vertices successfully perturbed
+    std::int64_t jitterReverted = 0; ///< perturbations undone (inversion)
+};
+
+/**
+ * Generate a graded unstructured tetrahedral mesh of `model`'s domain.
+ *
+ * The result is validated (conforming construction plus a positive-volume
+ * check) before being returned.
+ */
+GeneratedMesh generateMesh(const SoilModel &model, const MeshSpec &spec);
+
+/** Convenience: generate the synthetic mesh for a named problem class. */
+GeneratedMesh generateSfMesh(SfClass cls, double h_scale = 1.0);
+
+/**
+ * Build only the coarse Kuhn-lattice mesh (nx x ny x nz cubes, six
+ * tetrahedra each) over `box`.  Exposed for tests and for callers that
+ * want uniform meshes.
+ */
+TetMesh buildKuhnLattice(const Aabb &box, int nx, int ny, int nz);
+
+} // namespace quake::mesh
+
+#endif // QUAKE98_MESH_GENERATOR_H_

@@ -1,0 +1,63 @@
+#include "mesh/geometry.h"
+
+namespace quake::mesh
+{
+
+std::array<double, 6>
+tetEdgeLengths(const Vec3 &a, const Vec3 &b, const Vec3 &c, const Vec3 &d)
+{
+    const std::array<const Vec3 *, 4> v = {&a, &b, &c, &d};
+    std::array<double, 6> lengths{};
+    for (std::size_t e = 0; e < kTetEdges.size(); ++e) {
+        const Vec3 diff = *v[kTetEdges[e][1]] - *v[kTetEdges[e][0]];
+        lengths[e] = diff.norm();
+    }
+    return lengths;
+}
+
+int
+tetLongestEdge(const Vec3 &a, const Vec3 &b, const Vec3 &c, const Vec3 &d)
+{
+    const std::array<const Vec3 *, 4> v = {&a, &b, &c, &d};
+    int best = 0;
+    double best_len2 = -1.0;
+    for (std::size_t e = 0; e < kTetEdges.size(); ++e) {
+        const Vec3 diff = *v[kTetEdges[e][1]] - *v[kTetEdges[e][0]];
+        const double len2 = diff.norm2();
+        if (len2 > best_len2) {
+            best_len2 = len2;
+            best = static_cast<int>(e);
+        }
+    }
+    return best;
+}
+
+double
+tetQuality(const Vec3 &a, const Vec3 &b, const Vec3 &c, const Vec3 &d)
+{
+    const double vol = tetVolume(a, b, c, d);
+    const auto lengths = tetEdgeLengths(a, b, c, d);
+    double sum_len2 = 0.0;
+    for (double len : lengths)
+        sum_len2 += len * len;
+    if (sum_len2 <= 0.0)
+        return 0.0;
+    // Normalized so the regular tetrahedron scores exactly 1.
+    return 12.0 * std::pow(3.0 * vol, 2.0 / 3.0) / sum_len2;
+}
+
+double
+tetSurfaceArea(const Vec3 &a, const Vec3 &b, const Vec3 &c, const Vec3 &d)
+{
+    const std::array<const Vec3 *, 4> v = {&a, &b, &c, &d};
+    double area = 0.0;
+    for (const auto &face : kTetFaces) {
+        const Vec3 &p = *v[face[0]];
+        const Vec3 &q = *v[face[1]];
+        const Vec3 &r = *v[face[2]];
+        area += 0.5 * (q - p).cross(r - p).norm();
+    }
+    return area;
+}
+
+} // namespace quake::mesh

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Geometric primitives for the unstructured tetrahedral mesh substrate:
+ * 3-vectors, axis-aligned boxes, and tetrahedron measures (volume, edge
+ * lengths, quality).  Everything here is header-only and constexpr-friendly
+ * so the mesh generator and the finite element assembly can share it.
+ */
+
+#ifndef QUAKE98_MESH_GEOMETRY_H_
+#define QUAKE98_MESH_GEOMETRY_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+namespace quake::mesh
+{
+
+/** A point or displacement in 3-space (kilometres in the Quake domain). */
+struct Vec3
+{
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+    constexpr Vec3 operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+    constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+
+    Vec3 &
+    operator+=(const Vec3 &o)
+    {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+
+    constexpr bool
+    operator==(const Vec3 &o) const
+    {
+        return x == o.x && y == o.y && z == o.z;
+    }
+
+    /** Dot product. */
+    constexpr double
+    dot(const Vec3 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z;
+    }
+
+    /** Cross product. */
+    constexpr Vec3
+    cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    /** Euclidean norm. */
+    double norm() const { return std::sqrt(dot(*this)); }
+
+    /** Squared Euclidean norm (avoids the sqrt when comparing lengths). */
+    constexpr double norm2() const { return dot(*this); }
+};
+
+/** Scalar-first multiplication, so `2.0 * v` reads naturally. */
+constexpr Vec3
+operator*(double s, const Vec3 &v)
+{
+    return v * s;
+}
+
+/** Axis-aligned bounding box. */
+struct Aabb
+{
+    Vec3 lo;
+    Vec3 hi;
+
+    /** Box extents along each axis. */
+    constexpr Vec3 extent() const { return hi - lo; }
+
+    /** Geometric centre. */
+    constexpr Vec3 center() const { return (lo + hi) * 0.5; }
+
+    /** True when p lies inside or on the boundary. */
+    constexpr bool
+    contains(const Vec3 &p) const
+    {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+               p.z >= lo.z && p.z <= hi.z;
+    }
+
+    /** Grow to include p. */
+    void
+    expand(const Vec3 &p)
+    {
+        lo.x = std::min(lo.x, p.x);
+        lo.y = std::min(lo.y, p.y);
+        lo.z = std::min(lo.z, p.z);
+        hi.x = std::max(hi.x, p.x);
+        hi.y = std::max(hi.y, p.y);
+        hi.z = std::max(hi.z, p.z);
+    }
+};
+
+/**
+ * Signed volume of the tetrahedron (a, b, c, d).  Positive when d lies on
+ * the side of plane (a, b, c) that the right-hand normal of (b-a)x(c-a)
+ * points toward.
+ */
+inline double
+tetSignedVolume(const Vec3 &a, const Vec3 &b, const Vec3 &c, const Vec3 &d)
+{
+    return (b - a).cross(c - a).dot(d - a) / 6.0;
+}
+
+/** Unsigned tetrahedron volume. */
+inline double
+tetVolume(const Vec3 &a, const Vec3 &b, const Vec3 &c, const Vec3 &d)
+{
+    return std::fabs(tetSignedVolume(a, b, c, d));
+}
+
+/** Centroid of a tetrahedron. */
+inline Vec3
+tetCentroid(const Vec3 &a, const Vec3 &b, const Vec3 &c, const Vec3 &d)
+{
+    return (a + b + c + d) * 0.25;
+}
+
+/** The six vertex-index pairs that form the edges of a tetrahedron. */
+inline constexpr std::array<std::array<int, 2>, 6> kTetEdges = {{
+    {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+}};
+
+/** The four vertex-index triples that form the faces of a tetrahedron. */
+inline constexpr std::array<std::array<int, 3>, 4> kTetFaces = {{
+    {1, 2, 3}, {0, 3, 2}, {0, 1, 3}, {0, 2, 1},
+}};
+
+/** Lengths of all six edges of tetrahedron (a, b, c, d). */
+std::array<double, 6> tetEdgeLengths(const Vec3 &a, const Vec3 &b,
+                                     const Vec3 &c, const Vec3 &d);
+
+/** Index (into kTetEdges) of the longest edge; ties break to lowest index. */
+int tetLongestEdge(const Vec3 &a, const Vec3 &b, const Vec3 &c,
+                   const Vec3 &d);
+
+/**
+ * Mean-ratio quality measure in (0, 1]: 1 for the regular tetrahedron,
+ * approaching 0 for degenerate slivers.  Defined as
+ * 12 * (3 * V)^(2/3) / sum(edge_length^2), a standard shape metric.
+ */
+double tetQuality(const Vec3 &a, const Vec3 &b, const Vec3 &c, const Vec3 &d);
+
+/** Total surface area of the tetrahedron. */
+double tetSurfaceArea(const Vec3 &a, const Vec3 &b, const Vec3 &c,
+                      const Vec3 &d);
+
+} // namespace quake::mesh
+
+#endif // QUAKE98_MESH_GEOMETRY_H_

@@ -1,0 +1,141 @@
+#include "mesh/mesh_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace quake::mesh
+{
+
+void
+writeNodeFile(const TetMesh &mesh, std::ostream &os)
+{
+    os << mesh.numNodes() << " 3 0 0\n";
+    os << std::setprecision(17);
+    for (NodeId i = 0; i < mesh.numNodes(); ++i) {
+        const Vec3 &p = mesh.node(i);
+        os << i << ' ' << p.x << ' ' << p.y << ' ' << p.z << '\n';
+    }
+}
+
+void
+writeEleFile(const TetMesh &mesh, std::ostream &os)
+{
+    os << mesh.numElements() << " 4 0\n";
+    for (TetId t = 0; t < mesh.numElements(); ++t) {
+        const Tet &e = mesh.tet(t);
+        os << t << ' ' << e.v[0] << ' ' << e.v[1] << ' ' << e.v[2] << ' '
+           << e.v[3] << '\n';
+    }
+}
+
+void
+writeMesh(const TetMesh &mesh, const std::string &path_prefix)
+{
+    std::ofstream node_os(path_prefix + ".node");
+    QUAKE_EXPECT(node_os.good(),
+                 "cannot open " << path_prefix << ".node for writing");
+    writeNodeFile(mesh, node_os);
+
+    std::ofstream ele_os(path_prefix + ".ele");
+    QUAKE_EXPECT(ele_os.good(),
+                 "cannot open " << path_prefix << ".ele for writing");
+    writeEleFile(mesh, ele_os);
+}
+
+namespace
+{
+
+/** Read one non-empty, non-comment line into an istringstream. */
+bool
+nextRecord(std::istream &is, std::istringstream &record)
+{
+    std::string line;
+    while (std::getline(is, line)) {
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        record.clear();
+        record.str(line);
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TetMesh
+readMesh(std::istream &node_is, std::istream &ele_is)
+{
+    TetMesh mesh;
+    std::istringstream record;
+
+    // --- .node header: <#points> <dim> [#attrs [#markers]] ---
+    QUAKE_EXPECT(nextRecord(node_is, record), ".node file is empty");
+    std::int64_t n_points = 0;
+    int dim = 0;
+    QUAKE_EXPECT(static_cast<bool>(record >> n_points >> dim),
+                 "malformed .node header");
+    QUAKE_EXPECT(dim == 3, ".node dimension must be 3, got " << dim);
+    QUAKE_EXPECT(n_points >= 0, "negative point count");
+
+    long long first_index = 0;
+    for (std::int64_t i = 0; i < n_points; ++i) {
+        QUAKE_EXPECT(nextRecord(node_is, record),
+                     ".node file truncated at point " << i);
+        long long idx = 0;
+        Vec3 p;
+        QUAKE_EXPECT(static_cast<bool>(record >> idx >> p.x >> p.y >> p.z),
+                     "malformed .node record " << i);
+        if (i == 0) {
+            QUAKE_EXPECT(idx == 0 || idx == 1,
+                         "first point index must be 0 or 1, got " << idx);
+            first_index = idx;
+        }
+        QUAKE_EXPECT(idx == first_index + i,
+                     ".node indices must be consecutive");
+        mesh.addNode(p);
+    }
+
+    // --- .ele header: <#tets> <nodes-per-tet> [#attrs] ---
+    QUAKE_EXPECT(nextRecord(ele_is, record), ".ele file is empty");
+    std::int64_t n_tets = 0;
+    int per_tet = 0;
+    QUAKE_EXPECT(static_cast<bool>(record >> n_tets >> per_tet),
+                 "malformed .ele header");
+    QUAKE_EXPECT(per_tet == 4, ".ele must have 4 nodes per tet");
+
+    for (std::int64_t t = 0; t < n_tets; ++t) {
+        QUAKE_EXPECT(nextRecord(ele_is, record),
+                     ".ele file truncated at element " << t);
+        long long idx = 0;
+        long long v[4];
+        QUAKE_EXPECT(static_cast<bool>(record >> idx >> v[0] >> v[1] >>
+                                       v[2] >> v[3]),
+                     "malformed .ele record " << t);
+        for (long long &vi : v) {
+            vi -= first_index;
+            QUAKE_EXPECT(vi >= 0 && vi < n_points,
+                         ".ele vertex index out of range");
+        }
+        mesh.addTet(static_cast<NodeId>(v[0]), static_cast<NodeId>(v[1]),
+                    static_cast<NodeId>(v[2]), static_cast<NodeId>(v[3]));
+    }
+    return mesh;
+}
+
+TetMesh
+readMesh(const std::string &path_prefix)
+{
+    std::ifstream node_is(path_prefix + ".node");
+    QUAKE_EXPECT(node_is.good(), "cannot open " << path_prefix << ".node");
+    std::ifstream ele_is(path_prefix + ".ele");
+    QUAKE_EXPECT(ele_is.good(), "cannot open " << path_prefix << ".ele");
+    return readMesh(node_is, ele_is);
+}
+
+} // namespace quake::mesh

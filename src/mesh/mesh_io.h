@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Text serialization of tetrahedral meshes in the TetGen/Archimedes style:
+ * a `.node` file of vertex coordinates and a `.ele` file of tetrahedra.
+ * The Quake mesh suite the paper points to (www.cs.cmu.edu/~quake/) ships
+ * meshes in this family of formats, so providing it keeps the library
+ * interoperable with surviving artifacts.
+ */
+
+#ifndef QUAKE98_MESH_MESH_IO_H_
+#define QUAKE98_MESH_MESH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "mesh/tet_mesh.h"
+
+namespace quake::mesh
+{
+
+/**
+ * Write mesh vertices in .node format:
+ *   <#points> 3 0 0
+ *   <index> <x> <y> <z>
+ * Indices are zero-based.
+ */
+void writeNodeFile(const TetMesh &mesh, std::ostream &os);
+
+/**
+ * Write mesh elements in .ele format:
+ *   <#tetrahedra> 4 0
+ *   <index> <v0> <v1> <v2> <v3>
+ * Indices are zero-based.
+ */
+void writeEleFile(const TetMesh &mesh, std::ostream &os);
+
+/** Write both files under `path_prefix` + ".node" / ".ele". */
+void writeMesh(const TetMesh &mesh, const std::string &path_prefix);
+
+/**
+ * Read a mesh from .node/.ele streams.  Accepts zero- or one-based vertex
+ * indexing (detected from the first point's index, per TetGen convention).
+ * Throws FatalError on malformed input.
+ */
+TetMesh readMesh(std::istream &node_is, std::istream &ele_is);
+
+/** Read both files from `path_prefix` + ".node" / ".ele". */
+TetMesh readMesh(const std::string &path_prefix);
+
+} // namespace quake::mesh
+
+#endif // QUAKE98_MESH_MESH_IO_H_

@@ -1,0 +1,86 @@
+#include "mesh/quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace quake::mesh
+{
+
+std::array<double, 6>
+tetDihedralAngles(const Vec3 &a, const Vec3 &b, const Vec3 &c,
+                  const Vec3 &d)
+{
+    // The dihedral angle along each edge is the angle between the two
+    // faces meeting there, computed from the faces' inward normals.
+    const std::array<const Vec3 *, 4> v = {&a, &b, &c, &d};
+
+    // Face normal opposite vertex f (faces listed in kTetFaces order).
+    std::array<Vec3, 4> normal;
+    for (int f = 0; f < 4; ++f) {
+        const Vec3 &p = *v[kTetFaces[f][0]];
+        const Vec3 &q = *v[kTetFaces[f][1]];
+        const Vec3 &r = *v[kTetFaces[f][2]];
+        normal[f] = (q - p).cross(r - p);
+        const double norm = normal[f].norm();
+        QUAKE_EXPECT(norm > 0, "degenerate face in dihedral computation");
+        normal[f] = normal[f] / norm;
+    }
+
+    // Edge e of kTetEdges joins vertices (i, j); the two faces meeting
+    // at that edge are the ones opposite the *other* two vertices.
+    std::array<double, 6> angles{};
+    for (std::size_t e = 0; e < kTetEdges.size(); ++e) {
+        int others[2];
+        int count = 0;
+        for (int k = 0; k < 4; ++k)
+            if (k != kTetEdges[e][0] && k != kTetEdges[e][1])
+                others[count++] = k;
+        // Interior dihedral = pi - angle between outward normals.
+        const double cosine = std::clamp(
+            normal[others[0]].dot(normal[others[1]]), -1.0, 1.0);
+        angles[e] = M_PI - std::acos(cosine);
+    }
+    return angles;
+}
+
+QualityReport
+computeQualityReport(const TetMesh &mesh, int num_buckets)
+{
+    QUAKE_EXPECT(num_buckets >= 1, "need at least one bucket");
+    QUAKE_EXPECT(mesh.numElements() > 0, "mesh has no elements");
+
+    QualityReport report;
+    report.minDihedralRad = M_PI;
+    report.maxDihedralRad = 0.0;
+    report.minQuality = 1.0;
+    report.buckets.assign(static_cast<std::size_t>(num_buckets), 0);
+
+    double quality_sum = 0.0;
+    for (TetId t = 0; t < mesh.numElements(); ++t) {
+        const Tet &e = mesh.tet(t);
+        const auto angles = tetDihedralAngles(
+            mesh.node(e.v[0]), mesh.node(e.v[1]), mesh.node(e.v[2]),
+            mesh.node(e.v[3]));
+        for (double angle : angles) {
+            report.minDihedralRad =
+                std::min(report.minDihedralRad, angle);
+            report.maxDihedralRad =
+                std::max(report.maxDihedralRad, angle);
+        }
+
+        const double q = mesh.tetQualityOf(t);
+        report.minQuality = std::min(report.minQuality, q);
+        quality_sum += q;
+        const int bucket = std::min(
+            num_buckets - 1,
+            static_cast<int>(q * num_buckets));
+        ++report.buckets[bucket];
+    }
+    report.meanQuality =
+        quality_sum / static_cast<double>(mesh.numElements());
+    return report;
+}
+
+} // namespace quake::mesh

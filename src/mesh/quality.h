@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Mesh quality metrics beyond the mean-ratio measure: dihedral angles
+ * (the quantity Shewchuk's Delaunay refinement — the generator behind
+ * the real Quake meshes, ref [18] — provides guarantees on) and a
+ * quality histogram for reporting.
+ */
+
+#ifndef QUAKE98_MESH_QUALITY_H_
+#define QUAKE98_MESH_QUALITY_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mesh/tet_mesh.h"
+
+namespace quake::mesh
+{
+
+/** The six dihedral angles (radians) of tetrahedron (a, b, c, d). */
+std::array<double, 6> tetDihedralAngles(const Vec3 &a, const Vec3 &b,
+                                        const Vec3 &c, const Vec3 &d);
+
+/** Extremes of dihedral angles and shape quality over a mesh. */
+struct QualityReport
+{
+    double minDihedralRad = 0.0; ///< worst small angle (slivers -> 0)
+    double maxDihedralRad = 0.0; ///< worst large angle (caps -> pi)
+    double minQuality = 0.0;     ///< mean-ratio minimum
+    double meanQuality = 0.0;
+
+    /**
+     * Histogram of element mean-ratio quality over [0, 1] in
+     * `buckets.size()` equal bins.
+     */
+    std::vector<std::int64_t> buckets;
+};
+
+/**
+ * Scan the mesh and report quality extremes plus a quality histogram
+ * with `num_buckets` bins.
+ */
+QualityReport computeQualityReport(const TetMesh &mesh,
+                                   int num_buckets = 10);
+
+} // namespace quake::mesh
+
+#endif // QUAKE98_MESH_QUALITY_H_

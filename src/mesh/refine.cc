@@ -1,0 +1,205 @@
+#include "mesh/refine.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+
+namespace quake::mesh
+{
+
+namespace
+{
+
+/** Canonical 64-bit key for an undirected edge (a, b). */
+std::uint64_t
+edgeKey(NodeId a, NodeId b)
+{
+    const std::uint32_t lo = static_cast<std::uint32_t>(std::min(a, b));
+    const std::uint32_t hi = static_cast<std::uint32_t>(std::max(a, b));
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+/** Longest edge of a tet given current node positions. */
+struct LongestEdge
+{
+    std::uint64_t key;
+    NodeId a;
+    NodeId b;
+    double len2;
+};
+
+LongestEdge
+longestEdgeOf(const Tet &t, const std::vector<Vec3> &nodes)
+{
+    LongestEdge best{0, 0, 0, -1.0};
+    for (const auto &e : kTetEdges) {
+        const NodeId a = t.v[e[0]];
+        const NodeId b = t.v[e[1]];
+        const double len2 = (nodes[b] - nodes[a]).norm2();
+        if (len2 > best.len2)
+            best = LongestEdge{edgeKey(a, b), a, b, len2};
+    }
+    return best;
+}
+
+} // namespace
+
+RefineReport
+refineToSizeField(TetMesh &mesh, const SizeField &h,
+                  const RefineOptions &options)
+{
+    RefineReport report;
+
+    // Working copy of the element list with liveness flags; nodes are
+    // appended directly to the mesh as midpoints are created.
+    std::vector<Tet> tets(mesh.tets().begin(), mesh.tets().end());
+    std::vector<char> alive(tets.size(), 1);
+    std::int64_t alive_count = static_cast<std::int64_t>(tets.size());
+
+    auto sizeAt = [&](const Vec3 &p) {
+        const double hv = h(p);
+        QUAKE_EXPECT(hv > 0.0, "size field must be strictly positive");
+        return hv;
+    };
+
+    for (int pass = 0; pass < options.maxPasses; ++pass) {
+        const std::vector<Vec3> &nodes = mesh.nodes();
+
+        // --- Step 1: mark the longest edge of every oversized element. ---
+        std::unordered_map<std::uint64_t, double> marked;
+        marked.reserve(tets.size() / 4 + 16);
+        for (std::size_t ti = 0; ti < tets.size(); ++ti) {
+            if (!alive[ti])
+                continue;
+            const Tet &t = tets[ti];
+            const LongestEdge le = longestEdgeOf(t, nodes);
+            const Vec3 c = tetCentroid(nodes[t.v[0]], nodes[t.v[1]],
+                                       nodes[t.v[2]], nodes[t.v[3]]);
+            const double target = sizeAt(c);
+            if (le.len2 > target * target)
+                marked.emplace(le.key, le.len2);
+        }
+        if (marked.empty())
+            break;
+
+        // --- Step 2: Rivara propagation to a fixpoint.  Any element that
+        // touches a marked edge must also mark its own longest edge, so
+        // that elements are (almost) always bisected by their longest
+        // edge, which bounds shape degradation. ---
+        bool grew = true;
+        while (grew) {
+            grew = false;
+            for (std::size_t ti = 0; ti < tets.size(); ++ti) {
+                if (!alive[ti])
+                    continue;
+                const Tet &t = tets[ti];
+                bool touches_marked = false;
+                for (const auto &e : kTetEdges) {
+                    if (marked.count(edgeKey(t.v[e[0]], t.v[e[1]]))) {
+                        touches_marked = true;
+                        break;
+                    }
+                }
+                if (!touches_marked)
+                    continue;
+                const LongestEdge le = longestEdgeOf(t, nodes);
+                if (marked.emplace(le.key, le.len2).second)
+                    grew = true;
+            }
+        }
+
+        // --- Step 3: build incidence lists for the marked edges. ---
+        std::unordered_map<std::uint64_t, std::vector<std::int32_t>>
+            incidence;
+        incidence.reserve(marked.size());
+        for (std::size_t ti = 0; ti < tets.size(); ++ti) {
+            if (!alive[ti])
+                continue;
+            const Tet &t = tets[ti];
+            for (const auto &e : kTetEdges) {
+                const std::uint64_t key = edgeKey(t.v[e[0]], t.v[e[1]]);
+                if (marked.count(key))
+                    incidence[key].push_back(static_cast<std::int32_t>(ti));
+            }
+        }
+
+        // --- Step 4: split longest-first.  A split is atomic across all
+        // elements incident to the edge, which preserves conformity; if
+        // any incident element already died this pass, the edge is
+        // deferred to the next pass. ---
+        std::vector<std::pair<double, std::uint64_t>> order;
+        order.reserve(marked.size());
+        for (const auto &[key, len2] : marked)
+            order.emplace_back(len2, key);
+        std::sort(order.begin(), order.end(),
+                  [](const auto &x, const auto &y) {
+                      return x.first > y.first ||
+                             (x.first == y.first && x.second < y.second);
+                  });
+
+        for (const auto &[len2, key] : order) {
+            (void)len2;
+            const auto inc_it = incidence.find(key);
+            QUAKE_REQUIRE(inc_it != incidence.end() &&
+                              !inc_it->second.empty(),
+                          "marked edge has no incident elements");
+            const std::vector<std::int32_t> &incident = inc_it->second;
+            bool all_alive = true;
+            for (std::int32_t ti : incident) {
+                if (!alive[ti]) {
+                    all_alive = false;
+                    break;
+                }
+            }
+            if (!all_alive)
+                continue; // deferred to the next pass
+
+            const NodeId na = static_cast<NodeId>(key >> 32);
+            const NodeId nb = static_cast<NodeId>(key & 0xffffffffULL);
+            const NodeId mid =
+                mesh.addNode((mesh.node(na) + mesh.node(nb)) * 0.5);
+
+            for (std::int32_t ti : incident) {
+                Tet child_a = tets[ti]; // will hold endpoint a + midpoint
+                Tet child_b = tets[ti]; // will hold endpoint b + midpoint
+                for (int k = 0; k < 4; ++k) {
+                    if (child_a.v[k] == nb)
+                        child_a.v[k] = mid;
+                    if (child_b.v[k] == na)
+                        child_b.v[k] = mid;
+                }
+                alive[ti] = 0;
+                tets.push_back(child_a);
+                alive.push_back(1);
+                tets.push_back(child_b);
+                alive.push_back(1);
+                ++alive_count;
+                ++report.splits;
+            }
+            if (alive_count >= options.maxElements) {
+                report.reachedElementCap = true;
+                break;
+            }
+        }
+
+        ++report.passes;
+        if (report.reachedElementCap)
+            break;
+        if (pass + 1 == options.maxPasses)
+            report.reachedPassCap = true;
+    }
+
+    // Compact the live elements back into the mesh.
+    std::vector<Tet> live;
+    live.reserve(static_cast<std::size_t>(alive_count));
+    for (std::size_t ti = 0; ti < tets.size(); ++ti)
+        if (alive[ti])
+            live.push_back(tets[ti]);
+    mesh.assignTets(std::move(live));
+    return report;
+}
+
+} // namespace quake::mesh

@@ -1,0 +1,137 @@
+#include "mesh/soil_model.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace quake::mesh
+{
+
+LayeredBasinModel::LayeredBasinModel(const Params &params) : p_(params)
+{
+    QUAKE_EXPECT(p_.extentKm.x > 0 && p_.extentKm.y > 0 && p_.extentKm.z > 0,
+                 "domain extents must be positive");
+    QUAKE_EXPECT(p_.vsSediment > 0 && p_.vsSediment <= p_.vsBasinFloor,
+                 "sediment speeds must be positive and increase with depth");
+    QUAKE_EXPECT(p_.vsRockTop > 0 && p_.vsRockTop <= p_.vsRockBottom,
+                 "rock speeds must be positive and increase with depth");
+    QUAKE_EXPECT(p_.basinMaxDepth < p_.extentKm.z,
+                 "basin must be shallower than the domain");
+}
+
+Aabb
+LayeredBasinModel::domain() const
+{
+    return Aabb{Vec3{0.0, 0.0, 0.0}, p_.extentKm};
+}
+
+double
+LayeredBasinModel::basinDepth(double x, double y) const
+{
+    const double dx = (x - p_.basinCenter.x) / p_.basinRadiusX;
+    const double dy = (y - p_.basinCenter.y) / p_.basinRadiusY;
+    const double r2 = dx * dx + dy * dy;
+    // Super-Gaussian bowl: nearly flat floor, steep sides, smooth rim.
+    const double depth = p_.basinMaxDepth * std::exp(-r2 * r2);
+    return depth < 1e-3 ? 0.0 : depth;
+}
+
+bool
+LayeredBasinModel::inBasin(const Vec3 &p) const
+{
+    return p.z < basinDepth(p.x, p.y);
+}
+
+double
+LayeredBasinModel::shearWaveSpeed(const Vec3 &p) const
+{
+    const double interface_depth = basinDepth(p.x, p.y);
+    if (p.z < interface_depth) {
+        // Sediment: speed ramps from the surface value to the floor value.
+        const double frac = interface_depth > 0 ? p.z / interface_depth : 0;
+        return p_.vsSediment + (p_.vsBasinFloor - p_.vsSediment) * frac;
+    }
+    // Rock: linear increase from the surface (or basin floor) downward.
+    const double frac = p_.extentKm.z > 0 ? p.z / p_.extentKm.z : 0;
+    return p_.vsRockTop + (p_.vsRockBottom - p_.vsRockTop) * frac;
+}
+
+double
+LayeredBasinModel::density(const Vec3 &p) const
+{
+    return inBasin(p) ? p_.rhoSediment : p_.rhoRock;
+}
+
+MultiBasinModel::MultiBasinModel(const Vec3 &extent_km,
+                                 std::vector<Basin> basins)
+    : extent_(extent_km), basins_(std::move(basins))
+{
+    QUAKE_EXPECT(extent_.x > 0 && extent_.y > 0 && extent_.z > 0,
+                 "domain extents must be positive");
+    QUAKE_EXPECT(!basins_.empty(), "need at least one basin");
+    for (const Basin &b : basins_) {
+        QUAKE_EXPECT(b.radiusX > 0 && b.radiusY > 0,
+                     "basin radii must be positive");
+        QUAKE_EXPECT(b.maxDepth > 0 && b.maxDepth < extent_.z,
+                     "basin depth must be positive and inside the "
+                     "domain");
+        QUAKE_EXPECT(b.center.x >= 0 && b.center.x <= extent_.x &&
+                         b.center.y >= 0 && b.center.y <= extent_.y,
+                     "basin centre must lie inside the domain");
+    }
+}
+
+MultiBasinModel
+MultiBasinModel::threeBasins()
+{
+    const Vec3 extent{50.0, 50.0, 10.0};
+    std::vector<Basin> basins = {
+        {{14.0, 14.0, 0.0}, 8.0, 6.0, 2.0},
+        {{34.0, 20.0, 0.0}, 6.0, 9.0, 1.2},
+        {{24.0, 38.0, 0.0}, 10.0, 5.0, 1.6},
+    };
+    return MultiBasinModel(extent, std::move(basins));
+}
+
+Aabb
+MultiBasinModel::domain() const
+{
+    return Aabb{Vec3{0.0, 0.0, 0.0}, extent_};
+}
+
+double
+MultiBasinModel::basinDepth(double x, double y) const
+{
+    double depth = 0.0;
+    for (const Basin &b : basins_) {
+        const double dx = (x - b.center.x) / b.radiusX;
+        const double dy = (y - b.center.y) / b.radiusY;
+        const double r2 = dx * dx + dy * dy;
+        depth = std::max(depth, b.maxDepth * std::exp(-r2 * r2));
+    }
+    return depth < 1e-3 ? 0.0 : depth;
+}
+
+double
+MultiBasinModel::shearWaveSpeed(const Vec3 &p) const
+{
+    const double interface_depth = basinDepth(p.x, p.y);
+    if (p.z < interface_depth) {
+        const double frac =
+            interface_depth > 0 ? p.z / interface_depth : 0;
+        return material_.vsSediment +
+               (material_.vsBasinFloor - material_.vsSediment) * frac;
+    }
+    const double frac = extent_.z > 0 ? p.z / extent_.z : 0;
+    return material_.vsRockTop +
+           (material_.vsRockBottom - material_.vsRockTop) * frac;
+}
+
+double
+MultiBasinModel::density(const Vec3 &p) const
+{
+    return p.z < basinDepth(p.x, p.y) ? material_.rhoSediment
+                                      : material_.rhoRock;
+}
+
+} // namespace quake::mesh

@@ -1,0 +1,140 @@
+#include "mesh/tet_mesh.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace quake::mesh
+{
+
+Vec3
+TetMesh::tetCentroidOf(TetId t) const
+{
+    const Tet &e = tets_[t];
+    return tetCentroid(nodes_[e.v[0]], nodes_[e.v[1]], nodes_[e.v[2]],
+                       nodes_[e.v[3]]);
+}
+
+double
+TetMesh::tetVolumeOf(TetId t) const
+{
+    const Tet &e = tets_[t];
+    return tetVolume(nodes_[e.v[0]], nodes_[e.v[1]], nodes_[e.v[2]],
+                     nodes_[e.v[3]]);
+}
+
+double
+TetMesh::tetQualityOf(TetId t) const
+{
+    const Tet &e = tets_[t];
+    return tetQuality(nodes_[e.v[0]], nodes_[e.v[1]], nodes_[e.v[2]],
+                      nodes_[e.v[3]]);
+}
+
+Aabb
+TetMesh::bounds() const
+{
+    if (nodes_.empty())
+        return Aabb{};
+    Aabb box{nodes_.front(), nodes_.front()};
+    for (const Vec3 &p : nodes_)
+        box.expand(p);
+    return box;
+}
+
+NodeAdjacency
+TetMesh::buildNodeAdjacency() const
+{
+    const std::int64_t n = numNodes();
+    NodeAdjacency adj;
+    adj.xadj.assign(static_cast<std::size_t>(n) + 1, 0);
+
+    // Pass 1: count directed edge instances per node (with duplicates).
+    for (const Tet &t : tets_) {
+        for (const auto &e : kTetEdges) {
+            ++adj.xadj[t.v[e[0]] + 1];
+            ++adj.xadj[t.v[e[1]] + 1];
+        }
+    }
+    for (std::int64_t i = 0; i < n; ++i)
+        adj.xadj[i + 1] += adj.xadj[i];
+
+    // Pass 2: scatter neighbour instances.
+    std::vector<NodeId> raw(static_cast<std::size_t>(adj.xadj[n]));
+    std::vector<std::int64_t> cursor(adj.xadj.begin(), adj.xadj.end() - 1);
+    for (const Tet &t : tets_) {
+        for (const auto &e : kTetEdges) {
+            const NodeId a = t.v[e[0]];
+            const NodeId b = t.v[e[1]];
+            raw[cursor[a]++] = b;
+            raw[cursor[b]++] = a;
+        }
+    }
+
+    // Pass 3: sort + dedupe each neighbour list in place, then compact.
+    adj.adjncy.reserve(raw.size() / 4);
+    std::int64_t write_row_start = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        auto first = raw.begin() + adj.xadj[i];
+        auto last = raw.begin() + adj.xadj[i + 1];
+        std::sort(first, last);
+        auto unique_end = std::unique(first, last);
+        adj.adjncy.insert(adj.adjncy.end(), first, unique_end);
+        adj.xadj[i] = write_row_start;
+        write_row_start = static_cast<std::int64_t>(adj.adjncy.size());
+    }
+    adj.xadj[n] = write_row_start;
+    return adj;
+}
+
+MeshStats
+TetMesh::computeStats() const
+{
+    MeshStats stats;
+    stats.numNodes = numNodes();
+    stats.numElements = numElements();
+
+    const NodeAdjacency adj = buildNodeAdjacency();
+    stats.numEdges = adj.numEdges();
+    stats.avgDegree = stats.numNodes > 0
+                          ? 2.0 * static_cast<double>(stats.numEdges) /
+                                static_cast<double>(stats.numNodes)
+                          : 0.0;
+
+    double min_q = 1.0;
+    double sum_q = 0.0;
+    double volume = 0.0;
+    for (TetId t = 0; t < stats.numElements; ++t) {
+        const double q = tetQualityOf(t);
+        min_q = std::min(min_q, q);
+        sum_q += q;
+        volume += tetVolumeOf(t);
+    }
+    stats.minQuality = stats.numElements > 0 ? min_q : 0.0;
+    stats.meanQuality =
+        stats.numElements > 0
+            ? sum_q / static_cast<double>(stats.numElements)
+            : 0.0;
+    stats.totalVolume = volume;
+    return stats;
+}
+
+void
+TetMesh::validate() const
+{
+    const std::int64_t n = numNodes();
+    for (const Tet &t : tets_) {
+        for (int k = 0; k < 4; ++k) {
+            QUAKE_REQUIRE(t.v[k] >= 0 && t.v[k] < n,
+                          "tet vertex index out of range");
+            for (int j = k + 1; j < 4; ++j)
+                QUAKE_REQUIRE(t.v[k] != t.v[j],
+                              "tet has a repeated vertex");
+        }
+        const double vol = tetVolume(nodes_[t.v[0]], nodes_[t.v[1]],
+                                     nodes_[t.v[2]], nodes_[t.v[3]]);
+        QUAKE_REQUIRE(vol > 0.0, "tet has non-positive volume");
+    }
+}
+
+} // namespace quake::mesh

@@ -1,0 +1,48 @@
+#include "parallel/characterize.h"
+
+#include "common/error.h"
+
+namespace quake::parallel
+{
+
+core::SmvpCharacterization
+characterize(const DistributedProblem &problem, const std::string &name,
+             const CharacterizeOptions &options)
+{
+    QUAKE_EXPECT(!problem.subdomains.empty(), "problem has no subdomains");
+
+    core::SmvpCharacterization ch;
+    ch.name = name;
+    ch.numPes = problem.numPes();
+    ch.pes.resize(problem.subdomains.size());
+
+    for (std::size_t p = 0; p < problem.subdomains.size(); ++p) {
+        const Subdomain &sub = problem.subdomains[p];
+        core::PeLoad &load = ch.pes[p];
+
+        if (sub.stiffness.numBlockRows() > 0) {
+            load.flops = sub.stiffness.flopsPerMultiply();
+        } else {
+            // Pattern-only: blocks = local edges (both directions) plus
+            // the diagonal; 9 scalars per block, 2 flops per scalar.
+            const mesh::NodeAdjacency adj =
+                sub.localMesh.buildNodeAdjacency();
+            const std::int64_t blocks =
+                static_cast<std::int64_t>(adj.adjncy.size()) +
+                sub.localMesh.numNodes();
+            load.flops = 2 * 9 * blocks;
+        }
+
+        const PeSchedule &pe = problem.schedule.pe(static_cast<int>(p));
+        load.words = pe.words();
+        load.blocks = options.blockMode == BlockMode::kMaximal
+                          ? pe.blocksMaximal()
+                          : pe.blocksFixed(options.blockWords);
+    }
+
+    ch.messageSizes = problem.schedule.messageSizes();
+    ch.bisectionWords = problem.schedule.bisectionWords();
+    return ch;
+}
+
+} // namespace quake::parallel

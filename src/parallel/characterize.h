@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Bridges the executable substrate to the paper's models: extracts a
+ * machine-independent core::SmvpCharacterization (F_i, C_i, B_i, message
+ * sizes, bisection volume) from a distributed problem.
+ */
+
+#ifndef QUAKE98_PARALLEL_CHARACTERIZE_H_
+#define QUAKE98_PARALLEL_CHARACTERIZE_H_
+
+#include <string>
+
+#include "core/characterization.h"
+#include "parallel/distributor.h"
+
+namespace quake::parallel
+{
+
+/** How messages map onto transfer blocks (paper §3.3 and §4.4). */
+enum class BlockMode
+{
+    kMaximal,   ///< one block per message (message passing, DSM w/ aggregation)
+    kFixedSize, ///< cache-line style fixed-size blocks
+};
+
+/** Options for characterization. */
+struct CharacterizeOptions
+{
+    BlockMode blockMode = BlockMode::kMaximal;
+
+    /** Words per block when blockMode == kFixedSize (paper uses 4). */
+    int blockWords = 4;
+};
+
+/**
+ * Extract the model inputs from a distributed problem.
+ *
+ * Flops per PE come from the local stiffness when assembled (2 per
+ * stored scalar), otherwise from the local mesh's stiffness *pattern*
+ * (identical count — values do not change the flop count).
+ *
+ * @param problem Distributed problem (with or without matrices).
+ * @param name    Label, e.g. "sf2/128".
+ * @param options Block accounting mode.
+ */
+core::SmvpCharacterization characterize(
+    const DistributedProblem &problem, const std::string &name,
+    const CharacterizeOptions &options = {});
+
+} // namespace quake::parallel
+
+#endif // QUAKE98_PARALLEL_CHARACTERIZE_H_

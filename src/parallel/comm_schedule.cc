@@ -1,0 +1,151 @@
+#include "parallel/comm_schedule.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace quake::parallel
+{
+
+std::int64_t
+PeSchedule::words() const
+{
+    std::int64_t total = 0;
+    for (const Exchange &ex : exchanges)
+        total += ex.words();
+    return 2 * total; // sent plus received; directions are symmetric
+}
+
+std::int64_t
+PeSchedule::blocksMaximal() const
+{
+    return 2 * static_cast<std::int64_t>(exchanges.size());
+}
+
+std::int64_t
+PeSchedule::blocksFixed(int block_words) const
+{
+    QUAKE_EXPECT(block_words > 0, "block size must be positive");
+    std::int64_t blocks = 0;
+    for (const Exchange &ex : exchanges) {
+        const std::int64_t w = ex.words();
+        blocks += (w + block_words - 1) / block_words;
+    }
+    return 2 * blocks;
+}
+
+CommSchedule
+CommSchedule::build(const mesh::TetMesh &mesh,
+                    const partition::Partition &partition)
+{
+    return build(partition, partition::buildNodeParts(mesh, partition));
+}
+
+CommSchedule
+CommSchedule::build(const partition::Partition &partition,
+                    const partition::NodeParts &node_parts)
+{
+    CommSchedule schedule;
+    schedule.pes_.resize(static_cast<std::size_t>(partition.numParts));
+
+    // Collect, for every PE, a map peer -> shared nodes.  A node shared
+    // by k PEs contributes to all k(k-1) ordered pairs: every owner
+    // needs every other owner's partial sum.
+    std::vector<std::map<partition::PartId, std::vector<mesh::NodeId>>>
+        peers(static_cast<std::size_t>(partition.numParts));
+
+    const std::int64_t num_nodes =
+        static_cast<std::int64_t>(node_parts.xadj.size()) - 1;
+    for (mesh::NodeId node = 0; node < num_nodes; ++node) {
+        const std::int64_t begin = node_parts.xadj[node];
+        const std::int64_t end = node_parts.xadj[node + 1];
+        if (end - begin < 2)
+            continue; // interior node: no communication
+        for (std::int64_t a = begin; a < end; ++a) {
+            for (std::int64_t b = begin; b < end; ++b) {
+                if (a == b)
+                    continue;
+                peers[node_parts.parts[a]][node_parts.parts[b]].push_back(
+                    node);
+            }
+        }
+    }
+
+    for (int p = 0; p < partition.numParts; ++p) {
+        PeSchedule &pe = schedule.pes_[p];
+        pe.exchanges.reserve(peers[p].size());
+        for (auto &[peer, nodes] : peers[p]) {
+            // Nodes were visited in ascending order, so each list is
+            // already sorted and duplicate-free.
+            Exchange ex;
+            ex.peer = peer;
+            ex.nodes = std::move(nodes);
+            pe.exchanges.push_back(std::move(ex));
+        }
+    }
+    schedule.validate();
+    return schedule;
+}
+
+std::vector<std::int64_t>
+CommSchedule::messageSizes() const
+{
+    std::vector<std::int64_t> sizes;
+    for (const PeSchedule &pe : pes_)
+        for (const Exchange &ex : pe.exchanges)
+            sizes.push_back(ex.words());
+    return sizes;
+}
+
+std::int64_t
+CommSchedule::bisectionWords() const
+{
+    const int p = numPes();
+    const int half = p / 2;
+    std::int64_t words = 0;
+    for (int i = 0; i < half; ++i)
+        for (const Exchange &ex : pes_[i].exchanges)
+            if (ex.peer >= half)
+                words += ex.words();
+    return 2 * words; // both directions cross the bisection
+}
+
+std::int64_t
+CommSchedule::totalWords() const
+{
+    std::int64_t total = 0;
+    for (const PeSchedule &pe : pes_)
+        for (const Exchange &ex : pe.exchanges)
+            total += ex.words();
+    return total;
+}
+
+void
+CommSchedule::validate() const
+{
+    for (int p = 0; p < numPes(); ++p) {
+        partition::PartId prev_peer = -1;
+        for (const Exchange &ex : pes_[p].exchanges) {
+            QUAKE_REQUIRE(ex.peer != p, "PE exchanges with itself");
+            QUAKE_REQUIRE(ex.peer > prev_peer,
+                          "exchange peers not sorted/unique");
+            prev_peer = ex.peer;
+            QUAKE_REQUIRE(!ex.nodes.empty(), "empty exchange");
+            QUAKE_REQUIRE(std::is_sorted(ex.nodes.begin(), ex.nodes.end()),
+                          "exchange nodes not sorted");
+
+            // The mirrored exchange must exist with the same node set.
+            const PeSchedule &peer = pes_[ex.peer];
+            const auto it = std::lower_bound(
+                peer.exchanges.begin(), peer.exchanges.end(), p,
+                [](const Exchange &e, int part) { return e.peer < part; });
+            QUAKE_REQUIRE(it != peer.exchanges.end() && it->peer == p,
+                          "exchange is not mirrored");
+            QUAKE_REQUIRE(it->nodes == ex.nodes,
+                          "mirrored exchange has different nodes");
+        }
+    }
+}
+
+} // namespace quake::parallel

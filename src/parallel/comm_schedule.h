@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The SMVP communication schedule (paper §2.3): after each PE's local
+ * SMVP, PEs that share mesh nodes exchange their partial y values for
+ * those nodes and sum them.  Every ordered PE pair that shares nodes
+ * exchanges exactly one (maximally aggregated) message per SMVP, and the
+ * two directions of a pair carry the same node set — which is why the
+ * paper's C_max values are even and divisible by three.
+ */
+
+#ifndef QUAKE98_PARALLEL_COMM_SCHEDULE_H_
+#define QUAKE98_PARALLEL_COMM_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/tet_mesh.h"
+#include "partition/partition_stats.h"
+#include "partition/partitioner.h"
+
+namespace quake::parallel
+{
+
+/** Degrees of freedom per mesh node (x/y/z displacement). */
+inline constexpr int kDofPerNode = 3;
+
+/** One pairwise exchange: the nodes this PE shares with one peer. */
+struct Exchange
+{
+    partition::PartId peer = 0;
+
+    /** Global ids of the shared nodes, sorted ascending. */
+    std::vector<mesh::NodeId> nodes;
+
+    /** Words in the message for this exchange (one direction). */
+    std::int64_t
+    words() const
+    {
+        return static_cast<std::int64_t>(nodes.size()) * kDofPerNode;
+    }
+};
+
+/** The full exchange list of one PE, peers sorted ascending. */
+struct PeSchedule
+{
+    std::vector<Exchange> exchanges;
+
+    /** C_i: words sent plus received (both directions are equal). */
+    std::int64_t words() const;
+
+    /**
+     * B_i with maximal aggregation: one block per message, counting both
+     * the sends and the receives (paper Figure 7 convention).
+     */
+    std::int64_t blocksMaximal() const;
+
+    /**
+     * B_i when transfers are fixed `block_words`-word units (cache-line
+     * style): each message of L words costs ceil(L / block_words) blocks,
+     * again counting both directions.
+     */
+    std::int64_t blocksFixed(int block_words) const;
+};
+
+/** The communication schedule of a partitioned SMVP. */
+class CommSchedule
+{
+  public:
+    /** Build the schedule for `partition` of `mesh`. */
+    static CommSchedule build(const mesh::TetMesh &mesh,
+                              const partition::Partition &partition);
+
+    /** Overload reusing a precomputed node->parts incidence. */
+    static CommSchedule build(const partition::Partition &partition,
+                              const partition::NodeParts &node_parts);
+
+    int numPes() const { return static_cast<int>(pes_.size()); }
+
+    const PeSchedule &pe(int p) const { return pes_[p]; }
+
+    /** Sizes (words) of all directed messages, in deterministic order. */
+    std::vector<std::int64_t> messageSizes() const;
+
+    /**
+     * Words crossing the bisection that places PEs 0..p/2-1 on one side
+     * and p/2..p-1 on the other, both directions counted (paper §4.2's V).
+     */
+    std::int64_t bisectionWords() const;
+
+    /** Total words carried by all messages (each direction counted). */
+    std::int64_t totalWords() const;
+
+    /**
+     * Consistency check: exchange lists are symmetric (i lists j with
+     * node set S iff j lists i with S).  Panics on violation.
+     */
+    void validate() const;
+
+  private:
+    std::vector<PeSchedule> pes_;
+};
+
+} // namespace quake::parallel
+
+#endif // QUAKE98_PARALLEL_COMM_SCHEDULE_H_

@@ -1,0 +1,109 @@
+#include "parallel/distributor.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "sparse/assembly.h"
+
+namespace quake::parallel
+{
+
+std::int64_t
+Subdomain::localNodeOf(mesh::NodeId global_node) const
+{
+    const auto it = std::lower_bound(globalNodes.begin(), globalNodes.end(),
+                                     global_node);
+    QUAKE_REQUIRE(it != globalNodes.end() && *it == global_node,
+                  "node " << global_node << " is not on PE " << part);
+    return it - globalNodes.begin();
+}
+
+std::vector<Subdomain>
+buildSubdomains(const mesh::TetMesh &mesh,
+                const partition::Partition &partition,
+                const mesh::SoilModel *model, double poisson)
+{
+    partition.validate(mesh);
+    const int num_parts = partition.numParts;
+
+    std::vector<Subdomain> subdomains(
+        static_cast<std::size_t>(num_parts));
+    for (int p = 0; p < num_parts; ++p)
+        subdomains[p].part = p;
+
+    // Elements per part.
+    for (mesh::TetId t = 0; t < mesh.numElements(); ++t)
+        subdomains[partition.elementPart[t]].elements.push_back(t);
+
+    // Lowest part touching each node, for ownership assignment.
+    std::vector<partition::PartId> min_part(
+        static_cast<std::size_t>(mesh.numNodes()), num_parts);
+    for (mesh::TetId t = 0; t < mesh.numElements(); ++t) {
+        const partition::PartId p = partition.elementPart[t];
+        for (mesh::NodeId v : mesh.tet(t).v)
+            min_part[v] = std::min(min_part[v], p);
+    }
+
+    for (Subdomain &sub : subdomains) {
+        // Touched global nodes, sorted and deduplicated.
+        sub.globalNodes.reserve(sub.elements.size());
+        for (mesh::TetId t : sub.elements)
+            for (mesh::NodeId v : mesh.tet(t).v)
+                sub.globalNodes.push_back(v);
+        std::sort(sub.globalNodes.begin(), sub.globalNodes.end());
+        sub.globalNodes.erase(
+            std::unique(sub.globalNodes.begin(), sub.globalNodes.end()),
+            sub.globalNodes.end());
+
+        // Local mesh: copy geometry, renumber elements.
+        sub.localMesh.reserve(
+            static_cast<std::int64_t>(sub.globalNodes.size()),
+            static_cast<std::int64_t>(sub.elements.size()));
+        for (mesh::NodeId g : sub.globalNodes)
+            sub.localMesh.addNode(mesh.node(g));
+        for (mesh::TetId t : sub.elements) {
+            const mesh::Tet &e = mesh.tet(t);
+            sub.localMesh.addTet(
+                static_cast<mesh::NodeId>(sub.localNodeOf(e.v[0])),
+                static_cast<mesh::NodeId>(sub.localNodeOf(e.v[1])),
+                static_cast<mesh::NodeId>(sub.localNodeOf(e.v[2])),
+                static_cast<mesh::NodeId>(sub.localNodeOf(e.v[3])));
+        }
+
+        sub.ownsNode.resize(sub.globalNodes.size());
+        for (std::size_t i = 0; i < sub.globalNodes.size(); ++i)
+            sub.ownsNode[i] = (min_part[sub.globalNodes[i]] == sub.part);
+
+        if (model != nullptr)
+            sub.stiffness =
+                sparse::assembleStiffness(sub.localMesh, *model, poisson);
+    }
+    return subdomains;
+}
+
+DistributedProblem
+distribute(const mesh::TetMesh &mesh, const mesh::SoilModel &model,
+           const partition::Partition &partition, double poisson)
+{
+    DistributedProblem problem;
+    problem.numGlobalNodes = mesh.numNodes();
+    problem.partition = partition;
+    problem.schedule = CommSchedule::build(mesh, partition);
+    problem.subdomains =
+        buildSubdomains(mesh, partition, &model, poisson);
+    return problem;
+}
+
+DistributedProblem
+distributeTopology(const mesh::TetMesh &mesh,
+                   const partition::Partition &partition)
+{
+    DistributedProblem problem;
+    problem.numGlobalNodes = mesh.numNodes();
+    problem.partition = partition;
+    problem.schedule = CommSchedule::build(mesh, partition);
+    problem.subdomains = buildSubdomains(mesh, partition, nullptr);
+    return problem;
+}
+
+} // namespace quake::parallel

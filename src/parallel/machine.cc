@@ -1,0 +1,58 @@
+#include "parallel/machine.h"
+
+#include "common/error.h"
+
+namespace quake::parallel
+{
+
+void
+MachineModel::validate() const
+{
+    QUAKE_EXPECT(tf > 0, "machine '" << name << "' needs tf > 0");
+    QUAKE_EXPECT(tl >= 0, "machine '" << name << "' needs tl >= 0");
+    QUAKE_EXPECT(tw >= 0, "machine '" << name << "' needs tw >= 0");
+}
+
+MachineModel
+crayT3d()
+{
+    // T_f measured in the paper; the T3D's interface is roughly 2x the
+    // T3E's latency with ~1/3 its burst rate (Stricker & Gross, ref
+    // [19], report 30-40 MB/s optimal strided copies).
+    return MachineModel{"Cray T3D", 30e-9, 44e-6, 160e-9};
+}
+
+MachineModel
+crayT3e()
+{
+    return MachineModel{"Cray T3E", 14e-9, 22e-6, 55e-9};
+}
+
+MachineModel
+currentMachine100()
+{
+    // 100 MFLOPS sustained; communication constants at T3E levels.
+    return MachineModel{"current-100MFLOPS", 10e-9, 22e-6, 55e-9};
+}
+
+MachineModel
+futureMachine200()
+{
+    // 200 MFLOPS sustained; the communication constants the paper's
+    // conclusion calls for (2 us latency, 600 MB/s burst).
+    return MachineModel{"future-200MFLOPS", 5e-9, 2e-6, 8.0 / 600e6};
+}
+
+MachineModel
+customMachine(const std::string &name, double mflops, double tl,
+              double burst_bytes_per_sec)
+{
+    QUAKE_EXPECT(mflops > 0, "MFLOPS must be positive");
+    QUAKE_EXPECT(burst_bytes_per_sec > 0, "burst bandwidth must be positive");
+    MachineModel m{name, 1.0 / (mflops * 1e6), tl,
+                   8.0 / burst_bytes_per_sec};
+    m.validate();
+    return m;
+}
+
+} // namespace quake::parallel

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Machine models: the three hardware/software constants the paper's
+ * models need (Figure 4) — amortized time per flop T_f, block latency
+ * T_l, and per-word burst time T_w — plus the named machines the paper
+ * measures or hypothesizes.
+ */
+
+#ifndef QUAKE98_PARALLEL_MACHINE_H_
+#define QUAKE98_PARALLEL_MACHINE_H_
+
+#include <string>
+
+namespace quake::parallel
+{
+
+/** A machine as seen by the SMVP models. */
+struct MachineModel
+{
+    std::string name;
+    double tf = 0.0; ///< seconds per flop (sustained, local SMVP)
+    double tl = 0.0; ///< block latency, seconds per block
+    double tw = 0.0; ///< burst time, seconds per additional 64-bit word
+
+    /** Sustained local computation rate in MFLOPS. */
+    double mflops() const { return 1.0 / (tf * 1e6); }
+
+    /** Burst bandwidth in bytes per second. */
+    double burstBandwidthBytes() const { return 8.0 / tw; }
+
+    /** Validate parameter ranges; throws FatalError when unusable. */
+    void validate() const;
+};
+
+/**
+ * Cray T3D (150 MHz Alpha 21064): the paper measures T_f = 30 ns for the
+ * Quake local SMVP (§3.1).  T_l/T_w follow the companion technical
+ * report's methodology; we use the T3E-style constants scaled to the
+ * T3D's slower interface as a representative setting.
+ */
+MachineModel crayT3d();
+
+/** Cray T3E (300 MHz Alpha 21164): T_f = 14 ns, T_l = 22 us, T_w = 55 ns
+ * — all three quoted directly in the paper (§3.1, §3.3). */
+MachineModel crayT3e();
+
+/** The paper's hypothetical "current" machine: 100 MFLOPS sustained. */
+MachineModel currentMachine100();
+
+/** The paper's hypothetical "future" machine: 200 MFLOPS sustained. */
+MachineModel futureMachine200();
+
+/**
+ * A machine with the given sustained MFLOPS and a communication system
+ * described by block latency (seconds) and burst bandwidth (bytes/s).
+ */
+MachineModel customMachine(const std::string &name, double mflops,
+                           double tl, double burst_bytes_per_sec);
+
+} // namespace quake::parallel
+
+#endif // QUAKE98_PARALLEL_MACHINE_H_

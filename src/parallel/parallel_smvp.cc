@@ -1,0 +1,162 @@
+#include "parallel/parallel_smvp.h"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+
+#include "common/error.h"
+
+namespace quake::parallel
+{
+
+ParallelSmvp::ParallelSmvp(const DistributedProblem &problem,
+                           int num_threads)
+    : problem_(problem)
+{
+    QUAKE_EXPECT(!problem.subdomains.empty(), "problem has no subdomains");
+    for (const Subdomain &sub : problem.subdomains)
+        QUAKE_EXPECT(sub.stiffness.numBlockRows() > 0,
+                     "subdomain " << sub.part
+                                  << " has no assembled stiffness");
+
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    num_threads_ = num_threads > 0 ? num_threads : std::max(1, hw);
+    num_threads_ = std::min(num_threads_, problem.numPes());
+
+    // Precompute exchange bookkeeping.
+    const int p = problem.numPes();
+    exchange_base_.resize(static_cast<std::size_t>(p) + 1, 0);
+    for (int i = 0; i < p; ++i)
+        exchange_base_[i + 1] =
+            exchange_base_[i] +
+            static_cast<std::int64_t>(
+                problem.schedule.pe(i).exchanges.size());
+
+    mirror_index_.resize(static_cast<std::size_t>(p));
+    exchange_local_nodes_.resize(
+        static_cast<std::size_t>(exchange_base_[p]));
+    for (int i = 0; i < p; ++i) {
+        const PeSchedule &pe = problem.schedule.pe(i);
+        mirror_index_[i].resize(pe.exchanges.size());
+        for (std::size_t k = 0; k < pe.exchanges.size(); ++k) {
+            const Exchange &ex = pe.exchanges[k];
+
+            // Locate the mirrored exchange in the peer's sorted list.
+            const auto &peer_list =
+                problem.schedule.pe(ex.peer).exchanges;
+            const auto it = std::lower_bound(
+                peer_list.begin(), peer_list.end(), i,
+                [](const Exchange &e, int part) { return e.peer < part; });
+            QUAKE_REQUIRE(it != peer_list.end() && it->peer == i,
+                          "unmirrored exchange");
+            mirror_index_[i][k] = it - peer_list.begin();
+
+            // Local node ids of the shared nodes on this PE.
+            std::vector<std::int64_t> &locals =
+                exchange_local_nodes_[exchange_base_[i] +
+                                      static_cast<std::int64_t>(k)];
+            locals.reserve(ex.nodes.size());
+            const Subdomain &sub = problem.subdomains[i];
+            for (mesh::NodeId g : ex.nodes)
+                locals.push_back(sub.localNodeOf(g));
+        }
+    }
+}
+
+std::vector<double>
+ParallelSmvp::multiply(const std::vector<double> &x) const
+{
+    const std::int64_t dof = 3 * problem_.numGlobalNodes;
+    QUAKE_EXPECT(static_cast<std::int64_t>(x.size()) == dof,
+                 "x has " << x.size() << " entries, expected " << dof);
+
+    const int p = problem_.numPes();
+    std::vector<double> y(static_cast<std::size_t>(dof), 0.0);
+
+    // Per-PE local result vectors and per-exchange message buffers.
+    std::vector<std::vector<double>> y_local(static_cast<std::size_t>(p));
+    std::vector<std::vector<double>> buffers(
+        static_cast<std::size_t>(exchange_base_[p]));
+
+    std::barrier sync(num_threads_);
+
+    auto worker = [&](int tid) {
+        // --- Phase 1: local SMVP + send-buffer fill. ---
+        for (int i = tid; i < p; i += num_threads_) {
+            const Subdomain &sub = problem_.subdomains[i];
+            const std::int64_t nl = sub.numLocalNodes();
+
+            std::vector<double> x_local(
+                static_cast<std::size_t>(3 * nl));
+            for (std::int64_t v = 0; v < nl; ++v) {
+                const std::int64_t g = sub.globalNodes[v];
+                x_local[3 * v + 0] = x[3 * g + 0];
+                x_local[3 * v + 1] = x[3 * g + 1];
+                x_local[3 * v + 2] = x[3 * g + 2];
+            }
+
+            std::vector<double> &yl = y_local[i];
+            yl.assign(static_cast<std::size_t>(3 * nl), 0.0);
+            sub.stiffness.multiply(x_local.data(), yl.data());
+
+            const PeSchedule &pe = problem_.schedule.pe(i);
+            for (std::size_t k = 0; k < pe.exchanges.size(); ++k) {
+                const std::vector<std::int64_t> &locals =
+                    exchange_local_nodes_[exchange_base_[i] +
+                                          static_cast<std::int64_t>(k)];
+                std::vector<double> &buf =
+                    buffers[exchange_base_[i] +
+                            static_cast<std::int64_t>(k)];
+                buf.resize(3 * locals.size());
+                for (std::size_t s = 0; s < locals.size(); ++s) {
+                    buf[3 * s + 0] = yl[3 * locals[s] + 0];
+                    buf[3 * s + 1] = yl[3 * locals[s] + 1];
+                    buf[3 * s + 2] = yl[3 * locals[s] + 2];
+                }
+            }
+        }
+
+        sync.arrive_and_wait();
+
+        // --- Phase 2: receive + sum, then owner write-back. ---
+        for (int i = tid; i < p; i += num_threads_) {
+            const Subdomain &sub = problem_.subdomains[i];
+            std::vector<double> &yl = y_local[i];
+            const PeSchedule &pe = problem_.schedule.pe(i);
+            for (std::size_t k = 0; k < pe.exchanges.size(); ++k) {
+                const Exchange &ex = pe.exchanges[k];
+                const std::vector<double> &buf =
+                    buffers[exchange_base_[ex.peer] + mirror_index_[i][k]];
+                const std::vector<std::int64_t> &locals =
+                    exchange_local_nodes_[exchange_base_[i] +
+                                          static_cast<std::int64_t>(k)];
+                QUAKE_REQUIRE(buf.size() == 3 * locals.size(),
+                              "message size mismatch");
+                for (std::size_t s = 0; s < locals.size(); ++s) {
+                    yl[3 * locals[s] + 0] += buf[3 * s + 0];
+                    yl[3 * locals[s] + 1] += buf[3 * s + 1];
+                    yl[3 * locals[s] + 2] += buf[3 * s + 2];
+                }
+            }
+
+            for (std::int64_t v = 0; v < sub.numLocalNodes(); ++v) {
+                if (!sub.ownsNode[v])
+                    continue;
+                const std::int64_t g = sub.globalNodes[v];
+                y[3 * g + 0] = yl[3 * v + 0];
+                y[3 * g + 1] = yl[3 * v + 1];
+                y[3 * g + 2] = yl[3 * v + 2];
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(num_threads_));
+    for (int t = 0; t < num_threads_; ++t)
+        threads.emplace_back(worker, t);
+    for (std::thread &t : threads)
+        t.join();
+    return y;
+}
+
+} // namespace quake::parallel

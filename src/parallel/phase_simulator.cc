@@ -1,0 +1,57 @@
+#include "parallel/phase_simulator.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace quake::parallel
+{
+
+PhaseTimes
+simulateSmvp(const core::SmvpCharacterization &ch,
+             const MachineModel &machine, OverlapMode overlap, NiMode ni)
+{
+    QUAKE_EXPECT(!ch.pes.empty(), "characterization has no PEs");
+    machine.validate();
+
+    PhaseTimes times;
+    for (const core::PeLoad &pe : ch.pes) {
+        times.tComp = std::max(
+            times.tComp, static_cast<double>(pe.flops) * machine.tf);
+        double comm = static_cast<double>(pe.blocks) * machine.tl +
+                      static_cast<double>(pe.words) * machine.tw;
+        // Full duplex: the schedule is symmetric (every send matched by
+        // an equal receive), so each link carries exactly half the
+        // blocks and words and the two links run concurrently.
+        if (ni == NiMode::kFullDuplex)
+            comm *= 0.5;
+        times.tComm = std::max(times.tComm, comm);
+    }
+    times.tSmvp = overlap == OverlapMode::kNone
+                      ? times.tComp + times.tComm
+                      : std::max(times.tComp, times.tComm);
+    times.efficiency =
+        times.tSmvp > 0 ? times.tComp / times.tSmvp : 1.0;
+    return times;
+}
+
+ModelAccuracy
+evaluateModelAccuracy(const core::SmvpCharacterization &ch,
+                      const MachineModel &machine)
+{
+    machine.validate();
+    const core::CharacterizationSummary summary = core::summarize(ch);
+
+    ModelAccuracy acc;
+    acc.beta = summary.beta;
+    acc.modelTcomm =
+        static_cast<double>(summary.blocksMax) * machine.tl +
+        static_cast<double>(summary.wordsMax) * machine.tw;
+
+    const PhaseTimes times = simulateSmvp(ch, machine);
+    acc.trueTcomm = times.tComm;
+    acc.ratio = acc.trueTcomm > 0 ? acc.modelTcomm / acc.trueTcomm : 1.0;
+    return acc;
+}
+
+} // namespace quake::parallel

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * BSP phase simulator: replays the SMVP's compute/exchange schedule
+ * under a MachineModel and reports phase times and efficiency.  Unlike
+ * the closed-form model (which pessimistically charges B_max and C_max
+ * to the same PE), the simulator takes the true per-PE maximum of
+ * B_i*T_l + C_i*T_w — so comparing the two empirically validates the
+ * paper's §3.4 claim that the model overestimates T_comm by at most the
+ * factor beta.
+ */
+
+#ifndef QUAKE98_PARALLEL_PHASE_SIMULATOR_H_
+#define QUAKE98_PARALLEL_PHASE_SIMULATOR_H_
+
+#include "core/characterization.h"
+#include "parallel/machine.h"
+
+namespace quake::parallel
+{
+
+/** Timing of one simulated global SMVP. */
+struct PhaseTimes
+{
+    double tComp = 0.0;      ///< max over PEs of F_i * T_f
+    double tComm = 0.0;      ///< max over PEs of B_i*T_l + C_i*T_w
+    double tSmvp = 0.0;      ///< total per the execution discipline
+    double efficiency = 0.0; ///< tComp / tSmvp
+};
+
+/** Execution discipline for combining the phases. */
+enum class OverlapMode
+{
+    kNone,    ///< paper's discipline: T = T_comp + T_comm
+    kPerfect, ///< footnote-1 upper bound: T = max(T_comp, T_comm)
+};
+
+/**
+ * Network-interface discipline (paper Figure 5 shows an NI with
+ * separate input and output links).
+ */
+enum class NiMode
+{
+    kHalfDuplex, ///< paper's accounting: sends and receives serialize
+    kFullDuplex, ///< in and out links run concurrently:
+                 ///< T_i = max(send_i, recv_i), each half the load
+};
+
+/** Simulate one global SMVP of `ch` on `machine`. */
+PhaseTimes simulateSmvp(const core::SmvpCharacterization &ch,
+                        const MachineModel &machine,
+                        OverlapMode overlap = OverlapMode::kNone,
+                        NiMode ni = NiMode::kHalfDuplex);
+
+/** Closed-form vs simulated communication time (paper §3.4). */
+struct ModelAccuracy
+{
+    double modelTcomm = 0.0; ///< B_max*T_l + C_max*T_w
+    double trueTcomm = 0.0;  ///< max over PEs of B_i*T_l + C_i*T_w
+    double ratio = 1.0;      ///< model / true, in [1, beta]
+    double beta = 1.0;       ///< the a-priori bound from the summary
+};
+
+/** Evaluate the closed-form model's overestimate on `machine`. */
+ModelAccuracy evaluateModelAccuracy(const core::SmvpCharacterization &ch,
+                                    const MachineModel &machine);
+
+} // namespace quake::parallel
+
+#endif // QUAKE98_PARALLEL_PHASE_SIMULATOR_H_

@@ -1,0 +1,70 @@
+#include "partition/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace quake::partition
+{
+
+Partition
+RandomPartitioner::partition(const mesh::TetMesh &mesh, int num_parts) const
+{
+    QUAKE_EXPECT(num_parts >= 1, "num_parts must be >= 1");
+    QUAKE_EXPECT(mesh.numElements() >= num_parts,
+                 "mesh has fewer elements than parts");
+
+    const std::size_t m = static_cast<std::size_t>(mesh.numElements());
+    std::vector<mesh::TetId> order(m);
+    std::iota(order.begin(), order.end(), 0);
+
+    // Fisher-Yates with the library RNG for determinism.
+    quake::common::SplitMix64 rng(seed_);
+    for (std::size_t i = m - 1; i > 0; --i) {
+        const std::size_t j =
+            static_cast<std::size_t>(rng.nextBounded(i + 1));
+        std::swap(order[i], order[j]);
+    }
+
+    Partition result;
+    result.numParts = num_parts;
+    result.elementPart.assign(m, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+        result.elementPart[order[i]] = static_cast<PartId>(
+            i * static_cast<std::size_t>(num_parts) / m);
+    }
+    result.validate(mesh);
+    return result;
+}
+
+Partition
+SlabPartitioner::partition(const mesh::TetMesh &mesh, int num_parts) const
+{
+    QUAKE_EXPECT(num_parts >= 1, "num_parts must be >= 1");
+    QUAKE_EXPECT(mesh.numElements() >= num_parts,
+                 "mesh has fewer elements than parts");
+
+    const std::size_t m = static_cast<std::size_t>(mesh.numElements());
+    std::vector<mesh::TetId> order(m);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](mesh::TetId a, mesh::TetId b) {
+                  const double xa = mesh.tetCentroidOf(a).x;
+                  const double xb = mesh.tetCentroidOf(b).x;
+                  return xa < xb || (xa == xb && a < b);
+              });
+
+    Partition result;
+    result.numParts = num_parts;
+    result.elementPart.assign(m, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+        result.elementPart[order[i]] = static_cast<PartId>(
+            i * static_cast<std::size_t>(num_parts) / m);
+    }
+    result.validate(mesh);
+    return result;
+}
+
+} // namespace quake::partition

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Baseline partitioners used to show what the geometric partitioner buys
+ * (the partition-quality ablation in DESIGN.md §4).  RandomPartitioner is
+ * the no-locality worst case; SlabPartitioner cuts the domain into 1D
+ * strips, which is balanced and local but has an O(n) boundary surface
+ * instead of the geometric partitioner's O(n^{2/3}).
+ */
+
+#ifndef QUAKE98_PARTITION_BASELINES_H_
+#define QUAKE98_PARTITION_BASELINES_H_
+
+#include <cstdint>
+
+#include "partition/partitioner.h"
+
+namespace quake::partition
+{
+
+/**
+ * Assigns elements to parts uniformly at random (exactly balanced: a
+ * shuffled block assignment).  Deterministic under a fixed seed.
+ */
+class RandomPartitioner : public Partitioner
+{
+  public:
+    explicit RandomPartitioner(std::uint64_t seed = 0x9a9'7ee'd5ULL)
+        : seed_(seed)
+    {}
+
+    Partition partition(const mesh::TetMesh &mesh,
+                        int num_parts) const override;
+
+    std::string name() const override { return "random"; }
+
+  private:
+    std::uint64_t seed_;
+};
+
+/**
+ * Splits the element set into `num_parts` equal-count slabs ordered by
+ * centroid x-coordinate (a 1D strip decomposition).
+ */
+class SlabPartitioner : public Partitioner
+{
+  public:
+    Partition partition(const mesh::TetMesh &mesh,
+                        int num_parts) const override;
+
+    std::string name() const override { return "slab-x"; }
+};
+
+} // namespace quake::partition
+
+#endif // QUAKE98_PARTITION_BASELINES_H_

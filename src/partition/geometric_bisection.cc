@@ -1,0 +1,165 @@
+#include "partition/geometric_bisection.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "mesh/geometry.h"
+
+namespace quake::partition
+{
+
+namespace
+{
+
+using mesh::TetId;
+using mesh::Vec3;
+
+/** Longest-extent axis of the bounding box of centroids[lo..hi). */
+Vec3
+longestExtentAxis(const std::vector<Vec3> &centroids,
+                  const std::vector<TetId> &order, std::size_t lo,
+                  std::size_t hi)
+{
+    mesh::Aabb box{centroids[order[lo]], centroids[order[lo]]};
+    for (std::size_t i = lo + 1; i < hi; ++i)
+        box.expand(centroids[order[i]]);
+    const Vec3 ext = box.extent();
+    if (ext.x >= ext.y && ext.x >= ext.z)
+        return Vec3{1, 0, 0};
+    if (ext.y >= ext.x && ext.y >= ext.z)
+        return Vec3{0, 1, 0};
+    return Vec3{0, 0, 1};
+}
+
+/**
+ * Principal axis of the centroid cloud via power iteration on the 3x3
+ * covariance matrix.  Deterministic: fixed start vector, fixed iteration
+ * count (the matrix is symmetric PSD, so convergence is fast; exact
+ * eigenvector accuracy is irrelevant for a median split).
+ */
+Vec3
+inertialAxis(const std::vector<Vec3> &centroids,
+             const std::vector<TetId> &order, std::size_t lo, std::size_t hi)
+{
+    const double count = static_cast<double>(hi - lo);
+    Vec3 mean{};
+    for (std::size_t i = lo; i < hi; ++i)
+        mean += centroids[order[i]];
+    mean = mean / count;
+
+    // Covariance, upper triangle.
+    double cxx = 0, cxy = 0, cxz = 0, cyy = 0, cyz = 0, czz = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+        const Vec3 d = centroids[order[i]] - mean;
+        cxx += d.x * d.x;
+        cxy += d.x * d.y;
+        cxz += d.x * d.z;
+        cyy += d.y * d.y;
+        cyz += d.y * d.z;
+        czz += d.z * d.z;
+    }
+
+    Vec3 v{1.0, 0.7548776662466927, 0.5698402909980532}; // incommensurate
+    for (int iter = 0; iter < 24; ++iter) {
+        const Vec3 w{cxx * v.x + cxy * v.y + cxz * v.z,
+                     cxy * v.x + cyy * v.y + cyz * v.z,
+                     cxz * v.x + cyz * v.y + czz * v.z};
+        const double norm = w.norm();
+        if (norm < 1e-30)
+            return longestExtentAxis(centroids, order, lo, hi);
+        v = w / norm;
+    }
+    return v;
+}
+
+struct BisectContext
+{
+    const std::vector<Vec3> &centroids;
+    std::vector<TetId> &order;
+    std::vector<PartId> &element_part;
+    BisectionAxis mode;
+};
+
+/**
+ * Assign parts [part_lo, part_lo + parts) to elements order[lo..hi),
+ * splitting element counts proportionally to the part counts on each side
+ * so that non-power-of-two part counts stay balanced.
+ */
+void
+bisect(BisectContext &ctx, std::size_t lo, std::size_t hi, PartId part_lo,
+       int parts)
+{
+    if (parts == 1) {
+        for (std::size_t i = lo; i < hi; ++i)
+            ctx.element_part[ctx.order[i]] = part_lo;
+        return;
+    }
+
+    const int parts_left = parts / 2;
+    const std::size_t count = hi - lo;
+    const std::size_t count_left =
+        count * static_cast<std::size_t>(parts_left) /
+        static_cast<std::size_t>(parts);
+
+    const Vec3 axis =
+        ctx.mode == BisectionAxis::kInertial
+            ? inertialAxis(ctx.centroids, ctx.order, lo, hi)
+            : longestExtentAxis(ctx.centroids, ctx.order, lo, hi);
+
+    auto first = ctx.order.begin() + static_cast<std::ptrdiff_t>(lo);
+    auto nth = first + static_cast<std::ptrdiff_t>(count_left);
+    auto last = ctx.order.begin() + static_cast<std::ptrdiff_t>(hi);
+    std::nth_element(first, nth, last, [&](TetId a, TetId b) {
+        const double pa = ctx.centroids[a].dot(axis);
+        const double pb = ctx.centroids[b].dot(axis);
+        // Tie-break on element id for determinism.
+        return pa < pb || (pa == pb && a < b);
+    });
+
+    bisect(ctx, lo, lo + count_left, part_lo, parts_left);
+    bisect(ctx, lo + count_left, hi, part_lo + parts_left,
+           parts - parts_left);
+}
+
+} // namespace
+
+Partition
+GeometricBisection::partition(const mesh::TetMesh &mesh,
+                              int num_parts) const
+{
+    QUAKE_EXPECT(num_parts >= 1, "num_parts must be >= 1");
+    QUAKE_EXPECT(mesh.numElements() >= num_parts,
+                 "mesh has fewer elements (" << mesh.numElements()
+                                             << ") than parts ("
+                                             << num_parts << ")");
+
+    const std::size_t m = static_cast<std::size_t>(mesh.numElements());
+    std::vector<Vec3> centroids(m);
+    for (std::size_t t = 0; t < m; ++t)
+        centroids[t] = mesh.tetCentroidOf(static_cast<TetId>(t));
+
+    std::vector<TetId> order(m);
+    std::iota(order.begin(), order.end(), 0);
+
+    Partition result;
+    result.numParts = num_parts;
+    result.elementPart.assign(m, 0);
+
+    BisectContext ctx{centroids, order, result.elementPart, axis_};
+    bisect(ctx, 0, m, 0, num_parts);
+    result.validate(mesh);
+    return result;
+}
+
+std::string
+GeometricBisection::name() const
+{
+    return axis_ == BisectionAxis::kInertial
+               ? "geometric-inertial"
+               : "geometric-coordinate";
+}
+
+} // namespace quake::partition

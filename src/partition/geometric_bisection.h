@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Recursive geometric bisection (paper §2.2, ref [12]).
+ *
+ * The Quake applications are partitioned by a recursive geometric algorithm
+ * (Miller, Teng, Thurston, Vavasis) that divides elements equally while
+ * minimizing the shared-node surface.  This implementation recursively
+ * splits the element set at the median of its centroids' projection onto a
+ * separating axis; the axis is either the longest extent of the subset's
+ * bounding box (coordinate bisection) or the principal axis of the
+ * centroid distribution (inertial bisection).  Both produce compact,
+ * well-balanced subdomains with the O(n^{2/3}) shared-node surface the
+ * paper's analysis relies on.
+ */
+
+#ifndef QUAKE98_PARTITION_GEOMETRIC_BISECTION_H_
+#define QUAKE98_PARTITION_GEOMETRIC_BISECTION_H_
+
+#include "partition/partitioner.h"
+
+namespace quake::partition
+{
+
+/** How the separating axis is chosen at each bisection step. */
+enum class BisectionAxis
+{
+    kLongestExtent, ///< longest side of the subset's centroid bounding box
+    kInertial,      ///< principal axis of the centroid covariance
+};
+
+/** Recursive geometric bisection partitioner. */
+class GeometricBisection : public Partitioner
+{
+  public:
+    explicit GeometricBisection(
+        BisectionAxis axis = BisectionAxis::kInertial)
+        : axis_(axis)
+    {}
+
+    Partition partition(const mesh::TetMesh &mesh,
+                        int num_parts) const override;
+
+    std::string name() const override;
+
+  private:
+    BisectionAxis axis_;
+};
+
+} // namespace quake::partition
+
+#endif // QUAKE98_PARTITION_GEOMETRIC_BISECTION_H_

@@ -1,0 +1,97 @@
+#include "partition/partition_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace quake::partition
+{
+
+void
+writePartition(const Partition &partition, std::ostream &os)
+{
+    os << partition.elementPart.size() << ' ' << partition.numParts
+       << '\n';
+    for (std::size_t t = 0; t < partition.elementPart.size(); ++t)
+        os << t << ' ' << partition.elementPart[t] << '\n';
+}
+
+void
+writePartition(const Partition &partition, const std::string &path)
+{
+    std::ofstream os(path);
+    QUAKE_EXPECT(os.good(), "cannot open " << path << " for writing");
+    writePartition(partition, os);
+}
+
+namespace
+{
+
+bool
+nextRecord(std::istream &is, std::istringstream &record)
+{
+    std::string line;
+    while (std::getline(is, line)) {
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        record.clear();
+        record.str(line);
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+Partition
+readPartition(std::istream &is)
+{
+    std::istringstream record;
+    QUAKE_EXPECT(nextRecord(is, record), ".part stream is empty");
+    std::int64_t num_elements = 0;
+    int num_parts = 0;
+    QUAKE_EXPECT(static_cast<bool>(record >> num_elements >> num_parts),
+                 "malformed .part header");
+    QUAKE_EXPECT(num_elements >= 0 && num_parts >= 1,
+                 "invalid .part header counts");
+
+    Partition partition;
+    partition.numParts = num_parts;
+    partition.elementPart.assign(
+        static_cast<std::size_t>(num_elements), -1);
+
+    long long first_index = 0;
+    for (std::int64_t i = 0; i < num_elements; ++i) {
+        QUAKE_EXPECT(nextRecord(is, record),
+                     ".part stream truncated at record " << i);
+        long long idx = 0;
+        long long part = 0;
+        QUAKE_EXPECT(static_cast<bool>(record >> idx >> part),
+                     "malformed .part record " << i);
+        if (i == 0) {
+            QUAKE_EXPECT(idx == 0 || idx == 1,
+                         "first element index must be 0 or 1");
+            first_index = idx;
+        }
+        QUAKE_EXPECT(idx == first_index + i,
+                     ".part indices must be consecutive");
+        QUAKE_EXPECT(part >= 0 && part < num_parts,
+                     ".part part id out of range");
+        partition.elementPart[i] = static_cast<PartId>(part);
+    }
+    return partition;
+}
+
+Partition
+readPartition(const std::string &path)
+{
+    std::ifstream is(path);
+    QUAKE_EXPECT(is.good(), "cannot open " << path);
+    return readPartition(is);
+}
+
+} // namespace quake::partition

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Partition serialization in the TetGen/Archimedes ".part" style:
+ *   <#elements> <#parts>
+ *   <element-index> <part>
+ * Lets partitions computed once (e.g. an expensive spectral run) be
+ * reused across experiments, the way the Quake mesh suite ships
+ * pre-partitioned meshes.
+ */
+
+#ifndef QUAKE98_PARTITION_PARTITION_IO_H_
+#define QUAKE98_PARTITION_PARTITION_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "partition/partitioner.h"
+
+namespace quake::partition
+{
+
+/** Write `partition` in .part format (zero-based element indices). */
+void writePartition(const Partition &partition, std::ostream &os);
+
+/** Write to `path`; throws FatalError when the file cannot be opened. */
+void writePartition(const Partition &partition, const std::string &path);
+
+/**
+ * Read a .part stream.  Accepts zero- or one-based element indices
+ * (detected from the first record).  Throws FatalError on malformed
+ * input.
+ */
+Partition readPartition(std::istream &is);
+
+/** Read from `path`. */
+Partition readPartition(const std::string &path);
+
+} // namespace quake::partition
+
+#endif // QUAKE98_PARTITION_PARTITION_IO_H_

@@ -1,0 +1,76 @@
+#include "partition/partition_stats.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace quake::partition
+{
+
+NodeParts
+buildNodeParts(const mesh::TetMesh &mesh, const Partition &partition)
+{
+    partition.validate(mesh);
+    const std::int64_t n = mesh.numNodes();
+    const std::int64_t m = mesh.numElements();
+
+    NodeParts np;
+    np.xadj.assign(static_cast<std::size_t>(n) + 1, 0);
+
+    // Count (node, part) incidences with duplicates, then compact.
+    for (mesh::TetId t = 0; t < m; ++t)
+        for (mesh::NodeId v : mesh.tet(t).v)
+            ++np.xadj[v + 1];
+    for (std::int64_t i = 0; i < n; ++i)
+        np.xadj[i + 1] += np.xadj[i];
+
+    std::vector<PartId> raw(static_cast<std::size_t>(np.xadj[n]));
+    std::vector<std::int64_t> cursor(np.xadj.begin(), np.xadj.end() - 1);
+    for (mesh::TetId t = 0; t < m; ++t) {
+        const PartId p = partition.elementPart[t];
+        for (mesh::NodeId v : mesh.tet(t).v)
+            raw[cursor[v]++] = p;
+    }
+
+    np.parts.reserve(static_cast<std::size_t>(n) * 2);
+    std::int64_t write_start = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        auto first = raw.begin() + np.xadj[i];
+        auto last = raw.begin() + np.xadj[i + 1];
+        std::sort(first, last);
+        auto unique_end = std::unique(first, last);
+        np.parts.insert(np.parts.end(), first, unique_end);
+        np.xadj[i] = write_start;
+        write_start = static_cast<std::int64_t>(np.parts.size());
+    }
+    np.xadj[n] = write_start;
+    return np;
+}
+
+PartitionStats
+computePartitionStats(const mesh::TetMesh &mesh, const Partition &partition)
+{
+    PartitionStats stats;
+    stats.numParts = partition.numParts;
+
+    const std::vector<std::int64_t> sizes = partition.partSizes();
+    stats.minElements = *std::min_element(sizes.begin(), sizes.end());
+    stats.maxElements = *std::max_element(sizes.begin(), sizes.end());
+    const double mean =
+        static_cast<double>(mesh.numElements()) / partition.numParts;
+    stats.elementImbalance = static_cast<double>(stats.maxElements) / mean;
+
+    const NodeParts np = buildNodeParts(mesh, partition);
+    for (mesh::NodeId i = 0; i < mesh.numNodes(); ++i) {
+        const int mult = np.multiplicity(i);
+        stats.maxNodeMultiplicity = std::max(stats.maxNodeMultiplicity,
+                                             mult);
+        if (mult >= 2) {
+            ++stats.sharedNodes;
+            stats.totalReplicas += mult - 1;
+        }
+    }
+    return stats;
+}
+
+} // namespace quake::partition

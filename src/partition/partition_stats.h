@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Partition quality metrics (paper §2.2): element balance and the
+ * shared-node surface.  A node is *shared* when elements from more than
+ * one subdomain touch it; shared nodes are replicated on every touching
+ * PE and are exactly the values exchanged in the SMVP communication phase.
+ */
+
+#ifndef QUAKE98_PARTITION_PARTITION_STATS_H_
+#define QUAKE98_PARTITION_PARTITION_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partitioner.h"
+
+namespace quake::partition
+{
+
+/** Map from each node to the set of parts whose elements touch it. */
+struct NodeParts
+{
+    /** CSR offsets; size numNodes + 1. */
+    std::vector<std::int64_t> xadj;
+    /** Concatenated sorted part lists per node. */
+    std::vector<PartId> parts;
+
+    /** Number of parts touching node n. */
+    int
+    multiplicity(mesh::NodeId n) const
+    {
+        return static_cast<int>(xadj[n + 1] - xadj[n]);
+    }
+};
+
+/** Aggregate partition quality numbers. */
+struct PartitionStats
+{
+    int numParts = 0;
+    std::int64_t minElements = 0; ///< smallest part, in elements
+    std::int64_t maxElements = 0; ///< largest part, in elements
+    double elementImbalance = 0;  ///< max / mean element count
+    std::int64_t sharedNodes = 0; ///< nodes touched by >= 2 parts
+    std::int64_t totalReplicas = 0; ///< sum over nodes of (parts - 1)
+    int maxNodeMultiplicity = 0;  ///< most parts touching one node
+};
+
+/** Compute the node -> parts incidence for a partition. */
+NodeParts buildNodeParts(const mesh::TetMesh &mesh,
+                         const Partition &partition);
+
+/** Compute aggregate quality statistics for a partition. */
+PartitionStats computePartitionStats(const mesh::TetMesh &mesh,
+                                     const Partition &partition);
+
+} // namespace quake::partition
+
+#endif // QUAKE98_PARTITION_PARTITION_STATS_H_

@@ -1,0 +1,43 @@
+#include "partition/partitioner.h"
+
+#include "common/error.h"
+
+namespace quake::partition
+{
+
+std::vector<mesh::TetId>
+Partition::elementsOf(PartId part) const
+{
+    std::vector<mesh::TetId> out;
+    for (std::size_t t = 0; t < elementPart.size(); ++t)
+        if (elementPart[t] == part)
+            out.push_back(static_cast<mesh::TetId>(t));
+    return out;
+}
+
+std::vector<std::int64_t>
+Partition::partSizes() const
+{
+    std::vector<std::int64_t> sizes(static_cast<std::size_t>(numParts), 0);
+    for (PartId p : elementPart)
+        ++sizes[p];
+    return sizes;
+}
+
+void
+Partition::validate(const mesh::TetMesh &mesh) const
+{
+    QUAKE_REQUIRE(numParts >= 1, "partition must have at least one part");
+    QUAKE_REQUIRE(static_cast<std::int64_t>(elementPart.size()) ==
+                      mesh.numElements(),
+                  "partition size does not match element count");
+    std::vector<std::int64_t> sizes(static_cast<std::size_t>(numParts), 0);
+    for (PartId p : elementPart) {
+        QUAKE_REQUIRE(p >= 0 && p < numParts, "part id out of range");
+        ++sizes[p];
+    }
+    for (int p = 0; p < numParts; ++p)
+        QUAKE_REQUIRE(sizes[p] > 0, "part " << p << " is empty");
+}
+
+} // namespace quake::partition

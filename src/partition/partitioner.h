@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Mesh partitioning interfaces (paper §2.2).
+ *
+ * Archimedes assigns each *element* to exactly one subdomain (one per PE);
+ * mesh nodes on subdomain boundaries are replicated on every PE whose
+ * elements touch them.  A Partition is therefore a map from element id to
+ * part id.  Partition quality drives every number in the paper's Figure 7:
+ * element balance determines F, and the shared-node surface determines
+ * C_max and B_max.
+ */
+
+#ifndef QUAKE98_PARTITION_PARTITIONER_H_
+#define QUAKE98_PARTITION_PARTITIONER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mesh/tet_mesh.h"
+
+namespace quake::partition
+{
+
+/** Identifier of a subdomain / processing element. */
+using PartId = std::int32_t;
+
+/** An assignment of every mesh element to a subdomain. */
+struct Partition
+{
+    /** Number of subdomains p. */
+    int numParts = 0;
+
+    /** Part of each element; size = mesh.numElements(), values in [0, p). */
+    std::vector<PartId> elementPart;
+
+    /** Elements assigned to part `part` (linear scan; used by tooling). */
+    std::vector<mesh::TetId> elementsOf(PartId part) const;
+
+    /** Histogram of elements per part. */
+    std::vector<std::int64_t> partSizes() const;
+
+    /**
+     * Check invariants against a mesh: size matches the element count,
+     * every value is a valid part, and no part is empty.
+     */
+    void validate(const mesh::TetMesh &mesh) const;
+};
+
+/** Strategy interface implemented by the concrete partitioners. */
+class Partitioner
+{
+  public:
+    virtual ~Partitioner() = default;
+
+    /**
+     * Partition `mesh` into `num_parts` subdomains.
+     *
+     * @param mesh      Mesh to partition; must have >= num_parts elements.
+     * @param num_parts Number of subdomains (>= 1).
+     */
+    virtual Partition partition(const mesh::TetMesh &mesh,
+                                int num_parts) const = 0;
+
+    /** Human-readable strategy name for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace quake::partition
+
+#endif // QUAKE98_PARTITION_PARTITIONER_H_

@@ -1,0 +1,181 @@
+#include "partition/refine_boundary.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace quake::partition
+{
+
+namespace
+{
+
+/**
+ * Per-node incidence counts: for each node, the list of (part, number
+ * of incident elements in that part).  Node multiplicities are tiny
+ * (a handful of parts touch any one node), so flat vectors beat maps.
+ */
+class NodePartCounts
+{
+  public:
+    NodePartCounts(const mesh::TetMesh &mesh, const Partition &partition)
+        : counts_(static_cast<std::size_t>(mesh.numNodes()))
+    {
+        for (mesh::TetId t = 0; t < mesh.numElements(); ++t) {
+            const PartId p = partition.elementPart[t];
+            for (mesh::NodeId v : mesh.tet(t).v)
+                add(v, p);
+        }
+    }
+
+    int
+    count(mesh::NodeId v, PartId p) const
+    {
+        for (const auto &[part, n] : counts_[v])
+            if (part == p)
+                return n;
+        return 0;
+    }
+
+    /** Number of distinct parts touching node v. */
+    int
+    multiplicity(mesh::NodeId v) const
+    {
+        return static_cast<int>(counts_[v].size());
+    }
+
+    /** Parts currently touching node v. */
+    const std::vector<std::pair<PartId, int>> &
+    parts(mesh::NodeId v) const
+    {
+        return counts_[v];
+    }
+
+    void
+    add(mesh::NodeId v, PartId p)
+    {
+        for (auto &[part, n] : counts_[v]) {
+            if (part == p) {
+                ++n;
+                return;
+            }
+        }
+        counts_[v].emplace_back(p, 1);
+    }
+
+    void
+    remove(mesh::NodeId v, PartId p)
+    {
+        auto &list = counts_[v];
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            if (list[i].first == p) {
+                if (--list[i].second == 0) {
+                    list[i] = list.back();
+                    list.pop_back();
+                }
+                return;
+            }
+        }
+        QUAKE_PANIC("removing a (node, part) incidence that is absent");
+    }
+
+    /** Total replicas: sum over nodes of (multiplicity - 1). */
+    std::int64_t
+    totalReplicas() const
+    {
+        std::int64_t total = 0;
+        for (const auto &list : counts_)
+            if (!list.empty())
+                total += static_cast<std::int64_t>(list.size()) - 1;
+        return total;
+    }
+
+  private:
+    std::vector<std::vector<std::pair<PartId, int>>> counts_;
+};
+
+/** Replica change if element t (currently in `from`) moved to `to`. */
+int
+moveGain(const mesh::TetMesh &mesh, const NodePartCounts &counts,
+         mesh::TetId t, PartId from, PartId to)
+{
+    int delta = 0;
+    for (mesh::NodeId v : mesh.tet(t).v) {
+        if (counts.count(v, from) == 1)
+            --delta; // `from` disappears from this node
+        if (counts.count(v, to) == 0)
+            ++delta; // `to` appears at this node
+    }
+    return delta;
+}
+
+} // namespace
+
+BoundaryRefineReport
+refineBoundary(const mesh::TetMesh &mesh, Partition &partition,
+               const BoundaryRefineOptions &options)
+{
+    partition.validate(mesh);
+    QUAKE_EXPECT(options.maxImbalance >= 1.0,
+                 "maxImbalance must be >= 1");
+
+    NodePartCounts counts(mesh, partition);
+    std::vector<std::int64_t> sizes = partition.partSizes();
+    const double mean = static_cast<double>(mesh.numElements()) /
+                        partition.numParts;
+    const std::int64_t size_cap = static_cast<std::int64_t>(
+        options.maxImbalance * mean);
+
+    BoundaryRefineReport report;
+    report.replicasBefore = counts.totalReplicas();
+
+    for (int pass = 0; pass < options.maxPasses; ++pass) {
+        std::int64_t moves_this_pass = 0;
+        for (mesh::TetId t = 0; t < mesh.numElements(); ++t) {
+            const PartId from = partition.elementPart[t];
+            if (sizes[from] <= 1)
+                continue; // never empty a part
+
+            // Candidate targets: parts already present at this
+            // element's nodes.
+            PartId best_to = from;
+            int best_gain = 0;
+            for (mesh::NodeId v : mesh.tet(t).v) {
+                if (counts.multiplicity(v) < 2)
+                    continue;
+                for (const auto &[to, n] : counts.parts(v)) {
+                    (void)n;
+                    if (to == from || sizes[to] + 1 > size_cap)
+                        continue;
+                    const int gain = moveGain(mesh, counts, t, from, to);
+                    if (gain < best_gain ||
+                        (gain == best_gain && gain < 0 &&
+                         to < best_to)) {
+                        best_gain = gain;
+                        best_to = to;
+                    }
+                }
+            }
+            if (best_gain < 0) {
+                for (mesh::NodeId v : mesh.tet(t).v) {
+                    counts.remove(v, from);
+                    counts.add(v, best_to);
+                }
+                partition.elementPart[t] = best_to;
+                --sizes[from];
+                ++sizes[best_to];
+                ++moves_this_pass;
+            }
+        }
+        ++report.passes;
+        report.moves += moves_this_pass;
+        if (moves_this_pass == 0)
+            break;
+    }
+
+    report.replicasAfter = counts.totalReplicas();
+    partition.validate(mesh);
+    return report;
+}
+
+} // namespace quake::partition

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Greedy boundary refinement of an element partition — the
+ * Kernighan-Lin/Fiduccia-Mattheyses idea specialized to the shared-node
+ * objective the paper cares about (C_max in Figure 7 is 6x the shared
+ * node count of the worst PE pair chain).
+ *
+ * Each pass visits elements on subdomain boundaries and moves one to a
+ * neighbouring subdomain when the move strictly reduces the number of
+ * (node, part) replicas without pushing the element balance past a
+ * threshold.  This is the cheap "polish" step partitioning packages
+ * (Chaco, ref [8]) run after a global method; the ablation bench shows
+ * what it buys on top of geometric and spectral bisection.
+ */
+
+#ifndef QUAKE98_PARTITION_REFINE_BOUNDARY_H_
+#define QUAKE98_PARTITION_REFINE_BOUNDARY_H_
+
+#include "partition/partitioner.h"
+
+namespace quake::partition
+{
+
+/** Controls for the refinement sweeps. */
+struct BoundaryRefineOptions
+{
+    /** Maximum sweeps over the boundary; stops early when no move helps. */
+    int maxPasses = 8;
+
+    /** Maximum allowed elements-per-part ratio to the mean (balance). */
+    double maxImbalance = 1.03;
+};
+
+/** What a refinement run did. */
+struct BoundaryRefineReport
+{
+    int passes = 0;
+    std::int64_t moves = 0;          ///< elements moved between parts
+    std::int64_t replicasBefore = 0; ///< sum over nodes of (parts - 1)
+    std::int64_t replicasAfter = 0;
+};
+
+/**
+ * Refine `partition` in place.  The objective is the total number of
+ * node replicas (the global communication volume in words / 6); each
+ * accepted move strictly decreases it.  Balance is enforced against
+ * options.maxImbalance, and no part is ever emptied.
+ */
+BoundaryRefineReport refineBoundary(
+    const mesh::TetMesh &mesh, Partition &partition,
+    const BoundaryRefineOptions &options = {});
+
+/** A partitioner decorator: base method + boundary refinement. */
+class RefinedPartitioner : public Partitioner
+{
+  public:
+    RefinedPartitioner(const Partitioner &base,
+                       const BoundaryRefineOptions &options = {})
+        : base_(base), options_(options)
+    {}
+
+    Partition
+    partition(const mesh::TetMesh &mesh, int num_parts) const override
+    {
+        Partition p = base_.partition(mesh, num_parts);
+        refineBoundary(mesh, p, options_);
+        return p;
+    }
+
+    std::string
+    name() const override
+    {
+        return base_.name() + "+refine";
+    }
+
+  private:
+    const Partitioner &base_;
+    BoundaryRefineOptions options_;
+};
+
+} // namespace quake::partition
+
+#endif // QUAKE98_PARTITION_REFINE_BOUNDARY_H_

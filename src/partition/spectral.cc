@@ -1,0 +1,393 @@
+#include "partition/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace quake::partition
+{
+
+DualGraph
+buildDualGraph(const mesh::TetMesh &mesh)
+{
+    using FaceKey = std::array<mesh::NodeId, 3>;
+    // face -> (first element, or -1 once paired)
+    std::map<FaceKey, std::pair<std::int32_t, std::int32_t>> faces;
+
+    const std::int64_t m = mesh.numElements();
+    for (mesh::TetId t = 0; t < m; ++t) {
+        const mesh::Tet &e = mesh.tet(t);
+        for (const auto &f : mesh::kTetFaces) {
+            FaceKey key{e.v[f[0]], e.v[f[1]], e.v[f[2]]};
+            std::sort(key.begin(), key.end());
+            auto [it, inserted] =
+                faces.emplace(key, std::make_pair(t, -1));
+            if (!inserted) {
+                QUAKE_REQUIRE(it->second.second == -1,
+                              "face shared by more than two elements");
+                it->second.second = t;
+            }
+        }
+    }
+
+    DualGraph g;
+    g.xadj.assign(static_cast<std::size_t>(m) + 1, 0);
+    for (const auto &[key, pair] : faces) {
+        (void)key;
+        if (pair.second >= 0) {
+            ++g.xadj[pair.first + 1];
+            ++g.xadj[pair.second + 1];
+        }
+    }
+    for (std::int64_t i = 0; i < m; ++i)
+        g.xadj[i + 1] += g.xadj[i];
+    g.adjncy.resize(static_cast<std::size_t>(g.xadj[m]));
+    std::vector<std::int64_t> cursor(g.xadj.begin(), g.xadj.end() - 1);
+    for (const auto &[key, pair] : faces) {
+        (void)key;
+        if (pair.second >= 0) {
+            g.adjncy[cursor[pair.first]++] = pair.second;
+            g.adjncy[cursor[pair.second]++] = pair.first;
+        }
+    }
+    return g;
+}
+
+namespace
+{
+
+/**
+ * Smallest eigenpair of the symmetric tridiagonal matrix T given by
+ * diagonals alpha[0..m) and off-diagonals beta[0..m-1).  Eigenvalue by
+ * Sturm-sequence bisection, eigenvector by inverse iteration.
+ */
+struct TridiagEig
+{
+    double value = 0.0;
+    std::vector<double> vector;
+};
+
+int
+sturmCountBelow(const std::vector<double> &alpha,
+                const std::vector<double> &beta, double x)
+{
+    // Number of eigenvalues of T strictly below x.
+    const std::size_t m = alpha.size();
+    int count = 0;
+    double d = alpha[0] - x;
+    if (d < 0)
+        ++count;
+    for (std::size_t i = 1; i < m; ++i) {
+        const double b2 = beta[i - 1] * beta[i - 1];
+        const double denom =
+            std::fabs(d) < 1e-300 ? std::copysign(1e-300, d) : d;
+        d = alpha[i] - x - b2 / denom;
+        if (d < 0)
+            ++count;
+    }
+    return count;
+}
+
+TridiagEig
+smallestTridiagEig(const std::vector<double> &alpha,
+                   const std::vector<double> &beta)
+{
+    const std::size_t m = alpha.size();
+    TridiagEig out;
+    if (m == 1) {
+        out.value = alpha[0];
+        out.vector = {1.0};
+        return out;
+    }
+
+    // Gershgorin bounds.
+    double lo = alpha[0], hi = alpha[0];
+    for (std::size_t i = 0; i < m; ++i) {
+        const double r = (i > 0 ? std::fabs(beta[i - 1]) : 0.0) +
+                         (i + 1 < m ? std::fabs(beta[i]) : 0.0);
+        lo = std::min(lo, alpha[i] - r);
+        hi = std::max(hi, alpha[i] + r);
+    }
+
+    // Bisection for the smallest eigenvalue.
+    for (int iter = 0; iter < 200 && hi - lo > 1e-13 * (1 + std::fabs(hi));
+         ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (sturmCountBelow(alpha, beta, mid) >= 1)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    out.value = 0.5 * (lo + hi);
+
+    // Inverse iteration: (T - (lambda - eps) I) x = b, tridiagonal LU
+    // with partial pivoting (two-band upper factor).
+    const double shift = out.value - 1e-10 * (1.0 + std::fabs(out.value));
+    std::vector<double> x(m, 1.0 / std::sqrt(static_cast<double>(m)));
+    for (int pass = 0; pass < 3; ++pass) {
+        // Solve (T - shift I) y = x in place via the Thomas algorithm
+        // with a tiny diagonal regularizer for robustness.
+        std::vector<double> d(m), c(m, 0.0);
+        for (std::size_t i = 0; i < m; ++i)
+            d[i] = alpha[i] - shift;
+        std::vector<double> y = x;
+        for (std::size_t i = 1; i < m; ++i) {
+            const double denom = std::fabs(d[i - 1]) < 1e-30
+                                     ? std::copysign(1e-30, d[i - 1])
+                                     : d[i - 1];
+            const double w = beta[i - 1] / denom;
+            d[i] -= w * beta[i - 1];
+            y[i] -= w * y[i - 1];
+            c[i - 1] = beta[i - 1];
+        }
+        const double denom_last =
+            std::fabs(d[m - 1]) < 1e-30 ? std::copysign(1e-30, d[m - 1])
+                                        : d[m - 1];
+        y[m - 1] /= denom_last;
+        for (std::size_t i = m - 1; i-- > 0;) {
+            const double denom = std::fabs(d[i]) < 1e-30
+                                     ? std::copysign(1e-30, d[i])
+                                     : d[i];
+            y[i] = (y[i] - c[i] * y[i + 1]) / denom;
+        }
+        double norm = 0;
+        for (double v : y)
+            norm += v * v;
+        norm = std::sqrt(norm);
+        QUAKE_REQUIRE(norm > 0, "inverse iteration collapsed");
+        for (std::size_t i = 0; i < m; ++i)
+            x[i] = y[i] / norm;
+    }
+    out.vector = std::move(x);
+    return out;
+}
+
+/** Induced subgraph Laplacian operator context. */
+struct SubgraphContext
+{
+    const DualGraph &graph;
+    const std::vector<std::int32_t> &vertices; ///< global ids, this subset
+    std::vector<std::int32_t> local_of;        ///< global -> local or -1
+
+    SubgraphContext(const DualGraph &g,
+                    const std::vector<std::int32_t> &verts)
+        : graph(g), vertices(verts),
+          local_of(static_cast<std::size_t>(g.numVertices()), -1)
+    {
+        for (std::size_t i = 0; i < verts.size(); ++i)
+            local_of[verts[i]] = static_cast<std::int32_t>(i);
+    }
+
+    /** y = L x on the induced subgraph. */
+    void
+    applyLaplacian(const std::vector<double> &x,
+                   std::vector<double> &y) const
+    {
+        const std::size_t n = vertices.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::int32_t g = vertices[i];
+            double degree = 0.0;
+            double sum = 0.0;
+            for (std::int64_t k = graph.xadj[g]; k < graph.xadj[g + 1];
+                 ++k) {
+                const std::int32_t nb = local_of[graph.adjncy[k]];
+                if (nb < 0)
+                    continue; // neighbour outside this subset
+                degree += 1.0;
+                sum += x[static_cast<std::size_t>(nb)];
+            }
+            y[i] = degree * x[i] - sum;
+        }
+    }
+};
+
+/** Remove the component along the all-ones vector and normalize. */
+void
+deflateConstant(std::vector<double> &v)
+{
+    double mean = 0;
+    for (double x : v)
+        mean += x;
+    mean /= static_cast<double>(v.size());
+    double norm = 0;
+    for (double &x : v) {
+        x -= mean;
+        norm += x * x;
+    }
+    norm = std::sqrt(norm);
+    if (norm > 0)
+        for (double &x : v)
+            x /= norm;
+}
+
+/**
+ * Approximate Fiedler vector of the induced subgraph via Lanczos with
+ * full reorthogonalization against the basis and the constant vector.
+ */
+std::vector<double>
+fiedlerVector(const SubgraphContext &ctx, const SpectralOptions &options,
+              std::uint64_t seed)
+{
+    const std::size_t n = ctx.vertices.size();
+    QUAKE_REQUIRE(n >= 2, "fiedler needs at least two vertices");
+
+    common::SplitMix64 rng(seed);
+    std::vector<std::vector<double>> basis;
+    std::vector<double> alpha, beta;
+
+    std::vector<double> q(n);
+    for (double &x : q)
+        x = rng.uniform(-1, 1);
+    deflateConstant(q);
+
+    std::vector<double> w(n), prev;
+    const int max_iter =
+        std::min<std::int64_t>(options.maxIterations,
+                               static_cast<std::int64_t>(n) - 1);
+    double prev_ritz = std::numeric_limits<double>::infinity();
+
+    for (int j = 0; j < max_iter; ++j) {
+        basis.push_back(q);
+        ctx.applyLaplacian(q, w);
+        if (!prev.empty())
+            for (std::size_t i = 0; i < n; ++i)
+                w[i] -= beta.back() * prev[i];
+        double a = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            a += w[i] * q[i];
+        alpha.push_back(a);
+        for (std::size_t i = 0; i < n; ++i)
+            w[i] -= a * q[i];
+
+        // Full reorthogonalization (against the basis and constants).
+        for (const std::vector<double> &b : basis) {
+            double dot = 0;
+            for (std::size_t i = 0; i < n; ++i)
+                dot += w[i] * b[i];
+            for (std::size_t i = 0; i < n; ++i)
+                w[i] -= dot * b[i];
+        }
+        // Deflate the constant (lambda = 0) eigenvector: subtract the
+        // mean, but keep the norm — it is the Lanczos beta.
+        double mean = 0;
+        for (double x : w)
+            mean += x;
+        mean /= static_cast<double>(n);
+        double norm = 0;
+        for (double &x : w) {
+            x -= mean;
+            norm += x * x;
+        }
+        norm = std::sqrt(norm);
+        if (norm < 1e-12 || !std::isfinite(norm))
+            break; // Krylov space exhausted
+
+        // Convergence check on the smallest Ritz value every few steps.
+        if (j >= 3 && j % 4 == 0) {
+            const TridiagEig eig = smallestTridiagEig(alpha, beta);
+            if (std::fabs(prev_ritz - eig.value) <=
+                options.tolerance * (1.0 + std::fabs(eig.value))) {
+                prev_ritz = eig.value;
+                break;
+            }
+            prev_ritz = eig.value;
+        }
+
+        beta.push_back(norm);
+        prev = q;
+        q = w;
+        for (double &x : q)
+            x /= norm;
+    }
+
+    // Assemble the Ritz vector in the original space.
+    const TridiagEig eig = smallestTridiagEig(alpha, beta);
+    std::vector<double> fiedler(n, 0.0);
+    for (std::size_t j = 0; j < basis.size() && j < eig.vector.size();
+         ++j)
+        for (std::size_t i = 0; i < n; ++i)
+            fiedler[i] += eig.vector[j] * basis[j][i];
+    return fiedler;
+}
+
+struct SpectralContext
+{
+    const DualGraph &graph;
+    const SpectralOptions &options;
+    std::vector<PartId> &element_part;
+};
+
+void
+spectralRecurse(SpectralContext &ctx, std::vector<std::int32_t> vertices,
+                PartId part_lo, int parts, std::uint64_t seed)
+{
+    if (parts == 1) {
+        for (std::int32_t v : vertices)
+            ctx.element_part[v] = part_lo;
+        return;
+    }
+
+    const int parts_left = parts / 2;
+    const std::size_t count_left =
+        vertices.size() * static_cast<std::size_t>(parts_left) /
+        static_cast<std::size_t>(parts);
+
+    const SubgraphContext sub(ctx.graph, vertices);
+    const std::vector<double> fiedler =
+        fiedlerVector(sub, ctx.options, seed);
+
+    // Sort subset vertices by Fiedler value; split proportionally.
+    std::vector<std::int32_t> order(vertices.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                  return fiedler[a] < fiedler[b] ||
+                         (fiedler[a] == fiedler[b] &&
+                          vertices[a] < vertices[b]);
+              });
+
+    std::vector<std::int32_t> left, right;
+    left.reserve(count_left);
+    right.reserve(vertices.size() - count_left);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        (i < count_left ? left : right).push_back(vertices[order[i]]);
+
+    spectralRecurse(ctx, std::move(left), part_lo, parts_left,
+                    seed * 6364136223846793005ULL + 1);
+    spectralRecurse(ctx, std::move(right), part_lo + parts_left,
+                    parts - parts_left,
+                    seed * 6364136223846793005ULL + 2);
+}
+
+} // namespace
+
+Partition
+SpectralBisection::partition(const mesh::TetMesh &mesh,
+                             int num_parts) const
+{
+    QUAKE_EXPECT(num_parts >= 1, "num_parts must be >= 1");
+    QUAKE_EXPECT(mesh.numElements() >= num_parts,
+                 "mesh has fewer elements than parts");
+
+    const DualGraph graph = buildDualGraph(mesh);
+    Partition result;
+    result.numParts = num_parts;
+    result.elementPart.assign(
+        static_cast<std::size_t>(mesh.numElements()), 0);
+
+    std::vector<std::int32_t> all(
+        static_cast<std::size_t>(mesh.numElements()));
+    std::iota(all.begin(), all.end(), 0);
+
+    SpectralContext ctx{graph, options_, result.elementPart};
+    spectralRecurse(ctx, std::move(all), 0, num_parts, options_.seed);
+    result.validate(mesh);
+    return result;
+}
+
+} // namespace quake::partition

@@ -1,0 +1,102 @@
+#include "quake/seismogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.h"
+#include "quake/source.h"
+
+namespace quake::sim
+{
+
+Seismogram::Seismogram(std::vector<Station> stations)
+    : stations_(std::move(stations))
+{
+    QUAKE_EXPECT(!stations_.empty(), "need at least one station");
+}
+
+Seismogram
+Seismogram::surfaceLine(const mesh::TetMesh &mesh, int count, double y_km)
+{
+    QUAKE_EXPECT(count >= 1, "need at least one station");
+    const mesh::Aabb box = mesh.bounds();
+    std::vector<Station> stations;
+    stations.reserve(static_cast<std::size_t>(count));
+    for (int s = 0; s < count; ++s) {
+        const double x =
+            box.lo.x + (box.hi.x - box.lo.x) *
+                           (count == 1 ? 0.5
+                                       : static_cast<double>(s) /
+                                             (count - 1));
+        const mesh::Vec3 target{x, y_km, box.lo.z}; // free surface
+        Station station;
+        station.node = nearestNode(mesh, target);
+        station.position = mesh.node(station.node);
+        station.name = "st" + std::to_string(s);
+        stations.push_back(std::move(station));
+    }
+    return Seismogram(std::move(stations));
+}
+
+void
+Seismogram::record(double t, const std::vector<double> &u)
+{
+    times_.push_back(t);
+    for (const Station &station : stations_) {
+        const std::size_t base =
+            3 * static_cast<std::size_t>(station.node);
+        QUAKE_EXPECT(base + 2 < u.size(),
+                     "displacement vector too small for station '"
+                         << station.name << "'");
+        const double amp = std::sqrt(u[base] * u[base] +
+                                     u[base + 1] * u[base + 1] +
+                                     u[base + 2] * u[base + 2]);
+        samples_.push_back(amp);
+    }
+}
+
+double
+Seismogram::amplitude(std::size_t station, std::size_t sample) const
+{
+    QUAKE_EXPECT(station < stations_.size(), "station out of range");
+    QUAKE_EXPECT(sample < times_.size(), "sample out of range");
+    return samples_[sample * stations_.size() + station];
+}
+
+double
+Seismogram::peakAmplitude(std::size_t station) const
+{
+    QUAKE_EXPECT(station < stations_.size(), "station out of range");
+    double peak = 0.0;
+    for (std::size_t i = 0; i < times_.size(); ++i)
+        peak = std::max(peak, amplitude(station, i));
+    return peak;
+}
+
+void
+Seismogram::write(std::ostream &os) const
+{
+    os << "# time";
+    for (const Station &s : stations_)
+        os << ' ' << s.name << "(" << s.position.x << ","
+           << s.position.y << ")";
+    os << '\n';
+    for (std::size_t i = 0; i < times_.size(); ++i) {
+        os << times_[i];
+        for (std::size_t s = 0; s < stations_.size(); ++s)
+            os << ' ' << amplitude(s, i);
+        os << '\n';
+    }
+}
+
+void
+Seismogram::write(const std::string &path) const
+{
+    std::ofstream os(path);
+    QUAKE_EXPECT(os.good(), "cannot open " << path << " for writing");
+    write(os);
+}
+
+} // namespace quake::sim

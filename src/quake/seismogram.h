@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Seismogram recording — the Quake applications' real output.  The CMU
+ * runs produced ground-motion time histories at surface receiver
+ * stations across the San Fernando Valley; this module records the
+ * displacement of chosen mesh nodes every sampling interval and writes
+ * the traces in a simple text format (one station per column).
+ */
+
+#ifndef QUAKE98_QUAKE_SEISMOGRAM_H_
+#define QUAKE98_QUAKE_SEISMOGRAM_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mesh/tet_mesh.h"
+
+namespace quake::sim
+{
+
+/** One receiver station: a mesh node with a label. */
+struct Station
+{
+    std::string name;
+    mesh::NodeId node = 0;
+    mesh::Vec3 position; ///< node position at placement time
+};
+
+/** Displacement samples for all stations over time. */
+class Seismogram
+{
+  public:
+    /** Create a recorder for the given stations. */
+    explicit Seismogram(std::vector<Station> stations);
+
+    /**
+     * Place a line of `count` evenly spaced surface stations across
+     * the domain of `mesh` at y = y_km, z = 0 (the free surface),
+     * snapping to the nearest mesh node.
+     */
+    static Seismogram surfaceLine(const mesh::TetMesh &mesh, int count,
+                                  double y_km);
+
+    /** Record one sample at simulated time t from displacement u. */
+    void record(double t, const std::vector<double> &u);
+
+    const std::vector<Station> &stations() const { return stations_; }
+
+    /** Number of samples recorded. */
+    std::size_t sampleCount() const { return times_.size(); }
+
+    /** Sampled times. */
+    const std::vector<double> &times() const { return times_; }
+
+    /**
+     * |u| of station s at sample i (Euclidean norm of the three
+     * displacement components).
+     */
+    double amplitude(std::size_t station, std::size_t sample) const;
+
+    /** Peak |u| over the whole record for one station. */
+    double peakAmplitude(std::size_t station) const;
+
+    /**
+     * Write all traces as text: a header line, then one row per
+     * sample: time followed by |u| per station.
+     */
+    void write(std::ostream &os) const;
+
+    /** Write to a file; throws FatalError when it cannot be opened. */
+    void write(const std::string &path) const;
+
+  private:
+    std::vector<Station> stations_;
+    std::vector<double> times_;
+    /** samples_[i * stations + s] = |u| of station s at sample i. */
+    std::vector<double> samples_;
+};
+
+} // namespace quake::sim
+
+#endif // QUAKE98_QUAKE_SEISMOGRAM_H_

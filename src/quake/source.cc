@@ -1,0 +1,58 @@
+#include "quake/source.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace quake::sim
+{
+
+double
+RickerWavelet::value(double t) const
+{
+    const double a = M_PI * peakFrequencyHz * (t - delaySeconds);
+    const double a2 = a * a;
+    return amplitude * (1.0 - 2.0 * a2) * std::exp(-a2);
+}
+
+void
+PointSource::apply(double t, std::vector<double> &f) const
+{
+    const double v = wavelet.value(t);
+    const std::size_t base = 3 * static_cast<std::size_t>(node);
+    QUAKE_EXPECT(base + 2 < f.size(), "force vector too small for source");
+    f[base + 0] += v * direction.x;
+    f[base + 1] += v * direction.y;
+    f[base + 2] += v * direction.z;
+}
+
+mesh::NodeId
+nearestNode(const mesh::TetMesh &mesh, const mesh::Vec3 &p)
+{
+    QUAKE_EXPECT(mesh.numNodes() > 0, "mesh has no nodes");
+    mesh::NodeId best = 0;
+    double best_dist2 = (mesh.node(0) - p).norm2();
+    for (mesh::NodeId i = 1; i < mesh.numNodes(); ++i) {
+        const double d2 = (mesh.node(i) - p).norm2();
+        if (d2 < best_dist2) {
+            best_dist2 = d2;
+            best = i;
+        }
+    }
+    return best;
+}
+
+PointSource
+makePointSource(const mesh::TetMesh &mesh, const mesh::Vec3 &hypocenter,
+                const mesh::Vec3 &direction, const RickerWavelet &wavelet)
+{
+    PointSource source;
+    source.node = nearestNode(mesh, hypocenter);
+    const double norm = direction.norm();
+    QUAKE_EXPECT(norm > 0, "source direction must be nonzero");
+    source.direction = direction / norm;
+    source.wavelet = wavelet;
+    return source;
+}
+
+} // namespace quake::sim

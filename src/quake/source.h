@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Seismic source terms for the earthquake simulation.  The Quake codes
+ * model fault slip in the underlying rock; we drive the synthetic basin
+ * with the standard point-source idealization: a Ricker wavelet force
+ * applied at the mesh node nearest a hypocenter.
+ */
+
+#ifndef QUAKE98_QUAKE_SOURCE_H_
+#define QUAKE98_QUAKE_SOURCE_H_
+
+#include <vector>
+
+#include "mesh/tet_mesh.h"
+
+namespace quake::sim
+{
+
+/**
+ * Ricker wavelet (the second derivative of a Gaussian), the canonical
+ * band-limited seismic source pulse:
+ *   r(t) = A * (1 - 2 a^2) * exp(-a^2),  a = pi * f_p * (t - t_0).
+ * Peak frequency f_p ties the source to the mesh's resolved period.
+ */
+struct RickerWavelet
+{
+    double peakFrequencyHz = 0.5; ///< f_p; resolvable when 1/f_p >= period
+    double delaySeconds = 2.0;    ///< t_0, so the pulse starts near zero
+    double amplitude = 1.0;       ///< A, force scale
+
+    /** Wavelet value at time t. */
+    double value(double t) const;
+};
+
+/** A point force at one mesh node. */
+struct PointSource
+{
+    mesh::NodeId node = 0;        ///< node the force is applied at
+    mesh::Vec3 direction{0, 0, 1}; ///< unit force direction
+    RickerWavelet wavelet;
+
+    /**
+     * Accumulate this source's contribution at time t into the global
+     * force vector f (length 3 * numNodes).
+     */
+    void apply(double t, std::vector<double> &f) const;
+};
+
+/**
+ * Build a point source at the mesh node nearest `hypocenter`, normalized
+ * to a unit direction.
+ */
+PointSource makePointSource(const mesh::TetMesh &mesh,
+                            const mesh::Vec3 &hypocenter,
+                            const mesh::Vec3 &direction,
+                            const RickerWavelet &wavelet);
+
+/** Index of the mesh node nearest p (linear scan; ties to lowest id). */
+mesh::NodeId nearestNode(const mesh::TetMesh &mesh, const mesh::Vec3 &p);
+
+} // namespace quake::sim
+
+#endif // QUAKE98_QUAKE_SOURCE_H_

@@ -1,0 +1,185 @@
+#include "quake/time_stepper.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace quake::sim
+{
+
+namespace
+{
+
+/** Shortest altitude of a tetrahedron: 3 V / (largest face area). */
+double
+shortestAltitude(const mesh::Vec3 &a, const mesh::Vec3 &b,
+                 const mesh::Vec3 &c, const mesh::Vec3 &d)
+{
+    const double vol = mesh::tetVolume(a, b, c, d);
+    const std::array<const mesh::Vec3 *, 4> v = {&a, &b, &c, &d};
+    double max_area = 0.0;
+    for (const auto &face : mesh::kTetFaces) {
+        const mesh::Vec3 &p = *v[face[0]];
+        const mesh::Vec3 &q = *v[face[1]];
+        const mesh::Vec3 &r = *v[face[2]];
+        max_area = std::max(max_area,
+                            0.5 * (q - p).cross(r - p).norm());
+    }
+    return max_area > 0 ? 3.0 * vol / max_area : 0.0;
+}
+
+double
+now_seconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+double
+stableTimeStep(const mesh::TetMesh &mesh, const mesh::SoilModel &model,
+               double poisson, double safety)
+{
+    QUAKE_EXPECT(mesh.numElements() > 0, "mesh has no elements");
+    QUAKE_EXPECT(safety > 0 && safety <= 1, "safety must be in (0, 1]");
+
+    // V_p / V_s ratio for the given Poisson ratio.
+    const double ratio =
+        std::sqrt((2.0 - 2.0 * poisson) / (1.0 - 2.0 * poisson));
+
+    double dt = std::numeric_limits<double>::infinity();
+    for (mesh::TetId t = 0; t < mesh.numElements(); ++t) {
+        const mesh::Tet &e = mesh.tet(t);
+        const double h = shortestAltitude(
+            mesh.node(e.v[0]), mesh.node(e.v[1]), mesh.node(e.v[2]),
+            mesh.node(e.v[3]));
+        const double vp =
+            model.shearWaveSpeed(mesh.tetCentroidOf(t)) * ratio;
+        if (vp > 0 && h > 0)
+            dt = std::min(dt, h / vp);
+    }
+    QUAKE_EXPECT(std::isfinite(dt), "could not bound the time step");
+    return safety * dt;
+}
+
+ExplicitTimeStepper::ExplicitTimeStepper(SmvpFn smvp,
+                                         std::vector<double> lumped_mass,
+                                         double dt)
+    : smvp_(std::move(smvp)), dt_(dt)
+{
+    QUAKE_EXPECT(dt > 0, "time step must be positive");
+    QUAKE_EXPECT(!lumped_mass.empty(), "mass vector is empty");
+    inv_mass_.reserve(lumped_mass.size());
+    for (double m : lumped_mass) {
+        QUAKE_EXPECT(m > 0, "lumped mass entries must be positive");
+        inv_mass_.push_back(1.0 / m);
+    }
+    const std::size_t dof = inv_mass_.size();
+    u_.assign(dof, 0.0);
+    up_.assign(dof, 0.0);
+    ku_.assign(dof, 0.0);
+    f_.assign(dof, 0.0);
+}
+
+void
+ExplicitTimeStepper::setDamping(double a0)
+{
+    QUAKE_EXPECT(a0 >= 0, "damping coefficient must be nonnegative");
+    QUAKE_EXPECT(a0 * dt_ < 2.0,
+                 "damping too strong for this time step (a0 dt >= 2)");
+    damping_ = a0;
+}
+
+void
+ExplicitTimeStepper::addSource(const PointSource &source)
+{
+    QUAKE_EXPECT(3 * static_cast<std::size_t>(source.node) + 2 <
+                     inv_mass_.size(),
+                 "source node outside the DOF range");
+    sources_.push_back(source);
+}
+
+void
+ExplicitTimeStepper::setInitialConditions(const std::vector<double> &u0,
+                                          const std::vector<double> &v0)
+{
+    QUAKE_EXPECT(steps_ == 0,
+                 "initial conditions must precede the first step");
+    QUAKE_EXPECT(u0.size() == u_.size() && v0.size() == u_.size(),
+                 "initial condition size mismatch");
+
+    u_ = u0;
+
+    // f(0) from the sources, K u0 from the operator.
+    std::fill(f_.begin(), f_.end(), 0.0);
+    for (const PointSource &s : sources_)
+        s.apply(0.0, f_);
+    smvp_(u_, ku_);
+
+    for (std::size_t i = 0; i < u_.size(); ++i) {
+        up_[i] = u0[i] - dt_ * v0[i] +
+                 0.5 * dt_ * dt_ * inv_mass_[i] * (f_[i] - ku_[i]);
+    }
+}
+
+void
+ExplicitTimeStepper::step()
+{
+    const double t_start = now_seconds();
+
+    // f_n: sources evaluated at the current simulated time.
+    std::fill(f_.begin(), f_.end(), 0.0);
+    const double t = time();
+    for (const PointSource &s : sources_)
+        s.apply(t, f_);
+
+    // K u_n — the SMVP this whole library is about.
+    const double t_smvp = now_seconds();
+    smvp_(u_, ku_);
+    smvp_seconds_ += now_seconds() - t_smvp;
+
+    // (1 + a0 dt/2) u_{n+1} = 2 u_n - (1 - a0 dt/2) u_{n-1}
+    //                        + dt^2 M^{-1} (f_n - K u_n),
+    // written into up_ which then becomes the new u_ by swap.  With
+    // a0 = 0 this is the classic undamped central-difference update.
+    const double dt2 = dt_ * dt_;
+    const double half_damp = 0.5 * damping_ * dt_;
+    const double denom = 1.0 + half_damp;
+    const double prev_coeff = 1.0 - half_damp;
+    for (std::size_t i = 0; i < u_.size(); ++i) {
+        up_[i] = (2.0 * u_[i] - prev_coeff * up_[i] +
+                  dt2 * inv_mass_[i] * (f_[i] - ku_[i])) /
+                 denom;
+    }
+    std::swap(u_, up_);
+    ++steps_;
+
+    total_seconds_ += now_seconds() - t_start;
+}
+
+double
+ExplicitTimeStepper::peakDisplacement() const
+{
+    double peak = 0.0;
+    for (double v : u_)
+        peak = std::max(peak, std::fabs(v));
+    return peak;
+}
+
+double
+ExplicitTimeStepper::kineticEnergy() const
+{
+    double energy = 0.0;
+    for (std::size_t i = 0; i < u_.size(); ++i) {
+        const double v = (u_[i] - up_[i]) / dt_;
+        energy += 0.5 * v * v / inv_mass_[i];
+    }
+    return energy;
+}
+
+} // namespace quake::sim

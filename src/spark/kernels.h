@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A Spark98-style SMVP kernel suite (paper postscript, ref [14]): the
+ * same stiffness matrix in three storage formats with a measurement
+ * harness for the sustained per-flop time T_f.  The paper's §3.1 point
+ * is that T_f is a *measured*, application-specific property (30 ns on
+ * the T3D, 14 ns on the T3E — ~12% of peak); this suite is how such
+ * numbers are obtained on any host.
+ */
+
+#ifndef QUAKE98_SPARK_KERNELS_H_
+#define QUAKE98_SPARK_KERNELS_H_
+
+#include <string>
+#include <vector>
+
+#include "mesh/soil_model.h"
+#include "mesh/tet_mesh.h"
+#include "sparse/smvp.h"
+
+namespace quake::spark
+{
+
+/** The kernel variants in the suite. */
+enum class Kernel
+{
+    kCsr,      ///< scalar CSR ("smv")
+    kBcsr3,    ///< 3x3 block CSR ("smvb") — the natural Quake layout
+    kSym,      ///< symmetric half storage ("smvs")
+    kThreaded, ///< row-partitioned shared-memory BCSR ("smvt")
+};
+
+/** Short name of a kernel. */
+std::string kernelName(Kernel kernel);
+
+/** All kernels, for iteration in tests and benches. */
+inline constexpr Kernel kAllKernels[] = {Kernel::kCsr, Kernel::kBcsr3,
+                                         Kernel::kSym, Kernel::kThreaded};
+
+/** Measured sustained performance of one kernel. */
+struct KernelTiming
+{
+    double secondsPerSmvp = 0.0;
+    std::int64_t flops = 0;   ///< 2 per logical nonzero (paper's F)
+    double tf = 0.0;          ///< seconds per flop
+    double mflops = 0.0;      ///< sustained rate
+};
+
+/** The suite: one matrix, all formats, plus a timing harness. */
+class KernelSuite
+{
+  public:
+    /** Assemble the stiffness of (mesh, model) in every format. */
+    KernelSuite(const mesh::TetMesh &mesh, const mesh::SoilModel &model,
+                double poisson = 0.25);
+
+    /** Scalar DOF count (3 per node). */
+    std::int64_t dof() const { return bcsr_.numRows(); }
+
+    /** Logical nonzeros (scalar entries of the full matrix). */
+    std::int64_t nnz() const { return bcsr_.nnz(); }
+
+    /** y = K x with the chosen kernel. */
+    std::vector<double> run(Kernel kernel,
+                            const std::vector<double> &x) const;
+
+    /**
+     * Measure T_f for a kernel: `repetitions` back-to-back SMVPs over a
+     * deterministic random vector, timed with the steady clock.  The
+     * flop count is the paper's F = 2m regardless of format, so formats
+     * with less memory traffic show a smaller T_f for identical
+     * arithmetic.
+     */
+    KernelTiming measure(Kernel kernel, int repetitions) const;
+
+    const sparse::Bcsr3Matrix &bcsr() const { return bcsr_; }
+    const sparse::CsrMatrix &csr() const { return csr_; }
+    const sparse::SymCsrMatrix &sym() const { return sym_; }
+
+    /** Worker threads for Kernel::kThreaded (default: hardware). */
+    void setThreads(int num_threads);
+    int threads() const { return threads_; }
+
+  private:
+    sparse::Bcsr3Matrix bcsr_;
+    sparse::CsrMatrix csr_;
+    sparse::SymCsrMatrix sym_;
+    int threads_ = 0; ///< 0 = hardware concurrency
+};
+
+/**
+ * Row-partitioned shared-memory SMVP (the Spark98 "smvt" analogue):
+ * block rows are split into nnz-balanced chunks, one std::thread per
+ * chunk.  No reduction is needed — row partitioning writes disjoint
+ * output ranges.
+ */
+void smvpThreaded(const sparse::Bcsr3Matrix &a, const double *x, double *y,
+                  int num_threads = 0);
+
+} // namespace quake::spark
+
+#endif // QUAKE98_SPARK_KERNELS_H_

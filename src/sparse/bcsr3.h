@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Block CSR matrix with 3x3 blocks — the natural shape of the Quake
+ * stiffness matrix K (paper §2.2): one 3x3 submatrix per pair of mesh
+ * nodes joined by an edge (self-edges included), three degrees of freedom
+ * (x/y/z displacement) per node.
+ */
+
+#ifndef QUAKE98_SPARSE_BCSR3_H_
+#define QUAKE98_SPARSE_BCSR3_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace quake::sparse
+{
+
+/** A dense 3x3 block stored row-major. */
+using Block3 = std::array<double, 9>;
+
+/** Sparse matrix of 3x3 blocks in block-CSR form. */
+class Bcsr3Matrix
+{
+  public:
+    Bcsr3Matrix() = default;
+
+    /**
+     * Construct an all-zero matrix with the given block sparsity.
+     *
+     * @param num_block_rows Block rows (mesh nodes); the scalar dimension
+     *                       is 3x this.
+     * @param xadj           Block-row offsets, size num_block_rows + 1.
+     * @param block_cols     Block column indices, strictly increasing per
+     *                       row.
+     */
+    Bcsr3Matrix(std::int64_t num_block_rows, std::vector<std::int64_t> xadj,
+                std::vector<std::int32_t> block_cols);
+
+    std::int64_t numBlockRows() const { return block_rows_; }
+
+    /** Scalar dimension (3 per block row). */
+    std::int64_t numRows() const { return 3 * block_rows_; }
+
+    /** Number of stored 3x3 blocks. */
+    std::int64_t
+    numBlocks() const
+    {
+        return static_cast<std::int64_t>(block_cols_.size());
+    }
+
+    /** Scalar nonzero count: 9 per block. */
+    std::int64_t nnz() const { return 9 * numBlocks(); }
+
+    /** Exact flop count of multiply(): 2 per stored scalar. */
+    std::int64_t flopsPerMultiply() const { return 2 * nnz(); }
+
+    const std::vector<std::int64_t> &xadj() const { return xadj_; }
+    const std::vector<std::int32_t> &blockCols() const { return block_cols_; }
+
+    /**
+     * Pointer to the 3x3 block at storage slot k (row-major 9 doubles);
+     * use findBlock() to map (block row, block col) to a slot.
+     */
+    double *blockAt(std::int64_t k) { return &values_[9 * k]; }
+    const double *blockAt(std::int64_t k) const { return &values_[9 * k]; }
+
+    /**
+     * Storage slot of block (br, bc), or -1 when the block is not stored.
+     * O(log row length).
+     */
+    std::int64_t findBlock(std::int64_t br, std::int32_t bc) const;
+
+    /** Accumulate a 3x3 contribution into block (br, bc); must exist. */
+    void addToBlock(std::int64_t br, std::int32_t bc, const Block3 &b);
+
+    /** y = A x on scalar vectors of length numRows(); y is overwritten. */
+    void multiply(const double *x, double *y) const;
+
+    /** Convenience overload on vectors; sizes are checked. */
+    std::vector<double> multiply(const std::vector<double> &x) const;
+
+    /**
+     * y = A x restricted to block rows [row_begin, row_end) — the building
+     * block of the per-PE local SMVP.  Writes y[3*row_begin ..
+     * 3*row_end).
+     */
+    void multiplyRows(const double *x, double *y, std::int64_t row_begin,
+                      std::int64_t row_end) const;
+
+    /** Expand to scalar CSR (for cross-checking kernels). */
+    CsrMatrix toCsr() const;
+
+    /** Check structural invariants; panics on violation. */
+    void validate() const;
+
+  private:
+    std::int64_t block_rows_ = 0;
+    std::vector<std::int64_t> xadj_;
+    std::vector<std::int32_t> block_cols_;
+    std::vector<double> values_; ///< 9 doubles per block, row-major
+};
+
+} // namespace quake::sparse
+
+#endif // QUAKE98_SPARSE_BCSR3_H_

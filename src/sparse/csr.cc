@@ -1,0 +1,97 @@
+#include "sparse/csr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace quake::sparse
+{
+
+CsrMatrix::CsrMatrix(std::int64_t num_rows, std::int64_t num_cols,
+                     std::vector<std::int64_t> xadj,
+                     std::vector<std::int32_t> cols,
+                     std::vector<double> values)
+    : rows_(num_rows), cols_count_(num_cols), xadj_(std::move(xadj)),
+      cols_(std::move(cols)), values_(std::move(values))
+{
+    validate();
+}
+
+void
+CsrMatrix::validate() const
+{
+    QUAKE_REQUIRE(rows_ >= 0 && cols_count_ >= 0, "negative dimensions");
+    QUAKE_REQUIRE(static_cast<std::int64_t>(xadj_.size()) == rows_ + 1,
+                  "xadj size mismatch");
+    QUAKE_REQUIRE(xadj_.empty() || xadj_.front() == 0,
+                  "xadj must start at 0");
+    QUAKE_REQUIRE(cols_.size() == values_.size(),
+                  "cols/values size mismatch");
+    QUAKE_REQUIRE(xadj_.empty() ||
+                      xadj_.back() ==
+                          static_cast<std::int64_t>(cols_.size()),
+                  "xadj must end at nnz");
+    for (std::int64_t r = 0; r < rows_; ++r) {
+        QUAKE_REQUIRE(xadj_[r] <= xadj_[r + 1], "xadj not nondecreasing");
+        for (std::int64_t k = xadj_[r]; k < xadj_[r + 1]; ++k) {
+            QUAKE_REQUIRE(cols_[k] >= 0 && cols_[k] < cols_count_,
+                          "column index out of range");
+            if (k > xadj_[r])
+                QUAKE_REQUIRE(cols_[k - 1] < cols_[k],
+                              "columns not strictly increasing in row");
+        }
+    }
+}
+
+void
+CsrMatrix::multiply(const double *x, double *y) const
+{
+    for (std::int64_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (std::int64_t k = xadj_[r]; k < xadj_[r + 1]; ++k)
+            acc += values_[k] * x[cols_[k]];
+        y[r] = acc;
+    }
+}
+
+std::vector<double>
+CsrMatrix::multiply(const std::vector<double> &x) const
+{
+    QUAKE_EXPECT(static_cast<std::int64_t>(x.size()) == cols_count_,
+                 "x has " << x.size() << " entries, expected "
+                          << cols_count_);
+    std::vector<double> y(static_cast<std::size_t>(rows_));
+    multiply(x.data(), y.data());
+    return y;
+}
+
+double
+CsrMatrix::at(std::int64_t r, std::int32_t c) const
+{
+    QUAKE_EXPECT(r >= 0 && r < rows_ && c >= 0 && c < cols_count_,
+                 "index out of range");
+    const auto first = cols_.begin() + xadj_[r];
+    const auto last = cols_.begin() + xadj_[r + 1];
+    const auto it = std::lower_bound(first, last, c);
+    if (it == last || *it != c)
+        return 0.0;
+    return values_[static_cast<std::size_t>(it - cols_.begin())];
+}
+
+bool
+CsrMatrix::isSymmetric(double tolerance) const
+{
+    if (rows_ != cols_count_)
+        return false;
+    for (std::int64_t r = 0; r < rows_; ++r) {
+        for (std::int64_t k = xadj_[r]; k < xadj_[r + 1]; ++k) {
+            const double mirrored = at(cols_[k], static_cast<std::int32_t>(r));
+            if (std::fabs(values_[k] - mirrored) > tolerance)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace quake::sparse

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Compressed sparse row matrix.  The scalar workhorse format for the SMVP
+ * kernels; the paper's stiffness matrices live naturally in the 3x3-block
+ * variant (bcsr3.h) and can be expanded to this format for comparison.
+ */
+
+#ifndef QUAKE98_SPARSE_CSR_H_
+#define QUAKE98_SPARSE_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace quake::sparse
+{
+
+/** A general sparse matrix in CSR form with double values. */
+class CsrMatrix
+{
+  public:
+    CsrMatrix() = default;
+
+    /**
+     * Construct from raw CSR arrays.
+     *
+     * @param num_rows Row count.
+     * @param num_cols Column count.
+     * @param xadj     Row offsets, size num_rows + 1, nondecreasing.
+     * @param cols     Column indices per row, strictly increasing per row.
+     * @param values   One value per stored entry.
+     */
+    CsrMatrix(std::int64_t num_rows, std::int64_t num_cols,
+              std::vector<std::int64_t> xadj, std::vector<std::int32_t> cols,
+              std::vector<double> values);
+
+    std::int64_t numRows() const { return rows_; }
+    std::int64_t numCols() const { return cols_count_; }
+
+    /** Number of stored entries. */
+    std::int64_t
+    nnz() const
+    {
+        return static_cast<std::int64_t>(values_.size());
+    }
+
+    const std::vector<std::int64_t> &xadj() const { return xadj_; }
+    const std::vector<std::int32_t> &cols() const { return cols_; }
+    const std::vector<double> &values() const { return values_; }
+    std::vector<double> &values() { return values_; }
+
+    /**
+     * y = A x.  x must have numCols() entries and y numRows(); y is
+     * overwritten.
+     */
+    void multiply(const double *x, double *y) const;
+
+    /** Convenience overload on vectors; sizes are checked. */
+    std::vector<double> multiply(const std::vector<double> &x) const;
+
+    /**
+     * Exact flop count of multiply(): one multiply and one add per stored
+     * entry (paper §3.1: F = 2m).
+     */
+    std::int64_t flopsPerMultiply() const { return 2 * nnz(); }
+
+    /** Entry (r, c), or 0 when not stored.  O(log row length). */
+    double at(std::int64_t r, std::int32_t c) const;
+
+    /** True when the matrix equals its transpose (values included). */
+    bool isSymmetric(double tolerance = 0.0) const;
+
+    /** Check structural invariants; panics on violation. */
+    void validate() const;
+
+  private:
+    std::int64_t rows_ = 0;
+    std::int64_t cols_count_ = 0;
+    std::vector<std::int64_t> xadj_;
+    std::vector<std::int32_t> cols_;
+    std::vector<double> values_;
+};
+
+} // namespace quake::sparse
+
+#endif // QUAKE98_SPARSE_CSR_H_

@@ -1,0 +1,76 @@
+#include "sparse/elasticity.h"
+
+#include "common/error.h"
+
+namespace quake::sparse
+{
+
+using mesh::Vec3;
+
+Material
+Material::fromShearWave(double vs, double rho, double nu)
+{
+    QUAKE_EXPECT(vs > 0 && rho > 0, "vs and rho must be positive");
+    QUAKE_EXPECT(nu > -1.0 && nu < 0.5, "Poisson ratio must be in (-1, .5)");
+    Material m;
+    m.mu = rho * vs * vs;
+    m.lambda = 2.0 * m.mu * nu / (1.0 - 2.0 * nu);
+    m.rho = rho;
+    return m;
+}
+
+std::array<Vec3, 4>
+shapeGradients(const Vec3 &a, const Vec3 &b, const Vec3 &c, const Vec3 &d)
+{
+    // Columns of J are the edge vectors from vertex a.
+    const Vec3 e1 = b - a;
+    const Vec3 e2 = c - a;
+    const Vec3 e3 = d - a;
+    const double det = e1.dot(e2.cross(e3)); // 6 * signed volume
+    QUAKE_EXPECT(det != 0.0, "degenerate tetrahedron");
+
+    // Rows of inverse(J) are the gradients of the barycentric coordinates
+    // attached to vertices b, c, d; use the adjugate / cross-product form.
+    const Vec3 g1 = e2.cross(e3) / det;
+    const Vec3 g2 = e3.cross(e1) / det;
+    const Vec3 g3 = e1.cross(e2) / det;
+    const Vec3 g0 = Vec3{} - (g1 + g2 + g3);
+    return {g0, g1, g2, g3};
+}
+
+ElementStiffness
+elementStiffness(const Vec3 &a, const Vec3 &b, const Vec3 &c, const Vec3 &d,
+                 const Material &mat)
+{
+    const double vol = mesh::tetVolume(a, b, c, d);
+    const auto g = shapeGradients(a, b, c, d);
+
+    ElementStiffness ke;
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            const double dot = g[i].dot(g[j]);
+            const double gi[3] = {g[i].x, g[i].y, g[i].z};
+            const double gj[3] = {g[j].x, g[j].y, g[j].z};
+            Block3 &blk = ke.blocks[i][j];
+            for (int r = 0; r < 3; ++r) {
+                for (int s = 0; s < 3; ++s) {
+                    double v = mat.lambda * gi[r] * gj[s] +
+                               mat.mu * gi[s] * gj[r];
+                    if (r == s)
+                        v += mat.mu * dot;
+                    blk[3 * r + s] = vol * v;
+                }
+            }
+        }
+    }
+    return ke;
+}
+
+double
+elementLumpedMass(const Vec3 &a, const Vec3 &b, const Vec3 &c, const Vec3 &d,
+                  double rho)
+{
+    return rho * mesh::tetVolume(a, b, c, d) / 4.0;
+}
+
+} // namespace quake::sparse

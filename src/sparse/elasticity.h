@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Linear-tetrahedron element matrices for isotropic linear elasticity —
+ * the physics behind the Quake stiffness matrix K.  Each element
+ * contributes a symmetric 12x12 stiffness (a 3x3 block per vertex pair)
+ * and a lumped mass; materials come from the soil model via
+ * mu = rho * Vs^2 and a Poisson ratio.
+ */
+
+#ifndef QUAKE98_SPARSE_ELASTICITY_H_
+#define QUAKE98_SPARSE_ELASTICITY_H_
+
+#include <array>
+
+#include "mesh/geometry.h"
+#include "sparse/bcsr3.h"
+
+namespace quake::sparse
+{
+
+/** Isotropic material: Lamé parameters plus density. */
+struct Material
+{
+    double lambda = 0.0; ///< Lamé first parameter
+    double mu = 0.0;     ///< shear modulus
+    double rho = 0.0;    ///< mass density
+
+    /**
+     * Build from seismic observables: shear-wave speed vs, density rho,
+     * and Poisson ratio nu (default 0.25, typical for rock, for which
+     * lambda == mu).
+     */
+    static Material fromShearWave(double vs, double rho, double nu = 0.25);
+};
+
+/** The 12x12 element stiffness as a 4x4 grid of 3x3 blocks. */
+struct ElementStiffness
+{
+    /** block(i, j) couples vertex i's DOFs to vertex j's. */
+    std::array<std::array<Block3, 4>, 4> blocks{};
+};
+
+/**
+ * Shape-function gradients of the linear tetrahedron (a, b, c, d): four
+ * constant vectors g_i with sum zero.  Precondition: positive volume.
+ */
+std::array<mesh::Vec3, 4> shapeGradients(const mesh::Vec3 &a,
+                                         const mesh::Vec3 &b,
+                                         const mesh::Vec3 &c,
+                                         const mesh::Vec3 &d);
+
+/**
+ * Element stiffness of the linear tetrahedron under isotropic elasticity:
+ *   K_ij = V * (lambda * g_i g_j^T + mu * g_j g_i^T + mu (g_i . g_j) I).
+ * The result is symmetric (K_ij = K_ji^T) and positive semidefinite with
+ * exactly the six rigid-body modes in its null space.
+ */
+ElementStiffness elementStiffness(const mesh::Vec3 &a, const mesh::Vec3 &b,
+                                  const mesh::Vec3 &c, const mesh::Vec3 &d,
+                                  const Material &mat);
+
+/**
+ * Lumped element mass: rho * V / 4 assigned to each vertex (per scalar
+ * DOF).  Row-sum lumping of the consistent mass matrix for linear tets.
+ */
+double elementLumpedMass(const mesh::Vec3 &a, const mesh::Vec3 &b,
+                         const mesh::Vec3 &c, const mesh::Vec3 &d,
+                         double rho);
+
+} // namespace quake::sparse
+
+#endif // QUAKE98_SPARSE_ELASTICITY_H_

@@ -1,0 +1,188 @@
+#include "sparse/reorder.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.h"
+
+namespace quake::sparse
+{
+
+Permutation
+Permutation::identity(std::int64_t n)
+{
+    Permutation p;
+    p.perm.resize(static_cast<std::size_t>(n));
+    p.inverse.resize(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+        p.perm[i] = static_cast<mesh::NodeId>(i);
+        p.inverse[i] = static_cast<mesh::NodeId>(i);
+    }
+    return p;
+}
+
+void
+Permutation::validate() const
+{
+    QUAKE_REQUIRE(perm.size() == inverse.size(),
+                  "perm/inverse size mismatch");
+    const std::int64_t n = static_cast<std::int64_t>(perm.size());
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    for (std::int64_t i = 0; i < n; ++i) {
+        const mesh::NodeId target = perm[i];
+        QUAKE_REQUIRE(target >= 0 && target < n,
+                      "permutation value out of range");
+        QUAKE_REQUIRE(!seen[target], "permutation value repeated");
+        seen[target] = 1;
+        QUAKE_REQUIRE(inverse[target] == static_cast<mesh::NodeId>(i),
+                      "inverse does not invert perm");
+    }
+}
+
+namespace
+{
+
+/**
+ * Pseudo-peripheral start vertex for a component: begin at the
+ * component's lowest-degree vertex, run one BFS, and restart from the
+ * lowest-degree vertex of the last level (the classic GPS refinement,
+ * one round).
+ */
+mesh::NodeId
+pseudoPeripheral(const mesh::NodeAdjacency &adj, mesh::NodeId seed,
+                 const std::vector<char> &visited)
+{
+    mesh::NodeId start = seed;
+    for (int round = 0; round < 2; ++round) {
+        // BFS recording the last level.
+        std::vector<mesh::NodeId> level = {start};
+        std::vector<char> seen(visited.begin(), visited.end());
+        seen[start] = 1;
+        std::vector<mesh::NodeId> last_level = level;
+        while (!level.empty()) {
+            last_level = level;
+            std::vector<mesh::NodeId> next;
+            for (mesh::NodeId v : level) {
+                for (std::int64_t k = adj.xadj[v]; k < adj.xadj[v + 1];
+                     ++k) {
+                    const mesh::NodeId w = adj.adjncy[k];
+                    if (!seen[w]) {
+                        seen[w] = 1;
+                        next.push_back(w);
+                    }
+                }
+            }
+            level = std::move(next);
+        }
+        // Lowest-degree vertex of the last level becomes the start.
+        mesh::NodeId best = last_level.front();
+        for (mesh::NodeId v : last_level)
+            if (adj.degree(v) < adj.degree(best) ||
+                (adj.degree(v) == adj.degree(best) && v < best))
+                best = v;
+        if (best == start)
+            break;
+        start = best;
+    }
+    return start;
+}
+
+} // namespace
+
+Permutation
+reverseCuthillMcKee(const mesh::NodeAdjacency &adjacency)
+{
+    const std::int64_t n =
+        static_cast<std::int64_t>(adjacency.xadj.size()) - 1;
+    std::vector<mesh::NodeId> order;
+    order.reserve(static_cast<std::size_t>(n));
+    std::vector<char> visited(static_cast<std::size_t>(n), 0);
+
+    for (std::int64_t seed = 0; seed < n; ++seed) {
+        if (visited[seed])
+            continue;
+        const mesh::NodeId start = pseudoPeripheral(
+            adjacency, static_cast<mesh::NodeId>(seed), visited);
+
+        // Cuthill-McKee BFS: neighbours in increasing-degree order.
+        std::queue<mesh::NodeId> queue;
+        queue.push(start);
+        visited[start] = 1;
+        while (!queue.empty()) {
+            const mesh::NodeId v = queue.front();
+            queue.pop();
+            order.push_back(v);
+
+            std::vector<mesh::NodeId> neighbours;
+            for (std::int64_t k = adjacency.xadj[v];
+                 k < adjacency.xadj[v + 1]; ++k) {
+                const mesh::NodeId w = adjacency.adjncy[k];
+                if (!visited[w]) {
+                    visited[w] = 1;
+                    neighbours.push_back(w);
+                }
+            }
+            std::sort(neighbours.begin(), neighbours.end(),
+                      [&](mesh::NodeId a, mesh::NodeId b) {
+                          const int da = adjacency.degree(a);
+                          const int db = adjacency.degree(b);
+                          return da < db || (da == db && a < b);
+                      });
+            for (mesh::NodeId w : neighbours)
+                queue.push(w);
+        }
+    }
+    QUAKE_REQUIRE(static_cast<std::int64_t>(order.size()) == n,
+                  "RCM did not visit every node");
+
+    // Reverse, then build the permutation.
+    std::reverse(order.begin(), order.end());
+    Permutation p;
+    p.perm.resize(static_cast<std::size_t>(n));
+    p.inverse.resize(static_cast<std::size_t>(n));
+    for (std::int64_t new_id = 0; new_id < n; ++new_id) {
+        p.inverse[new_id] = order[new_id];
+        p.perm[order[new_id]] = static_cast<mesh::NodeId>(new_id);
+    }
+    return p;
+}
+
+mesh::TetMesh
+permuteMesh(const mesh::TetMesh &mesh, const Permutation &permutation)
+{
+    permutation.validate();
+    QUAKE_EXPECT(static_cast<std::int64_t>(permutation.perm.size()) ==
+                     mesh.numNodes(),
+                 "permutation size does not match mesh");
+
+    mesh::TetMesh out;
+    out.reserve(mesh.numNodes(), mesh.numElements());
+    for (mesh::NodeId new_id = 0; new_id < mesh.numNodes(); ++new_id)
+        out.addNode(mesh.node(permutation.inverse[new_id]));
+    for (mesh::TetId t = 0; t < mesh.numElements(); ++t) {
+        const mesh::Tet &e = mesh.tet(t);
+        out.addTet(permutation.perm[e.v[0]], permutation.perm[e.v[1]],
+                   permutation.perm[e.v[2]], permutation.perm[e.v[3]]);
+    }
+    return out;
+}
+
+std::int64_t
+graphBandwidth(const mesh::NodeAdjacency &adjacency)
+{
+    const std::int64_t n =
+        static_cast<std::int64_t>(adjacency.xadj.size()) - 1;
+    std::int64_t bandwidth = 0;
+    for (std::int64_t v = 0; v < n; ++v) {
+        for (std::int64_t k = adjacency.xadj[v];
+             k < adjacency.xadj[v + 1]; ++k) {
+            bandwidth = std::max(
+                bandwidth,
+                std::abs(static_cast<std::int64_t>(adjacency.adjncy[k]) -
+                         v));
+        }
+    }
+    return bandwidth;
+}
+
+} // namespace quake::sparse

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Node reordering for memory locality: reverse Cuthill-McKee (RCM).
+ *
+ * The paper measures T_f on matrices whose node numbering came from
+ * the mesh generator; §4 attributes the low sustained rates partly to
+ * "irregular memory reference patterns".  RCM renumbers nodes to
+ * cluster each row's neighbours, narrowing the bandwidth of K and
+ * making the x gather cache-friendlier — the standard cheap locality
+ * optimization for exactly this kernel.  bench_tf_cache_model's
+ * companion ablation quantifies the effect through the cache model.
+ */
+
+#ifndef QUAKE98_SPARSE_REORDER_H_
+#define QUAKE98_SPARSE_REORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/tet_mesh.h"
+
+namespace quake::sparse
+{
+
+/** A node permutation: newId = perm[oldId]; inverse: old = inv[new]. */
+struct Permutation
+{
+    std::vector<mesh::NodeId> perm;    ///< old -> new
+    std::vector<mesh::NodeId> inverse; ///< new -> old
+
+    /** Identity permutation over n nodes. */
+    static Permutation identity(std::int64_t n);
+
+    /** Check that this is a bijection on [0, n); panics otherwise. */
+    void validate() const;
+};
+
+/**
+ * Reverse Cuthill-McKee ordering of the mesh's node graph.  Each
+ * connected component is traversed breadth-first from a pseudo-
+ * peripheral vertex (lowest-degree start, refined by one BFS pass),
+ * neighbours visited in increasing-degree order; the final order is
+ * reversed.
+ */
+Permutation reverseCuthillMcKee(const mesh::NodeAdjacency &adjacency);
+
+/** Apply a node permutation to a mesh (positions and element lists). */
+mesh::TetMesh permuteMesh(const mesh::TetMesh &mesh,
+                          const Permutation &permutation);
+
+/**
+ * Matrix bandwidth under an ordering: max |i - j| over adjacent node
+ * pairs (the quantity RCM minimizes, and a proxy for gather locality).
+ */
+std::int64_t graphBandwidth(const mesh::NodeAdjacency &adjacency);
+
+} // namespace quake::sparse
+
+#endif // QUAKE98_SPARSE_REORDER_H_

@@ -1,0 +1,93 @@
+#include "sparse/smvp.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace quake::sparse
+{
+
+SymCsrMatrix
+SymCsrMatrix::fromCsr(const CsrMatrix &full, double tolerance)
+{
+    QUAKE_EXPECT(full.numRows() == full.numCols(),
+                 "symmetric storage requires a square matrix");
+    QUAKE_EXPECT(full.isSymmetric(tolerance),
+                 "matrix is not symmetric within tolerance");
+
+    SymCsrMatrix sym;
+    sym.rows_ = full.numRows();
+    sym.xadj_.assign(static_cast<std::size_t>(sym.rows_) + 1, 0);
+    for (std::int64_t r = 0; r < sym.rows_; ++r) {
+        for (std::int64_t k = full.xadj()[r]; k < full.xadj()[r + 1]; ++k) {
+            if (full.cols()[k] >= r) {
+                sym.cols_.push_back(full.cols()[k]);
+                sym.values_.push_back(full.values()[k]);
+            }
+        }
+        sym.xadj_[r + 1] = static_cast<std::int64_t>(sym.cols_.size());
+    }
+    return sym;
+}
+
+void
+SymCsrMatrix::multiply(const double *x, double *y) const
+{
+    std::memset(y, 0, static_cast<std::size_t>(rows_) * sizeof(double));
+    for (std::int64_t r = 0; r < rows_; ++r) {
+        const double xr = x[r];
+        double acc = 0.0;
+        for (std::int64_t k = xadj_[r]; k < xadj_[r + 1]; ++k) {
+            const std::int32_t c = cols_[k];
+            const double v = values_[k];
+            acc += v * x[c];
+            if (c != r)
+                y[c] += v * xr;
+        }
+        y[r] += acc;
+    }
+}
+
+std::vector<double>
+SymCsrMatrix::multiply(const std::vector<double> &x) const
+{
+    QUAKE_EXPECT(static_cast<std::int64_t>(x.size()) == rows_,
+                 "x has " << x.size() << " entries, expected " << rows_);
+    std::vector<double> y(static_cast<std::size_t>(rows_));
+    multiply(x.data(), y.data());
+    return y;
+}
+
+std::int64_t
+SymCsrMatrix::flopsPerMultiply() const
+{
+    // Each stored diagonal entry: 1 mul + 1 add.  Each stored
+    // off-diagonal entry acts twice: 2 muls + 2 adds.
+    std::int64_t diag = 0;
+    for (std::int64_t r = 0; r < rows_; ++r) {
+        if (xadj_[r] < xadj_[r + 1] && cols_[xadj_[r]] == r)
+            ++diag;
+    }
+    const std::int64_t off = storedEntries() - diag;
+    return 2 * diag + 4 * off;
+}
+
+void
+smvpCsr(const CsrMatrix &a, const double *x, double *y)
+{
+    a.multiply(x, y);
+}
+
+void
+smvpBcsr3(const Bcsr3Matrix &a, const double *x, double *y)
+{
+    a.multiply(x, y);
+}
+
+void
+smvpSym(const SymCsrMatrix &a, const double *x, double *y)
+{
+    a.multiply(x, y);
+}
+
+} // namespace quake::sparse

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Sparse matrix-vector product kernel variants, in the spirit of the
+ * Spark98 suite the paper's postscript points to.  All kernels compute
+ * y = A x for the same matrix; they differ in storage (scalar CSR, 3x3
+ * block CSR, symmetric half storage) and therefore in memory traffic —
+ * which is what makes the sustained rate T_f^-1 (paper §3.1) a measured
+ * property rather than a datasheet number.
+ */
+
+#ifndef QUAKE98_SPARSE_SMVP_H_
+#define QUAKE98_SPARSE_SMVP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/bcsr3.h"
+#include "sparse/csr.h"
+
+namespace quake::sparse
+{
+
+/**
+ * Symmetric sparse matrix stored as the upper triangle (diagonal
+ * included) in CSR form.  The SMVP visits each stored off-diagonal entry
+ * once and scatters to both y[row] and y[col], halving the value traffic
+ * relative to full CSR — the classic Spark98 "smv" layout.
+ */
+class SymCsrMatrix
+{
+  public:
+    SymCsrMatrix() = default;
+
+    /** Build from a full symmetric CSR matrix (symmetry is checked). */
+    static SymCsrMatrix fromCsr(const CsrMatrix &full,
+                                double tolerance = 0.0);
+
+    std::int64_t numRows() const { return rows_; }
+
+    /** Stored entries (upper triangle including the diagonal). */
+    std::int64_t
+    storedEntries() const
+    {
+        return static_cast<std::int64_t>(values_.size());
+    }
+
+    /**
+     * y = A x; y is overwritten.  Flops: 2 per logical nonzero, i.e. the
+     * same arithmetic as full CSR but with roughly half the value loads.
+     */
+    void multiply(const double *x, double *y) const;
+
+    /** Convenience overload on vectors; sizes are checked. */
+    std::vector<double> multiply(const std::vector<double> &x) const;
+
+    /** Exact flop count of multiply(). */
+    std::int64_t flopsPerMultiply() const;
+
+  private:
+    std::int64_t rows_ = 0;
+    std::vector<std::int64_t> xadj_;
+    std::vector<std::int32_t> cols_;
+    std::vector<double> values_;
+};
+
+/** y = A x with A in scalar CSR form (arrays must be sized correctly). */
+void smvpCsr(const CsrMatrix &a, const double *x, double *y);
+
+/** y = A x with A in 3x3 block CSR form. */
+void smvpBcsr3(const Bcsr3Matrix &a, const double *x, double *y);
+
+/** y = A x with A in symmetric half storage. */
+void smvpSym(const SymCsrMatrix &a, const double *x, double *y);
+
+} // namespace quake::sparse
+
+#endif // QUAKE98_SPARSE_SMVP_H_

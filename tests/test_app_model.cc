@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the whole-application model: step decomposition, the §2.3
+ * SMVP-fraction prediction, speedup behaviour, and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/app_model.h"
+#include "core/reference.h"
+
+namespace
+{
+
+using namespace quake::core;
+using quake::common::FatalError;
+
+AppMachine
+t3eMachine()
+{
+    return AppMachine{reference::kCrayT3eTf, reference::kCrayT3eTl,
+                      reference::kCrayT3eTw};
+}
+
+TEST(AppModel, StepDecompositionAddsUp)
+{
+    SmvpShape shape;
+    shape.flops = 1'000'000;
+    shape.wordsMax = 10'000;
+    shape.blocksMax = 20;
+    const AppMachine m{10e-9, 1e-6, 50e-9};
+    AppModelParams params;
+    params.steps = 100;
+    params.vectorFlopsPerNode = 18.0;
+    params.vectorTfRatio = 0.5;
+
+    const double nodes = 25'000;
+    const AppPrediction p = predictRun(shape, nodes, m, params);
+
+    const double t_smvp = 1e6 * 10e-9;
+    const double t_comm = 20 * 1e-6 + 1e4 * 50e-9;
+    const double t_vec = nodes * 18.0 * 10e-9 * 0.5;
+    EXPECT_NEAR(p.stepSeconds, t_smvp + t_comm + t_vec, 1e-12);
+    EXPECT_NEAR(p.totalSeconds, 100 * p.stepSeconds, 1e-9);
+    EXPECT_NEAR(p.smvpFraction, (t_smvp + t_comm) / p.stepSeconds,
+                1e-12);
+    EXPECT_NEAR(p.commFraction, t_comm / p.stepSeconds, 1e-12);
+}
+
+TEST(AppModel, ReproducesSection23SmvpDominance)
+{
+    // Sequential sf2: F = p * F_p; ~42 nonzero scalars per node row
+    // means the SMVP flops dwarf the ~18-flop pointwise update.  The
+    // model must land above the paper's 80% claim.
+    const SmvpShape shape_128 =
+        reference::shapeFor(reference::PaperMesh::kSf2, 128);
+    SmvpShape sequential = shape_128;
+    sequential.flops = shape_128.flops * 128;
+    sequential.wordsMax = 1;
+    sequential.blocksMax = 0;
+    AppMachine m = t3eMachine();
+    m.tl = 0;
+    m.tw = 0;
+
+    const double nodes = 378'747;
+    const AppPrediction p = predictRun(sequential, nodes, m);
+    EXPECT_GT(p.smvpFraction, 0.8);
+    EXPECT_LT(p.smvpFraction, 1.0);
+    EXPECT_DOUBLE_EQ(p.commFraction, 0.0);
+}
+
+TEST(AppModel, SpeedupMonotoneButSubLinear)
+{
+    // On the T3E, sf2 speedups grow with p but fall away from ideal.
+    const double total_nodes = 378'747;
+    double prev = 0.0;
+    for (int p : reference::kSubdomainCounts) {
+        const SmvpShape shape =
+            reference::shapeFor(reference::PaperMesh::kSf2, p);
+        const double s = predictedSpeedup(shape, p, total_nodes,
+                                          total_nodes / p + 1000,
+                                          t3eMachine());
+        EXPECT_GT(s, prev);
+        EXPECT_LT(s, static_cast<double>(p));
+        prev = s;
+    }
+}
+
+TEST(AppModel, SmallProblemsSaturateEarlier)
+{
+    // sf10 at 128 PEs is communication-bound: its parallel efficiency
+    // (S/p) must be far below sf2's at the same PE count.
+    const double eff_sf10 =
+        predictedSpeedup(
+            reference::shapeFor(reference::PaperMesh::kSf10, 128), 128,
+            7'294, 7'294.0 / 128 + 60, t3eMachine()) /
+        128.0;
+    const double eff_sf2 =
+        predictedSpeedup(
+            reference::shapeFor(reference::PaperMesh::kSf2, 128), 128,
+            378'747, 378'747.0 / 128 + 500, t3eMachine()) /
+        128.0;
+    EXPECT_LT(eff_sf10, 0.6 * eff_sf2);
+}
+
+TEST(AppModel, RejectsBadInputs)
+{
+    const SmvpShape shape =
+        reference::shapeFor(reference::PaperMesh::kSf5, 8);
+    EXPECT_THROW(predictRun(shape, 0.0, t3eMachine()), FatalError);
+    AppMachine bad = t3eMachine();
+    bad.tf = 0;
+    EXPECT_THROW(predictRun(shape, 100.0, bad), FatalError);
+    AppModelParams params;
+    params.steps = 0;
+    EXPECT_THROW(predictRun(shape, 100.0, t3eMachine(), params),
+                 FatalError);
+}
+
+TEST(AppModel, FasterNetworkRaisesSmvpFraction)
+{
+    const SmvpShape shape =
+        reference::shapeFor(reference::PaperMesh::kSf5, 64);
+    AppMachine slow_net = t3eMachine();
+    AppMachine fast_net = t3eMachine();
+    fast_net.tl /= 10;
+    fast_net.tw /= 10;
+    const AppPrediction a = predictRun(shape, 2'500, slow_net);
+    const AppPrediction b = predictRun(shape, 2'500, fast_net);
+    EXPECT_LT(b.commFraction, a.commFraction);
+    EXPECT_LT(b.stepSeconds, a.stepSeconds);
+}
+
+} // namespace

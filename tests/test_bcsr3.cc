@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the 3x3-block CSR matrix: block lookup and accumulation,
+ * block product vs. expanded scalar product, partial-row products, and
+ * invariant validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "sparse/bcsr3.h"
+
+namespace
+{
+
+using quake::common::FatalError;
+using quake::common::SplitMix64;
+using quake::sparse::Bcsr3Matrix;
+using quake::sparse::Block3;
+using quake::sparse::CsrMatrix;
+
+/** 2 block rows; pattern { (0,0), (0,1), (1,1) }. */
+Bcsr3Matrix
+samplePattern()
+{
+    return Bcsr3Matrix(2, {0, 2, 3}, {0, 1, 1});
+}
+
+Block3
+sequentialBlock(double start)
+{
+    Block3 b;
+    for (int i = 0; i < 9; ++i)
+        b[i] = start + i;
+    return b;
+}
+
+TEST(Bcsr3, Dimensions)
+{
+    const Bcsr3Matrix a = samplePattern();
+    EXPECT_EQ(a.numBlockRows(), 2);
+    EXPECT_EQ(a.numRows(), 6);
+    EXPECT_EQ(a.numBlocks(), 3);
+    EXPECT_EQ(a.nnz(), 27);
+    EXPECT_EQ(a.flopsPerMultiply(), 54);
+}
+
+TEST(Bcsr3, StartsZeroed)
+{
+    const Bcsr3Matrix a = samplePattern();
+    const std::vector<double> y = a.multiply(std::vector<double>(6, 1.0));
+    for (double v : y)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Bcsr3, FindBlock)
+{
+    const Bcsr3Matrix a = samplePattern();
+    EXPECT_EQ(a.findBlock(0, 0), 0);
+    EXPECT_EQ(a.findBlock(0, 1), 1);
+    EXPECT_EQ(a.findBlock(1, 1), 2);
+    EXPECT_EQ(a.findBlock(1, 0), -1); // not in the pattern
+    EXPECT_THROW(a.findBlock(9, 0), FatalError);
+}
+
+TEST(Bcsr3, AddToBlockAccumulates)
+{
+    Bcsr3Matrix a = samplePattern();
+    a.addToBlock(0, 1, sequentialBlock(1));
+    a.addToBlock(0, 1, sequentialBlock(1));
+    const double *b = a.blockAt(a.findBlock(0, 1));
+    for (int i = 0; i < 9; ++i)
+        EXPECT_DOUBLE_EQ(b[i], 2.0 * (1 + i));
+}
+
+TEST(Bcsr3DeathTest, AddToMissingBlockPanics)
+{
+    Bcsr3Matrix a = samplePattern();
+    EXPECT_DEATH(a.addToBlock(1, 0, sequentialBlock(0)),
+                 "not in the sparsity pattern");
+}
+
+TEST(Bcsr3, MultiplyKnownBlock)
+{
+    // Single block row, identity-ish block.
+    Bcsr3Matrix a(1, {0, 1}, {0});
+    Block3 b{};
+    b[0] = 1;
+    b[4] = 2;
+    b[8] = 3;
+    b[1] = 5; // (0,1) entry
+    a.addToBlock(0, 0, b);
+    const std::vector<double> y = a.multiply({1, 10, 100});
+    EXPECT_DOUBLE_EQ(y[0], 1 * 1 + 5 * 10);
+    EXPECT_DOUBLE_EQ(y[1], 2 * 10);
+    EXPECT_DOUBLE_EQ(y[2], 3 * 100);
+}
+
+TEST(Bcsr3, MultiplyRejectsWrongSize)
+{
+    const Bcsr3Matrix a = samplePattern();
+    EXPECT_THROW(a.multiply(std::vector<double>(5, 0.0)), FatalError);
+}
+
+TEST(Bcsr3, MultiplyRowsWritesOnlyRange)
+{
+    Bcsr3Matrix a = samplePattern();
+    a.addToBlock(0, 0, sequentialBlock(1));
+    a.addToBlock(1, 1, sequentialBlock(2));
+
+    std::vector<double> x(6, 1.0);
+    std::vector<double> y(6, -99.0);
+    a.multiplyRows(x.data(), y.data(), 1, 2); // only block row 1
+    EXPECT_DOUBLE_EQ(y[0], -99.0);
+    EXPECT_DOUBLE_EQ(y[1], -99.0);
+    EXPECT_DOUBLE_EQ(y[2], -99.0);
+    EXPECT_DOUBLE_EQ(y[3], 2 + 3 + 4);
+}
+
+TEST(Bcsr3DeathTest, ValidateCatchesBadPattern)
+{
+    EXPECT_DEATH(Bcsr3Matrix(2, {0, 2, 3}, {1, 0, 1}),
+                 "strictly increasing");
+    EXPECT_DEATH(Bcsr3Matrix(2, {0, 1, 3}, {0, 5, 1}), "out of range");
+    EXPECT_DEATH(Bcsr3Matrix(2, {0, 2}, {0, 1}), "xadj size mismatch");
+}
+
+// Property: block multiply agrees with the expanded CSR multiply.
+class Bcsr3RandomProperty : public ::testing::TestWithParam<int>
+{
+  protected:
+    Bcsr3Matrix
+    randomMatrix(SplitMix64 &rng)
+    {
+        const std::int64_t n = 2 + static_cast<std::int64_t>(
+                                       rng.nextBounded(8));
+        std::vector<std::int64_t> xadj = {0};
+        std::vector<std::int32_t> cols;
+        for (std::int64_t r = 0; r < n; ++r) {
+            for (std::int32_t c = 0; c < n; ++c)
+                if (c == r || rng.nextDouble() < 0.35)
+                    cols.push_back(c);
+            xadj.push_back(static_cast<std::int64_t>(cols.size()));
+        }
+        Bcsr3Matrix a(n, xadj, cols);
+        for (std::int64_t r = 0; r < n; ++r) {
+            for (std::int64_t k = xadj[r]; k < xadj[r + 1]; ++k) {
+                Block3 b;
+                for (double &v : b)
+                    v = rng.uniform(-3, 3);
+                a.addToBlock(r, a.blockCols()[k], b);
+            }
+        }
+        return a;
+    }
+};
+
+TEST_P(Bcsr3RandomProperty, MatchesExpandedCsr)
+{
+    SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+    const Bcsr3Matrix a = randomMatrix(rng);
+    const CsrMatrix expanded = a.toCsr();
+    EXPECT_EQ(expanded.nnz(), a.nnz());
+
+    std::vector<double> x(static_cast<std::size_t>(a.numRows()));
+    for (double &v : x)
+        v = rng.uniform(-1, 1);
+
+    const std::vector<double> y_block = a.multiply(x);
+    const std::vector<double> y_scalar = expanded.multiply(x);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(y_block[i], y_scalar[i], 1e-12);
+}
+
+TEST_P(Bcsr3RandomProperty, ToCsrPreservesEntries)
+{
+    SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 13 + 3);
+    const Bcsr3Matrix a = randomMatrix(rng);
+    const CsrMatrix expanded = a.toCsr();
+    // Spot-check every block against the scalar matrix.
+    for (std::int64_t br = 0; br < a.numBlockRows(); ++br) {
+        for (std::int64_t k = a.xadj()[br]; k < a.xadj()[br + 1]; ++k) {
+            const std::int32_t bc = a.blockCols()[k];
+            const double *b = a.blockAt(k);
+            for (int r = 0; r < 3; ++r)
+                for (int c = 0; c < 3; ++c)
+                    EXPECT_DOUBLE_EQ(
+                        expanded.at(3 * br + r,
+                                    static_cast<std::int32_t>(3 * bc + c)),
+                        b[3 * r + c]);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Bcsr3RandomProperty,
+                         ::testing::Range(0, 15));
+
+} // namespace

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the cache simulator and the SMVP T_f prediction: geometry
+ * validation, hit/miss mechanics (cold, capacity, conflict, LRU), the
+ * two-level hierarchy accounting, and the size-dependent sustained-rate
+ * story the paper tells in §3.1/§4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/cache_model.h"
+#include "arch/smvp_trace.h"
+#include "common/error.h"
+#include "mesh/generator.h"
+#include "sparse/assembly.h"
+
+namespace
+{
+
+using namespace quake::arch;
+using quake::common::FatalError;
+
+// ------------------------------------------------------------ CacheSim
+
+TEST(CacheConfig, Geometry)
+{
+    const CacheConfig c{8 * 1024, 32, 2};
+    EXPECT_EQ(c.numSets(), 128);
+    EXPECT_NO_THROW(c.validate());
+}
+
+TEST(CacheConfig, RejectsBadGeometry)
+{
+    EXPECT_THROW((CacheConfig{0, 32, 1}).validate(), FatalError);
+    EXPECT_THROW((CacheConfig{8192, 48, 1}).validate(), FatalError);
+    EXPECT_THROW((CacheConfig{8192, 32, 7}).validate(), FatalError);
+}
+
+TEST(CacheSim, ColdMissThenHit)
+{
+    CacheSim cache(CacheConfig{1024, 32, 1});
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x101f)); // same 32-byte line
+    EXPECT_FALSE(cache.access(0x1020)); // next line
+    EXPECT_EQ(cache.accesses(), 4);
+    EXPECT_EQ(cache.misses(), 2);
+    EXPECT_DOUBLE_EQ(cache.missRate(), 0.5);
+}
+
+TEST(CacheSim, DirectMappedConflict)
+{
+    // 1 KB direct-mapped, 32B lines -> 32 sets; addresses 1 KB apart
+    // collide.
+    CacheSim cache(CacheConfig{1024, 32, 1});
+    EXPECT_FALSE(cache.access(0x0));
+    EXPECT_FALSE(cache.access(0x400)); // evicts 0x0
+    EXPECT_FALSE(cache.access(0x0));   // conflict miss
+}
+
+TEST(CacheSim, TwoWayAssociativityRemovesThatConflict)
+{
+    CacheSim cache(CacheConfig{1024, 32, 2});
+    EXPECT_FALSE(cache.access(0x0));
+    EXPECT_FALSE(cache.access(0x400));
+    EXPECT_TRUE(cache.access(0x0)); // both fit in the set
+}
+
+TEST(CacheSim, LruEvictsLeastRecentlyUsed)
+{
+    // 2-way set; three colliding lines A, B, C.
+    CacheSim cache(CacheConfig{1024, 32, 2});
+    const std::uint64_t a = 0x0, b = 0x400, c = 0x800;
+    cache.access(a);
+    cache.access(b);
+    cache.access(a);  // A most recent
+    cache.access(c);  // evicts B
+    EXPECT_TRUE(cache.access(a));
+    EXPECT_FALSE(cache.access(b));
+}
+
+TEST(CacheSim, CapacityMissesOnBigWorkingSet)
+{
+    // Stream 64 KB through an 8 KB cache twice: second pass still
+    // misses everything (LRU on a looping stream).
+    CacheSim cache(CacheConfig{8 * 1024, 32, 2});
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t addr = 0; addr < 64 * 1024; addr += 32)
+            cache.access(addr);
+    EXPECT_GT(cache.missRate(), 0.95);
+}
+
+TEST(CacheSim, SmallWorkingSetStaysResident)
+{
+    CacheSim cache(CacheConfig{8 * 1024, 32, 2});
+    for (int pass = 0; pass < 10; ++pass)
+        for (std::uint64_t addr = 0; addr < 4 * 1024; addr += 8)
+            cache.access(addr);
+    // First pass cold-misses 128 lines; the rest hit.
+    EXPECT_LT(cache.missRate(), 0.03);
+}
+
+TEST(CacheSim, ResetClears)
+{
+    CacheSim cache(CacheConfig{1024, 32, 1});
+    cache.access(0x0);
+    cache.reset();
+    EXPECT_EQ(cache.accesses(), 0);
+    EXPECT_FALSE(cache.access(0x0)); // cold again
+}
+
+// -------------------------------------------------------- HierarchySim
+
+TEST(Hierarchy, AccountsPerLevel)
+{
+    MemoryHierarchy h;
+    h.l1 = CacheConfig{1024, 32, 1};
+    h.l2 = CacheConfig{4096, 32, 2};
+    h.l1HitSeconds = 1e-9;
+    h.l2HitSeconds = 10e-9;
+    h.memorySeconds = 100e-9;
+    HierarchySim sim(h);
+
+    sim.access(0x0); // misses both: 1 + 10 + 100 ns
+    EXPECT_EQ(sim.stats().l1Misses, 1);
+    EXPECT_EQ(sim.stats().l2Misses, 1);
+    EXPECT_NEAR(sim.stats().seconds, 111e-9, 1e-15);
+
+    sim.access(0x0); // L1 hit: +1 ns
+    EXPECT_NEAR(sim.stats().seconds, 112e-9, 1e-15);
+    EXPECT_EQ(sim.stats().accesses, 2);
+}
+
+TEST(Hierarchy, L2CatchesL1Evictions)
+{
+    MemoryHierarchy h;
+    h.l1 = CacheConfig{1024, 32, 1};
+    h.l2 = CacheConfig{64 * 1024, 32, 4};
+    HierarchySim sim(h);
+    // Two conflicting L1 lines, both L2-resident after first touch.
+    sim.access(0x0);
+    sim.access(0x400);
+    sim.access(0x0); // L1 conflict miss, L2 hit
+    EXPECT_EQ(sim.stats().l1Misses, 3);
+    EXPECT_EQ(sim.stats().l2Misses, 2);
+}
+
+// ------------------------------------------------------- Tf prediction
+
+TEST(TfPrediction, InCacheMatrixRunsNearPeak)
+{
+    using namespace quake;
+    // A tiny matrix that fits in L2: after the cold pass the replay is
+    // still one pass, so rates are bounded by cold misses — use a
+    // hierarchy with fast memory to isolate the arithmetic bound.
+    const mesh::TetMesh m = mesh::buildKuhnLattice(
+        mesh::Aabb{{0, 0, 0}, {1, 1, 1}}, 2, 2, 2);
+    const mesh::UniformModel model(mesh::Aabb{{0, 0, 0}, {1, 1, 1}},
+                                   1.0, 1.0);
+    const sparse::Bcsr3Matrix k = sparse::assembleStiffness(m, model);
+
+    MemoryHierarchy instant;
+    instant.l1HitSeconds = 0.0;
+    instant.l2HitSeconds = 0.0;
+    instant.memorySeconds = 0.0;
+    const TfPrediction p = predictSmvpTf(k, instant, CoreModel{600e6});
+    // Memory is free, so the prediction collapses to the peak rate.
+    EXPECT_NEAR(p.mflops, 600.0, 1e-6);
+    EXPECT_EQ(p.flops, k.flopsPerMultiply());
+}
+
+TEST(TfPrediction, LargeMatrixFarBelowPeak)
+{
+    using namespace quake;
+    // sf10-scale matrix (~5 MB) against a T3E-like hierarchy: the
+    // paper's 12%-of-peak regime.
+    const mesh::GeneratedMesh g =
+        mesh::generateSfMesh(mesh::SfClass::kSf10);
+    const mesh::LayeredBasinModel model;
+    const sparse::Bcsr3Matrix k =
+        sparse::assembleStiffness(g.mesh, model);
+
+    const TfPrediction p =
+        predictSmvpTf(k, MemoryHierarchy{}, CoreModel{600e6});
+    EXPECT_LT(p.mflops, 0.5 * 600.0); // far below peak
+    EXPECT_GT(p.mflops, 10.0);        // but not absurd
+    EXPECT_GT(p.memory.l1MissRate(), 0.01);
+    EXPECT_NEAR(p.tf * p.mflops * 1e6, 1.0, 1e-9);
+}
+
+TEST(TfPrediction, BiggerProblemsMissMore)
+{
+    using namespace quake;
+    const mesh::UniformModel model(mesh::Aabb{{0, 0, 0}, {1, 1, 1}},
+                                   1.0, 1.0);
+    const mesh::TetMesh small = mesh::buildKuhnLattice(
+        mesh::Aabb{{0, 0, 0}, {1, 1, 1}}, 3, 3, 3);
+    const mesh::TetMesh large = mesh::buildKuhnLattice(
+        mesh::Aabb{{0, 0, 0}, {1, 1, 1}}, 12, 12, 12);
+
+    const TfPrediction ps = predictSmvpTf(
+        sparse::assembleStiffness(small, model), MemoryHierarchy{});
+    const TfPrediction pl = predictSmvpTf(
+        sparse::assembleStiffness(large, model), MemoryHierarchy{});
+    EXPECT_GE(pl.memory.l1MissRate(), ps.memory.l1MissRate());
+    EXPECT_GE(ps.mflops, pl.mflops);
+}
+
+TEST(TfPrediction, RejectsBadInputs)
+{
+    using namespace quake;
+    const sparse::Bcsr3Matrix empty;
+    EXPECT_THROW(predictSmvpTf(empty, MemoryHierarchy{}), FatalError);
+}
+
+} // namespace

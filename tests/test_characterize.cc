@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for characterization: per-PE loads vs. the schedule, the
+ * summary statistics (C_max, B_max, M_avg, F/C_max), and the §3.4 beta
+ * bound's definition and range.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/characterization.h"
+#include "mesh/generator.h"
+#include "parallel/characterize.h"
+#include "partition/geometric_bisection.h"
+
+namespace
+{
+
+using namespace quake::core;
+using namespace quake::parallel;
+using namespace quake::mesh;
+using namespace quake::partition;
+
+DistributedProblem
+latticeProblem(int parts, int n = 4)
+{
+    const TetMesh mesh =
+        buildKuhnLattice(Aabb{{0, 0, 0}, {1, 1, 1}}, n, n, n);
+    const GeometricBisection partitioner;
+    return distributeTopology(mesh, partitioner.partition(mesh, parts));
+}
+
+TEST(Characterize, LoadsMatchSchedule)
+{
+    const DistributedProblem problem = latticeProblem(4);
+    const SmvpCharacterization ch = characterize(problem, "lattice/4");
+    ASSERT_EQ(ch.numPes, 4);
+    ASSERT_EQ(ch.pes.size(), 4u);
+    for (int p = 0; p < 4; ++p) {
+        EXPECT_EQ(ch.pes[p].words, problem.schedule.pe(p).words());
+        EXPECT_EQ(ch.pes[p].blocks,
+                  problem.schedule.pe(p).blocksMaximal());
+        EXPECT_GT(ch.pes[p].flops, 0);
+    }
+    EXPECT_EQ(ch.bisectionWords, problem.schedule.bisectionWords());
+    EXPECT_EQ(ch.messageSizes, problem.schedule.messageSizes());
+}
+
+TEST(Characterize, FlopsMatchPatternArithmetic)
+{
+    // flops = 2 * 9 * (local adjacency + diagonal blocks).
+    const DistributedProblem problem = latticeProblem(2);
+    const SmvpCharacterization ch = characterize(problem, "lattice/2");
+    for (int p = 0; p < 2; ++p) {
+        const Subdomain &sub = problem.subdomains[p];
+        const NodeAdjacency adj = sub.localMesh.buildNodeAdjacency();
+        const std::int64_t blocks =
+            static_cast<std::int64_t>(adj.adjncy.size()) +
+            sub.localMesh.numNodes();
+        EXPECT_EQ(ch.pes[p].flops, 18 * blocks);
+    }
+}
+
+TEST(Characterize, AssembledAndPatternFlopsAgree)
+{
+    const TetMesh mesh =
+        buildKuhnLattice(Aabb{{0, 0, 0}, {1, 1, 1}}, 3, 3, 3);
+    const UniformModel model(Aabb{{0, 0, 0}, {1, 1, 1}}, 1.0, 1.0);
+    const GeometricBisection partitioner;
+    const Partition p = partitioner.partition(mesh, 3);
+    const SmvpCharacterization with_values =
+        characterize(distribute(mesh, model, p), "v");
+    const SmvpCharacterization pattern_only =
+        characterize(distributeTopology(mesh, p), "p");
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(with_values.pes[i].flops, pattern_only.pes[i].flops);
+}
+
+TEST(Characterize, FixedBlockModeInflatesBlocks)
+{
+    const DistributedProblem problem = latticeProblem(4);
+    CharacterizeOptions fixed;
+    fixed.blockMode = BlockMode::kFixedSize;
+    fixed.blockWords = 4;
+    const SmvpCharacterization max_blocks =
+        characterize(problem, "max");
+    const SmvpCharacterization small_blocks =
+        characterize(problem, "fixed", fixed);
+    for (int p = 0; p < 4; ++p)
+        EXPECT_GT(small_blocks.pes[p].blocks, max_blocks.pes[p].blocks);
+}
+
+// ------------------------------------------------------------ summarize
+
+TEST(Summarize, HandBuiltCharacterization)
+{
+    SmvpCharacterization ch;
+    ch.name = "hand";
+    ch.numPes = 3;
+    ch.pes = {PeLoad{100, 10, 2}, PeLoad{150, 30, 4},
+              PeLoad{120, 20, 6}};
+    ch.messageSizes = {5, 5, 10, 10, 15, 15};
+    ch.bisectionWords = 40;
+
+    const CharacterizationSummary s = summarize(ch);
+    EXPECT_EQ(s.flopsMax, 150);
+    EXPECT_NEAR(s.flopsMean, (100 + 150 + 120) / 3.0, 1e-12);
+    EXPECT_EQ(s.wordsMax, 30);
+    EXPECT_EQ(s.blocksMax, 6);
+    EXPECT_NEAR(s.messageSizeAvg, 10.0, 1e-12);
+    EXPECT_NEAR(s.flopsPerWord, 5.0, 1e-12);
+    EXPECT_EQ(s.bisectionWords, 40);
+    EXPECT_NEAR(s.flopBalance, 150.0 / (370.0 / 3.0), 1e-12);
+}
+
+TEST(Summarize, BetaOneWhenOnePeDominatesBoth)
+{
+    SmvpCharacterization ch;
+    ch.numPes = 2;
+    ch.pes = {PeLoad{1, 40, 8}, PeLoad{1, 10, 2}};
+    const CharacterizationSummary s = summarize(ch);
+    EXPECT_DOUBLE_EQ(s.beta, 1.0);
+}
+
+TEST(Summarize, BetaMatchesPaperFormula)
+{
+    // Maxima on different PEs: C_max = 40 (PE 0), B_max = 8 (PE 1).
+    SmvpCharacterization ch;
+    ch.numPes = 2;
+    ch.pes = {PeLoad{1, 40, 4}, PeLoad{1, 20, 8}};
+    const CharacterizationSummary s = summarize(ch);
+    // PE0 term: max(40*(8-4)/(40*8), 8*(40-40)/(4*40)) = max(.5, 0) = .5
+    // PE1 term: max(40*(8-8)/(20*8), 8*(40-20)/(8*40)) = max(0, .5) = .5
+    EXPECT_NEAR(s.beta, 1.5, 1e-12);
+}
+
+TEST(Summarize, BetaNeverExceedsTwo)
+{
+    SmvpCharacterization ch;
+    ch.numPes = 2;
+    ch.pes = {PeLoad{1, 1000, 1}, PeLoad{1, 1, 1000}};
+    const CharacterizationSummary s = summarize(ch);
+    EXPECT_GE(s.beta, 1.0);
+    EXPECT_LE(s.beta, 2.0);
+}
+
+TEST(Summarize, RejectsEmpty)
+{
+    EXPECT_THROW(summarize(SmvpCharacterization{}),
+                 quake::common::FatalError);
+}
+
+class LatticeBetaSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(LatticeBetaSweep, BetaInPaperRange)
+{
+    const SmvpCharacterization ch =
+        characterize(latticeProblem(GetParam(), 5), "beta-sweep");
+    const CharacterizationSummary s = summarize(ch);
+    // The paper's Figure 6 values lie in [1.00, 1.15]; the definition
+    // guarantees [1, 2].
+    EXPECT_GE(s.beta, 1.0);
+    EXPECT_LE(s.beta, 2.0);
+}
+
+TEST_P(LatticeBetaSweep, FlopsBalanced)
+{
+    const SmvpCharacterization ch =
+        characterize(latticeProblem(GetParam(), 5), "balance-sweep");
+    const CharacterizationSummary s = summarize(ch);
+    // Paper §3.1: modern partitioners distribute computation evenly.
+    EXPECT_LT(s.flopBalance, 1.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, LatticeBetaSweep,
+                         ::testing::Values(2, 4, 8, 16));
+
+} // namespace

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the communication schedule: hand-checked exchange lists,
+ * symmetry, word/block accounting (maximal and fixed-size), message
+ * sizes, and bisection volume.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "mesh/generator.h"
+#include "parallel/comm_schedule.h"
+#include "partition/baselines.h"
+#include "partition/geometric_bisection.h"
+
+namespace
+{
+
+using namespace quake::parallel;
+using namespace quake::partition;
+using namespace quake::mesh;
+
+/** Two tets sharing face (1,2,3), one per part. */
+struct TwoTetCase
+{
+    TetMesh mesh;
+    Partition partition;
+
+    TwoTetCase()
+    {
+        mesh.addNode({0, 0, 0});
+        mesh.addNode({1, 0, 0});
+        mesh.addNode({0, 1, 0});
+        mesh.addNode({0, 0, 1});
+        mesh.addNode({1, 1, 1});
+        mesh.addTet(0, 1, 2, 3);
+        mesh.addTet(1, 2, 4, 3);
+        partition.numParts = 2;
+        partition.elementPart = {0, 1};
+    }
+};
+
+TEST(CommSchedule, TwoTetExchangeByHand)
+{
+    const TwoTetCase c;
+    const CommSchedule s = CommSchedule::build(c.mesh, c.partition);
+    ASSERT_EQ(s.numPes(), 2);
+
+    // PE 0 exchanges the three face nodes {1, 2, 3} with PE 1.
+    ASSERT_EQ(s.pe(0).exchanges.size(), 1u);
+    const Exchange &ex = s.pe(0).exchanges[0];
+    EXPECT_EQ(ex.peer, 1);
+    EXPECT_EQ(ex.nodes, (std::vector<NodeId>{1, 2, 3}));
+    EXPECT_EQ(ex.words(), 9); // 3 nodes x 3 DOF
+
+    // C_i counts both directions: 2 x 9 = 18 words, 2 blocks.
+    EXPECT_EQ(s.pe(0).words(), 18);
+    EXPECT_EQ(s.pe(0).blocksMaximal(), 2);
+    EXPECT_EQ(s.pe(1).words(), 18);
+}
+
+TEST(CommSchedule, FixedBlocksUseCeiling)
+{
+    const TwoTetCase c;
+    const CommSchedule s = CommSchedule::build(c.mesh, c.partition);
+    // One 9-word message each way; with 4-word blocks: ceil(9/4) = 3
+    // blocks per direction, 6 total.
+    EXPECT_EQ(s.pe(0).blocksFixed(4), 6);
+    // With 1-word blocks, blocks == words.
+    EXPECT_EQ(s.pe(0).blocksFixed(1), s.pe(0).words());
+    // Oversized blocks degenerate to the maximal case.
+    EXPECT_EQ(s.pe(0).blocksFixed(1000), s.pe(0).blocksMaximal());
+}
+
+TEST(CommSchedule, FixedBlocksRejectNonPositive)
+{
+    const TwoTetCase c;
+    const CommSchedule s = CommSchedule::build(c.mesh, c.partition);
+    EXPECT_THROW(s.pe(0).blocksFixed(0), quake::common::FatalError);
+}
+
+TEST(CommSchedule, MessageSizesBothDirections)
+{
+    const TwoTetCase c;
+    const CommSchedule s = CommSchedule::build(c.mesh, c.partition);
+    const std::vector<std::int64_t> sizes = s.messageSizes();
+    ASSERT_EQ(sizes.size(), 2u); // one directed message each way
+    EXPECT_EQ(sizes[0], 9);
+    EXPECT_EQ(sizes[1], 9);
+    EXPECT_EQ(s.totalWords(), 18);
+}
+
+TEST(CommSchedule, BisectionCountsCrossPairs)
+{
+    const TwoTetCase c;
+    const CommSchedule s = CommSchedule::build(c.mesh, c.partition);
+    // PEs {0} | {1}: the single pair crosses; both directions counted.
+    EXPECT_EQ(s.bisectionWords(), 18);
+}
+
+TEST(CommSchedule, InteriorOnlyPartitionHasNoComm)
+{
+    // One part: nothing is shared.
+    TwoTetCase c;
+    c.partition.numParts = 1;
+    c.partition.elementPart = {0, 0};
+    const CommSchedule s = CommSchedule::build(c.mesh, c.partition);
+    EXPECT_EQ(s.pe(0).words(), 0);
+    EXPECT_EQ(s.totalWords(), 0);
+    EXPECT_EQ(s.bisectionWords(), 0);
+}
+
+TEST(CommSchedule, ThreeWaySharedNodeAllPairs)
+{
+    // Three tets around the shared edge (0, 1): every pair of parts
+    // exchanges at least nodes 0 and 1.
+    TetMesh m;
+    m.addNode({0, 0, 0});  // 0 (shared by all)
+    m.addNode({0, 0, 1});  // 1 (shared by all)
+    m.addNode({1, 0, 0});  // 2
+    m.addNode({0.5, 1, 0}); // 3
+    m.addNode({-1, 0.5, 0}); // 4
+    m.addTet(0, 1, 2, 3);
+    m.addTet(0, 1, 3, 4);
+    m.addTet(0, 1, 4, 2);
+
+    Partition p;
+    p.numParts = 3;
+    p.elementPart = {0, 1, 2};
+    const CommSchedule s = CommSchedule::build(m, p);
+
+    for (int pe = 0; pe < 3; ++pe) {
+        EXPECT_EQ(s.pe(pe).exchanges.size(), 2u);
+        for (const Exchange &ex : s.pe(pe).exchanges) {
+            EXPECT_GE(ex.nodes.size(), 2u);
+            EXPECT_TRUE(std::find(ex.nodes.begin(), ex.nodes.end(), 0) !=
+                        ex.nodes.end());
+        }
+    }
+}
+
+class LatticeScheduleTest : public ::testing::TestWithParam<int>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        mesh_ = buildKuhnLattice(Aabb{{0, 0, 0}, {1, 1, 1}}, 5, 5, 5);
+        const GeometricBisection partitioner;
+        partition_ = partitioner.partition(mesh_, GetParam());
+        schedule_ = CommSchedule::build(mesh_, partition_);
+    }
+
+    TetMesh mesh_;
+    Partition partition_;
+    CommSchedule schedule_;
+};
+
+TEST_P(LatticeScheduleTest, WordsDivisibleBySix)
+{
+    // Paper: C values are even (matched messages) and divisible by 3
+    // (three DOFs) — so divisible by 6.
+    for (int pe = 0; pe < schedule_.numPes(); ++pe)
+        EXPECT_EQ(schedule_.pe(pe).words() % 6, 0);
+}
+
+TEST_P(LatticeScheduleTest, BlocksEven)
+{
+    for (int pe = 0; pe < schedule_.numPes(); ++pe)
+        EXPECT_EQ(schedule_.pe(pe).blocksMaximal() % 2, 0);
+}
+
+TEST_P(LatticeScheduleTest, ValidatePasses)
+{
+    EXPECT_NO_THROW(schedule_.validate());
+}
+
+TEST_P(LatticeScheduleTest, TotalWordsMatchSumOfMessages)
+{
+    std::int64_t sum = 0;
+    for (std::int64_t m : schedule_.messageSizes())
+        sum += m;
+    EXPECT_EQ(sum, schedule_.totalWords());
+
+    std::int64_t per_pe_sum = 0;
+    for (int pe = 0; pe < schedule_.numPes(); ++pe)
+        per_pe_sum += schedule_.pe(pe).words();
+    EXPECT_EQ(per_pe_sum, 2 * schedule_.totalWords());
+}
+
+TEST_P(LatticeScheduleTest, BisectionBoundedByTotal)
+{
+    EXPECT_LE(schedule_.bisectionWords(), 2 * schedule_.totalWords());
+    if (schedule_.numPes() > 1) {
+        EXPECT_GT(schedule_.bisectionWords(), 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, LatticeScheduleTest,
+                         ::testing::Values(2, 3, 4, 8, 16));
+
+} // namespace

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the CSR matrix: construction validation, products against a
+ * dense reference, lookup, and symmetry checking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "sparse/csr.h"
+
+namespace
+{
+
+using quake::common::FatalError;
+using quake::common::SplitMix64;
+using quake::sparse::CsrMatrix;
+
+/**
+ *     | 2 0 1 |
+ * A = | 0 3 0 |
+ *     | 4 0 5 |
+ */
+CsrMatrix
+sample3x3()
+{
+    return CsrMatrix(3, 3, {0, 2, 3, 5}, {0, 2, 1, 0, 2},
+                     {2, 1, 3, 4, 5});
+}
+
+TEST(Csr, BasicAccessors)
+{
+    const CsrMatrix a = sample3x3();
+    EXPECT_EQ(a.numRows(), 3);
+    EXPECT_EQ(a.numCols(), 3);
+    EXPECT_EQ(a.nnz(), 5);
+    EXPECT_EQ(a.flopsPerMultiply(), 10);
+}
+
+TEST(Csr, MultiplyKnown)
+{
+    const CsrMatrix a = sample3x3();
+    const std::vector<double> y = a.multiply({1, 2, 3});
+    EXPECT_DOUBLE_EQ(y[0], 2 * 1 + 1 * 3);
+    EXPECT_DOUBLE_EQ(y[1], 3 * 2);
+    EXPECT_DOUBLE_EQ(y[2], 4 * 1 + 5 * 3);
+}
+
+TEST(Csr, MultiplyRejectsWrongSize)
+{
+    const CsrMatrix a = sample3x3();
+    EXPECT_THROW(a.multiply({1, 2}), FatalError);
+}
+
+TEST(Csr, AtFindsStoredAndMissing)
+{
+    const CsrMatrix a = sample3x3();
+    EXPECT_DOUBLE_EQ(a.at(0, 0), 2);
+    EXPECT_DOUBLE_EQ(a.at(0, 1), 0); // not stored
+    EXPECT_DOUBLE_EQ(a.at(2, 2), 5);
+    EXPECT_THROW(a.at(5, 0), FatalError);
+}
+
+TEST(Csr, IsSymmetricDetects)
+{
+    // Symmetric example.
+    const CsrMatrix sym(2, 2, {0, 2, 4}, {0, 1, 0, 1}, {1, 7, 7, 3});
+    EXPECT_TRUE(sym.isSymmetric());
+    // Asymmetric values on a symmetric pattern.
+    const CsrMatrix asym(2, 2, {0, 2, 4}, {0, 1, 0, 1}, {1, 7, 6, 3});
+    EXPECT_FALSE(asym.isSymmetric());
+    EXPECT_TRUE(asym.isSymmetric(1.5)); // within tolerance
+    // Non-square is never symmetric.
+    const CsrMatrix rect(1, 2, {0, 1}, {1}, {5});
+    EXPECT_FALSE(rect.isSymmetric());
+}
+
+TEST(Csr, AsymmetricPatternDetected)
+{
+    // Entry (0,1) stored, (1,0) absent (value 0 != 7).
+    const CsrMatrix a(2, 2, {0, 1, 1}, {1}, {7});
+    EXPECT_FALSE(a.isSymmetric());
+}
+
+TEST(CsrDeathTest, ValidateCatchesBadXadj)
+{
+    EXPECT_DEATH(CsrMatrix(2, 2, {0, 2, 1}, {0, 1}, {1, 2}), "xadj");
+}
+
+TEST(CsrDeathTest, ValidateCatchesColumnOutOfRange)
+{
+    EXPECT_DEATH(CsrMatrix(1, 2, {0, 1}, {5}, {1.0}), "out of range");
+}
+
+TEST(CsrDeathTest, ValidateCatchesUnsortedColumns)
+{
+    EXPECT_DEATH(CsrMatrix(1, 3, {0, 2}, {2, 0}, {1.0, 2.0}),
+                 "strictly increasing");
+}
+
+TEST(CsrDeathTest, ValidateCatchesSizeMismatch)
+{
+    EXPECT_DEATH(CsrMatrix(1, 2, {0, 2}, {0, 1}, {1.0}), "size mismatch");
+}
+
+TEST(Csr, EmptyMatrixWorks)
+{
+    const CsrMatrix a(0, 0, {0}, {}, {});
+    EXPECT_EQ(a.nnz(), 0);
+    EXPECT_TRUE(a.multiply(std::vector<double>{}).empty());
+}
+
+TEST(Csr, RowOfZerosHandled)
+{
+    const CsrMatrix a(3, 3, {0, 1, 1, 2}, {0, 2}, {4, 9});
+    const std::vector<double> y = a.multiply({1, 1, 1});
+    EXPECT_DOUBLE_EQ(y[0], 4);
+    EXPECT_DOUBLE_EQ(y[1], 0);
+    EXPECT_DOUBLE_EQ(y[2], 9);
+}
+
+// Property: CSR multiply equals a dense reference on random matrices.
+class CsrRandomProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CsrRandomProperty, MatchesDenseReference)
+{
+    SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) + 17);
+    const int n = 4 + static_cast<int>(rng.nextBounded(20));
+    std::vector<std::vector<double>> dense(
+        n, std::vector<double>(n, 0.0));
+
+    std::vector<std::int64_t> xadj = {0};
+    std::vector<std::int32_t> cols;
+    std::vector<double> values;
+    for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c) {
+            if (rng.nextDouble() < 0.3) {
+                const double v = rng.uniform(-5, 5);
+                dense[r][c] = v;
+                cols.push_back(c);
+                values.push_back(v);
+            }
+        }
+        xadj.push_back(static_cast<std::int64_t>(cols.size()));
+    }
+    const CsrMatrix a(n, n, xadj, cols, values);
+
+    std::vector<double> x(n);
+    for (double &v : x)
+        v = rng.uniform(-1, 1);
+
+    const std::vector<double> y = a.multiply(x);
+    for (int r = 0; r < n; ++r) {
+        double expect = 0;
+        for (int c = 0; c < n; ++c)
+            expect += dense[r][c] * x[c];
+        EXPECT_NEAR(y[r], expect, 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CsrRandomProperty, ::testing::Range(0, 20));
+
+} // namespace

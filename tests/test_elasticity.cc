@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the linear-tetrahedron elasticity kernels: material
+ * conversion, shape gradients, and the element stiffness's defining
+ * properties (symmetry, rigid-body null space, positive semidefiniteness).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "mesh/geometry.h"
+#include "sparse/elasticity.h"
+
+namespace
+{
+
+using namespace quake::sparse;
+using quake::common::FatalError;
+using quake::common::SplitMix64;
+using quake::mesh::Vec3;
+
+const Vec3 kO{0, 0, 0};
+const Vec3 kX{1, 0, 0};
+const Vec3 kY{0, 1, 0};
+const Vec3 kZ{0, 0, 1};
+
+TEST(Material, FromShearWaveQuarterPoisson)
+{
+    // For nu = 0.25, lambda == mu (the classic Poisson solid).
+    const Material m = Material::fromShearWave(2.0, 2.5, 0.25);
+    EXPECT_DOUBLE_EQ(m.mu, 2.5 * 4.0);
+    EXPECT_DOUBLE_EQ(m.lambda, m.mu);
+    EXPECT_DOUBLE_EQ(m.rho, 2.5);
+}
+
+TEST(Material, FromShearWaveZeroPoisson)
+{
+    const Material m = Material::fromShearWave(1.0, 1.0, 0.0);
+    EXPECT_DOUBLE_EQ(m.lambda, 0.0);
+}
+
+TEST(Material, RejectsBadInputs)
+{
+    EXPECT_THROW(Material::fromShearWave(-1, 1, 0.25), FatalError);
+    EXPECT_THROW(Material::fromShearWave(1, 0, 0.25), FatalError);
+    EXPECT_THROW(Material::fromShearWave(1, 1, 0.5), FatalError);
+}
+
+TEST(ShapeGradients, SumToZero)
+{
+    const auto g = shapeGradients(kO, kX, kY, kZ);
+    const Vec3 sum = g[0] + g[1] + g[2] + g[3];
+    EXPECT_NEAR(sum.norm(), 0.0, 1e-14);
+}
+
+TEST(ShapeGradients, ReproduceBarycentricDerivatives)
+{
+    // On the unit corner tet, lambda_1 = x, lambda_2 = y, lambda_3 = z.
+    const auto g = shapeGradients(kO, kX, kY, kZ);
+    EXPECT_NEAR((g[1] - Vec3{1, 0, 0}).norm(), 0.0, 1e-14);
+    EXPECT_NEAR((g[2] - Vec3{0, 1, 0}).norm(), 0.0, 1e-14);
+    EXPECT_NEAR((g[3] - Vec3{0, 0, 1}).norm(), 0.0, 1e-14);
+}
+
+TEST(ShapeGradients, ExactForLinearField)
+{
+    // Gradients must recover an arbitrary linear field u(p) = a . p + c
+    // from its vertex values: grad u = sum_i u_i g_i.
+    SplitMix64 rng(404);
+    const Vec3 a{1.5, -2.25, 0.75};
+    const std::array<Vec3, 4> verts = {
+        Vec3{0.3, 0.1, 0.2}, Vec3{1.7, 0.4, 0.1}, Vec3{0.2, 1.9, 0.3},
+        Vec3{0.5, 0.6, 2.1}};
+    const auto g =
+        shapeGradients(verts[0], verts[1], verts[2], verts[3]);
+    Vec3 grad{};
+    for (int i = 0; i < 4; ++i)
+        grad += g[i] * (a.dot(verts[i]) + 3.0);
+    EXPECT_NEAR((grad - a).norm(), 0.0, 1e-12);
+}
+
+TEST(ShapeGradients, RejectsDegenerate)
+{
+    EXPECT_THROW(shapeGradients(kO, kX, kY, Vec3{1, 1, 0}), FatalError);
+}
+
+/** Apply the element stiffness to a 12-vector of vertex displacements. */
+std::array<double, 12>
+applyKe(const ElementStiffness &ke, const std::array<double, 12> &u)
+{
+    std::array<double, 12> y{};
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            for (int r = 0; r < 3; ++r)
+                for (int c = 0; c < 3; ++c)
+                    y[3 * i + r] +=
+                        ke.blocks[i][j][3 * r + c] * u[3 * j + c];
+    return y;
+}
+
+class ElementStiffnessProperty : public ::testing::TestWithParam<int>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 7 + 11);
+        do {
+            for (Vec3 &p : verts_)
+                p = Vec3{rng.uniform(-2, 2), rng.uniform(-2, 2),
+                         rng.uniform(-2, 2)};
+        } while (quake::mesh::tetVolume(verts_[0], verts_[1], verts_[2],
+                                        verts_[3]) < 0.05);
+        mat_ = Material::fromShearWave(rng.uniform(0.3, 3.0),
+                                       rng.uniform(1.5, 3.0), 0.25);
+        ke_ = elementStiffness(verts_[0], verts_[1], verts_[2], verts_[3],
+                               mat_);
+        rng_seed_ = GetParam();
+    }
+
+    std::array<Vec3, 4> verts_;
+    Material mat_;
+    ElementStiffness ke_;
+    int rng_seed_ = 0;
+};
+
+TEST_P(ElementStiffnessProperty, Symmetric)
+{
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            for (int r = 0; r < 3; ++r)
+                for (int c = 0; c < 3; ++c)
+                    EXPECT_NEAR(ke_.blocks[i][j][3 * r + c],
+                                ke_.blocks[j][i][3 * c + r], 1e-9);
+}
+
+TEST_P(ElementStiffnessProperty, TranslationInNullSpace)
+{
+    for (int axis = 0; axis < 3; ++axis) {
+        std::array<double, 12> u{};
+        for (int i = 0; i < 4; ++i)
+            u[3 * i + axis] = 1.0;
+        const auto y = applyKe(ke_, u);
+        for (double v : y)
+            EXPECT_NEAR(v, 0.0, 1e-9);
+    }
+}
+
+TEST_P(ElementStiffnessProperty, InfinitesimalRotationInNullSpace)
+{
+    // u_i = omega x p_i is a rigid rotation to first order.
+    const Vec3 omega{0.3, -0.7, 0.5};
+    std::array<double, 12> u{};
+    for (int i = 0; i < 4; ++i) {
+        const Vec3 r = omega.cross(verts_[i]);
+        u[3 * i + 0] = r.x;
+        u[3 * i + 1] = r.y;
+        u[3 * i + 2] = r.z;
+    }
+    const auto y = applyKe(ke_, u);
+    for (double v : y)
+        EXPECT_NEAR(v, 0.0, 1e-8);
+}
+
+TEST_P(ElementStiffnessProperty, PositiveSemidefinite)
+{
+    SplitMix64 rng(static_cast<std::uint64_t>(rng_seed_) * 131 + 7);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::array<double, 12> u;
+        for (double &v : u)
+            v = rng.uniform(-1, 1);
+        const auto y = applyKe(ke_, u);
+        double quad = 0;
+        for (int i = 0; i < 12; ++i)
+            quad += u[i] * y[i];
+        EXPECT_GE(quad, -1e-9);
+    }
+}
+
+TEST_P(ElementStiffnessProperty, UniformStretchResisted)
+{
+    // A pure dilation u = p stores strictly positive energy.
+    std::array<double, 12> u{};
+    for (int i = 0; i < 4; ++i) {
+        u[3 * i + 0] = verts_[i].x;
+        u[3 * i + 1] = verts_[i].y;
+        u[3 * i + 2] = verts_[i].z;
+    }
+    const auto y = applyKe(ke_, u);
+    double quad = 0;
+    for (int i = 0; i < 12; ++i)
+        quad += u[i] * y[i];
+    EXPECT_GT(quad, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ElementStiffnessProperty,
+                         ::testing::Range(0, 12));
+
+TEST(ElementStiffness, ScalesLinearlyWithVolume)
+{
+    const Material m = Material::fromShearWave(1.0, 1.0, 0.25);
+    const ElementStiffness small = elementStiffness(kO, kX, kY, kZ, m);
+    // Doubling all coordinates: volume x8, gradients x1/2 => Ke x2.
+    const ElementStiffness big = elementStiffness(
+        kO * 2.0, kX * 2.0, kY * 2.0, kZ * 2.0, m);
+    EXPECT_NEAR(big.blocks[1][1][0], 2.0 * small.blocks[1][1][0], 1e-12);
+}
+
+TEST(ElementLumpedMass, QuarterPerVertex)
+{
+    const double mass = elementLumpedMass(kO, kX, kY, kZ, 2.4);
+    EXPECT_NEAR(mass, 2.4 * (1.0 / 6.0) / 4.0, 1e-15);
+}
+
+} // namespace

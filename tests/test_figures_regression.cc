@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Golden-number regression tests for the derived figures.
+ *
+ * These pin the reproduction numerically: every sustained-bandwidth
+ * value behind Figure 9 and every latency bound behind Figures 10/11
+ * (sf2, reference data) is asserted against independently computed
+ * constants.  If a future change moves any of these numbers, a test
+ * fails — the reproduction cannot drift silently.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/reference.h"
+#include "core/requirements.h"
+
+namespace
+{
+
+using namespace quake::core;
+namespace ref = quake::core::reference;
+
+/** Golden Figure 9 values (MB/s), computed as 8 bytes / T_c with
+ * T_c = (F / C_max) ((1-E)/E) T_f over the published Figure 7 column
+ * for sf2.  Rows: (MFLOPS, E); columns: subdomains 4..128. */
+struct GoldenRow
+{
+    double mflops;
+    double efficiency;
+    std::array<double, 6> mbytesPerSecond;
+};
+
+constexpr GoldenRow kFigure9Golden[] = {
+    {100, 0.5, {1.80, 2.27, 3.63, 6.02, 10.05, 15.52}},
+    {100, 0.8, {7.19, 9.06, 14.52, 24.08, 40.22, 62.07}},
+    {100, 0.9, {16.17, 20.39, 32.66, 54.19, 90.49, 139.67}},
+    {200, 0.5, {3.59, 4.53, 7.26, 12.04, 20.11, 31.04}},
+    {200, 0.8, {14.37, 18.12, 29.04, 48.16, 80.44, 124.15}},
+    {200, 0.9, {32.34, 40.77, 65.33, 108.37, 180.98, 279.33}},
+};
+
+TEST(Figure9Regression, EveryGridPointMatchesGolden)
+{
+    for (const GoldenRow &row : kFigure9Golden) {
+        const double tf = tfFromMflops(row.mflops);
+        for (std::size_t i = 0; i < ref::kSubdomainCounts.size(); ++i) {
+            const SmvpShape shape = ref::shapeFor(
+                ref::PaperMesh::kSf2, ref::kSubdomainCounts[i]);
+            const double bw =
+                requiredSustainedBandwidth(shape, row.efficiency, tf) /
+                1e6;
+            EXPECT_NEAR(bw, row.mbytesPerSecond[i],
+                        0.01 * row.mbytesPerSecond[i])
+                << "sf2/" << ref::kSubdomainCounts[i] << " @ "
+                << row.mflops << " MFLOPS, E = " << row.efficiency;
+        }
+    }
+}
+
+/** Golden Figure 10(a)/11 latencies (microseconds) at 200 MFLOPS,
+ * E = 0.9: infinite-burst bound and half-bandwidth latency. */
+struct GoldenLatency
+{
+    int subdomains;
+    double infBurstUs;
+    double halfBwUs;
+};
+
+constexpr GoldenLatency kLatencyGolden[] = {
+    {4, 2281.492, 1140.746}, {8, 689.667, 344.834},
+    {16, 217.989, 108.994},  {32, 68.193, 34.097},
+    {64, 25.196, 12.598},    {128, 9.314, 4.657},
+};
+
+TEST(Figure10And11Regression, LatencyBoundsMatchGolden)
+{
+    const double tf = tfFromMflops(200);
+    for (const GoldenLatency &golden : kLatencyGolden) {
+        const SmvpShape shape =
+            ref::shapeFor(ref::PaperMesh::kSf2, golden.subdomains);
+        const double tc = requiredTc(shape, 0.9, tf);
+        EXPECT_NEAR(latencyBudget(shape, tc, 0.0) * 1e6,
+                    golden.infBurstUs, 0.01 * golden.infBurstUs)
+            << "sf2/" << golden.subdomains;
+        EXPECT_NEAR(halfBandwidthPoint(shape, tc).latency * 1e6,
+                    golden.halfBwUs, 0.01 * golden.halfBwUs)
+            << "sf2/" << golden.subdomains;
+    }
+}
+
+TEST(Figure11Regression, FourWordBlockHardestCase)
+{
+    // The §4.4 four-word cache-line corner: 57.3 ns at sf2/128,
+    // 200 MFLOPS, E = 0.9 (the paper quotes ~70 ns off the graph).
+    const SmvpShape shape = withFixedBlockSize(
+        ref::shapeFor(ref::PaperMesh::kSf2, 128), 4.0);
+    const double tc = requiredTc(shape, 0.9, tfFromMflops(200));
+    EXPECT_NEAR(halfBandwidthPoint(shape, tc).latency, 57.3e-9,
+                0.5e-9);
+    EXPECT_NEAR(halfBandwidthPoint(shape, tc).burstBandwidthBytes,
+                558.7e6, 1e6);
+}
+
+TEST(HeadlineRegression, The300And600MBsNumbers)
+{
+    const SmvpShape shape = ref::shapeFor(ref::PaperMesh::kSf2, 128);
+    const Headline h = computeHeadline(shape, 200.0, 0.9);
+    EXPECT_NEAR(h.sustainedBandwidthBytes, 279.33e6, 0.1e6);
+    EXPECT_NEAR(h.halfPoint.burstBandwidthBytes, 558.66e6, 0.2e6);
+}
+
+} // namespace

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Unit and property tests for the geometric primitives: Vec3 algebra,
+ * bounding boxes, and tetrahedron measures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "mesh/geometry.h"
+
+namespace
+{
+
+using quake::common::SplitMix64;
+using namespace quake::mesh;
+
+// ------------------------------------------------------------------ Vec3
+
+TEST(Vec3, Arithmetic)
+{
+    const Vec3 a{1, 2, 3};
+    const Vec3 b{4, 5, 6};
+    EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+    EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+    EXPECT_EQ(a * 2.0, (Vec3{2, 4, 6}));
+    EXPECT_EQ(2.0 * a, (Vec3{2, 4, 6}));
+    EXPECT_EQ(a / 2.0, (Vec3{0.5, 1, 1.5}));
+}
+
+TEST(Vec3, DotAndNorm)
+{
+    const Vec3 a{1, 2, 3};
+    const Vec3 b{4, 5, 6};
+    EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+    EXPECT_DOUBLE_EQ((Vec3{3, 4, 0}).norm(), 5.0);
+    EXPECT_DOUBLE_EQ((Vec3{3, 4, 0}).norm2(), 25.0);
+}
+
+TEST(Vec3, CrossIsOrthogonalAndRightHanded)
+{
+    const Vec3 x{1, 0, 0};
+    const Vec3 y{0, 1, 0};
+    EXPECT_EQ(x.cross(y), (Vec3{0, 0, 1}));
+    const Vec3 a{1.5, -2.0, 0.25};
+    const Vec3 b{0.5, 3.0, -1.0};
+    const Vec3 c = a.cross(b);
+    EXPECT_NEAR(c.dot(a), 0.0, 1e-12);
+    EXPECT_NEAR(c.dot(b), 0.0, 1e-12);
+}
+
+TEST(Vec3, PlusEquals)
+{
+    Vec3 a{1, 1, 1};
+    a += Vec3{2, 3, 4};
+    EXPECT_EQ(a, (Vec3{3, 4, 5}));
+}
+
+// ------------------------------------------------------------------ Aabb
+
+TEST(Aabb, ExtentCenterContains)
+{
+    const Aabb box{{0, 0, 0}, {2, 4, 6}};
+    EXPECT_EQ(box.extent(), (Vec3{2, 4, 6}));
+    EXPECT_EQ(box.center(), (Vec3{1, 2, 3}));
+    EXPECT_TRUE(box.contains({1, 1, 1}));
+    EXPECT_TRUE(box.contains({0, 0, 0}));
+    EXPECT_TRUE(box.contains({2, 4, 6}));
+    EXPECT_FALSE(box.contains({-0.1, 1, 1}));
+    EXPECT_FALSE(box.contains({1, 4.1, 1}));
+}
+
+TEST(Aabb, ExpandGrows)
+{
+    Aabb box{{0, 0, 0}, {1, 1, 1}};
+    box.expand({-1, 2, 0.5});
+    EXPECT_EQ(box.lo, (Vec3{-1, 0, 0}));
+    EXPECT_EQ(box.hi, (Vec3{1, 2, 1}));
+}
+
+// ------------------------------------------------------ tetrahedron math
+
+// The canonical unit corner tet: volume 1/6.
+const Vec3 kO{0, 0, 0};
+const Vec3 kX{1, 0, 0};
+const Vec3 kY{0, 1, 0};
+const Vec3 kZ{0, 0, 1};
+
+TEST(Tet, SignedVolumeOrientation)
+{
+    EXPECT_DOUBLE_EQ(tetSignedVolume(kO, kX, kY, kZ), 1.0 / 6.0);
+    // Swapping two vertices flips the sign.
+    EXPECT_DOUBLE_EQ(tetSignedVolume(kO, kY, kX, kZ), -1.0 / 6.0);
+    EXPECT_DOUBLE_EQ(tetVolume(kO, kY, kX, kZ), 1.0 / 6.0);
+}
+
+TEST(Tet, VolumeScalesCubically)
+{
+    const double v1 = tetVolume(kO, kX, kY, kZ);
+    const double v2 =
+        tetVolume(kO * 3.0, kX * 3.0, kY * 3.0, kZ * 3.0);
+    EXPECT_NEAR(v2, 27.0 * v1, 1e-12);
+}
+
+TEST(Tet, VolumeTranslationInvariant)
+{
+    const Vec3 shift{5, -3, 2};
+    EXPECT_NEAR(tetVolume(kO + shift, kX + shift, kY + shift, kZ + shift),
+                tetVolume(kO, kX, kY, kZ), 1e-12);
+}
+
+TEST(Tet, DegenerateHasZeroVolume)
+{
+    // All four points coplanar.
+    EXPECT_DOUBLE_EQ(tetVolume(kO, kX, kY, Vec3{1, 1, 0}), 0.0);
+}
+
+TEST(Tet, Centroid)
+{
+    EXPECT_EQ(tetCentroid(kO, kX, kY, kZ),
+              (Vec3{0.25, 0.25, 0.25}));
+}
+
+TEST(Tet, EdgeLengths)
+{
+    const auto lengths = tetEdgeLengths(kO, kX, kY, kZ);
+    // Edges from the origin have length 1; the other three are sqrt(2).
+    int unit = 0, diag = 0;
+    for (double len : lengths) {
+        if (std::fabs(len - 1.0) < 1e-12)
+            ++unit;
+        else if (std::fabs(len - std::sqrt(2.0)) < 1e-12)
+            ++diag;
+    }
+    EXPECT_EQ(unit, 3);
+    EXPECT_EQ(diag, 3);
+}
+
+TEST(Tet, LongestEdgeIndexConsistent)
+{
+    const int e = tetLongestEdge(kO, kX, kY, kZ);
+    const auto lengths = tetEdgeLengths(kO, kX, kY, kZ);
+    for (double len : lengths)
+        EXPECT_GE(lengths[e], len - 1e-15);
+}
+
+TEST(Tet, QualityRegularIsOne)
+{
+    // Regular tetrahedron with unit edges.
+    const Vec3 a{0, 0, 0};
+    const Vec3 b{1, 0, 0};
+    const Vec3 c{0.5, std::sqrt(3.0) / 2.0, 0};
+    const Vec3 d{0.5, std::sqrt(3.0) / 6.0, std::sqrt(6.0) / 3.0};
+    EXPECT_NEAR(tetQuality(a, b, c, d), 1.0, 1e-9);
+}
+
+TEST(Tet, QualityDegenerateIsZero)
+{
+    EXPECT_NEAR(tetQuality(kO, kX, kY, Vec3{1, 1, 0}), 0.0, 1e-12);
+}
+
+TEST(Tet, QualityScaleInvariant)
+{
+    const double q1 = tetQuality(kO, kX, kY, kZ);
+    const double q2 =
+        tetQuality(kO * 7.5, kX * 7.5, kY * 7.5, kZ * 7.5);
+    EXPECT_NEAR(q1, q2, 1e-12);
+}
+
+TEST(Tet, SurfaceAreaUnitCorner)
+{
+    // Three right faces of area 1/2 plus the diagonal face of area
+    // sqrt(3)/2.
+    EXPECT_NEAR(tetSurfaceArea(kO, kX, kY, kZ),
+                1.5 + std::sqrt(3.0) / 2.0, 1e-12);
+}
+
+// Property sweep: random nondegenerate tets.
+class RandomTetProperty : public ::testing::TestWithParam<int>
+{
+  protected:
+    std::array<Vec3, 4>
+    randomTet()
+    {
+        SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+        std::array<Vec3, 4> v;
+        do {
+            for (Vec3 &p : v)
+                p = Vec3{rng.uniform(-10, 10), rng.uniform(-10, 10),
+                         rng.uniform(-10, 10)};
+        } while (tetVolume(v[0], v[1], v[2], v[3]) < 1e-3);
+        return v;
+    }
+};
+
+TEST_P(RandomTetProperty, QualityInUnitInterval)
+{
+    const auto v = randomTet();
+    const double q = tetQuality(v[0], v[1], v[2], v[3]);
+    EXPECT_GT(q, 0.0);
+    EXPECT_LE(q, 1.0 + 1e-12);
+}
+
+TEST_P(RandomTetProperty, VolumePermutationInvariant)
+{
+    const auto v = randomTet();
+    const double base = tetVolume(v[0], v[1], v[2], v[3]);
+    EXPECT_NEAR(tetVolume(v[2], v[0], v[3], v[1]), base, 1e-9);
+    EXPECT_NEAR(tetVolume(v[3], v[2], v[1], v[0]), base, 1e-9);
+}
+
+TEST_P(RandomTetProperty, LongestEdgeBoundsAllEdges)
+{
+    const auto v = randomTet();
+    const auto lengths = tetEdgeLengths(v[0], v[1], v[2], v[3]);
+    const int e = tetLongestEdge(v[0], v[1], v[2], v[3]);
+    for (double len : lengths)
+        EXPECT_GE(lengths[e] + 1e-12, len);
+}
+
+TEST_P(RandomTetProperty, SignedVolumeAntisymmetry)
+{
+    const auto v = randomTet();
+    EXPECT_NEAR(tetSignedVolume(v[0], v[1], v[2], v[3]),
+                -tetSignedVolume(v[1], v[0], v[2], v[3]), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomTetProperty,
+                         ::testing::Range(0, 25));
+
+} // namespace

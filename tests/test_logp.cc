@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the LogGP bridge (§3.3): the documented correspondence with
+ * the paper's block model (o = T_l, G = T_w, L -> 0), the wire-latency
+ * and gap corrections, and input validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/logp.h"
+
+namespace
+{
+
+using namespace quake::core;
+using quake::common::FatalError;
+
+SmvpCharacterization
+singlePe(std::int64_t words, std::int64_t blocks)
+{
+    SmvpCharacterization ch;
+    ch.numPes = 1;
+    ch.pes = {PeLoad{1000, words, blocks}};
+    return ch;
+}
+
+TEST(LogGp, FromBlockModelMapsParameters)
+{
+    const LogGpParams p =
+        LogGpParams::fromBlockModel(22e-6, 55e-9, 1e-6, 2e-6);
+    EXPECT_DOUBLE_EQ(p.overhead, 22e-6);
+    EXPECT_DOUBLE_EQ(p.gapPerWord, 55e-9);
+    EXPECT_DOUBLE_EQ(p.latency, 1e-6);
+    EXPECT_DOUBLE_EQ(p.gap, 2e-6);
+    EXPECT_THROW(LogGpParams::fromBlockModel(-1, 0), FatalError);
+}
+
+TEST(LogGp, ReducesToBlockModelUpToPerMessageWord)
+{
+    // With L = g = 0: LogGP = B*o + (C - B)*G, the block model is
+    // B*T_l + C*T_w — they differ by exactly B*G (the "(k-1) vs k"
+    // payload convention).
+    const double tl = 10e-6, tw = 100e-9;
+    const SmvpCharacterization ch = singlePe(900, 6);
+    const LogGpParams p = LogGpParams::fromBlockModel(tl, tw);
+    const LogGpPhase loggp = logGpCommTime(ch, p);
+    const double block = blockModelCommTime(ch, tl, tw);
+    EXPECT_NEAR(loggp.tComm, block - 6 * tw, 1e-15);
+}
+
+TEST(LogGp, WireLatencyAddsOnce)
+{
+    const SmvpCharacterization ch = singlePe(900, 6);
+    const LogGpParams base = LogGpParams::fromBlockModel(10e-6, 100e-9);
+    const LogGpParams wired =
+        LogGpParams::fromBlockModel(10e-6, 100e-9, 5e-6);
+    EXPECT_NEAR(logGpCommTime(ch, wired).tComm,
+                logGpCommTime(ch, base).tComm + 5e-6, 1e-15);
+}
+
+TEST(LogGp, GapSeparatesMessages)
+{
+    const SmvpCharacterization ch = singlePe(900, 6);
+    const LogGpParams base = LogGpParams::fromBlockModel(10e-6, 100e-9);
+    const LogGpParams gapped =
+        LogGpParams::fromBlockModel(10e-6, 100e-9, 0.0, 1e-6);
+    // 6 messages -> 5 inter-message gaps.
+    EXPECT_NEAR(logGpCommTime(ch, gapped).tComm,
+                logGpCommTime(ch, base).tComm + 5e-6, 1e-15);
+}
+
+TEST(LogGp, MaxOverPes)
+{
+    SmvpCharacterization ch;
+    ch.numPes = 2;
+    ch.pes = {PeLoad{1, 100, 2}, PeLoad{1, 50, 10}};
+    const LogGpParams latency_machine =
+        LogGpParams::fromBlockModel(1e-4, 1e-9);
+    // PE 1 dominates under a latency-heavy machine (10 overheads).
+    const LogGpPhase phase = logGpCommTime(ch, latency_machine);
+    EXPECT_NEAR(phase.tComm, 10 * 1e-4 + 40 * 1e-9, 1e-12);
+    EXPECT_NEAR(phase.commOfMaxPe, 10 * 1e-4, 1e-12);
+}
+
+TEST(LogGp, SilentPeCostsNothing)
+{
+    SmvpCharacterization ch;
+    ch.numPes = 2;
+    ch.pes = {PeLoad{1, 0, 0}, PeLoad{1, 90, 2}};
+    const LogGpParams p = LogGpParams::fromBlockModel(1e-6, 1e-9);
+    EXPECT_GT(logGpCommTime(ch, p).tComm, 0.0);
+}
+
+TEST(LogGp, BlockModelCommTimeMatchesDefinition)
+{
+    SmvpCharacterization ch;
+    ch.numPes = 2;
+    ch.pes = {PeLoad{1, 100, 2}, PeLoad{1, 60, 4}};
+    // PE0: 2*1us + 100*10ns = 3us.  PE1: 4*1us + 60*10ns = 4.6us.
+    EXPECT_NEAR(blockModelCommTime(ch, 1e-6, 10e-9), 4.6e-6, 1e-15);
+}
+
+TEST(LogGp, RejectsEmpty)
+{
+    EXPECT_THROW(logGpCommTime(SmvpCharacterization{}, LogGpParams{}),
+                 FatalError);
+    EXPECT_THROW(blockModelCommTime(SmvpCharacterization{}, 0, 0),
+                 FatalError);
+}
+
+} // namespace

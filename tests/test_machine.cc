@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the machine models and the paper's quoted constants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "parallel/machine.h"
+
+namespace
+{
+
+using namespace quake::parallel;
+using quake::common::FatalError;
+
+TEST(Machine, CrayT3eMatchesPaperConstants)
+{
+    const MachineModel m = crayT3e();
+    EXPECT_DOUBLE_EQ(m.tf, 14e-9); // §3.1
+    EXPECT_DOUBLE_EQ(m.tl, 22e-6); // §3.3
+    EXPECT_DOUBLE_EQ(m.tw, 55e-9); // §3.3
+}
+
+TEST(Machine, CrayT3dMatchesPaperTf)
+{
+    EXPECT_DOUBLE_EQ(crayT3d().tf, 30e-9); // §3.1
+}
+
+TEST(Machine, HypotheticalMachinesMatchSection4)
+{
+    EXPECT_NEAR(currentMachine100().mflops(), 100.0, 1e-9);
+    EXPECT_NEAR(futureMachine200().mflops(), 200.0, 1e-9);
+}
+
+TEST(Machine, DerivedRates)
+{
+    const MachineModel m = crayT3e();
+    EXPECT_NEAR(m.mflops(), 1.0 / (14e-9 * 1e6), 1e-9);
+    EXPECT_NEAR(m.burstBandwidthBytes(), 8.0 / 55e-9, 1e-3);
+}
+
+TEST(Machine, CustomMachineRoundTrips)
+{
+    const MachineModel m = customMachine("x", 250.0, 3e-6, 400e6);
+    EXPECT_NEAR(m.mflops(), 250.0, 1e-9);
+    EXPECT_DOUBLE_EQ(m.tl, 3e-6);
+    EXPECT_NEAR(m.burstBandwidthBytes(), 400e6, 1e-3);
+}
+
+TEST(Machine, ValidateRejectsNonPositiveTf)
+{
+    MachineModel m{"bad", 0.0, 1e-6, 1e-9};
+    EXPECT_THROW(m.validate(), FatalError);
+    m.tf = 1e-9;
+    m.tl = -1.0;
+    EXPECT_THROW(m.validate(), FatalError);
+}
+
+TEST(Machine, CustomRejectsBadInputs)
+{
+    EXPECT_THROW(customMachine("x", -1.0, 1e-6, 1e8), FatalError);
+    EXPECT_THROW(customMachine("x", 100.0, 1e-6, 0.0), FatalError);
+}
+
+TEST(Machine, AllPresetsValidate)
+{
+    for (const MachineModel &m :
+         {crayT3d(), crayT3e(), currentMachine100(), futureMachine200()})
+        EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Machine, FutureMachineMeetsConclusionTargets)
+{
+    // The paper's conclusion asks for ~600 MB/s burst and <= 2 us block
+    // latency; the preset encodes exactly that target system.
+    const MachineModel m = futureMachine200();
+    EXPECT_NEAR(m.burstBandwidthBytes(), 600e6, 1e6);
+    EXPECT_LE(m.tl, 2e-6 + 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the .node/.ele mesh serialization: round trips, one-based
+ * index handling, comments, and malformed-input rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "mesh/generator.h"
+#include "mesh/mesh_io.h"
+
+namespace
+{
+
+using namespace quake::mesh;
+using quake::common::FatalError;
+
+TetMesh
+sampleMesh()
+{
+    TetMesh m;
+    m.addNode({0, 0, 0});
+    m.addNode({1, 0, 0});
+    m.addNode({0, 1, 0});
+    m.addNode({0, 0, 1});
+    m.addNode({1, 1, 1});
+    m.addTet(0, 1, 2, 3);
+    m.addTet(1, 2, 4, 3);
+    return m;
+}
+
+void
+expectMeshesEqual(const TetMesh &a, const TetMesh &b)
+{
+    ASSERT_EQ(a.numNodes(), b.numNodes());
+    ASSERT_EQ(a.numElements(), b.numElements());
+    for (NodeId i = 0; i < a.numNodes(); ++i)
+        EXPECT_EQ(a.node(i), b.node(i));
+    for (TetId t = 0; t < a.numElements(); ++t)
+        EXPECT_EQ(a.tet(t).v, b.tet(t).v);
+}
+
+TEST(MeshIo, StreamRoundTrip)
+{
+    const TetMesh m = sampleMesh();
+    std::ostringstream node_os, ele_os;
+    writeNodeFile(m, node_os);
+    writeEleFile(m, ele_os);
+
+    std::istringstream node_is(node_os.str()), ele_is(ele_os.str());
+    const TetMesh back = readMesh(node_is, ele_is);
+    expectMeshesEqual(m, back);
+}
+
+TEST(MeshIo, CoordinatesSurviveExactly)
+{
+    TetMesh m;
+    m.addNode({0.1234567890123456, -7.77e-13, 3.0e17});
+    m.addNode({1, 0, 0});
+    m.addNode({0, 1, 0});
+    m.addNode({0, 0, 1});
+    m.addTet(0, 1, 2, 3);
+
+    std::ostringstream node_os, ele_os;
+    writeNodeFile(m, node_os);
+    writeEleFile(m, ele_os);
+    std::istringstream node_is(node_os.str()), ele_is(ele_os.str());
+    const TetMesh back = readMesh(node_is, ele_is);
+    // 17 significant digits round-trip doubles exactly.
+    EXPECT_EQ(m.node(0), back.node(0));
+}
+
+TEST(MeshIo, FileRoundTrip)
+{
+    const TetMesh m = sampleMesh();
+    const std::string prefix = ::testing::TempDir() + "quake_io_test";
+    writeMesh(m, prefix);
+    const TetMesh back = readMesh(prefix);
+    expectMeshesEqual(m, back);
+    std::remove((prefix + ".node").c_str());
+    std::remove((prefix + ".ele").c_str());
+}
+
+TEST(MeshIo, AcceptsOneBasedIndexing)
+{
+    const std::string node_text = "4 3 0 0\n"
+                                  "1 0 0 0\n"
+                                  "2 1 0 0\n"
+                                  "3 0 1 0\n"
+                                  "4 0 0 1\n";
+    const std::string ele_text = "1 4 0\n"
+                                 "1 1 2 3 4\n";
+    std::istringstream node_is(node_text), ele_is(ele_text);
+    const TetMesh m = readMesh(node_is, ele_is);
+    EXPECT_EQ(m.numNodes(), 4);
+    EXPECT_EQ(m.tet(0).v, (std::array<NodeId, 4>{0, 1, 2, 3}));
+}
+
+TEST(MeshIo, SkipsCommentsAndBlankLines)
+{
+    const std::string node_text = "# a comment\n\n"
+                                  "4 3 0 0\n"
+                                  "# another\n"
+                                  "0 0 0 0\n"
+                                  "1 1 0 0\n"
+                                  "2 0 1 0\n"
+                                  "3 0 0 1\n";
+    const std::string ele_text = "1 4 0\n0 0 1 2 3\n";
+    std::istringstream node_is(node_text), ele_is(ele_text);
+    EXPECT_EQ(readMesh(node_is, ele_is).numNodes(), 4);
+}
+
+TEST(MeshIo, RejectsTruncatedNodeFile)
+{
+    const std::string node_text = "4 3 0 0\n0 0 0 0\n";
+    const std::string ele_text = "0 4 0\n";
+    std::istringstream node_is(node_text), ele_is(ele_text);
+    EXPECT_THROW(readMesh(node_is, ele_is), FatalError);
+}
+
+TEST(MeshIo, RejectsWrongDimension)
+{
+    const std::string node_text = "1 2 0 0\n0 0 0\n";
+    const std::string ele_text = "0 4 0\n";
+    std::istringstream node_is(node_text), ele_is(ele_text);
+    EXPECT_THROW(readMesh(node_is, ele_is), FatalError);
+}
+
+TEST(MeshIo, RejectsNonTetElements)
+{
+    const std::string node_text = "3 3 0 0\n0 0 0 0\n1 1 0 0\n2 0 1 0\n";
+    const std::string ele_text = "1 3 0\n0 0 1 2\n";
+    std::istringstream node_is(node_text), ele_is(ele_text);
+    EXPECT_THROW(readMesh(node_is, ele_is), FatalError);
+}
+
+TEST(MeshIo, RejectsVertexIndexOutOfRange)
+{
+    const std::string node_text = "4 3 0 0\n0 0 0 0\n1 1 0 0\n"
+                                  "2 0 1 0\n3 0 0 1\n";
+    const std::string ele_text = "1 4 0\n0 0 1 2 7\n";
+    std::istringstream node_is(node_text), ele_is(ele_text);
+    EXPECT_THROW(readMesh(node_is, ele_is), FatalError);
+}
+
+TEST(MeshIo, RejectsNonConsecutiveIndices)
+{
+    const std::string node_text = "2 3 0 0\n0 0 0 0\n5 1 0 0\n";
+    const std::string ele_text = "0 4 0\n";
+    std::istringstream node_is(node_text), ele_is(ele_text);
+    EXPECT_THROW(readMesh(node_is, ele_is), FatalError);
+}
+
+TEST(MeshIo, RejectsMissingFile)
+{
+    EXPECT_THROW(readMesh("/nonexistent/path/prefix"), FatalError);
+}
+
+TEST(MeshIo, GeneratedMeshRoundTrip)
+{
+    const TetMesh m =
+        buildKuhnLattice(Aabb{{0, 0, 0}, {3, 2, 1}}, 3, 2, 1);
+    std::ostringstream node_os, ele_os;
+    writeNodeFile(m, node_os);
+    writeEleFile(m, ele_os);
+    std::istringstream node_is(node_os.str()), ele_is(ele_os.str());
+    expectMeshesEqual(m, readMesh(node_is, ele_is));
+}
+
+} // namespace

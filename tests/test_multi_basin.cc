@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the multi-basin soil model and the generality of the
+ * pipeline beyond the single San Fernando bowl, plus the ref-[15]
+ * communication-balance statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/characterization.h"
+#include "mesh/generator.h"
+#include "parallel/characterize.h"
+#include "partition/geometric_bisection.h"
+
+namespace
+{
+
+using namespace quake::mesh;
+using quake::common::FatalError;
+
+TEST(MultiBasin, DepthIsMaxOverBasins)
+{
+    const MultiBasinModel model = MultiBasinModel::threeBasins();
+    // At each basin centre, the depth equals that basin's maxDepth.
+    for (const MultiBasinModel::Basin &b : model.basins())
+        EXPECT_NEAR(model.basinDepth(b.center.x, b.center.y),
+                    b.maxDepth, 1e-6);
+    // Far corner: no sediment.
+    EXPECT_DOUBLE_EQ(model.basinDepth(49.5, 0.5), 0.0);
+}
+
+TEST(MultiBasin, SpeedStructureMatchesSingleBasinModel)
+{
+    const MultiBasinModel model = MultiBasinModel::threeBasins();
+    const Vec3 in_sediment{14.0, 14.0, 0.1};
+    const Vec3 in_rock{45.0, 45.0, 0.1};
+    EXPECT_LT(model.shearWaveSpeed(in_sediment), 0.5);
+    EXPECT_GE(model.shearWaveSpeed(in_rock), 3.0);
+    EXPECT_LT(model.density(in_sediment), model.density(in_rock));
+}
+
+TEST(MultiBasin, RejectsBadBasins)
+{
+    const Vec3 extent{50, 50, 10};
+    EXPECT_THROW(MultiBasinModel(extent, {}), FatalError);
+    EXPECT_THROW(
+        MultiBasinModel(extent,
+                        {{{60.0, 25.0, 0.0}, 5.0, 5.0, 1.0}}),
+        FatalError);
+    EXPECT_THROW(
+        MultiBasinModel(extent,
+                        {{{25.0, 25.0, 0.0}, 5.0, 5.0, 20.0}}),
+        FatalError);
+}
+
+TEST(MultiBasin, GeneratorGradesAroundEveryBasin)
+{
+    const MultiBasinModel model = MultiBasinModel::threeBasins();
+    MeshSpec spec;
+    // 10-second waves: short enough (~0.7 km in sediment) to force
+    // real grading inside the 1.2-2 km-deep basins.
+    spec.periodSeconds = 10.0;
+    const GeneratedMesh g = generateMesh(model, spec);
+    g.mesh.validate();
+
+    // Node density near each basin centre beats the rock corner.
+    auto countNear = [&](double x, double y) {
+        std::int64_t count = 0;
+        for (NodeId i = 0; i < g.mesh.numNodes(); ++i) {
+            const Vec3 &p = g.mesh.node(i);
+            const double dx = p.x - x, dy = p.y - y;
+            if (dx * dx + dy * dy < 36.0 && p.z < 3.0)
+                ++count;
+        }
+        return count;
+    };
+    const std::int64_t rock_corner = countNear(45.0, 45.0);
+    for (const MultiBasinModel::Basin &b : model.basins())
+        EXPECT_GT(countNear(b.center.x, b.center.y), rock_corner);
+}
+
+TEST(MultiBasin, PipelineInvariantsHoldOnMultiBasinMesh)
+{
+    const MultiBasinModel model = MultiBasinModel::threeBasins();
+    MeshSpec spec;
+    spec.periodSeconds = 20.0;
+    const GeneratedMesh g = generateMesh(model, spec);
+
+    const quake::partition::GeometricBisection partitioner;
+    const auto problem = quake::parallel::distributeTopology(
+        g.mesh, partitioner.partition(g.mesh, 8));
+    const auto summary = quake::core::summarize(
+        quake::parallel::characterize(problem, "multibasin/8"));
+    EXPECT_EQ(summary.wordsMax % 6, 0);
+    EXPECT_GE(summary.beta, 1.0);
+    EXPECT_LE(summary.beta, 2.0);
+    EXPECT_LT(summary.flopBalance, 1.3);
+}
+
+TEST(CommBalance, ComputedFromLoads)
+{
+    using quake::core::CharacterizationSummary;
+    using quake::core::PeLoad;
+    using quake::core::SmvpCharacterization;
+
+    SmvpCharacterization ch;
+    ch.numPes = 3;
+    ch.pes = {PeLoad{1, 100, 2}, PeLoad{1, 50, 4}, PeLoad{1, 0, 0}};
+    const CharacterizationSummary s = quake::core::summarize(ch);
+    // Means over the two communicating PEs: words 75, blocks 3.
+    EXPECT_NEAR(s.wordBalance, 100.0 / 75.0, 1e-12);
+    EXPECT_NEAR(s.blockBalance, 4.0 / 3.0, 1e-12);
+}
+
+TEST(CommBalance, PerfectlySymmetricIsOne)
+{
+    using quake::core::PeLoad;
+    using quake::core::SmvpCharacterization;
+    SmvpCharacterization ch;
+    ch.numPes = 4;
+    ch.pes.assign(4, PeLoad{10, 60, 6});
+    const auto s = quake::core::summarize(ch);
+    EXPECT_DOUBLE_EQ(s.wordBalance, 1.0);
+    EXPECT_DOUBLE_EQ(s.blockBalance, 1.0);
+}
+
+TEST(CommBalance, WorseThanFlopBalanceOnRealPartitions)
+{
+    // Ref [15]: partitioners balance computation well, communication
+    // less well.  Check the ordering on a graded mesh.
+    const GeneratedMesh g = generateSfMesh(SfClass::kSf20);
+    const quake::partition::GeometricBisection partitioner;
+    const auto problem = quake::parallel::distributeTopology(
+        g.mesh, partitioner.partition(g.mesh, 16));
+    const auto s = quake::core::summarize(
+        quake::parallel::characterize(problem, "balance/16"));
+    EXPECT_GE(s.wordBalance, s.flopBalance - 0.05);
+    EXPECT_GE(s.wordBalance, 1.0);
+    EXPECT_GE(s.blockBalance, 1.0);
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the T_l/T_w estimation methodology (§3.3's companion-TR
+ * recipe): exact recovery from a linear machine, robustness to noise,
+ * fit-quality reporting, and input validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/param_fit.h"
+
+namespace
+{
+
+using namespace quake::core;
+using quake::common::FatalError;
+using quake::common::SplitMix64;
+
+TEST(BlockFit, RecoversExactLinearModel)
+{
+    // A T3E-like machine: T_l = 22 us, T_w = 55 ns.
+    std::vector<TransferSample> samples;
+    for (double k : {1.0, 8.0, 64.0, 512.0, 4096.0})
+        samples.push_back({k, 22e-6 + k * 55e-9});
+    const BlockFit fit = fitBlockModel(samples);
+    EXPECT_NEAR(fit.tl, 22e-6, 1e-12);
+    EXPECT_NEAR(fit.tw, 55e-9, 1e-18);
+    EXPECT_NEAR(fit.rSquared, 1.0, 1e-9);
+    EXPECT_NEAR(fit.burstBandwidthBytes(), 8.0 / 55e-9, 1.0);
+}
+
+TEST(BlockFit, RobustToMeasurementNoise)
+{
+    SplitMix64 rng(77);
+    std::vector<TransferSample> samples;
+    for (std::int64_t k = 1; k <= 65536; k *= 2) {
+        const double truth = 5e-6 + k * 20e-9;
+        // +/- 5% multiplicative noise.
+        samples.push_back(
+            {static_cast<double>(k),
+             truth * rng.uniform(0.95, 1.05)});
+    }
+    const BlockFit fit = fitBlockModel(samples);
+    EXPECT_NEAR(fit.tw, 20e-9, 2e-9);
+    EXPECT_GT(fit.rSquared, 0.99);
+}
+
+TEST(BlockFit, ClampsNegativeIntercept)
+{
+    // Zero-latency machine with noise that pulls the intercept below 0.
+    std::vector<TransferSample> samples = {
+        {1.0, 0.9e-9}, {2.0, 2.2e-9}, {4.0, 3.9e-9}, {8.0, 8.3e-9}};
+    const BlockFit fit = fitBlockModel(samples);
+    EXPECT_GE(fit.tl, 0.0);
+    EXPECT_GT(fit.tw, 0.0);
+}
+
+TEST(BlockFit, RejectsDegenerateInputs)
+{
+    EXPECT_THROW(fitBlockModel({}), FatalError);
+    EXPECT_THROW(fitBlockModel({{4.0, 1e-6}}), FatalError);
+    // Two samples at the same size: slope undefined.
+    EXPECT_THROW(fitBlockModel({{4.0, 1e-6}, {4.0, 1.1e-6}}),
+                 FatalError);
+    // Negative per-word time (decreasing transfer times).
+    EXPECT_THROW(fitBlockModel({{1.0, 1e-3}, {1000.0, 1e-6}}),
+                 FatalError);
+}
+
+TEST(EstimateMachine, RunsTheWholeRecipe)
+{
+    // The "machine" is a model with a stateful noise source; the
+    // estimate must land near the truth.
+    SplitMix64 rng(404);
+    TransferFn machine = [&rng](std::int64_t words) {
+        return (3e-6 + words * 12.5e-9) * rng.uniform(0.98, 1.02);
+    };
+    const BlockFit fit =
+        estimateMachine(machine, standardBlockLadder(), 5);
+    EXPECT_NEAR(fit.tl, 3e-6, 0.5e-6);
+    EXPECT_NEAR(fit.tw, 12.5e-9, 0.5e-9);
+    EXPECT_GT(fit.rSquared, 0.999);
+}
+
+TEST(EstimateMachine, RejectsBadArguments)
+{
+    TransferFn machine = [](std::int64_t words) {
+        return 1e-6 + words * 1e-9;
+    };
+    EXPECT_THROW(estimateMachine(machine, {8}, 3), FatalError);
+    EXPECT_THROW(estimateMachine(machine, {8, 16}, 0), FatalError);
+    EXPECT_THROW(estimateMachine(machine, {0, 16}, 1), FatalError);
+}
+
+TEST(StandardBlockLadder, PowersOfTwoCoveringSmvpRange)
+{
+    const std::vector<std::int64_t> ladder = standardBlockLadder();
+    EXPECT_EQ(ladder.front(), 1);
+    EXPECT_EQ(ladder.back(), 65'536);
+    for (std::size_t i = 1; i < ladder.size(); ++i)
+        EXPECT_EQ(ladder[i], 2 * ladder[i - 1]);
+    // Figure 7's message sizes (36 .. 27,540 words) are inside.
+    EXPECT_LE(ladder.front(), 36);
+    EXPECT_GE(ladder.back(), 27'540);
+}
+
+/** Property sweep: recovery of random machines across the parameter
+ * space the paper spans (T3D-era to futuristic). */
+class RandomMachineRecovery : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RandomMachineRecovery, RecoversWithinTolerance)
+{
+    SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 101 + 13);
+    // T_l from 100 ns to 100 us; T_w from 1 to 200 ns.
+    const double tl = 1e-7 * std::pow(10.0, rng.uniform(0.0, 3.0));
+    const double tw = 1e-9 * std::pow(10.0, rng.uniform(0.0, 2.3));
+    TransferFn machine = [&, tl, tw](std::int64_t words) {
+        return (tl + words * tw) * rng.uniform(0.99, 1.01);
+    };
+    const BlockFit fit =
+        estimateMachine(machine, standardBlockLadder(), 3);
+    EXPECT_NEAR(fit.tw, tw, 0.05 * tw);
+    // The intercept is harder under noise when tl << tw * max_block;
+    // accept 25% or the noise floor of the largest sample.
+    const double floor = 0.02 * tw * 65'536;
+    EXPECT_NEAR(fit.tl, tl, std::max(0.25 * tl, floor));
+    EXPECT_GT(fit.rSquared, 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomMachineRecovery,
+                         ::testing::Range(0, 15));
+
+TEST(BlockFit, HalfBandwidthBlockSizeInterpretation)
+{
+    // At block size k* = T_l / T_w, latency and payload cost are equal
+    // (the "half-power point" of a link); check via the fitted model.
+    std::vector<TransferSample> samples;
+    for (double k : {16.0, 64.0, 256.0, 1024.0})
+        samples.push_back({k, 10e-6 + k * 10e-9});
+    const BlockFit fit = fitBlockModel(samples);
+    const double k_star = fit.tl / fit.tw;
+    EXPECT_NEAR(k_star, 1000.0, 1.0);
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for .part partition serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+#include "mesh/generator.h"
+#include "partition/geometric_bisection.h"
+#include "partition/partition_io.h"
+
+namespace
+{
+
+using namespace quake::partition;
+using namespace quake::mesh;
+using quake::common::FatalError;
+
+Partition
+samplePartition()
+{
+    Partition p;
+    p.numParts = 3;
+    p.elementPart = {0, 2, 1, 1, 0, 2};
+    return p;
+}
+
+TEST(PartitionIo, StreamRoundTrip)
+{
+    const Partition p = samplePartition();
+    std::ostringstream os;
+    writePartition(p, os);
+    std::istringstream is(os.str());
+    const Partition back = readPartition(is);
+    EXPECT_EQ(back.numParts, p.numParts);
+    EXPECT_EQ(back.elementPart, p.elementPart);
+}
+
+TEST(PartitionIo, FileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "quake_io.part";
+    const Partition p = samplePartition();
+    writePartition(p, path);
+    const Partition back = readPartition(path);
+    EXPECT_EQ(back.elementPart, p.elementPart);
+    std::remove(path.c_str());
+}
+
+TEST(PartitionIo, AcceptsOneBasedIndices)
+{
+    std::istringstream is("3 2\n1 0\n2 1\n3 0\n");
+    const Partition p = readPartition(is);
+    EXPECT_EQ(p.elementPart, (std::vector<PartId>{0, 1, 0}));
+}
+
+TEST(PartitionIo, SkipsComments)
+{
+    std::istringstream is("# comment\n2 2\n0 0\n# another\n1 1\n");
+    EXPECT_EQ(readPartition(is).elementPart,
+              (std::vector<PartId>{0, 1}));
+}
+
+TEST(PartitionIo, RejectsTruncated)
+{
+    std::istringstream is("3 2\n0 0\n");
+    EXPECT_THROW(readPartition(is), FatalError);
+}
+
+TEST(PartitionIo, RejectsPartOutOfRange)
+{
+    std::istringstream is("2 2\n0 0\n1 5\n");
+    EXPECT_THROW(readPartition(is), FatalError);
+}
+
+TEST(PartitionIo, RejectsNonConsecutiveIndices)
+{
+    std::istringstream is("2 2\n0 0\n5 1\n");
+    EXPECT_THROW(readPartition(is), FatalError);
+}
+
+TEST(PartitionIo, RejectsMissingFile)
+{
+    EXPECT_THROW(readPartition("/no/such/file.part"), FatalError);
+}
+
+TEST(PartitionIo, RealPartitionSurvives)
+{
+    const TetMesh m =
+        buildKuhnLattice(Aabb{{0, 0, 0}, {1, 1, 1}}, 3, 3, 3);
+    const Partition p = GeometricBisection().partition(m, 8);
+    std::ostringstream os;
+    writePartition(p, os);
+    std::istringstream is(os.str());
+    const Partition back = readPartition(is);
+    EXPECT_EQ(back.elementPart, p.elementPart);
+    back.validate(m);
+}
+
+} // namespace

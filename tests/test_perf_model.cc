@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for Equations (1) and (2) and their derived quantities, including
+ * spot checks against the numbers the paper quotes in §4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/perf_model.h"
+#include "core/reference.h"
+
+namespace
+{
+
+using namespace quake::core;
+using quake::common::FatalError;
+
+SmvpShape
+sampleShape()
+{
+    // sf2/128 from Figure 7.
+    SmvpShape s;
+    s.flops = 838'224;
+    s.wordsMax = 16'260;
+    s.blocksMax = 50;
+    return s;
+}
+
+// -------------------------------------------------------- Equation (1)
+
+TEST(Equation1, AlgebraicForm)
+{
+    SmvpShape s;
+    s.flops = 1000;
+    s.wordsMax = 100;
+    // Tc = (F/C) * ((1-E)/E) * Tf = 10 * 1 * 2ns = 20ns at E = 0.5.
+    EXPECT_NEAR(requiredTc(s, 0.5, 2e-9), 20e-9, 1e-18);
+    // At E = 0.9 the budget shrinks by 9x vs the E = 0.5 case.
+    EXPECT_NEAR(requiredTc(s, 0.9, 2e-9), 20e-9 / 9.0, 1e-18);
+}
+
+TEST(Equation1, RoundTripsThroughAchievedEfficiency)
+{
+    const SmvpShape s = sampleShape();
+    for (double e : {0.3, 0.5, 0.8, 0.9, 0.95}) {
+        const double tf = 5e-9;
+        const double tc = requiredTc(s, e, tf);
+        EXPECT_NEAR(achievedEfficiency(s, tf, tc), e, 1e-12);
+    }
+}
+
+TEST(Equation1, FasterProcessorsNeedFasterNetworks)
+{
+    const SmvpShape s = sampleShape();
+    const double bw100 =
+        requiredSustainedBandwidth(s, 0.9, tfFromMflops(100));
+    const double bw200 =
+        requiredSustainedBandwidth(s, 0.9, tfFromMflops(200));
+    EXPECT_NEAR(bw200, 2.0 * bw100, 1e-3);
+}
+
+TEST(Equation1, PaperHeadline300MBs)
+{
+    // §4.3: 200-MFLOP PEs need ~300 MB/s sustained to run all sf2
+    // instances at 90% efficiency; the binding instance is sf2/128.
+    const double bw = requiredSustainedBandwidth(sampleShape(), 0.9,
+                                                 tfFromMflops(200));
+    EXPECT_GT(bw, 250e6);
+    EXPECT_LT(bw, 320e6);
+}
+
+TEST(Equation1, Paper120MBsAt100Mflops)
+{
+    // §4.3: 120 MB/s sustains all sf2 SMVPs at 90% on 100-MFLOP PEs.
+    const double bw = requiredSustainedBandwidth(sampleShape(), 0.9,
+                                                 tfFromMflops(100));
+    EXPECT_GT(bw, 110e6);
+    EXPECT_LT(bw, 160e6);
+}
+
+TEST(Equation1, RejectsBadInputs)
+{
+    const SmvpShape s = sampleShape();
+    EXPECT_THROW(requiredTc(s, 0.0, 1e-9), FatalError);
+    EXPECT_THROW(requiredTc(s, 1.0, 1e-9), FatalError);
+    EXPECT_THROW(requiredTc(s, 0.5, 0.0), FatalError);
+    SmvpShape bad;
+    EXPECT_THROW(requiredTc(bad, 0.5, 1e-9), FatalError);
+}
+
+TEST(AchievedEfficiency, ZeroCommTimeIsPerfect)
+{
+    EXPECT_DOUBLE_EQ(achievedEfficiency(sampleShape(), 1e-9, 0.0), 1.0);
+}
+
+// -------------------------------------------------------- Equation (2)
+
+TEST(Equation2, AlgebraicForm)
+{
+    SmvpShape s;
+    s.flops = 1;
+    s.wordsMax = 1000;
+    s.blocksMax = 10;
+    // Tc = (B/C)*Tl + Tw = 0.01 * 1us + 10ns = 20ns.
+    EXPECT_NEAR(tcFromBlocks(s, 1e-6, 10e-9), 20e-9, 1e-18);
+}
+
+TEST(Equation2, LatencyBudgetInvertsTcFromBlocks)
+{
+    const SmvpShape s = sampleShape();
+    const double tc_target = 30e-9;
+    const double tw = 8e-9;
+    const double tl = latencyBudget(s, tc_target, tw);
+    EXPECT_NEAR(tcFromBlocks(s, tl, tw), tc_target, 1e-18);
+}
+
+TEST(Equation2, InfeasibleBurstGivesNegativeBudget)
+{
+    const SmvpShape s = sampleShape();
+    EXPECT_LT(latencyBudget(s, 10e-9, 20e-9), 0.0);
+}
+
+TEST(Equation2, LatencyForBurstBandwidthConverts)
+{
+    const SmvpShape s = sampleShape();
+    const double tc = 30e-9;
+    // 8 bytes per word: burst bw of 800 MB/s means tw = 10 ns.
+    EXPECT_NEAR(latencyForBurstBandwidth(s, tc, 800e6),
+                latencyBudget(s, tc, 10e-9), 1e-18);
+}
+
+TEST(Equation2, InfiniteBurstLatencyBoundSf2Of128)
+{
+    // Figure 10(a) regime: with Tw -> 0 the entire budget goes to
+    // latency: Tl = Tc * Cmax / Bmax.  With Figure 7's sf2/128 numbers
+    // at 200 MFLOPS / E = 0.9 this evaluates to ~9.3 us.  (The paper's
+    // prose quotes 3 us for this bound; EXPERIMENTS.md discusses the
+    // discrepancy — the equations and inputs printed in the paper give
+    // the value below.)
+    const SmvpShape s = sampleShape();
+    const double tc = requiredTc(s, 0.9, tfFromMflops(200));
+    const double tl = latencyBudget(s, tc, 0.0);
+    EXPECT_NEAR(tl, 9.3e-6, 0.2e-6);
+}
+
+// ------------------------------------------------------ half-bandwidth
+
+TEST(HalfBandwidth, SplitsCommTimeEqually)
+{
+    const SmvpShape s = sampleShape();
+    const double tc = 30e-9;
+    const HalfBandwidthPoint p = halfBandwidthPoint(s, tc);
+    const double t_comm = s.wordsMax * tc;
+    const double latency_part = s.blocksMax * p.latency;
+    const double burst_part =
+        s.wordsMax * (kBytesPerWord / p.burstBandwidthBytes);
+    EXPECT_NEAR(latency_part, t_comm / 2.0, 1e-15);
+    EXPECT_NEAR(burst_part, t_comm / 2.0, 1e-15);
+}
+
+TEST(HalfBandwidth, MeetsTheTcTarget)
+{
+    const SmvpShape s = sampleShape();
+    const double tc = 30e-9;
+    const HalfBandwidthPoint p = halfBandwidthPoint(s, tc);
+    const double tw = kBytesPerWord / p.burstBandwidthBytes;
+    EXPECT_NEAR(tcFromBlocks(s, p.latency, tw), tc, 1e-18);
+}
+
+TEST(HalfBandwidth, PaperHeadline600MBsBurst)
+{
+    // §4.4 / conclusion: the most demanding sf2 case (128 PEs, 200
+    // MFLOPS, E = 0.9) needs ~600 MB/s burst bandwidth.
+    const SmvpShape s = sampleShape();
+    const double tc = requiredTc(s, 0.9, tfFromMflops(200));
+    const HalfBandwidthPoint p = halfBandwidthPoint(s, tc);
+    EXPECT_GT(p.burstBandwidthBytes, 500e6);
+    EXPECT_LT(p.burstBandwidthBytes, 650e6);
+    // Half-bandwidth latency: microseconds for maximal blocks.
+    EXPECT_GT(p.latency, 1e-6);
+    EXPECT_LT(p.latency, 10e-6);
+}
+
+TEST(HalfBandwidth, FourWordBlocksNeedNanosecondLatency)
+{
+    // Figure 11 bottom / §4.4: with 4-word cache-line blocks the same
+    // operating point needs ~70-100 ns block latency.
+    const SmvpShape s = withFixedBlockSize(sampleShape(), 4.0);
+    const double tc = requiredTc(s, 0.9, tfFromMflops(200));
+    const HalfBandwidthPoint p = halfBandwidthPoint(s, tc);
+    EXPECT_GT(p.latency, 30e-9);
+    EXPECT_LT(p.latency, 120e-9);
+}
+
+TEST(FixedBlockSize, RewritesBlocksMax)
+{
+    const SmvpShape s = withFixedBlockSize(sampleShape(), 4.0);
+    EXPECT_NEAR(s.blocksMax, 16'260 / 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.wordsMax, 16'260);
+    EXPECT_THROW(withFixedBlockSize(sampleShape(), 0.0), FatalError);
+}
+
+// --------------------------------------------------- bisection bandwidth
+
+TEST(Bisection, ScalesWithVolume)
+{
+    const SmvpShape s = sampleShape();
+    const double one = requiredBisectionBandwidth(s, 1000, 0.9, 5e-9);
+    const double two = requiredBisectionBandwidth(s, 2000, 0.9, 5e-9);
+    EXPECT_NEAR(two, 2.0 * one, 1e-6);
+    EXPECT_DOUBLE_EQ(requiredBisectionBandwidth(s, 0, 0.9, 5e-9), 0.0);
+    EXPECT_THROW(requiredBisectionBandwidth(s, -5, 0.9, 5e-9),
+                 FatalError);
+}
+
+// ---------------------------------------------------------- conversions
+
+TEST(Conversions, TfFromMflops)
+{
+    EXPECT_NEAR(tfFromMflops(100), 10e-9, 1e-18);
+    EXPECT_NEAR(tfFromMflops(200), 5e-9, 1e-18);
+    EXPECT_THROW(tfFromMflops(0), FatalError);
+}
+
+TEST(Conversions, BandwidthFromTc)
+{
+    EXPECT_NEAR(bandwidthFromTc(8e-9), 1e9, 1e-3);
+    EXPECT_THROW(bandwidthFromTc(0), FatalError);
+}
+
+// Property sweep over the paper's whole Figure 7 grid: requirements are
+// monotone in efficiency and MFLOPS, and half-points meet their target.
+class PaperGridProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(PaperGridProperty, MonotoneAndConsistent)
+{
+    using namespace quake::core::reference;
+    const PaperMesh mesh = static_cast<PaperMesh>(
+        std::get<0>(GetParam()));
+    const int subdomains = kSubdomainCounts[static_cast<std::size_t>(
+        std::get<1>(GetParam()))];
+    const SmvpShape s = shapeFor(mesh, subdomains);
+
+    const double tf = tfFromMflops(150);
+    const double tc_50 = requiredTc(s, 0.5, tf);
+    const double tc_90 = requiredTc(s, 0.9, tf);
+    EXPECT_GT(tc_50, tc_90); // higher efficiency -> tighter budget
+
+    const HalfBandwidthPoint p = halfBandwidthPoint(s, tc_90);
+    const double tw = kBytesPerWord / p.burstBandwidthBytes;
+    EXPECT_NEAR(tcFromBlocks(s, p.latency, tw), tc_90, 1e-16);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure7Grid, PaperGridProperty,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 6)));
+
+} // namespace

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the BSP phase simulator and the empirical validation of the
+ * paper's §3.4 model-accuracy bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "mesh/generator.h"
+#include "parallel/characterize.h"
+#include "parallel/phase_simulator.h"
+#include "partition/geometric_bisection.h"
+
+namespace
+{
+
+using namespace quake::core;
+using namespace quake::parallel;
+
+SmvpCharacterization
+handChar()
+{
+    SmvpCharacterization ch;
+    ch.name = "hand";
+    ch.numPes = 2;
+    ch.pes = {PeLoad{1000, 60, 2}, PeLoad{800, 100, 4}};
+    return ch;
+}
+
+MachineModel
+simpleMachine()
+{
+    // tf = 1ns, tl = 1us, tw = 10ns.
+    return MachineModel{"unit-test", 1e-9, 1e-6, 10e-9};
+}
+
+TEST(PhaseSimulator, ComputesPerPeMaxima)
+{
+    const PhaseTimes t = simulateSmvp(handChar(), simpleMachine());
+    // tComp = max(1000, 800) * 1ns = 1us.
+    EXPECT_NEAR(t.tComp, 1e-6, 1e-15);
+    // PE0 comm: 2*1us + 60*10ns = 2.6us; PE1: 4*1us + 100*10ns = 5us.
+    EXPECT_NEAR(t.tComm, 5e-6, 1e-15);
+    EXPECT_NEAR(t.tSmvp, 6e-6, 1e-15);
+    EXPECT_NEAR(t.efficiency, 1.0 / 6.0, 1e-12);
+}
+
+TEST(PhaseSimulator, OverlapTakesMax)
+{
+    const PhaseTimes t =
+        simulateSmvp(handChar(), simpleMachine(), OverlapMode::kPerfect);
+    EXPECT_NEAR(t.tSmvp, 5e-6, 1e-15);
+    EXPECT_NEAR(t.efficiency, 1e-6 / 5e-6, 1e-12);
+}
+
+TEST(PhaseSimulator, OverlapNeverSlower)
+{
+    const PhaseTimes none = simulateSmvp(handChar(), simpleMachine());
+    const PhaseTimes overlap =
+        simulateSmvp(handChar(), simpleMachine(), OverlapMode::kPerfect);
+    EXPECT_LE(overlap.tSmvp, none.tSmvp);
+    // Overlap can at best halve the time (paper footnote 1's rationale
+    // for the conservative non-overlapped model).
+    EXPECT_GE(overlap.tSmvp, none.tSmvp / 2.0);
+}
+
+TEST(PhaseSimulator, ZeroCommMeansFullEfficiency)
+{
+    SmvpCharacterization ch;
+    ch.numPes = 1;
+    ch.pes = {PeLoad{500, 0, 0}};
+    const PhaseTimes t = simulateSmvp(ch, simpleMachine());
+    EXPECT_DOUBLE_EQ(t.tComm, 0.0);
+    EXPECT_DOUBLE_EQ(t.efficiency, 1.0);
+}
+
+TEST(PhaseSimulator, RejectsEmptyAndBadMachine)
+{
+    EXPECT_THROW(simulateSmvp(SmvpCharacterization{}, simpleMachine()),
+                 quake::common::FatalError);
+    MachineModel bad{"bad", 0.0, 0.0, 0.0};
+    EXPECT_THROW(simulateSmvp(handChar(), bad),
+                 quake::common::FatalError);
+}
+
+TEST(ModelAccuracy, PessimisticModelBoundedByBeta)
+{
+    const ModelAccuracy acc =
+        evaluateModelAccuracy(handChar(), simpleMachine());
+    // model = Bmax*tl + Cmax*tw = 4us + 1us = 5us; true = 5us.
+    EXPECT_NEAR(acc.modelTcomm, 5e-6, 1e-15);
+    EXPECT_NEAR(acc.trueTcomm, 5e-6, 1e-15);
+    EXPECT_GE(acc.ratio, 1.0 - 1e-12);
+    EXPECT_LE(acc.ratio, acc.beta + 1e-12);
+}
+
+TEST(ModelAccuracy, SplitMaximaOverestimateWithinBeta)
+{
+    // C_max and B_max on different PEs: the model overestimates, but
+    // within the beta bound — the paper's §3.4 claim, checked end to
+    // end on an adversarial machine (latency-dominated).
+    SmvpCharacterization ch;
+    ch.numPes = 2;
+    ch.pes = {PeLoad{1, 100, 2}, PeLoad{1, 50, 10}};
+    const MachineModel machine{"adversarial", 1e-9, 1e-5, 1e-9};
+    const ModelAccuracy acc = evaluateModelAccuracy(ch, machine);
+    EXPECT_GT(acc.ratio, 1.0);
+    EXPECT_LE(acc.ratio, acc.beta + 1e-12);
+}
+
+class ModelAccuracyLattice : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ModelAccuracyLattice, BoundHoldsOnRealSchedules)
+{
+    using namespace quake::mesh;
+    const TetMesh mesh =
+        buildKuhnLattice(Aabb{{0, 0, 0}, {1, 1, 1}}, 5, 5, 5);
+    const quake::partition::GeometricBisection partitioner;
+    const DistributedProblem problem = distributeTopology(
+        mesh, partitioner.partition(mesh, GetParam()));
+    const SmvpCharacterization ch = characterize(problem, "acc");
+
+    // Sweep machines from latency-dominated to bandwidth-dominated.
+    for (const MachineModel &m :
+         {MachineModel{"lat", 1e-9, 1e-4, 1e-10},
+          MachineModel{"bal", 1e-9, 1e-6, 1e-8},
+          MachineModel{"bw", 1e-9, 1e-8, 1e-6}}) {
+        const ModelAccuracy acc = evaluateModelAccuracy(ch, m);
+        EXPECT_GE(acc.ratio, 1.0 - 1e-12) << m.name;
+        EXPECT_LE(acc.ratio, acc.beta + 1e-12) << m.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, ModelAccuracyLattice,
+                         ::testing::Values(2, 4, 8, 16));
+
+} // namespace

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Property tests over the whole pipeline: for every combination of
+ * partitioner and subdomain count on a graded basin mesh, the paper's
+ * structural invariants must hold — schedule symmetry, word
+ * divisibility, beta's range, model bounds, and executable-SMVP
+ * correctness.  This is the "any partition, any p" safety net under
+ * every figure reproduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/perf_model.h"
+#include "mesh/generator.h"
+#include "parallel/characterize.h"
+#include "parallel/event_sim.h"
+#include "parallel/parallel_smvp.h"
+#include "parallel/phase_simulator.h"
+#include "partition/baselines.h"
+#include "partition/geometric_bisection.h"
+#include "partition/refine_boundary.h"
+#include "partition/spectral.h"
+#include "sparse/assembly.h"
+
+namespace
+{
+
+using namespace quake;
+
+enum class Method
+{
+    kInertial,
+    kCoordinate,
+    kInertialRefined,
+    kSpectral,
+    kSlab,
+    kRandom,
+};
+
+std::unique_ptr<partition::Partitioner>
+makeMethod(Method method)
+{
+    using namespace partition;
+    static const GeometricBisection inertial_base(
+        BisectionAxis::kInertial);
+    switch (method) {
+      case Method::kInertial:
+        return std::make_unique<GeometricBisection>(
+            BisectionAxis::kInertial);
+      case Method::kCoordinate:
+        return std::make_unique<GeometricBisection>(
+            BisectionAxis::kLongestExtent);
+      case Method::kInertialRefined:
+        return std::make_unique<RefinedPartitioner>(inertial_base);
+      case Method::kSpectral:
+        return std::make_unique<SpectralBisection>();
+      case Method::kSlab:
+        return std::make_unique<SlabPartitioner>();
+      case Method::kRandom:
+        return std::make_unique<RandomPartitioner>();
+    }
+    return nullptr;
+}
+
+class PipelineProperty
+    : public ::testing::TestWithParam<std::tuple<Method, int>>
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        generated_ = new mesh::GeneratedMesh(
+            mesh::generateSfMesh(mesh::SfClass::kSf20, 1.3));
+        model_ = new mesh::LayeredBasinModel();
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete generated_;
+        delete model_;
+        generated_ = nullptr;
+        model_ = nullptr;
+    }
+
+    void
+    SetUp() override
+    {
+        const auto [method, parts] = GetParam();
+        partition_ =
+            makeMethod(method)->partition(generated_->mesh, parts);
+    }
+
+    static mesh::GeneratedMesh *generated_;
+    static mesh::LayeredBasinModel *model_;
+    partition::Partition partition_;
+};
+
+mesh::GeneratedMesh *PipelineProperty::generated_ = nullptr;
+mesh::LayeredBasinModel *PipelineProperty::model_ = nullptr;
+
+TEST_P(PipelineProperty, StructuralInvariantsHold)
+{
+    const parallel::DistributedProblem problem =
+        parallel::distributeTopology(generated_->mesh, partition_);
+    problem.schedule.validate();
+
+    const core::SmvpCharacterization ch =
+        parallel::characterize(problem, "prop");
+    const core::CharacterizationSummary s = core::summarize(ch);
+
+    // Paper Figure 7 structure.
+    EXPECT_EQ(s.wordsMax % 6, 0);
+    EXPECT_EQ(s.blocksMax % 2, 0);
+    EXPECT_LE(s.blocksMax / 2, problem.numPes() - 1);
+    EXPECT_GE(s.beta, 1.0);
+    EXPECT_LE(s.beta, 2.0);
+
+    // Conservation: every PE's flop count is positive, and the total
+    // flop count equals the global matrix's (2 * 9 scalars per block).
+    std::int64_t total_flops = 0;
+    for (const core::PeLoad &pe : ch.pes) {
+        EXPECT_GT(pe.flops, 0);
+        total_flops += pe.flops;
+    }
+    std::int64_t global_blocks = 0;
+    for (const parallel::Subdomain &sub : problem.subdomains) {
+        const mesh::NodeAdjacency adj =
+            sub.localMesh.buildNodeAdjacency();
+        global_blocks += static_cast<std::int64_t>(adj.adjncy.size()) +
+                         sub.localMesh.numNodes();
+    }
+    EXPECT_EQ(total_flops, 18 * global_blocks);
+}
+
+TEST_P(PipelineProperty, ModelBoundsHoldOnMachines)
+{
+    const parallel::DistributedProblem problem =
+        parallel::distributeTopology(generated_->mesh, partition_);
+    const core::SmvpCharacterization ch =
+        parallel::characterize(problem, "prop");
+
+    for (const parallel::MachineModel &m :
+         {parallel::crayT3e(),
+          parallel::MachineModel{"lat", 1e-9, 1e-4, 1e-10}}) {
+        const parallel::ModelAccuracy acc =
+            parallel::evaluateModelAccuracy(ch, m);
+        EXPECT_GE(acc.ratio, 1.0 - 1e-12) << m.name;
+        EXPECT_LE(acc.ratio, acc.beta + 1e-12) << m.name;
+    }
+}
+
+TEST_P(PipelineProperty, EventSimConsistentWithSchedule)
+{
+    const parallel::CommSchedule schedule =
+        parallel::CommSchedule::build(generated_->mesh, partition_);
+    const parallel::EventSimResult full = parallel::simulateExchange(
+        schedule, parallel::crayT3e(),
+        parallel::EventSimOptions{0.0, true});
+    const parallel::EventSimResult half = parallel::simulateExchange(
+        schedule, parallel::crayT3e(),
+        parallel::EventSimOptions{0.0, false});
+    EXPECT_LE(full.tComm, half.tComm + 1e-15);
+    if (partition_.numParts > 1) {
+        EXPECT_GT(half.tComm, 0.0);
+    }
+}
+
+TEST_P(PipelineProperty, ParallelSmvpMatchesSequential)
+{
+    const parallel::DistributedProblem problem = parallel::distribute(
+        generated_->mesh, *model_, partition_);
+    const parallel::ParallelSmvp psmvp(problem);
+
+    const sparse::Bcsr3Matrix global_k =
+        sparse::assembleStiffness(generated_->mesh, *model_);
+    std::vector<double> x(
+        static_cast<std::size_t>(global_k.numRows()));
+    common::SplitMix64 rng(0xfeed);
+    for (double &v : x)
+        v = rng.uniform(-1, 1);
+
+    const std::vector<double> y_par = psmvp.multiply(x);
+    const std::vector<double> y_seq = global_k.multiply(x);
+    double worst = 0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        worst = std::max(worst, std::fabs(y_par[i] - y_seq[i]) /
+                                    (1.0 + std::fabs(y_seq[i])));
+    EXPECT_LT(worst, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineProperty,
+    ::testing::Combine(
+        ::testing::Values(Method::kInertial, Method::kCoordinate,
+                          Method::kInertialRefined, Method::kSpectral,
+                          Method::kSlab, Method::kRandom),
+        ::testing::Values(2, 5, 8, 16)));
+
+} // namespace

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the dihedral-angle and quality-report metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "mesh/generator.h"
+#include "mesh/quality.h"
+
+namespace
+{
+
+using namespace quake::mesh;
+using quake::common::FatalError;
+
+TEST(Dihedral, RegularTetAngles)
+{
+    // All six dihedral angles of the regular tetrahedron equal
+    // arccos(1/3) ~ 70.53 degrees.
+    const Vec3 a{0, 0, 0};
+    const Vec3 b{1, 0, 0};
+    const Vec3 c{0.5, std::sqrt(3.0) / 2.0, 0};
+    const Vec3 d{0.5, std::sqrt(3.0) / 6.0, std::sqrt(6.0) / 3.0};
+    const auto angles = tetDihedralAngles(a, b, c, d);
+    const double expected = std::acos(1.0 / 3.0);
+    for (double angle : angles)
+        EXPECT_NEAR(angle, expected, 1e-9);
+}
+
+TEST(Dihedral, UnitCornerTetHasRightAngles)
+{
+    // The corner tet's three coordinate-plane faces meet pairwise at
+    // 90 degrees along the axes.
+    const auto angles = tetDihedralAngles(
+        Vec3{0, 0, 0}, Vec3{1, 0, 0}, Vec3{0, 1, 0}, Vec3{0, 0, 1});
+    int right = 0;
+    for (double angle : angles)
+        if (std::fabs(angle - M_PI / 2.0) < 1e-9)
+            ++right;
+    EXPECT_EQ(right, 3);
+}
+
+TEST(Dihedral, SumIdentityHolds)
+{
+    // For any tet the six dihedrals satisfy sum > 2*pi (polyhedral
+    // Gauss-Bonnet lower bound) and each lies in (0, pi).
+    const GeneratedMesh g = generateSfMesh(SfClass::kSf20, 2.0);
+    for (TetId t = 0; t < std::min<TetId>(200, g.mesh.numElements());
+         ++t) {
+        const Tet &e = g.mesh.tet(t);
+        const auto angles = tetDihedralAngles(
+            g.mesh.node(e.v[0]), g.mesh.node(e.v[1]),
+            g.mesh.node(e.v[2]), g.mesh.node(e.v[3]));
+        const double sum =
+            std::accumulate(angles.begin(), angles.end(), 0.0);
+        EXPECT_GT(sum, 2.0 * M_PI);
+        for (double angle : angles) {
+            EXPECT_GT(angle, 0.0);
+            EXPECT_LT(angle, M_PI);
+        }
+    }
+}
+
+TEST(Dihedral, RejectsDegenerateFaces)
+{
+    EXPECT_THROW(tetDihedralAngles(Vec3{0, 0, 0}, Vec3{0, 0, 0},
+                                   Vec3{0, 1, 0}, Vec3{0, 0, 1}),
+                 FatalError);
+}
+
+TEST(QualityReport, HistogramCountsAllElements)
+{
+    const TetMesh m =
+        buildKuhnLattice(Aabb{{0, 0, 0}, {1, 1, 1}}, 3, 3, 3);
+    const QualityReport report = computeQualityReport(m, 10);
+    std::int64_t total = 0;
+    for (std::int64_t count : report.buckets)
+        total += count;
+    EXPECT_EQ(total, m.numElements());
+    EXPECT_GT(report.minQuality, 0.0);
+    EXPECT_GE(report.meanQuality, report.minQuality);
+    EXPECT_GT(report.minDihedralRad, 0.0);
+    EXPECT_LT(report.maxDihedralRad, M_PI);
+}
+
+TEST(QualityReport, GeneratedMeshHasSaneAngles)
+{
+    const GeneratedMesh g = generateSfMesh(SfClass::kSf20);
+    const QualityReport report = computeQualityReport(g.mesh, 10);
+    // Longest-edge bisection with Rivara propagation: no total
+    // degeneracies — angles bounded away from 0 and pi.
+    EXPECT_GT(report.minDihedralRad, 1.0 * M_PI / 180.0);
+    EXPECT_LT(report.maxDihedralRad, 179.0 * M_PI / 180.0);
+}
+
+TEST(QualityReport, RejectsBadArguments)
+{
+    const TetMesh empty;
+    EXPECT_THROW(computeQualityReport(empty), FatalError);
+    const TetMesh m =
+        buildKuhnLattice(Aabb{{0, 0, 0}, {1, 1, 1}}, 1, 1, 1);
+    EXPECT_THROW(computeQualityReport(m, 0), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the embedded paper tables: internal consistency of Figure 7
+ * (the paper's own derived columns), Figure 2 ratios, Figure 6 ranges,
+ * and the EXFLOW comparison data.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "core/reference.h"
+
+namespace
+{
+
+using namespace quake::core;
+using namespace quake::core::reference;
+using quake::common::FatalError;
+
+TEST(Figure2, ValuesAsPublished)
+{
+    EXPECT_EQ(figure2(PaperMesh::kSf10).nodes, 7'294);
+    EXPECT_EQ(figure2(PaperMesh::kSf5).elements, 151'239);
+    EXPECT_EQ(figure2(PaperMesh::kSf2).edges, 2'509'064);
+    EXPECT_EQ(figure2(PaperMesh::kSf1).nodes, 2'461'694);
+}
+
+TEST(Figure2, PeriodHalvingGrowsNodesNearEightfold)
+{
+    // Paper §2.1: "the number of nodes increases by a factor of nearly
+    // eight" per period halving; the published ratios run 4.1-12.6.
+    const double r1 = static_cast<double>(figure2(PaperMesh::kSf5).nodes) /
+                      figure2(PaperMesh::kSf10).nodes;
+    const double r2 = static_cast<double>(figure2(PaperMesh::kSf2).nodes) /
+                      figure2(PaperMesh::kSf5).nodes;
+    const double r3 = static_cast<double>(figure2(PaperMesh::kSf1).nodes) /
+                      figure2(PaperMesh::kSf2).nodes;
+    EXPECT_GT(r1, 3.0);
+    EXPECT_LT(r1, 14.0);
+    EXPECT_GT(r2, 3.0);
+    EXPECT_LT(r2, 14.0);
+    EXPECT_GT(r3, 3.0);
+    EXPECT_LT(r3, 14.0);
+}
+
+TEST(Figure2, AverageNodeDegreeNear13)
+{
+    for (int i = 0; i < kNumMeshes; ++i) {
+        const MeshSizes &m = figure2(static_cast<PaperMesh>(i));
+        const double degree =
+            2.0 * static_cast<double>(m.edges) / m.nodes;
+        EXPECT_GT(degree, 12.0);
+        EXPECT_LT(degree, 14.0);
+    }
+}
+
+TEST(Figure7, PublishedDerivedColumnsConsistent)
+{
+    // F/C_max as printed must equal round(flops / wordsMax).
+    for (int m = 0; m < kNumMeshes; ++m) {
+        for (int subdomains : kSubdomainCounts) {
+            const Figure7Entry &e =
+                figure7(static_cast<PaperMesh>(m), subdomains);
+            const double ratio = static_cast<double>(e.flops) /
+                                 static_cast<double>(e.wordsMax);
+            EXPECT_NEAR(ratio, static_cast<double>(e.flopsPerWord),
+                        0.51 + 0.01 * ratio)
+                << paperMeshName(static_cast<PaperMesh>(m)) << "/"
+                << subdomains;
+        }
+    }
+}
+
+TEST(Figure7, InvariantsThePaperCallsOut)
+{
+    for (int m = 0; m < kNumMeshes; ++m) {
+        for (int subdomains : kSubdomainCounts) {
+            const Figure7Entry &e =
+                figure7(static_cast<PaperMesh>(m), subdomains);
+            // "The values of Bmax and Cmax are always even" and Cmax is
+            // "divisible by three".
+            EXPECT_EQ(e.wordsMax % 6, 0);
+            EXPECT_EQ(e.blocksMax % 2, 0);
+            // B_max implies at most subdomains-1 peers.
+            EXPECT_LE(e.blocksMax / 2, subdomains - 1);
+        }
+    }
+}
+
+TEST(Figure7, FlopsShrinkWithMoreSubdomains)
+{
+    for (int m = 0; m < kNumMeshes; ++m) {
+        for (std::size_t i = 1; i < kSubdomainCounts.size(); ++i) {
+            const auto &prev = figure7(static_cast<PaperMesh>(m),
+                                       kSubdomainCounts[i - 1]);
+            const auto &cur = figure7(static_cast<PaperMesh>(m),
+                                      kSubdomainCounts[i]);
+            EXPECT_LT(cur.flops, prev.flops);
+            // C_max is only *loosely* decreasing in the published data
+            // (sf10 rises 2352 -> 2550 from 4 to 8 subdomains).
+            EXPECT_LE(cur.wordsMax, prev.wordsMax * 11 / 10);
+        }
+    }
+}
+
+TEST(Figure7, TenfoldProblemGrowthDoublesRatio)
+{
+    // §4.1's scaling observation: problem size x10 raises F/C_max by
+    // roughly 2 (the O(n^{1/3}) law).  Check sf5 -> sf2 (12.6x nodes).
+    for (int subdomains : kSubdomainCounts) {
+        const auto &small = figure7(PaperMesh::kSf5, subdomains);
+        const auto &large = figure7(PaperMesh::kSf2, subdomains);
+        const double growth =
+            static_cast<double>(large.flopsPerWord) /
+            static_cast<double>(small.flopsPerWord);
+        EXPECT_GT(growth, 1.4);
+        EXPECT_LT(growth, 3.2);
+    }
+}
+
+TEST(Figure6, RangeMatchesPaper)
+{
+    for (int m = 0; m < kNumMeshes; ++m) {
+        for (int subdomains : kSubdomainCounts) {
+            const double beta =
+                figure6Beta(static_cast<PaperMesh>(m), subdomains);
+            EXPECT_GE(beta, 1.0);
+            EXPECT_LE(beta, 1.15); // the largest published value
+        }
+    }
+    EXPECT_DOUBLE_EQ(figure6Beta(PaperMesh::kSf2, 32), 1.15);
+    EXPECT_DOUBLE_EQ(figure6Beta(PaperMesh::kSf1, 128), 1.11);
+}
+
+TEST(Reference, ShapeForPullsFigure7)
+{
+    const SmvpShape s = shapeFor(PaperMesh::kSf2, 128);
+    EXPECT_DOUBLE_EQ(s.flops, 838'224);
+    EXPECT_DOUBLE_EQ(s.wordsMax, 16'260);
+    EXPECT_DOUBLE_EQ(s.blocksMax, 50);
+}
+
+TEST(Reference, NamesRoundTrip)
+{
+    for (int m = 0; m < kNumMeshes; ++m) {
+        const PaperMesh mesh = static_cast<PaperMesh>(m);
+        EXPECT_EQ(paperMeshFromName(paperMeshName(mesh)), mesh);
+    }
+    EXPECT_THROW(paperMeshFromName("sf99"), FatalError);
+}
+
+TEST(Reference, RejectsUntabulatedSubdomains)
+{
+    EXPECT_THROW(figure7(PaperMesh::kSf2, 5), FatalError);
+    EXPECT_THROW(figure6Beta(PaperMesh::kSf2, 256), FatalError);
+}
+
+TEST(Exflow, PublishedComparison)
+{
+    // §1: EXFLOW vs sf2/128 intensity numbers.
+    const CommIntensity &exflow = exflowIntensity();
+    const CommIntensity &sf2 = quakeSf2Intensity();
+    EXPECT_DOUBLE_EQ(exflow.commKBytesPerMflop, 144.0);
+    EXPECT_DOUBLE_EQ(sf2.commKBytesPerMflop, 155.0);
+    EXPECT_DOUBLE_EQ(exflow.messagesPerMflop, 66.0);
+    EXPECT_DOUBLE_EQ(sf2.messagesPerMflop, 60.0);
+    // "nearly identical computational properties": within 25%.
+    EXPECT_NEAR(exflow.commKBytesPerMflop, sf2.commKBytesPerMflop,
+                0.25 * sf2.commKBytesPerMflop);
+}
+
+TEST(Exflow, IntensityFromCharacterization)
+{
+    SmvpCharacterization ch;
+    ch.numPes = 2;
+    ch.pes = {PeLoad{500'000, 100, 2}, PeLoad{500'000, 100, 2}};
+    ch.messageSizes = {100, 100}; // 200 words total
+    const CommIntensity intensity = intensityFrom(ch, 2.0);
+    // 1 MFLOP total, 1600 bytes => 1.6 KB/MFLOP, 2 msgs/MFLOP.
+    EXPECT_NEAR(intensity.commKBytesPerMflop, 1.6, 1e-9);
+    EXPECT_NEAR(intensity.messagesPerMflop, 2.0, 1e-9);
+    EXPECT_NEAR(intensity.avgMessageKBytes, 0.8, 1e-9);
+    EXPECT_DOUBLE_EQ(intensity.memoryPerPeMBytes, 2.0);
+}
+
+TEST(Reference, MachineConstantsAsPublished)
+{
+    EXPECT_DOUBLE_EQ(kCrayT3dTf, 30e-9);
+    EXPECT_DOUBLE_EQ(kCrayT3eTf, 14e-9);
+    EXPECT_DOUBLE_EQ(kCrayT3eTl, 22e-6);
+    EXPECT_DOUBLE_EQ(kCrayT3eTw, 55e-9);
+    EXPECT_EQ(kEfficiencyGrid.size(), 3u);
+}
+
+} // namespace

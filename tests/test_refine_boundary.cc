@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the greedy boundary-refinement pass: the replica objective
+ * strictly improves, balance holds, no part empties, and the decorator
+ * composes with any base partitioner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "mesh/generator.h"
+#include "partition/baselines.h"
+#include "partition/geometric_bisection.h"
+#include "partition/partition_stats.h"
+#include "parallel/comm_schedule.h"
+#include "partition/refine_boundary.h"
+
+namespace
+{
+
+using namespace quake::partition;
+using namespace quake::mesh;
+using quake::common::FatalError;
+
+TetMesh
+lattice(int n)
+{
+    return buildKuhnLattice(Aabb{{0, 0, 0}, {1, 1, 1}}, n, n, n);
+}
+
+std::int64_t
+totalReplicas(const TetMesh &m, const Partition &p)
+{
+    return computePartitionStats(m, p).totalReplicas;
+}
+
+TEST(RefineBoundary, NeverIncreasesReplicas)
+{
+    const TetMesh m = lattice(4);
+    for (int parts : {2, 4, 8}) {
+        Partition p = GeometricBisection().partition(m, parts);
+        const std::int64_t before = totalReplicas(m, p);
+        const BoundaryRefineReport report = refineBoundary(m, p);
+        EXPECT_LE(report.replicasAfter, report.replicasBefore);
+        EXPECT_EQ(report.replicasBefore, before);
+        EXPECT_EQ(report.replicasAfter, totalReplicas(m, p));
+    }
+}
+
+TEST(RefineBoundary, DramaticallyImprovesRandomPartition)
+{
+    const TetMesh m = lattice(4);
+    Partition p = RandomPartitioner().partition(m, 4);
+    const BoundaryRefineReport report = refineBoundary(m, p);
+    EXPECT_GT(report.moves, 0);
+    // Random partitions have near-total replication; even a greedy
+    // pass must reclaim a large fraction.
+    EXPECT_LT(report.replicasAfter, report.replicasBefore * 3 / 4);
+}
+
+TEST(RefineBoundary, RespectsBalanceCap)
+{
+    const TetMesh m = lattice(4);
+    BoundaryRefineOptions options;
+    options.maxImbalance = 1.05;
+    Partition p = RandomPartitioner().partition(m, 8);
+    refineBoundary(m, p, options);
+    const PartitionStats stats = computePartitionStats(m, p);
+    // size_cap = floor(1.05 * mean); allow the rounding margin.
+    EXPECT_LE(stats.elementImbalance, 1.06);
+}
+
+TEST(RefineBoundary, NeverEmptiesAPart)
+{
+    const TetMesh m = lattice(3);
+    // An adversarial start: part 0 holds a single element.
+    Partition p;
+    p.numParts = 2;
+    p.elementPart.assign(static_cast<std::size_t>(m.numElements()), 1);
+    p.elementPart[0] = 0;
+    BoundaryRefineOptions options;
+    options.maxImbalance = 10.0; // balance never blocks a move
+    refineBoundary(m, p, options);
+    p.validate(m); // would panic if part 0 were emptied
+}
+
+TEST(RefineBoundary, IdempotentAtFixpoint)
+{
+    const TetMesh m = lattice(4);
+    Partition p = GeometricBisection().partition(m, 4);
+    refineBoundary(m, p);
+    const BoundaryRefineReport second = refineBoundary(m, p);
+    EXPECT_EQ(second.moves, 0);
+    EXPECT_EQ(second.passes, 1);
+}
+
+TEST(RefineBoundary, StopsAtPassCap)
+{
+    const TetMesh m = lattice(4);
+    BoundaryRefineOptions options;
+    options.maxPasses = 1;
+    Partition p = RandomPartitioner().partition(m, 8);
+    const BoundaryRefineReport report = refineBoundary(m, p, options);
+    EXPECT_EQ(report.passes, 1);
+}
+
+TEST(RefineBoundary, RejectsBadImbalance)
+{
+    const TetMesh m = lattice(2);
+    Partition p = GeometricBisection().partition(m, 2);
+    BoundaryRefineOptions options;
+    options.maxImbalance = 0.9;
+    EXPECT_THROW(refineBoundary(m, p, options), FatalError);
+}
+
+TEST(RefinedPartitioner, ComposesAndImproves)
+{
+    const TetMesh m = lattice(4);
+    const SlabPartitioner slab;
+    const RefinedPartitioner refined(slab);
+    EXPECT_EQ(refined.name(), "slab-x+refine");
+
+    const Partition base = slab.partition(m, 8);
+    const Partition polished = refined.partition(m, 8);
+    EXPECT_LE(totalReplicas(m, polished), totalReplicas(m, base));
+    polished.validate(m);
+}
+
+TEST(RefineBoundary, LowersCommunicationWords)
+{
+    // The replica objective is the global comm volume / 6, so C totals
+    // must fall accordingly.
+    const TetMesh m = lattice(4);
+    const SlabPartitioner slab;
+    Partition p = slab.partition(m, 8);
+    const quake::parallel::CommSchedule before =
+        quake::parallel::CommSchedule::build(m, p);
+    refineBoundary(m, p);
+    const quake::parallel::CommSchedule after =
+        quake::parallel::CommSchedule::build(m, p);
+    // The objective is replicas, not pairwise words, so allow a small
+    // slack: individual moves can trade a replica for higher-multiplicity
+    // pairings, but the aggregate must not regress materially.
+    EXPECT_LE(after.totalWords(),
+              before.totalWords() + before.totalWords() / 50);
+}
+
+} // namespace

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the one-call Section 4 analysis report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "core/report.h"
+
+namespace
+{
+
+using namespace quake::core;
+using quake::common::FatalError;
+
+SmvpCharacterization
+sampleChar()
+{
+    SmvpCharacterization ch;
+    ch.name = "sample/4";
+    ch.numPes = 4;
+    ch.pes.assign(4, PeLoad{838'224, 16'260, 50});
+    ch.messageSizes.assign(100, 459);
+    ch.bisectionWords = 10'000;
+    return ch;
+}
+
+TEST(Analyze, GridOrderAndSize)
+{
+    AnalysisRequest request;
+    request.mflopsGrid = {100.0, 200.0};
+    request.efficiencyGrid = {0.5, 0.9};
+    const AnalysisReport report = analyze(sampleChar(), request);
+    ASSERT_EQ(report.entries.size(), 4u);
+    EXPECT_DOUBLE_EQ(report.entries[0].mflops, 100.0);
+    EXPECT_DOUBLE_EQ(report.entries[0].efficiency, 0.5);
+    EXPECT_DOUBLE_EQ(report.entries[3].mflops, 200.0);
+    EXPECT_DOUBLE_EQ(report.entries[3].efficiency, 0.9);
+    EXPECT_EQ(report.name, "sample/4");
+}
+
+TEST(Analyze, EntriesMatchPrimitives)
+{
+    const AnalysisReport report = analyze(sampleChar());
+    const SmvpShape shape =
+        SmvpShape::fromSummary(report.summary);
+    for (const AnalysisEntry &entry : report.entries) {
+        const double tf = tfFromMflops(entry.mflops);
+        const double tc = requiredTc(shape, entry.efficiency, tf);
+        EXPECT_NEAR(entry.sustainedBandwidthBytes, bandwidthFromTc(tc),
+                    1e-3);
+        EXPECT_NEAR(entry.infiniteBurstLatency,
+                    latencyBudget(shape, tc, 0.0), 1e-15);
+        EXPECT_NEAR(entry.maximalBlocks.latency,
+                    halfBandwidthPoint(shape, tc).latency, 1e-15);
+        EXPECT_GT(entry.bisectionBandwidthBytes, 0.0);
+        // Four-word blocks admit far less latency than maximal blocks.
+        EXPECT_LT(entry.fixedBlocks.latency,
+                  entry.maximalBlocks.latency);
+    }
+}
+
+TEST(Analyze, RejectsBadRequest)
+{
+    AnalysisRequest request;
+    request.mflopsGrid = {};
+    EXPECT_THROW(analyze(sampleChar(), request), FatalError);
+    request = AnalysisRequest{};
+    request.fixedBlockWords = 0;
+    EXPECT_THROW(analyze(sampleChar(), request), FatalError);
+}
+
+TEST(PrintReport, ContainsKeyNumbers)
+{
+    std::ostringstream os;
+    printReport(analyze(sampleChar()), os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("sample/4"), std::string::npos);
+    EXPECT_NE(text.find("838,224"), std::string::npos);
+    EXPECT_NE(text.find("16,260"), std::string::npos);
+    // The 200-MFLOPS / E=0.9 headline: ~279 MB/s.
+    EXPECT_NE(text.find("279.3 MB/s"), std::string::npos);
+}
+
+} // namespace

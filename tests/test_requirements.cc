@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the requirement sweep engine behind Figures 8-11.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/requirements.h"
+
+namespace
+{
+
+using namespace quake::core;
+using quake::common::FatalError;
+
+SmvpShape
+sampleShape()
+{
+    SmvpShape s;
+    s.flops = 838'224;
+    s.wordsMax = 16'260;
+    s.blocksMax = 50;
+    return s;
+}
+
+TEST(Logspace, EndpointsAndMonotonicity)
+{
+    const std::vector<double> v = logspace(1.0, 1000.0, 4);
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_NEAR(v.front(), 1.0, 1e-12);
+    EXPECT_NEAR(v.back(), 1000.0, 1e-9);
+    EXPECT_NEAR(v[1], 10.0, 1e-9);
+    for (std::size_t i = 1; i < v.size(); ++i)
+        EXPECT_GT(v[i], v[i - 1]);
+}
+
+TEST(Logspace, RejectsBadRanges)
+{
+    EXPECT_THROW(logspace(0.0, 10.0, 3), FatalError);
+    EXPECT_THROW(logspace(10.0, 1.0, 3), FatalError);
+    EXPECT_THROW(logspace(1.0, 10.0, 1), FatalError);
+}
+
+TEST(RequirementSweep, OneRowPerOperatingPoint)
+{
+    const std::vector<OperatingPoint> grid = {
+        {100.0, 0.5}, {100.0, 0.9}, {200.0, 0.5}, {200.0, 0.9}};
+    const auto rows = requirementSweep(sampleShape(), grid, 10'000);
+    ASSERT_EQ(rows.size(), 4u);
+    for (const RequirementRow &r : rows) {
+        EXPECT_GT(r.tc, 0.0);
+        EXPECT_NEAR(r.sustainedBandwidthBytes, 8.0 / r.tc, 1e-6);
+        EXPECT_GT(r.bisectionBandwidthBytes, 0.0);
+    }
+    // 200 MFLOPS at the same efficiency needs double the bandwidth.
+    EXPECT_NEAR(rows[2].sustainedBandwidthBytes,
+                2.0 * rows[0].sustainedBandwidthBytes, 1.0);
+}
+
+TEST(RequirementSweep, BisectionOmittedWhenVolumeZero)
+{
+    const auto rows =
+        requirementSweep(sampleShape(), {{100.0, 0.8}}, 0);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_DOUBLE_EQ(rows[0].bisectionBandwidthBytes, 0.0);
+}
+
+TEST(TradeoffCurve, MonotoneDecreasingLatency)
+{
+    // More burst bandwidth never shrinks the latency budget.
+    const double tc = requiredTc(sampleShape(), 0.9, tfFromMflops(200));
+    const auto curve =
+        tradeoffCurve(sampleShape(), tc, 1e6, 100e9, 40);
+    ASSERT_GT(curve.size(), 5u);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GT(curve[i].burstBandwidthBytes,
+                  curve[i - 1].burstBandwidthBytes);
+        EXPECT_GE(curve[i].latency, curve[i - 1].latency - 1e-18);
+    }
+}
+
+TEST(TradeoffCurve, OmitsInfeasiblePoints)
+{
+    // At very low burst bandwidth the budget is negative; those points
+    // must be dropped, giving the vertical asymptote of Figure 10.
+    const double tc = requiredTc(sampleShape(), 0.9, tfFromMflops(200));
+    const auto curve = tradeoffCurve(sampleShape(), tc, 1e3, 100e9, 60);
+    for (const TradeoffPoint &p : curve)
+        EXPECT_GE(p.latency, 0.0);
+    // The asymptote sits at C_max words / T_comm = 8 / tc bytes/sec.
+    const double asymptote = 8.0 / tc;
+    EXPECT_GT(curve.front().burstBandwidthBytes, asymptote);
+}
+
+TEST(TradeoffCurve, SaturatesAtInfiniteBurstBudget)
+{
+    const double tc = requiredTc(sampleShape(), 0.9, tfFromMflops(200));
+    const auto curve =
+        tradeoffCurve(sampleShape(), tc, 1e6, 1e13, 50);
+    const double bound = latencyBudget(sampleShape(), tc, 0.0);
+    EXPECT_NEAR(curve.back().latency, bound, 0.02 * bound);
+}
+
+TEST(Headline, ConsistentWithPrimitives)
+{
+    const Headline h = computeHeadline(sampleShape(), 200.0, 0.9);
+    const double tc = requiredTc(sampleShape(), 0.9, tfFromMflops(200));
+    EXPECT_NEAR(h.sustainedBandwidthBytes, 8.0 / tc, 1e-3);
+    EXPECT_NEAR(h.infiniteBurstLatency,
+                latencyBudget(sampleShape(), tc, 0.0), 1e-15);
+    EXPECT_GT(h.halfPoint.latency, 0.0);
+    // The half point always admits less latency than the infinite-burst
+    // bound (it only gets half the budget).
+    EXPECT_LT(h.halfPoint.latency, h.infiniteBurstLatency);
+}
+
+class EfficiencySweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(EfficiencySweep, HigherEfficiencyTightensEverything)
+{
+    const double e = GetParam();
+    const Headline lo = computeHeadline(sampleShape(), 200.0, e);
+    const Headline hi = computeHeadline(sampleShape(), 200.0, e + 0.05);
+    EXPECT_GT(hi.sustainedBandwidthBytes, lo.sustainedBandwidthBytes);
+    EXPECT_LT(hi.halfPoint.latency, lo.halfPoint.latency);
+    EXPECT_LT(hi.infiniteBurstLatency, lo.infiniteBurstLatency);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EfficiencySweep,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.9));
+
+} // namespace

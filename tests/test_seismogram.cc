@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for seismogram recording: station placement, sampling,
+ * amplitude math, text output, and the wiring into the simulation
+ * driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "mesh/generator.h"
+#include "quake/simulation.h"
+
+namespace
+{
+
+using namespace quake::sim;
+using namespace quake::mesh;
+using quake::common::FatalError;
+
+TetMesh
+slab()
+{
+    return buildKuhnLattice(Aabb{{0, 0, 0}, {10, 10, 2}}, 5, 5, 1);
+}
+
+TEST(Seismogram, SurfaceLinePlacesStationsOnSurface)
+{
+    const TetMesh m = slab();
+    const Seismogram record = Seismogram::surfaceLine(m, 5, 5.0);
+    ASSERT_EQ(record.stations().size(), 5u);
+    for (const Station &s : record.stations()) {
+        EXPECT_DOUBLE_EQ(s.position.z, 0.0); // free surface
+        EXPECT_EQ(s.position, m.node(s.node));
+    }
+    // Stations span the x extent in order.
+    EXPECT_LT(record.stations().front().position.x,
+              record.stations().back().position.x);
+}
+
+TEST(Seismogram, SingleStationCentered)
+{
+    const TetMesh m = slab();
+    const Seismogram record = Seismogram::surfaceLine(m, 1, 5.0);
+    EXPECT_NEAR(record.stations()[0].position.x, 5.0, 2.1);
+}
+
+TEST(Seismogram, RecordsAmplitudes)
+{
+    std::vector<Station> stations = {{"a", 0, {}}, {"b", 2, {}}};
+    Seismogram record(std::move(stations));
+
+    std::vector<double> u(9, 0.0);
+    u[0] = 3.0;
+    u[1] = 4.0;  // node 0: |u| = 5
+    u[6] = 1.0;  // node 2: |u| = 1
+    record.record(0.5, u);
+    u[0] = 0.0;
+    u[1] = 0.0;
+    record.record(1.0, u);
+
+    ASSERT_EQ(record.sampleCount(), 2u);
+    EXPECT_DOUBLE_EQ(record.amplitude(0, 0), 5.0);
+    EXPECT_DOUBLE_EQ(record.amplitude(1, 0), 1.0);
+    EXPECT_DOUBLE_EQ(record.amplitude(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(record.peakAmplitude(0), 5.0);
+    EXPECT_DOUBLE_EQ(record.peakAmplitude(1), 1.0);
+    EXPECT_EQ(record.times(), (std::vector<double>{0.5, 1.0}));
+}
+
+TEST(Seismogram, RejectsBadAccess)
+{
+    Seismogram record({{"a", 0, {}}});
+    std::vector<double> u(3, 0.0);
+    record.record(0.0, u);
+    EXPECT_THROW(record.amplitude(5, 0), FatalError);
+    EXPECT_THROW(record.amplitude(0, 5), FatalError);
+    EXPECT_THROW(record.peakAmplitude(2), FatalError);
+    // Station node outside the displacement vector.
+    Seismogram bad({{"x", 9, {}}});
+    EXPECT_THROW(bad.record(0.0, u), FatalError);
+}
+
+TEST(Seismogram, WritesReadableText)
+{
+    Seismogram record({{"a", 0, {1, 2, 0}}});
+    std::vector<double> u = {1.0, 0.0, 0.0};
+    record.record(0.25, u);
+    std::ostringstream os;
+    record.write(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("# time"), std::string::npos);
+    EXPECT_NE(text.find("a(1,2)"), std::string::npos);
+    EXPECT_NE(text.find("0.25 1"), std::string::npos);
+}
+
+TEST(Seismogram, RecordsThroughSimulation)
+{
+    const TetMesh m = slab();
+    const UniformModel model(Aabb{{0, 0, 0}, {10, 10, 2}}, 1.0, 1.0);
+
+    Seismogram record = Seismogram::surfaceLine(m, 3, 5.0);
+    SimulationConfig config;
+    config.durationSeconds = 1e9;
+    config.maxSteps = 120;
+    config.sampleInterval = 10;
+    config.recorder = &record;
+    config.hypocenter = {5.0, 5.0, 1.5};
+    config.wavelet.peakFrequencyHz = 0.5;
+    config.wavelet.delaySeconds = 0.5;
+    config.wavelet.amplitude = 10.0;
+
+    const SimulationReport report = runSimulation(m, model, config);
+    EXPECT_EQ(record.sampleCount(),
+              static_cast<std::size_t>(report.steps / 10));
+    // The wave reaches at least one station.
+    double peak = 0;
+    for (std::size_t s = 0; s < record.stations().size(); ++s)
+        peak = std::max(peak, record.peakAmplitude(s));
+    EXPECT_GT(peak, 0.0);
+}
+
+} // namespace

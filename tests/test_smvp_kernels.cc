@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the Spark98-style kernel suite: all storage formats compute
+ * the same product, symmetric storage halves the stored entries, and the
+ * T_f measurement harness returns sane numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "mesh/generator.h"
+#include "spark/kernels.h"
+
+namespace
+{
+
+using namespace quake::spark;
+using namespace quake::mesh;
+using quake::common::FatalError;
+
+class SuiteTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        mesh_ = new TetMesh(
+            buildKuhnLattice(Aabb{{0, 0, 0}, {1, 1, 1}}, 3, 3, 3));
+        model_ = new UniformModel(Aabb{{0, 0, 0}, {1, 1, 1}}, 1.0, 1.0);
+        suite_ = new KernelSuite(*mesh_, *model_);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete suite_;
+        delete model_;
+        delete mesh_;
+    }
+
+    static TetMesh *mesh_;
+    static UniformModel *model_;
+    static KernelSuite *suite_;
+};
+
+TetMesh *SuiteTest::mesh_ = nullptr;
+UniformModel *SuiteTest::model_ = nullptr;
+KernelSuite *SuiteTest::suite_ = nullptr;
+
+TEST_F(SuiteTest, DofMatchesMesh)
+{
+    EXPECT_EQ(suite_->dof(), 3 * mesh_->numNodes());
+}
+
+TEST_F(SuiteTest, KernelNamesDistinct)
+{
+    EXPECT_NE(kernelName(Kernel::kCsr), kernelName(Kernel::kBcsr3));
+    EXPECT_NE(kernelName(Kernel::kCsr), kernelName(Kernel::kSym));
+}
+
+TEST_F(SuiteTest, AllKernelsAgree)
+{
+    std::vector<double> x(static_cast<std::size_t>(suite_->dof()));
+    quake::common::SplitMix64 rng(77);
+    for (double &v : x)
+        v = rng.uniform(-1, 1);
+
+    const std::vector<double> y_csr = suite_->run(Kernel::kCsr, x);
+    const std::vector<double> y_bcsr = suite_->run(Kernel::kBcsr3, x);
+    const std::vector<double> y_sym = suite_->run(Kernel::kSym, x);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_NEAR(y_csr[i], y_bcsr[i], 1e-9);
+        EXPECT_NEAR(y_csr[i], y_sym[i], 1e-9);
+    }
+}
+
+TEST_F(SuiteTest, RunRejectsWrongSize)
+{
+    EXPECT_THROW(suite_->run(Kernel::kCsr, std::vector<double>(3, 0.0)),
+                 FatalError);
+}
+
+TEST_F(SuiteTest, SymStorageRoughlyHalves)
+{
+    const std::int64_t full = suite_->csr().nnz();
+    const std::int64_t half = suite_->sym().storedEntries();
+    EXPECT_LT(half, full * 6 / 10);
+    EXPECT_GT(half, full * 4 / 10);
+}
+
+TEST_F(SuiteTest, SymFlopCountMatchesFull)
+{
+    // Same arithmetic as full CSR on a structurally symmetric matrix
+    // with every diagonal entry stored: 2 flops per logical nonzero.
+    EXPECT_EQ(suite_->sym().flopsPerMultiply(), 2 * suite_->csr().nnz());
+}
+
+TEST_F(SuiteTest, MeasureReturnsSaneTiming)
+{
+    const KernelTiming t = suite_->measure(Kernel::kBcsr3, 3);
+    EXPECT_GT(t.secondsPerSmvp, 0.0);
+    EXPECT_EQ(t.flops, 2 * suite_->nnz());
+    EXPECT_GT(t.mflops, 1.0);     // any machine manages > 1 MFLOPS
+    EXPECT_LT(t.mflops, 100000.0); // and < 100 GFLOPS scalar
+    EXPECT_NEAR(t.tf * t.mflops * 1e6, 1.0, 1e-9);
+}
+
+TEST_F(SuiteTest, MeasureRejectsZeroReps)
+{
+    EXPECT_THROW(suite_->measure(Kernel::kCsr, 0), FatalError);
+}
+
+TEST(SymCsr, RejectsAsymmetric)
+{
+    using quake::sparse::CsrMatrix;
+    using quake::sparse::SymCsrMatrix;
+    const CsrMatrix asym(2, 2, {0, 2, 4}, {0, 1, 0, 1}, {1, 7, 6, 3});
+    EXPECT_THROW(SymCsrMatrix::fromCsr(asym), FatalError);
+}
+
+TEST(SymCsr, KnownProduct)
+{
+    using quake::sparse::CsrMatrix;
+    using quake::sparse::SymCsrMatrix;
+    // | 2 1 |
+    // | 1 3 |
+    const CsrMatrix full(2, 2, {0, 2, 4}, {0, 1, 0, 1}, {2, 1, 1, 3});
+    const SymCsrMatrix sym = SymCsrMatrix::fromCsr(full);
+    EXPECT_EQ(sym.storedEntries(), 3);
+    const std::vector<double> y = sym.multiply({1.0, 2.0});
+    EXPECT_DOUBLE_EQ(y[0], 4.0);
+    EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+} // namespace

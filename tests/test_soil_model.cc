@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the ground models: the layered basin's geometry and speed
+ * structure, parameter validation, and the uniform model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "mesh/soil_model.h"
+
+namespace
+{
+
+using namespace quake::mesh;
+using quake::common::FatalError;
+
+TEST(LayeredBasin, DomainMatchesParams)
+{
+    const LayeredBasinModel model;
+    const Aabb box = model.domain();
+    EXPECT_EQ(box.lo, (Vec3{0, 0, 0}));
+    EXPECT_EQ(box.hi, (Vec3{50, 50, 10}));
+}
+
+TEST(LayeredBasin, BasinDeepestAtCenter)
+{
+    const LayeredBasinModel model;
+    const auto &p = model.params();
+    const double center_depth =
+        model.basinDepth(p.basinCenter.x, p.basinCenter.y);
+    EXPECT_NEAR(center_depth, p.basinMaxDepth, 1e-9);
+    EXPECT_GT(center_depth, model.basinDepth(p.basinCenter.x + 5,
+                                             p.basinCenter.y));
+}
+
+TEST(LayeredBasin, NoBasinFarAway)
+{
+    const LayeredBasinModel model;
+    EXPECT_DOUBLE_EQ(model.basinDepth(0.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(model.basinDepth(50.0, 50.0), 0.0);
+}
+
+TEST(LayeredBasin, SedimentMuchSlowerThanRock)
+{
+    const LayeredBasinModel model;
+    const Vec3 in_basin{25, 25, 0.1};
+    const Vec3 in_rock{5, 5, 0.1};
+    const double vs_soft = model.shearWaveSpeed(in_basin);
+    const double vs_rock = model.shearWaveSpeed(in_rock);
+    EXPECT_LT(vs_soft, 0.5);
+    EXPECT_GE(vs_rock, 3.0);
+    // The >10x contrast drives the "wildly varying density" grading.
+    EXPECT_GT(vs_rock / vs_soft, 10.0);
+}
+
+TEST(LayeredBasin, SpeedIncreasesWithDepthInsideBasin)
+{
+    const LayeredBasinModel model;
+    const double shallow = model.shearWaveSpeed({25, 25, 0.05});
+    const double deeper = model.shearWaveSpeed({25, 25, 1.0});
+    EXPECT_LT(shallow, deeper);
+}
+
+TEST(LayeredBasin, SpeedIncreasesWithDepthInRock)
+{
+    const LayeredBasinModel model;
+    const double top = model.shearWaveSpeed({5, 5, 1.0});
+    const double bottom = model.shearWaveSpeed({5, 5, 9.0});
+    EXPECT_LT(top, bottom);
+    EXPECT_LE(bottom, model.params().vsRockBottom + 1e-12);
+}
+
+TEST(LayeredBasin, RockBelowBasinIsFast)
+{
+    const LayeredBasinModel model;
+    // Below the deepest sediment at the basin centre.
+    const Vec3 below{25, 25, model.params().basinMaxDepth + 0.5};
+    EXPECT_GE(model.shearWaveSpeed(below), model.params().vsRockTop);
+    EXPECT_FALSE(model.inBasin(below));
+}
+
+TEST(LayeredBasin, InBasinPredicate)
+{
+    const LayeredBasinModel model;
+    EXPECT_TRUE(model.inBasin({25, 25, 0.5}));
+    EXPECT_FALSE(model.inBasin({2, 2, 0.5}));
+}
+
+TEST(LayeredBasin, DensityTracksMaterial)
+{
+    const LayeredBasinModel model;
+    EXPECT_DOUBLE_EQ(model.density({25, 25, 0.5}),
+                     model.params().rhoSediment);
+    EXPECT_DOUBLE_EQ(model.density({2, 2, 0.5}), model.params().rhoRock);
+}
+
+TEST(LayeredBasin, RejectsBadParams)
+{
+    LayeredBasinModel::Params p;
+    p.extentKm = {50, 50, -1};
+    EXPECT_THROW(LayeredBasinModel{p}, FatalError);
+
+    p = LayeredBasinModel::Params{};
+    p.vsSediment = -0.1;
+    EXPECT_THROW(LayeredBasinModel{p}, FatalError);
+
+    p = LayeredBasinModel::Params{};
+    p.vsSediment = 1.0;
+    p.vsBasinFloor = 0.5; // decreasing with depth
+    EXPECT_THROW(LayeredBasinModel{p}, FatalError);
+
+    p = LayeredBasinModel::Params{};
+    p.basinMaxDepth = 20.0; // deeper than the domain
+    EXPECT_THROW(LayeredBasinModel{p}, FatalError);
+}
+
+TEST(UniformModel, ConstantEverywhere)
+{
+    const Aabb box{{0, 0, 0}, {1, 2, 3}};
+    const UniformModel model(box, 2.5, 2.0);
+    EXPECT_EQ(model.domain().hi, (Vec3{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(model.shearWaveSpeed({0.1, 0.2, 0.3}), 2.5);
+    EXPECT_DOUBLE_EQ(model.shearWaveSpeed({0.9, 1.9, 2.9}), 2.5);
+    EXPECT_DOUBLE_EQ(model.density({0.5, 0.5, 0.5}), 2.0);
+}
+
+// Speed field continuity across the basin rim (sampled).
+class BasinRimContinuity : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(BasinRimContinuity, SpeedJumpOnlyAtSedimentInterface)
+{
+    const LayeredBasinModel model;
+    const double x = GetParam();
+    // At the surface, sediment speed applies wherever depth > 0; speeds
+    // must stay within physical bounds everywhere.
+    const double vs = model.shearWaveSpeed({x, 25.0, 0.0});
+    EXPECT_GE(vs, model.params().vsSediment - 1e-12);
+    EXPECT_LE(vs, model.params().vsRockBottom + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(SurfaceSweep, BasinRimContinuity,
+                         ::testing::Values(0.0, 10.0, 15.0, 20.0, 25.0,
+                                           30.0, 35.0, 40.0, 50.0));
+
+} // namespace

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for recursive spectral bisection: the element-dual graph, the
+ * Fiedler-vector split's spatial coherence, balance, determinism, and
+ * competitiveness with geometric bisection (the paper's §2.2 framing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "mesh/generator.h"
+#include "partition/geometric_bisection.h"
+#include "partition/partition_stats.h"
+#include "partition/spectral.h"
+
+namespace
+{
+
+using namespace quake::partition;
+using namespace quake::mesh;
+using quake::common::FatalError;
+
+TetMesh
+lattice(int nx, int ny, int nz, double sx = 1, double sy = 1,
+        double sz = 1)
+{
+    return buildKuhnLattice(Aabb{{0, 0, 0}, {sx, sy, sz}}, nx, ny, nz);
+}
+
+// ------------------------------------------------------------ dual graph
+
+TEST(DualGraph, SingleTetHasNoEdges)
+{
+    TetMesh m;
+    m.addNode({0, 0, 0});
+    m.addNode({1, 0, 0});
+    m.addNode({0, 1, 0});
+    m.addNode({0, 0, 1});
+    m.addTet(0, 1, 2, 3);
+    const DualGraph g = buildDualGraph(m);
+    EXPECT_EQ(g.numVertices(), 1);
+    EXPECT_TRUE(g.adjncy.empty());
+}
+
+TEST(DualGraph, TwoTetsShareOneFace)
+{
+    TetMesh m;
+    m.addNode({0, 0, 0});
+    m.addNode({1, 0, 0});
+    m.addNode({0, 1, 0});
+    m.addNode({0, 0, 1});
+    m.addNode({1, 1, 1});
+    m.addTet(0, 1, 2, 3);
+    m.addTet(1, 2, 4, 3);
+    const DualGraph g = buildDualGraph(m);
+    EXPECT_EQ(g.numVertices(), 2);
+    ASSERT_EQ(g.adjncy.size(), 2u);
+    EXPECT_EQ(g.adjncy[g.xadj[0]], 1);
+    EXPECT_EQ(g.adjncy[g.xadj[1]], 0);
+}
+
+TEST(DualGraph, DegreesBoundedByFour)
+{
+    const TetMesh m = lattice(3, 3, 3);
+    const DualGraph g = buildDualGraph(m);
+    EXPECT_EQ(g.numVertices(), m.numElements());
+    for (std::int64_t v = 0; v < g.numVertices(); ++v) {
+        const std::int64_t degree = g.xadj[v + 1] - g.xadj[v];
+        EXPECT_GE(degree, 1);
+        EXPECT_LE(degree, 4);
+    }
+}
+
+TEST(DualGraph, SymmetricAdjacency)
+{
+    const TetMesh m = lattice(2, 2, 2);
+    const DualGraph g = buildDualGraph(m);
+    for (std::int64_t v = 0; v < g.numVertices(); ++v) {
+        for (std::int64_t k = g.xadj[v]; k < g.xadj[v + 1]; ++k) {
+            const std::int32_t peer = g.adjncy[k];
+            bool mirrored = false;
+            for (std::int64_t j = g.xadj[peer]; j < g.xadj[peer + 1];
+                 ++j)
+                mirrored |= g.adjncy[j] == v;
+            EXPECT_TRUE(mirrored);
+        }
+    }
+}
+
+// -------------------------------------------------------------- spectral
+
+class SpectralPartCount : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SpectralPartCount, BalancedAndValid)
+{
+    const TetMesh m = lattice(4, 4, 4);
+    const Partition p = SpectralBisection().partition(m, GetParam());
+    const auto sizes = p.partSizes();
+    EXPECT_LE(*std::max_element(sizes.begin(), sizes.end()) -
+                  *std::min_element(sizes.begin(), sizes.end()),
+              2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, SpectralPartCount,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST(Spectral, Deterministic)
+{
+    const TetMesh m = lattice(3, 3, 3);
+    const SpectralBisection partitioner;
+    EXPECT_EQ(partitioner.partition(m, 8).elementPart,
+              partitioner.partition(m, 8).elementPart);
+}
+
+TEST(Spectral, FiedlerCutsAcrossLongAxis)
+{
+    // On a 4:1:1 bar, the minimal cut separates the two long halves;
+    // the Fiedler vector is monotone along the bar, so a 2-part split
+    // must produce spatially coherent halves with a small interface.
+    const TetMesh m = lattice(12, 3, 3, 4, 1, 1);
+    const Partition p = SpectralBisection().partition(m, 2);
+
+    double mean_x0 = 0, mean_x1 = 0;
+    std::int64_t n0 = 0, n1 = 0;
+    for (TetId t = 0; t < m.numElements(); ++t) {
+        const double x = m.tetCentroidOf(t).x;
+        if (p.elementPart[t] == 0) {
+            mean_x0 += x;
+            ++n0;
+        } else {
+            mean_x1 += x;
+            ++n1;
+        }
+    }
+    mean_x0 /= static_cast<double>(n0);
+    mean_x1 /= static_cast<double>(n1);
+    EXPECT_GT(std::fabs(mean_x0 - mean_x1), 1.2); // halves ~2 apart
+
+    // The interface must be close to one cross-section's worth.
+    const PartitionStats stats = computePartitionStats(m, p);
+    EXPECT_LT(stats.sharedNodes, 2 * 4 * 4 * 3);
+}
+
+TEST(Spectral, CompetitiveWithGeometricOnCut)
+{
+    // §2.2: the geometric partitioner is "competitive with other
+    // modern partitioning algorithms" — verify both directions: the
+    // two methods' shared-node counts are within 2x of each other.
+    const TetMesh m = lattice(5, 5, 5);
+    for (int parts : {2, 4, 8}) {
+        const auto spectral = computePartitionStats(
+            m, SpectralBisection().partition(m, parts));
+        const auto geometric = computePartitionStats(
+            m, GeometricBisection().partition(m, parts));
+        EXPECT_LT(spectral.sharedNodes, 2 * geometric.sharedNodes);
+        EXPECT_LT(geometric.sharedNodes, 2 * spectral.sharedNodes);
+    }
+}
+
+TEST(Spectral, WorksOnGradedMesh)
+{
+    const GeneratedMesh g = generateSfMesh(SfClass::kSf20, 1.6);
+    const Partition p = SpectralBisection().partition(g.mesh, 4);
+    const PartitionStats stats = computePartitionStats(g.mesh, p);
+    EXPECT_LT(stats.elementImbalance, 1.01);
+    EXPECT_GT(stats.sharedNodes, 0);
+    EXPECT_LT(stats.sharedNodes, g.mesh.numNodes() / 3);
+}
+
+TEST(Spectral, RejectsTooManyParts)
+{
+    TetMesh m;
+    m.addNode({0, 0, 0});
+    m.addNode({1, 0, 0});
+    m.addNode({0, 1, 0});
+    m.addNode({0, 0, 1});
+    m.addTet(0, 1, 2, 3);
+    EXPECT_THROW(SpectralBisection().partition(m, 2), FatalError);
+}
+
+TEST(Spectral, Name)
+{
+    EXPECT_EQ(SpectralBisection().name(), "spectral");
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the §4.1 comparison workloads: regular-grid and all-to-all
+ * characterizations, including the "middle ground" ordering against
+ * the Quake reference data.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/reference.h"
+#include "core/synthetic_workloads.h"
+
+namespace
+{
+
+using namespace quake::core;
+using quake::common::FatalError;
+
+TEST(RegularGrid, InteriorAccounting)
+{
+    // 64^3 cells on 4^3 PEs: 16^3 local cells, 16^2-word faces.
+    const SmvpCharacterization ch = regularGrid3d(64, 4);
+    EXPECT_EQ(ch.numPes, 64);
+    ASSERT_EQ(ch.pes.size(), 64u);
+    EXPECT_EQ(ch.pes[0].flops, 14 * 16 * 16 * 16);
+    EXPECT_EQ(ch.pes[0].words, 2 * 6 * 256);
+    EXPECT_EQ(ch.pes[0].blocks, 12);
+    EXPECT_EQ(ch.messageSizes.size(), 64u * 6);
+    for (std::int64_t m : ch.messageSizes)
+        EXPECT_EQ(m, 256);
+}
+
+TEST(RegularGrid, SinglePeHasNoComm)
+{
+    const SmvpCharacterization ch = regularGrid3d(16, 1);
+    EXPECT_EQ(ch.pes[0].words, 0);
+    EXPECT_EQ(ch.bisectionWords, 0);
+}
+
+TEST(RegularGrid, TwoSideWrapsToThreeNeighbours)
+{
+    const SmvpCharacterization ch = regularGrid3d(16, 2);
+    EXPECT_EQ(ch.pes[0].blocks, 6); // 3 distinct peers, both directions
+}
+
+TEST(RegularGrid, BetaIsOneBySymmetry)
+{
+    const CharacterizationSummary s = summarize(regularGrid3d(32, 4));
+    EXPECT_DOUBLE_EQ(s.beta, 1.0);
+    EXPECT_DOUBLE_EQ(s.flopBalance, 1.0);
+}
+
+TEST(RegularGrid, RejectsBadDecomposition)
+{
+    EXPECT_THROW(regularGrid3d(10, 3), FatalError);
+    EXPECT_THROW(regularGrid3d(0, 1), FatalError);
+}
+
+TEST(AllToAll, Accounting)
+{
+    const SmvpCharacterization ch = allToAll(8, 100, 1'000'000);
+    EXPECT_EQ(ch.numPes, 8);
+    EXPECT_EQ(ch.pes[0].words, 2 * 7 * 100);
+    EXPECT_EQ(ch.pes[0].blocks, 14);
+    EXPECT_EQ(ch.messageSizes.size(), 56u);
+    // Bisection: 4 x 4 pairs x 100 words x both directions.
+    EXPECT_EQ(ch.bisectionWords, 2 * 16 * 100);
+}
+
+TEST(AllToAll, RejectsDegenerate)
+{
+    EXPECT_THROW(allToAll(1, 10, 10), FatalError);
+    EXPECT_THROW(allToAll(4, 0, 10), FatalError);
+}
+
+TEST(MiddleGround, PeerCountsOrderAsSection41Claims)
+{
+    // At 128 PEs: a regular grid talks to 6 peers, the Quake SMVP to
+    // up to ~23 (B_max/2 from Figure 7), the FFT to all 127.
+    const int pes = 128;
+    // Nearest cube decomposition at comparable PE count: 125 PEs.
+    const SmvpCharacterization grid = regularGrid3d(100, 5);
+    const SmvpCharacterization fft = allToAll(pes, 459, 838'224);
+    const reference::Figure7Entry &quake_entry =
+        reference::figure7(reference::PaperMesh::kSf2, pes);
+
+    const std::int64_t grid_peers = summarize(grid).blocksMax / 2;
+    const std::int64_t quake_peers = quake_entry.blocksMax / 2;
+    const std::int64_t fft_peers = summarize(fft).blocksMax / 2;
+
+    EXPECT_EQ(grid_peers, 6);
+    EXPECT_EQ(fft_peers, pes - 1);
+    EXPECT_GT(quake_peers, grid_peers);
+    EXPECT_LT(quake_peers, fft_peers / 2);
+    // "for sf1/128 each PE communicates with up to 20% of the other
+    // PEs" — sf2/128 is similar (23/127 ~ 18%).
+    EXPECT_NEAR(static_cast<double>(quake_peers) / (pes - 1), 0.18,
+                0.08);
+}
+
+TEST(MiddleGround, BisectionDemandOrdering)
+{
+    // Per-PE-normalized bisection volume: grid < all-to-all; the FFT's
+    // all-to-all is the worst case the paper contrasts against.
+    const SmvpCharacterization grid = regularGrid3d(64, 4);
+    const SmvpCharacterization fft = allToAll(64, 256, 1'000'000);
+    const double grid_share =
+        static_cast<double>(grid.bisectionWords) /
+        static_cast<double>(summarize(grid).wordsMax * grid.numPes);
+    const double fft_share =
+        static_cast<double>(fft.bisectionWords) /
+        static_cast<double>(summarize(fft).wordsMax * fft.numPes);
+    EXPECT_LT(grid_share, fft_share);
+}
+
+} // namespace

