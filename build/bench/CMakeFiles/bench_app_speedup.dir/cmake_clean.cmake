@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_speedup.dir/bench_app_speedup.cc.o"
+  "CMakeFiles/bench_app_speedup.dir/bench_app_speedup.cc.o.d"
+  "bench_app_speedup"
+  "bench_app_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

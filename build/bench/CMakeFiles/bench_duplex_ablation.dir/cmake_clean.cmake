@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_duplex_ablation.dir/bench_duplex_ablation.cc.o"
+  "CMakeFiles/bench_duplex_ablation.dir/bench_duplex_ablation.cc.o.d"
+  "bench_duplex_ablation"
+  "bench_duplex_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_duplex_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

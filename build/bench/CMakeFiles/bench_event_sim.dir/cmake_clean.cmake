@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_event_sim.dir/bench_event_sim.cc.o"
+  "CMakeFiles/bench_event_sim.dir/bench_event_sim.cc.o.d"
+  "bench_event_sim"
+  "bench_event_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

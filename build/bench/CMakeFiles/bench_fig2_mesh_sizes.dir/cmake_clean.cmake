@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_mesh_sizes.dir/bench_fig2_mesh_sizes.cc.o"
+  "CMakeFiles/bench_fig2_mesh_sizes.dir/bench_fig2_mesh_sizes.cc.o.d"
+  "bench_fig2_mesh_sizes"
+  "bench_fig2_mesh_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_mesh_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_beta.dir/bench_fig6_beta.cc.o"
+  "CMakeFiles/bench_fig6_beta.dir/bench_fig6_beta.cc.o.d"
+  "bench_fig6_beta"
+  "bench_fig6_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

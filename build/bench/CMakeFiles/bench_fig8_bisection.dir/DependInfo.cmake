@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_bisection.cc" "bench/CMakeFiles/bench_fig8_bisection.dir/bench_fig8_bisection.cc.o" "gcc" "bench/CMakeFiles/bench_fig8_bisection.dir/bench_fig8_bisection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/quake_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/quake_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/quake_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/quake_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/quake_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/quake_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

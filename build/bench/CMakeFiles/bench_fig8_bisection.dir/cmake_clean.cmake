@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_bisection.dir/bench_fig8_bisection.cc.o"
+  "CMakeFiles/bench_fig8_bisection.dir/bench_fig8_bisection.cc.o.d"
+  "bench_fig8_bisection"
+  "bench_fig8_bisection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bisection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

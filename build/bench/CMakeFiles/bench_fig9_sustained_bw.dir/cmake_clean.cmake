@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_sustained_bw.dir/bench_fig9_sustained_bw.cc.o"
+  "CMakeFiles/bench_fig9_sustained_bw.dir/bench_fig9_sustained_bw.cc.o.d"
+  "bench_fig9_sustained_bw"
+  "bench_fig9_sustained_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sustained_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_middle_ground.dir/bench_middle_ground.cc.o"
+  "CMakeFiles/bench_middle_ground.dir/bench_middle_ground.cc.o.d"
+  "bench_middle_ground"
+  "bench_middle_ground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_middle_ground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

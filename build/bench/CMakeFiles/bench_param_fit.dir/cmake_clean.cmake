@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_param_fit.dir/bench_param_fit.cc.o"
+  "CMakeFiles/bench_param_fit.dir/bench_param_fit.cc.o.d"
+  "bench_param_fit"
+  "bench_param_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_param_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reorder_ablation.dir/bench_reorder_ablation.cc.o"
+  "CMakeFiles/bench_reorder_ablation.dir/bench_reorder_ablation.cc.o.d"
+  "bench_reorder_ablation"
+  "bench_reorder_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reorder_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

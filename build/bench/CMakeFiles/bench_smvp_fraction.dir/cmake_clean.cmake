@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smvp_fraction.dir/bench_smvp_fraction.cc.o"
+  "CMakeFiles/bench_smvp_fraction.dir/bench_smvp_fraction.cc.o.d"
+  "bench_smvp_fraction"
+  "bench_smvp_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smvp_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tf_cache_model.dir/bench_tf_cache_model.cc.o"
+  "CMakeFiles/bench_tf_cache_model.dir/bench_tf_cache_model.cc.o.d"
+  "bench_tf_cache_model"
+  "bench_tf_cache_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tf_cache_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

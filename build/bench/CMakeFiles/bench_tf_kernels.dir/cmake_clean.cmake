@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tf_kernels.dir/bench_tf_kernels.cc.o"
+  "CMakeFiles/bench_tf_kernels.dir/bench_tf_kernels.cc.o.d"
+  "bench_tf_kernels"
+  "bench_tf_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tf_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

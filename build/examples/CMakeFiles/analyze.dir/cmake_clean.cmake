@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze.dir/analyze.cpp.o"
+  "CMakeFiles/analyze.dir/analyze.cpp.o.d"
+  "analyze"
+  "analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archimedes.dir/archimedes.cpp.o"
+  "CMakeFiles/archimedes.dir/archimedes.cpp.o.d"
+  "archimedes"
+  "archimedes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archimedes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

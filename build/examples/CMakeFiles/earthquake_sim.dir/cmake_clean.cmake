@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthquake_sim.dir/earthquake_sim.cpp.o"
+  "CMakeFiles/earthquake_sim.dir/earthquake_sim.cpp.o.d"
+  "earthquake_sim"
+  "earthquake_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthquake_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

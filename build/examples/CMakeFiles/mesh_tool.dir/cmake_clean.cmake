@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_tool.dir/mesh_tool.cpp.o"
+  "CMakeFiles/mesh_tool.dir/mesh_tool.cpp.o.d"
+  "mesh_tool"
+  "mesh_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spark98.dir/spark98.cpp.o"
+  "CMakeFiles/spark98.dir/spark98.cpp.o.d"
+  "spark98"
+  "spark98.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spark98.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

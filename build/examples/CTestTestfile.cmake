@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--mesh" "sf20" "--pes" "4")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_earthquake_sim "/root/repo/build/examples/earthquake_sim" "--mesh" "sf20" "--max-steps" "40" "--scale" "1.5")
+set_tests_properties(example_earthquake_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_earthquake_sim_parallel "/root/repo/build/examples/earthquake_sim" "--mesh" "sf20" "--max-steps" "20" "--pes" "4" "--scale" "1.5" "--damping" "0.05")
+set_tests_properties(example_earthquake_sim_parallel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_capacity_planner "/root/repo/build/examples/capacity_planner" "--mflops" "200" "--latency-us" "2" "--burst-mbs" "600")
+set_tests_properties(example_capacity_planner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_capacity_planner_blocks "/root/repo/build/examples/capacity_planner" "--mesh" "sf1" "--block-words" "4")
+set_tests_properties(example_capacity_planner_blocks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_spark98 "/root/repo/build/examples/spark98" "--mesh" "sf20" "--reps" "2")
+set_tests_properties(example_spark98 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mesh_tool "/root/repo/build/examples/mesh_tool" "generate" "--mesh" "sf20" "--scale" "2.0")
+set_tests_properties(example_mesh_tool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_archimedes "/root/repo/build/examples/archimedes" "--mesh" "sf20" "--pes" "6" "--method" "coordinate" "--refine")
+set_tests_properties(example_archimedes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_analyze_paper "/root/repo/build/examples/analyze" "--paper" "sf2" "--pes" "128")
+set_tests_properties(example_analyze_paper PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;38;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_analyze_synthetic "/root/repo/build/examples/analyze" "--mesh" "sf20" "--pes" "8" "--mflops" "200" "--eff" "0.9")
+set_tests_properties(example_analyze_synthetic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;40;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cache_model.cc" "src/arch/CMakeFiles/quake_arch.dir/cache_model.cc.o" "gcc" "src/arch/CMakeFiles/quake_arch.dir/cache_model.cc.o.d"
+  "/root/repo/src/arch/smvp_trace.cc" "src/arch/CMakeFiles/quake_arch.dir/smvp_trace.cc.o" "gcc" "src/arch/CMakeFiles/quake_arch.dir/smvp_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/quake_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/quake_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/quake_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_arch.dir/cache_model.cc.o"
+  "CMakeFiles/quake_arch.dir/cache_model.cc.o.d"
+  "CMakeFiles/quake_arch.dir/smvp_trace.cc.o"
+  "CMakeFiles/quake_arch.dir/smvp_trace.cc.o.d"
+  "libquake_arch.a"
+  "libquake_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_common.dir/args.cc.o"
+  "CMakeFiles/quake_common.dir/args.cc.o.d"
+  "CMakeFiles/quake_common.dir/table.cc.o"
+  "CMakeFiles/quake_common.dir/table.cc.o.d"
+  "libquake_common.a"
+  "libquake_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app_model.cc" "src/core/CMakeFiles/quake_core.dir/app_model.cc.o" "gcc" "src/core/CMakeFiles/quake_core.dir/app_model.cc.o.d"
+  "/root/repo/src/core/characterization.cc" "src/core/CMakeFiles/quake_core.dir/characterization.cc.o" "gcc" "src/core/CMakeFiles/quake_core.dir/characterization.cc.o.d"
+  "/root/repo/src/core/logp.cc" "src/core/CMakeFiles/quake_core.dir/logp.cc.o" "gcc" "src/core/CMakeFiles/quake_core.dir/logp.cc.o.d"
+  "/root/repo/src/core/param_fit.cc" "src/core/CMakeFiles/quake_core.dir/param_fit.cc.o" "gcc" "src/core/CMakeFiles/quake_core.dir/param_fit.cc.o.d"
+  "/root/repo/src/core/perf_model.cc" "src/core/CMakeFiles/quake_core.dir/perf_model.cc.o" "gcc" "src/core/CMakeFiles/quake_core.dir/perf_model.cc.o.d"
+  "/root/repo/src/core/reference.cc" "src/core/CMakeFiles/quake_core.dir/reference.cc.o" "gcc" "src/core/CMakeFiles/quake_core.dir/reference.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/quake_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/quake_core.dir/report.cc.o.d"
+  "/root/repo/src/core/requirements.cc" "src/core/CMakeFiles/quake_core.dir/requirements.cc.o" "gcc" "src/core/CMakeFiles/quake_core.dir/requirements.cc.o.d"
+  "/root/repo/src/core/synthetic_workloads.cc" "src/core/CMakeFiles/quake_core.dir/synthetic_workloads.cc.o" "gcc" "src/core/CMakeFiles/quake_core.dir/synthetic_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/quake_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_core.dir/app_model.cc.o"
+  "CMakeFiles/quake_core.dir/app_model.cc.o.d"
+  "CMakeFiles/quake_core.dir/characterization.cc.o"
+  "CMakeFiles/quake_core.dir/characterization.cc.o.d"
+  "CMakeFiles/quake_core.dir/logp.cc.o"
+  "CMakeFiles/quake_core.dir/logp.cc.o.d"
+  "CMakeFiles/quake_core.dir/param_fit.cc.o"
+  "CMakeFiles/quake_core.dir/param_fit.cc.o.d"
+  "CMakeFiles/quake_core.dir/perf_model.cc.o"
+  "CMakeFiles/quake_core.dir/perf_model.cc.o.d"
+  "CMakeFiles/quake_core.dir/reference.cc.o"
+  "CMakeFiles/quake_core.dir/reference.cc.o.d"
+  "CMakeFiles/quake_core.dir/report.cc.o"
+  "CMakeFiles/quake_core.dir/report.cc.o.d"
+  "CMakeFiles/quake_core.dir/requirements.cc.o"
+  "CMakeFiles/quake_core.dir/requirements.cc.o.d"
+  "CMakeFiles/quake_core.dir/synthetic_workloads.cc.o"
+  "CMakeFiles/quake_core.dir/synthetic_workloads.cc.o.d"
+  "libquake_core.a"
+  "libquake_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

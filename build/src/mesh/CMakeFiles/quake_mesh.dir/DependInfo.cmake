@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/generator.cc" "src/mesh/CMakeFiles/quake_mesh.dir/generator.cc.o" "gcc" "src/mesh/CMakeFiles/quake_mesh.dir/generator.cc.o.d"
+  "/root/repo/src/mesh/geometry.cc" "src/mesh/CMakeFiles/quake_mesh.dir/geometry.cc.o" "gcc" "src/mesh/CMakeFiles/quake_mesh.dir/geometry.cc.o.d"
+  "/root/repo/src/mesh/mesh_io.cc" "src/mesh/CMakeFiles/quake_mesh.dir/mesh_io.cc.o" "gcc" "src/mesh/CMakeFiles/quake_mesh.dir/mesh_io.cc.o.d"
+  "/root/repo/src/mesh/quality.cc" "src/mesh/CMakeFiles/quake_mesh.dir/quality.cc.o" "gcc" "src/mesh/CMakeFiles/quake_mesh.dir/quality.cc.o.d"
+  "/root/repo/src/mesh/refine.cc" "src/mesh/CMakeFiles/quake_mesh.dir/refine.cc.o" "gcc" "src/mesh/CMakeFiles/quake_mesh.dir/refine.cc.o.d"
+  "/root/repo/src/mesh/soil_model.cc" "src/mesh/CMakeFiles/quake_mesh.dir/soil_model.cc.o" "gcc" "src/mesh/CMakeFiles/quake_mesh.dir/soil_model.cc.o.d"
+  "/root/repo/src/mesh/tet_mesh.cc" "src/mesh/CMakeFiles/quake_mesh.dir/tet_mesh.cc.o" "gcc" "src/mesh/CMakeFiles/quake_mesh.dir/tet_mesh.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/quake_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

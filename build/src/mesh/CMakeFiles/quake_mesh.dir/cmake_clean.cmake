@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_mesh.dir/generator.cc.o"
+  "CMakeFiles/quake_mesh.dir/generator.cc.o.d"
+  "CMakeFiles/quake_mesh.dir/geometry.cc.o"
+  "CMakeFiles/quake_mesh.dir/geometry.cc.o.d"
+  "CMakeFiles/quake_mesh.dir/mesh_io.cc.o"
+  "CMakeFiles/quake_mesh.dir/mesh_io.cc.o.d"
+  "CMakeFiles/quake_mesh.dir/quality.cc.o"
+  "CMakeFiles/quake_mesh.dir/quality.cc.o.d"
+  "CMakeFiles/quake_mesh.dir/refine.cc.o"
+  "CMakeFiles/quake_mesh.dir/refine.cc.o.d"
+  "CMakeFiles/quake_mesh.dir/soil_model.cc.o"
+  "CMakeFiles/quake_mesh.dir/soil_model.cc.o.d"
+  "CMakeFiles/quake_mesh.dir/tet_mesh.cc.o"
+  "CMakeFiles/quake_mesh.dir/tet_mesh.cc.o.d"
+  "libquake_mesh.a"
+  "libquake_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/characterize.cc" "src/parallel/CMakeFiles/quake_parallel.dir/characterize.cc.o" "gcc" "src/parallel/CMakeFiles/quake_parallel.dir/characterize.cc.o.d"
+  "/root/repo/src/parallel/comm_schedule.cc" "src/parallel/CMakeFiles/quake_parallel.dir/comm_schedule.cc.o" "gcc" "src/parallel/CMakeFiles/quake_parallel.dir/comm_schedule.cc.o.d"
+  "/root/repo/src/parallel/distributor.cc" "src/parallel/CMakeFiles/quake_parallel.dir/distributor.cc.o" "gcc" "src/parallel/CMakeFiles/quake_parallel.dir/distributor.cc.o.d"
+  "/root/repo/src/parallel/event_sim.cc" "src/parallel/CMakeFiles/quake_parallel.dir/event_sim.cc.o" "gcc" "src/parallel/CMakeFiles/quake_parallel.dir/event_sim.cc.o.d"
+  "/root/repo/src/parallel/machine.cc" "src/parallel/CMakeFiles/quake_parallel.dir/machine.cc.o" "gcc" "src/parallel/CMakeFiles/quake_parallel.dir/machine.cc.o.d"
+  "/root/repo/src/parallel/parallel_smvp.cc" "src/parallel/CMakeFiles/quake_parallel.dir/parallel_smvp.cc.o" "gcc" "src/parallel/CMakeFiles/quake_parallel.dir/parallel_smvp.cc.o.d"
+  "/root/repo/src/parallel/phase_simulator.cc" "src/parallel/CMakeFiles/quake_parallel.dir/phase_simulator.cc.o" "gcc" "src/parallel/CMakeFiles/quake_parallel.dir/phase_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/quake_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/quake_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/quake_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/quake_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/quake_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

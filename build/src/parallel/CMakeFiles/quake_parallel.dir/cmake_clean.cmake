@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_parallel.dir/characterize.cc.o"
+  "CMakeFiles/quake_parallel.dir/characterize.cc.o.d"
+  "CMakeFiles/quake_parallel.dir/comm_schedule.cc.o"
+  "CMakeFiles/quake_parallel.dir/comm_schedule.cc.o.d"
+  "CMakeFiles/quake_parallel.dir/distributor.cc.o"
+  "CMakeFiles/quake_parallel.dir/distributor.cc.o.d"
+  "CMakeFiles/quake_parallel.dir/event_sim.cc.o"
+  "CMakeFiles/quake_parallel.dir/event_sim.cc.o.d"
+  "CMakeFiles/quake_parallel.dir/machine.cc.o"
+  "CMakeFiles/quake_parallel.dir/machine.cc.o.d"
+  "CMakeFiles/quake_parallel.dir/parallel_smvp.cc.o"
+  "CMakeFiles/quake_parallel.dir/parallel_smvp.cc.o.d"
+  "CMakeFiles/quake_parallel.dir/phase_simulator.cc.o"
+  "CMakeFiles/quake_parallel.dir/phase_simulator.cc.o.d"
+  "libquake_parallel.a"
+  "libquake_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/baselines.cc" "src/partition/CMakeFiles/quake_partition.dir/baselines.cc.o" "gcc" "src/partition/CMakeFiles/quake_partition.dir/baselines.cc.o.d"
+  "/root/repo/src/partition/geometric_bisection.cc" "src/partition/CMakeFiles/quake_partition.dir/geometric_bisection.cc.o" "gcc" "src/partition/CMakeFiles/quake_partition.dir/geometric_bisection.cc.o.d"
+  "/root/repo/src/partition/partition_io.cc" "src/partition/CMakeFiles/quake_partition.dir/partition_io.cc.o" "gcc" "src/partition/CMakeFiles/quake_partition.dir/partition_io.cc.o.d"
+  "/root/repo/src/partition/partition_stats.cc" "src/partition/CMakeFiles/quake_partition.dir/partition_stats.cc.o" "gcc" "src/partition/CMakeFiles/quake_partition.dir/partition_stats.cc.o.d"
+  "/root/repo/src/partition/partitioner.cc" "src/partition/CMakeFiles/quake_partition.dir/partitioner.cc.o" "gcc" "src/partition/CMakeFiles/quake_partition.dir/partitioner.cc.o.d"
+  "/root/repo/src/partition/refine_boundary.cc" "src/partition/CMakeFiles/quake_partition.dir/refine_boundary.cc.o" "gcc" "src/partition/CMakeFiles/quake_partition.dir/refine_boundary.cc.o.d"
+  "/root/repo/src/partition/spectral.cc" "src/partition/CMakeFiles/quake_partition.dir/spectral.cc.o" "gcc" "src/partition/CMakeFiles/quake_partition.dir/spectral.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/quake_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/quake_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

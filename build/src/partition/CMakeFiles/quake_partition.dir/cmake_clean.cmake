@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_partition.dir/baselines.cc.o"
+  "CMakeFiles/quake_partition.dir/baselines.cc.o.d"
+  "CMakeFiles/quake_partition.dir/geometric_bisection.cc.o"
+  "CMakeFiles/quake_partition.dir/geometric_bisection.cc.o.d"
+  "CMakeFiles/quake_partition.dir/partition_io.cc.o"
+  "CMakeFiles/quake_partition.dir/partition_io.cc.o.d"
+  "CMakeFiles/quake_partition.dir/partition_stats.cc.o"
+  "CMakeFiles/quake_partition.dir/partition_stats.cc.o.d"
+  "CMakeFiles/quake_partition.dir/partitioner.cc.o"
+  "CMakeFiles/quake_partition.dir/partitioner.cc.o.d"
+  "CMakeFiles/quake_partition.dir/refine_boundary.cc.o"
+  "CMakeFiles/quake_partition.dir/refine_boundary.cc.o.d"
+  "CMakeFiles/quake_partition.dir/spectral.cc.o"
+  "CMakeFiles/quake_partition.dir/spectral.cc.o.d"
+  "libquake_partition.a"
+  "libquake_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

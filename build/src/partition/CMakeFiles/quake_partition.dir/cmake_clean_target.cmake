@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libquake_partition.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_sim.dir/seismogram.cc.o"
+  "CMakeFiles/quake_sim.dir/seismogram.cc.o.d"
+  "CMakeFiles/quake_sim.dir/simulation.cc.o"
+  "CMakeFiles/quake_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/quake_sim.dir/source.cc.o"
+  "CMakeFiles/quake_sim.dir/source.cc.o.d"
+  "CMakeFiles/quake_sim.dir/time_stepper.cc.o"
+  "CMakeFiles/quake_sim.dir/time_stepper.cc.o.d"
+  "libquake_sim.a"
+  "libquake_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

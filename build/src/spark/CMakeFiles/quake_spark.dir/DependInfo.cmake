@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spark/kernels.cc" "src/spark/CMakeFiles/quake_spark.dir/kernels.cc.o" "gcc" "src/spark/CMakeFiles/quake_spark.dir/kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/quake_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/quake_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/quake_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_spark.dir/kernels.cc.o"
+  "CMakeFiles/quake_spark.dir/kernels.cc.o.d"
+  "libquake_spark.a"
+  "libquake_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

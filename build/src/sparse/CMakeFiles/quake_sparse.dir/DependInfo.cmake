@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/assembly.cc" "src/sparse/CMakeFiles/quake_sparse.dir/assembly.cc.o" "gcc" "src/sparse/CMakeFiles/quake_sparse.dir/assembly.cc.o.d"
+  "/root/repo/src/sparse/bcsr3.cc" "src/sparse/CMakeFiles/quake_sparse.dir/bcsr3.cc.o" "gcc" "src/sparse/CMakeFiles/quake_sparse.dir/bcsr3.cc.o.d"
+  "/root/repo/src/sparse/csr.cc" "src/sparse/CMakeFiles/quake_sparse.dir/csr.cc.o" "gcc" "src/sparse/CMakeFiles/quake_sparse.dir/csr.cc.o.d"
+  "/root/repo/src/sparse/elasticity.cc" "src/sparse/CMakeFiles/quake_sparse.dir/elasticity.cc.o" "gcc" "src/sparse/CMakeFiles/quake_sparse.dir/elasticity.cc.o.d"
+  "/root/repo/src/sparse/reorder.cc" "src/sparse/CMakeFiles/quake_sparse.dir/reorder.cc.o" "gcc" "src/sparse/CMakeFiles/quake_sparse.dir/reorder.cc.o.d"
+  "/root/repo/src/sparse/smvp.cc" "src/sparse/CMakeFiles/quake_sparse.dir/smvp.cc.o" "gcc" "src/sparse/CMakeFiles/quake_sparse.dir/smvp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/quake_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/quake_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quake_sparse.dir/assembly.cc.o"
+  "CMakeFiles/quake_sparse.dir/assembly.cc.o.d"
+  "CMakeFiles/quake_sparse.dir/bcsr3.cc.o"
+  "CMakeFiles/quake_sparse.dir/bcsr3.cc.o.d"
+  "CMakeFiles/quake_sparse.dir/csr.cc.o"
+  "CMakeFiles/quake_sparse.dir/csr.cc.o.d"
+  "CMakeFiles/quake_sparse.dir/elasticity.cc.o"
+  "CMakeFiles/quake_sparse.dir/elasticity.cc.o.d"
+  "CMakeFiles/quake_sparse.dir/reorder.cc.o"
+  "CMakeFiles/quake_sparse.dir/reorder.cc.o.d"
+  "CMakeFiles/quake_sparse.dir/smvp.cc.o"
+  "CMakeFiles/quake_sparse.dir/smvp.cc.o.d"
+  "libquake_sparse.a"
+  "libquake_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quake_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

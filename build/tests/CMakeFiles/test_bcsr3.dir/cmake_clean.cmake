@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bcsr3.dir/test_bcsr3.cc.o"
+  "CMakeFiles/test_bcsr3.dir/test_bcsr3.cc.o.d"
+  "test_bcsr3"
+  "test_bcsr3.pdb"
+  "test_bcsr3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bcsr3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_schedule.dir/test_comm_schedule.cc.o"
+  "CMakeFiles/test_comm_schedule.dir/test_comm_schedule.cc.o.d"
+  "test_comm_schedule"
+  "test_comm_schedule.pdb"
+  "test_comm_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributor.dir/test_distributor.cc.o"
+  "CMakeFiles/test_distributor.dir/test_distributor.cc.o.d"
+  "test_distributor"
+  "test_distributor.pdb"
+  "test_distributor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elasticity.dir/test_elasticity.cc.o"
+  "CMakeFiles/test_elasticity.dir/test_elasticity.cc.o.d"
+  "test_elasticity"
+  "test_elasticity.pdb"
+  "test_elasticity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_figures_regression.dir/test_figures_regression.cc.o"
+  "CMakeFiles/test_figures_regression.dir/test_figures_regression.cc.o.d"
+  "test_figures_regression"
+  "test_figures_regression.pdb"
+  "test_figures_regression[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_figures_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

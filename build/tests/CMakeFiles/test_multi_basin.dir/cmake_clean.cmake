@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_basin.dir/test_multi_basin.cc.o"
+  "CMakeFiles/test_multi_basin.dir/test_multi_basin.cc.o.d"
+  "test_multi_basin"
+  "test_multi_basin.pdb"
+  "test_multi_basin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_basin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_smvp.dir/test_parallel_smvp.cc.o"
+  "CMakeFiles/test_parallel_smvp.dir/test_parallel_smvp.cc.o.d"
+  "test_parallel_smvp"
+  "test_parallel_smvp.pdb"
+  "test_parallel_smvp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_smvp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

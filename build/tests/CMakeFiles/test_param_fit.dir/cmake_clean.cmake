@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param_fit.dir/test_param_fit.cc.o"
+  "CMakeFiles/test_param_fit.dir/test_param_fit.cc.o.d"
+  "test_param_fit"
+  "test_param_fit.pdb"
+  "test_param_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

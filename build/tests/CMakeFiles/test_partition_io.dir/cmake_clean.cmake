@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_io.dir/test_partition_io.cc.o"
+  "CMakeFiles/test_partition_io.dir/test_partition_io.cc.o.d"
+  "test_partition_io"
+  "test_partition_io.pdb"
+  "test_partition_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_simulator.dir/test_phase_simulator.cc.o"
+  "CMakeFiles/test_phase_simulator.dir/test_phase_simulator.cc.o.d"
+  "test_phase_simulator"
+  "test_phase_simulator.pdb"
+  "test_phase_simulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refine_boundary.dir/test_refine_boundary.cc.o"
+  "CMakeFiles/test_refine_boundary.dir/test_refine_boundary.cc.o.d"
+  "test_refine_boundary"
+  "test_refine_boundary.pdb"
+  "test_refine_boundary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refine_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

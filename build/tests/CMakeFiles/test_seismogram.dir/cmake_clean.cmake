@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seismogram.dir/test_seismogram.cc.o"
+  "CMakeFiles/test_seismogram.dir/test_seismogram.cc.o.d"
+  "test_seismogram"
+  "test_seismogram.pdb"
+  "test_seismogram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seismogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smvp_kernels.dir/test_smvp_kernels.cc.o"
+  "CMakeFiles/test_smvp_kernels.dir/test_smvp_kernels.cc.o.d"
+  "test_smvp_kernels"
+  "test_smvp_kernels.pdb"
+  "test_smvp_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smvp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

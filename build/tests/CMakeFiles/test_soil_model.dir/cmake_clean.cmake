@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soil_model.dir/test_soil_model.cc.o"
+  "CMakeFiles/test_soil_model.dir/test_soil_model.cc.o.d"
+  "test_soil_model"
+  "test_soil_model.pdb"
+  "test_soil_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soil_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tet_mesh.dir/test_tet_mesh.cc.o"
+  "CMakeFiles/test_tet_mesh.dir/test_tet_mesh.cc.o.d"
+  "test_tet_mesh"
+  "test_tet_mesh.pdb"
+  "test_tet_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tet_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_time_stepper.dir/test_time_stepper.cc.o"
+  "CMakeFiles/test_time_stepper.dir/test_time_stepper.cc.o.d"
+  "test_time_stepper"
+  "test_time_stepper.pdb"
+  "test_time_stepper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_time_stepper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
