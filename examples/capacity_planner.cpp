@@ -9,8 +9,12 @@
  *
  * Usage: capacity_planner [--mflops F] [--latency-us L] [--burst-mbs B]
  *                         [--mesh sf10|sf5|sf2|sf1] [--block-words W]
+ *                         [--faults [--drop-rate R] [--seed S]]
  *
- * Defaults describe the Cray T3E as measured in the paper.
+ * Defaults describe the Cray T3E as measured in the paper.  With
+ * --faults, a synthetic irregular exchange is executed through the
+ * reliable protocol at the given drop rate and the Equation (1)/(2)
+ * targets are deflated by the measured phase inflation.
  */
 
 #include <iostream>
@@ -19,8 +23,12 @@
 #include "common/table.h"
 #include "core/requirements.h"
 #include "core/reference.h"
+#include "mesh/generator.h"
+#include "parallel/event_sim.h"
 #include "parallel/machine.h"
 #include "parallel/phase_simulator.h"
+#include "parallel/reliable_exchange.h"
+#include "partition/geometric_bisection.h"
 
 int
 main(int argc, char **argv)
@@ -91,5 +99,51 @@ main(int argc, char **argv)
               << "\n"
               << "  half-bw latency     : "
               << common::formatTime(h.halfPoint.latency) << "\n";
+
+    if (args.has("faults")) {
+        // Execute a synthetic irregular exchange (Kuhn lattice, 64
+        // subdomains) through the ack/retransmit protocol on the
+        // planned machine, then shrink the hardware budget by the
+        // measured phase inflation.
+        const double rate = args.getDouble("drop-rate", 1e-3);
+        const mesh::TetMesh lattice = mesh::buildKuhnLattice(
+            mesh::Aabb{{0, 0, 0}, {1, 1, 1}}, 10, 10, 10);
+        const partition::GeometricBisection partitioner;
+        const parallel::CommSchedule schedule =
+            parallel::CommSchedule::build(
+                lattice, partitioner.partition(lattice, 64));
+
+        const parallel::EventSimResult baseline =
+            parallel::simulateExchange(schedule, machine);
+        parallel::ReliableExchangeOptions reliable;
+        reliable.faults.seed = static_cast<std::uint64_t>(
+            args.getInt("seed", 0x5eed));
+        reliable.faults.dropProbability = rate;
+        reliable.faults.ackDropProbability = rate;
+        const parallel::ReliableExchangeResult r =
+            parallel::simulateReliableExchange(schedule, machine,
+                                               reliable);
+        const double inflation = baseline.tComm > 0
+                                     ? r.tComm / baseline.tComm
+                                     : 1.0;
+
+        const double tf = 1.0 / (machine.mflops() * 1e6);
+        const double tc_target =
+            core::requiredTc(worst, 0.9, tf) / inflation;
+        const core::HalfBandwidthPoint faulty =
+            core::halfBandwidthPoint(worst, tc_target);
+        std::cout
+            << "\nWith message drop rate "
+            << common::formatFixed(100.0 * rate, 2)
+            << "% (measured protocol inflation "
+            << common::formatFixed(inflation, 2) << "x, "
+            << r.retransmissions << " retransmissions, "
+            << r.lostExchanges.size() << " exchanges lost):\n"
+            << "  half-bw burst       : "
+            << common::formatBandwidth(faulty.burstBandwidthBytes)
+            << "\n"
+            << "  half-bw latency     : "
+            << common::formatTime(faulty.latency) << "\n";
+    }
     return 0;
 }

@@ -8,12 +8,22 @@
  *                       [--duration seconds] [--max-steps N]
  *                       [--freq hz] [--scale h-scale]
  *                       [--damping a0] [--seismogram path]
+ *                       [--faults [--drop-rate R] [--seed S]]
+ *
+ * With --faults, the per-step boundary exchange of the distributed run
+ * is replayed through the reliable (ack/retransmit) protocol on an
+ * unreliable network and the projected slowdown and stale-boundary
+ * error bound are reported.
  */
 
+#include <algorithm>
 #include <iostream>
 
 #include "common/args.h"
 #include "common/table.h"
+#include "parallel/event_sim.h"
+#include "parallel/reliable_exchange.h"
+#include "partition/geometric_bisection.h"
 #include "quake/simulation.h"
 
 int
@@ -92,6 +102,51 @@ main(int argc, char **argv)
         record.write(args.get("seismogram"));
         std::cout << "wrote traces to " << args.get("seismogram")
                   << "\n";
+    }
+
+    if (args.has("faults")) {
+        // Replay one step's boundary exchange through the reliable
+        // protocol: what would this run cost on a lossy network?
+        const int pes = std::max(config.numPes, 2);
+        const double rate = args.getDouble("drop-rate", 1e-3);
+        const partition::GeometricBisection partitioner;
+        const parallel::CommSchedule schedule =
+            parallel::CommSchedule::build(
+                generated.mesh,
+                partitioner.partition(generated.mesh, pes));
+        const parallel::MachineModel machine = parallel::crayT3e();
+
+        const parallel::EventSimResult baseline =
+            parallel::simulateExchange(schedule, machine);
+        parallel::ReliableExchangeOptions reliable;
+        reliable.faults.seed = static_cast<std::uint64_t>(
+            args.getInt("seed", 0x5eed));
+        reliable.faults.dropProbability = rate;
+        reliable.faults.ackDropProbability = rate;
+        const parallel::ReliableExchangeResult r =
+            parallel::simulateReliableExchange(schedule, machine,
+                                               reliable);
+
+        std::cout << "\nFault projection (" << pes << " PEs, "
+                  << machine.name << ", drop rate "
+                  << common::formatFixed(100.0 * rate, 2) << "%):\n"
+                  << "  exchange per step    : "
+                  << common::formatTime(baseline.tComm)
+                  << " fault-free, " << common::formatTime(r.tComm)
+                  << " with recovery ("
+                  << common::formatFixed(
+                         baseline.tComm > 0
+                             ? r.tComm / baseline.tComm
+                             : 1.0,
+                         2)
+                  << "x)\n"
+                  << "  retransmissions      : " << r.retransmissions
+                  << " (" << r.timeoutsFired << " timeouts)\n"
+                  << "  exchanges lost       : "
+                  << r.lostExchanges.size() << "\n"
+                  << "  stale y = Kx bound   : "
+                  << common::formatFixed(100.0 * r.staleFraction, 3)
+                  << "% of boundary words\n";
     }
     return 0;
 }

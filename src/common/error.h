@@ -42,6 +42,19 @@ fatal(const std::string &message)
 }
 
 /**
+ * Raise a FatalError carrying source context.  Used by QUAKE_EXPECT so
+ * that bad-input diagnostics (corrupt mesh files, malformed schedules)
+ * name the check that rejected them.
+ */
+[[noreturn]] inline void
+fatal(const std::string &message, const char *file, int line)
+{
+    std::ostringstream oss;
+    oss << message << " [" << file << ":" << line << "]";
+    throw FatalError(oss.str());
+}
+
+/**
  * Abort for a condition that indicates an internal bug.
  *
  * @param message Description of the broken invariant.
@@ -76,13 +89,17 @@ panic(const std::string &message, const char *file, int line)
         }                                                                   \
     } while (0)
 
-/** Validate a user-supplied precondition; throws FatalError on failure. */
+/**
+ * Validate a user-supplied precondition; throws FatalError on failure.
+ * The diagnostic carries the source file and line of the failed check.
+ */
 #define QUAKE_EXPECT(cond, msg)                                             \
     do {                                                                    \
         if (!(cond)) {                                                      \
             std::ostringstream quake_expect_oss_;                           \
             quake_expect_oss_ << "precondition failed: " << msg;            \
-            ::quake::common::fatal(quake_expect_oss_.str());                \
+            ::quake::common::fatal(quake_expect_oss_.str(),                 \
+                                   __FILE__, __LINE__);                     \
         }                                                                   \
     } while (0)
 

@@ -10,6 +10,7 @@
 #ifndef QUAKE98_COMMON_RNG_H_
 #define QUAKE98_COMMON_RNG_H_
 
+#include <cmath>
 #include <cstdint>
 
 namespace quake::common
@@ -59,9 +60,43 @@ class SplitMix64
         return next() % bound;
     }
 
+    /**
+     * Exponentially distributed value with the given mean (seconds,
+     * meters, ...).  A zero or negative mean collapses to 0, which lets
+     * callers treat "jitter disabled" uniformly.
+     */
+    double
+    exponential(double mean)
+    {
+        if (mean <= 0.0)
+            return 0.0;
+        // 1 - u is in (0, 1], so the log argument never reaches zero.
+        return -mean * std::log(1.0 - nextDouble());
+    }
+
   private:
     std::uint64_t state;
 };
+
+/**
+ * Mix a key into a seed, producing a new, statistically independent
+ * stream seed.  Used to derive per-entity substreams (e.g. one stream
+ * per (message, attempt) pair) from a single user seed so that the
+ * outcome of each draw is a pure function of (seed, key) — independent
+ * of the order in which the draws happen to be made.
+ */
+inline std::uint64_t
+deriveStream(std::uint64_t seed, std::uint64_t key)
+{
+    // One SplitMix64 scramble of the key, xored into the seed, then a
+    // second scramble: cheap, and decorrelates nearby keys and seeds.
+    std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= seed * 0xd6e8feb86659fd93ULL;
+    z = (z ^ (z >> 32)) * 0xd6e8feb86659fd93ULL;
+    return z ^ (z >> 32);
+}
 
 } // namespace quake::common
 

@@ -1,5 +1,6 @@
 #include "mesh/mesh_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -50,6 +51,13 @@ writeMesh(const TetMesh &mesh, const std::string &path_prefix)
 namespace
 {
 
+/**
+ * Largest node/element count a header may declare.  A corrupt header
+ * (garbage bytes parsed as a huge integer) must fail here with a clear
+ * diagnostic instead of driving a multi-terabyte allocation.
+ */
+constexpr std::int64_t kMaxDeclaredCount = 1'000'000'000;
+
 /** Read one non-empty, non-comment line into an istringstream. */
 bool
 nextRecord(std::istream &is, std::istringstream &record)
@@ -79,18 +87,33 @@ readMesh(std::istream &node_is, std::istream &ele_is)
     std::int64_t n_points = 0;
     int dim = 0;
     QUAKE_EXPECT(static_cast<bool>(record >> n_points >> dim),
-                 "malformed .node header");
+                 "malformed .node header (non-numeric point count or "
+                 "dimension): '"
+                     << record.str() << "'");
     QUAKE_EXPECT(dim == 3, ".node dimension must be 3, got " << dim);
-    QUAKE_EXPECT(n_points >= 0, "negative point count");
+    QUAKE_EXPECT(n_points >= 0,
+                 "negative .node point count " << n_points);
+    QUAKE_EXPECT(n_points <= kMaxDeclaredCount,
+                 ".node point count " << n_points
+                                      << " exceeds the supported maximum "
+                                      << kMaxDeclaredCount
+                                      << " (corrupt header?)");
 
     long long first_index = 0;
     for (std::int64_t i = 0; i < n_points; ++i) {
         QUAKE_EXPECT(nextRecord(node_is, record),
-                     ".node file truncated at point " << i);
+                     ".node file truncated at point " << i << " of "
+                                                      << n_points);
         long long idx = 0;
         Vec3 p;
         QUAKE_EXPECT(static_cast<bool>(record >> idx >> p.x >> p.y >> p.z),
-                     "malformed .node record " << i);
+                     "malformed .node record " << i
+                                               << " (non-numeric token): '"
+                                               << record.str() << "'");
+        QUAKE_EXPECT(std::isfinite(p.x) && std::isfinite(p.y) &&
+                         std::isfinite(p.z),
+                     ".node record " << i
+                                     << " has a non-finite coordinate");
         if (i == 0) {
             QUAKE_EXPECT(idx == 0 || idx == 1,
                          "first point index must be 0 or 1, got " << idx);
@@ -106,21 +129,37 @@ readMesh(std::istream &node_is, std::istream &ele_is)
     std::int64_t n_tets = 0;
     int per_tet = 0;
     QUAKE_EXPECT(static_cast<bool>(record >> n_tets >> per_tet),
-                 "malformed .ele header");
-    QUAKE_EXPECT(per_tet == 4, ".ele must have 4 nodes per tet");
+                 "malformed .ele header (non-numeric element count or "
+                 "node count): '"
+                     << record.str() << "'");
+    QUAKE_EXPECT(per_tet == 4,
+                 ".ele must have 4 nodes per tet, got " << per_tet);
+    QUAKE_EXPECT(n_tets >= 0, "negative .ele element count " << n_tets);
+    QUAKE_EXPECT(n_tets <= kMaxDeclaredCount,
+                 ".ele element count " << n_tets
+                                       << " exceeds the supported maximum "
+                                       << kMaxDeclaredCount
+                                       << " (corrupt header?)");
 
     for (std::int64_t t = 0; t < n_tets; ++t) {
         QUAKE_EXPECT(nextRecord(ele_is, record),
-                     ".ele file truncated at element " << t);
+                     ".ele file truncated at element " << t << " of "
+                                                       << n_tets);
         long long idx = 0;
         long long v[4];
         QUAKE_EXPECT(static_cast<bool>(record >> idx >> v[0] >> v[1] >>
                                        v[2] >> v[3]),
-                     "malformed .ele record " << t);
+                     "malformed .ele record " << t
+                                              << " (non-numeric token): '"
+                                              << record.str() << "'");
         for (long long &vi : v) {
             vi -= first_index;
             QUAKE_EXPECT(vi >= 0 && vi < n_points,
-                         ".ele vertex index out of range");
+                         ".ele record " << t << " vertex index "
+                                        << vi + first_index
+                                        << " out of range [" << first_index
+                                        << ", " << first_index + n_points
+                                        << ")");
         }
         mesh.addTet(static_cast<NodeId>(v[0]), static_cast<NodeId>(v[1]),
                     static_cast<NodeId>(v[2]), static_cast<NodeId>(v[3]));

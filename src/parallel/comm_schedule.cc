@@ -88,6 +88,17 @@ CommSchedule::build(const partition::Partition &partition,
     return schedule;
 }
 
+CommSchedule
+CommSchedule::fromPeSchedules(std::vector<PeSchedule> pes,
+                              bool validate_schedule)
+{
+    CommSchedule schedule;
+    schedule.pes_ = std::move(pes);
+    if (validate_schedule)
+        schedule.validate();
+    return schedule;
+}
+
 std::vector<std::int64_t>
 CommSchedule::messageSizes() const
 {
@@ -127,23 +138,36 @@ CommSchedule::validate() const
     for (int p = 0; p < numPes(); ++p) {
         partition::PartId prev_peer = -1;
         for (const Exchange &ex : pes_[p].exchanges) {
-            QUAKE_REQUIRE(ex.peer != p, "PE exchanges with itself");
-            QUAKE_REQUIRE(ex.peer > prev_peer,
-                          "exchange peers not sorted/unique");
+            QUAKE_EXPECT(ex.peer != p,
+                         "PE " << p << " exchanges with itself");
+            QUAKE_EXPECT(ex.peer >= 0 && ex.peer < numPes(),
+                         "PE " << p << " lists peer " << ex.peer
+                               << ", but the schedule has " << numPes()
+                               << " PEs");
+            QUAKE_EXPECT(ex.peer > prev_peer,
+                         "PE " << p
+                               << "'s exchange peers not sorted/unique"
+                               << " at peer " << ex.peer);
             prev_peer = ex.peer;
-            QUAKE_REQUIRE(!ex.nodes.empty(), "empty exchange");
-            QUAKE_REQUIRE(std::is_sorted(ex.nodes.begin(), ex.nodes.end()),
-                          "exchange nodes not sorted");
+            QUAKE_EXPECT(std::is_sorted(ex.nodes.begin(), ex.nodes.end()),
+                         "exchange " << p << " -> " << ex.peer
+                                     << " has unsorted nodes");
 
-            // The mirrored exchange must exist with the same node set.
+            // The mirrored exchange must exist with the same node set:
+            // a missing or different mirror means the send/receive
+            // pairs are asymmetric.
             const PeSchedule &peer = pes_[ex.peer];
             const auto it = std::lower_bound(
                 peer.exchanges.begin(), peer.exchanges.end(), p,
                 [](const Exchange &e, int part) { return e.peer < part; });
-            QUAKE_REQUIRE(it != peer.exchanges.end() && it->peer == p,
-                          "exchange is not mirrored");
-            QUAKE_REQUIRE(it->nodes == ex.nodes,
-                          "mirrored exchange has different nodes");
+            QUAKE_EXPECT(it != peer.exchanges.end() && it->peer == p,
+                         "exchange " << p << " -> " << ex.peer
+                                     << " has no mirror (asymmetric "
+                                        "send/receive pair)");
+            QUAKE_EXPECT(it->nodes == ex.nodes,
+                         "mirrored exchange " << ex.peer << " -> " << p
+                                              << " carries a different "
+                                                 "node set");
         }
     }
 }

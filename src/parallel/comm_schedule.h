@@ -24,7 +24,12 @@ namespace quake::parallel
 /** Degrees of freedom per mesh node (x/y/z displacement). */
 inline constexpr int kDofPerNode = 3;
 
-/** One pairwise exchange: the nodes this PE shares with one peer. */
+/**
+ * One pairwise exchange: the nodes this PE shares with one peer.  An
+ * empty node set is a legal zero-word message (it still costs one block
+ * latency in the simulators); build() never produces one, but synthetic
+ * schedules may.
+ */
 struct Exchange
 {
     partition::PartId peer = 0;
@@ -74,6 +79,15 @@ class CommSchedule
     static CommSchedule build(const partition::Partition &partition,
                               const partition::NodeParts &node_parts);
 
+    /**
+     * Wrap externally assembled per-PE exchange lists (tests, synthetic
+     * workloads).  Validates unless `validate_schedule` is false — the
+     * escape hatch exists so tests can confirm that the simulators
+     * reject malformed schedules themselves.
+     */
+    static CommSchedule fromPeSchedules(std::vector<PeSchedule> pes,
+                                        bool validate_schedule = true);
+
     int numPes() const { return static_cast<int>(pes_.size()); }
 
     const PeSchedule &pe(int p) const { return pes_[p]; }
@@ -91,8 +105,11 @@ class CommSchedule
     std::int64_t totalWords() const;
 
     /**
-     * Consistency check: exchange lists are symmetric (i lists j with
-     * node set S iff j lists i with S).  Panics on violation.
+     * Consistency check: every peer id is a distinct in-range PE other
+     * than the sender, node lists are sorted, and exchange lists are
+     * symmetric (i lists j with node set S iff j lists i with S).
+     * Raises common::FatalError with a diagnostic on violation; the
+     * simulators call this on entry to reject malformed schedules.
      */
     void validate() const;
 

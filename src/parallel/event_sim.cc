@@ -18,6 +18,7 @@ struct QueuedArrival
     double time;
     int src;
     std::int64_t words;
+    bool duplicate;
 
     bool
     operator>(const QueuedArrival &o) const
@@ -33,6 +34,7 @@ struct Event
     {
         kArrival = 0,  ///< a message reaches its receiver
         kLinkFree = 1, ///< a link finishes its current task
+        kStart = 2,    ///< a straggler PE enters the phase
     };
 
     double time;
@@ -41,6 +43,7 @@ struct Event
     int src;            ///< sender (arrivals only)
     std::int64_t words; ///< payload (arrivals only)
     int link;           ///< 0 = out / shared, 1 = in (link-free only)
+    bool duplicate;     ///< network-duplicated copy (arrivals only)
 
     bool
     operator>(const Event &o) const
@@ -54,6 +57,7 @@ struct PeState
 {
     const PeSchedule *schedule = nullptr;
     std::size_t nextSend = 0;
+    bool started = true;
     std::priority_queue<QueuedArrival, std::vector<QueuedArrival>,
                         std::greater<QueuedArrival>>
         arrivals;
@@ -70,10 +74,18 @@ simulateExchange(const CommSchedule &schedule, const MachineModel &machine,
                  const EventSimOptions &options)
 {
     machine.validate();
+    schedule.validate();
     QUAKE_EXPECT(options.wireLatency >= 0,
                  "wire latency must be nonnegative");
 
     const int p = schedule.numPes();
+    static const FaultModel benign;
+    const FaultModel &faults = options.faults ? *options.faults : benign;
+    QUAKE_EXPECT(faults.numPes() == 0 || faults.numPes() >= p,
+                 "fault model covers " << faults.numPes()
+                                       << " PEs, schedule has " << p);
+
+    EventSimResult result;
     std::vector<PeState> pes(static_cast<std::size_t>(p));
     for (int i = 0; i < p; ++i)
         pes[i].schedule = &schedule.pe(i);
@@ -81,8 +93,11 @@ simulateExchange(const CommSchedule &schedule, const MachineModel &machine,
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
         events;
 
-    auto transferTime = [&](std::int64_t words) {
-        return machine.tl + static_cast<double>(words) * machine.tw;
+    // A transfer's duration depends on the link that carries it: a
+    // degraded PE stretches the per-word time on its own links.
+    auto transferTime = [&](std::int64_t words, int pe) {
+        return machine.tl + static_cast<double>(words) * machine.tw *
+                                faults.bandwidthFactor(pe);
     };
 
     // In half-duplex mode both roles share link 0.
@@ -94,59 +109,85 @@ simulateExchange(const CommSchedule &schedule, const MachineModel &machine,
         if (state.linkBusy[link])
             return;
 
-        // Sends are served first (they are ready from t = 0); the
-        // input role serves the earliest queued arrival.
+        // Sends are served first (they are ready from the PE's phase
+        // start); the input role serves the earliest queued arrival.
         const bool can_send =
-            (link == 0) &&
+            (link == 0) && state.started &&
             state.nextSend < state.schedule->exchanges.size();
         const bool can_recv = (link == in_link) &&
                               !state.arrivals.empty() &&
                               state.arrivals.top().time <= now;
 
         if (can_send) {
-            const Exchange &ex =
-                state.schedule->exchanges[state.nextSend++];
-            const double duration = transferTime(ex.words());
+            const std::size_t msg = state.nextSend++;
+            const Exchange &ex = state.schedule->exchanges[msg];
+            const double duration = transferTime(ex.words(), pe);
             state.linkBusy[link] = true;
             state.linkBusyTime[link] += duration;
             state.linkLastDone[link] = now + duration;
             events.push(Event{now + duration, Event::kLinkFree, pe, -1,
-                              0, link});
-            // The message is fully on the wire when the send ends.
-            events.push(Event{now + duration + options.wireLatency,
+                              0, link, false});
+            ++result.messagesSent;
+            // The message is fully on the wire when the send ends; the
+            // network may then lose it, delay it, or deliver it twice.
+            if (faults.dropData(pe, ex.peer, 0)) {
+                ++result.messagesDropped;
+            } else {
+                events.push(
+                    Event{now + duration + options.wireLatency +
+                              faults.deliveryJitter(pe, ex.peer, 0, 0),
+                          Event::kArrival, ex.peer, pe, ex.words(), 0,
+                          false});
+                if (faults.duplicateData(pe, ex.peer, 0))
+                    events.push(
+                        Event{now + duration + options.wireLatency +
+                                  faults.deliveryJitter(pe, ex.peer, 0,
+                                                        1),
                               Event::kArrival, ex.peer, pe, ex.words(),
-                              0});
+                              0, true});
+            }
         } else if (can_recv) {
             const QueuedArrival arrival = state.arrivals.top();
             state.arrivals.pop();
-            const double duration = transferTime(arrival.words);
+            const double duration = transferTime(arrival.words, pe);
             state.linkBusy[link] = true;
             state.linkBusyTime[link] += duration;
             state.linkLastDone[link] = now + duration;
             events.push(Event{now + duration, Event::kLinkFree, pe,
-                              arrival.src, 0, link});
+                              arrival.src, 0, link, false});
         }
     };
 
-    for (int i = 0; i < p; ++i)
-        tryStart(i, 0, 0.0);
+    for (int i = 0; i < p; ++i) {
+        const double delay = faults.startDelay(i);
+        if (delay > 0) {
+            pes[i].started = false;
+            events.push(
+                Event{delay, Event::kStart, i, -1, 0, 0, false});
+        } else {
+            tryStart(i, 0, 0.0);
+        }
+    }
 
     while (!events.empty()) {
         const Event ev = events.top();
         events.pop();
         PeState &state = pes[ev.pe];
         if (ev.kind == Event::kArrival) {
+            ++result.messagesDelivered;
+            if (ev.duplicate)
+                ++result.duplicatesDelivered;
             state.arrivals.push(
-                QueuedArrival{ev.time, ev.src, ev.words});
+                QueuedArrival{ev.time, ev.src, ev.words, ev.duplicate});
             tryStart(ev.pe, in_link, ev.time);
+        } else if (ev.kind == Event::kStart) {
+            state.started = true;
+            tryStart(ev.pe, 0, ev.time);
         } else {
             state.linkBusy[ev.link] = false;
             state.finish = std::max(state.finish, ev.time);
             // The freed link may pick up a send or a queued arrival.
             tryStart(ev.pe, ev.link, ev.time);
-            if (options.fullDuplex && ev.link == 0) {
-                // Nothing else: the in-link wakes on arrivals.
-            }
         }
     }
 
@@ -158,8 +199,11 @@ simulateExchange(const CommSchedule &schedule, const MachineModel &machine,
         QUAKE_REQUIRE(pes[i].arrivals.empty(),
                       "simulation ended with unconsumed arrivals");
     }
+    QUAKE_REQUIRE(result.messagesDelivered ==
+                      result.messagesSent - result.messagesDropped +
+                          result.duplicatesDelivered,
+                  "message conservation violated");
 
-    EventSimResult result;
     result.peFinishTime.resize(static_cast<std::size_t>(p));
     for (int i = 0; i < p; ++i) {
         result.peFinishTime[i] = pes[i].finish;
@@ -168,12 +212,17 @@ simulateExchange(const CommSchedule &schedule, const MachineModel &machine,
             result.criticalPe = i;
         }
         // Idle: time each active link spent not transferring before it
-        // completed its last task.
+        // completed its last task (straggler start delays included).
         for (int link = 0; link < (options.fullDuplex ? 2 : 1); ++link) {
             if (pes[i].linkBusyTime[link] > 0)
                 result.totalIdle += pes[i].linkLastDone[link] -
                                     pes[i].linkBusyTime[link];
         }
+    }
+    if (options.faults) {
+        result.peStartDelay.resize(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i)
+            result.peStartDelay[i] = faults.startDelay(i);
     }
     return result;
 }

@@ -1,0 +1,205 @@
+#include "parallel/fault_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace quake::parallel
+{
+
+namespace
+{
+
+/** Substream tags: one independent hash stream per fault class. */
+enum StreamTag : std::uint64_t
+{
+    kDropStream = 1,
+    kDuplicateStream = 2,
+    kAckDropStream = 3,
+    kJitterStream = 4,
+    kAckJitterStream = 5,
+    kStragglerStream = 6,
+    kDegradedStream = 7,
+};
+
+bool
+isProbability(double p)
+{
+    return p >= 0.0 && p <= 1.0;
+}
+
+} // namespace
+
+bool
+FaultSpec::any() const
+{
+    return dropProbability > 0 || duplicateProbability > 0 ||
+           ackDropProbability > 0 || jitterMeanSeconds > 0 ||
+           (stragglerProbability > 0 && stragglerDelaySeconds > 0) ||
+           (degradedLinkProbability > 0 && degradedBandwidthFactor > 1);
+}
+
+void
+FaultSpec::validate() const
+{
+    QUAKE_EXPECT(isProbability(dropProbability),
+                 "drop probability must be in [0, 1], got "
+                     << dropProbability);
+    QUAKE_EXPECT(isProbability(duplicateProbability),
+                 "duplicate probability must be in [0, 1], got "
+                     << duplicateProbability);
+    QUAKE_EXPECT(isProbability(ackDropProbability),
+                 "ack drop probability must be in [0, 1], got "
+                     << ackDropProbability);
+    QUAKE_EXPECT(isProbability(stragglerProbability),
+                 "straggler probability must be in [0, 1], got "
+                     << stragglerProbability);
+    QUAKE_EXPECT(isProbability(degradedLinkProbability),
+                 "degraded-link probability must be in [0, 1], got "
+                     << degradedLinkProbability);
+    QUAKE_EXPECT(jitterMeanSeconds >= 0,
+                 "jitter mean must be nonnegative, got "
+                     << jitterMeanSeconds);
+    QUAKE_EXPECT(stragglerDelaySeconds >= 0,
+                 "straggler delay must be nonnegative, got "
+                     << stragglerDelaySeconds);
+    QUAKE_EXPECT(degradedBandwidthFactor >= 1,
+                 "degraded bandwidth factor must be >= 1, got "
+                     << degradedBandwidthFactor);
+}
+
+FaultModel::FaultModel(const FaultSpec &spec, int num_pes) : spec_(spec)
+{
+    spec.validate();
+    QUAKE_EXPECT(num_pes >= 0, "PE count must be nonnegative");
+    enabled_ = spec.any();
+
+    startDelay_.assign(static_cast<std::size_t>(num_pes), 0.0);
+    bandwidthFactor_.assign(static_cast<std::size_t>(num_pes), 1.0);
+    for (int pe = 0; pe < num_pes; ++pe) {
+        common::SplitMix64 straggle(common::deriveStream(
+            spec_.seed ^ kStragglerStream, static_cast<std::uint64_t>(pe)));
+        if (straggle.nextDouble() < spec_.stragglerProbability)
+            startDelay_[pe] = spec_.stragglerDelaySeconds;
+
+        common::SplitMix64 degrade(common::deriveStream(
+            spec_.seed ^ kDegradedStream, static_cast<std::uint64_t>(pe)));
+        if (degrade.nextDouble() < spec_.degradedLinkProbability)
+            bandwidthFactor_[pe] = spec_.degradedBandwidthFactor;
+    }
+}
+
+double
+FaultModel::draw(std::uint64_t tag, int src, int dst, int attempt,
+                 int copy) const
+{
+    // Pack the message identity into one key.  PE counts and attempt
+    // budgets in this library are far below 2^20, so the packing is
+    // collision-free.
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+         << 44) ^
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst))
+         << 24) ^
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(attempt))
+         << 4) ^
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(copy));
+    common::SplitMix64 rng(common::deriveStream(spec_.seed ^ tag, key));
+    return rng.nextDouble();
+}
+
+bool
+FaultModel::dropData(int src, int dst, int attempt) const
+{
+    return enabled_ &&
+           draw(kDropStream, src, dst, attempt, 0) < spec_.dropProbability;
+}
+
+bool
+FaultModel::duplicateData(int src, int dst, int attempt) const
+{
+    return enabled_ && draw(kDuplicateStream, src, dst, attempt, 0) <
+                           spec_.duplicateProbability;
+}
+
+bool
+FaultModel::dropAck(int src, int dst, int attempt) const
+{
+    return enabled_ && draw(kAckDropStream, src, dst, attempt, 0) <
+                           spec_.ackDropProbability;
+}
+
+double
+FaultModel::deliveryJitter(int src, int dst, int attempt, int copy) const
+{
+    if (!enabled_ || spec_.jitterMeanSeconds <= 0)
+        return 0.0;
+    // Invert the exponential CDF on a hash-derived uniform so the draw
+    // is order-independent like every other decision.
+    common::SplitMix64 rng(common::deriveStream(
+        spec_.seed ^ kJitterStream,
+        common::deriveStream(
+            static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32 |
+                static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)),
+            static_cast<std::uint64_t>(static_cast<std::uint32_t>(attempt))
+                    << 32 |
+                static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(copy)))));
+    return rng.exponential(spec_.jitterMeanSeconds);
+}
+
+double
+FaultModel::ackJitter(int src, int dst, int attempt) const
+{
+    if (!enabled_ || spec_.jitterMeanSeconds <= 0)
+        return 0.0;
+    common::SplitMix64 rng(common::deriveStream(
+        spec_.seed ^ kAckJitterStream,
+        common::deriveStream(
+            static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32 |
+                static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)),
+            static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(attempt)))));
+    return rng.exponential(spec_.jitterMeanSeconds);
+}
+
+double
+FaultModel::startDelay(int pe) const
+{
+    if (startDelay_.empty())
+        return 0.0;
+    QUAKE_EXPECT(pe >= 0 && pe < numPes(),
+                 "PE " << pe << " out of range for fault model with "
+                       << numPes() << " PEs");
+    return startDelay_[static_cast<std::size_t>(pe)];
+}
+
+double
+FaultModel::bandwidthFactor(int pe) const
+{
+    if (bandwidthFactor_.empty())
+        return 1.0;
+    QUAKE_EXPECT(pe >= 0 && pe < numPes(),
+                 "PE " << pe << " out of range for fault model with "
+                       << numPes() << " PEs");
+    return bandwidthFactor_[static_cast<std::size_t>(pe)];
+}
+
+int
+FaultModel::numStragglers() const
+{
+    return static_cast<int>(std::count_if(
+        startDelay_.begin(), startDelay_.end(),
+        [](double d) { return d > 0; }));
+}
+
+int
+FaultModel::numDegradedLinks() const
+{
+    return static_cast<int>(std::count_if(
+        bandwidthFactor_.begin(), bandwidthFactor_.end(),
+        [](double f) { return f > 1; }));
+}
+
+} // namespace quake::parallel

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Deterministic fault specification for the exchange simulators.
+ *
+ * The paper's Figure 5 PE model assumes a perfectly reliable,
+ * constant-latency network and identical PEs.  Measurements of real
+ * irregular exchanges (Bienz, Gropp & Olson; Schubert et al.) show
+ * that queue contention, stragglers, and degraded links dominate the
+ * deviation from postal-model predictions.  This module captures those
+ * effects as a seeded, fully deterministic fault taxonomy:
+ *
+ *  - per-attempt message *drops* (the network loses a transmission),
+ *  - per-attempt message *duplication* (the network delivers a copy
+ *    twice),
+ *  - exponential per-delivery *latency jitter* on top of the constant
+ *    wire latency,
+ *  - per-PE *straggler* delays (a slow PE enters the exchange phase
+ *    late, modelling compute slowdown or OS noise),
+ *  - per-PE *degraded links* (a PE whose interface sustains only a
+ *    fraction of the nominal burst bandwidth).
+ *
+ * Determinism is the load-bearing property: every decision is a pure
+ * function of (seed, message identity, attempt number), derived by
+ * hashing rather than by consuming a shared stream.  Two simulations
+ * with the same seed therefore inject byte-identical fault sequences
+ * regardless of the order in which the event loop asks the questions.
+ */
+
+#ifndef QUAKE98_PARALLEL_FAULT_MODEL_H_
+#define QUAKE98_PARALLEL_FAULT_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace quake::parallel
+{
+
+/** User-facing description of the faults to inject. */
+struct FaultSpec
+{
+    /** Seed for every fault decision; same seed => same faults. */
+    std::uint64_t seed = 0x5eedULL;
+
+    /** Probability a data transmission attempt is lost in the network. */
+    double dropProbability = 0.0;
+
+    /** Probability a delivered data message arrives twice. */
+    double duplicateProbability = 0.0;
+
+    /** Probability an acknowledgement is lost (reliable exchange only). */
+    double ackDropProbability = 0.0;
+
+    /** Mean of the exponential extra delivery latency (seconds; 0 = off). */
+    double jitterMeanSeconds = 0.0;
+
+    /** Probability a PE is a straggler this phase. */
+    double stragglerProbability = 0.0;
+
+    /** How late a straggler PE starts issuing its sends (seconds). */
+    double stragglerDelaySeconds = 0.0;
+
+    /** Probability a PE's network interface is degraded this phase. */
+    double degradedLinkProbability = 0.0;
+
+    /**
+     * Per-word time multiplier on a degraded PE's links (>= 1; a factor
+     * of 4 means the link sustains a quarter of the nominal burst
+     * bandwidth).
+     */
+    double degradedBandwidthFactor = 1.0;
+
+    /** True when any fault can actually occur under this spec. */
+    bool any() const;
+
+    /** Reject out-of-range parameters with FatalError. */
+    void validate() const;
+};
+
+/**
+ * A FaultSpec bound to a PE count: per-PE conditions (stragglers,
+ * degraded links) are decided once at construction, per-message
+ * conditions are answered on demand as pure hash functions.
+ */
+class FaultModel
+{
+  public:
+    /** A model that injects nothing (all queries benign). */
+    FaultModel() = default;
+
+    /** Bind `spec` to `num_pes` PEs; validates the spec. */
+    FaultModel(const FaultSpec &spec, int num_pes);
+
+    const FaultSpec &spec() const { return spec_; }
+
+    /** True when this model can inject at least one fault. */
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Is transmission attempt `attempt` of the (src -> dst) message
+     * dropped by the network?  (Each ordered PE pair exchanges exactly
+     * one message per SMVP, so (src, dst, attempt) names a transmission.)
+     */
+    bool dropData(int src, int dst, int attempt) const;
+
+    /** Is this delivered attempt duplicated by the network? */
+    bool duplicateData(int src, int dst, int attempt) const;
+
+    /** Is the acknowledgement of this attempt dropped? */
+    bool dropAck(int src, int dst, int attempt) const;
+
+    /**
+     * Extra delivery latency for copy `copy` (0 = original, 1 =
+     * duplicate) of this attempt, in seconds.  Exponentially
+     * distributed with mean jitterMeanSeconds; 0 when jitter is off.
+     */
+    double deliveryJitter(int src, int dst, int attempt, int copy) const;
+
+    /** Extra latency on the acknowledgement of this attempt. */
+    double ackJitter(int src, int dst, int attempt) const;
+
+    /** Seconds PE `pe` enters the exchange phase late (0 if healthy). */
+    double startDelay(int pe) const;
+
+    /** Per-word time multiplier on `pe`'s links (1 if healthy). */
+    double bandwidthFactor(int pe) const;
+
+    /** Number of PEs bound at construction (0 for the benign model). */
+    int numPes() const { return static_cast<int>(startDelay_.size()); }
+
+    /** How many PEs straggle under this seed. */
+    int numStragglers() const;
+
+    /** How many PEs have degraded links under this seed. */
+    int numDegradedLinks() const;
+
+  private:
+    double draw(std::uint64_t tag, int src, int dst, int attempt,
+                int copy) const;
+
+    FaultSpec spec_;
+    bool enabled_ = false;
+    std::vector<double> startDelay_;
+    std::vector<double> bandwidthFactor_;
+};
+
+} // namespace quake::parallel
+
+#endif // QUAKE98_PARALLEL_FAULT_MODEL_H_

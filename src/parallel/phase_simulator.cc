@@ -13,6 +13,19 @@ simulateSmvp(const core::SmvpCharacterization &ch,
 {
     QUAKE_EXPECT(!ch.pes.empty(), "characterization has no PEs");
     machine.validate();
+    for (std::size_t i = 0; i < ch.pes.size(); ++i) {
+        const core::PeLoad &pe = ch.pes[i];
+        QUAKE_EXPECT(pe.flops >= 0 && pe.words >= 0 && pe.blocks >= 0,
+                     "characterization '"
+                         << ch.name << "' PE " << i
+                         << " has a negative load (flops=" << pe.flops
+                         << ", words=" << pe.words
+                         << ", blocks=" << pe.blocks << ")");
+        QUAKE_EXPECT(pe.words == 0 || pe.blocks > 0,
+                     "characterization '"
+                         << ch.name << "' PE " << i << " moves "
+                         << pe.words << " words in zero blocks");
+    }
 
     PhaseTimes times;
     for (const core::PeLoad &pe : ch.pes) {

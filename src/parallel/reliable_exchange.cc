@@ -1,0 +1,402 @@
+#include "parallel/reliable_exchange.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <tuple>
+
+#include "common/error.h"
+
+namespace quake::parallel
+{
+
+namespace
+{
+
+/** A data copy queued at a receiver's input link. */
+struct QueuedArrival
+{
+    double time;
+    int src;
+    std::size_t msg; ///< index into the sender's exchange list
+    std::int64_t words;
+    int attempt;
+    bool duplicate;
+
+    bool
+    operator>(const QueuedArrival &o) const
+    {
+        return std::tie(time, src, msg) > std::tie(o.time, o.src, o.msg);
+    }
+};
+
+/**
+ * Global simulation events.  Kind values for data events match
+ * event_sim.cc so that a fault-free run replays the exact baseline
+ * ordering; control events sort after data events at equal times.
+ */
+struct Event
+{
+    enum Kind : int
+    {
+        kArrival = 0,  ///< a data copy reaches its receiver
+        kLinkFree = 1, ///< a data link finishes its current task
+        kStart = 2,    ///< a straggler PE enters the phase
+        kAck = 3,      ///< an acknowledgement reaches the sender
+        kTimeout = 4,  ///< a retransmission timer fires
+    };
+
+    double time;
+    Kind kind;
+    int pe;  ///< PE the event happens at
+    int src; ///< data sender (arrivals/receptions/acks), else -1
+    std::size_t msg = 0;
+    int attempt = 0;
+    std::int64_t words = 0;
+    int link = 0;
+    bool duplicate = false;
+    std::uint64_t seq = 0; ///< deterministic final tiebreak (push order)
+
+    bool
+    operator>(const Event &o) const
+    {
+        return std::tie(time, kind, pe, src, seq) >
+               std::tie(o.time, o.kind, o.pe, o.src, o.seq);
+    }
+};
+
+/** Protocol state of one directed exchange. */
+struct ExchState
+{
+    int attempts = 0;     ///< transmissions issued so far
+    bool acked = false;   ///< sender received an acknowledgement
+    bool lost = false;    ///< sender exhausted the retry budget
+    bool delivered = false; ///< receiver has the data (any copy)
+};
+
+struct PeState
+{
+    const PeSchedule *schedule = nullptr;
+    std::size_t nextSend = 0;
+    bool started = true;
+    std::deque<std::size_t> retransmits;
+    std::vector<ExchState> exch;
+    std::priority_queue<QueuedArrival, std::vector<QueuedArrival>,
+                        std::greater<QueuedArrival>>
+        arrivals;
+    bool linkBusy[2] = {false, false};
+    double linkBusyTime[2] = {0.0, 0.0};
+    double linkLastDone[2] = {0.0, 0.0};
+    double finish = 0.0;
+};
+
+} // namespace
+
+void
+ReliableExchangeOptions::validate() const
+{
+    faults.validate();
+    QUAKE_EXPECT(wireLatency >= 0, "wire latency must be nonnegative");
+    QUAKE_EXPECT(timeoutSeconds >= 0,
+                 "timeout must be nonnegative, got " << timeoutSeconds);
+    QUAKE_EXPECT(backoffFactor >= 1,
+                 "backoff factor must be >= 1, got " << backoffFactor);
+    QUAKE_EXPECT(timeoutCapSeconds >= 0,
+                 "timeout cap must be nonnegative, got "
+                     << timeoutCapSeconds);
+    QUAKE_EXPECT(maxRetries >= 0,
+                 "max retries must be nonnegative, got " << maxRetries);
+}
+
+ReliableExchangeResult
+simulateReliableExchange(const CommSchedule &schedule,
+                         const MachineModel &machine,
+                         const ReliableExchangeOptions &options)
+{
+    machine.validate();
+    schedule.validate();
+    options.validate();
+
+    const int p = schedule.numPes();
+    const FaultModel faults(options.faults, p);
+
+    // Timers exist to recover losses; when nothing can be lost they
+    // could only fire spuriously, so they stay disarmed — which also
+    // makes the fault-free timeline bit-identical to the baseline.
+    const bool arm_timers = options.faults.dropProbability > 0 ||
+                            options.faults.ackDropProbability > 0;
+
+    ReliableExchangeResult result;
+    std::vector<PeState> pes(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) {
+        pes[i].schedule = &schedule.pe(i);
+        pes[i].exch.assign(schedule.pe(i).exchanges.size(), ExchState{});
+    }
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events;
+    std::uint64_t next_seq = 0;
+    auto push = [&](Event ev) {
+        ev.seq = next_seq++;
+        events.push(ev);
+    };
+
+    auto transferTime = [&](std::int64_t words, int pe) {
+        return machine.tl + static_cast<double>(words) * machine.tw *
+                                faults.bandwidthFactor(pe);
+    };
+
+    // Worst-case service demand on each PE's input link: every inbound
+    // message, plus (half duplex) the sends competing for the same
+    // link.  A BSP sender knows the schedule, so its timer must not
+    // fire while the receiver may still be draining legitimate traffic.
+    std::vector<double> inboundWork(static_cast<std::size_t>(p), 0.0);
+    for (int i = 0; i < p; ++i) {
+        for (const Exchange &ex : schedule.pe(i).exchanges)
+            inboundWork[i] += machine.tl +
+                              static_cast<double>(ex.words()) *
+                                  machine.tw * faults.bandwidthFactor(i);
+        if (!options.fullDuplex)
+            inboundWork[i] *= 2.0;
+    }
+
+    // Retransmission timeout for attempt k of a message: exponential
+    // backoff from a per-message base, capped.
+    auto timeoutFor = [&](std::int64_t words, int dst, int attempt) {
+        const double nominal = machine.tl +
+                               static_cast<double>(words) * machine.tw;
+        const double base =
+            options.timeoutSeconds > 0
+                ? options.timeoutSeconds
+                : inboundWork[dst] +
+                      4.0 * (2.0 * options.wireLatency + 2.0 * nominal);
+        const double cap = options.timeoutCapSeconds > 0
+                               ? options.timeoutCapSeconds
+                               : 64.0 * base;
+        return std::min(base * std::pow(options.backoffFactor,
+                                        static_cast<double>(attempt)),
+                        cap);
+    };
+
+    const int in_link = options.fullDuplex ? 1 : 0;
+
+    auto tryStart = [&](int pe, int link, double now) {
+        PeState &state = pes[pe];
+        if (state.linkBusy[link])
+            return;
+
+        // Drop retransmit-queue entries cancelled by a late ack or by
+        // the sender having given up.
+        while (!state.retransmits.empty()) {
+            const ExchState &st = state.exch[state.retransmits.front()];
+            if (st.acked || st.lost)
+                state.retransmits.pop_front();
+            else
+                break;
+        }
+
+        const bool can_retransmit =
+            (link == 0) && state.started && !state.retransmits.empty();
+        const bool can_send =
+            can_retransmit ||
+            ((link == 0) && state.started &&
+             state.nextSend < state.schedule->exchanges.size());
+        const bool can_recv = (link == in_link) &&
+                              !state.arrivals.empty() &&
+                              state.arrivals.top().time <= now;
+
+        if (can_send) {
+            std::size_t msg;
+            if (can_retransmit) {
+                msg = state.retransmits.front();
+                state.retransmits.pop_front();
+            } else {
+                msg = state.nextSend++;
+            }
+            const Exchange &ex = state.schedule->exchanges[msg];
+            ExchState &st = state.exch[msg];
+            const int attempt = st.attempts++;
+            const double duration = transferTime(ex.words(), pe);
+            const double done = now + duration;
+            state.linkBusy[link] = true;
+            state.linkBusyTime[link] += duration;
+            state.linkLastDone[link] = done;
+            push(Event{done, Event::kLinkFree, pe, -1, msg, attempt, 0,
+                       link, false});
+
+            ++result.dataSent;
+            if (attempt > 0) {
+                ++result.retransmissions;
+                if (st.delivered)
+                    ++result.spuriousRetransmissions;
+            }
+            if (faults.dropData(pe, ex.peer, attempt)) {
+                ++result.dataDropped;
+            } else {
+                push(Event{done + options.wireLatency +
+                               faults.deliveryJitter(pe, ex.peer,
+                                                     attempt, 0),
+                           Event::kArrival, ex.peer, pe, msg, attempt,
+                           ex.words(), 0, false});
+                if (faults.duplicateData(pe, ex.peer, attempt))
+                    push(Event{done + options.wireLatency +
+                                   faults.deliveryJitter(pe, ex.peer,
+                                                         attempt, 1),
+                               Event::kArrival, ex.peer, pe, msg,
+                               attempt, ex.words(), 0, true});
+            }
+            if (arm_timers)
+                push(Event{done + timeoutFor(ex.words(), ex.peer,
+                                             attempt),
+                           Event::kTimeout, pe, -1, msg, attempt, 0, 0,
+                           false});
+        } else if (can_recv) {
+            const QueuedArrival arrival = state.arrivals.top();
+            state.arrivals.pop();
+            const double duration = transferTime(arrival.words, pe);
+            state.linkBusy[link] = true;
+            state.linkBusyTime[link] += duration;
+            state.linkLastDone[link] = now + duration;
+            push(Event{now + duration, Event::kLinkFree, pe, arrival.src,
+                       arrival.msg, arrival.attempt, arrival.words, link,
+                       arrival.duplicate});
+        }
+    };
+
+    for (int i = 0; i < p; ++i) {
+        const double delay = faults.startDelay(i);
+        if (delay > 0) {
+            pes[i].started = false;
+            push(Event{delay, Event::kStart, i, -1, 0, 0, 0, 0, false});
+        } else {
+            tryStart(i, 0, 0.0);
+        }
+    }
+
+    while (!events.empty()) {
+        const Event ev = events.top();
+        events.pop();
+        result.tProtocolQuiesce =
+            std::max(result.tProtocolQuiesce, ev.time);
+        PeState &state = pes[ev.pe];
+
+        switch (ev.kind) {
+        case Event::kArrival:
+            ++result.dataDelivered;
+            if (ev.duplicate)
+                ++result.duplicatesDelivered;
+            state.arrivals.push(QueuedArrival{ev.time, ev.src, ev.msg,
+                                              ev.words, ev.attempt,
+                                              ev.duplicate});
+            tryStart(ev.pe, in_link, ev.time);
+            break;
+
+        case Event::kStart:
+            state.started = true;
+            tryStart(ev.pe, 0, ev.time);
+            break;
+
+        case Event::kLinkFree: {
+            state.linkBusy[ev.link] = false;
+            state.finish = std::max(state.finish, ev.time);
+            if (ev.src >= 0) {
+                // A reception completed: the data is in memory, so
+                // acknowledge it (acks ride the out-of-band control
+                // channel and occupy no data-link time).
+                ExchState &st = pes[ev.src].exch[ev.msg];
+                if (st.delivered)
+                    ++result.redundantDeliveries;
+                st.delivered = true;
+                ++result.acksSent;
+                if (faults.dropAck(ev.src, ev.pe, ev.attempt)) {
+                    ++result.acksDropped;
+                } else {
+                    push(Event{ev.time + options.wireLatency +
+                                   faults.ackJitter(ev.src, ev.pe,
+                                                    ev.attempt),
+                               Event::kAck, ev.src, ev.pe, ev.msg,
+                               ev.attempt, 0, 0, false});
+                }
+            }
+            tryStart(ev.pe, ev.link, ev.time);
+            break;
+        }
+
+        case Event::kAck: {
+            ExchState &st = state.exch[ev.msg];
+            if (!st.acked && !st.lost)
+                st.acked = true;
+            break;
+        }
+
+        case Event::kTimeout: {
+            ExchState &st = state.exch[ev.msg];
+            if (st.acked || st.lost)
+                break; // stale timer
+            const Exchange &ex = state.schedule->exchanges[ev.msg];
+            ++result.timeoutsFired;
+            result.timeoutWaitSeconds +=
+                timeoutFor(ex.words(), ex.peer, ev.attempt);
+            if (st.attempts > options.maxRetries) {
+                st.lost = true;
+                result.lostExchanges.push_back(LostExchange{
+                    ev.pe, ex.peer, ex.words(), st.attempts});
+            } else {
+                state.retransmits.push_back(ev.msg);
+                tryStart(ev.pe, 0, ev.time);
+            }
+            break;
+        }
+        }
+    }
+
+    // Every exchange must have terminated: acknowledged or given up.
+    for (int i = 0; i < p; ++i) {
+        QUAKE_REQUIRE(pes[i].nextSend ==
+                          pes[i].schedule->exchanges.size(),
+                      "simulation ended with unsent messages");
+        QUAKE_REQUIRE(pes[i].arrivals.empty(),
+                      "simulation ended with unconsumed arrivals");
+        for (const ExchState &st : pes[i].exch)
+            QUAKE_REQUIRE(st.acked || st.lost,
+                          "exchange ended neither acked nor lost");
+    }
+
+    result.peFinishTime.resize(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) {
+        result.peFinishTime[i] = pes[i].finish;
+        if (pes[i].finish > result.tComm) {
+            result.tComm = pes[i].finish;
+            result.criticalPe = i;
+        }
+        for (int link = 0; link < (options.fullDuplex ? 2 : 1); ++link) {
+            if (pes[i].linkBusyTime[link] > 0)
+                result.totalIdle += pes[i].linkLastDone[link] -
+                                    pes[i].linkBusyTime[link];
+        }
+    }
+
+    result.peStartDelay.resize(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i)
+        result.peStartDelay[i] = faults.startDelay(i);
+
+    // Receiver-side staleness: words whose data never arrived leave the
+    // matching y = Kx boundary entries stale by the missing partial sum.
+    for (int i = 0; i < p; ++i) {
+        const PeSchedule &sched = *pes[i].schedule;
+        for (std::size_t m = 0; m < sched.exchanges.size(); ++m)
+            if (!pes[i].exch[m].delivered)
+                result.staleWords += sched.exchanges[m].words();
+    }
+    const std::int64_t total = schedule.totalWords();
+    result.staleFraction =
+        total > 0 ? static_cast<double>(result.staleWords) /
+                        static_cast<double>(total)
+                  : 0.0;
+    result.degraded =
+        !result.lostExchanges.empty() || result.staleWords > 0;
+    return result;
+}
+
+} // namespace quake::parallel

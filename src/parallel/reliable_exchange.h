@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Ack/timeout/retransmission protocol layered on the event-driven
+ * exchange simulator.
+ *
+ * The baseline simulator (event_sim.h) executes the SMVP exchange on a
+ * perfectly reliable network; with a FaultModel it can *inject* faults
+ * but lost data stays lost.  This module simulates the protocol a real
+ * system would run on such a network:
+ *
+ *  - every data message must be acknowledged by its receiver;
+ *  - a sender arms a retransmission timer when a send completes; if no
+ *    ack arrives before it fires, the message is retransmitted with
+ *    exponential backoff (capped), up to a retry budget;
+ *  - when the budget is exhausted the sender *gives up* on that
+ *    exchange and the phase still completes — graceful degradation —
+ *    with the lost exchanges and a stale-boundary-value error bound
+ *    reported instead of the simulation hanging;
+ *  - receivers deduplicate: redundant copies (network duplicates,
+ *    retransmissions of already-delivered data) occupy the input link
+ *    (wasted work the counters expose) but are summed only once.
+ *
+ * Modelling choices, documented in DESIGN.md:
+ *  - Acks travel on an out-of-band control channel: they experience
+ *    wire latency, jitter, and drops, but occupy no data-link time.
+ *  - Retransmission timers are armed only when the spec can actually
+ *    lose something (data or ack drops); a fault-free spec therefore
+ *    reproduces the baseline simulator's timeline *bit for bit*.
+ *  - All fault decisions are hash-derived from the seed (fault_model.h),
+ *    so a fixed seed gives identical counters and timelines across
+ *    runs, hosts, and event orderings.
+ */
+
+#ifndef QUAKE98_PARALLEL_RELIABLE_EXCHANGE_H_
+#define QUAKE98_PARALLEL_RELIABLE_EXCHANGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/comm_schedule.h"
+#include "parallel/fault_model.h"
+#include "parallel/machine.h"
+
+namespace quake::parallel
+{
+
+/** Options for the reliable exchange simulation. */
+struct ReliableExchangeOptions
+{
+    /** Constant network transit time (as in EventSimOptions). */
+    double wireLatency = 0.0;
+
+    /** Full-duplex (Figure 5) or shared-interface link discipline. */
+    bool fullDuplex = true;
+
+    /** Faults to inject; an all-zero spec reproduces the baseline. */
+    FaultSpec faults;
+
+    /**
+     * Initial retransmission timeout (seconds).  0 selects an automatic
+     * per-message value: the receiver's worst-case input-link service
+     * demand (a BSP sender knows the schedule) plus 4x the fault-free
+     * round trip (send + wire + receive + ack return), so a timer can
+     * only fire spuriously when traffic was actually lost or delayed.
+     */
+    double timeoutSeconds = 0.0;
+
+    /** Multiplier applied to the timeout after each retry (>= 1). */
+    double backoffFactor = 2.0;
+
+    /**
+     * Upper bound on the backed-off timeout (seconds).  0 selects 64x
+     * the initial timeout.
+     */
+    double timeoutCapSeconds = 0.0;
+
+    /** Retransmissions allowed per message before the sender gives up. */
+    int maxRetries = 8;
+
+    /** Reject out-of-range parameters with FatalError. */
+    void validate() const;
+};
+
+/** One exchange whose sender exhausted its retry budget. */
+struct LostExchange
+{
+    int src = 0;
+    int dst = 0;
+    std::int64_t words = 0;
+    int attempts = 0; ///< transmissions issued before giving up
+};
+
+/** Result of one reliable exchange phase. */
+struct ReliableExchangeResult
+{
+    // --- timeline (same semantics as EventSimResult) ---
+
+    /** Time each PE's data links went finally idle. */
+    std::vector<double> peFinishTime;
+
+    /** Phase time: max over PEs of data-link completion. */
+    double tComm = 0.0;
+
+    /** Total data-link idle time across PEs. */
+    double totalIdle = 0.0;
+
+    /** Index of the finishing (slowest) PE. */
+    int criticalPe = 0;
+
+    /**
+     * Time the whole protocol went quiet (last ack/timer processed);
+     * >= tComm because control traffic outlives the data links.
+     */
+    double tProtocolQuiesce = 0.0;
+
+    // --- traffic counters ---
+
+    std::int64_t dataSent = 0;      ///< transmissions incl. retransmissions
+    std::int64_t dataDelivered = 0; ///< copies that reached a receiver
+    std::int64_t dataDropped = 0;   ///< transmissions lost in the network
+    std::int64_t duplicatesDelivered = 0; ///< network-duplicated copies
+    std::int64_t redundantDeliveries = 0; ///< copies after the first delivery
+
+    // --- protocol counters ---
+
+    std::int64_t retransmissions = 0; ///< timer-triggered resends
+    std::int64_t spuriousRetransmissions = 0; ///< resends of delivered data
+    std::int64_t acksSent = 0;
+    std::int64_t acksDropped = 0;
+    std::int64_t timeoutsFired = 0;
+
+    /** Total sender wait represented by fired timers (seconds). */
+    double timeoutWaitSeconds = 0.0;
+
+    /** Per-PE straggler attribution: seconds each PE started late. */
+    std::vector<double> peStartDelay;
+
+    // --- graceful degradation ---
+
+    /** Exchanges whose sender exhausted the retry budget. */
+    std::vector<LostExchange> lostExchanges;
+
+    /**
+     * Words of y = Kx boundary data that never reached their receiver.
+     * Each such word leaves one entry of the receiver's y stale by the
+     * sender's partial sum — the structural error bound on the product.
+     * (A lost exchange whose data did arrive but whose acks were all
+     * dropped contributes to lostExchanges but not here.)
+     */
+    std::int64_t staleWords = 0;
+
+    /** staleWords / total directed words (0 when nothing was lost). */
+    double staleFraction = 0.0;
+
+    /** True when any exchange was given up or left undelivered. */
+    bool degraded = false;
+};
+
+/**
+ * Simulate one reliable exchange phase of `schedule` on `machine`.
+ *
+ * Deterministic for a fixed options.faults.seed: identical timelines
+ * and counters across runs.  With an all-zero fault spec the result's
+ * timeline fields equal simulateExchange()'s bit for bit.  Malformed
+ * schedules, machines, and options raise common::FatalError.
+ */
+ReliableExchangeResult
+simulateReliableExchange(const CommSchedule &schedule,
+                         const MachineModel &machine,
+                         const ReliableExchangeOptions &options = {});
+
+} // namespace quake::parallel
+
+#endif // QUAKE98_PARALLEL_RELIABLE_EXCHANGE_H_

@@ -30,6 +30,12 @@ writePartition(const Partition &partition, const std::string &path)
 namespace
 {
 
+/**
+ * Largest element/part count a header may declare; a corrupt header
+ * must fail loudly instead of driving a huge allocation.
+ */
+constexpr std::int64_t kMaxDeclaredCount = 1'000'000'000;
+
 bool
 nextRecord(std::istream &is, std::istringstream &record)
 {
@@ -53,34 +59,54 @@ readPartition(std::istream &is)
     std::istringstream record;
     QUAKE_EXPECT(nextRecord(is, record), ".part stream is empty");
     std::int64_t num_elements = 0;
-    int num_parts = 0;
+    std::int64_t num_parts = 0;
     QUAKE_EXPECT(static_cast<bool>(record >> num_elements >> num_parts),
-                 "malformed .part header");
-    QUAKE_EXPECT(num_elements >= 0 && num_parts >= 1,
-                 "invalid .part header counts");
+                 "malformed .part header (non-numeric counts): '"
+                     << record.str() << "'");
+    QUAKE_EXPECT(num_elements >= 0,
+                 "negative .part element count " << num_elements);
+    QUAKE_EXPECT(num_parts >= 1,
+                 ".part part count must be >= 1, got " << num_parts);
+    QUAKE_EXPECT(num_elements <= kMaxDeclaredCount,
+                 ".part element count " << num_elements
+                                        << " exceeds the supported maximum "
+                                        << kMaxDeclaredCount
+                                        << " (corrupt header?)");
+    QUAKE_EXPECT(num_parts <= kMaxDeclaredCount,
+                 ".part part count " << num_parts
+                                     << " exceeds the supported maximum "
+                                     << kMaxDeclaredCount
+                                     << " (corrupt header?)");
 
     Partition partition;
-    partition.numParts = num_parts;
+    partition.numParts = static_cast<int>(num_parts);
     partition.elementPart.assign(
         static_cast<std::size_t>(num_elements), -1);
 
     long long first_index = 0;
     for (std::int64_t i = 0; i < num_elements; ++i) {
         QUAKE_EXPECT(nextRecord(is, record),
-                     ".part stream truncated at record " << i);
+                     ".part stream truncated at record " << i << " of "
+                                                         << num_elements);
         long long idx = 0;
         long long part = 0;
         QUAKE_EXPECT(static_cast<bool>(record >> idx >> part),
-                     "malformed .part record " << i);
+                     "malformed .part record " << i
+                                               << " (non-numeric token): '"
+                                               << record.str() << "'");
         if (i == 0) {
             QUAKE_EXPECT(idx == 0 || idx == 1,
-                         "first element index must be 0 or 1");
+                         "first element index must be 0 or 1, got "
+                             << idx);
             first_index = idx;
         }
         QUAKE_EXPECT(idx == first_index + i,
-                     ".part indices must be consecutive");
+                     ".part indices must be consecutive: record " << i
+                         << " has index " << idx);
         QUAKE_EXPECT(part >= 0 && part < num_parts,
-                     ".part part id out of range");
+                     ".part record " << i << " part id " << part
+                                     << " out of range [0, " << num_parts
+                                     << ")");
         partition.elementPart[i] = static_cast<PartId>(part);
     }
     return partition;

@@ -14,6 +14,7 @@
 #include "parallel/characterize.h"
 #include "parallel/event_sim.h"
 #include "parallel/phase_simulator.h"
+#include "partition/baselines.h"
 #include "partition/geometric_bisection.h"
 
 namespace
@@ -175,5 +176,61 @@ TEST_P(EventSimLattice, EveryPeFinishes)
 
 INSTANTIATE_TEST_SUITE_P(PartCounts, EventSimLattice,
                          ::testing::Values(2, 4, 8, 16));
+
+TEST(EventSimEdgeCases, EmptyScheduleIsTrivial)
+{
+    const CommSchedule s;
+    const EventSimResult r = simulateExchange(s, crayT3e());
+    EXPECT_DOUBLE_EQ(r.tComm, 0.0);
+    EXPECT_DOUBLE_EQ(r.totalIdle, 0.0);
+    EXPECT_TRUE(r.peFinishTime.empty());
+    EXPECT_EQ(r.messagesSent, 0);
+}
+
+TEST(EventSimEdgeCases, SinglePeNeverCommunicates)
+{
+    const CommSchedule s = CommSchedule::fromPeSchedules({PeSchedule{}});
+    const EventSimResult r = simulateExchange(s, crayT3e());
+    EXPECT_DOUBLE_EQ(r.tComm, 0.0);
+    ASSERT_EQ(r.peFinishTime.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.peFinishTime[0], 0.0);
+}
+
+TEST(EventSimEdgeCases, ZeroWordMessageCostsOneBlockLatency)
+{
+    // An exchange with an empty node set is a legal zero-word message:
+    // it still occupies the link for one block latency tl each way.
+    PeSchedule pe0, pe1;
+    Exchange fwd, bwd;
+    fwd.peer = 1;
+    bwd.peer = 0;
+    pe0.exchanges.push_back(fwd);
+    pe1.exchanges.push_back(bwd);
+    const CommSchedule s = CommSchedule::fromPeSchedules({pe0, pe1});
+    EXPECT_EQ(s.totalWords(), 0);
+
+    const EventSimResult r =
+        simulateExchange(s, unitMachine(), EventSimOptions{0.0, true});
+    // Send 0..tl, arrival at tl, reception tl..2tl.
+    EXPECT_NEAR(r.tComm, 2e-6, 1e-12);
+    EXPECT_EQ(r.messagesSent, 2);
+    EXPECT_EQ(r.messagesDelivered, 2);
+}
+
+TEST(EventSimEdgeCases, HalfDuplexNeverBeatsFullDuplexOnRandomSchedules)
+{
+    const TetMesh m =
+        buildKuhnLattice(Aabb{{0, 0, 0}, {1, 1, 1}}, 4, 4, 4);
+    for (std::uint64_t seed : {1ULL, 17ULL, 404ULL, 90210ULL}) {
+        const RandomPartitioner partitioner(seed);
+        const CommSchedule s =
+            CommSchedule::build(m, partitioner.partition(m, 8));
+        const EventSimResult full = simulateExchange(
+            s, crayT3e(), EventSimOptions{0.0, true});
+        const EventSimResult half = simulateExchange(
+            s, crayT3e(), EventSimOptions{0.0, false});
+        EXPECT_LE(full.tComm, half.tComm + 1e-15) << "seed " << seed;
+    }
+}
 
 } // namespace

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the deterministic fault model: spec validation, hash-stream
+ * determinism and order independence, empirical fault rates, and per-PE
+ * condition assignment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "parallel/fault_model.h"
+
+namespace
+{
+
+using quake::common::FatalError;
+using quake::parallel::FaultModel;
+using quake::parallel::FaultSpec;
+
+TEST(FaultSpec, DefaultIsBenign)
+{
+    const FaultSpec spec;
+    EXPECT_FALSE(spec.any());
+    EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(FaultSpec, RejectsOutOfRangeParameters)
+{
+    FaultSpec spec;
+    spec.dropProbability = -0.1;
+    EXPECT_THROW(spec.validate(), FatalError);
+
+    spec = FaultSpec{};
+    spec.dropProbability = 1.5;
+    EXPECT_THROW(spec.validate(), FatalError);
+
+    spec = FaultSpec{};
+    spec.duplicateProbability = 2.0;
+    EXPECT_THROW(spec.validate(), FatalError);
+
+    spec = FaultSpec{};
+    spec.jitterMeanSeconds = -1e-6;
+    EXPECT_THROW(spec.validate(), FatalError);
+
+    spec = FaultSpec{};
+    spec.stragglerDelaySeconds = -1.0;
+    EXPECT_THROW(spec.validate(), FatalError);
+
+    spec = FaultSpec{};
+    spec.degradedBandwidthFactor = 0.5; // < 1 would speed links up
+    EXPECT_THROW(spec.validate(), FatalError);
+}
+
+TEST(FaultSpec, AnyDetectsEachFaultClass)
+{
+    FaultSpec spec;
+    spec.dropProbability = 0.1;
+    EXPECT_TRUE(spec.any());
+
+    spec = FaultSpec{};
+    spec.jitterMeanSeconds = 1e-6;
+    EXPECT_TRUE(spec.any());
+
+    // A straggler probability with zero delay injects nothing.
+    spec = FaultSpec{};
+    spec.stragglerProbability = 1.0;
+    EXPECT_FALSE(spec.any());
+    spec.stragglerDelaySeconds = 1e-3;
+    EXPECT_TRUE(spec.any());
+
+    // A degraded-link probability with factor 1 injects nothing.
+    spec = FaultSpec{};
+    spec.degradedLinkProbability = 1.0;
+    EXPECT_FALSE(spec.any());
+    spec.degradedBandwidthFactor = 4.0;
+    EXPECT_TRUE(spec.any());
+}
+
+TEST(FaultModel, BenignModelInjectsNothing)
+{
+    const FaultModel model;
+    EXPECT_FALSE(model.enabled());
+    EXPECT_FALSE(model.dropData(0, 1, 0));
+    EXPECT_FALSE(model.duplicateData(0, 1, 0));
+    EXPECT_DOUBLE_EQ(model.deliveryJitter(0, 1, 0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(model.startDelay(5), 0.0);
+    EXPECT_DOUBLE_EQ(model.bandwidthFactor(5), 1.0);
+}
+
+TEST(FaultModel, DecisionsAreDeterministicAndOrderIndependent)
+{
+    FaultSpec spec;
+    spec.seed = 1234;
+    spec.dropProbability = 0.3;
+    spec.jitterMeanSeconds = 2e-6;
+
+    const FaultModel a(spec, 16);
+    const FaultModel b(spec, 16);
+
+    // Query b in reverse order: answers must match a's exactly.
+    std::vector<bool> dropsA, dropsB;
+    std::vector<double> jitterA, jitterB;
+    for (int src = 0; src < 16; ++src)
+        for (int attempt = 0; attempt < 4; ++attempt) {
+            dropsA.push_back(a.dropData(src, (src + 1) % 16, attempt));
+            jitterA.push_back(
+                a.deliveryJitter(src, (src + 1) % 16, attempt, 0));
+        }
+    for (int src = 15; src >= 0; --src)
+        for (int attempt = 3; attempt >= 0; --attempt) {
+            dropsB.push_back(b.dropData(src, (src + 1) % 16, attempt));
+            jitterB.push_back(
+                b.deliveryJitter(src, (src + 1) % 16, attempt, 0));
+        }
+    std::reverse(dropsB.begin(), dropsB.end());
+    std::reverse(jitterB.begin(), jitterB.end());
+    EXPECT_EQ(dropsA, dropsB);
+    EXPECT_EQ(jitterA, jitterB);
+}
+
+TEST(FaultModel, DifferentSeedsGiveDifferentFaults)
+{
+    FaultSpec spec;
+    spec.dropProbability = 0.5;
+    spec.seed = 1;
+    const FaultModel a(spec, 8);
+    spec.seed = 2;
+    const FaultModel b(spec, 8);
+
+    int differing = 0;
+    for (int src = 0; src < 8; ++src)
+        for (int dst = 0; dst < 8; ++dst)
+            for (int attempt = 0; attempt < 8; ++attempt)
+                if (src != dst && a.dropData(src, dst, attempt) !=
+                                      b.dropData(src, dst, attempt))
+                    ++differing;
+    EXPECT_GT(differing, 0);
+}
+
+TEST(FaultModel, EmpiricalDropRateMatchesSpec)
+{
+    FaultSpec spec;
+    spec.seed = 42;
+    spec.dropProbability = 0.25;
+    const FaultModel model(spec, 128);
+
+    std::int64_t drops = 0, total = 0;
+    for (int src = 0; src < 128; ++src)
+        for (int dst = 0; dst < 128; ++dst) {
+            if (src == dst)
+                continue;
+            for (int attempt = 0; attempt < 2; ++attempt) {
+                ++total;
+                drops += model.dropData(src, dst, attempt) ? 1 : 0;
+            }
+        }
+    const double rate =
+        static_cast<double>(drops) / static_cast<double>(total);
+    EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(FaultModel, JitterIsNonnegativeWithRoughlyTheRequestedMean)
+{
+    FaultSpec spec;
+    spec.seed = 7;
+    spec.jitterMeanSeconds = 5e-6;
+    const FaultModel model(spec, 64);
+
+    double sum = 0;
+    int n = 0;
+    for (int src = 0; src < 64; ++src)
+        for (int attempt = 0; attempt < 16; ++attempt) {
+            const double j =
+                model.deliveryJitter(src, (src + 1) % 64, attempt, 0);
+            EXPECT_GE(j, 0.0);
+            sum += j;
+            ++n;
+        }
+    EXPECT_NEAR(sum / n, 5e-6, 1e-6);
+}
+
+TEST(FaultModel, StragglerAssignmentFollowsProbability)
+{
+    FaultSpec spec;
+    spec.seed = 99;
+    spec.stragglerProbability = 0.5;
+    spec.stragglerDelaySeconds = 1e-3;
+    const FaultModel model(spec, 1000);
+
+    EXPECT_GT(model.numStragglers(), 400);
+    EXPECT_LT(model.numStragglers(), 600);
+    for (int pe = 0; pe < 1000; ++pe) {
+        const double d = model.startDelay(pe);
+        EXPECT_TRUE(d == 0.0 || d == 1e-3);
+    }
+}
+
+TEST(FaultModel, DegradedLinkAssignmentFollowsProbability)
+{
+    FaultSpec spec;
+    spec.seed = 99;
+    spec.degradedLinkProbability = 0.25;
+    spec.degradedBandwidthFactor = 4.0;
+    const FaultModel model(spec, 1000);
+
+    EXPECT_GT(model.numDegradedLinks(), 180);
+    EXPECT_LT(model.numDegradedLinks(), 320);
+    for (int pe = 0; pe < 1000; ++pe) {
+        const double f = model.bandwidthFactor(pe);
+        EXPECT_TRUE(f == 1.0 || f == 4.0);
+    }
+}
+
+TEST(FaultModel, OutOfRangePeQueriesAreRejected)
+{
+    FaultSpec spec;
+    spec.stragglerProbability = 0.5;
+    spec.stragglerDelaySeconds = 1.0;
+    const FaultModel model(spec, 4);
+    EXPECT_THROW(model.startDelay(4), FatalError);
+    EXPECT_THROW(model.bandwidthFactor(-1), FatalError);
+}
+
+} // namespace

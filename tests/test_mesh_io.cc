@@ -161,6 +161,98 @@ TEST(MeshIo, RejectsMissingFile)
     EXPECT_THROW(readMesh("/nonexistent/path/prefix"), FatalError);
 }
 
+TEST(MeshIo, RejectsNonNumericNodeHeader)
+{
+    const std::string node_text = "four 3 0 0\n";
+    const std::string ele_text = "0 4 0\n";
+    std::istringstream node_is(node_text), ele_is(ele_text);
+    EXPECT_THROW(readMesh(node_is, ele_is), FatalError);
+}
+
+TEST(MeshIo, RejectsNonNumericCoordinate)
+{
+    const std::string node_text = "1 3 0 0\n0 0.0 oops 0.0\n";
+    const std::string ele_text = "0 4 0\n";
+    std::istringstream node_is(node_text), ele_is(ele_text);
+    EXPECT_THROW(readMesh(node_is, ele_is), FatalError);
+}
+
+TEST(MeshIo, RejectsNonFiniteCoordinate)
+{
+    // strtod happily parses "nan" and "inf"; the reader must not.
+    const std::string node_text = "1 3 0 0\n0 0.0 nan 0.0\n";
+    const std::string ele_text = "0 4 0\n";
+    std::istringstream node_is(node_text), ele_is(ele_text);
+    EXPECT_THROW(readMesh(node_is, ele_is), FatalError);
+}
+
+TEST(MeshIo, RejectsNegativeCounts)
+{
+    {
+        const std::string node_text = "-4 3 0 0\n";
+        const std::string ele_text = "0 4 0\n";
+        std::istringstream node_is(node_text), ele_is(ele_text);
+        EXPECT_THROW(readMesh(node_is, ele_is), FatalError);
+    }
+    {
+        const std::string node_text = "0 3 0 0\n";
+        const std::string ele_text = "-1 4 0\n";
+        std::istringstream node_is(node_text), ele_is(ele_text);
+        EXPECT_THROW(readMesh(node_is, ele_is), FatalError);
+    }
+}
+
+TEST(MeshIo, RejectsOverflowingDeclaredCounts)
+{
+    // A corrupt header must not drive a huge allocation.
+    {
+        const std::string node_text = "999999999999 3 0 0\n";
+        const std::string ele_text = "0 4 0\n";
+        std::istringstream node_is(node_text), ele_is(ele_text);
+        EXPECT_THROW(readMesh(node_is, ele_is), FatalError);
+    }
+    {
+        const std::string node_text = "0 3 0 0\n";
+        const std::string ele_text = "999999999999 4 0\n";
+        std::istringstream node_is(node_text), ele_is(ele_text);
+        EXPECT_THROW(readMesh(node_is, ele_is), FatalError);
+    }
+}
+
+TEST(MeshIo, RejectsTruncatedEleFile)
+{
+    const std::string node_text = "4 3 0 0\n0 0 0 0\n1 1 0 0\n"
+                                  "2 0 1 0\n3 0 0 1\n";
+    const std::string ele_text = "2 4 0\n0 0 1 2 3\n";
+    std::istringstream node_is(node_text), ele_is(ele_text);
+    EXPECT_THROW(readMesh(node_is, ele_is), FatalError);
+}
+
+TEST(MeshIo, RejectsNonNumericEleToken)
+{
+    const std::string node_text = "4 3 0 0\n0 0 0 0\n1 1 0 0\n"
+                                  "2 0 1 0\n3 0 0 1\n";
+    const std::string ele_text = "1 4 0\n0 0 1 two 3\n";
+    std::istringstream node_is(node_text), ele_is(ele_text);
+    EXPECT_THROW(readMesh(node_is, ele_is), FatalError);
+}
+
+TEST(MeshIo, DiagnosticsCarryFileAndLineContext)
+{
+    const std::string node_text = "4 3 0 0\n0 0 0 0\n";
+    const std::string ele_text = "0 4 0\n";
+    std::istringstream node_is(node_text), ele_is(ele_text);
+    try {
+        readMesh(node_is, ele_is);
+        FAIL() << "expected FatalError";
+    }
+    catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+        EXPECT_NE(what.find("mesh_io.cc"), std::string::npos) << what;
+    }
+}
+
 TEST(MeshIo, GeneratedMeshRoundTrip)
 {
     const TetMesh m =

@@ -87,6 +87,69 @@ TEST(PartitionIo, RejectsMissingFile)
     EXPECT_THROW(readPartition("/no/such/file.part"), FatalError);
 }
 
+TEST(PartitionIo, RejectsEmptyStream)
+{
+    std::istringstream is("");
+    EXPECT_THROW(readPartition(is), FatalError);
+}
+
+TEST(PartitionIo, RejectsNonNumericHeader)
+{
+    std::istringstream is("three 2\n");
+    EXPECT_THROW(readPartition(is), FatalError);
+}
+
+TEST(PartitionIo, RejectsNonNumericRecordToken)
+{
+    std::istringstream is("2 2\n0 0\n1 one\n");
+    EXPECT_THROW(readPartition(is), FatalError);
+}
+
+TEST(PartitionIo, RejectsNegativeElementCount)
+{
+    std::istringstream is("-3 2\n");
+    EXPECT_THROW(readPartition(is), FatalError);
+}
+
+TEST(PartitionIo, RejectsNonPositivePartCount)
+{
+    std::istringstream is("2 0\n0 0\n1 0\n");
+    EXPECT_THROW(readPartition(is), FatalError);
+}
+
+TEST(PartitionIo, RejectsOverflowingDeclaredCounts)
+{
+    {
+        std::istringstream is("999999999999 2\n");
+        EXPECT_THROW(readPartition(is), FatalError);
+    }
+    {
+        std::istringstream is("1 999999999999\n0 0\n");
+        EXPECT_THROW(readPartition(is), FatalError);
+    }
+}
+
+TEST(PartitionIo, RejectsNegativePartId)
+{
+    std::istringstream is("2 2\n0 0\n1 -1\n");
+    EXPECT_THROW(readPartition(is), FatalError);
+}
+
+TEST(PartitionIo, DiagnosticsCarryFileAndLineContext)
+{
+    std::istringstream is("3 2\n0 0\n");
+    try {
+        readPartition(is);
+        FAIL() << "expected FatalError";
+    }
+    catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+        EXPECT_NE(what.find("partition_io.cc"), std::string::npos)
+            << what;
+    }
+}
+
 TEST(PartitionIo, RealPartitionSurvives)
 {
     const TetMesh m =

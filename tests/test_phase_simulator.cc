@@ -84,6 +84,31 @@ TEST(PhaseSimulator, RejectsEmptyAndBadMachine)
                  quake::common::FatalError);
 }
 
+TEST(PhaseSimulator, RejectsMalformedPeLoads)
+{
+    // Negative work counts.
+    SmvpCharacterization ch = handChar();
+    ch.pes[1].flops = -1;
+    EXPECT_THROW(simulateSmvp(ch, simpleMachine()),
+                 quake::common::FatalError);
+
+    ch = handChar();
+    ch.pes[0].words = -60;
+    EXPECT_THROW(simulateSmvp(ch, simpleMachine()),
+                 quake::common::FatalError);
+
+    ch = handChar();
+    ch.pes[0].blocks = -2;
+    EXPECT_THROW(simulateSmvp(ch, simpleMachine()),
+                 quake::common::FatalError);
+
+    // Words without any block to carry them.
+    ch = handChar();
+    ch.pes[1].blocks = 0;
+    EXPECT_THROW(simulateSmvp(ch, simpleMachine()),
+                 quake::common::FatalError);
+}
+
 TEST(ModelAccuracy, PessimisticModelBoundedByBeta)
 {
     const ModelAccuracy acc =
