@@ -5,15 +5,23 @@
  * T3D and 14 ns on the T3E and stresses that sustained rates sit far
  * below peak (12% on the T3E); this harness produces the same
  * measurement for this host across the kernel formats and mesh classes.
+ *
+ * Besides the usual google-benchmark console output, the run writes
+ * BENCH_tf_kernels.json (see bench_util.h) so the measured T_f values
+ * can be diffed across commits alongside BENCH_smvp.json.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <map>
 #include <memory>
 
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "mesh/generator.h"
 #include "spark/kernels.h"
+#include "sparse/bcsr3_sym.h"
 
 namespace
 {
@@ -38,9 +46,17 @@ suiteFor(mesh::SfClass cls)
     return *it->second;
 }
 
+/** Records accumulated across all benchmarks for the JSON report. */
+std::vector<bench::BenchJsonRecord> &
+jsonRecords()
+{
+    static std::vector<bench::BenchJsonRecord> records;
+    return records;
+}
+
 void
-runKernelBench(benchmark::State &state, mesh::SfClass cls,
-               spark::Kernel kernel)
+runKernelBench(benchmark::State &state, const std::string &label,
+               mesh::SfClass cls, spark::Kernel kernel)
 {
     const spark::KernelSuite &suite = suiteFor(cls);
     std::vector<double> x(static_cast<std::size_t>(suite.dof()));
@@ -49,7 +65,10 @@ runKernelBench(benchmark::State &state, mesh::SfClass cls,
         v = rng.uniform(-1, 1);
     std::vector<double> y(x.size());
 
+    std::int64_t iters = 0;
+    double seconds = 0.0;
     for (auto _ : state) {
+        const auto t0 = std::chrono::steady_clock::now();
         switch (kernel) {
           case spark::Kernel::kCsr:
             sparse::smvpCsr(suite.csr(), x.data(), y.data());
@@ -60,9 +79,23 @@ runKernelBench(benchmark::State &state, mesh::SfClass cls,
           case spark::Kernel::kSym:
             sparse::smvpSym(suite.sym(), x.data(), y.data());
             break;
+          case spark::Kernel::kSymBcsr3:
+            suite.symBcsr().multiply(x.data(), y.data());
+            break;
+          case spark::Kernel::kThreaded:
+          case spark::Kernel::kSymBcsr3Mt:
+            // Pool-backed kernels go through the suite (which owns the
+            // persistent worker pool and the padded scratch slabs).
+            y = suite.run(kernel, x);
+            break;
         }
         benchmark::DoNotOptimize(y.data());
         benchmark::ClobberMemory();
+        seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        ++iters;
     }
 
     // The paper's F = 2m flops per SMVP, regardless of storage format.
@@ -72,27 +105,59 @@ runKernelBench(benchmark::State &state, mesh::SfClass cls,
     state.counters["flops_per_smvp"] = flops;
     state.counters["FLOPS"] = benchmark::Counter(
         flops, benchmark::Counter::kIsIterationInvariantRate);
+
+    if (iters > 0) {
+        const double per_smvp = seconds / static_cast<double>(iters);
+        bench::BenchJsonRecord rec;
+        rec.kernel = label;
+        rec.rows = suite.dof();
+        rec.nnz = suite.nnz();
+        rec.secondsPerSmvp = per_smvp;
+        rec.gflops = flops / per_smvp / 1e9;
+        rec.tfNs = per_smvp / flops * 1e9;
+
+        // google-benchmark invokes the function several times while
+        // calibrating the iteration count; keep only the final (longest,
+        // most reliable) run for each benchmark label.
+        auto &records = jsonRecords();
+        for (bench::BenchJsonRecord &existing : records) {
+            if (existing.kernel == label) {
+                existing = std::move(rec);
+                return;
+            }
+        }
+        records.push_back(std::move(rec));
+    }
 }
 
 } // namespace
 
-BENCHMARK_CAPTURE(runKernelBench, sf20_csr, mesh::SfClass::kSf20,
-                  spark::Kernel::kCsr);
-BENCHMARK_CAPTURE(runKernelBench, sf20_bcsr3, mesh::SfClass::kSf20,
-                  spark::Kernel::kBcsr3);
-BENCHMARK_CAPTURE(runKernelBench, sf20_sym, mesh::SfClass::kSf20,
-                  spark::Kernel::kSym);
-BENCHMARK_CAPTURE(runKernelBench, sf10_csr, mesh::SfClass::kSf10,
-                  spark::Kernel::kCsr);
-BENCHMARK_CAPTURE(runKernelBench, sf10_bcsr3, mesh::SfClass::kSf10,
-                  spark::Kernel::kBcsr3);
-BENCHMARK_CAPTURE(runKernelBench, sf10_sym, mesh::SfClass::kSf10,
-                  spark::Kernel::kSym);
-BENCHMARK_CAPTURE(runKernelBench, sf5_csr, mesh::SfClass::kSf5,
-                  spark::Kernel::kCsr);
-BENCHMARK_CAPTURE(runKernelBench, sf5_bcsr3, mesh::SfClass::kSf5,
-                  spark::Kernel::kBcsr3);
-BENCHMARK_CAPTURE(runKernelBench, sf5_sym, mesh::SfClass::kSf5,
-                  spark::Kernel::kSym);
+#define QUAKE_TF_BENCH(tag, cls, kernel)                                  \
+    BENCHMARK_CAPTURE(runKernelBench, tag, #tag, mesh::SfClass::cls,      \
+                      spark::Kernel::kernel)
 
-BENCHMARK_MAIN();
+QUAKE_TF_BENCH(sf20_csr, kSf20, kCsr);
+QUAKE_TF_BENCH(sf20_bcsr3, kSf20, kBcsr3);
+QUAKE_TF_BENCH(sf20_sym, kSf20, kSym);
+QUAKE_TF_BENCH(sf20_bcsr3sym, kSf20, kSymBcsr3);
+QUAKE_TF_BENCH(sf10_csr, kSf10, kCsr);
+QUAKE_TF_BENCH(sf10_bcsr3, kSf10, kBcsr3);
+QUAKE_TF_BENCH(sf10_sym, kSf10, kSym);
+QUAKE_TF_BENCH(sf10_bcsr3sym, kSf10, kSymBcsr3);
+QUAKE_TF_BENCH(sf10_bcsr3sym_mt, kSf10, kSymBcsr3Mt);
+QUAKE_TF_BENCH(sf5_csr, kSf5, kCsr);
+QUAKE_TF_BENCH(sf5_bcsr3, kSf5, kBcsr3);
+QUAKE_TF_BENCH(sf5_sym, kSf5, kSym);
+QUAKE_TF_BENCH(sf5_bcsr3sym, kSf5, kSymBcsr3);
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    bench::writeBenchJson("tf_kernels", jsonRecords());
+    return 0;
+}

@@ -29,6 +29,21 @@ requirementSweep(const SmvpShape &shape,
     return rows;
 }
 
+std::vector<OperatingPoint>
+gridFromMeasuredTf(double tf_seconds,
+                   const std::vector<double> &efficiencies)
+{
+    QUAKE_EXPECT(tf_seconds > 0, "measured T_f must be positive");
+    std::vector<OperatingPoint> grid;
+    grid.reserve(efficiencies.size());
+    for (double e : efficiencies) {
+        QUAKE_EXPECT(e > 0 && e < 1,
+                     "target efficiency must be in (0, 1)");
+        grid.push_back(OperatingPoint{1.0 / (tf_seconds * 1e6), e});
+    }
+    return grid;
+}
+
 std::vector<TradeoffPoint>
 tradeoffCurve(const SmvpShape &shape, double tc_target, double bw_min_bytes,
               double bw_max_bytes, int num_points)

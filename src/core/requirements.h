@@ -38,6 +38,19 @@ std::vector<RequirementRow> requirementSweep(
     const SmvpShape &shape, const std::vector<OperatingPoint> &grid,
     std::int64_t bisection_words = 0);
 
+/**
+ * An operating-point grid pinned to a host-measured per-flop time
+ * (the SMVP autotuner's winner) instead of a datasheet MFLOPS
+ * assumption, one point per target efficiency.  This is how the
+ * Figure 9/10 requirement targets are derived from the kernel that
+ * actually runs, per §3.1's insistence that T_f is measured.
+ *
+ * @param tf_seconds   Measured seconds per flop (> 0).
+ * @param efficiencies Target efficiencies, each in (0, 1).
+ */
+std::vector<OperatingPoint> gridFromMeasuredTf(
+    double tf_seconds, const std::vector<double> &efficiencies);
+
 /** One point on a Figure 10 curve. */
 struct TradeoffPoint
 {

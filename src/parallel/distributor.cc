@@ -35,13 +35,18 @@ buildSubdomains(const mesh::TetMesh &mesh,
     for (mesh::TetId t = 0; t < mesh.numElements(); ++t)
         subdomains[partition.elementPart[t]].elements.push_back(t);
 
-    // Lowest part touching each node, for ownership assignment.
+    // Lowest and highest part touching each node: the lowest assigns
+    // ownership, and min != max identifies shared (boundary) nodes.
     std::vector<partition::PartId> min_part(
         static_cast<std::size_t>(mesh.numNodes()), num_parts);
+    std::vector<partition::PartId> max_part(
+        static_cast<std::size_t>(mesh.numNodes()), -1);
     for (mesh::TetId t = 0; t < mesh.numElements(); ++t) {
         const partition::PartId p = partition.elementPart[t];
-        for (mesh::NodeId v : mesh.tet(t).v)
+        for (mesh::NodeId v : mesh.tet(t).v) {
             min_part[v] = std::min(min_part[v], p);
+            max_part[v] = std::max(max_part[v], p);
+        }
     }
 
     for (Subdomain &sub : subdomains) {
@@ -73,6 +78,17 @@ buildSubdomains(const mesh::TetMesh &mesh,
         sub.ownsNode.resize(sub.globalNodes.size());
         for (std::size_t i = 0; i < sub.globalNodes.size(); ++i)
             sub.ownsNode[i] = (min_part[sub.globalNodes[i]] == sub.part);
+
+        // Boundary-first row split: a local node is boundary iff some
+        // other PE also touches it (it then appears in an exchange).
+        for (std::size_t i = 0; i < sub.globalNodes.size(); ++i) {
+            const mesh::NodeId g = sub.globalNodes[i];
+            if (min_part[g] != max_part[g])
+                sub.boundaryRows.push_back(
+                    static_cast<std::int64_t>(i));
+            else
+                sub.interiorRows.push_back(static_cast<std::int64_t>(i));
+        }
 
         if (model != nullptr)
             sub.stiffness =

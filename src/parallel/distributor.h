@@ -57,6 +57,19 @@ struct Subdomain
      */
     sparse::Bcsr3Matrix stiffness;
 
+    /**
+     * Local ids of boundary nodes — nodes replicated on at least one
+     * other PE, i.e. exactly the nodes that appear in this PE's
+     * exchanges — sorted ascending.  The SMVP engine computes these
+     * block rows first so message buffers can be published while the
+     * interior rows below are still being computed (the paper's
+     * communication/computation overlap, footnote 1).
+     */
+    std::vector<std::int64_t> boundaryRows;
+
+    /** Local ids of the remaining (interior) nodes, sorted ascending. */
+    std::vector<std::int64_t> interiorRows;
+
     /** Local id of a global node; panics when absent. */
     std::int64_t localNodeOf(mesh::NodeId global_node) const;
 

@@ -1,7 +1,6 @@
 #include "parallel/parallel_smvp.h"
 
 #include <algorithm>
-#include <barrier>
 #include <thread>
 
 #include "common/error.h"
@@ -10,18 +9,21 @@ namespace quake::parallel
 {
 
 ParallelSmvp::ParallelSmvp(const DistributedProblem &problem,
-                           int num_threads)
-    : problem_(problem)
+                           int num_threads, ExchangeMode mode)
+    : problem_(problem),
+      num_threads_([&] {
+          QUAKE_EXPECT(!problem.subdomains.empty(),
+                       "problem has no subdomains");
+          int n = num_threads > 0 ? num_threads
+                                  : WorkerPool::hardwareThreads();
+          return std::min(n, problem.numPes());
+      }()),
+      mode_(mode), pool_(num_threads_)
 {
-    QUAKE_EXPECT(!problem.subdomains.empty(), "problem has no subdomains");
     for (const Subdomain &sub : problem.subdomains)
         QUAKE_EXPECT(sub.stiffness.numBlockRows() > 0,
                      "subdomain " << sub.part
                                   << " has no assembled stiffness");
-
-    const int hw = static_cast<int>(std::thread::hardware_concurrency());
-    num_threads_ = num_threads > 0 ? num_threads : std::max(1, hw);
-    num_threads_ = std::min(num_threads_, problem.numPes());
 
     // Precompute exchange bookkeeping.
     const int p = problem.numPes();
@@ -49,6 +51,8 @@ ParallelSmvp::ParallelSmvp(const DistributedProblem &problem,
                 [](const Exchange &e, int part) { return e.peer < part; });
             QUAKE_REQUIRE(it != peer_list.end() && it->peer == i,
                           "unmirrored exchange");
+            QUAKE_REQUIRE(it->nodes.size() == ex.nodes.size(),
+                          "message size mismatch");
             mirror_index_[i][k] = it - peer_list.begin();
 
             // Local node ids of the shared nodes on this PE.
@@ -61,6 +65,120 @@ ParallelSmvp::ParallelSmvp(const DistributedProblem &problem,
                 locals.push_back(sub.localNodeOf(g));
         }
     }
+
+    // Persistent scratch: local vectors, message buffers, publish flags.
+    x_local_.resize(static_cast<std::size_t>(p));
+    y_local_.resize(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) {
+        const std::size_t n = static_cast<std::size_t>(
+            3 * problem.subdomains[i].numLocalNodes());
+        x_local_[i].assign(n, 0.0);
+        y_local_[i].assign(n, 0.0);
+    }
+    buffers_.resize(static_cast<std::size_t>(exchange_base_[p]));
+    for (std::size_t e = 0; e < buffers_.size(); ++e)
+        buffers_[e].assign(3 * exchange_local_nodes_[e].size(), 0.0);
+    published_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+        static_cast<std::size_t>(exchange_base_[p]));
+    for (std::int64_t e = 0; e < exchange_base_[p]; ++e)
+        published_[e].store(0, std::memory_order_relaxed);
+}
+
+void
+ParallelSmvp::runLocalPhase(const std::vector<double> &x, int tid,
+                            bool publish_early) const
+{
+    const int p = problem_.numPes();
+
+    // Boundary rows first, message buffers published, then interior.
+    // When publish_early is set, peers may start consuming a buffer the
+    // moment its release-store lands — while this thread is still in
+    // the interior sweep below.
+    for (int i = tid; i < p; i += num_threads_) {
+        const Subdomain &sub = problem_.subdomains[i];
+        const std::int64_t nl = sub.numLocalNodes();
+
+        std::vector<double> &xl = x_local_[i];
+        for (std::int64_t v = 0; v < nl; ++v) {
+            const std::int64_t g = sub.globalNodes[v];
+            xl[3 * v + 0] = x[3 * g + 0];
+            xl[3 * v + 1] = x[3 * g + 1];
+            xl[3 * v + 2] = x[3 * g + 2];
+        }
+
+        std::vector<double> &yl = y_local_[i];
+        sub.stiffness.multiplyRowList(
+            xl.data(), yl.data(), sub.boundaryRows.data(),
+            static_cast<std::int64_t>(sub.boundaryRows.size()));
+
+        const PeSchedule &pe = problem_.schedule.pe(i);
+        for (std::size_t k = 0; k < pe.exchanges.size(); ++k) {
+            const std::int64_t flat =
+                exchange_base_[i] + static_cast<std::int64_t>(k);
+            const std::vector<std::int64_t> &locals =
+                exchange_local_nodes_[flat];
+            std::vector<double> &buf = buffers_[flat];
+            for (std::size_t s = 0; s < locals.size(); ++s) {
+                buf[3 * s + 0] = yl[3 * locals[s] + 0];
+                buf[3 * s + 1] = yl[3 * locals[s] + 1];
+                buf[3 * s + 2] = yl[3 * locals[s] + 2];
+            }
+            if (publish_early)
+                published_[flat].store(epoch_,
+                                       std::memory_order_release);
+        }
+    }
+
+    for (int i = tid; i < p; i += num_threads_) {
+        const Subdomain &sub = problem_.subdomains[i];
+        sub.stiffness.multiplyRowList(
+            x_local_[i].data(), y_local_[i].data(),
+            sub.interiorRows.data(),
+            static_cast<std::int64_t>(sub.interiorRows.size()));
+    }
+}
+
+void
+ParallelSmvp::runExchangePhase(std::vector<double> &y, int tid,
+                               bool wait_for_publish) const
+{
+    const int p = problem_.numPes();
+    for (int i = tid; i < p; i += num_threads_) {
+        const Subdomain &sub = problem_.subdomains[i];
+        std::vector<double> &yl = y_local_[i];
+        const PeSchedule &pe = problem_.schedule.pe(i);
+
+        // Ascending peer order — the determinism guarantee.  Arrival
+        // timing never changes the sum order, only how long we wait.
+        for (std::size_t k = 0; k < pe.exchanges.size(); ++k) {
+            const Exchange &ex = pe.exchanges[k];
+            const std::int64_t peer_flat =
+                exchange_base_[ex.peer] + mirror_index_[i][k];
+            if (wait_for_publish) {
+                while (published_[peer_flat].load(
+                           std::memory_order_acquire) != epoch_)
+                    std::this_thread::yield();
+            }
+            const std::vector<double> &buf = buffers_[peer_flat];
+            const std::vector<std::int64_t> &locals =
+                exchange_local_nodes_[exchange_base_[i] +
+                                      static_cast<std::int64_t>(k)];
+            for (std::size_t s = 0; s < locals.size(); ++s) {
+                yl[3 * locals[s] + 0] += buf[3 * s + 0];
+                yl[3 * locals[s] + 1] += buf[3 * s + 1];
+                yl[3 * locals[s] + 2] += buf[3 * s + 2];
+            }
+        }
+
+        for (std::int64_t v = 0; v < sub.numLocalNodes(); ++v) {
+            if (!sub.ownsNode[v])
+                continue;
+            const std::int64_t g = sub.globalNodes[v];
+            y[3 * g + 0] = yl[3 * v + 0];
+            y[3 * g + 1] = yl[3 * v + 1];
+            y[3 * g + 2] = yl[3 * v + 2];
+        }
+    }
 }
 
 std::vector<double>
@@ -70,92 +188,24 @@ ParallelSmvp::multiply(const std::vector<double> &x) const
     QUAKE_EXPECT(static_cast<std::int64_t>(x.size()) == dof,
                  "x has " << x.size() << " entries, expected " << dof);
 
-    const int p = problem_.numPes();
     std::vector<double> y(static_cast<std::size_t>(dof), 0.0);
+    ++epoch_;
 
-    // Per-PE local result vectors and per-exchange message buffers.
-    std::vector<std::vector<double>> y_local(static_cast<std::size_t>(p));
-    std::vector<std::vector<double>> buffers(
-        static_cast<std::size_t>(exchange_base_[p]));
-
-    std::barrier sync(num_threads_);
-
-    auto worker = [&](int tid) {
-        // --- Phase 1: local SMVP + send-buffer fill. ---
-        for (int i = tid; i < p; i += num_threads_) {
-            const Subdomain &sub = problem_.subdomains[i];
-            const std::int64_t nl = sub.numLocalNodes();
-
-            std::vector<double> x_local(
-                static_cast<std::size_t>(3 * nl));
-            for (std::int64_t v = 0; v < nl; ++v) {
-                const std::int64_t g = sub.globalNodes[v];
-                x_local[3 * v + 0] = x[3 * g + 0];
-                x_local[3 * v + 1] = x[3 * g + 1];
-                x_local[3 * v + 2] = x[3 * g + 2];
-            }
-
-            std::vector<double> &yl = y_local[i];
-            yl.assign(static_cast<std::size_t>(3 * nl), 0.0);
-            sub.stiffness.multiply(x_local.data(), yl.data());
-
-            const PeSchedule &pe = problem_.schedule.pe(i);
-            for (std::size_t k = 0; k < pe.exchanges.size(); ++k) {
-                const std::vector<std::int64_t> &locals =
-                    exchange_local_nodes_[exchange_base_[i] +
-                                          static_cast<std::int64_t>(k)];
-                std::vector<double> &buf =
-                    buffers[exchange_base_[i] +
-                            static_cast<std::int64_t>(k)];
-                buf.resize(3 * locals.size());
-                for (std::size_t s = 0; s < locals.size(); ++s) {
-                    buf[3 * s + 0] = yl[3 * locals[s] + 0];
-                    buf[3 * s + 1] = yl[3 * locals[s] + 1];
-                    buf[3 * s + 2] = yl[3 * locals[s] + 2];
-                }
-            }
-        }
-
-        sync.arrive_and_wait();
-
-        // --- Phase 2: receive + sum, then owner write-back. ---
-        for (int i = tid; i < p; i += num_threads_) {
-            const Subdomain &sub = problem_.subdomains[i];
-            std::vector<double> &yl = y_local[i];
-            const PeSchedule &pe = problem_.schedule.pe(i);
-            for (std::size_t k = 0; k < pe.exchanges.size(); ++k) {
-                const Exchange &ex = pe.exchanges[k];
-                const std::vector<double> &buf =
-                    buffers[exchange_base_[ex.peer] + mirror_index_[i][k]];
-                const std::vector<std::int64_t> &locals =
-                    exchange_local_nodes_[exchange_base_[i] +
-                                          static_cast<std::int64_t>(k)];
-                QUAKE_REQUIRE(buf.size() == 3 * locals.size(),
-                              "message size mismatch");
-                for (std::size_t s = 0; s < locals.size(); ++s) {
-                    yl[3 * locals[s] + 0] += buf[3 * s + 0];
-                    yl[3 * locals[s] + 1] += buf[3 * s + 1];
-                    yl[3 * locals[s] + 2] += buf[3 * s + 2];
-                }
-            }
-
-            for (std::int64_t v = 0; v < sub.numLocalNodes(); ++v) {
-                if (!sub.ownsNode[v])
-                    continue;
-                const std::int64_t g = sub.globalNodes[v];
-                y[3 * g + 0] = yl[3 * v + 0];
-                y[3 * g + 1] = yl[3 * v + 1];
-                y[3 * g + 2] = yl[3 * v + 2];
-            }
-        }
-    };
-
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(num_threads_));
-    for (int t = 0; t < num_threads_; ++t)
-        threads.emplace_back(worker, t);
-    for (std::thread &t : threads)
-        t.join();
+    if (mode_ == ExchangeMode::kOverlapped) {
+        // One fork/join: each worker publishes its boundary buffers,
+        // overlaps its interior rows with the peers' publishes, then
+        // spin-waits (with yield) only for buffers not yet ready.
+        pool_.run([&](int tid) {
+            runLocalPhase(x, tid, /*publish_early=*/true);
+            runExchangePhase(y, tid, /*wait_for_publish=*/true);
+        });
+    } else {
+        // Two fork/joins: the pool's join is the BSP barrier.
+        pool_.run(
+            [&](int tid) { runLocalPhase(x, tid, false); });
+        pool_.run(
+            [&](int tid) { runExchangePhase(y, tid, false); });
+    }
     return y;
 }
 

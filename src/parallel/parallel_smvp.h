@@ -1,26 +1,47 @@
 /**
  * @file
- * Executable parallel SMVP (paper §2.3): the two-phase BSP kernel that
- * the whole analysis models.  Each logical PE runs a local SMVP over its
- * subdomain, writes its partial y values for each pairwise exchange into
- * a message buffer, and after a barrier sums the mirrored buffers from
- * its peers — exactly the "exchange and sum" the paper describes.
+ * Executable parallel SMVP engine (paper §2.3): the two-phase BSP kernel
+ * that the whole analysis models.  Each logical PE runs a local SMVP
+ * over its subdomain, writes its partial y values for each pairwise
+ * exchange into a message buffer, and sums the mirrored buffers from its
+ * peers — exactly the "exchange and sum" the paper describes.
  *
- * Logical PEs are multiplexed onto std::thread workers, so 128-subdomain
- * problems run on any host.  The result is bitwise deterministic: each
- * PE sums peer contributions in ascending peer order.
+ * This is an *engine*, built for the thousands-of-timesteps inner loop:
+ *
+ *  - Logical PEs are multiplexed onto a persistent WorkerPool created
+ *    once per engine lifetime; no threads are spawned per multiply.
+ *  - Message buffers and local vectors are allocated once and reused.
+ *  - In ExchangeMode::kOverlapped (the default), each PE computes its
+ *    boundary rows first and publishes its message buffers early, then
+ *    computes its interior rows while peers' contributions are in
+ *    flight — the paper's footnote-1 overlap, realized in execution
+ *    rather than only in the analytic model.
+ *
+ * The result is bitwise deterministic and independent of thread count
+ * and overlap mode: every row is computed by the same unrolled kernel,
+ * and each PE sums peer contributions in ascending peer order.
  */
 
 #ifndef QUAKE98_PARALLEL_PARALLEL_SMVP_H_
 #define QUAKE98_PARALLEL_PARALLEL_SMVP_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "parallel/distributor.h"
+#include "parallel/worker_pool.h"
 
 namespace quake::parallel
 {
+
+/** How the engine schedules the exchange against the local compute. */
+enum class ExchangeMode
+{
+    kBarrier,    ///< compute everything, barrier, then receive + sum
+    kOverlapped, ///< publish boundary results early, overlap interior
+};
 
 /** Executes global SMVPs y = Kx over a distributed problem. */
 class ParallelSmvp
@@ -28,25 +49,34 @@ class ParallelSmvp
   public:
     /**
      * @param problem     Distributed problem; must have assembled
-     *                    stiffness matrices.
+     *                    stiffness matrices.  Must outlive the engine.
      * @param num_threads Worker threads; 0 means hardware concurrency.
+     * @param mode        Exchange scheduling (result is identical).
      */
     explicit ParallelSmvp(const DistributedProblem &problem,
-                          int num_threads = 0);
+                          int num_threads = 0,
+                          ExchangeMode mode = ExchangeMode::kOverlapped);
 
     /**
      * Compute y = K x on global vectors of length 3 * numGlobalNodes.
      * x must be consistent (a single value per global node); y is the
      * exact global product, each entry written by its owning PE.
+     *
+     * Reuses the engine's persistent pool and scratch buffers, so a
+     * given engine must not run two multiplies concurrently.
      */
     std::vector<double> multiply(const std::vector<double> &x) const;
 
     /** Number of worker threads used. */
     int numThreads() const { return num_threads_; }
 
+    /** Exchange scheduling mode. */
+    ExchangeMode mode() const { return mode_; }
+
   private:
     const DistributedProblem &problem_;
     int num_threads_;
+    ExchangeMode mode_;
 
     /**
      * For subdomain p, exchange k: index of the mirrored exchange in the
@@ -59,6 +89,23 @@ class ParallelSmvp
 
     /** Local ids (per subdomain) of each exchange's shared nodes. */
     std::vector<std::vector<std::int64_t>> exchange_local_nodes_;
+
+    // Persistent engine state, reused across multiplies.  Mutable so
+    // multiply() stays const for callers; the engine is documented as
+    // non-reentrant.
+    mutable WorkerPool pool_;
+    mutable std::vector<std::vector<double>> x_local_;
+    mutable std::vector<std::vector<double>> y_local_;
+    mutable std::vector<std::vector<double>> buffers_;
+
+    /** Per-exchange publish flag: holds the epoch whose data is ready. */
+    mutable std::unique_ptr<std::atomic<std::uint64_t>[]> published_;
+    mutable std::uint64_t epoch_ = 0;
+
+    void runLocalPhase(const std::vector<double> &x, int tid,
+                       bool publish_early) const;
+    void runExchangePhase(std::vector<double> &y, int tid,
+                          bool wait_for_publish) const;
 };
 
 } // namespace quake::parallel

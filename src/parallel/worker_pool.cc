@@ -1,0 +1,81 @@
+#include "parallel/worker_pool.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace quake::parallel
+{
+
+int
+WorkerPool::hardwareThreads()
+{
+    return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+WorkerPool::WorkerPool(int num_threads)
+{
+    QUAKE_EXPECT(num_threads >= 0, "thread count must be nonnegative");
+    size_ = num_threads > 0 ? num_threads : hardwareThreads();
+    if (size_ == 1)
+        return; // run() executes inline; no workers needed
+    threads_.reserve(static_cast<std::size_t>(size_));
+    for (int t = 0; t < size_; ++t)
+        threads_.emplace_back(&WorkerPool::workerLoop, this, t);
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+WorkerPool::workerLoop(int tid)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(int)> *task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_start_.wait(lock,
+                           [&] { return stop_ || epoch_ != seen; });
+            if (stop_)
+                return;
+            seen = epoch_;
+            task = task_;
+        }
+        (*task)(tid);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--remaining_ == 0)
+                cv_done_.notify_all();
+        }
+    }
+}
+
+void
+WorkerPool::run(const std::function<void(int)> &fn)
+{
+    if (size_ == 1) {
+        fn(0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        task_ = &fn;
+        remaining_ = size_;
+        ++epoch_;
+    }
+    cv_start_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+    task_ = nullptr;
+}
+
+} // namespace quake::parallel

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A persistent worker-thread pool for the executable SMVP engine.
+ *
+ * The Quake inner loop runs thousands of timesteps, each dominated by
+ * one SMVP (paper §2.2); spawning and joining std::threads per multiply
+ * costs more than the multiply itself on small subdomains.  The pool is
+ * created once per engine lifetime and reused: workers sleep on a
+ * condition variable between multiplies, so the steady-state dispatch
+ * cost is one wake/notify round trip instead of num_threads clone()s.
+ */
+
+#ifndef QUAKE98_PARALLEL_WORKER_POOL_H_
+#define QUAKE98_PARALLEL_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace quake::parallel
+{
+
+/**
+ * A fixed-size pool of persistent worker threads executing fork/join
+ * tasks.  run(fn) invokes fn(tid) once per worker (tid in [0, size()))
+ * and blocks until every invocation returns — the same structure as
+ * spawning size() threads, without the per-call thread creation.
+ *
+ * Tasks must not throw: an exception escaping a worker terminates the
+ * process (as it would from a plain std::thread).  run() itself is not
+ * reentrant — one fork/join at a time per pool.
+ */
+class WorkerPool
+{
+  public:
+    /** @param num_threads Workers; 0 means hardware concurrency. */
+    explicit WorkerPool(int num_threads = 0);
+
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Number of workers (>= 1). */
+    int size() const { return size_; }
+
+    /**
+     * Execute fn(tid) for every tid in [0, size()); returns when all
+     * invocations have finished.  With size() == 1 the call runs inline
+     * on the caller's thread (no workers exist).
+     */
+    void run(const std::function<void(int)> &fn);
+
+    /** Hardware concurrency, clamped to at least 1. */
+    static int hardwareThreads();
+
+  private:
+    void workerLoop(int tid);
+
+    int size_ = 1;
+    std::vector<std::thread> threads_;
+
+    std::mutex mu_;
+    std::condition_variable cv_start_;
+    std::condition_variable cv_done_;
+    const std::function<void(int)> *task_ = nullptr;
+    std::uint64_t epoch_ = 0; ///< bumped once per run(); workers track it
+    int remaining_ = 0;       ///< workers still inside the current task
+    bool stop_ = false;
+};
+
+} // namespace quake::parallel
+
+#endif // QUAKE98_PARALLEL_WORKER_POOL_H_

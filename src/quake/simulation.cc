@@ -42,7 +42,10 @@ runSimulation(const mesh::TetMesh &mesh, const mesh::SoilModel &model,
                                  partitioner.partition(mesh,
                                                        config.numPes),
                                  config.poisson));
-        psmvp = std::make_shared<parallel::ParallelSmvp>(*problem);
+        psmvp = std::make_shared<parallel::ParallelSmvp>(
+            *problem, config.smvpThreads,
+            config.overlapSmvp ? parallel::ExchangeMode::kOverlapped
+                               : parallel::ExchangeMode::kBarrier);
         smvp = [psmvp](const std::vector<double> &x,
                        std::vector<double> &y) {
             y = psmvp->multiply(x);

@@ -44,6 +44,19 @@ struct SimulationConfig
      */
     int numPes = 1;
 
+    /**
+     * Worker threads for the distributed SMVP engine; 0 = hardware
+     * concurrency (capped at numPes).  Ignored when numPes == 1.
+     */
+    int smvpThreads = 0;
+
+    /**
+     * Overlap the interior-row compute with the boundary exchange
+     * (ExchangeMode::kOverlapped).  The result is bitwise identical
+     * either way; this only changes scheduling.
+     */
+    bool overlapSmvp = true;
+
     /** Source description. */
     mesh::Vec3 hypocenter{25.0, 25.0, 8.0}; ///< under the basin
     mesh::Vec3 sourceDirection{0.0, 0.0, 1.0};

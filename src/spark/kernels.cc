@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
-#include <thread>
+#include <cstring>
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -10,6 +10,45 @@
 
 namespace quake::spark
 {
+
+namespace
+{
+
+/** Doubles per 64-byte cache line, for padding accumulator slabs. */
+constexpr std::int64_t kDoublesPerCacheLine = 8;
+
+/** Round n up to a whole number of cache lines. */
+std::int64_t
+padToCacheLine(std::int64_t n)
+{
+    return (n + kDoublesPerCacheLine - 1) / kDoublesPerCacheLine *
+           kDoublesPerCacheLine;
+}
+
+/**
+ * nnz-balanced block-row cuts for `chunks` workers: chunk c covers the
+ * block rows whose xadj crosses c/chunks of the total block count.
+ */
+std::vector<std::int64_t>
+balancedRowCuts(const std::vector<std::int64_t> &xadj,
+                std::int64_t num_rows, int chunks)
+{
+    const std::int64_t total = num_rows > 0 ? xadj[num_rows] : 0;
+    std::vector<std::int64_t> cut(static_cast<std::size_t>(chunks) + 1);
+    cut[0] = 0;
+    for (int c = 1; c < chunks; ++c) {
+        const std::int64_t target = total * c / chunks;
+        cut[c] = std::lower_bound(xadj.begin(),
+                                  xadj.begin() + num_rows + 1, target) -
+                 xadj.begin();
+        cut[c] = std::min<std::int64_t>(cut[c], num_rows);
+        cut[c] = std::max(cut[c], cut[c - 1]);
+    }
+    cut[chunks] = num_rows;
+    return cut;
+}
+
+} // namespace
 
 std::string
 kernelName(Kernel kernel)
@@ -19,55 +58,84 @@ kernelName(Kernel kernel)
       case Kernel::kBcsr3: return "smv-bcsr3";
       case Kernel::kSym: return "smv-sym";
       case Kernel::kThreaded: return "smv-threaded";
+      case Kernel::kSymBcsr3: return "smv-bcsr3sym";
+      case Kernel::kSymBcsr3Mt: return "smv-bcsr3sym-mt";
     }
     QUAKE_PANIC("unknown kernel");
 }
 
 void
 smvpThreaded(const sparse::Bcsr3Matrix &a, const double *x, double *y,
-             int num_threads)
+             parallel::WorkerPool &pool)
 {
-    const int hw = static_cast<int>(std::thread::hardware_concurrency());
-    int threads = num_threads > 0 ? num_threads : std::max(1, hw);
-    threads = static_cast<int>(std::min<std::int64_t>(
-        threads, std::max<std::int64_t>(1, a.numBlockRows())));
-    if (threads == 1) {
+    if (pool.size() == 1 || a.numBlockRows() < 2) {
         a.multiply(x, y);
         return;
     }
+    const std::vector<std::int64_t> cut =
+        balancedRowCuts(a.xadj(), a.numBlockRows(), pool.size());
+    pool.run([&](int tid) {
+        a.multiplyRows(x, y, cut[tid], cut[tid + 1]);
+    });
+}
 
-    // nnz-balanced row chunks: chunk c covers block rows whose xadj
-    // crosses c/threads of the total block count.
-    const std::int64_t total_blocks = a.numBlocks();
-    std::vector<std::int64_t> cut(static_cast<std::size_t>(threads) + 1);
-    cut[0] = 0;
-    for (int c = 1; c < threads; ++c) {
-        const std::int64_t target = total_blocks * c / threads;
-        cut[c] = std::lower_bound(a.xadj().begin(), a.xadj().end(),
-                                  target) -
-                 a.xadj().begin();
-        cut[c] = std::min<std::int64_t>(cut[c], a.numBlockRows());
-        cut[c] = std::max(cut[c], cut[c - 1]);
+void
+smvpSymBcsr3Threaded(const sparse::SymBcsr3Matrix &a, const double *x,
+                     double *y, parallel::WorkerPool &pool,
+                     std::vector<double> &scratch)
+{
+    if (pool.size() == 1 || a.numBlockRows() < 2) {
+        a.multiply(x, y);
+        return;
     }
-    cut[threads] = a.numBlockRows();
+    const int workers = pool.size();
+    const std::int64_t n = a.numRows();
 
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<std::size_t>(threads));
-    for (int c = 0; c < threads; ++c) {
-        workers.emplace_back([&a, x, y, lo = cut[c], hi = cut[c + 1]] {
-            a.multiplyRows(x, y, lo, hi);
-        });
-    }
-    for (std::thread &t : workers)
-        t.join();
+    // One padded slab per worker so adjacent slabs never share a cache
+    // line — the symmetric scatter writes all over its slab, and false
+    // sharing between workers would serialize exactly the hot path.
+    const std::int64_t slab = padToCacheLine(n);
+    scratch.assign(static_cast<std::size_t>(slab) * workers, 0.0);
+
+    const std::vector<std::int64_t> cut =
+        balancedRowCuts(a.xadj(), a.numBlockRows(), workers);
+    pool.run([&](int tid) {
+        a.multiplyRowsScatter(x, scratch.data() + slab * tid, cut[tid],
+                              cut[tid + 1]);
+    });
+
+    // Deterministic reduction: y[j] = sum over workers in ascending tid
+    // order, each reducer owning a disjoint range of j.
+    const std::int64_t per =
+        (n + workers - 1) / workers;
+    pool.run([&](int tid) {
+        const std::int64_t lo = std::min<std::int64_t>(tid * per, n);
+        const std::int64_t hi =
+            std::min<std::int64_t>(lo + per, n);
+        for (std::int64_t j = lo; j < hi; ++j) {
+            double acc = 0.0;
+            for (int w = 0; w < workers; ++w)
+                acc += scratch[slab * w + j];
+            y[j] = acc;
+        }
+    });
 }
 
 KernelSuite::KernelSuite(const mesh::TetMesh &mesh,
                          const mesh::SoilModel &model, double poisson)
     : bcsr_(sparse::assembleStiffness(mesh, model, poisson)),
       csr_(bcsr_.toCsr()),
-      sym_(sparse::SymCsrMatrix::fromCsr(csr_, 1e-9))
+      sym_(sparse::SymCsrMatrix::fromCsr(csr_, 1e-9)),
+      sym_bcsr_(sparse::SymBcsr3Matrix::fromBcsr3(bcsr_, 1e-9))
 {
+}
+
+parallel::WorkerPool &
+KernelSuite::poolFor() const
+{
+    if (!pool_)
+        pool_ = std::make_unique<parallel::WorkerPool>(threads_);
+    return *pool_;
 }
 
 std::vector<double>
@@ -87,7 +155,14 @@ KernelSuite::run(Kernel kernel, const std::vector<double> &x) const
         sparse::smvpSym(sym_, x.data(), y.data());
         break;
       case Kernel::kThreaded:
-        smvpThreaded(bcsr_, x.data(), y.data(), threads_);
+        smvpThreaded(bcsr_, x.data(), y.data(), poolFor());
+        break;
+      case Kernel::kSymBcsr3:
+        sym_bcsr_.multiply(x.data(), y.data());
+        break;
+      case Kernel::kSymBcsr3Mt:
+        smvpSymBcsr3Threaded(sym_bcsr_, x.data(), y.data(), poolFor(),
+                             sym_scratch_);
         break;
     }
     return y;
@@ -98,6 +173,7 @@ KernelSuite::setThreads(int num_threads)
 {
     QUAKE_EXPECT(num_threads >= 0, "thread count must be nonnegative");
     threads_ = num_threads;
+    pool_.reset(); // rebuilt at the new size on the next threaded call
 }
 
 KernelTiming
@@ -123,7 +199,14 @@ KernelSuite::measure(Kernel kernel, int repetitions) const
             sparse::smvpSym(sym_, x.data(), y.data());
             break;
           case Kernel::kThreaded:
-            smvpThreaded(bcsr_, x.data(), y.data(), threads_);
+            smvpThreaded(bcsr_, x.data(), y.data(), poolFor());
+            break;
+          case Kernel::kSymBcsr3:
+            sym_bcsr_.multiply(x.data(), y.data());
+            break;
+          case Kernel::kSymBcsr3Mt:
+            smvpSymBcsr3Threaded(sym_bcsr_, x.data(), y.data(),
+                                 poolFor(), sym_scratch_);
             break;
         }
     };
@@ -144,6 +227,27 @@ KernelSuite::measure(Kernel kernel, int repetitions) const
     timing.tf = timing.secondsPerSmvp / static_cast<double>(timing.flops);
     timing.mflops = 1.0 / (timing.tf * 1e6);
     return timing;
+}
+
+AutotuneResult
+KernelSuite::autotune(int repetitions) const
+{
+    AutotuneResult result;
+    bool first = true;
+    for (Kernel kernel : kAllKernels) {
+        AutotuneEntry entry;
+        entry.kernel = kernel;
+        entry.timing = measure(kernel, repetitions);
+        if (first ||
+            entry.timing.secondsPerSmvp <
+                result.bestTiming.secondsPerSmvp) {
+            result.best = kernel;
+            result.bestTiming = entry.timing;
+            first = false;
+        }
+        result.entries.push_back(std::move(entry));
+    }
+    return result;
 }
 
 } // namespace quake::spark

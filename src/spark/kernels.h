@@ -1,21 +1,27 @@
 /**
  * @file
  * A Spark98-style SMVP kernel suite (paper postscript, ref [14]): the
- * same stiffness matrix in three storage formats with a measurement
+ * same stiffness matrix in several storage formats with a measurement
  * harness for the sustained per-flop time T_f.  The paper's §3.1 point
  * is that T_f is a *measured*, application-specific property (30 ns on
  * the T3D, 14 ns on the T3E — ~12% of peak); this suite is how such
- * numbers are obtained on any host.
+ * numbers are obtained on any host.  An autotuner measures every
+ * variant on the actual assembled matrix and reports the fastest, so
+ * the §4 requirement projections can be driven by the tuned kernel
+ * rather than a scalar baseline.
  */
 
 #ifndef QUAKE98_SPARK_KERNELS_H_
 #define QUAKE98_SPARK_KERNELS_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "mesh/soil_model.h"
 #include "mesh/tet_mesh.h"
+#include "parallel/worker_pool.h"
+#include "sparse/bcsr3_sym.h"
 #include "sparse/smvp.h"
 
 namespace quake::spark
@@ -24,18 +30,21 @@ namespace quake::spark
 /** The kernel variants in the suite. */
 enum class Kernel
 {
-    kCsr,      ///< scalar CSR ("smv")
-    kBcsr3,    ///< 3x3 block CSR ("smvb") — the natural Quake layout
-    kSym,      ///< symmetric half storage ("smvs")
-    kThreaded, ///< row-partitioned shared-memory BCSR ("smvt")
+    kCsr,       ///< scalar CSR ("smv")
+    kBcsr3,     ///< 3x3 block CSR ("smvb") — the natural Quake layout
+    kSym,       ///< scalar symmetric half storage ("smvs")
+    kThreaded,  ///< row-partitioned shared-memory BCSR ("smvt")
+    kSymBcsr3,  ///< register-blocked symmetric 3x3 BCSR
+    kSymBcsr3Mt, ///< threaded symmetric BCSR3, padded accumulators
 };
 
 /** Short name of a kernel. */
 std::string kernelName(Kernel kernel);
 
 /** All kernels, for iteration in tests and benches. */
-inline constexpr Kernel kAllKernels[] = {Kernel::kCsr, Kernel::kBcsr3,
-                                         Kernel::kSym, Kernel::kThreaded};
+inline constexpr Kernel kAllKernels[] = {
+    Kernel::kCsr,      Kernel::kBcsr3,    Kernel::kSym,
+    Kernel::kThreaded, Kernel::kSymBcsr3, Kernel::kSymBcsr3Mt};
 
 /** Measured sustained performance of one kernel. */
 struct KernelTiming
@@ -44,6 +53,21 @@ struct KernelTiming
     std::int64_t flops = 0;   ///< 2 per logical nonzero (paper's F)
     double tf = 0.0;          ///< seconds per flop
     double mflops = 0.0;      ///< sustained rate
+};
+
+/** One autotuner measurement. */
+struct AutotuneEntry
+{
+    Kernel kernel = Kernel::kCsr;
+    KernelTiming timing;
+};
+
+/** Autotuner verdict: the fastest kernel on this matrix, this host. */
+struct AutotuneResult
+{
+    Kernel best = Kernel::kCsr;
+    KernelTiming bestTiming;              ///< measured T_f of the winner
+    std::vector<AutotuneEntry> entries;   ///< every variant, in suite order
 };
 
 /** The suite: one matrix, all formats, plus a timing harness. */
@@ -73,29 +97,65 @@ class KernelSuite
      */
     KernelTiming measure(Kernel kernel, int repetitions) const;
 
+    /**
+     * Measure every kernel variant on the assembled matrix and return
+     * the fastest (ties broken by suite order).  This is how a host's
+     * honest T_f is obtained for the §4 requirement sweeps.
+     */
+    AutotuneResult autotune(int repetitions = 3) const;
+
     const sparse::Bcsr3Matrix &bcsr() const { return bcsr_; }
     const sparse::CsrMatrix &csr() const { return csr_; }
     const sparse::SymCsrMatrix &sym() const { return sym_; }
+    const sparse::SymBcsr3Matrix &symBcsr() const { return sym_bcsr_; }
 
-    /** Worker threads for Kernel::kThreaded (default: hardware). */
+    /**
+     * Worker threads for the threaded kernels (default: hardware).
+     * Setting a count discards the suite's persistent worker pool; the
+     * next threaded multiply creates one of the new size.
+     */
     void setThreads(int num_threads);
     int threads() const { return threads_; }
 
   private:
+    parallel::WorkerPool &poolFor() const;
+
     sparse::Bcsr3Matrix bcsr_;
     sparse::CsrMatrix csr_;
     sparse::SymCsrMatrix sym_;
+    sparse::SymBcsr3Matrix sym_bcsr_;
     int threads_ = 0; ///< 0 = hardware concurrency
+
+    // Persistent pool + padded accumulator slab, created on first
+    // threaded multiply and reused across calls (the whole point of the
+    // engine work: no per-multiply thread spawns, no per-multiply
+    // allocation).  Mutable so run()/measure() stay const.
+    mutable std::unique_ptr<parallel::WorkerPool> pool_;
+    mutable std::vector<double> sym_scratch_;
 };
 
 /**
  * Row-partitioned shared-memory SMVP (the Spark98 "smvt" analogue):
- * block rows are split into nnz-balanced chunks, one std::thread per
+ * block rows are split into nnz-balanced chunks, one pool worker per
  * chunk.  No reduction is needed — row partitioning writes disjoint
- * output ranges.
+ * output ranges, so the result is bitwise identical to the sequential
+ * BCSR3 kernel.
  */
 void smvpThreaded(const sparse::Bcsr3Matrix &a, const double *x, double *y,
-                  int num_threads = 0);
+                  parallel::WorkerPool &pool);
+
+/**
+ * Threaded symmetric BCSR3 SMVP.  The symmetric scatter writes y[col]
+ * for off-diagonal blocks, so threads cannot share y: each worker
+ * scatters into a private accumulator slab padded to a cache-line
+ * multiple (no false sharing), and a second fork/join reduces the slabs
+ * in ascending worker order — deterministic regardless of scheduling.
+ *
+ * @param scratch Persistent slab storage; resized (and zeroed) inside.
+ */
+void smvpSymBcsr3Threaded(const sparse::SymBcsr3Matrix &a, const double *x,
+                          double *y, parallel::WorkerPool &pool,
+                          std::vector<double> &scratch);
 
 } // namespace quake::spark
 

@@ -68,23 +68,49 @@ Bcsr3Matrix::addToBlock(std::int64_t br, std::int32_t bc, const Block3 &b)
         dst[i] += b[i];
 }
 
+namespace
+{
+
+/** One block row of y = A x; shared by every row-subset entry point. */
+inline void
+multiplyOneBlockRow(const std::int64_t *__restrict__ xadj,
+                    const std::int32_t *__restrict__ cols,
+                    const double *__restrict__ vals,
+                    const double *__restrict__ x, double *__restrict__ y,
+                    std::int64_t br)
+{
+    double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0;
+    for (std::int64_t k = xadj[br]; k < xadj[br + 1]; ++k) {
+        const double *__restrict__ b = &vals[9 * k];
+        const double *__restrict__ xv = &x[3 * cols[k]];
+        acc0 += b[0] * xv[0] + b[1] * xv[1] + b[2] * xv[2];
+        acc1 += b[3] * xv[0] + b[4] * xv[1] + b[5] * xv[2];
+        acc2 += b[6] * xv[0] + b[7] * xv[1] + b[8] * xv[2];
+    }
+    y[3 * br + 0] = acc0;
+    y[3 * br + 1] = acc1;
+    y[3 * br + 2] = acc2;
+}
+
+} // namespace
+
 void
 Bcsr3Matrix::multiplyRows(const double *x, double *y, std::int64_t row_begin,
                           std::int64_t row_end) const
 {
-    for (std::int64_t br = row_begin; br < row_end; ++br) {
-        double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0;
-        for (std::int64_t k = xadj_[br]; k < xadj_[br + 1]; ++k) {
-            const double *b = &values_[9 * k];
-            const double *xv = &x[3 * block_cols_[k]];
-            acc0 += b[0] * xv[0] + b[1] * xv[1] + b[2] * xv[2];
-            acc1 += b[3] * xv[0] + b[4] * xv[1] + b[5] * xv[2];
-            acc2 += b[6] * xv[0] + b[7] * xv[1] + b[8] * xv[2];
-        }
-        y[3 * br + 0] = acc0;
-        y[3 * br + 1] = acc1;
-        y[3 * br + 2] = acc2;
-    }
+    for (std::int64_t br = row_begin; br < row_end; ++br)
+        multiplyOneBlockRow(xadj_.data(), block_cols_.data(),
+                            values_.data(), x, y, br);
+}
+
+void
+Bcsr3Matrix::multiplyRowList(const double *x, double *y,
+                             const std::int64_t *rows,
+                             std::int64_t num_rows) const
+{
+    for (std::int64_t i = 0; i < num_rows; ++i)
+        multiplyOneBlockRow(xadj_.data(), block_cols_.data(),
+                            values_.data(), x, y, rows[i]);
 }
 
 void

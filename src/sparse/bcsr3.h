@@ -90,6 +90,16 @@ class Bcsr3Matrix
     void multiplyRows(const double *x, double *y, std::int64_t row_begin,
                       std::int64_t row_end) const;
 
+    /**
+     * y = A x restricted to an explicit list of block rows (each row's
+     * product is identical to what multiply() writes there, bit for
+     * bit).  Lets the SMVP engine compute boundary rows before interior
+     * rows without permuting the matrix.
+     */
+    void multiplyRowList(const double *x, double *y,
+                         const std::int64_t *rows,
+                         std::int64_t num_rows) const;
+
     /** Expand to scalar CSR (for cross-checking kernels). */
     CsrMatrix toCsr() const;
 

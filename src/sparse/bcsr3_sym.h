@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Symmetric 3x3-block CSR storage — the register-blocked analogue of
+ * SymCsrMatrix.  The stiffness matrix K is symmetric (paper §2.2), so
+ * only the upper block triangle (diagonal blocks included) is stored;
+ * the SMVP visits each stored off-diagonal block once and applies both
+ * the block (to y[row]) and its transpose (to y[col]).  Relative to
+ * scalar symmetric CSR this replaces nine column indices with one and
+ * turns the inner loop into unrolled 3x3 dense arithmetic — the layout
+ * the paper's T_f measurements reward.
+ */
+
+#ifndef QUAKE98_SPARSE_BCSR3_SYM_H_
+#define QUAKE98_SPARSE_BCSR3_SYM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/bcsr3.h"
+
+namespace quake::sparse
+{
+
+/** Symmetric sparse matrix of 3x3 blocks, upper block triangle stored. */
+class SymBcsr3Matrix
+{
+  public:
+    SymBcsr3Matrix() = default;
+
+    /**
+     * Build from a full BCSR3 matrix; block symmetry (block(j,i) ==
+     * block(i,j)^T entrywise within `tolerance`) is checked.
+     */
+    static SymBcsr3Matrix fromBcsr3(const Bcsr3Matrix &full,
+                                    double tolerance = 0.0);
+
+    std::int64_t numBlockRows() const { return block_rows_; }
+
+    /** Scalar dimension (3 per block row). */
+    std::int64_t numRows() const { return 3 * block_rows_; }
+
+    /** Stored 3x3 blocks (upper triangle including the diagonal). */
+    std::int64_t
+    storedBlocks() const
+    {
+        return static_cast<std::int64_t>(block_cols_.size());
+    }
+
+    /** Scalar entries of the stored half: 9 per block. */
+    std::int64_t storedEntries() const { return 9 * storedBlocks(); }
+
+    const std::vector<std::int64_t> &xadj() const { return xadj_; }
+    const std::vector<std::int32_t> &blockCols() const { return block_cols_; }
+
+    /** y = A x on scalar vectors of length numRows(); y is overwritten. */
+    void multiply(const double *x, double *y) const;
+
+    /** Convenience overload on vectors; sizes are checked. */
+    std::vector<double> multiply(const std::vector<double> &x) const;
+
+    /**
+     * Scatter the contributions of block rows [row_begin, row_end) into
+     * y WITHOUT zeroing it first: y[row] accumulates the row sweep and
+     * y[col] the transposed scatter.  This is the building block of the
+     * threaded symmetric kernel, where each thread owns a private
+     * (cache-line padded) accumulator that is reduced afterwards.
+     */
+    void multiplyRowsScatter(const double *x, double *y,
+                             std::int64_t row_begin,
+                             std::int64_t row_end) const;
+
+  private:
+    std::int64_t block_rows_ = 0;
+    std::vector<std::int64_t> xadj_;
+    std::vector<std::int32_t> block_cols_;
+    std::vector<double> values_; ///< 9 doubles per block, row-major
+};
+
+} // namespace quake::sparse
+
+#endif // QUAKE98_SPARSE_BCSR3_SYM_H_

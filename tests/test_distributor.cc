@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 #include "common/error.h"
 #include "mesh/generator.h"
 #include "parallel/distributor.h"
@@ -138,6 +141,44 @@ TEST_P(DistributorTest, TopologyOnlySkipsMatrices)
         EXPECT_EQ(sub.stiffness.numBlockRows(), 0);
     EXPECT_EQ(topo.schedule.totalWords(),
               problem_.schedule.totalWords());
+}
+
+TEST_P(DistributorTest, BoundaryAndInteriorRowsPartitionLocalNodes)
+{
+    // The overlap engine relies on this split: boundary rows feed the
+    // message buffers, interior rows are everything else, and together
+    // they cover every local node exactly once (both sorted ascending).
+    for (const Subdomain &sub : problem_.subdomains) {
+        std::vector<char> seen(
+            static_cast<std::size_t>(sub.numLocalNodes()), 0);
+        EXPECT_TRUE(std::is_sorted(sub.boundaryRows.begin(),
+                                   sub.boundaryRows.end()));
+        EXPECT_TRUE(std::is_sorted(sub.interiorRows.begin(),
+                                   sub.interiorRows.end()));
+        for (std::int64_t v : sub.boundaryRows)
+            ++seen[static_cast<std::size_t>(v)];
+        for (std::int64_t v : sub.interiorRows)
+            ++seen[static_cast<std::size_t>(v)];
+        for (char c : seen)
+            EXPECT_EQ(c, 1);
+    }
+}
+
+TEST_P(DistributorTest, BoundaryRowsAreExactlyTheExchangedNodes)
+{
+    // A node is a boundary row iff it appears in some exchange of its
+    // PE (replicated on >= 2 subdomains).
+    for (std::size_t p = 0; p < problem_.subdomains.size(); ++p) {
+        const Subdomain &sub = problem_.subdomains[p];
+        std::set<std::int64_t> exchanged;
+        for (const Exchange &ex :
+             problem_.schedule.pe(static_cast<int>(p)).exchanges)
+            for (quake::mesh::NodeId g : ex.nodes)
+                exchanged.insert(sub.localNodeOf(g));
+        const std::set<std::int64_t> boundary(sub.boundaryRows.begin(),
+                                              sub.boundaryRows.end());
+        EXPECT_EQ(boundary, exchanged);
+    }
 }
 
 TEST_P(DistributorTest, SharedNodesAppearInMultipleSubdomains)

@@ -182,9 +182,9 @@ TEST(ThreadedKernel, AgreesWithSequentialAcrossThreadCounts)
     sparse::smvpBcsr3(suite.bcsr(), x.data(), y_seq.data());
 
     for (int threads : {1, 2, 3, 4, 7}) {
+        parallel::WorkerPool pool(threads);
         std::vector<double> y_par(x.size(), -1.0);
-        spark::smvpThreaded(suite.bcsr(), x.data(), y_par.data(),
-                            threads);
+        spark::smvpThreaded(suite.bcsr(), x.data(), y_par.data(), pool);
         // Row partitioning makes the result bitwise identical.
         EXPECT_EQ(y_par, y_seq) << threads << " threads";
     }
@@ -198,7 +198,8 @@ TEST(ThreadedKernel, MoreThreadsThanRowsIsSafe)
     a.addToBlock(0, 0, b);
     a.addToBlock(1, 1, b);
     std::vector<double> x(6, 1.0), y(6, 0.0);
-    spark::smvpThreaded(a, x.data(), y.data(), 64);
+    parallel::WorkerPool pool(64);
+    spark::smvpThreaded(a, x.data(), y.data(), pool);
     for (int d : {0, 1, 2, 3, 4, 5})
         EXPECT_DOUBLE_EQ(y[d], 2.0);
 }

@@ -78,6 +78,65 @@ TEST(ParallelSmvp, BitwiseDeterministicAcrossThreadCounts)
     EXPECT_EQ(y1, y4);
 }
 
+TEST(ParallelSmvp, OverlappedBitwiseEqualsBarrier)
+{
+    // The tentpole determinism guarantee: publishing message buffers
+    // early and overlapping interior compute must not change a single
+    // bit of the result, for any thread count.
+    SmvpFixtureData s;
+    const GeometricBisection partitioner;
+    const DistributedProblem problem =
+        distribute(s.mesh, s.model, partitioner.partition(s.mesh, 8));
+
+    const ParallelSmvp barrier(problem, 1, ExchangeMode::kBarrier);
+    const std::vector<double> y_ref = barrier.multiply(s.x);
+    for (int threads : {1, 2, 3, 4, 8}) {
+        const ParallelSmvp overlapped(problem, threads,
+                                      ExchangeMode::kOverlapped);
+        EXPECT_EQ(overlapped.multiply(s.x), y_ref)
+            << threads << " threads";
+        const ParallelSmvp barrier_t(problem, threads,
+                                     ExchangeMode::kBarrier);
+        EXPECT_EQ(barrier_t.multiply(s.x), y_ref)
+            << threads << " threads (barrier)";
+    }
+}
+
+TEST(ParallelSmvp, ModeAndThreadAccessors)
+{
+    SmvpFixtureData s(2);
+    const GeometricBisection partitioner;
+    const DistributedProblem problem =
+        distribute(s.mesh, s.model, partitioner.partition(s.mesh, 4));
+    const ParallelSmvp engine(problem, 2);
+    EXPECT_EQ(engine.mode(), ExchangeMode::kOverlapped);
+    EXPECT_EQ(engine.numThreads(), 2);
+    const ParallelSmvp barrier(problem, 2, ExchangeMode::kBarrier);
+    EXPECT_EQ(barrier.mode(), ExchangeMode::kBarrier);
+}
+
+TEST(ParallelSmvp, EnginePersistsAcrossManyMultiplies)
+{
+    // The engine is built for the timestep loop: one pool, reused.
+    // Alternate inputs so stale scratch or a stale publish flag from a
+    // previous epoch would be caught immediately.
+    SmvpFixtureData s(3);
+    const GeometricBisection partitioner;
+    const DistributedProblem problem =
+        distribute(s.mesh, s.model, partitioner.partition(s.mesh, 6));
+    const ParallelSmvp engine(problem, 3);
+
+    std::vector<double> x2(s.x.size());
+    for (std::size_t i = 0; i < x2.size(); ++i)
+        x2[i] = -2.0 * s.x[i];
+    const std::vector<double> y1 = engine.multiply(s.x);
+    const std::vector<double> y2 = engine.multiply(x2);
+    for (int round = 0; round < 50; ++round) {
+        EXPECT_EQ(engine.multiply(s.x), y1) << "round " << round;
+        EXPECT_EQ(engine.multiply(x2), y2) << "round " << round;
+    }
+}
+
 TEST(ParallelSmvp, RepeatedCallsIdentical)
 {
     SmvpFixtureData s;

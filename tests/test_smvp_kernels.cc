@@ -7,10 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <iterator>
+
 #include "common/error.h"
 #include "common/rng.h"
 #include "mesh/generator.h"
 #include "spark/kernels.h"
+#include "sparse/bcsr3_sym.h"
 
 namespace
 {
@@ -109,6 +113,144 @@ TEST_F(SuiteTest, MeasureReturnsSaneTiming)
 TEST_F(SuiteTest, MeasureRejectsZeroReps)
 {
     EXPECT_THROW(suite_->measure(Kernel::kCsr, 0), FatalError);
+}
+
+TEST_F(SuiteTest, EveryKernelVariantAgreesWithCsr)
+{
+    std::vector<double> x(static_cast<std::size_t>(suite_->dof()));
+    quake::common::SplitMix64 rng(4242);
+    for (double &v : x)
+        v = rng.uniform(-1, 1);
+
+    const std::vector<double> y_ref = suite_->run(Kernel::kCsr, x);
+    for (Kernel k : kAllKernels) {
+        const std::vector<double> y = suite_->run(k, x);
+        ASSERT_EQ(y.size(), y_ref.size()) << kernelName(k);
+        for (std::size_t i = 0; i < y.size(); ++i)
+            EXPECT_NEAR(y[i], y_ref[i],
+                        1e-9 * (1.0 + std::fabs(y_ref[i])))
+                << kernelName(k) << " dof " << i;
+    }
+}
+
+TEST(KernelEquivalence, AllVariantsAgreeOnGradedSfMesh)
+{
+    // A graded (non-uniform) mesh: node degrees vary, which exercises
+    // the nnz-balanced chunking and the symmetric scatter paths harder
+    // than a lattice does.
+    const GeneratedMesh generated = generateSfMesh(SfClass::kSf20);
+    const LayeredBasinModel model;
+    KernelSuite suite(generated.mesh, model);
+    suite.setThreads(3);
+
+    std::vector<double> x(static_cast<std::size_t>(suite.dof()));
+    quake::common::SplitMix64 rng(90210);
+    for (double &v : x)
+        v = rng.uniform(-1, 1);
+
+    const std::vector<double> y_ref = suite.run(Kernel::kCsr, x);
+    for (Kernel k : kAllKernels) {
+        const std::vector<double> y = suite.run(k, x);
+        for (std::size_t i = 0; i < y.size(); ++i)
+            ASSERT_NEAR(y[i], y_ref[i],
+                        1e-9 * (1.0 + std::fabs(y_ref[i])))
+                << kernelName(k) << " dof " << i;
+    }
+}
+
+TEST(KernelEquivalence, ThreadedVariantsAreBitwiseStable)
+{
+    // The padded-scratch scatter and the row-split kernel must be
+    // bitwise reproducible call over call (fixed reduction order),
+    // and the row-split kernel must equal its sequential twin exactly.
+    const TetMesh m =
+        buildKuhnLattice(Aabb{{0, 0, 0}, {1, 1, 1}}, 4, 4, 4);
+    const UniformModel model(Aabb{{0, 0, 0}, {1, 1, 1}}, 1.0, 1.0);
+    KernelSuite suite(m, model);
+    suite.setThreads(4);
+
+    std::vector<double> x(static_cast<std::size_t>(suite.dof()));
+    quake::common::SplitMix64 rng(1234);
+    for (double &v : x)
+        v = rng.uniform(-1, 1);
+
+    EXPECT_EQ(suite.run(Kernel::kThreaded, x),
+              suite.run(Kernel::kBcsr3, x));
+    const std::vector<double> y_mt = suite.run(Kernel::kSymBcsr3Mt, x);
+    for (int rep = 0; rep < 5; ++rep)
+        EXPECT_EQ(suite.run(Kernel::kSymBcsr3Mt, x), y_mt);
+}
+
+TEST_F(SuiteTest, AutotunePicksAMeasuredKernel)
+{
+    const AutotuneResult r = suite_->autotune(2);
+    EXPECT_EQ(r.entries.size(), std::size(kAllKernels));
+    EXPECT_GT(r.bestTiming.secondsPerSmvp, 0.0);
+    bool best_in_entries = false;
+    for (const AutotuneEntry &e : r.entries) {
+        EXPECT_GT(e.timing.secondsPerSmvp, 0.0);
+        EXPECT_GE(e.timing.secondsPerSmvp,
+                  r.bestTiming.secondsPerSmvp);
+        if (e.kernel == r.best)
+            best_in_entries = true;
+    }
+    EXPECT_TRUE(best_in_entries);
+}
+
+TEST(SymBcsr3, KnownProduct)
+{
+    using quake::sparse::Bcsr3Matrix;
+    using quake::sparse::Block3;
+    using quake::sparse::SymBcsr3Matrix;
+
+    // Two block rows: diagonal blocks D0, D1 and symmetric coupling
+    // B on (0,1) / B^T on (1,0).
+    Bcsr3Matrix full(2, {0, 2, 4}, {0, 1, 0, 1});
+    Block3 d0{}, d1{}, b{}, bt{};
+    for (int i = 0; i < 3; ++i) {
+        d0[4 * i] = 2.0 + i;
+        d1[4 * i] = 5.0 + i;
+    }
+    // b row-major; bt = b^T.  Off-diagonal within-block entries make
+    // the transposed scatter observable.
+    b[1] = 1.5;
+    b[3] = -0.5;
+    b[8] = 2.0;
+    bt[3] = 1.5;
+    bt[1] = -0.5;
+    bt[8] = 2.0;
+    full.addToBlock(0, 0, d0);
+    full.addToBlock(1, 1, d1);
+    full.addToBlock(0, 1, b);
+    full.addToBlock(1, 0, bt);
+
+    const SymBcsr3Matrix sym = SymBcsr3Matrix::fromBcsr3(full);
+    EXPECT_EQ(sym.storedBlocks(), 3); // 2 diagonal + 1 upper
+
+    std::vector<double> x = {1, 2, 3, 4, 5, 6};
+    std::vector<double> y_full(6), y_sym(6);
+    full.multiply(x.data(), y_full.data());
+    sym.multiply(x.data(), y_sym.data());
+    for (int i = 0; i < 6; ++i)
+        EXPECT_DOUBLE_EQ(y_sym[i], y_full[i]) << "dof " << i;
+}
+
+TEST(SymBcsr3, RejectsAsymmetric)
+{
+    using quake::sparse::Bcsr3Matrix;
+    using quake::sparse::Block3;
+    using quake::sparse::SymBcsr3Matrix;
+
+    Bcsr3Matrix full(2, {0, 2, 4}, {0, 1, 0, 1});
+    Block3 d{}, b{}, not_bt{};
+    d[0] = d[4] = d[8] = 1.0;
+    b[1] = 1.0;
+    not_bt[3] = 2.0; // should be 1.0 to mirror b
+    full.addToBlock(0, 0, d);
+    full.addToBlock(1, 1, d);
+    full.addToBlock(0, 1, b);
+    full.addToBlock(1, 0, not_bt);
+    EXPECT_THROW(SymBcsr3Matrix::fromBcsr3(full), FatalError);
 }
 
 TEST(SymCsr, RejectsAsymmetric)

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the persistent worker pool: every tid runs exactly once per
+ * fork/join, the pool is reusable across many epochs (the engine runs
+ * thousands of timesteps against one pool), and the size-1 pool runs
+ * inline without spawning threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "parallel/worker_pool.h"
+
+namespace
+{
+
+using quake::parallel::WorkerPool;
+
+TEST(WorkerPool, RunsEveryTidExactlyOnce)
+{
+    WorkerPool pool(4);
+    ASSERT_EQ(pool.size(), 4);
+    std::vector<std::atomic<int>> hits(4);
+    for (auto &h : hits)
+        h.store(0);
+    pool.run([&](int tid) { hits[static_cast<std::size_t>(tid)]++; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, ReusableAcrossManyEpochs)
+{
+    WorkerPool pool(3);
+    std::atomic<int> total{0};
+    for (int epoch = 0; epoch < 100; ++epoch)
+        pool.run([&](int) { total++; });
+    EXPECT_EQ(total.load(), 300);
+}
+
+TEST(WorkerPool, SizeOneRunsInlineOnCallerThread)
+{
+    WorkerPool pool(1);
+    EXPECT_EQ(pool.size(), 1);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::thread::id seen;
+    pool.run([&](int tid) {
+        EXPECT_EQ(tid, 0);
+        seen = std::this_thread::get_id();
+    });
+    EXPECT_EQ(seen, caller);
+}
+
+TEST(WorkerPool, DefaultSizeIsPositive)
+{
+    WorkerPool pool;
+    EXPECT_GE(pool.size(), 1);
+    EXPECT_GE(WorkerPool::hardwareThreads(), 1);
+}
+
+TEST(WorkerPool, JoinIsABarrier)
+{
+    // After run() returns, all side effects of all workers are visible.
+    WorkerPool pool(4);
+    std::vector<int> slots(4, 0);
+    for (int round = 1; round <= 10; ++round) {
+        pool.run([&](int tid) {
+            slots[static_cast<std::size_t>(tid)] = round;
+        });
+        for (int v : slots)
+            EXPECT_EQ(v, round);
+    }
+}
+
+} // namespace
