@@ -8,6 +8,14 @@
 namespace quake::parallel
 {
 
+namespace
+{
+
+/** StepPartials per 64-byte cache line: padding stride for PE slots. */
+constexpr std::size_t kPartialsStride = 4;
+
+} // namespace
+
 ParallelSmvp::ParallelSmvp(const DistributedProblem &problem,
                            int num_threads, ExchangeMode mode)
     : problem_(problem),
@@ -82,10 +90,15 @@ ParallelSmvp::ParallelSmvp(const DistributedProblem &problem,
         static_cast<std::size_t>(exchange_base_[p]));
     for (std::int64_t e = 0; e < exchange_base_[p]; ++e)
         published_[e].store(0, std::memory_order_relaxed);
+
+    // One cache line (stride 4 x 16 bytes) per PE so fused-step
+    // partial accumulation never false-shares between workers.
+    step_partials_.assign(static_cast<std::size_t>(p) * kPartialsStride,
+                          sparse::StepPartials{});
 }
 
 void
-ParallelSmvp::runLocalPhase(const std::vector<double> &x, int tid,
+ParallelSmvp::runLocalPhase(const double *x, int tid,
                             bool publish_early) const
 {
     const int p = problem_.numPes();
@@ -139,7 +152,7 @@ ParallelSmvp::runLocalPhase(const std::vector<double> &x, int tid,
 }
 
 void
-ParallelSmvp::runExchangePhase(std::vector<double> &y, int tid,
+ParallelSmvp::runExchangePhase(double *y, int tid,
                                bool wait_for_publish) const
 {
     const int p = problem_.numPes();
@@ -181,32 +194,241 @@ ParallelSmvp::runExchangePhase(std::vector<double> &y, int tid,
     }
 }
 
-std::vector<double>
-ParallelSmvp::multiply(const std::vector<double> &x) const
+void
+ParallelSmvp::runLocalPhaseFused(int tid, bool publish_early) const
 {
-    const std::int64_t dof = 3 * problem_.numGlobalNodes;
-    QUAKE_EXPECT(static_cast<std::int64_t>(x.size()) == dof,
-                 "x has " << x.size() << " entries, expected " << dof);
+    const sparse::StepUpdate &su = *su_arg_;
+    const int p = problem_.numPes();
 
-    std::vector<double> y(static_cast<std::size_t>(dof), 0.0);
+    // Identical to runLocalPhase (same gather, same kernels, same
+    // publish protocol) up to the interior sweep...
+    for (int i = tid; i < p; i += num_threads_) {
+        const Subdomain &sub = problem_.subdomains[i];
+        const std::int64_t nl = sub.numLocalNodes();
+
+        std::vector<double> &xl = x_local_[i];
+        for (std::int64_t v = 0; v < nl; ++v) {
+            const std::int64_t g = sub.globalNodes[v];
+            xl[3 * v + 0] = su.u[3 * g + 0];
+            xl[3 * v + 1] = su.u[3 * g + 1];
+            xl[3 * v + 2] = su.u[3 * g + 2];
+        }
+
+        std::vector<double> &yl = y_local_[i];
+        sub.stiffness.multiplyRowList(
+            xl.data(), yl.data(), sub.boundaryRows.data(),
+            static_cast<std::int64_t>(sub.boundaryRows.size()));
+
+        const PeSchedule &pe = problem_.schedule.pe(i);
+        for (std::size_t k = 0; k < pe.exchanges.size(); ++k) {
+            const std::int64_t flat =
+                exchange_base_[i] + static_cast<std::int64_t>(k);
+            const std::vector<std::int64_t> &locals =
+                exchange_local_nodes_[flat];
+            std::vector<double> &buf = buffers_[flat];
+            for (std::size_t s = 0; s < locals.size(); ++s) {
+                buf[3 * s + 0] = yl[3 * locals[s] + 0];
+                buf[3 * s + 1] = yl[3 * locals[s] + 1];
+                buf[3 * s + 2] = yl[3 * locals[s] + 2];
+            }
+            if (publish_early)
+                published_[flat].store(epoch_,
+                                       std::memory_order_release);
+        }
+    }
+
+    // ...then interior rows are updated in small chunks: one kernel
+    // call computes a chunk's K u values, and the update triad consumes
+    // them immediately, while the chunk is still in cache.  (Chunking
+    // only amortizes the kernel-call overhead; each row's arithmetic
+    // and the ascending accumulation order are exactly those of the
+    // row-at-a-time formulation, so the result is bitwise unchanged.)
+    // Interior nodes live on exactly one PE (so their local value is
+    // the global one) and that PE owns them, so the write to su.up is
+    // race-free and disjoint across PEs.
+    constexpr std::int64_t kFuseChunk = 64;
+    for (int i = tid; i < p; i += num_threads_) {
+        const Subdomain &sub = problem_.subdomains[i];
+        const std::vector<double> &xl = x_local_[i];
+        std::vector<double> &yl = y_local_[i];
+        sparse::StepPartials &partials =
+            step_partials_[static_cast<std::size_t>(i) * kPartialsStride];
+        const std::int64_t nr =
+            static_cast<std::int64_t>(sub.interiorRows.size());
+        for (std::int64_t r0 = 0; r0 < nr; r0 += kFuseChunk) {
+            const std::int64_t count = std::min(kFuseChunk, nr - r0);
+            sub.stiffness.multiplyRowList(
+                xl.data(), yl.data(), sub.interiorRows.data() + r0,
+                count);
+            // Apply the update over maximal runs of rows whose local
+            // AND global ids are both consecutive (globalNodes is
+            // sorted, so such runs are common on coherently numbered
+            // meshes): each run is a contiguous triad sweep over
+            // xl/yl and the global arrays.  xl[3v+c] is the gathered
+            // copy of su.u[gi]; the DOF order and arithmetic are
+            // exactly those of the row-at-a-time formulation.
+            for (std::int64_t r = r0; r < r0 + count;) {
+                const std::int64_t v0 = sub.interiorRows[r];
+                const std::int64_t g0 = sub.globalNodes[v0];
+                std::int64_t len = 1;
+                while (r + len < r0 + count &&
+                       sub.interiorRows[r + len] == v0 + len &&
+                       sub.globalNodes[v0 + len] == g0 + len)
+                    ++len;
+                const double *xrun = xl.data() + 3 * v0;
+                const double *yrun = yl.data() + 3 * v0;
+                const std::int64_t base = 3 * g0;
+                for (std::int64_t k = 0; k < 3 * len; ++k) {
+                    const double ui = xrun[k];
+                    partials.accumulate(
+                        su, base + k, ui,
+                        su.apply(base + k, ui, yrun[k]));
+                }
+                r += len;
+            }
+        }
+    }
+}
+
+void
+ParallelSmvp::runExchangePhaseFused(int tid, bool wait_for_publish) const
+{
+    const sparse::StepUpdate &su = *su_arg_;
+    const int p = problem_.numPes();
+    for (int i = tid; i < p; i += num_threads_) {
+        const Subdomain &sub = problem_.subdomains[i];
+        std::vector<double> &yl = y_local_[i];
+        const PeSchedule &pe = problem_.schedule.pe(i);
+
+        // Ascending peer order — the determinism guarantee (identical
+        // to runExchangePhase).
+        for (std::size_t k = 0; k < pe.exchanges.size(); ++k) {
+            const Exchange &ex = pe.exchanges[k];
+            const std::int64_t peer_flat =
+                exchange_base_[ex.peer] + mirror_index_[i][k];
+            if (wait_for_publish) {
+                while (published_[peer_flat].load(
+                           std::memory_order_acquire) != epoch_)
+                    std::this_thread::yield();
+            }
+            const std::vector<double> &buf = buffers_[peer_flat];
+            const std::vector<std::int64_t> &locals =
+                exchange_local_nodes_[exchange_base_[i] +
+                                      static_cast<std::int64_t>(k)];
+            for (std::size_t s = 0; s < locals.size(); ++s) {
+                yl[3 * locals[s] + 0] += buf[3 * s + 0];
+                yl[3 * locals[s] + 1] += buf[3 * s + 1];
+                yl[3 * locals[s] + 2] += buf[3 * s + 2];
+            }
+        }
+
+        // Where the unfused path copies owned rows into the global y,
+        // the fused path consumes them immediately: each owned boundary
+        // row's peer sum is final here, so apply the update while the
+        // row is hot instead of materializing ku.  (Interior rows were
+        // updated in the local phase.)
+        sparse::StepPartials &partials =
+            step_partials_[static_cast<std::size_t>(i) * kPartialsStride];
+        const std::vector<double> &xl = x_local_[i];
+        for (std::int64_t r = 0;
+             r < static_cast<std::int64_t>(sub.boundaryRows.size());
+             ++r) {
+            const std::int64_t v = sub.boundaryRows[r];
+            if (!sub.ownsNode[v])
+                continue;
+            const std::int64_t g = sub.globalNodes[v];
+            for (int c = 0; c < 3; ++c) {
+                const std::int64_t gi = 3 * g + c;
+                const double ui = xl[3 * v + c];
+                partials.accumulate(
+                    su, gi, ui, su.apply(gi, ui, yl[3 * v + c]));
+            }
+        }
+    }
+}
+
+void
+ParallelSmvp::multiplyInto(const double *x, double *y) const
+{
+    x_arg_ = x;
+    y_arg_ = y;
     ++epoch_;
 
     if (mode_ == ExchangeMode::kOverlapped) {
         // One fork/join: each worker publishes its boundary buffers,
         // overlaps its interior rows with the peers' publishes, then
         // spin-waits (with yield) only for buffers not yet ready.
-        pool_.run([&](int tid) {
-            runLocalPhase(x, tid, /*publish_early=*/true);
-            runExchangePhase(y, tid, /*wait_for_publish=*/true);
+        pool_.run([this](int tid) {
+            runLocalPhase(x_arg_, tid, /*publish_early=*/true);
+            runExchangePhase(y_arg_, tid, /*wait_for_publish=*/true);
         });
     } else {
         // Two fork/joins: the pool's join is the BSP barrier.
         pool_.run(
-            [&](int tid) { runLocalPhase(x, tid, false); });
+            [this](int tid) { runLocalPhase(x_arg_, tid, false); });
         pool_.run(
-            [&](int tid) { runExchangePhase(y, tid, false); });
+            [this](int tid) { runExchangePhase(y_arg_, tid, false); });
     }
+    x_arg_ = nullptr;
+    y_arg_ = nullptr;
+}
+
+void
+ParallelSmvp::multiplyInto(const std::vector<double> &x,
+                           std::vector<double> &y) const
+{
+    const std::int64_t dof = 3 * problem_.numGlobalNodes;
+    QUAKE_EXPECT(static_cast<std::int64_t>(x.size()) == dof,
+                 "x has " << x.size() << " entries, expected " << dof);
+    QUAKE_EXPECT(static_cast<std::int64_t>(y.size()) == dof,
+                 "y has " << y.size() << " entries, expected " << dof);
+    multiplyInto(x.data(), y.data());
+}
+
+std::vector<double>
+ParallelSmvp::multiply(const std::vector<double> &x) const
+{
+    const std::int64_t dof = 3 * problem_.numGlobalNodes;
+    QUAKE_EXPECT(static_cast<std::int64_t>(x.size()) == dof,
+                 "x has " << x.size() << " entries, expected " << dof);
+    std::vector<double> y(static_cast<std::size_t>(dof));
+    multiplyInto(x.data(), y.data());
     return y;
+}
+
+sparse::StepPartials
+ParallelSmvp::stepFused(const sparse::StepUpdate &su) const
+{
+    QUAKE_EXPECT(su.u != nullptr && su.up != nullptr &&
+                     su.f != nullptr && su.invMass != nullptr,
+                 "fused step update has unbound field pointers");
+
+    const int p = problem_.numPes();
+    for (int i = 0; i < p; ++i)
+        step_partials_[static_cast<std::size_t>(i) * kPartialsStride] =
+            sparse::StepPartials{};
+
+    su_arg_ = &su;
+    ++epoch_;
+    if (mode_ == ExchangeMode::kOverlapped) {
+        pool_.run([this](int tid) {
+            runLocalPhaseFused(tid, /*publish_early=*/true);
+            runExchangePhaseFused(tid, /*wait_for_publish=*/true);
+        });
+    } else {
+        pool_.run([this](int tid) { runLocalPhaseFused(tid, false); });
+        pool_.run([this](int tid) { runExchangePhaseFused(tid, false); });
+    }
+    su_arg_ = nullptr;
+
+    // Ascending-PE combine: the per-PE accumulation order is fixed by
+    // the partition, so the reduced values are independent of thread
+    // count and exchange mode.
+    sparse::StepPartials out;
+    for (int i = 0; i < p; ++i)
+        out.combine(
+            step_partials_[static_cast<std::size_t>(i) * kPartialsStride]);
+    return out;
 }
 
 } // namespace quake::parallel

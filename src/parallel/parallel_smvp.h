@@ -67,11 +67,50 @@ class ParallelSmvp
      */
     std::vector<double> multiply(const std::vector<double> &x) const;
 
+    /**
+     * Zero-copy y = K x into a caller-owned buffer of length
+     * 3 * numGlobalNodes: no allocation, no result copy — the
+     * steady-state path of the time-stepping loop.  Every entry is
+     * written by its owning PE (ownership covers all global nodes), so
+     * y needs no zeroing.  Bitwise identical to multiply().
+     */
+    void multiplyInto(const double *x, double *y) const;
+
+    /** Convenience overload on vectors; sizes are checked. */
+    void multiplyInto(const std::vector<double> &x,
+                      std::vector<double> &y) const;
+
+    /**
+     * One fused central-difference time step (DESIGN.md §8): runs the
+     * two-phase SMVP with su.u as x and applies `su` to each owned
+     * row's DOFs the moment that row's K u value is finalized —
+     * interior rows right after the local sweep, boundary rows right
+     * after the ascending-peer exchange sum — instead of materializing
+     * a global ku vector and updating it in a separate serial O(n)
+     * pass.  Peak/energy reductions accumulate into per-PE partials
+     * (fixed per-PE row order: interior ascending, then owned boundary
+     * ascending) combined in ascending PE order, so the returned
+     * values are bitwise deterministic across thread counts and
+     * exchange modes.  The updated u_{n+1} written to su.up is bitwise
+     * identical to multiply() + the unfused reference triad.
+     *
+     * Performs no heap allocation: scratch is persistent and the pool
+     * dispatch captures only `this`.
+     */
+    sparse::StepPartials stepFused(const sparse::StepUpdate &su) const;
+
     /** Number of worker threads used. */
     int numThreads() const { return num_threads_; }
 
     /** Exchange scheduling mode. */
     ExchangeMode mode() const { return mode_; }
+
+    /**
+     * The engine's persistent pool, for callers that want to run their
+     * own fork/join work (e.g. initial-condition setup) on the same
+     * threads.  Must not be used while a multiply is in flight.
+     */
+    WorkerPool &workerPool() const { return pool_; }
 
   private:
     const DistributedProblem &problem_;
@@ -102,10 +141,24 @@ class ParallelSmvp
     mutable std::unique_ptr<std::atomic<std::uint64_t>[]> published_;
     mutable std::uint64_t epoch_ = 0;
 
-    void runLocalPhase(const std::vector<double> &x, int tid,
+    /**
+     * Arguments of the multiply/step in flight, stashed as members so
+     * the pool dispatch lambdas capture only `this` (small enough for
+     * std::function's inline buffer — no per-step heap allocation).
+     */
+    mutable const double *x_arg_ = nullptr;
+    mutable double *y_arg_ = nullptr;
+    mutable const sparse::StepUpdate *su_arg_ = nullptr;
+
+    /** Per-PE step partials, padded to a cache line (stride 4). */
+    mutable std::vector<sparse::StepPartials> step_partials_;
+
+    void runLocalPhase(const double *x, int tid,
                        bool publish_early) const;
-    void runExchangePhase(std::vector<double> &y, int tid,
+    void runExchangePhase(double *y, int tid,
                           bool wait_for_publish) const;
+    void runLocalPhaseFused(int tid, bool publish_early) const;
+    void runExchangePhaseFused(int tid, bool wait_for_publish) const;
 };
 
 } // namespace quake::parallel

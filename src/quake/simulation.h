@@ -57,6 +57,15 @@ struct SimulationConfig
      */
     bool overlapSmvp = true;
 
+    /**
+     * Run the fused zero-allocation step pipeline (DESIGN.md §8):
+     * SMVP, central-difference update, and peak/energy statistics in
+     * one pass, with no ku vector and no per-step heap allocation.
+     * Displacements are bitwise identical with the flag off; this only
+     * changes scheduling and memory traffic.
+     */
+    bool fusedStep = true;
+
     /** Source description. */
     mesh::Vec3 hypocenter{25.0, 25.0, 8.0}; ///< under the basin
     mesh::Vec3 sourceDirection{0.0, 0.0, 1.0};
@@ -100,6 +109,10 @@ struct SimulationReport
  * Run the earthquake simulation on `mesh`/`model` per `config`.
  * Sequential when config.numPes == 1, otherwise distributed over
  * config.numPes logical PEs (geometric-bisection partition).
+ *
+ * The config is validated on entry (positive finite duration,
+ * numPes >= 1, smvpThreads >= 0, sampleInterval >= 0, maxSteps >= 0);
+ * violations throw common::FatalError with a message naming the field.
  */
 SimulationReport runSimulation(const mesh::TetMesh &mesh,
                                const mesh::SoilModel &model,

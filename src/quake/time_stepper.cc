@@ -105,6 +105,33 @@ ExplicitTimeStepper::addSource(const PointSource &source)
 }
 
 void
+ExplicitTimeStepper::setFusedStep(FusedStepFn fused)
+{
+    fused_ = std::move(fused);
+}
+
+void
+ExplicitTimeStepper::applySources(double t)
+{
+    for (const PointSource &s : sources_)
+        s.apply(t, f_);
+}
+
+void
+ExplicitTimeStepper::clearSources()
+{
+    // Point sources touch exactly three entries each, so restoring the
+    // all-zero invariant of f_ is O(sources), not the O(n) fill the
+    // seed paid every step.
+    for (const PointSource &s : sources_) {
+        const std::size_t base = 3 * static_cast<std::size_t>(s.node);
+        f_[base + 0] = 0.0;
+        f_[base + 1] = 0.0;
+        f_[base + 2] = 0.0;
+    }
+}
+
+void
 ExplicitTimeStepper::setInitialConditions(const std::vector<double> &u0,
                                           const std::vector<double> &v0)
 {
@@ -116,15 +143,29 @@ ExplicitTimeStepper::setInitialConditions(const std::vector<double> &u0,
     u_ = u0;
 
     // f(0) from the sources, K u0 from the operator.
-    std::fill(f_.begin(), f_.end(), 0.0);
-    for (const PointSource &s : sources_)
-        s.apply(0.0, f_);
+    applySources(0.0);
     smvp_(u_, ku_);
 
-    for (std::size_t i = 0; i < u_.size(); ++i) {
-        up_[i] = u0[i] - dt_ * v0[i] +
-                 0.5 * dt_ * dt_ * inv_mass_[i] * (f_[i] - ku_[i]);
+    // The starter triad is pointwise — no cross-DOF reduction — so any
+    // partitioning over the pool is bitwise identical to this loop.
+    const std::int64_t n = static_cast<std::int64_t>(u_.size());
+    auto starter = [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+            up_[i] = u0[i] - dt_ * v0[i] +
+                     0.5 * dt_ * dt_ * inv_mass_[i] * (f_[i] - ku_[i]);
+        }
+    };
+    if (pool_ != nullptr && pool_->size() > 1) {
+        const std::int64_t per =
+            (n + pool_->size() - 1) / pool_->size();
+        pool_->run([&](int tid) {
+            const std::int64_t lo = std::min<std::int64_t>(tid * per, n);
+            starter(lo, std::min<std::int64_t>(lo + per, n));
+        });
+    } else {
+        starter(0, n);
     }
+    clearSources();
 }
 
 void
@@ -132,30 +173,49 @@ ExplicitTimeStepper::step()
 {
     const double t_start = now_seconds();
 
-    // f_n: sources evaluated at the current simulated time.
-    std::fill(f_.begin(), f_.end(), 0.0);
-    const double t = time();
-    for (const PointSource &s : sources_)
-        s.apply(t, f_);
-
-    // K u_n — the SMVP this whole library is about.
-    const double t_smvp = now_seconds();
-    smvp_(u_, ku_);
-    smvp_seconds_ += now_seconds() - t_smvp;
+    // f_n: sources evaluated at the current simulated time.  f_ is
+    // all-zero here (invariant), so only the source entries are touched.
+    applySources(time());
 
     // (1 + a0 dt/2) u_{n+1} = 2 u_n - (1 - a0 dt/2) u_{n-1}
     //                        + dt^2 M^{-1} (f_n - K u_n),
     // written into up_ which then becomes the new u_ by swap.  With
     // a0 = 0 this is the classic undamped central-difference update.
-    const double dt2 = dt_ * dt_;
     const double half_damp = 0.5 * damping_ * dt_;
-    const double denom = 1.0 + half_damp;
-    const double prev_coeff = 1.0 - half_damp;
-    for (std::size_t i = 0; i < u_.size(); ++i) {
-        up_[i] = (2.0 * u_[i] - prev_coeff * up_[i] +
-                  dt2 * inv_mass_[i] * (f_[i] - ku_[i])) /
-                 denom;
+    sparse::StepUpdate su;
+    su.u = u_.data();
+    su.up = up_.data();
+    su.f = f_.data();
+    su.invMass = inv_mass_.data();
+    su.dt = dt_;
+    su.dt2 = dt_ * dt_;
+    su.prevCoeff = 1.0 - half_damp;
+    su.denom = 1.0 + half_damp;
+
+    if (fused_) {
+        // One pass: SMVP, update, and statistics, fused per row.  The
+        // timer necessarily covers the whole pass — the update rides
+        // inside the SMVP's row sweep.
+        const double t_smvp = now_seconds();
+        last_partials_ = fused_(su);
+        smvp_seconds_ += now_seconds() - t_smvp;
+    } else {
+        // K u_n — the SMVP this whole library is about.
+        const double t_smvp = now_seconds();
+        smvp_(u_, ku_);
+        smvp_seconds_ += now_seconds() - t_smvp;
+
+        // Reference triad, out of line in the sparse library so it is
+        // compiled with the same kernel flags as the fused backends
+        // (DESIGN.md §8) — the anchor of the bitwise-equality contract.
+        last_partials_ = sparse::StepPartials{};
+        sparse::applyStepUpdateRange(su, ku_.data(), 0,
+                                     static_cast<std::int64_t>(u_.size()),
+                                     last_partials_);
     }
+    stats_valid_ = true;
+
+    clearSources();
     std::swap(u_, up_);
     ++steps_;
 
@@ -165,6 +225,8 @@ ExplicitTimeStepper::step()
 double
 ExplicitTimeStepper::peakDisplacement() const
 {
+    if (stats_valid_)
+        return last_partials_.peak;
     double peak = 0.0;
     for (double v : u_)
         peak = std::max(peak, std::fabs(v));
@@ -174,6 +236,8 @@ ExplicitTimeStepper::peakDisplacement() const
 double
 ExplicitTimeStepper::kineticEnergy() const
 {
+    if (stats_valid_)
+        return last_partials_.energy;
     double energy = 0.0;
     for (std::size_t i = 0; i < u_.size(); ++i) {
         const double v = (u_[i] - up_[i]) / dt_;

@@ -19,6 +19,7 @@
 
 #include "mesh/soil_model.h"
 #include "mesh/tet_mesh.h"
+#include "parallel/worker_pool.h"
 #include "quake/source.h"
 #include "sparse/bcsr3.h"
 
@@ -31,6 +32,17 @@ namespace quake::sim
  */
 using SmvpFn =
     std::function<void(const std::vector<double> &x, std::vector<double> &y)>;
+
+/**
+ * A pluggable fused step backend: run the SMVP with su.u as x, apply
+ * `su` to every DOF the moment its K u value is final (writing u_{n+1}
+ * into su.up), and return the peak/energy partials over all DOFs.
+ * Bound to Bcsr3Matrix::multiplyFusedStep, ParallelSmvp::stepFused, or
+ * spark::FusedStepKernel::step; must produce u_{n+1} bitwise identical
+ * to the unfused SMVP + reference update triad (DESIGN.md §8).
+ */
+using FusedStepFn =
+    std::function<sparse::StepPartials(const sparse::StepUpdate &su)>;
 
 /**
  * Stable time step for the mesh/material pair: the CFL bound
@@ -55,6 +67,26 @@ class ExplicitTimeStepper
 
     /** Add a point source (may be called multiple times). */
     void addSource(const PointSource &source);
+
+    /**
+     * Bind a fused step backend.  When set, step() runs the whole
+     * SMVP + update + statistics pass through it — no ku vector, no
+     * second O(n) sweep, no per-step allocation.  Displacements stay
+     * bitwise identical to the unfused path; pass nullptr to unbind.
+     */
+    void setFusedStep(FusedStepFn fused);
+
+    /** Whether a fused backend is bound. */
+    bool fusedStep() const { return static_cast<bool>(fused_); }
+
+    /**
+     * Optional worker pool for the pointwise setup passes
+     * (setInitialConditions' starter triad).  The pool is borrowed —
+     * it must outlive the stepper or be unbound with nullptr — and the
+     * result is bitwise identical to the serial pass (the starter is
+     * pointwise, with no cross-DOF reduction).
+     */
+    void setWorkerPool(parallel::WorkerPool *pool) { pool_ = pool; }
 
     /**
      * Enable mass-proportional Rayleigh damping with coefficient a0
@@ -95,10 +127,18 @@ class ExplicitTimeStepper
     /** Previous displacement field (for velocity estimates). */
     const std::vector<double> &previousDisplacement() const { return up_; }
 
-    /** max |u_i| over all scalar DOFs. */
+    /**
+     * max |u_i| over all scalar DOFs.  O(1) after any step — every
+     * step (fused or not) folds the running max into its update pass —
+     * and an O(n) sweep before the first step.
+     */
     double peakDisplacement() const;
 
-    /** Kinetic energy (1/2) v^T M v with v = (u - u_prev) / dt. */
+    /**
+     * Kinetic energy (1/2) v^T M v with v = (u - u_prev) / dt.  O(1)
+     * after any step (accumulated by the update pass in a fixed,
+     * backend-defined order); O(n) sweep before the first step.
+     */
     double kineticEnergy() const;
 
     /**
@@ -109,7 +149,15 @@ class ExplicitTimeStepper
     double totalSeconds() const { return total_seconds_; }
 
   private:
+    /** Accumulate the sources into f_ at time t (sparse touch). */
+    void applySources(double t);
+
+    /** Restore the all-zero invariant of f_ (sparse touch). */
+    void clearSources();
+
     SmvpFn smvp_;
+    FusedStepFn fused_;
+    parallel::WorkerPool *pool_ = nullptr;
     std::vector<double> inv_mass_;
     double dt_;
     double damping_ = 0.0;
@@ -117,9 +165,13 @@ class ExplicitTimeStepper
 
     std::vector<double> u_;  ///< u_n
     std::vector<double> up_; ///< u_{n-1}
-    std::vector<double> ku_; ///< K u_n scratch
-    std::vector<double> f_;  ///< force scratch
+    std::vector<double> ku_; ///< K u_n scratch (unfused path only)
+    std::vector<double> f_;  ///< force scratch, all-zero between steps
     std::int64_t steps_ = 0;
+
+    /** Peak/energy of the state after the latest step. */
+    sparse::StepPartials last_partials_;
+    bool stats_valid_ = false;
 
     double smvp_seconds_ = 0.0;
     double total_seconds_ = 0.0;

@@ -121,6 +121,43 @@ smvpSymBcsr3Threaded(const sparse::SymBcsr3Matrix &a, const double *x,
     });
 }
 
+FusedStepKernel::FusedStepKernel(const sparse::Bcsr3Matrix &a,
+                                 parallel::WorkerPool &pool)
+    : a_(a), pool_(pool),
+      cut_(balancedRowCuts(a.xadj(), a.numBlockRows(), kChunks)),
+      partials_(static_cast<std::size_t>(kChunks) * kPartialsStride)
+{
+}
+
+sparse::StepPartials
+FusedStepKernel::step(const sparse::StepUpdate &su) const
+{
+    QUAKE_EXPECT(su.u != nullptr && su.up != nullptr &&
+                     su.f != nullptr && su.invMass != nullptr,
+                 "fused step update has unbound field pointers");
+
+    su_arg_ = &su;
+    pool_.run([this](int tid) {
+        const int workers = pool_.size();
+        for (int c = tid; c < kChunks; c += workers) {
+            sparse::StepPartials &slot =
+                partials_[static_cast<std::size_t>(c) * kPartialsStride];
+            slot = sparse::StepPartials{};
+            a_.multiplyRowsFusedStep(*su_arg_, cut_[c], cut_[c + 1],
+                                     slot);
+        }
+    });
+    su_arg_ = nullptr;
+
+    // Ascending-chunk combine over the fixed grid: identical for every
+    // pool size, including 1.
+    sparse::StepPartials out;
+    for (int c = 0; c < kChunks; ++c)
+        out.combine(
+            partials_[static_cast<std::size_t>(c) * kPartialsStride]);
+    return out;
+}
+
 KernelSuite::KernelSuite(const mesh::TetMesh &mesh,
                          const mesh::SoilModel &model, double poisson)
     : bcsr_(sparse::assembleStiffness(mesh, model, poisson)),

@@ -157,6 +157,54 @@ void smvpSymBcsr3Threaded(const sparse::SymBcsr3Matrix &a, const double *x,
                           double *y, parallel::WorkerPool &pool,
                           std::vector<double> &scratch);
 
+/**
+ * Pooled fused central-difference step over a full BCSR3 matrix (the
+ * shared-memory analogue of ParallelSmvp::stepFused, without any
+ * subdomain machinery): block rows are cut into a FIXED grid of
+ * nnz-balanced chunks, each worker walks its chunks computing K u and
+ * applying the step update row by row — no ku vector is ever
+ * materialized.  Peak/energy partials accumulate per chunk (fixed row
+ * order inside a chunk) into cache-line-padded slots and are combined
+ * in ascending chunk order; because the chunk grid never depends on
+ * the pool size, the reductions and the updated u are bitwise
+ * identical for every thread count.
+ *
+ * Chunk cuts and partial slots are allocated once in the constructor;
+ * step() performs no heap allocation (the pool dispatch captures only
+ * `this`).  Matrix and pool must outlive the kernel.
+ */
+class FusedStepKernel
+{
+  public:
+    FusedStepKernel(const sparse::Bcsr3Matrix &a,
+                    parallel::WorkerPool &pool);
+
+    /**
+     * One fused step: updates su.up in place and returns the
+     * deterministic peak/energy reductions over all DOFs.
+     */
+    sparse::StepPartials step(const sparse::StepUpdate &su) const;
+
+    /** Size of the fixed chunk grid. */
+    int chunks() const { return kChunks; }
+
+  private:
+    /** Fixed grid size — deliberately NOT a function of pool size. */
+    static constexpr int kChunks = 64;
+
+    /** StepPartials per 64-byte cache line: padding stride per chunk. */
+    static constexpr std::size_t kPartialsStride = 4;
+
+    const sparse::Bcsr3Matrix &a_;
+    parallel::WorkerPool &pool_;
+    std::vector<std::int64_t> cut_; ///< kChunks + 1 block-row cuts
+
+    // Reused across steps; mutable so step() stays const (the kernel is
+    // non-reentrant, like the rest of the engine layer).
+    mutable std::vector<sparse::StepPartials> partials_;
+    mutable const sparse::StepUpdate *su_arg_ = nullptr;
+};
+
 } // namespace quake::spark
 
 #endif // QUAKE98_SPARK_KERNELS_H_

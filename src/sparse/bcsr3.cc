@@ -71,13 +71,22 @@ Bcsr3Matrix::addToBlock(std::int64_t br, std::int32_t bc, const Block3 &b)
 namespace
 {
 
-/** One block row of y = A x; shared by every row-subset entry point. */
-inline void
-multiplyOneBlockRow(const std::int64_t *__restrict__ xadj,
-                    const std::int32_t *__restrict__ cols,
-                    const double *__restrict__ vals,
-                    const double *__restrict__ x, double *__restrict__ y,
-                    std::int64_t br)
+/** The three accumulators of one block row of A x. */
+struct RowAccum
+{
+    double a0, a1, a2;
+};
+
+/**
+ * Accumulators of block row br of A x — the one block-row routine every
+ * entry point (full multiply, row subsets, fused step) shares, so all
+ * of them produce bitwise-identical values for a given row.
+ */
+inline RowAccum
+blockRowProduct(const std::int64_t *__restrict__ xadj,
+                const std::int32_t *__restrict__ cols,
+                const double *__restrict__ vals,
+                const double *__restrict__ x, std::int64_t br)
 {
     double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0;
     for (std::int64_t k = xadj[br]; k < xadj[br + 1]; ++k) {
@@ -87,12 +96,33 @@ multiplyOneBlockRow(const std::int64_t *__restrict__ xadj,
         acc1 += b[3] * xv[0] + b[4] * xv[1] + b[5] * xv[2];
         acc2 += b[6] * xv[0] + b[7] * xv[1] + b[8] * xv[2];
     }
-    y[3 * br + 0] = acc0;
-    y[3 * br + 1] = acc1;
-    y[3 * br + 2] = acc2;
+    return RowAccum{acc0, acc1, acc2};
+}
+
+/** One block row of y = A x; shared by every row-subset entry point. */
+inline void
+multiplyOneBlockRow(const std::int64_t *__restrict__ xadj,
+                    const std::int32_t *__restrict__ cols,
+                    const double *__restrict__ vals,
+                    const double *__restrict__ x, double *__restrict__ y,
+                    std::int64_t br)
+{
+    const RowAccum acc = blockRowProduct(xadj, cols, vals, x, br);
+    y[3 * br + 0] = acc.a0;
+    y[3 * br + 1] = acc.a1;
+    y[3 * br + 2] = acc.a2;
 }
 
 } // namespace
+
+void
+applyStepUpdateRange(const StepUpdate &su, const double *ku,
+                     std::int64_t begin, std::int64_t end,
+                     StepPartials &out)
+{
+    for (std::int64_t i = begin; i < end; ++i)
+        out.accumulate(su, i, su.apply(i, ku[i]));
+}
 
 void
 Bcsr3Matrix::multiplyRows(const double *x, double *y, std::int64_t row_begin,
@@ -111,6 +141,30 @@ Bcsr3Matrix::multiplyRowList(const double *x, double *y,
     for (std::int64_t i = 0; i < num_rows; ++i)
         multiplyOneBlockRow(xadj_.data(), block_cols_.data(),
                             values_.data(), x, y, rows[i]);
+}
+
+void
+Bcsr3Matrix::multiplyRowsFusedStep(const StepUpdate &su,
+                                   std::int64_t row_begin,
+                                   std::int64_t row_end,
+                                   StepPartials &out) const
+{
+    for (std::int64_t br = row_begin; br < row_end; ++br) {
+        const RowAccum acc = blockRowProduct(
+            xadj_.data(), block_cols_.data(), values_.data(), su.u, br);
+        const std::int64_t i = 3 * br;
+        out.accumulate(su, i + 0, su.apply(i + 0, acc.a0));
+        out.accumulate(su, i + 1, su.apply(i + 1, acc.a1));
+        out.accumulate(su, i + 2, su.apply(i + 2, acc.a2));
+    }
+}
+
+StepPartials
+Bcsr3Matrix::multiplyFusedStep(const StepUpdate &su) const
+{
+    StepPartials out;
+    multiplyRowsFusedStep(su, 0, block_rows_, out);
+    return out;
 }
 
 void

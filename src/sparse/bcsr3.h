@@ -9,7 +9,9 @@
 #ifndef QUAKE98_SPARSE_BCSR3_H_
 #define QUAKE98_SPARSE_BCSR3_H_
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -20,6 +22,104 @@ namespace quake::sparse
 
 /** A dense 3x3 block stored row-major. */
 using Block3 = std::array<double, 9>;
+
+/**
+ * Coefficients and field pointers of one fused central-difference step
+ * (the Quake update, paper §2.2):
+ *
+ *   u_{n+1} = (2 u_n - (1 - a0 dt/2) u_{n-1}
+ *              + dt^2 M^{-1} (f_n - K u_n)) / (1 + a0 dt/2).
+ *
+ * The SMVP kernels apply this update to a row's scalar DOFs the moment
+ * that row's (K u)_i value is finalized — while it is still in cache —
+ * instead of a separate serial O(n) pass over all vectors.  All paths
+ * (the fused kernels and the unfused reference triad) funnel through
+ * apply(), so fused and unfused runs produce bitwise-identical u.
+ */
+struct StepUpdate
+{
+    const double *u = nullptr;       ///< u_n (the SMVP input x)
+    double *up = nullptr;            ///< u_{n-1} in, u_{n+1} out
+    const double *f = nullptr;       ///< force at t_n
+    const double *invMass = nullptr; ///< reciprocal lumped-mass diagonal
+    double dt = 0.0;                 ///< time step (for the energy velocity)
+    double dt2 = 0.0;                ///< dt^2
+    double prevCoeff = 1.0;          ///< 1 - a0 dt / 2
+    double denom = 1.0;              ///< 1 + a0 dt / 2
+
+    /** Update scalar DOF i given its freshly finalized (K u)_i value. */
+    double
+    apply(std::int64_t i, double ku_i) const
+    {
+        return apply(i, u[i], ku_i);
+    }
+
+    /**
+     * Same update with u_i supplied by the caller — a bitwise copy of
+     * u[i] already at hand (the distributed engine's gathered local x
+     * vector).  Identical arithmetic, one fewer indexed load.
+     */
+    double
+    apply(std::int64_t i, double u_i, double ku_i) const
+    {
+        const double next = (2.0 * u_i - prevCoeff * up[i] +
+                             dt2 * invMass[i] * (f[i] - ku_i)) /
+                            denom;
+        up[i] = next;
+        return next;
+    }
+};
+
+/**
+ * Running reductions folded into a fused step sweep: the step's peak
+ * |u_{n+1}| and its kinetic energy (1/2) v^T M v with v = (u_{n+1} -
+ * u_n) / dt.  Each worker/range accumulates a private StepPartials in
+ * ascending DOF order; partials are combined in a fixed (ascending
+ * range) order, so the reduced values are deterministic and
+ * independent of thread count.
+ */
+struct StepPartials
+{
+    double peak = 0.0;   ///< max |u_{n+1}| over the range
+    double energy = 0.0; ///< kinetic-energy partial sum over the range
+
+    /** Fold in DOF i after apply() returned `next`. */
+    void
+    accumulate(const StepUpdate &su, std::int64_t i, double next)
+    {
+        accumulate(su, i, su.u[i], next);
+    }
+
+    /** Same fold with u_i supplied by the caller (see apply). */
+    void
+    accumulate(const StepUpdate &su, std::int64_t i, double u_i,
+               double next)
+    {
+        peak = std::max(peak, std::fabs(next));
+        const double v = (next - u_i) / su.dt;
+        energy += 0.5 * v * v / su.invMass[i];
+    }
+
+    /** Fixed-order combine (callers combine in ascending range order). */
+    void
+    combine(const StepPartials &other)
+    {
+        peak = std::max(peak, other.peak);
+        energy += other.energy;
+    }
+};
+
+/**
+ * The unfused reference triad: apply the update to scalar DOFs
+ * [begin, end) from a fully materialized ku vector, accumulating the
+ * same partials as the fused kernels.  Lives in the sparse library so
+ * it is compiled with the same flags (QUAKE98_NATIVE included) as the
+ * fused kernels — the bitwise fused-vs-unfused guarantee must not
+ * depend on per-target compile options.
+ */
+void applyStepUpdateRange(const StepUpdate &su, const double *ku,
+                          std::int64_t begin, std::int64_t end,
+                          StepPartials &out);
 
 /** Sparse matrix of 3x3 blocks in block-CSR form. */
 class Bcsr3Matrix
@@ -99,6 +199,23 @@ class Bcsr3Matrix
     void multiplyRowList(const double *x, double *y,
                          const std::int64_t *rows,
                          std::int64_t num_rows) const;
+
+    /**
+     * Fused time step over block rows [row_begin, row_end): for each
+     * block row, compute its three (K u) values into registers (the
+     * same arithmetic as multiply(), bit for bit), immediately apply
+     * `su` to those DOFs while they are hot, and fold the row into
+     * `out`.  No ku vector is ever materialized — the O(n) update pass
+     * and its memory traffic disappear into the SMVP sweep.  su.u must
+     * be the x vector (length numRows()).
+     */
+    void multiplyRowsFusedStep(const StepUpdate &su,
+                               std::int64_t row_begin,
+                               std::int64_t row_end,
+                               StepPartials &out) const;
+
+    /** Fused time step over the whole matrix; returns the reductions. */
+    StepPartials multiplyFusedStep(const StepUpdate &su) const;
 
     /** Expand to scalar CSR (for cross-checking kernels). */
     CsrMatrix toCsr() const;

@@ -48,44 +48,78 @@ SymBcsr3Matrix::fromBcsr3(const Bcsr3Matrix &full, double tolerance)
     return sym;
 }
 
+namespace
+{
+
+/**
+ * One block row of the symmetric sweep: accumulate the row's own
+ * products into y[row] and scatter the transposed contributions into
+ * y[col].  Shared by multiplyRowsScatter and the fused step so both
+ * produce bitwise-identical y values.
+ */
+inline void
+scatterOneBlockRow(const std::int64_t *__restrict__ xadj,
+                   const std::int32_t *__restrict__ cols,
+                   const double *__restrict__ vals,
+                   const double *__restrict__ xv, double *__restrict__ yv,
+                   std::int64_t br)
+{
+    const double xr0 = xv[3 * br + 0];
+    const double xr1 = xv[3 * br + 1];
+    const double xr2 = xv[3 * br + 2];
+    double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0;
+    for (std::int64_t k = xadj[br]; k < xadj[br + 1]; ++k) {
+        const std::int64_t bc = cols[k];
+        const double *__restrict__ b = &vals[9 * k];
+        const double xc0 = xv[3 * bc + 0];
+        const double xc1 = xv[3 * bc + 1];
+        const double xc2 = xv[3 * bc + 2];
+
+        acc0 += b[0] * xc0 + b[1] * xc1 + b[2] * xc2;
+        acc1 += b[3] * xc0 + b[4] * xc1 + b[5] * xc2;
+        acc2 += b[6] * xc0 + b[7] * xc1 + b[8] * xc2;
+
+        if (bc != br) {
+            // Transposed scatter: y[col] += B^T x[row].
+            yv[3 * bc + 0] += b[0] * xr0 + b[3] * xr1 + b[6] * xr2;
+            yv[3 * bc + 1] += b[1] * xr0 + b[4] * xr1 + b[7] * xr2;
+            yv[3 * bc + 2] += b[2] * xr0 + b[5] * xr1 + b[8] * xr2;
+        }
+    }
+    yv[3 * br + 0] += acc0;
+    yv[3 * br + 1] += acc1;
+    yv[3 * br + 2] += acc2;
+}
+
+} // namespace
+
 void
 SymBcsr3Matrix::multiplyRowsScatter(const double *x, double *y,
                                     std::int64_t row_begin,
                                     std::int64_t row_end) const
 {
-    const double *__restrict__ xv = x;
-    double *__restrict__ yv = y;
-    const std::int64_t *__restrict__ xadj = xadj_.data();
-    const std::int32_t *__restrict__ cols = block_cols_.data();
-    const double *__restrict__ vals = values_.data();
+    for (std::int64_t br = row_begin; br < row_end; ++br)
+        scatterOneBlockRow(xadj_.data(), block_cols_.data(),
+                           values_.data(), x, y, br);
+}
 
-    for (std::int64_t br = row_begin; br < row_end; ++br) {
-        const double xr0 = xv[3 * br + 0];
-        const double xr1 = xv[3 * br + 1];
-        const double xr2 = xv[3 * br + 2];
-        double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0;
-        for (std::int64_t k = xadj[br]; k < xadj[br + 1]; ++k) {
-            const std::int64_t bc = cols[k];
-            const double *__restrict__ b = &vals[9 * k];
-            const double xc0 = xv[3 * bc + 0];
-            const double xc1 = xv[3 * bc + 1];
-            const double xc2 = xv[3 * bc + 2];
-
-            acc0 += b[0] * xc0 + b[1] * xc1 + b[2] * xc2;
-            acc1 += b[3] * xc0 + b[4] * xc1 + b[5] * xc2;
-            acc2 += b[6] * xc0 + b[7] * xc1 + b[8] * xc2;
-
-            if (bc != br) {
-                // Transposed scatter: y[col] += B^T x[row].
-                yv[3 * bc + 0] += b[0] * xr0 + b[3] * xr1 + b[6] * xr2;
-                yv[3 * bc + 1] += b[1] * xr0 + b[4] * xr1 + b[7] * xr2;
-                yv[3 * bc + 2] += b[2] * xr0 + b[5] * xr1 + b[8] * xr2;
-            }
-        }
-        yv[3 * br + 0] += acc0;
-        yv[3 * br + 1] += acc1;
-        yv[3 * br + 2] += acc2;
+StepPartials
+SymBcsr3Matrix::multiplyFusedStep(const StepUpdate &su, double *y) const
+{
+    std::memset(y, 0,
+                static_cast<std::size_t>(numRows()) * sizeof(double));
+    StepPartials out;
+    for (std::int64_t br = 0; br < block_rows_; ++br) {
+        scatterOneBlockRow(xadj_.data(), block_cols_.data(),
+                           values_.data(), su.u, y, br);
+        // Ascending order makes y[3 br .. 3 br + 2] final here: every
+        // remaining scatter targets a block column > br.
+        const std::int64_t i = 3 * br;
+        out.accumulate(su, i + 0, su.apply(i + 0, y[i + 0]));
+        out.accumulate(su, i + 1, su.apply(i + 1, y[i + 1]));
+        out.accumulate(su, i + 2, su.apply(i + 2, y[i + 2]));
     }
+    return out;
 }
 
 void

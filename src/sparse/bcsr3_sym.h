@@ -69,6 +69,18 @@ class SymBcsr3Matrix
                              std::int64_t row_begin,
                              std::int64_t row_end) const;
 
+    /**
+     * Fused time step: one ascending sweep over all block rows that
+     * computes y = A x (bitwise identical to multiply()) and applies
+     * `su` to each block row's DOFs the moment the row is final.  With
+     * upper-triangle storage a row's y value is complete right after
+     * its own sweep — every transposed scatter into y[r] comes from a
+     * row < r — so the update runs while the row is still in cache.
+     * `y` is the caller's ku scratch (length numRows()); the scatter
+     * needs it, but no second O(n) update pass ever reads it back.
+     */
+    StepPartials multiplyFusedStep(const StepUpdate &su, double *y) const;
+
   private:
     std::int64_t block_rows_ = 0;
     std::vector<std::int64_t> xadj_;

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.h"
 #include "mesh/generator.h"
@@ -118,6 +119,66 @@ TEST(Simulation, RejectsBadConfig)
     config = smallConfig();
     config.numPes = 0;
     EXPECT_THROW(runSimulation(p.mesh, p.model, config), FatalError);
+}
+
+TEST(Simulation, ValidatesConfigFieldsOnEntry)
+{
+    SmallProblem p;
+    SimulationConfig config = smallConfig();
+    config.durationSeconds = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(runSimulation(p.mesh, p.model, config), FatalError);
+    config = smallConfig();
+    config.durationSeconds = std::nan("");
+    EXPECT_THROW(runSimulation(p.mesh, p.model, config), FatalError);
+    config = smallConfig();
+    config.smvpThreads = -1;
+    EXPECT_THROW(runSimulation(p.mesh, p.model, config), FatalError);
+    config = smallConfig();
+    config.sampleInterval = -1;
+    EXPECT_THROW(runSimulation(p.mesh, p.model, config), FatalError);
+    config = smallConfig();
+    config.maxSteps = -1;
+    EXPECT_THROW(runSimulation(p.mesh, p.model, config), FatalError);
+    // smvpThreads = 0 stays valid: hardware concurrency.
+    config = smallConfig();
+    config.smvpThreads = 0;
+    config.maxSteps = 3;
+    EXPECT_EQ(runSimulation(p.mesh, p.model, config).steps, 3);
+}
+
+TEST(Simulation, FusedAndUnfusedRunsAgree)
+{
+    // The fused pipeline only reschedules the same arithmetic, so the
+    // sequential displacement-derived outputs match exactly and the
+    // distributed ones to reduction-order tolerance.
+    SmallProblem p;
+    for (const int pes : {1, 4}) {
+        SimulationConfig config = smallConfig();
+        config.maxSteps = 80;
+        config.numPes = pes;
+        config.fusedStep = true;
+        const SimulationReport fused =
+            runSimulation(p.mesh, p.model, config);
+        config.fusedStep = false;
+        const SimulationReport unfused =
+            runSimulation(p.mesh, p.model, config);
+
+        EXPECT_EQ(fused.steps, unfused.steps);
+        EXPECT_EQ(fused.peakDisplacement, unfused.peakDisplacement);
+        ASSERT_EQ(fused.samples.size(), unfused.samples.size());
+        for (std::size_t i = 0; i < fused.samples.size(); ++i) {
+            EXPECT_EQ(fused.samples[i].peakDisplacement,
+                      unfused.samples[i].peakDisplacement);
+            if (pes == 1)
+                EXPECT_EQ(fused.samples[i].kineticEnergy,
+                          unfused.samples[i].kineticEnergy);
+            else
+                EXPECT_NEAR(fused.samples[i].kineticEnergy,
+                            unfused.samples[i].kineticEnergy,
+                            1e-9 * (1.0 +
+                                    unfused.samples[i].kineticEnergy));
+        }
+    }
 }
 
 TEST(Simulation, EnergyBoundedAfterSourceEnds)
