@@ -13,7 +13,8 @@
  * actually runs (exit status reflects the determinism check only).
  *
  * Flags: --smoke (tiny mesh, few reps — the `perf` ctest label),
- *        --pes N, --threads N, --reps N, --full (paper-scale sf10).
+ *        --pes N, --threads N, --reps N, --full (paper-scale sf10),
+ *        --trace FILE / --metrics FILE (telemetry on the overlap run).
  */
 
 #include "bench/bench_util.h"
@@ -26,6 +27,8 @@
 #include "core/requirements.h"
 #include "parallel/parallel_smvp.h"
 #include "spark/kernels.h"
+#include "telemetry/collector.h"
+#include "telemetry/export.h"
 
 namespace
 {
@@ -52,17 +55,14 @@ main(int argc, char **argv)
     bench::benchHeader("SMVP engine (pool + overlap + blocked kernels)",
                        "the T_f measurements of Section 3.1");
 
-    const bool smoke = args.has("smoke");
-    const double h_scale = smoke ? 3.0 : (args.has("full") ? 1.0 : 1.0);
+    const bench::EngineBenchOptions opt = bench::engineBenchOptions(args);
+    const bool smoke = opt.smoke;
+    const int threads = opt.threads;
+    const int pes = opt.pes;
     const int reps =
         static_cast<int>(args.getInt("reps", smoke ? 3 : 20));
-    const int threads = static_cast<int>(args.getInt("threads", 0));
-    const int pes = static_cast<int>(
-        args.getInt("pes",
-                    std::max(4, 2 * parallel::WorkerPool::hardwareThreads())));
 
-    const bench::BenchMesh bm{mesh::SfClass::kSf10, h_scale,
-                              smoke ? "sf10 (smoke)" : "sf10"};
+    const bench::BenchMesh bm = opt.mesh;
     const mesh::TetMesh &m = bench::cachedMesh(bm);
     const mesh::LayeredBasinModel model;
 
@@ -108,10 +108,20 @@ main(int argc, char **argv)
     const partition::GeometricBisection partitioner;
     const parallel::DistributedProblem problem =
         parallel::distribute(m, model, partitioner.partition(m, pes));
-    const parallel::ParallelSmvp engine(problem, threads,
-                                        parallel::ExchangeMode::kOverlapped);
+    parallel::ParallelSmvp engine(problem, threads,
+                                  parallel::ExchangeMode::kOverlapped);
     const parallel::ParallelSmvp barrier(problem, threads,
                                          parallel::ExchangeMode::kBarrier);
+
+    // Telemetry on the overlap engine only: the timed loops below then
+    // feed phase histograms and (sampled) spans into the collector.
+    const bool want_telemetry =
+        !opt.tracePath.empty() || !opt.metricsPath.empty();
+    telemetry::CollectorConfig tc;
+    tc.enabled = want_telemetry;
+    telemetry::Collector collector(tc);
+    if (want_telemetry)
+        engine.setCollector(&collector);
 
     std::vector<double> x(static_cast<std::size_t>(suite.dof()));
     common::SplitMix64 rng(1998);
@@ -192,6 +202,15 @@ main(int argc, char **argv)
          {"autotune_winner", spark::kernelName(tuned.best)},
          {"overlap_bitwise_equal", bitwise_equal ? "true" : "false"},
          {"speedup_vs_sym", common::formatFixed(speedup, 3)}});
+
+    if (!opt.tracePath.empty() &&
+        telemetry::writeChromeTrace(collector, opt.tracePath))
+        std::cout << "[bench] wrote trace " << opt.tracePath << "\n";
+    if (!opt.metricsPath.empty())
+        telemetry::writeMetricsBenchJson(
+            collector, "smvp_telemetry",
+            {{"mesh", bm.label}, {"pes", std::to_string(pes)}},
+            opt.metricsPath);
 
     return bitwise_equal ? 0 : 1;
 }

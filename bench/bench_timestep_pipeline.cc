@@ -24,8 +24,15 @@
  * diverges bitwise from its unfused baseline, or a zero-allocation
  * contract is violated.
  *
+ * The fused distributed run carries a live telemetry collector, so the
+ * allocation gate also proves the DESIGN.md §9 claim that telemetry
+ * recording is allocation-free, and the run's phase split (local vs
+ * exchange histograms) is emitted as BENCH_timestep_telemetry.json for
+ * the perf trajectory (--metrics overrides the path).
+ *
  * Flags: --smoke (tiny mesh, few steps — the `perf` ctest label),
- *        --pes N, --threads N, --steps N, --full (paper-scale sf10).
+ *        --pes N, --threads N, --steps N, --full (paper-scale sf10),
+ *        --trace FILE / --metrics FILE (telemetry on the fused run).
  */
 
 #include "bench/bench_util.h"
@@ -42,6 +49,8 @@
 #include "quake/time_stepper.h"
 #include "spark/kernels.h"
 #include "sparse/assembly.h"
+#include "telemetry/collector.h"
+#include "telemetry/export.h"
 
 // ---------------------------------------------------------------------
 // Allocation-counting hook: every heap allocation in the process goes
@@ -166,17 +175,14 @@ main(int argc, char **argv)
         "Fused time-stepping pipeline (zero-copy + fused step)",
         "the Section 2.2 step loop whose SMVP Section 3 measures");
 
-    const bool smoke = args.has("smoke");
-    const double h_scale = smoke ? 3.0 : 1.0;
+    const bench::EngineBenchOptions opt = bench::engineBenchOptions(args);
+    const bool smoke = opt.smoke;
+    const int threads = opt.threads;
+    const int pes = opt.pes;
     const int steps =
         static_cast<int>(args.getInt("steps", smoke ? 120 : 400));
-    const int threads = static_cast<int>(args.getInt("threads", 0));
-    const int pes = static_cast<int>(
-        args.getInt("pes",
-                    std::max(4, 2 * parallel::WorkerPool::hardwareThreads())));
 
-    const bench::BenchMesh bm{mesh::SfClass::kSf10, h_scale,
-                              smoke ? "sf10 (smoke)" : "sf10"};
+    const bench::BenchMesh bm = opt.mesh;
     const mesh::TetMesh &m = bench::cachedMesh(bm);
     const mesh::LayeredBasinModel model;
 
@@ -196,7 +202,7 @@ main(int argc, char **argv)
     const partition::GeometricBisection partitioner;
     const parallel::DistributedProblem problem =
         parallel::distribute(m, model, partitioner.partition(m, pes));
-    const parallel::ParallelSmvp engine(problem, threads);
+    parallel::ParallelSmvp engine(problem, threads);
 
     sim::RickerWavelet wavelet;
     wavelet.peakFrequencyHz = 0.5;
@@ -226,6 +232,10 @@ main(int argc, char **argv)
         });
     const RunResult zero = timeRun(zero_stepper, steps, false);
 
+    // The fused run records telemetry while the allocation hook is
+    // live: the zero-alloc gate below therefore also covers telemetry
+    // recording (histograms every step, sampled spans).
+    telemetry::Collector collector;
     sim::ExplicitTimeStepper fused_stepper =
         make_stepper([&engine](const std::vector<double> &x,
                                std::vector<double> &y) {
@@ -234,7 +244,10 @@ main(int argc, char **argv)
     fused_stepper.setFusedStep([&engine](const sparse::StepUpdate &su) {
         return engine.stepFused(su);
     });
+    engine.setCollector(&collector);
+    fused_stepper.setCollector(&collector);
     const RunResult fused = timeRun(fused_stepper, steps, false);
+    engine.setCollector(nullptr);
 
     // --- Shared-memory pair on the global matrix. ---
     sim::ExplicitTimeStepper seq_stepper =
@@ -332,6 +345,20 @@ main(int argc, char **argv)
          {"zero_alloc_ok", zero_alloc_ok ? "true" : "false"},
          {"fused_speedup_vs_seed",
           common::formatFixed(fused_speedup, 3)}});
+
+    // Phase-split metrics from the fused run's collector — written on
+    // every invocation (the --smoke ctest run included) so the perf
+    // trajectory tracks compute vs exchange, not just whole-step time.
+    telemetry::writeMetricsBenchJson(
+        collector, "timestep_telemetry",
+        {{"mesh", bm.label},
+         {"pes", std::to_string(pes)},
+         {"engine_threads", std::to_string(engine.numThreads())},
+         {"steps", std::to_string(steps)}},
+        opt.metricsPath);
+    if (!opt.tracePath.empty() &&
+        telemetry::writeChromeTrace(collector, opt.tracePath))
+        std::cout << "[bench] wrote trace " << opt.tracePath << "\n";
 
     const bool ok =
         seed_matches && fused_matches && shm_matches && zero_alloc_ok;

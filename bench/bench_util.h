@@ -12,19 +12,19 @@
 #ifndef QUAKE98_BENCH_BENCH_UTIL_H_
 #define QUAKE98_BENCH_BENCH_UTIL_H_
 
-#include <fstream>
+#include <algorithm>
 #include <iostream>
 #include <map>
-#include <sstream>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/args.h"
+#include "common/bench_json.h"
 #include "common/table.h"
 #include "mesh/generator.h"
 #include "parallel/characterize.h"
+#include "parallel/worker_pool.h"
 #include "partition/geometric_bisection.h"
 
 namespace quake::bench
@@ -114,117 +114,52 @@ benchHeader(const std::string &title, const std::string &paper_ref)
                  "====================\n\n";
 }
 
+/**
+ * Standard knobs shared by the engine-level benches (bench_smvp_engine,
+ * bench_timestep_pipeline): --smoke selects the tiny mesh and short run
+ * the `perf` ctest label uses, --threads/--pes size the engine, and
+ * --trace/--metrics name telemetry output files (empty = disabled).
+ * Each bench keeps only its own knobs (--reps, --steps) local.
+ */
+struct EngineBenchOptions
+{
+    bool smoke = false;
+    int threads = 0; ///< 0 = hardware concurrency
+    int pes = 0;
+    BenchMesh mesh;
+    std::string tracePath;
+    std::string metricsPath;
+};
+
+/** Parse the shared engine-bench flags (see EngineBenchOptions). */
+inline EngineBenchOptions
+engineBenchOptions(const common::Args &args)
+{
+    EngineBenchOptions o;
+    o.smoke = args.has("smoke");
+    o.threads = static_cast<int>(args.getInt("threads", 0));
+    o.pes = static_cast<int>(args.getInt(
+        "pes",
+        std::max(4, 2 * parallel::WorkerPool::hardwareThreads())));
+    o.mesh = BenchMesh{mesh::SfClass::kSf10, o.smoke ? 3.0 : 1.0,
+                       o.smoke ? "sf10 (smoke)" : "sf10"};
+    o.tracePath = args.get("trace");
+    o.metricsPath = args.get("metrics");
+    return o;
+}
+
 // ---------------------------------------------------------------------
 // Machine-readable benchmark output: BENCH_<name>.json.
 //
-// Perf-trajectory tooling diffs these files across commits, so the
-// format is deliberately flat: a host block (threads, compiler, build),
-// an optional info block of free-form strings, and one record per
-// measured kernel/configuration.
+// The record type and writer live in common/bench_json.h so the
+// telemetry metrics exporter emits the exact same schema; the aliases
+// below keep the historical quake::bench spellings working.
 // ---------------------------------------------------------------------
 
-/** One measured kernel/configuration in a BENCH json file. */
-struct BenchJsonRecord
-{
-    std::string kernel;        ///< kernel or engine configuration name
-    std::int64_t rows = 0;     ///< scalar matrix dimension
-    std::int64_t nnz = 0;      ///< logical scalar nonzeros
-    double secondsPerSmvp = 0.0;
-    double gflops = 0.0;       ///< sustained rate, F = 2 nnz per SMVP
-    double tfNs = 0.0;         ///< per-flop time in nanoseconds
-
-    /** Extra numeric fields (e.g. speedup), emitted in order. */
-    std::vector<std::pair<std::string, double>> extra;
-};
-
-/** Escape a string for embedding in JSON. */
-inline std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default: out += c; break;
-        }
-    }
-    return out;
-}
-
-/** Render a double as JSON (finite; full precision). */
-inline std::string
-jsonNumber(double v)
-{
-    std::ostringstream oss;
-    oss.precision(12);
-    oss << v;
-    return oss.str();
-}
-
-/**
- * Write BENCH_<name>.json in the current directory and announce the
- * path on stdout.  `info` rows are free-form string pairs (mesh label,
- * subdomain count, ...).
- */
-inline void
-writeBenchJson(
-    const std::string &name, const std::vector<BenchJsonRecord> &records,
-    const std::vector<std::pair<std::string, std::string>> &info = {})
-{
-    const std::string path = "BENCH_" + name + ".json";
-    std::ofstream out(path);
-    if (!out) {
-        std::cerr << "[bench] cannot write " << path << "\n";
-        return;
-    }
-
-    out << "{\n  \"bench\": \"" << jsonEscape(name) << "\",\n";
-    out << "  \"host\": {\n"
-        << "    \"hardware_threads\": "
-        << std::thread::hardware_concurrency() << ",\n"
-        << "    \"compiler\": \""
-#if defined(__VERSION__)
-        << jsonEscape(__VERSION__)
-#else
-        << "unknown"
-#endif
-        << "\",\n    \"build\": \""
-#ifdef NDEBUG
-        << "optimized"
-#else
-        << "debug"
-#endif
-        << "\"\n  },\n";
-
-    if (!info.empty()) {
-        out << "  \"info\": {\n";
-        for (std::size_t i = 0; i < info.size(); ++i)
-            out << "    \"" << jsonEscape(info[i].first) << "\": \""
-                << jsonEscape(info[i].second) << "\""
-                << (i + 1 < info.size() ? "," : "") << "\n";
-        out << "  },\n";
-    }
-
-    out << "  \"records\": [\n";
-    for (std::size_t i = 0; i < records.size(); ++i) {
-        const BenchJsonRecord &r = records[i];
-        out << "    {\"kernel\": \"" << jsonEscape(r.kernel)
-            << "\", \"rows\": " << r.rows << ", \"nnz\": " << r.nnz
-            << ", \"seconds_per_smvp\": " << jsonNumber(r.secondsPerSmvp)
-            << ", \"gflops\": " << jsonNumber(r.gflops)
-            << ", \"tf_ns\": " << jsonNumber(r.tfNs);
-        for (const auto &[key, value] : r.extra)
-            out << ", \"" << jsonEscape(key)
-                << "\": " << jsonNumber(value);
-        out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
-    std::cout << "[bench] wrote " << path << "\n";
-}
+using common::BenchJsonRecord;
+using common::jsonEscape;
+using common::jsonNumber;
+using common::writeBenchJson;
 
 } // namespace quake::bench
 

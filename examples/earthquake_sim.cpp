@@ -8,7 +8,17 @@
  *                       [--duration seconds] [--max-steps N]
  *                       [--freq hz] [--scale h-scale]
  *                       [--damping a0] [--seismogram path]
+ *                       [--trace path] [--metrics path]
+ *                       [--sample-every N]
  *                       [--faults [--drop-rate R] [--seed S]]
+ *
+ * With --trace or --metrics, the run records telemetry (DESIGN.md §9):
+ * --trace writes a Chrome trace_event JSON loadable in Perfetto /
+ * about://tracing, --metrics writes the phase histograms and counters
+ * as a BENCH-schema JSON, and a measured-vs-modeled report compares the
+ * run's compute/exchange split against the paper's Eq. (1) prediction
+ * (distributed runs only).  --sample-every N thins the fine-grained
+ * per-PE spans to every Nth step (default 16).
  *
  * With --faults, the per-step boundary exchange of the distributed run
  * is replayed through the reliable (ack/retransmit) protocol on an
@@ -21,10 +31,14 @@
 
 #include "common/args.h"
 #include "common/table.h"
+#include "parallel/characterize.h"
 #include "parallel/event_sim.h"
 #include "parallel/reliable_exchange.h"
 #include "partition/geometric_bisection.h"
 #include "quake/simulation.h"
+#include "telemetry/collector.h"
+#include "telemetry/export.h"
+#include "telemetry/report.h"
 
 int
 main(int argc, char **argv)
@@ -57,6 +71,17 @@ main(int argc, char **argv)
     sim::Seismogram record = sim::Seismogram::surfaceLine(
         generated.mesh, 8, model.params().basinCenter.y);
     config.recorder = &record;
+
+    // Telemetry rides along only when an output was requested; a
+    // disabled collector records nothing and costs one branch per hook.
+    const std::string trace_path = args.get("trace");
+    const std::string metrics_path = args.get("metrics");
+    telemetry::CollectorConfig tele_config;
+    tele_config.enabled = !trace_path.empty() || !metrics_path.empty();
+    tele_config.sampleEvery = args.getInt("sample-every", 16);
+    telemetry::Collector collector(tele_config);
+    if (collector.enabled())
+        config.collector = &collector;
 
     const sim::SimulationReport report =
         sim::runSimulation(generated.mesh, model, config);
@@ -104,6 +129,27 @@ main(int argc, char **argv)
                   << "\n";
     }
 
+    if (collector.enabled() && config.numPes > 1) {
+        // Measured compute/exchange split vs the paper's Eq. (1)
+        // prediction, from the same partition the run used.
+        const partition::GeometricBisection partitioner;
+        const parallel::DistributedProblem topo =
+            parallel::distributeTopology(
+                generated.mesh,
+                partitioner.partition(generated.mesh, config.numPes));
+        const core::SmvpCharacterization ch = parallel::characterize(
+            topo, mesh::sfClassName(cls) + "/" +
+                      std::to_string(config.numPes));
+        telemetry::ModelReportInputs inputs;
+        inputs.shape = core::SmvpShape::fromSummary(core::summarize(ch));
+        for (const core::PeLoad &pe : ch.pes) {
+            inputs.totalFlops += static_cast<double>(pe.flops);
+            inputs.totalWords += static_cast<double>(pe.words);
+        }
+        telemetry::printModelValidation(
+            telemetry::validateModel(collector, inputs), std::cout);
+    }
+
     if (args.has("faults")) {
         // Replay one step's boundary exchange through the reliable
         // protocol: what would this run cost on a lossy network?
@@ -123,6 +169,8 @@ main(int argc, char **argv)
             args.getInt("seed", 0x5eed));
         reliable.faults.dropProbability = rate;
         reliable.faults.ackDropProbability = rate;
+        if (collector.enabled())
+            reliable.collector = &collector;
         const parallel::ReliableExchangeResult r =
             parallel::simulateReliableExchange(schedule, machine,
                                                reliable);
@@ -147,6 +195,30 @@ main(int argc, char **argv)
                   << "  stale y = Kx bound   : "
                   << common::formatFixed(100.0 * r.staleFraction, 3)
                   << "% of boundary words\n";
+    }
+
+    if (collector.enabled()) {
+        std::cout << "\nTelemetry (" << collector.spansRecorded()
+                  << " spans, "
+                  << collector.counterTotal(
+                         telemetry::Counter::kStepsSampled)
+                  << " sampled steps, " << collector.spansDropped()
+                  << " dropped):\n";
+        if (!trace_path.empty() &&
+            telemetry::writeChromeTrace(collector, trace_path))
+            std::cout << "  wrote Chrome trace " << trace_path
+                      << " (open at https://ui.perfetto.dev)\n"
+                      << "  step-span wall-time coverage: "
+                      << common::formatFixed(
+                             100.0 * telemetry::traceCoverage(collector),
+                             1)
+                      << "%\n";
+        if (!metrics_path.empty())
+            telemetry::writeMetricsBenchJson(
+                collector, "earthquake_sim",
+                {{"mesh", mesh::sfClassName(cls)},
+                 {"pes", std::to_string(config.numPes)}},
+                metrics_path);
     }
     return 0;
 }

@@ -1,0 +1,95 @@
+#include "common/bench_json.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+namespace quake::common
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c; break;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    std::ostringstream oss;
+    oss.precision(12);
+    oss << v;
+    return oss.str();
+}
+
+void
+writeBenchJson(
+    const std::string &name, const std::vector<BenchJsonRecord> &records,
+    const std::vector<std::pair<std::string, std::string>> &info,
+    const std::string &path)
+{
+    const std::string target =
+        path.empty() ? "BENCH_" + name + ".json" : path;
+    std::ofstream out(target);
+    if (!out) {
+        std::cerr << "[bench] cannot write " << target << "\n";
+        return;
+    }
+
+    out << "{\n  \"bench\": \"" << jsonEscape(name) << "\",\n";
+    out << "  \"host\": {\n"
+        << "    \"hardware_threads\": "
+        << std::thread::hardware_concurrency() << ",\n"
+        << "    \"compiler\": \""
+#if defined(__VERSION__)
+        << jsonEscape(__VERSION__)
+#else
+        << "unknown"
+#endif
+        << "\",\n    \"build\": \""
+#ifdef NDEBUG
+        << "optimized"
+#else
+        << "debug"
+#endif
+        << "\"\n  },\n";
+
+    if (!info.empty()) {
+        out << "  \"info\": {\n";
+        for (std::size_t i = 0; i < info.size(); ++i)
+            out << "    \"" << jsonEscape(info[i].first) << "\": \""
+                << jsonEscape(info[i].second) << "\""
+                << (i + 1 < info.size() ? "," : "") << "\n";
+        out << "  },\n";
+    }
+
+    out << "  \"records\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const BenchJsonRecord &r = records[i];
+        out << "    {\"kernel\": \"" << jsonEscape(r.kernel)
+            << "\", \"rows\": " << r.rows << ", \"nnz\": " << r.nnz
+            << ", \"seconds_per_smvp\": " << jsonNumber(r.secondsPerSmvp)
+            << ", \"gflops\": " << jsonNumber(r.gflops)
+            << ", \"tf_ns\": " << jsonNumber(r.tfNs);
+        for (const auto &[key, value] : r.extra)
+            out << ", \"" << jsonEscape(key)
+                << "\": " << jsonNumber(value);
+        out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "[bench] wrote " << target << "\n";
+}
+
+} // namespace quake::common

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Machine-readable benchmark output: BENCH_<name>.json.
+ *
+ * Perf-trajectory tooling diffs these files across commits, so the
+ * format is deliberately flat: a host block (threads, compiler, build),
+ * an optional info block of free-form strings, and one record per
+ * measured kernel/configuration.
+ *
+ * These helpers started life in bench/bench_util.h; they live here so
+ * non-bench writers (the telemetry metrics exporter) emit the exact
+ * same schema instead of carrying their own copy of the escaping and
+ * formatting code.
+ */
+
+#ifndef QUAKE98_COMMON_BENCH_JSON_H_
+#define QUAKE98_COMMON_BENCH_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace quake::common
+{
+
+/** One measured kernel/configuration in a BENCH json file. */
+struct BenchJsonRecord
+{
+    std::string kernel;        ///< kernel or engine configuration name
+    std::int64_t rows = 0;     ///< scalar matrix dimension
+    std::int64_t nnz = 0;      ///< logical scalar nonzeros
+    double secondsPerSmvp = 0.0;
+    double gflops = 0.0;       ///< sustained rate, F = 2 nnz per SMVP
+    double tfNs = 0.0;         ///< per-flop time in nanoseconds
+
+    /** Extra numeric fields (e.g. speedup), emitted in order. */
+    std::vector<std::pair<std::string, double>> extra;
+};
+
+/** Escape a string for embedding in JSON. */
+std::string jsonEscape(const std::string &s);
+
+/** Render a double as JSON (finite; full precision). */
+std::string jsonNumber(double v);
+
+/**
+ * Write a BENCH json file and announce the path on stdout.  `info` rows
+ * are free-form string pairs (mesh label, subdomain count, ...).  An
+ * empty `path` selects BENCH_<name>.json in the current directory.
+ */
+void writeBenchJson(
+    const std::string &name, const std::vector<BenchJsonRecord> &records,
+    const std::vector<std::pair<std::string, std::string>> &info = {},
+    const std::string &path = "");
+
+} // namespace quake::common
+
+#endif // QUAKE98_COMMON_BENCH_JSON_H_

@@ -98,10 +98,47 @@ ParallelSmvp::ParallelSmvp(const DistributedProblem &problem,
 }
 
 void
+ParallelSmvp::setCollector(telemetry::Collector *collector)
+{
+    if (collector != nullptr)
+        collector->ensureSlots(num_threads_ + 1);
+    tele_ = collector;
+    pool_.setCollector(collector);
+}
+
+void
+ParallelSmvp::waitForPublish(std::int64_t peer_flat, int slot,
+                             std::int32_t pe,
+                             telemetry::Collector *tele,
+                             bool sampled) const
+{
+    if (published_[peer_flat].load(std::memory_order_acquire) == epoch_)
+        return;
+    const std::uint64_t s0 = tele != nullptr ? tele->now() : 0;
+    while (published_[peer_flat].load(std::memory_order_acquire) !=
+           epoch_)
+        std::this_thread::yield();
+    if (tele != nullptr) {
+        const std::uint64_t s1 = tele->now();
+        tele->add(slot, telemetry::Counter::kAcquireSpinNanos, s1 - s0);
+        tele->add(slot, telemetry::Counter::kAcquireSpins, 1);
+        tele->observe(slot, telemetry::Hist::kAcquireSpinNanos, s1 - s0);
+        if (sampled)
+            tele->recordSpan(slot, telemetry::Span::kAcquireSpin, pe,
+                             s0, s1);
+    }
+}
+
+void
 ParallelSmvp::runLocalPhase(const double *x, int tid,
                             bool publish_early) const
 {
     const int p = problem_.numPes();
+    telemetry::Collector *tele =
+        tele_ != nullptr && tele_->enabled() ? tele_ : nullptr;
+    const bool sampled = tele != nullptr && tele->sampledStep();
+    const int slot = 1 + tid;
+    const std::uint64_t t0 = tele != nullptr ? tele->now() : 0;
 
     // Boundary rows first, message buffers published, then interior.
     // When publish_early is set, peers may start consuming a buffer the
@@ -110,6 +147,7 @@ ParallelSmvp::runLocalPhase(const double *x, int tid,
     for (int i = tid; i < p; i += num_threads_) {
         const Subdomain &sub = problem_.subdomains[i];
         const std::int64_t nl = sub.numLocalNodes();
+        const std::uint64_t b0 = sampled ? tele->now() : 0;
 
         std::vector<double> &xl = x_local_[i];
         for (std::int64_t v = 0; v < nl; ++v) {
@@ -140,6 +178,9 @@ ParallelSmvp::runLocalPhase(const double *x, int tid,
                 published_[flat].store(epoch_,
                                        std::memory_order_release);
         }
+        if (sampled)
+            tele->recordSpan(slot, telemetry::Span::kBoundaryPhase, i,
+                             b0, tele->now());
     }
 
     for (int i = tid; i < p; i += num_threads_) {
@@ -149,6 +190,14 @@ ParallelSmvp::runLocalPhase(const double *x, int tid,
             sub.interiorRows.data(),
             static_cast<std::int64_t>(sub.interiorRows.size()));
     }
+
+    if (tele != nullptr) {
+        const std::uint64_t t1 = tele->now();
+        tele->observe(slot, telemetry::Hist::kLocalPhaseNanos, t1 - t0);
+        if (sampled)
+            tele->recordSpan(slot, telemetry::Span::kLocalPhase, -1,
+                             t0, t1);
+    }
 }
 
 void
@@ -156,10 +205,17 @@ ParallelSmvp::runExchangePhase(double *y, int tid,
                                bool wait_for_publish) const
 {
     const int p = problem_.numPes();
+    telemetry::Collector *tele =
+        tele_ != nullptr && tele_->enabled() ? tele_ : nullptr;
+    const bool sampled = tele != nullptr && tele->sampledStep();
+    const int slot = 1 + tid;
+    const std::uint64_t t0 = tele != nullptr ? tele->now() : 0;
+
     for (int i = tid; i < p; i += num_threads_) {
         const Subdomain &sub = problem_.subdomains[i];
         std::vector<double> &yl = y_local_[i];
         const PeSchedule &pe = problem_.schedule.pe(i);
+        const std::uint64_t e0 = sampled ? tele->now() : 0;
 
         // Ascending peer order — the determinism guarantee.  Arrival
         // timing never changes the sum order, only how long we wait.
@@ -167,11 +223,8 @@ ParallelSmvp::runExchangePhase(double *y, int tid,
             const Exchange &ex = pe.exchanges[k];
             const std::int64_t peer_flat =
                 exchange_base_[ex.peer] + mirror_index_[i][k];
-            if (wait_for_publish) {
-                while (published_[peer_flat].load(
-                           std::memory_order_acquire) != epoch_)
-                    std::this_thread::yield();
-            }
+            if (wait_for_publish)
+                waitForPublish(peer_flat, slot, i, tele, sampled);
             const std::vector<double> &buf = buffers_[peer_flat];
             const std::vector<std::int64_t> &locals =
                 exchange_local_nodes_[exchange_base_[i] +
@@ -191,7 +244,14 @@ ParallelSmvp::runExchangePhase(double *y, int tid,
             y[3 * g + 1] = yl[3 * v + 1];
             y[3 * g + 2] = yl[3 * v + 2];
         }
+        if (sampled)
+            tele->recordSpan(slot, telemetry::Span::kExchange, i, e0,
+                             tele->now());
     }
+
+    if (tele != nullptr)
+        tele->observe(slot, telemetry::Hist::kExchangeNanos,
+                      tele->now() - t0);
 }
 
 void
@@ -199,12 +259,18 @@ ParallelSmvp::runLocalPhaseFused(int tid, bool publish_early) const
 {
     const sparse::StepUpdate &su = *su_arg_;
     const int p = problem_.numPes();
+    telemetry::Collector *tele =
+        tele_ != nullptr && tele_->enabled() ? tele_ : nullptr;
+    const bool sampled = tele != nullptr && tele->sampledStep();
+    const int slot = 1 + tid;
+    const std::uint64_t t0 = tele != nullptr ? tele->now() : 0;
 
     // Identical to runLocalPhase (same gather, same kernels, same
     // publish protocol) up to the interior sweep...
     for (int i = tid; i < p; i += num_threads_) {
         const Subdomain &sub = problem_.subdomains[i];
         const std::int64_t nl = sub.numLocalNodes();
+        const std::uint64_t b0 = sampled ? tele->now() : 0;
 
         std::vector<double> &xl = x_local_[i];
         for (std::int64_t v = 0; v < nl; ++v) {
@@ -235,6 +301,9 @@ ParallelSmvp::runLocalPhaseFused(int tid, bool publish_early) const
                 published_[flat].store(epoch_,
                                        std::memory_order_release);
         }
+        if (sampled)
+            tele->recordSpan(slot, telemetry::Span::kBoundaryPhase, i,
+                             b0, tele->now());
     }
 
     // ...then interior rows are updated in small chunks: one kernel
@@ -288,6 +357,14 @@ ParallelSmvp::runLocalPhaseFused(int tid, bool publish_early) const
             }
         }
     }
+
+    if (tele != nullptr) {
+        const std::uint64_t t1 = tele->now();
+        tele->observe(slot, telemetry::Hist::kLocalPhaseNanos, t1 - t0);
+        if (sampled)
+            tele->recordSpan(slot, telemetry::Span::kLocalPhase, -1,
+                             t0, t1);
+    }
 }
 
 void
@@ -295,10 +372,17 @@ ParallelSmvp::runExchangePhaseFused(int tid, bool wait_for_publish) const
 {
     const sparse::StepUpdate &su = *su_arg_;
     const int p = problem_.numPes();
+    telemetry::Collector *tele =
+        tele_ != nullptr && tele_->enabled() ? tele_ : nullptr;
+    const bool sampled = tele != nullptr && tele->sampledStep();
+    const int slot = 1 + tid;
+    const std::uint64_t t0 = tele != nullptr ? tele->now() : 0;
+
     for (int i = tid; i < p; i += num_threads_) {
         const Subdomain &sub = problem_.subdomains[i];
         std::vector<double> &yl = y_local_[i];
         const PeSchedule &pe = problem_.schedule.pe(i);
+        const std::uint64_t e0 = sampled ? tele->now() : 0;
 
         // Ascending peer order — the determinism guarantee (identical
         // to runExchangePhase).
@@ -306,11 +390,8 @@ ParallelSmvp::runExchangePhaseFused(int tid, bool wait_for_publish) const
             const Exchange &ex = pe.exchanges[k];
             const std::int64_t peer_flat =
                 exchange_base_[ex.peer] + mirror_index_[i][k];
-            if (wait_for_publish) {
-                while (published_[peer_flat].load(
-                           std::memory_order_acquire) != epoch_)
-                    std::this_thread::yield();
-            }
+            if (wait_for_publish)
+                waitForPublish(peer_flat, slot, i, tele, sampled);
             const std::vector<double> &buf = buffers_[peer_flat];
             const std::vector<std::int64_t> &locals =
                 exchange_local_nodes_[exchange_base_[i] +
@@ -344,12 +425,23 @@ ParallelSmvp::runExchangePhaseFused(int tid, bool wait_for_publish) const
                     su, gi, ui, su.apply(gi, ui, yl[3 * v + c]));
             }
         }
+        if (sampled)
+            tele->recordSpan(slot, telemetry::Span::kExchange, i, e0,
+                             tele->now());
     }
+
+    if (tele != nullptr)
+        tele->observe(slot, telemetry::Hist::kExchangeNanos,
+                      tele->now() - t0);
 }
 
 void
 ParallelSmvp::multiplyInto(const double *x, double *y) const
 {
+    telemetry::Collector *tele =
+        tele_ != nullptr && tele_->enabled() ? tele_ : nullptr;
+    const std::uint64_t t0 = tele != nullptr ? tele->now() : 0;
+
     x_arg_ = x;
     y_arg_ = y;
     ++epoch_;
@@ -371,6 +463,13 @@ ParallelSmvp::multiplyInto(const double *x, double *y) const
     }
     x_arg_ = nullptr;
     y_arg_ = nullptr;
+
+    if (tele != nullptr) {
+        const std::uint64_t t1 = tele->now();
+        tele->add(0, telemetry::Counter::kSmvpCalls, 1);
+        tele->observe(0, telemetry::Hist::kSmvpNanos, t1 - t0);
+        tele->recordSpan(0, telemetry::Span::kSmvp, -1, t0, t1);
+    }
 }
 
 void
@@ -403,6 +502,10 @@ ParallelSmvp::stepFused(const sparse::StepUpdate &su) const
                      su.f != nullptr && su.invMass != nullptr,
                  "fused step update has unbound field pointers");
 
+    telemetry::Collector *tele =
+        tele_ != nullptr && tele_->enabled() ? tele_ : nullptr;
+    const std::uint64_t t0 = tele != nullptr ? tele->now() : 0;
+
     const int p = problem_.numPes();
     for (int i = 0; i < p; ++i)
         step_partials_[static_cast<std::size_t>(i) * kPartialsStride] =
@@ -428,6 +531,13 @@ ParallelSmvp::stepFused(const sparse::StepUpdate &su) const
     for (int i = 0; i < p; ++i)
         out.combine(
             step_partials_[static_cast<std::size_t>(i) * kPartialsStride]);
+
+    if (tele != nullptr) {
+        const std::uint64_t t1 = tele->now();
+        tele->add(0, telemetry::Counter::kSmvpCalls, 1);
+        tele->observe(0, telemetry::Hist::kSmvpNanos, t1 - t0);
+        tele->recordSpan(0, telemetry::Span::kSmvp, -1, t0, t1);
+    }
     return out;
 }
 

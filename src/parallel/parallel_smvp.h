@@ -112,7 +112,21 @@ class ParallelSmvp
      */
     WorkerPool &workerPool() const { return pool_; }
 
+    /**
+     * Attach a telemetry collector (DESIGN.md §9).  Each worker then
+     * times its local and exchange phases into per-thread histograms on
+     * every multiply, counts actual publish waits (acquire-spin nanos),
+     * and records per-PE boundary/exchange/spin spans on steps where
+     * collector->sampledStep() holds.  Recording writes only to the
+     * collector's preallocated per-thread slots, so the 0-allocs/step
+     * and bitwise-determinism contracts of DESIGN.md §8 are preserved
+     * (tested in test_telemetry.cc).  Setup-time only; pass nullptr to
+     * detach.  The collector must outlive the engine or be detached.
+     */
+    void setCollector(telemetry::Collector *collector);
+
   private:
+    telemetry::Collector *tele_ = nullptr;
     const DistributedProblem &problem_;
     int num_threads_;
     ExchangeMode mode_;
@@ -159,6 +173,16 @@ class ParallelSmvp
                           bool wait_for_publish) const;
     void runLocalPhaseFused(int tid, bool publish_early) const;
     void runExchangePhaseFused(int tid, bool wait_for_publish) const;
+
+    /**
+     * Spin until exchange `peer_flat` publishes the current epoch,
+     * attributing the wait to telemetry slot `slot` (PE `pe`) when a
+     * collector is attached.  The fast path — buffer already published
+     * — costs one acquire load and no clock read.
+     */
+    void waitForPublish(std::int64_t peer_flat, int slot,
+                        std::int32_t pe, telemetry::Collector *tele,
+                        bool sampled) const;
 };
 
 } // namespace quake::parallel

@@ -396,6 +396,23 @@ simulateReliableExchange(const CommSchedule &schedule,
                   : 0.0;
     result.degraded =
         !result.lostExchanges.empty() || result.staleWords > 0;
+
+    if (options.collector != nullptr && options.collector->enabled()) {
+        telemetry::Collector &tc = *options.collector;
+        using telemetry::Counter;
+        tc.ensureSlots(1);
+        tc.add(0, Counter::kDataSent, result.dataSent);
+        tc.add(0, Counter::kDataDropped, result.dataDropped);
+        tc.add(0, Counter::kAcksSent, result.acksSent);
+        tc.add(0, Counter::kAcksDropped, result.acksDropped);
+        tc.add(0, Counter::kRetransmissions, result.retransmissions);
+        tc.add(0, Counter::kSpuriousRetransmissions,
+               result.spuriousRetransmissions);
+        tc.add(0, Counter::kTimeoutsFired, result.timeoutsFired);
+        tc.add(0, Counter::kBackoffWaitNanos,
+               static_cast<std::uint64_t>(result.timeoutWaitSeconds *
+                                          1e9));
+    }
     return result;
 }
 

@@ -40,6 +40,7 @@
 #include "parallel/comm_schedule.h"
 #include "parallel/fault_model.h"
 #include "parallel/machine.h"
+#include "telemetry/collector.h"
 
 namespace quake::parallel
 {
@@ -76,6 +77,17 @@ struct ReliableExchangeOptions
 
     /** Retransmissions allowed per message before the sender gives up. */
     int maxRetries = 8;
+
+    /**
+     * Optional telemetry sink (DESIGN.md §9).  When set and enabled,
+     * the simulation's protocol traffic — data/ack transmissions and
+     * drops, retransmissions (total and spurious), timeouts fired, and
+     * the modelled backoff wait (in simulated nanoseconds) — is added
+     * to the collector's control-slot counters on completion, so fault
+     * sweeps accumulate protocol cost next to the engine's phase
+     * timings.  The result struct is unchanged.
+     */
+    telemetry::Collector *collector = nullptr;
 
     /** Reject out-of-range parameters with FatalError. */
     void validate() const;

@@ -36,6 +36,15 @@ WorkerPool::~WorkerPool()
 }
 
 void
+WorkerPool::setCollector(telemetry::Collector *collector)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (collector != nullptr)
+        collector->ensureSlots(size_ + 1);
+    tele_ = collector;
+}
+
+void
 WorkerPool::workerLoop(int tid)
 {
     std::uint64_t seen = 0;
@@ -43,8 +52,18 @@ WorkerPool::workerLoop(int tid)
         const std::function<void(int)> *task;
         {
             std::unique_lock<std::mutex> lock(mu_);
+            // Time parked between dispatches (wake latency + idle) —
+            // the ISSUE's spin-wait accounting.  tele_ is read under
+            // the same mutex setCollector takes.
+            telemetry::Collector *tele =
+                tele_ != nullptr && tele_->enabled() ? tele_ : nullptr;
+            const std::uint64_t wait0 =
+                tele != nullptr ? tele->now() : 0;
             cv_start_.wait(lock,
                            [&] { return stop_ || epoch_ != seen; });
+            if (tele != nullptr)
+                tele->add(1 + tid, telemetry::Counter::kWorkerWaitNanos,
+                          tele->now() - wait0);
             if (stop_)
                 return;
             seen = epoch_;
@@ -60,7 +79,7 @@ WorkerPool::workerLoop(int tid)
 }
 
 void
-WorkerPool::run(const std::function<void(int)> &fn)
+WorkerPool::dispatch(const std::function<void(int)> &fn)
 {
     if (size_ == 1) {
         fn(0);
@@ -76,6 +95,24 @@ WorkerPool::run(const std::function<void(int)> &fn)
     std::unique_lock<std::mutex> lock(mu_);
     cv_done_.wait(lock, [&] { return remaining_ == 0; });
     task_ = nullptr;
+}
+
+void
+WorkerPool::run(const std::function<void(int)> &fn)
+{
+    telemetry::Collector *tele =
+        tele_ != nullptr && tele_->enabled() ? tele_ : nullptr;
+    if (tele == nullptr) {
+        dispatch(fn);
+        return;
+    }
+    const std::uint64_t t0 = tele->now();
+    dispatch(fn);
+    const std::uint64_t t1 = tele->now();
+    tele->add(0, telemetry::Counter::kPoolRuns, 1);
+    tele->observe(0, telemetry::Hist::kForkJoinNanos, t1 - t0);
+    if (tele->sampledStep())
+        tele->recordSpan(0, telemetry::Span::kForkJoin, -1, t0, t1);
 }
 
 } // namespace quake::parallel

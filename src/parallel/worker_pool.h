@@ -20,6 +20,8 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/collector.h"
+
 namespace quake::parallel
 {
 
@@ -57,8 +59,24 @@ class WorkerPool
     /** Hardware concurrency, clamped to at least 1. */
     static int hardwareThreads();
 
+    /**
+     * Attach a telemetry collector (DESIGN.md §9): each run() records a
+     * fork/join span + latency histogram on the control slot, and each
+     * worker accumulates the nanoseconds it spent parked between
+     * dispatches into Counter::kWorkerWaitNanos on its own slot.
+     * Setup-time only — must not be called while a run is in flight;
+     * pass nullptr to detach.  The collector must outlive the pool or
+     * be detached first.
+     */
+    void setCollector(telemetry::Collector *collector);
+
   private:
     void workerLoop(int tid);
+
+    /** The un-instrumented dispatch body of run(). */
+    void dispatch(const std::function<void(int)> &fn);
+
+    telemetry::Collector *tele_ = nullptr;
 
     int size_ = 1;
     std::vector<std::thread> threads_;

@@ -82,6 +82,11 @@ runSimulation(const mesh::TetMesh &mesh, const mesh::SoilModel &model,
         stepper.setFusedStep(std::move(fused));
     if (psmvp)
         stepper.setWorkerPool(&psmvp->workerPool());
+    if (config.collector != nullptr) {
+        stepper.setCollector(config.collector);
+        if (psmvp)
+            psmvp->setCollector(config.collector);
+    }
     if (config.dampingA0 > 0)
         stepper.setDamping(config.dampingA0);
     stepper.addSource(makePointSource(mesh, config.hypocenter,

@@ -82,6 +82,16 @@ struct SimulationConfig
 
     /** Hard cap on steps (guards tiny dt in tests); 0 = no cap. */
     std::int64_t maxSteps = 0;
+
+    /**
+     * Optional telemetry collector (caller-owned, DESIGN.md §9).  When
+     * set and enabled, the stepper, SMVP engine, and worker pool record
+     * phase spans, counters, and latency histograms into it — exported
+     * after the run as a Chrome trace and/or metrics JSON by the
+     * caller.  Telemetry is observation-only: the report and all
+     * displacements are bitwise identical with it off.
+     */
+    telemetry::Collector *collector = nullptr;
 };
 
 /** One recorded sample of the wavefield. */

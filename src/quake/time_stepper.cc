@@ -173,6 +173,14 @@ ExplicitTimeStepper::step()
 {
     const double t_start = now_seconds();
 
+    // Publish the step number first so every phase recorded below sees
+    // a consistent sampling decision for this step.
+    telemetry::Collector *tele =
+        tele_ != nullptr && tele_->enabled() ? tele_ : nullptr;
+    if (tele != nullptr)
+        tele->setStep(steps_);
+    const std::uint64_t tele0 = tele != nullptr ? tele->now() : 0;
+
     // f_n: sources evaluated at the current simulated time.  f_ is
     // all-zero here (invariant), so only the source entries are touched.
     applySources(time());
@@ -218,6 +226,14 @@ ExplicitTimeStepper::step()
     clearSources();
     std::swap(u_, up_);
     ++steps_;
+
+    if (tele != nullptr) {
+        const std::uint64_t tele1 = tele->now();
+        tele->observe(0, telemetry::Hist::kStepNanos, tele1 - tele0);
+        tele->recordSpan(0, telemetry::Span::kStep,
+                         static_cast<std::int32_t>(steps_ - 1), tele0,
+                         tele1);
+    }
 
     total_seconds_ += now_seconds() - t_start;
 }

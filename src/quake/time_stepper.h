@@ -22,6 +22,7 @@
 #include "parallel/worker_pool.h"
 #include "quake/source.h"
 #include "sparse/bcsr3.h"
+#include "telemetry/collector.h"
 
 namespace quake::sim
 {
@@ -148,6 +149,23 @@ class ExplicitTimeStepper
     double smvpSeconds() const { return smvp_seconds_; }
     double totalSeconds() const { return total_seconds_; }
 
+    /**
+     * Attach a telemetry collector (DESIGN.md §9).  Each step() then
+     * publishes the step number (driving the collector's every-N
+     * fine-grained sampling), records a whole-step span on the control
+     * slot, and feeds the step latency histogram.  Recording is
+     * observation-only, so displacements remain bitwise identical to a
+     * telemetry-off run.  Setup-time only; pass nullptr to detach.  The
+     * collector must outlive the stepper or be detached.
+     */
+    void
+    setCollector(telemetry::Collector *collector)
+    {
+        if (collector != nullptr)
+            collector->ensureSlots(1);
+        tele_ = collector;
+    }
+
   private:
     /** Accumulate the sources into f_ at time t (sparse touch). */
     void applySources(double t);
@@ -158,6 +176,7 @@ class ExplicitTimeStepper
     SmvpFn smvp_;
     FusedStepFn fused_;
     parallel::WorkerPool *pool_ = nullptr;
+    telemetry::Collector *tele_ = nullptr;
     std::vector<double> inv_mass_;
     double dt_;
     double damping_ = 0.0;

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The telemetry time source.
+ *
+ * All telemetry timestamps are unsigned nanosecond counts read through a
+ * plain function pointer.  A function pointer (rather than a virtual
+ * interface) keeps the hot-path read a direct call with no allocation
+ * and no indirection through a vtable, and lets tests substitute a
+ * deterministic fake clock so trace exports can be golden-tested.
+ */
+
+#ifndef QUAKE98_TELEMETRY_CLOCK_H_
+#define QUAKE98_TELEMETRY_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace quake::telemetry
+{
+
+/** Monotonic nanosecond clock behind a swappable function pointer. */
+class Clock
+{
+  public:
+    /** Signature of a time source: monotonic nanoseconds. */
+    using NowFn = std::uint64_t (*)();
+
+    /** The real time source: steady_clock nanoseconds since its epoch. */
+    static std::uint64_t
+    steadyNanos()
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+};
+
+} // namespace quake::telemetry
+
+#endif // QUAKE98_TELEMETRY_CLOCK_H_

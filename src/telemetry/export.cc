@@ -1,0 +1,162 @@
+#include "telemetry/export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "common/bench_json.h"
+
+namespace quake::telemetry
+{
+
+namespace
+{
+
+using common::jsonEscape;
+using common::jsonNumber;
+
+/** Microseconds (Chrome trace units) from a nanosecond timestamp. */
+double
+micros(std::uint64_t nanos)
+{
+    return static_cast<double>(nanos) / 1e3;
+}
+
+} // namespace
+
+void
+writeChromeTrace(const Collector &collector, std::ostream &out)
+{
+    out << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+    bool first = true;
+
+    // Thread-name metadata first so Perfetto labels the rows.
+    for (int i = 0; i < collector.numSlots(); ++i) {
+        if (!first)
+            out << ",\n";
+        first = false;
+        out << "{\"ph\": \"M\", \"pid\": 0, \"tid\": " << i
+            << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+            << (i == 0 ? std::string("control")
+                       : "worker-" + std::to_string(i - 1))
+            << "\"}}";
+    }
+
+    // Ascending slot, then recording order — the deterministic ordering
+    // the golden test pins down.
+    for (int i = 0; i < collector.numSlots(); ++i) {
+        const ThreadSlot &slot = collector.slot(i);
+        for (std::size_t e = 0; e < slot.spanCount; ++e) {
+            const SpanEvent &ev = slot.spans[e];
+            if (!first)
+                out << ",\n";
+            first = false;
+            out << "{\"name\": \"" << jsonEscape(spanName(ev.cat))
+                << "\", \"cat\": \"quake\", \"ph\": \"X\", \"pid\": 0, "
+                   "\"tid\": "
+                << i << ", \"ts\": " << jsonNumber(micros(ev.begin))
+                << ", \"dur\": "
+                << jsonNumber(micros(ev.end - ev.begin));
+            if (ev.arg >= 0)
+                out << ", \"args\": {\"arg\": " << ev.arg << "}";
+            out << "}";
+        }
+    }
+    out << "\n]\n}\n";
+}
+
+bool
+writeChromeTrace(const Collector &collector, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "[telemetry] cannot write " << path << "\n";
+        return false;
+    }
+    writeChromeTrace(collector, out);
+    return true;
+}
+
+double
+traceCoverage(const Collector &collector, Span top)
+{
+    std::uint64_t window_begin = ~std::uint64_t{0};
+    std::uint64_t window_end = 0;
+    std::uint64_t covered = 0;
+    bool any = false;
+    for (int i = 0; i < collector.numSlots(); ++i) {
+        const ThreadSlot &slot = collector.slot(i);
+        for (std::size_t e = 0; e < slot.spanCount; ++e) {
+            const SpanEvent &ev = slot.spans[e];
+            any = true;
+            window_begin = std::min(window_begin, ev.begin);
+            window_end = std::max(window_end, ev.end);
+            if (i == 0 && ev.cat == top)
+                covered += ev.end - ev.begin;
+        }
+    }
+    if (!any || window_end <= window_begin)
+        return 0.0;
+    return static_cast<double>(covered) /
+           static_cast<double>(window_end - window_begin);
+}
+
+void
+writeMetricsBenchJson(
+    const Collector &collector, const std::string &name,
+    const std::vector<std::pair<std::string, std::string>> &info,
+    const std::string &path)
+{
+    std::vector<common::BenchJsonRecord> records;
+
+    for (int h = 0; h < static_cast<int>(Hist::kCount); ++h) {
+        const Hist id = static_cast<Hist>(h);
+        const Histogram merged = collector.mergedHistogram(id);
+        if (merged.count() == 0)
+            continue;
+        common::BenchJsonRecord rec;
+        rec.kernel = std::string("hist:") + histName(id);
+        rec.extra.emplace_back("count",
+                               static_cast<double>(merged.count()));
+        rec.extra.emplace_back("sum_ns",
+                               static_cast<double>(merged.sum()));
+        rec.extra.emplace_back("mean_ns", merged.mean());
+        rec.extra.emplace_back("p50_ns", merged.percentile(50.0));
+        rec.extra.emplace_back("p95_ns", merged.percentile(95.0));
+        rec.extra.emplace_back("p99_ns", merged.percentile(99.0));
+        rec.extra.emplace_back("max_ns",
+                               static_cast<double>(merged.max()));
+        records.push_back(std::move(rec));
+    }
+
+    for (int c = 0; c < static_cast<int>(Counter::kCount); ++c) {
+        const Counter id = static_cast<Counter>(c);
+        const std::uint64_t total = collector.counterTotal(id);
+        if (total == 0 && id != Counter::kSmvpCalls)
+            continue;
+        common::BenchJsonRecord rec;
+        rec.kernel = std::string("counter:") + counterName(id);
+        rec.extra.emplace_back("value", static_cast<double>(total));
+        records.push_back(std::move(rec));
+    }
+
+    {
+        common::BenchJsonRecord rec;
+        rec.kernel = "counter:spans_recorded";
+        rec.extra.emplace_back(
+            "value", static_cast<double>(collector.spansRecorded()));
+        records.push_back(std::move(rec));
+    }
+    {
+        common::BenchJsonRecord rec;
+        rec.kernel = "counter:spans_dropped";
+        rec.extra.emplace_back(
+            "value", static_cast<double>(collector.spansDropped()));
+        records.push_back(std::move(rec));
+    }
+
+    common::writeBenchJson(name, records, info, path);
+}
+
+} // namespace quake::telemetry

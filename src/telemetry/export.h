@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Telemetry exporters.
+ *
+ * Two formats, both deterministic for a fixed clock (golden-tested):
+ *
+ *  - Chrome `trace_event` JSON: complete duration events ("ph": "X"),
+ *    one per recorded span, ordered by ascending thread slot and then
+ *    recording order.  Loadable directly in about://tracing and
+ *    https://ui.perfetto.dev.
+ *  - Flat metrics JSON in the exact BENCH_<name>.json schema that
+ *    bench_util's writeBenchJson emits (common/bench_json.h), so the
+ *    perf-trajectory tooling ingests phase splits, percentiles, and
+ *    protocol counters with no new parser.
+ */
+
+#ifndef QUAKE98_TELEMETRY_EXPORT_H_
+#define QUAKE98_TELEMETRY_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/collector.h"
+
+namespace quake::telemetry
+{
+
+/** Write the Chrome trace_event JSON for every recorded span. */
+void writeChromeTrace(const Collector &collector, std::ostream &out);
+
+/**
+ * Write the Chrome trace to `path`.  Returns false (with a note on
+ * stderr) when the file cannot be opened.
+ */
+bool writeChromeTrace(const Collector &collector, const std::string &path);
+
+/**
+ * Fraction of the trace's wall-clock window covered by `top`-category
+ * spans on the control slot (slot 0).  The window runs from the
+ * earliest begin to the latest end over all recorded spans; top-level
+ * step spans are sequential, so their summed duration over the window
+ * is the coverage the ISSUE acceptance bar asks for.  Returns 0 when
+ * nothing was recorded.
+ */
+double traceCoverage(const Collector &collector, Span top = Span::kStep);
+
+/**
+ * Export merged metrics as a BENCH-schema JSON file: one record per
+ * histogram (count, mean, p50/p95/p99, max in nanoseconds) and one per
+ * nonzero counter.  An empty `path` selects BENCH_<name>.json.
+ */
+void writeMetricsBenchJson(
+    const Collector &collector, const std::string &name,
+    const std::vector<std::pair<std::string, std::string>> &info = {},
+    const std::string &path = "");
+
+} // namespace quake::telemetry
+
+#endif // QUAKE98_TELEMETRY_EXPORT_H_

@@ -1,0 +1,94 @@
+#include "telemetry/report.h"
+
+#include <ostream>
+
+#include "common/error.h"
+#include "common/table.h"
+
+namespace quake::telemetry
+{
+
+ModelValidation
+validateModel(const Collector &collector, const ModelReportInputs &inputs)
+{
+    const std::int64_t calls = static_cast<std::int64_t>(
+        collector.counterTotal(Counter::kSmvpCalls));
+    QUAKE_EXPECT(calls > 0,
+                 "model validation needs at least one recorded SMVP");
+    QUAKE_EXPECT(inputs.totalFlops > 0 && inputs.totalWords > 0,
+                 "model validation needs positive flop and word totals");
+    QUAKE_EXPECT(inputs.assumedE > 0 && inputs.assumedE < 1,
+                 "assumed efficiency must be in (0, 1), got "
+                     << inputs.assumedE);
+
+    const double compute =
+        static_cast<double>(
+            collector.mergedHistogram(Hist::kLocalPhaseNanos).sum()) /
+        1e9;
+    const double exchange =
+        static_cast<double>(
+            collector.mergedHistogram(Hist::kExchangeNanos).sum()) /
+        1e9;
+    QUAKE_EXPECT(compute > 0,
+                 "model validation needs recorded local-phase time; "
+                 "was the engine's collector hook set?");
+
+    ModelValidation v;
+    v.smvpCalls = calls;
+    v.computeSecondsPerSmvp = compute / static_cast<double>(calls);
+    v.exchangeSecondsPerSmvp = exchange / static_cast<double>(calls);
+    v.measuredE = compute / (compute + exchange);
+    v.measuredTf =
+        v.computeSecondsPerSmvp / inputs.totalFlops;
+    v.measuredTc =
+        v.exchangeSecondsPerSmvp / inputs.totalWords;
+
+    v.assumedE = inputs.assumedE;
+    v.requiredTc =
+        core::requiredTc(inputs.shape, inputs.assumedE, v.measuredTf);
+    v.predictedExchangeSecondsPerSmvp =
+        inputs.shape.wordsMax * v.requiredTc;
+    v.modelImpliedE = core::achievedEfficiency(inputs.shape, v.measuredTf,
+                                               v.measuredTc);
+    return v;
+}
+
+void
+printModelValidation(const ModelValidation &v, std::ostream &out)
+{
+    const double split =
+        v.computeSecondsPerSmvp + v.exchangeSecondsPerSmvp;
+    out << "Measured vs. modeled phase split (" << v.smvpCalls
+        << " SMVPs):\n";
+    common::Table t({"quantity", "measured", "Eq. (1) @ assumed E"});
+    t.addRow({"compute share",
+              common::formatFixed(100.0 * v.computeSecondsPerSmvp / split,
+                                  1) +
+                  "%",
+              common::formatFixed(100.0 * v.assumedE, 1) + "%"});
+    t.addRow({"exchange share",
+              common::formatFixed(
+                  100.0 * v.exchangeSecondsPerSmvp / split, 1) +
+                  "%",
+              common::formatFixed(100.0 * (1.0 - v.assumedE), 1) + "%"});
+    t.addRow({"T_c (ns/word)",
+              common::formatFixed(v.measuredTc * 1e9, 2),
+              common::formatFixed(v.requiredTc * 1e9, 2)});
+    t.addRow({"exchange s/SMVP",
+              common::formatFixed(v.exchangeSecondsPerSmvp * 1e3, 4) +
+                  " ms",
+              common::formatFixed(
+                  v.predictedExchangeSecondsPerSmvp * 1e3, 4) +
+                  " ms"});
+    t.print(out);
+    out << "measured E = " << common::formatFixed(v.measuredE, 3)
+        << " (paper assumes E = "
+        << common::formatFixed(v.assumedE, 2)
+        << "; Eq. (1) at the measured T_f/T_c implies E = "
+        << common::formatFixed(v.modelImpliedE, 3) << ")\n"
+        << "measured T_f = "
+        << common::formatFixed(v.measuredTf * 1e9, 3)
+        << " ns/flop (aggregate CPU-seconds per flop across threads)\n";
+}
+
+} // namespace quake::telemetry

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Model validation: the measured compute/exchange split of a telemetry
+ * run held up against the paper's Equation (1)/(2) predictions
+ * (core/perf_model.h, core/requirements.h).
+ *
+ * The paper assumes an efficiency E and derives the communication
+ * budget T_c the machine must deliver; Bienz et al. (arXiv:1806.02030)
+ * and Schubert et al. (arXiv:1101.0091) both show such models are only
+ * trustworthy when checked against in-kernel phase measurements.  This
+ * report closes that loop: from the collector's local-phase and
+ * exchange-phase histograms it derives the measured T_f, T_c, and E,
+ * and prints them next to the Eq. (1) requirement at the assumed E.
+ */
+
+#ifndef QUAKE98_TELEMETRY_REPORT_H_
+#define QUAKE98_TELEMETRY_REPORT_H_
+
+#include <iosfwd>
+
+#include "core/perf_model.h"
+#include "telemetry/collector.h"
+
+namespace quake::telemetry
+{
+
+/** Application-shape inputs of the validation. */
+struct ModelReportInputs
+{
+    /** Eq. (1) shape: F (max flops/PE), C_max, B_max. */
+    core::SmvpShape shape;
+
+    /** Sum of F_i over all PEs, per SMVP (for the aggregate T_f). */
+    double totalFlops = 0.0;
+
+    /** Sum of C_i over all PEs, per SMVP (for the aggregate T_c). */
+    double totalWords = 0.0;
+
+    /** The efficiency the paper's analysis assumes (its tables use
+     *  E in {0.5, 0.75, 0.9}). */
+    double assumedE = 0.75;
+};
+
+/** Measured-vs-modeled phase accounting for one run. */
+struct ModelValidation
+{
+    std::int64_t smvpCalls = 0;  ///< multiplies / fused steps measured
+
+    // --- measured, from the phase histograms (CPU-seconds, summed
+    //     over threads, normalized per SMVP) ---
+    double computeSecondsPerSmvp = 0.0;  ///< local phase
+    double exchangeSecondsPerSmvp = 0.0; ///< exchange phase (incl. spin)
+    double measuredE = 0.0;  ///< compute / (compute + exchange)
+    double measuredTf = 0.0; ///< compute / totalFlops (s per flop)
+    double measuredTc = 0.0; ///< exchange / totalWords (s per word)
+
+    // --- modeled, Eq. (1) at the assumed E and the measured T_f ---
+    double assumedE = 0.0;
+    double requiredTc = 0.0; ///< T_c budget for assumedE (s per word)
+    double predictedExchangeSecondsPerSmvp = 0.0; ///< C_max * requiredTc
+
+    /** E that Eq. (1) implies for the measured (T_f, T_c) pair. */
+    double modelImpliedE = 0.0;
+};
+
+/**
+ * Derive the validation from a collector's merged phase histograms.
+ * Requires at least one recorded SMVP and positive flop/word totals;
+ * violations raise common::FatalError.
+ */
+ModelValidation validateModel(const Collector &collector,
+                              const ModelReportInputs &inputs);
+
+/** Print the measured-vs-modeled table (earthquake_sim --trace). */
+void printModelValidation(const ModelValidation &v, std::ostream &out);
+
+} // namespace quake::telemetry
+
+#endif // QUAKE98_TELEMETRY_REPORT_H_
