@@ -20,6 +20,7 @@
 #include <iostream>
 
 #include "common/args.h"
+#include "common/error.h"
 #include "common/table.h"
 #include "core/requirements.h"
 #include "core/reference.h"
@@ -30,13 +31,19 @@
 #include "parallel/reliable_exchange.h"
 #include "partition/geometric_bisection.h"
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     using namespace quake;
     namespace ref = core::reference;
     const common::Args args(argc, argv);
 
+    // customMachine validates the hardware description (positive rate,
+    // non-negative latency, positive bandwidth); the fault spec, when
+    // requested, is validated before any table is printed.
     const parallel::MachineModel machine = parallel::customMachine(
         "planned", args.getDouble("mflops", 70.0),
         args.getDouble("latency-us", 22.0) * 1e-6,
@@ -44,6 +51,16 @@ main(int argc, char **argv)
     const ref::PaperMesh mesh =
         ref::paperMeshFromName(args.get("mesh", "sf2"));
     const long block_words = args.getInt("block-words", 0); // 0 = maximal
+    QUAKE_EXPECT(block_words >= 0,
+                 "--block-words must be >= 0, got " << block_words);
+    parallel::FaultSpec fault_spec;
+    if (args.has("faults")) {
+        fault_spec.seed =
+            static_cast<std::uint64_t>(args.getInt("seed", 0x5eed));
+        fault_spec.dropProbability = args.getDouble("drop-rate", 1e-3);
+        fault_spec.ackDropProbability = fault_spec.dropProbability;
+        fault_spec.validate();
+    }
 
     std::cout << "Machine: " << common::formatFixed(machine.mflops(), 0)
               << " MFLOPS sustained, T_l = "
@@ -105,7 +122,7 @@ main(int argc, char **argv)
         // subdomains) through the ack/retransmit protocol on the
         // planned machine, then shrink the hardware budget by the
         // measured phase inflation.
-        const double rate = args.getDouble("drop-rate", 1e-3);
+        const double rate = fault_spec.dropProbability;
         const mesh::TetMesh lattice = mesh::buildKuhnLattice(
             mesh::Aabb{{0, 0, 0}, {1, 1, 1}}, 10, 10, 10);
         const partition::GeometricBisection partitioner;
@@ -116,10 +133,7 @@ main(int argc, char **argv)
         const parallel::EventSimResult baseline =
             parallel::simulateExchange(schedule, machine);
         parallel::ReliableExchangeOptions reliable;
-        reliable.faults.seed = static_cast<std::uint64_t>(
-            args.getInt("seed", 0x5eed));
-        reliable.faults.dropProbability = rate;
-        reliable.faults.ackDropProbability = rate;
+        reliable.faults = fault_spec;
         const parallel::ReliableExchangeResult r =
             parallel::simulateReliableExchange(schedule, machine,
                                                reliable);
@@ -146,4 +160,17 @@ main(int argc, char **argv)
             << common::formatTime(faulty.latency) << "\n";
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const quake::common::FatalError &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
+    }
 }

@@ -30,6 +30,7 @@
 #include <iostream>
 
 #include "common/args.h"
+#include "common/error.h"
 #include "common/table.h"
 #include "parallel/characterize.h"
 #include "parallel/event_sim.h"
@@ -40,8 +41,11 @@
 #include "telemetry/export.h"
 #include "telemetry/report.h"
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     using namespace quake;
     const common::Args args(argc, argv);
@@ -56,6 +60,22 @@ main(int argc, char **argv)
     config.wavelet.delaySeconds = 2.0 / config.wavelet.peakFrequencyHz;
     config.sampleInterval = 50;
     config.dampingA0 = args.getDouble("damping", 0.0);
+
+    // Fail on bad flags before any mesh is generated: the config, the
+    // telemetry thinning interval, and the fault spec (when requested)
+    // are all validated up front.
+    config.validate();
+    const std::int64_t sample_every = args.getInt("sample-every", 16);
+    QUAKE_EXPECT(sample_every >= 1,
+                 "--sample-every must be >= 1, got " << sample_every);
+    parallel::FaultSpec fault_spec;
+    if (args.has("faults")) {
+        fault_spec.seed =
+            static_cast<std::uint64_t>(args.getInt("seed", 0x5eed));
+        fault_spec.dropProbability = args.getDouble("drop-rate", 1e-3);
+        fault_spec.ackDropProbability = fault_spec.dropProbability;
+        fault_spec.validate();
+    }
 
     std::cout << "Simulating " << mesh::sfClassName(cls) << " on "
               << config.numPes << " PE(s), source at ("
@@ -78,7 +98,7 @@ main(int argc, char **argv)
     const std::string metrics_path = args.get("metrics");
     telemetry::CollectorConfig tele_config;
     tele_config.enabled = !trace_path.empty() || !metrics_path.empty();
-    tele_config.sampleEvery = args.getInt("sample-every", 16);
+    tele_config.sampleEvery = sample_every;
     telemetry::Collector collector(tele_config);
     if (collector.enabled())
         config.collector = &collector;
@@ -154,7 +174,7 @@ main(int argc, char **argv)
         // Replay one step's boundary exchange through the reliable
         // protocol: what would this run cost on a lossy network?
         const int pes = std::max(config.numPes, 2);
-        const double rate = args.getDouble("drop-rate", 1e-3);
+        const double rate = fault_spec.dropProbability;
         const partition::GeometricBisection partitioner;
         const parallel::CommSchedule schedule =
             parallel::CommSchedule::build(
@@ -165,10 +185,7 @@ main(int argc, char **argv)
         const parallel::EventSimResult baseline =
             parallel::simulateExchange(schedule, machine);
         parallel::ReliableExchangeOptions reliable;
-        reliable.faults.seed = static_cast<std::uint64_t>(
-            args.getInt("seed", 0x5eed));
-        reliable.faults.dropProbability = rate;
-        reliable.faults.ackDropProbability = rate;
+        reliable.faults = fault_spec;
         if (collector.enabled())
             reliable.collector = &collector;
         const parallel::ReliableExchangeResult r =
@@ -221,4 +238,17 @@ main(int argc, char **argv)
                 metrics_path);
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const quake::common::FatalError &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
+    }
 }

@@ -77,11 +77,38 @@ MeshSpec::forClass(SfClass cls, double h_scale)
     return spec;
 }
 
+void
+MeshSpec::validate() const
+{
+    QUAKE_EXPECT(periodSeconds > 0 && std::isfinite(periodSeconds),
+                 "wave period must be positive and finite");
+    QUAKE_EXPECT(pointsPerWavelength > 0 &&
+                     std::isfinite(pointsPerWavelength),
+                 "points per wavelength must be positive and finite");
+    QUAKE_EXPECT(hScale > 0 && std::isfinite(hScale),
+                 "hScale must be positive and finite");
+    QUAKE_EXPECT(hMin > 0 && std::isfinite(hMin),
+                 "hMin must be positive and finite");
+    QUAKE_EXPECT(coarseNx > 0 && coarseNy > 0 && coarseNz > 0,
+                 "coarse lattice resolution must be positive");
+    QUAKE_EXPECT(coarseNx <= 1024 && coarseNy <= 1024 && coarseNz <= 1024,
+                 "coarse lattice dimension exceeds 1024");
+    QUAKE_EXPECT(jitterFraction >= 0 && jitterFraction < 1,
+                 "jitter fraction must be in [0, 1)");
+    QUAKE_EXPECT(refine.maxElements > 0,
+                 "refinement element cap must be positive");
+    QUAKE_EXPECT(refine.maxPasses >= 0,
+                 "refinement pass cap must be non-negative");
+}
+
 TetMesh
 buildKuhnLattice(const Aabb &box, int nx, int ny, int nz)
 {
     QUAKE_EXPECT(nx > 0 && ny > 0 && nz > 0,
                  "lattice resolution must be positive");
+    QUAKE_EXPECT(static_cast<std::int64_t>(nx + 1) * (ny + 1) * (nz + 1) <=
+                     std::numeric_limits<NodeId>::max(),
+                 "lattice resolution overflows node ids");
     TetMesh mesh;
     const Vec3 ext = box.extent();
     const double dx = ext.x / nx;
@@ -245,12 +272,13 @@ jitterMesh(TetMesh &mesh, const Aabb &box, double fraction,
 GeneratedMesh
 generateMesh(const SoilModel &model, const MeshSpec &spec)
 {
-    QUAKE_EXPECT(spec.periodSeconds > 0, "wave period must be positive");
-    QUAKE_EXPECT(spec.pointsPerWavelength > 0,
-                 "points per wavelength must be positive");
-    QUAKE_EXPECT(spec.hScale > 0, "hScale must be positive");
+    spec.validate();
 
     const Aabb box = model.domain();
+    const Vec3 ext = box.extent();
+    QUAKE_EXPECT(ext.x > 0 && ext.y > 0 && ext.z > 0,
+                 "soil model domain has zero extent "
+                 "(would generate zero elements)");
     GeneratedMesh out;
     out.mesh = buildKuhnLattice(box, spec.coarseNx, spec.coarseNy,
                                 spec.coarseNz);

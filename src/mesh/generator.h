@@ -90,6 +90,16 @@ struct MeshSpec
 
     /** Spec for a named problem class at optional reduced scale. */
     static MeshSpec forClass(SfClass cls, double h_scale = 1.0);
+
+    /**
+     * Reject parameter combinations that would generate zero elements,
+     * hang refinement, or overflow NodeId (FatalError, never UB):
+     * positive finite period/ppw/hScale/hMin, jitterFraction in [0, 1),
+     * coarse dims in [1, 1024] with the lattice node count fitting a
+     * NodeId, positive refinement caps.  generateMesh calls this on
+     * entry.
+     */
+    void validate() const;
 };
 
 /** Everything the generator produced, for reporting and tests. */

@@ -10,25 +10,34 @@
 namespace quake::sim
 {
 
+void
+SimulationConfig::validate() const
+{
+    QUAKE_EXPECT(durationSeconds > 0 && std::isfinite(durationSeconds),
+                 "durationSeconds must be positive and finite, got "
+                     << durationSeconds);
+    QUAKE_EXPECT(cflSafety > 0 && std::isfinite(cflSafety),
+                 "cflSafety must be positive and finite, got "
+                     << cflSafety);
+    QUAKE_EXPECT(poisson >= 0 && poisson < 0.5,
+                 "poisson must be in [0, 0.5), got " << poisson);
+    QUAKE_EXPECT(dampingA0 >= 0 && std::isfinite(dampingA0),
+                 "dampingA0 must be >= 0 and finite, got " << dampingA0);
+    QUAKE_EXPECT(numPes >= 1, "numPes must be >= 1, got " << numPes);
+    QUAKE_EXPECT(smvpThreads >= 0,
+                 "smvpThreads must be >= 1, or 0 for hardware "
+                 "concurrency; got "
+                     << smvpThreads);
+    QUAKE_EXPECT(sampleInterval >= 0,
+                 "sampleInterval must be >= 0, got " << sampleInterval);
+    QUAKE_EXPECT(maxSteps >= 0, "maxSteps must be >= 0, got " << maxSteps);
+}
+
 SimulationReport
 runSimulation(const mesh::TetMesh &mesh, const mesh::SoilModel &model,
               const SimulationConfig &config)
 {
-    QUAKE_EXPECT(config.durationSeconds > 0 &&
-                     std::isfinite(config.durationSeconds),
-                 "durationSeconds must be positive and finite, got "
-                     << config.durationSeconds);
-    QUAKE_EXPECT(config.numPes >= 1,
-                 "numPes must be >= 1, got " << config.numPes);
-    QUAKE_EXPECT(config.smvpThreads >= 0,
-                 "smvpThreads must be >= 1, or 0 for hardware "
-                 "concurrency; got "
-                     << config.smvpThreads);
-    QUAKE_EXPECT(config.sampleInterval >= 0,
-                 "sampleInterval must be >= 0, got "
-                     << config.sampleInterval);
-    QUAKE_EXPECT(config.maxSteps >= 0,
-                 "maxSteps must be >= 0, got " << config.maxSteps);
+    config.validate();
 
     const double dt =
         stableTimeStep(mesh, model, config.poisson, config.cflSafety);

@@ -92,6 +92,16 @@ struct SimulationConfig
      * displacements are bitwise identical with it off.
      */
     telemetry::Collector *collector = nullptr;
+
+    /**
+     * Reject invalid field combinations (FatalError naming the field):
+     * positive finite duration/cflSafety, poisson in [0, 0.5),
+     * dampingA0 >= 0, numPes >= 1, smvpThreads >= 0, sampleInterval >=
+     * 0, maxSteps >= 0.  runSimulation calls this on entry; CLI front
+     * ends call it right after argument parsing so a bad flag fails
+     * before any mesh is generated.
+     */
+    void validate() const;
 };
 
 /** One recorded sample of the wavefield. */

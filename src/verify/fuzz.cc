@@ -1,0 +1,162 @@
+#include "verify/fuzz.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace quake::verify
+{
+
+namespace
+{
+
+/**
+ * Shrink a failing trial: replay the SAME seed at every smaller size,
+ * keeping the smallest size that still fails.  Sizes are the only
+ * shrink axis — every generated quantity (mesh dims, part counts,
+ * vector lengths) scales monotonically with size, so this is a
+ * one-dimensional search with at most kMaxSize replays.
+ */
+FuzzFailure
+shrinkTrial(const Property &prop, const TrialConfig &failing,
+            std::string first_message)
+{
+    FuzzFailure f;
+    f.property = prop.name;
+    f.seed = failing.seed;
+    f.size = failing.size;
+    f.message = std::move(first_message);
+    for (int size = 0; size < failing.size; ++size)
+    {
+        TrialConfig cfg = failing;
+        cfg.size = size;
+        const PropertyResult r = runProperty(prop, cfg);
+        if (!r.pass)
+        {
+            f.size = size;
+            f.message = r.message;
+            break;
+        }
+    }
+    f.reproducer = reproducerLine(f.property, f.seed, f.size);
+    return f;
+}
+
+} // namespace
+
+std::string
+reproducerLine(const std::string &property, std::uint64_t seed, int size)
+{
+    std::ostringstream os;
+    os << "verify_fuzz --property " << property << " --seed 0x" << std::hex
+       << seed << std::dec << " --size " << size;
+    return os.str();
+}
+
+FuzzReport
+runFuzz(const std::vector<Property> &properties, const FuzzOptions &options)
+{
+    FuzzReport report;
+    for (const Property &prop : properties)
+    {
+        ++report.propertiesRun;
+        if (options.out != nullptr)
+            *options.out << "[verify] " << prop.name << ": " << std::flush;
+
+        if (options.explicitSeed >= 0)
+        {
+            // Replay mode: one literal trial, no derivation, no shrink
+            // (the reproducer already names the minimal size).
+            TrialConfig cfg;
+            cfg.seed = static_cast<std::uint64_t>(options.explicitSeed);
+            cfg.size = options.explicitSize;
+            cfg.threads = options.threads;
+            const PropertyResult r = runProperty(prop, cfg);
+            ++report.trialsRun;
+            if (!r.pass)
+            {
+                FuzzFailure f;
+                f.property = prop.name;
+                f.seed = cfg.seed;
+                f.size = cfg.size;
+                f.message = r.message;
+                f.reproducer = reproducerLine(f.property, f.seed, f.size);
+                report.failures.push_back(std::move(f));
+                if (options.out != nullptr)
+                    *options.out << "FAIL\n";
+            }
+            else if (options.out != nullptr)
+            {
+                *options.out << "ok (replay)\n";
+            }
+            continue;
+        }
+
+        bool failed = false;
+        for (int t = 0; t < options.trials; ++t)
+        {
+            TrialConfig cfg;
+            cfg.seed = common::deriveStream(
+                options.baseSeed, static_cast<std::uint64_t>(t));
+            // Cycle sizes so every run covers the degenerate sizes 0-1
+            // and the larger ones, regardless of the trial budget.
+            cfg.size = t % (TrialConfig::kMaxSize + 1);
+            cfg.threads = options.threads;
+            const PropertyResult r = runProperty(prop, cfg);
+            ++report.trialsRun;
+            if (!r.pass)
+            {
+                report.failures.push_back(
+                    shrinkTrial(prop, cfg, r.message));
+                failed = true;
+                break; // first failure per property; move on
+            }
+        }
+        if (options.out != nullptr)
+        {
+            if (failed)
+            {
+                const FuzzFailure &f = report.failures.back();
+                *options.out << "FAIL at size " << f.size << "\n"
+                             << "  " << f.message << "\n"
+                             << "  reproduce: " << f.reproducer << "\n";
+            }
+            else
+            {
+                *options.out << options.trials << " trials ok\n";
+            }
+        }
+    }
+    return report;
+}
+
+FuzzReport
+runFuzz(const FuzzOptions &options)
+{
+    std::vector<Property> selected;
+    if (options.properties.empty())
+    {
+        selected = allProperties();
+    }
+    else
+    {
+        for (const std::string &name : options.properties)
+        {
+            const Property *p = findProperty(name);
+            if (p == nullptr)
+            {
+                FuzzReport report;
+                FuzzFailure f;
+                f.property = name;
+                f.message = "unknown property (see --list)";
+                report.failures.push_back(std::move(f));
+                return report;
+            }
+            selected.push_back(*p);
+        }
+    }
+    return runFuzz(selected, options);
+}
+
+} // namespace quake::verify

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The seeded fuzz driver (DESIGN.md §10).  Runs every requested
+ * property over N deterministic trials, shrinks each failure by
+ * replaying the same seed at smaller input sizes, and reports a single
+ * reproducer command line (`verify_fuzz --property X --seed S --size
+ * Z`) that replays the minimal failing trial exactly.
+ */
+
+#ifndef QUAKE98_VERIFY_FUZZ_H_
+#define QUAKE98_VERIFY_FUZZ_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "verify/properties.h"
+
+namespace quake::verify
+{
+
+/** Options of one fuzz run. */
+struct FuzzOptions
+{
+    /** Property names to run; empty = the whole catalogue. */
+    std::vector<std::string> properties;
+
+    /** Trials per property. */
+    int trials = 64;
+
+    /** Base seed; trial t uses deriveStream(baseSeed, t). */
+    std::uint64_t baseSeed = 0x5eed5eed5eed5eedULL;
+
+    /** Thread counts every threading property sweeps. */
+    std::vector<int> threads = {1, 2, 4, 8};
+
+    /**
+     * Replay mode: when >= 0 the driver runs exactly one trial with
+     * this literal seed (not derived) at `explicitSize`, matching the
+     * reproducer line printed on failure.
+     */
+    std::int64_t explicitSeed = -1;
+    int explicitSize = TrialConfig::kDefaultSize;
+
+    /** Progress/diagnostic stream; nullptr = silent. */
+    std::ostream *out = nullptr;
+};
+
+/** One shrunk failure. */
+struct FuzzFailure
+{
+    std::string property;
+    std::uint64_t seed = 0;  ///< literal trial seed (post-derivation)
+    int size = 0;            ///< minimal failing size after shrinking
+    std::string message;     ///< diagnostic from the property
+    std::string reproducer;  ///< one-line replay command
+};
+
+/** Aggregate outcome of a fuzz run. */
+struct FuzzReport
+{
+    int trialsRun = 0;
+    int propertiesRun = 0;
+    std::vector<FuzzFailure> failures;
+
+    bool passed() const { return failures.empty(); }
+};
+
+/** Fuzz an explicit property list (unit tests inject synthetic ones). */
+FuzzReport runFuzz(const std::vector<Property> &properties,
+                   const FuzzOptions &options);
+
+/** Fuzz the catalogue properties selected by `options.properties`. */
+FuzzReport runFuzz(const FuzzOptions &options);
+
+/** The replay command line for one failing trial. */
+std::string reproducerLine(const std::string &property, std::uint64_t seed,
+                           int size);
+
+} // namespace quake::verify
+
+#endif // QUAKE98_VERIFY_FUZZ_H_

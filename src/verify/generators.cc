@@ -1,0 +1,436 @@
+#include "verify/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "mesh/refine.h"
+#include "quake/time_stepper.h"
+#include "sparse/assembly.h"
+
+namespace quake::verify
+{
+
+namespace
+{
+
+/** Distinct stream keys so generator families stay decorrelated. */
+constexpr std::uint64_t kGenStreamKey = 0x76657269667921ULL; // "verify!"
+
+} // namespace
+
+InputGen::InputGen(std::uint64_t seed, int size)
+    : rng_(common::deriveStream(seed, kGenStreamKey)),
+      size_(std::clamp(size, 0, TrialConfig::kMaxSize))
+{}
+
+mesh::MeshSpec
+InputGen::randomMeshSpec()
+{
+    mesh::MeshSpec spec;
+    spec.periodSeconds = rng_.uniform(2.0, 20.0);
+    spec.pointsPerWavelength = rng_.uniform(2.0, 4.0);
+    spec.hScale = rng_.uniform(1.0, 3.0);
+    spec.hMin = 0.05;
+    spec.coarseNx = 1 + static_cast<int>(rng_.nextBounded(1 + size_));
+    spec.coarseNy = 1 + static_cast<int>(rng_.nextBounded(1 + size_));
+    spec.coarseNz = 1 + static_cast<int>(rng_.nextBounded(1 + size_));
+    spec.jitterFraction = rng_.uniform(0.0, 0.3);
+    spec.seed = rng_.next();
+    spec.refine.maxElements = 600 + 400 * size_;
+    spec.refine.maxPasses = 2 + size_;
+    return spec;
+}
+
+std::unique_ptr<mesh::SoilModel>
+InputGen::randomModel()
+{
+    // Mostly small uniform half-spaces (cheap, exercise every code path);
+    // at the larger sizes occasionally the full layered basin, whose
+    // graded wave-speed field drives real refinement (the refine caps in
+    // randomMeshSpec keep even that bounded).
+    if (size_ >= 3 && rng_.nextBounded(4) == 0)
+        return std::make_unique<mesh::LayeredBasinModel>();
+    mesh::Aabb box;
+    box.lo = {0.0, 0.0, 0.0};
+    box.hi = {rng_.uniform(2.0, 6.0), rng_.uniform(2.0, 6.0),
+              rng_.uniform(2.0, 6.0)};
+    const double vs = rng_.uniform(0.5, 3.0);
+    const double rho = rng_.uniform(1.5, 2.8);
+    return std::make_unique<mesh::UniformModel>(box, vs, rho);
+}
+
+GeneratedSystem
+InputGen::randomSystem()
+{
+    GeneratedSystem s;
+    s.model = randomModel();
+    const mesh::MeshSpec spec = randomMeshSpec();
+    mesh::GeneratedMesh gen = mesh::generateMesh(*s.model, spec);
+    s.mesh = std::move(gen.mesh);
+    s.stiffness = sparse::assembleStiffness(s.mesh, *s.model);
+    s.lumpedMass = sparse::assembleLumpedMass(s.mesh, *s.model);
+    s.dt = sim::stableTimeStep(s.mesh, *s.model);
+    return s;
+}
+
+GeneratedSystem
+InputGen::systemFromMesh(mesh::TetMesh m)
+{
+    GeneratedSystem s;
+    mesh::Aabb box = m.bounds();
+    // Pad a degenerate (flat) bounding box so the model's domain is a
+    // genuine volume; the uniform model never samples outside queries.
+    box.hi = box.hi + mesh::Vec3{1e-6, 1e-6, 1e-6};
+    s.model = std::make_unique<mesh::UniformModel>(box, 1.0, 2.0);
+    s.mesh = std::move(m);
+    s.stiffness = sparse::assembleStiffness(s.mesh, *s.model);
+    s.lumpedMass = sparse::assembleLumpedMass(s.mesh, *s.model);
+    s.dt = sim::stableTimeStep(s.mesh, *s.model);
+    return s;
+}
+
+mesh::TetMesh
+InputGen::singleElementMesh()
+{
+    mesh::TetMesh m;
+    const mesh::NodeId a = m.addNode({0.0, 0.0, 0.0});
+    const mesh::NodeId b = m.addNode({1.0, 0.0, 0.0});
+    const mesh::NodeId c = m.addNode({0.0, 1.0, 0.0});
+    const mesh::NodeId d = m.addNode({0.0, 0.0, 1.0});
+    m.addTet(a, b, c, d);
+    m.validate();
+    return m;
+}
+
+mesh::TetMesh
+InputGen::sliverMesh(int n, double flatness)
+{
+    QUAKE_EXPECT(n >= 1, "sliverMesh needs at least one element");
+    QUAKE_EXPECT(flatness > 0.0 && flatness < 1.0,
+                 "sliver flatness must be in (0, 1)");
+    // A fan of tetrahedra sharing the vertical edge (a, b); consecutive
+    // rim vertices are an angle `flatness` apart, so every element has
+    // volume sin(flatness)/6 — positive but arbitrarily flat.
+    mesh::TetMesh m;
+    const mesh::NodeId a = m.addNode({0.0, 0.0, 0.0});
+    const mesh::NodeId b = m.addNode({0.0, 0.0, 1.0});
+    std::vector<mesh::NodeId> rim;
+    for (int i = 0; i <= n; ++i)
+    {
+        const double theta = flatness * static_cast<double>(i);
+        rim.push_back(m.addNode({std::cos(theta), std::sin(theta), 0.0}));
+    }
+    for (int i = 0; i < n; ++i)
+        m.addTet(a, b, rim[i], rim[i + 1]);
+    m.validate();
+    return m;
+}
+
+mesh::TetMesh
+InputGen::disconnectedMesh(int islands)
+{
+    QUAKE_EXPECT(islands >= 1, "disconnectedMesh needs >= 1 island");
+    // Each island is one unit cube cut into six Kuhn tetrahedra; islands
+    // are spaced apart and share no nodes, so the node-adjacency graph
+    // has `islands` components.
+    mesh::TetMesh m;
+    for (int k = 0; k < islands; ++k)
+    {
+        const double x0 = 3.0 * static_cast<double>(k);
+        mesh::NodeId corner[2][2][2];
+        for (int x = 0; x < 2; ++x)
+            for (int y = 0; y < 2; ++y)
+                for (int z = 0; z < 2; ++z)
+                    corner[x][y][z] = m.addNode(
+                        {x0 + static_cast<double>(x),
+                         static_cast<double>(y), static_cast<double>(z)});
+        // The six Kuhn tets: monotone lattice paths (0,0,0) -> (1,1,1),
+        // one per permutation of the axes.
+        static constexpr int kPerm[6][3] = {{0, 1, 2}, {0, 2, 1},
+                                            {1, 0, 2}, {1, 2, 0},
+                                            {2, 0, 1}, {2, 1, 0}};
+        for (const auto &p : kPerm)
+        {
+            int v[3] = {0, 0, 0};
+            mesh::NodeId path[4];
+            path[0] = corner[0][0][0];
+            for (int s = 0; s < 3; ++s)
+            {
+                v[p[s]] = 1;
+                path[s + 1] = corner[v[0]][v[1]][v[2]];
+            }
+            m.addTet(path[0], path[1], path[2], path[3]);
+        }
+    }
+    m.validate();
+    return m;
+}
+
+mesh::TetMesh
+InputGen::pathologicalGradedMesh()
+{
+    mesh::Aabb box;
+    box.lo = {0.0, 0.0, 0.0};
+    box.hi = {4.0, 4.0, 4.0};
+    mesh::TetMesh m = mesh::buildKuhnLattice(box, 2, 2, 2);
+    // Element size collapses ~100x toward the lo corner.
+    const mesh::Vec3 corner = box.lo;
+    mesh::RefineOptions opts;
+    opts.maxPasses = 10;
+    opts.maxElements = 2500 + 500 * static_cast<std::int64_t>(size_);
+    mesh::refineToSizeField(
+        m,
+        [corner](const mesh::Vec3 &p) {
+            return 0.03 + 0.6 * (p - corner).norm();
+        },
+        opts);
+    m.validate();
+    return m;
+}
+
+std::vector<double>
+InputGen::randomVector(std::int64_t n)
+{
+    std::vector<double> v(static_cast<std::size_t>(n));
+    for (double &x : v)
+        x = rng_.uniform(-1.0, 1.0);
+    return v;
+}
+
+sparse::Bcsr3Matrix
+InputGen::randomSpdBcsr3(std::int64_t block_rows)
+{
+    QUAKE_EXPECT(block_rows >= 1, "randomSpdBcsr3 needs >= 1 block row");
+    const std::int64_t n = block_rows;
+
+    // Random symmetric sparsity with the diagonal always present; mean
+    // off-diagonal degree ~6 mimics mesh-like row lengths without a mesh.
+    const double edge_prob =
+        n > 1 ? std::min(1.0, 6.0 / static_cast<double>(n - 1)) : 0.0;
+    std::vector<std::vector<std::int32_t>> adj(
+        static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i)
+        adj[static_cast<std::size_t>(i)].push_back(
+            static_cast<std::int32_t>(i));
+    for (std::int64_t i = 0; i < n; ++i)
+        for (std::int64_t j = i + 1; j < n; ++j)
+            if (rng_.nextDouble() < edge_prob)
+            {
+                adj[static_cast<std::size_t>(i)].push_back(
+                    static_cast<std::int32_t>(j));
+                adj[static_cast<std::size_t>(j)].push_back(
+                    static_cast<std::int32_t>(i));
+            }
+
+    std::vector<std::int64_t> xadj(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<std::int32_t> cols;
+    for (std::int64_t i = 0; i < n; ++i)
+    {
+        auto &row = adj[static_cast<std::size_t>(i)];
+        std::sort(row.begin(), row.end());
+        cols.insert(cols.end(), row.begin(), row.end());
+        xadj[static_cast<std::size_t>(i) + 1] =
+            static_cast<std::int64_t>(cols.size());
+    }
+    sparse::Bcsr3Matrix a(n, std::move(xadj), std::move(cols));
+
+    // Off-diagonal blocks: random B at (i, j), its exact transpose at
+    // (j, i) — the matrix is block-symmetric bit for bit, so
+    // SymBcsr3Matrix::fromBcsr3 accepts it with zero tolerance.  The
+    // diagonal gets a random *symmetric* block.
+    for (std::int64_t i = 0; i < n; ++i)
+    {
+        const auto &x = a.xadj();
+        for (std::int64_t k = x[static_cast<std::size_t>(i)];
+             k < x[static_cast<std::size_t>(i) + 1]; ++k)
+        {
+            const std::int32_t j = a.blockCols()[static_cast<std::size_t>(k)];
+            if (j < i)
+                continue; // filled by the transpose mirror below
+            sparse::Block3 b{};
+            for (double &v : b)
+                v = rng_.uniform(-1.0, 1.0);
+            if (j == static_cast<std::int32_t>(i))
+            {
+                // Symmetrize in place: b := (b + b^T) / 2, exactly.
+                for (int r = 0; r < 3; ++r)
+                    for (int c = r + 1; c < 3; ++c)
+                    {
+                        const double s =
+                            0.5 * (b[3 * r + c] + b[3 * c + r]);
+                        b[3 * r + c] = s;
+                        b[3 * c + r] = s;
+                    }
+                a.addToBlock(i, j, b);
+            }
+            else
+            {
+                sparse::Block3 bt{};
+                for (int r = 0; r < 3; ++r)
+                    for (int c = 0; c < 3; ++c)
+                        bt[3 * c + r] = b[3 * r + c];
+                a.addToBlock(i, j, b);
+                a.addToBlock(j, static_cast<std::int32_t>(i), bt);
+            }
+        }
+    }
+
+    // Make every scalar row strictly diagonally dominant: SPD by
+    // Gershgorin, and symmetric by construction above.
+    std::vector<double> row_abs(static_cast<std::size_t>(3 * n), 0.0);
+    for (std::int64_t i = 0; i < n; ++i)
+    {
+        const auto &x = a.xadj();
+        for (std::int64_t k = x[static_cast<std::size_t>(i)];
+             k < x[static_cast<std::size_t>(i) + 1]; ++k)
+        {
+            const double *b = a.blockAt(k);
+            const bool diag =
+                a.blockCols()[static_cast<std::size_t>(k)] ==
+                static_cast<std::int32_t>(i);
+            for (int r = 0; r < 3; ++r)
+                for (int c = 0; c < 3; ++c)
+                {
+                    if (diag && r == c)
+                        continue; // the diagonal entry itself
+                    row_abs[static_cast<std::size_t>(3 * i + r)] +=
+                        std::fabs(b[3 * r + c]);
+                }
+        }
+    }
+    for (std::int64_t i = 0; i < n; ++i)
+    {
+        const std::int64_t k = a.findBlock(i, static_cast<std::int32_t>(i));
+        double *d = a.blockAt(k);
+        for (int r = 0; r < 3; ++r)
+            d[3 * r + r] =
+                row_abs[static_cast<std::size_t>(3 * i + r)] +
+                rng_.uniform(0.5, 2.0);
+    }
+    a.validate();
+    return a;
+}
+
+partition::Partition
+InputGen::randomPartition(const mesh::TetMesh &m, int parts)
+{
+    QUAKE_EXPECT(parts >= 1, "randomPartition needs >= 1 part");
+    QUAKE_EXPECT(m.numElements() >= parts,
+                 "randomPartition: fewer elements than parts");
+    partition::Partition part;
+    part.numParts = parts;
+    part.elementPart.resize(static_cast<std::size_t>(m.numElements()));
+    for (auto &p : part.elementPart)
+        p = static_cast<partition::PartId>(
+            rng_.nextBounded(static_cast<std::uint64_t>(parts)));
+
+    // Deterministic repair: give every empty part an element stolen from
+    // a part that still has at least two.
+    std::vector<std::int64_t> sizes(static_cast<std::size_t>(parts), 0);
+    for (partition::PartId p : part.elementPart)
+        ++sizes[static_cast<std::size_t>(p)];
+    for (int p = 0; p < parts; ++p)
+    {
+        if (sizes[static_cast<std::size_t>(p)] > 0)
+            continue;
+        for (std::size_t e = 0; e < part.elementPart.size(); ++e)
+        {
+            const auto donor =
+                static_cast<std::size_t>(part.elementPart[e]);
+            if (sizes[donor] >= 2)
+            {
+                --sizes[donor];
+                part.elementPart[e] = static_cast<partition::PartId>(p);
+                ++sizes[static_cast<std::size_t>(p)];
+                break;
+            }
+        }
+    }
+    part.validate(m);
+    return part;
+}
+
+int
+InputGen::randomPartCount(const mesh::TetMesh &m)
+{
+    const auto cap = static_cast<int>(
+        std::min<std::int64_t>(2 + 2 * size_, m.numElements()));
+    if (cap < 2)
+        return 1;
+    return 2 + static_cast<int>(
+                   rng_.nextBounded(static_cast<std::uint64_t>(cap - 1)));
+}
+
+parallel::CommSchedule
+InputGen::randomSchedule(int num_pes)
+{
+    QUAKE_EXPECT(num_pes >= 1, "randomSchedule needs >= 1 PE");
+    std::vector<parallel::PeSchedule> pes(
+        static_cast<std::size_t>(num_pes));
+    for (int i = 0; i < num_pes; ++i)
+        for (int j = i + 1; j < num_pes; ++j)
+        {
+            if (rng_.nextDouble() >= 0.6)
+                continue;
+            // Shared node set: sorted, deduplicated; occasionally empty
+            // (a legal zero-word message).
+            std::vector<mesh::NodeId> nodes;
+            const std::uint64_t count = rng_.nextBounded(9); // 0..8
+            for (std::uint64_t c = 0; c < count; ++c)
+                nodes.push_back(
+                    static_cast<mesh::NodeId>(rng_.nextBounded(1000)));
+            std::sort(nodes.begin(), nodes.end());
+            nodes.erase(std::unique(nodes.begin(), nodes.end()),
+                        nodes.end());
+            parallel::Exchange fwd;
+            fwd.peer = static_cast<partition::PartId>(j);
+            fwd.nodes = nodes;
+            parallel::Exchange rev;
+            rev.peer = static_cast<partition::PartId>(i);
+            rev.nodes = std::move(nodes);
+            pes[static_cast<std::size_t>(i)].exchanges.push_back(
+                std::move(fwd));
+            pes[static_cast<std::size_t>(j)].exchanges.push_back(
+                std::move(rev));
+        }
+    return parallel::CommSchedule::fromPeSchedules(std::move(pes));
+}
+
+parallel::MachineModel
+InputGen::randomMachine()
+{
+    return parallel::customMachine(
+        "fuzz", rng_.uniform(50.0, 1000.0), rng_.uniform(1e-6, 5e-5),
+        rng_.uniform(1e8, 1e9));
+}
+
+parallel::FaultSpec
+InputGen::randomFaultSpec()
+{
+    parallel::FaultSpec spec;
+    spec.seed = rng_.next();
+    const auto coin = [this] { return rng_.nextBounded(2) == 0; };
+    if (coin())
+        spec.dropProbability = rng_.uniform(0.0, 0.3);
+    if (coin())
+        spec.duplicateProbability = rng_.uniform(0.0, 0.3);
+    if (coin())
+        spec.ackDropProbability = rng_.uniform(0.0, 0.3);
+    if (coin())
+        spec.jitterMeanSeconds = rng_.uniform(0.0, 1e-5);
+    if (coin())
+    {
+        spec.stragglerProbability = rng_.uniform(0.0, 0.5);
+        spec.stragglerDelaySeconds = rng_.uniform(0.0, 1e-4);
+    }
+    if (coin())
+    {
+        spec.degradedLinkProbability = rng_.uniform(0.0, 0.5);
+        spec.degradedBandwidthFactor = rng_.uniform(1.0, 4.0);
+    }
+    spec.validate();
+    return spec;
+}
+
+} // namespace quake::verify

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Seeded structured input generators for the differential-verification
+ * and property-fuzzing subsystem (DESIGN.md §10).
+ *
+ * Every generator is a pure function of (seed, size): the seed names
+ * the trial and the size bounds its scale, so a failing trial can be
+ * replayed exactly from its reproducer line and *shrunk* by re-running
+ * the same seed at smaller sizes.  Two families are produced:
+ *
+ *  - structured inputs sampled through the San Fernando generator's own
+ *    parameter space (MeshSpec), random SPD block matrices, random
+ *    partitions, synthetic communication schedules, and fault specs —
+ *    the "realistic but randomized" diet;
+ *  - adversarial shapes the calibrated sf-class path never produces:
+ *    single-element meshes, near-degenerate slivers, disconnected
+ *    meshes, and pathologically graded meshes.
+ */
+
+#ifndef QUAKE98_VERIFY_GENERATORS_H_
+#define QUAKE98_VERIFY_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "mesh/generator.h"
+#include "mesh/soil_model.h"
+#include "mesh/tet_mesh.h"
+#include "parallel/comm_schedule.h"
+#include "parallel/fault_model.h"
+#include "parallel/machine.h"
+#include "partition/partitioner.h"
+#include "sparse/bcsr3.h"
+
+namespace quake::verify
+{
+
+/** One fuzz trial's identity: replaying (seed, size) replays the trial. */
+struct TrialConfig
+{
+    /** Shrinking lowers size toward 0; 0 is the smallest trial. */
+    static constexpr int kMaxSize = 4;
+    static constexpr int kDefaultSize = 3;
+
+    std::uint64_t seed = 1;
+    int size = kDefaultSize;
+
+    /** Worker/thread counts the threaded properties sweep. */
+    std::vector<int> threads = {1, 2, 4, 8};
+};
+
+/** A generated mesh/material system ready for assembly-level checks. */
+struct GeneratedSystem
+{
+    mesh::TetMesh mesh;
+    std::unique_ptr<mesh::SoilModel> model;
+    sparse::Bcsr3Matrix stiffness;
+    std::vector<double> lumpedMass;
+    double dt = 0.0; ///< CFL-stable time step for the system
+};
+
+/**
+ * The seeded input generator: one per trial.  All draws consume the
+ * trial's single SplitMix64 stream, so the sequence of generator calls
+ * made by a property is part of the trial's identity.
+ */
+class InputGen
+{
+  public:
+    InputGen(std::uint64_t seed, int size);
+
+    common::SplitMix64 &rng() { return rng_; }
+    int size() const { return size_; }
+
+    /**
+     * Sample the San Fernando generator's parameter space at fuzzing
+     * scale: a small coarse lattice, random wave period / points-per-
+     * wavelength / jitter, and refinement caps that keep element counts
+     * bounded by the trial size.  Always passes MeshSpec::validate().
+     */
+    mesh::MeshSpec randomMeshSpec();
+
+    /**
+     * A randomized soil model for the spec: a uniform half-space at
+     * small sizes, occasionally the layered basin at size >= 3 (the
+     * graded, irregular structure the paper's meshes have).
+     */
+    std::unique_ptr<mesh::SoilModel> randomModel();
+
+    /** Full system: generated mesh + assembled K, mass, and stable dt. */
+    GeneratedSystem randomSystem();
+
+    /** System assembled from an explicit mesh with a uniform material. */
+    GeneratedSystem systemFromMesh(mesh::TetMesh mesh);
+
+    // --- adversarial shapes ---
+
+    /** The smallest legal mesh: one well-shaped tetrahedron. */
+    static mesh::TetMesh singleElementMesh();
+
+    /**
+     * A fan of `n` slivers: positive-volume tetrahedra flattened to
+     * `flatness` times their base scale (aspect ratios the refiner
+     * never emits, but assembly and the kernels must survive).
+     */
+    static mesh::TetMesh sliverMesh(int n, double flatness);
+
+    /**
+     * `islands` disjoint single-cube lattices merged into one mesh with
+     * no shared nodes — a disconnected node-adjacency graph, so a
+     * partition can produce PEs with no boundary at all.
+     */
+    static mesh::TetMesh disconnectedMesh(int islands);
+
+    /**
+     * A conforming mesh whose element size collapses by ~100x toward
+     * one corner (pathological grading).
+     */
+    mesh::TetMesh pathologicalGradedMesh();
+
+    // --- algebraic and distributed-structure inputs ---
+
+    /** Uniform random vector in [-1, 1)^n. */
+    std::vector<double> randomVector(std::int64_t n);
+
+    /**
+     * A random symmetric positive-definite 3x3-block matrix: random
+     * sparsity (symmetrized), random off-diagonal blocks mirrored as
+     * transposes bit for bit, and diagonal blocks made strictly
+     * diagonally dominant — SPD by Gershgorin, and exactly
+     * block-symmetric so SymBcsr3Matrix::fromBcsr3 accepts it with
+     * zero tolerance.
+     */
+    sparse::Bcsr3Matrix randomSpdBcsr3(std::int64_t block_rows);
+
+    /**
+     * A random element partition of `m` into `parts` nonempty parts
+     * (random assignment, then deterministic repair of empty parts).
+     * Passes Partition::validate.
+     */
+    partition::Partition randomPartition(const mesh::TetMesh &m, int parts);
+
+    /** A part count in [2, 2 + 2 * size], capped by the element count. */
+    int randomPartCount(const mesh::TetMesh &m);
+
+    /**
+     * A synthetic pairwise exchange schedule over `num_pes` PEs: each
+     * pair shares a random sorted node set with probability ~0.6;
+     * occasionally a pair shares the *empty* set (a legal zero-word
+     * message).  Passes CommSchedule::validate.
+     */
+    parallel::CommSchedule randomSchedule(int num_pes);
+
+    /** A random but valid machine model (positive T_f/T_l/T_w). */
+    parallel::MachineModel randomMachine();
+
+    /**
+     * A random fault spec: every fault class enabled or disabled by a
+     * coin flip, probabilities in [0, 0.3], small delays/jitter.
+     * Always passes FaultSpec::validate.
+     */
+    parallel::FaultSpec randomFaultSpec();
+
+  private:
+    common::SplitMix64 rng_;
+    int size_;
+};
+
+} // namespace quake::verify
+
+#endif // QUAKE98_VERIFY_GENERATORS_H_

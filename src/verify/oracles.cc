@@ -1,0 +1,124 @@
+#include "verify/oracles.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "verify/ulp.h"
+
+namespace quake::verify
+{
+
+namespace
+{
+
+const std::atomic<std::int64_t> *g_alloc_counter = nullptr;
+
+} // namespace
+
+UlpReport
+compareUlp(const std::vector<double> &expected,
+           const std::vector<double> &actual)
+{
+    UlpReport r;
+    if (expected.size() != actual.size())
+    {
+        r.sizeMismatch = true;
+        r.maxUlp = std::numeric_limits<std::int64_t>::max();
+        return r;
+    }
+    for (std::size_t i = 0; i < expected.size(); ++i)
+    {
+        const std::int64_t d = ulpDistance(expected[i], actual[i]);
+        if (d > r.maxUlp)
+        {
+            r.maxUlp = d;
+            r.worstIndex = static_cast<std::int64_t>(i);
+            r.expected = expected[i];
+            r.actual = actual[i];
+        }
+    }
+    return r;
+}
+
+bool
+bitwiseEqual(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    if (a.empty())
+        return true;
+    return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+bool
+withinMixedTolerance(const std::vector<double> &expected,
+                     const std::vector<double> &actual,
+                     std::int64_t ulp_bound, double rel_eps,
+                     std::string *why)
+{
+    if (expected.size() != actual.size())
+    {
+        if (why != nullptr)
+        {
+            std::ostringstream os;
+            os << "size mismatch: expected " << expected.size() << ", got "
+               << actual.size();
+            *why = os.str();
+        }
+        return false;
+    }
+    double norm_inf = 0.0;
+    for (double v : expected)
+        norm_inf = std::max(norm_inf, std::fabs(v));
+    const double abs_bound = rel_eps * norm_inf;
+    for (std::size_t i = 0; i < expected.size(); ++i)
+    {
+        const std::int64_t d = ulpDistance(expected[i], actual[i]);
+        if (d <= ulp_bound)
+            continue;
+        if (std::fabs(expected[i] - actual[i]) <= abs_bound)
+            continue;
+        if (why != nullptr)
+        {
+            std::ostringstream os;
+            os.precision(17);
+            os << "element " << i << ": expected " << expected[i]
+               << ", got " << actual[i] << " (" << d
+               << " ulps; |diff| > " << abs_bound << ")";
+            *why = os.str();
+        }
+        return false;
+    }
+    return true;
+}
+
+std::string
+describeUlp(const UlpReport &report)
+{
+    std::ostringstream os;
+    os.precision(17);
+    if (report.sizeMismatch)
+        return "size mismatch";
+    os << "max " << report.maxUlp << " ulps at element "
+       << report.worstIndex << " (expected " << report.expected
+       << ", got " << report.actual << ")";
+    return os.str();
+}
+
+void
+setAllocationCounter(const std::atomic<std::int64_t> *counter)
+{
+    g_alloc_counter = counter;
+}
+
+std::int64_t
+allocationsNow()
+{
+    if (g_alloc_counter == nullptr)
+        return -1;
+    return g_alloc_counter->load(std::memory_order_relaxed);
+}
+
+} // namespace quake::verify

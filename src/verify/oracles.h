@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Comparison oracles for the differential harness (DESIGN.md §10):
+ * element-wise ULP reports, exact bitwise equality, the mixed
+ * ULP-or-relative acceptance criterion, and the allocation-counter
+ * bridge that lets a host binary's operator-new hook feed the
+ * telemetry-transparency property.
+ */
+
+#ifndef QUAKE98_VERIFY_ORACLES_H_
+#define QUAKE98_VERIFY_ORACLES_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace quake::verify
+{
+
+/** Worst element-wise ULP deviation between two vectors. */
+struct UlpReport
+{
+    std::int64_t maxUlp = 0;     ///< saturating max over elements
+    std::int64_t worstIndex = -1; ///< element attaining maxUlp
+    double expected = 0.0;       ///< reference value at worstIndex
+    double actual = 0.0;         ///< candidate value at worstIndex
+    bool sizeMismatch = false;   ///< lengths differed (maxUlp saturates)
+};
+
+/** Element-wise ULP comparison; see ulpDistance for the metric. */
+UlpReport compareUlp(const std::vector<double> &expected,
+                     const std::vector<double> &actual);
+
+/** Exact bit-pattern equality (lengths and every element). */
+bool bitwiseEqual(const std::vector<double> &a,
+                  const std::vector<double> &b);
+
+/**
+ * The differential acceptance criterion for kernels that reorder sums
+ * (DESIGN.md §10): element i passes when its ULP distance from the
+ * reference is at most `ulp_bound`, OR its absolute difference is at
+ * most rel_eps * ||expected||_inf (tiny values near cancellation have
+ * huge relative error but no numerical significance).  On failure,
+ * `why` (if non-null) receives a one-line diagnostic naming the worst
+ * element.
+ */
+bool withinMixedTolerance(const std::vector<double> &expected,
+                          const std::vector<double> &actual,
+                          std::int64_t ulp_bound, double rel_eps,
+                          std::string *why);
+
+/** Human-readable one-liner for a UlpReport. */
+std::string describeUlp(const UlpReport &report);
+
+/**
+ * Install the host binary's allocation counter (a monotonically
+ * increasing count of operator-new calls, maintained by a per-binary
+ * global hook; see tests/test_telemetry.cc for the pattern).  The
+ * telemetry property uses it to assert 0 allocations/step; when no
+ * counter is installed the assertion is skipped.  Pass nullptr to
+ * uninstall.
+ */
+void setAllocationCounter(const std::atomic<std::int64_t> *counter);
+
+/** Current allocation count, or -1 when no counter is installed. */
+std::int64_t allocationsNow();
+
+} // namespace quake::verify
+
+#endif // QUAKE98_VERIFY_ORACLES_H_

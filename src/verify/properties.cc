@@ -1,0 +1,1040 @@
+#include "verify/properties.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "common/error.h"
+#include "parallel/distributor.h"
+#include "parallel/event_sim.h"
+#include "parallel/parallel_smvp.h"
+#include "parallel/reliable_exchange.h"
+#include "parallel/worker_pool.h"
+#include "quake/simulation.h"
+#include "spark/kernels.h"
+#include "sparse/assembly.h"
+#include "sparse/bcsr3_sym.h"
+#include "telemetry/collector.h"
+#include "verify/oracles.h"
+#include "verify/ulp.h"
+
+namespace quake::verify
+{
+
+namespace
+{
+
+// The differential acceptance bounds (DESIGN.md §10): kernels that
+// reorder floating-point sums may drift a few thousand ULPs on
+// cancellation-prone elements; anything beyond this is a bug, not
+// rounding.
+constexpr std::int64_t kUlpBound = 4096;
+constexpr double kRelEps = 1e-11;
+
+PropertyResult ok() { return PropertyResult::ok(); }
+
+PropertyResult
+fail(const std::string &why)
+{
+    return PropertyResult::fail(why);
+}
+
+/** Exact bit-pattern equality of two doubles (NaN-safe, +0 != -0). */
+bool
+bitEq(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/** Scalar analogue of the mixed criterion for reduced values. */
+bool
+scalarClose(double expected, double actual)
+{
+    if (ulpDistance(expected, actual) <= kUlpBound)
+        return true;
+    return std::fabs(expected - actual) <= kRelEps * std::fabs(expected);
+}
+
+double
+dot(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        s += a[i] * b[i];
+    return s;
+}
+
+double
+normInf(const std::vector<double> &v)
+{
+    double m = 0.0;
+    for (double x : v)
+        m = std::max(m, std::fabs(x));
+    return m;
+}
+
+/** FNV-1a over raw bytes, for the determinism fingerprint. */
+std::uint64_t
+hashBytes(const void *p, std::size_t n, std::uint64_t h)
+{
+    const auto *b = static_cast<const unsigned char *>(p);
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        h ^= b[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+hashVec(const std::vector<double> &v, std::uint64_t h)
+{
+    return hashBytes(v.data(), v.size() * sizeof(double), h);
+}
+
+/** The step-update fixture shared by the fused/engine properties. */
+struct StepFixture
+{
+    std::vector<double> u;
+    std::vector<double> up0;
+    std::vector<double> f;
+    std::vector<double> invMass;
+    double dt = 0.0;
+    double a0 = 0.0;
+
+    static StepFixture
+    make(InputGen &gen, std::int64_t n, const std::vector<double> &mass,
+         double dt)
+    {
+        StepFixture fx;
+        fx.u = gen.randomVector(n);
+        fx.up0 = gen.randomVector(n);
+        fx.f = gen.randomVector(n);
+        fx.invMass.resize(static_cast<std::size_t>(n));
+        for (std::int64_t i = 0; i < n; ++i)
+            fx.invMass[static_cast<std::size_t>(i)] =
+                1.0 / mass[static_cast<std::size_t>(i)];
+        fx.dt = dt;
+        fx.a0 = gen.rng().nextBounded(2) == 0
+                    ? gen.rng().uniform(0.0, 0.5)
+                    : 0.0;
+        return fx;
+    }
+
+    sparse::StepUpdate
+    su(double *up) const
+    {
+        sparse::StepUpdate s;
+        s.u = u.data();
+        s.up = up;
+        s.f = f.data();
+        s.invMass = invMass.data();
+        s.dt = dt;
+        s.dt2 = dt * dt;
+        s.prevCoeff = 1.0 - a0 * dt / 2.0;
+        s.denom = 1.0 + a0 * dt / 2.0;
+        return s;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Property: every kernel in the suite vs reference CSR, plus the
+// bitwise contracts of the threaded variants.
+// ---------------------------------------------------------------------------
+
+PropertyResult
+propKernelDifferential(const TrialConfig &cfg)
+{
+    InputGen gen(cfg.seed, cfg.size);
+    GeneratedSystem sys = gen.randomSystem();
+    spark::KernelSuite suite(sys.mesh, *sys.model);
+    const std::vector<double> x = gen.randomVector(suite.dof());
+    const std::vector<double> ref = suite.run(spark::Kernel::kCsr, x);
+
+    for (spark::Kernel k : spark::kAllKernels)
+    {
+        const std::vector<double> y = suite.run(k, x);
+        std::string why;
+        if (!withinMixedTolerance(ref, y, kUlpBound, kRelEps, &why))
+            return fail("kernel " + spark::kernelName(k) +
+                        " vs CSR: " + why);
+    }
+
+    // kThreaded is row-partitioned over disjoint output ranges: bitwise
+    // identical to sequential BCSR3 at every thread count.
+    const std::vector<double> yb = suite.run(spark::Kernel::kBcsr3, x);
+    for (int t : cfg.threads)
+    {
+        suite.setThreads(t);
+        if (!bitwiseEqual(yb, suite.run(spark::Kernel::kThreaded, x)))
+            return fail("kThreaded != kBcsr3 bitwise at " +
+                        std::to_string(t) + " threads");
+        // The symmetric MT kernel reorders sums per thread count, but at
+        // a FIXED thread count it must be exactly deterministic.
+        const std::vector<double> y1 =
+            suite.run(spark::Kernel::kSymBcsr3Mt, x);
+        const std::vector<double> y2 =
+            suite.run(spark::Kernel::kSymBcsr3Mt, x);
+        if (!bitwiseEqual(y1, y2))
+            return fail("kSymBcsr3Mt not deterministic at " +
+                        std::to_string(t) + " threads");
+    }
+    return ok();
+}
+
+// ---------------------------------------------------------------------------
+// Property: random SPD block matrices (no mesh in the loop) through
+// every storage path.
+// ---------------------------------------------------------------------------
+
+PropertyResult
+propSpdBlockDifferential(const TrialConfig &cfg)
+{
+    InputGen gen(cfg.seed, cfg.size);
+    const std::int64_t n =
+        6 + 20 * cfg.size +
+        static_cast<std::int64_t>(gen.rng().nextBounded(11));
+    const sparse::Bcsr3Matrix a = gen.randomSpdBcsr3(n);
+    const std::vector<double> x = gen.randomVector(a.numRows());
+    const std::vector<double> ref = a.toCsr().multiply(x);
+
+    const std::vector<double> yb = a.multiply(x);
+    std::string why;
+    if (!withinMixedTolerance(ref, yb, kUlpBound, kRelEps, &why))
+        return fail("bcsr3 vs expanded csr: " + why);
+
+    // The generator mirrors off-diagonal blocks as exact transposes, so
+    // zero-tolerance symmetric compression must accept the matrix.
+    const sparse::SymBcsr3Matrix s = sparse::SymBcsr3Matrix::fromBcsr3(a);
+    const std::vector<double> ys = s.multiply(x);
+    if (!withinMixedTolerance(ref, ys, kUlpBound, kRelEps, &why))
+        return fail("sym bcsr3 vs csr: " + why);
+
+    for (int t : cfg.threads)
+    {
+        parallel::WorkerPool pool(t);
+        std::vector<double> y(static_cast<std::size_t>(a.numRows()));
+        spark::smvpThreaded(a, x.data(), y.data(), pool);
+        if (!bitwiseEqual(yb, y))
+            return fail("smvpThreaded != bcsr3 bitwise at " +
+                        std::to_string(t) + " threads");
+
+        std::vector<double> scratch;
+        std::vector<double> y1(static_cast<std::size_t>(a.numRows()));
+        std::vector<double> y2(static_cast<std::size_t>(a.numRows()));
+        spark::smvpSymBcsr3Threaded(s, x.data(), y1.data(), pool, scratch);
+        spark::smvpSymBcsr3Threaded(s, x.data(), y2.data(), pool, scratch);
+        if (!bitwiseEqual(y1, y2))
+            return fail("smvpSymBcsr3Threaded not deterministic at " +
+                        std::to_string(t) + " threads");
+        if (!withinMixedTolerance(ref, y1, kUlpBound, kRelEps, &why))
+            return fail("smvpSymBcsr3Threaded vs csr at " +
+                        std::to_string(t) + " threads: " + why);
+    }
+    return ok();
+}
+
+// ---------------------------------------------------------------------------
+// Property: fused step == unfused SMVP + reference triad, bitwise, on
+// every fused backend (serial BCSR3, symmetric BCSR3, pooled kernel).
+// ---------------------------------------------------------------------------
+
+PropertyResult
+propFusedVsUnfused(const TrialConfig &cfg)
+{
+    InputGen gen(cfg.seed, cfg.size);
+    GeneratedSystem sys = gen.randomSystem();
+    const sparse::Bcsr3Matrix &a = sys.stiffness;
+    const std::int64_t n = a.numRows();
+    const StepFixture fx = StepFixture::make(gen, n, sys.lumpedMass, sys.dt);
+
+    // Unfused reference: materialized ku + the reference triad.
+    const std::vector<double> ku = a.multiply(fx.u);
+    std::vector<double> upRef = fx.up0;
+    sparse::StepPartials pRef;
+    sparse::applyStepUpdateRange(fx.su(upRef.data()), ku.data(), 0, n, pRef);
+
+    // Serial fused full-BCSR sweep: same ascending row order, so the
+    // displacement AND both partials must match bit for bit.
+    std::vector<double> upF = fx.up0;
+    const sparse::StepPartials pF = a.multiplyFusedStep(fx.su(upF.data()));
+    if (!bitwiseEqual(upRef, upF))
+        return fail("bcsr3 fused u_{n+1} != unfused bitwise");
+    if (!bitEq(pRef.peak, pF.peak) || !bitEq(pRef.energy, pF.energy))
+        return fail("bcsr3 fused partials != unfused bitwise");
+
+    // Symmetric fused sweep vs ITS OWN multiply + triad (the symmetric
+    // scatter reorders sums relative to the full matrix, so the
+    // reference is the symmetric product, not the full one).  Assembled
+    // blocks are only transpose-symmetric up to summation order, hence
+    // the production tolerance rather than the exact-transpose default.
+    const sparse::SymBcsr3Matrix s =
+        sparse::SymBcsr3Matrix::fromBcsr3(a, 1e-9);
+    const std::vector<double> ysym = s.multiply(fx.u);
+    std::vector<double> upRefS = fx.up0;
+    sparse::StepPartials pRefS;
+    sparse::applyStepUpdateRange(fx.su(upRefS.data()), ysym.data(), 0, n,
+                                 pRefS);
+    std::vector<double> upS = fx.up0;
+    std::vector<double> symKu(static_cast<std::size_t>(n));
+    const sparse::StepPartials pS =
+        s.multiplyFusedStep(fx.su(upS.data()), symKu.data());
+    if (!bitwiseEqual(upRefS, upS))
+        return fail("sym fused u_{n+1} != sym multiply + triad bitwise");
+    if (!bitEq(pRefS.peak, pS.peak) || !bitEq(pRefS.energy, pS.energy))
+        return fail("sym fused partials != sym reference bitwise");
+    std::string why;
+    if (!withinMixedTolerance(upRef, upS, kUlpBound, kRelEps, &why))
+        return fail("sym fused vs full fused: " + why);
+
+    // Pooled fused kernel: fixed 64-chunk grid, so u and partials are
+    // identical across thread counts; u also matches the unfused
+    // reference bitwise, while the chunk-grouped energy only has to be
+    // ULP-close to the serial triad's.
+    bool first = true;
+    sparse::StepPartials pFirst;
+    for (int t : cfg.threads)
+    {
+        parallel::WorkerPool pool(t);
+        const spark::FusedStepKernel kern(a, pool);
+        std::vector<double> upT = fx.up0;
+        const sparse::StepPartials pT = kern.step(fx.su(upT.data()));
+        if (!bitwiseEqual(upRef, upT))
+            return fail("FusedStepKernel u_{n+1} != unfused bitwise at " +
+                        std::to_string(t) + " threads");
+        if (first)
+        {
+            pFirst = pT;
+            first = false;
+        }
+        else if (!bitEq(pFirst.peak, pT.peak) ||
+                 !bitEq(pFirst.energy, pT.energy))
+        {
+            return fail("FusedStepKernel partials vary with thread count");
+        }
+        if (!bitEq(pRef.peak, pT.peak))
+            return fail("FusedStepKernel peak != reference");
+        if (!scalarClose(pRef.energy, pT.energy))
+            return fail("FusedStepKernel energy drifted from reference");
+    }
+    return ok();
+}
+
+// ---------------------------------------------------------------------------
+// Property: the distributed engine is bitwise invariant across thread
+// counts and exchange modes, ULP-consistent with the global assembly,
+// and its fused step equals its multiply + the reference triad.
+// ---------------------------------------------------------------------------
+
+PropertyResult
+propEngineBitwise(const TrialConfig &cfg)
+{
+    InputGen gen(cfg.seed, cfg.size);
+    GeneratedSystem sys = gen.randomSystem();
+    const int parts = gen.randomPartCount(sys.mesh);
+    const partition::Partition part = gen.randomPartition(sys.mesh, parts);
+    const parallel::DistributedProblem problem =
+        parallel::distribute(sys.mesh, *sys.model, part);
+    const std::int64_t n = 3 * problem.numGlobalNodes;
+
+    const std::vector<double> x = gen.randomVector(n);
+    const std::vector<double> refGlobal = sys.stiffness.multiply(x);
+    StepFixture fx = StepFixture::make(gen, n, sys.lumpedMass, sys.dt);
+    fx.u = x; // the fused step's x is the multiply's x
+
+    std::vector<double> yFirst;
+    std::vector<double> upRef;
+    sparse::StepPartials pRef;
+    bool first = true;
+    sparse::StepPartials pFirst;
+
+    for (parallel::ExchangeMode mode :
+         {parallel::ExchangeMode::kBarrier,
+          parallel::ExchangeMode::kOverlapped})
+    {
+        for (int t : cfg.threads)
+        {
+            const parallel::ParallelSmvp engine(problem, t, mode);
+            const std::vector<double> y = engine.multiply(x);
+            const char *mname =
+                mode == parallel::ExchangeMode::kBarrier ? "barrier"
+                                                         : "overlapped";
+            if (first)
+            {
+                std::string why;
+                if (!withinMixedTolerance(refGlobal, y, kUlpBound, kRelEps,
+                                          &why))
+                    return fail("engine vs global assembly: " + why);
+                yFirst = y;
+                // Engine contract: stepFused's u_{n+1} == engine
+                // multiply + the unfused reference triad, bitwise.
+                upRef = fx.up0;
+                sparse::applyStepUpdateRange(fx.su(upRef.data()),
+                                             yFirst.data(), 0, n, pRef);
+            }
+            else if (!bitwiseEqual(yFirst, y))
+            {
+                return fail(std::string("engine multiply varies (") +
+                            mname + ", " + std::to_string(t) +
+                            " threads)");
+            }
+
+            std::vector<double> y2(static_cast<std::size_t>(n));
+            engine.multiplyInto(x.data(), y2.data());
+            if (!bitwiseEqual(yFirst, y2))
+                return fail(std::string("multiplyInto != multiply (") +
+                            mname + ", " + std::to_string(t) +
+                            " threads)");
+
+            std::vector<double> upT = fx.up0;
+            const sparse::StepPartials pT =
+                engine.stepFused(fx.su(upT.data()));
+            if (!bitwiseEqual(upRef, upT))
+                return fail(std::string("stepFused u_{n+1} != multiply + "
+                                        "triad (") +
+                            mname + ", " + std::to_string(t) +
+                            " threads)");
+            if (first)
+            {
+                pFirst = pT;
+                first = false;
+            }
+            else if (!bitEq(pFirst.peak, pT.peak) ||
+                     !bitEq(pFirst.energy, pT.energy))
+            {
+                return fail("stepFused partials vary across configs");
+            }
+            if (!bitEq(pRef.peak, pT.peak))
+                return fail("stepFused peak != reference triad peak");
+            if (!scalarClose(pRef.energy, pT.energy))
+                return fail("stepFused energy drifted from reference");
+        }
+    }
+    return ok();
+}
+
+// ---------------------------------------------------------------------------
+// Property: K is symmetric as a bilinear form, x^T K y == y^T K x.
+// ---------------------------------------------------------------------------
+
+PropertyResult
+propSymmetryBilinear(const TrialConfig &cfg)
+{
+    InputGen gen(cfg.seed, cfg.size);
+    sparse::Bcsr3Matrix a;
+    if (gen.rng().nextBounded(2) == 0)
+    {
+        GeneratedSystem sys = gen.randomSystem();
+        a = std::move(sys.stiffness);
+    }
+    else
+    {
+        a = gen.randomSpdBcsr3(
+            6 + 20 * cfg.size +
+            static_cast<std::int64_t>(gen.rng().nextBounded(11)));
+    }
+    const std::vector<double> x = gen.randomVector(a.numRows());
+    const std::vector<double> y = gen.randomVector(a.numRows());
+    const std::vector<double> kx = a.multiply(x);
+    const std::vector<double> ky = a.multiply(y);
+    const double s1 = dot(x, ky);
+    const double s2 = dot(y, kx);
+    // The two sides cancel differently; bound the gap by the terms'
+    // magnitude, not the (possibly tiny) result.
+    const double scale = normInf(x) * normInf(ky) +
+                         normInf(y) * normInf(kx) + 1.0;
+    const double tol =
+        1e-12 * scale * static_cast<double>(a.numRows());
+    if (std::fabs(s1 - s2) > tol)
+    {
+        std::ostringstream os;
+        os.precision(17);
+        os << "x'Ky = " << s1 << " vs y'Kx = " << s2 << " (tol " << tol
+           << ")";
+        return fail(os.str());
+    }
+    return ok();
+}
+
+// ---------------------------------------------------------------------------
+// Property: the whole pipeline is a pure function of the seed.
+// ---------------------------------------------------------------------------
+
+std::uint64_t
+pipelineFingerprint(const TrialConfig &cfg)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    InputGen gen(cfg.seed, cfg.size);
+    GeneratedSystem sys = gen.randomSystem();
+    h = hashBytes(sys.mesh.nodes().data(),
+                  sys.mesh.nodes().size() * sizeof(mesh::Vec3), h);
+
+    spark::KernelSuite suite(sys.mesh, *sys.model);
+    suite.setThreads(2);
+    const std::vector<double> x = gen.randomVector(suite.dof());
+    h = hashVec(x, h);
+    h = hashVec(suite.run(spark::Kernel::kSymBcsr3Mt, x), h);
+    h = hashVec(suite.run(spark::Kernel::kThreaded, x), h);
+
+    const int parts = gen.randomPartCount(sys.mesh);
+    const partition::Partition part = gen.randomPartition(sys.mesh, parts);
+    const parallel::DistributedProblem problem =
+        parallel::distribute(sys.mesh, *sys.model, part);
+    const parallel::ParallelSmvp engine(problem, 2);
+    const std::vector<double> xg =
+        gen.randomVector(3 * problem.numGlobalNodes);
+    h = hashVec(engine.multiply(xg), h);
+
+    const int pes = 2 + static_cast<int>(gen.rng().nextBounded(
+                            static_cast<std::uint64_t>(2 + 2 * cfg.size)));
+    const parallel::CommSchedule sched = gen.randomSchedule(pes);
+    const parallel::MachineModel machine = gen.randomMachine();
+    parallel::ReliableExchangeOptions opts;
+    opts.faults = gen.randomFaultSpec();
+    const parallel::ReliableExchangeResult r =
+        parallel::simulateReliableExchange(sched, machine, opts);
+    h = hashBytes(&r.tComm, sizeof(r.tComm), h);
+    h = hashBytes(&r.tProtocolQuiesce, sizeof(r.tProtocolQuiesce), h);
+    h = hashBytes(&r.dataSent, sizeof(r.dataSent), h);
+    h = hashBytes(&r.retransmissions, sizeof(r.retransmissions), h);
+    h = hashVec(r.peFinishTime, h);
+    return h;
+}
+
+PropertyResult
+propDeterminismRerun(const TrialConfig &cfg)
+{
+    const std::uint64_t h1 = pipelineFingerprint(cfg);
+    const std::uint64_t h2 = pipelineFingerprint(cfg);
+    if (h1 != h2)
+    {
+        std::ostringstream os;
+        os << "pipeline fingerprint changed between reruns: " << std::hex
+           << h1 << " vs " << h2;
+        return fail(os.str());
+    }
+    return ok();
+}
+
+// ---------------------------------------------------------------------------
+// Property: the reliable exchange with a fault-free spec reproduces the
+// ideal simulator's timeline bit for bit.
+// ---------------------------------------------------------------------------
+
+PropertyResult
+propExchangeFaultFree(const TrialConfig &cfg)
+{
+    InputGen gen(cfg.seed, cfg.size);
+    const int pes = 2 + static_cast<int>(gen.rng().nextBounded(
+                            static_cast<std::uint64_t>(2 + 2 * cfg.size)));
+    const parallel::CommSchedule sched = gen.randomSchedule(pes);
+    const parallel::MachineModel machine = gen.randomMachine();
+    const double wire = gen.rng().uniform(0.0, 1e-5);
+    const bool duplex = gen.rng().nextBounded(2) == 0;
+
+    parallel::EventSimOptions base_opts;
+    base_opts.wireLatency = wire;
+    base_opts.fullDuplex = duplex;
+    const parallel::EventSimResult base =
+        parallel::simulateExchange(sched, machine, base_opts);
+
+    parallel::ReliableExchangeOptions rel_opts;
+    rel_opts.wireLatency = wire;
+    rel_opts.fullDuplex = duplex; // faults default to the all-zero spec
+    const parallel::ReliableExchangeResult rel =
+        parallel::simulateReliableExchange(sched, machine, rel_opts);
+
+    if (!bitwiseEqual(base.peFinishTime, rel.peFinishTime))
+        return fail("fault-free per-PE finish times != ideal baseline");
+    if (!bitEq(base.tComm, rel.tComm))
+        return fail("fault-free tComm != ideal baseline");
+    if (!bitEq(base.totalIdle, rel.totalIdle))
+        return fail("fault-free totalIdle != ideal baseline");
+    if (base.criticalPe != rel.criticalPe)
+        return fail("fault-free critical PE != ideal baseline");
+    if (rel.dataSent != base.messagesSent)
+        return fail("fault-free protocol sent extra data messages");
+    if (rel.retransmissions != 0 || rel.timeoutsFired != 0 ||
+        rel.dataDropped != 0 || rel.duplicatesDelivered != 0 ||
+        rel.acksDropped != 0)
+        return fail("fault-free run reported protocol activity");
+    if (rel.degraded || !rel.lostExchanges.empty() || rel.staleWords != 0)
+        return fail("fault-free run reported degradation");
+    return ok();
+}
+
+// ---------------------------------------------------------------------------
+// Property: under random faults the protocol is rerun-deterministic and
+// its counters satisfy the conservation identities.
+// ---------------------------------------------------------------------------
+
+PropertyResult
+propExchangeFaulty(const TrialConfig &cfg)
+{
+    InputGen gen(cfg.seed, cfg.size);
+    const int pes = 2 + static_cast<int>(gen.rng().nextBounded(
+                            static_cast<std::uint64_t>(2 + 2 * cfg.size)));
+    const parallel::CommSchedule sched = gen.randomSchedule(pes);
+    const parallel::MachineModel machine = gen.randomMachine();
+
+    parallel::ReliableExchangeOptions opts;
+    opts.wireLatency = gen.rng().uniform(0.0, 1e-5);
+    opts.fullDuplex = gen.rng().nextBounded(2) == 0;
+    opts.faults = gen.randomFaultSpec();
+    opts.maxRetries = 1 + static_cast<int>(gen.rng().nextBounded(8));
+
+    const parallel::ReliableExchangeResult r1 =
+        parallel::simulateReliableExchange(sched, machine, opts);
+    const parallel::ReliableExchangeResult r2 =
+        parallel::simulateReliableExchange(sched, machine, opts);
+
+    if (!bitwiseEqual(r1.peFinishTime, r2.peFinishTime) ||
+        !bitEq(r1.tComm, r2.tComm) ||
+        !bitEq(r1.tProtocolQuiesce, r2.tProtocolQuiesce) ||
+        r1.dataSent != r2.dataSent || r1.dataDropped != r2.dataDropped ||
+        r1.dataDelivered != r2.dataDelivered ||
+        r1.retransmissions != r2.retransmissions ||
+        r1.timeoutsFired != r2.timeoutsFired ||
+        r1.staleWords != r2.staleWords)
+        return fail("faulty run not deterministic across reruns");
+
+    // Conservation: every transmission is either dropped or delivered;
+    // network duplication delivers copies that were never sent.
+    if (r1.dataSent != r1.dataDropped + r1.dataDelivered -
+                           r1.duplicatesDelivered)
+    {
+        std::ostringstream os;
+        os << "counter identity violated: sent " << r1.dataSent
+           << " != dropped " << r1.dataDropped << " + delivered "
+           << r1.dataDelivered << " - duplicates "
+           << r1.duplicatesDelivered;
+        return fail(os.str());
+    }
+    if (r1.tProtocolQuiesce < r1.tComm)
+        return fail("protocol quiesced before the data links went idle");
+    if (r1.staleFraction < 0.0 || r1.staleFraction > 1.0)
+        return fail("staleFraction outside [0, 1]");
+    if (!r1.degraded && (r1.staleWords != 0 || !r1.lostExchanges.empty()))
+        return fail("undegraded run reported losses");
+    if (r1.degraded && r1.staleWords == 0 && r1.lostExchanges.empty())
+        return fail("degraded run with no losses recorded");
+    if (static_cast<int>(r1.peFinishTime.size()) != pes)
+        return fail("per-PE finish times have the wrong length");
+    for (double tpe : r1.peFinishTime)
+        if (!(tpe >= 0.0) || !std::isfinite(tpe))
+            return fail("non-finite or negative PE finish time");
+    return ok();
+}
+
+// ---------------------------------------------------------------------------
+// Property: invalid parameters are rejected with FatalError (never UB,
+// never a hang) at every validated entry point.
+// ---------------------------------------------------------------------------
+
+PropertyResult
+expectFatal(const char *what, const std::function<void()> &fn)
+{
+    try
+    {
+        fn();
+    }
+    catch (const common::FatalError &)
+    {
+        return ok();
+    }
+    catch (const std::exception &e)
+    {
+        return fail(std::string(what) +
+                    ": wrong exception type: " + e.what());
+    }
+    return fail(std::string(what) + ": accepted invalid input");
+}
+
+PropertyResult
+propRejectInvalid(const TrialConfig &cfg)
+{
+    InputGen gen(cfg.seed, cfg.size);
+    const mesh::UniformModel model(
+        mesh::Aabb{{0.0, 0.0, 0.0}, {4.0, 4.0, 4.0}}, 1.0);
+
+    const auto badSpec = [](auto mutate) {
+        mesh::MeshSpec spec;
+        spec.coarseNx = 1;
+        spec.coarseNy = 1;
+        spec.coarseNz = 1;
+        mutate(spec);
+        return spec;
+    };
+
+    struct Case
+    {
+        const char *what;
+        std::function<void()> fn;
+    };
+    const Case cases[] = {
+        {"zero wave period",
+         [&] {
+             mesh::generateMesh(model, badSpec([](mesh::MeshSpec &s) {
+                                    s.periodSeconds = 0.0;
+                                }));
+         }},
+        {"negative hScale",
+         [&] {
+             mesh::generateMesh(model, badSpec([](mesh::MeshSpec &s) {
+                                    s.hScale = -1.0;
+                                }));
+         }},
+        {"NaN points per wavelength",
+         [&] {
+             mesh::generateMesh(model, badSpec([](mesh::MeshSpec &s) {
+                                    s.pointsPerWavelength =
+                                        std::nan("");
+                                }));
+         }},
+        {"zero coarse lattice dimension",
+         [&] {
+             mesh::generateMesh(model, badSpec([](mesh::MeshSpec &s) {
+                                    s.coarseNx = 0;
+                                }));
+         }},
+        {"coarse lattice overflowing node ids",
+         [&] {
+             mesh::generateMesh(model, badSpec([](mesh::MeshSpec &s) {
+                                    s.coarseNx = 5000;
+                                    s.coarseNy = 5000;
+                                    s.coarseNz = 5000;
+                                }));
+         }},
+        {"jitter fraction >= 1",
+         [&] {
+             mesh::generateMesh(model, badSpec([](mesh::MeshSpec &s) {
+                                    s.jitterFraction = 1.5;
+                                }));
+         }},
+        {"non-positive hMin",
+         [&] {
+             mesh::generateMesh(model, badSpec([](mesh::MeshSpec &s) {
+                                    s.hMin = 0.0;
+                                }));
+         }},
+        {"zero refinement element cap",
+         [&] {
+             mesh::generateMesh(model, badSpec([](mesh::MeshSpec &s) {
+                                    s.refine.maxElements = 0;
+                                }));
+         }},
+        {"zero-extent domain (zero elements)",
+         [&] {
+             const mesh::UniformModel flat(
+                 mesh::Aabb{{0.0, 0.0, 0.0}, {4.0, 4.0, 0.0}}, 1.0);
+             mesh::generateMesh(flat, badSpec([](mesh::MeshSpec &) {}));
+         }},
+        {"asymmetric comm schedule",
+         [&] {
+             std::vector<parallel::PeSchedule> pes(2);
+             parallel::Exchange e;
+             e.peer = 1;
+             e.nodes = {0, 1};
+             pes[0].exchanges.push_back(e); // PE 1 never reciprocates
+             parallel::CommSchedule::fromPeSchedules(std::move(pes));
+         }},
+        {"fault probability > 1",
+         [&] {
+             parallel::FaultSpec spec;
+             spec.dropProbability = 1.5;
+             spec.validate();
+         }},
+        {"NaN fault probability",
+         [&] {
+             parallel::FaultSpec spec;
+             spec.dropProbability = std::nan("");
+             spec.validate();
+         }},
+        {"degraded bandwidth factor < 1",
+         [&] {
+             parallel::FaultSpec spec;
+             spec.degradedLinkProbability = 0.5;
+             spec.degradedBandwidthFactor = 0.25;
+             spec.validate();
+         }},
+        {"backoff factor < 1",
+         [&] {
+             parallel::ReliableExchangeOptions opts;
+             opts.backoffFactor = 0.5;
+             opts.validate();
+         }},
+        {"negative retry budget",
+         [&] {
+             parallel::ReliableExchangeOptions opts;
+             opts.maxRetries = -1;
+             opts.validate();
+         }},
+        {"non-positive machine rate",
+         [&] { parallel::customMachine("bad", -1.0, 1e-6, 1e8); }},
+        {"sliver mesh with zero elements",
+         [&] { InputGen::sliverMesh(0, 0.1); }},
+        {"negative simulation duration",
+         [&] {
+             sim::SimulationConfig config;
+             config.durationSeconds = -5.0;
+             config.validate();
+         }},
+        {"zero PEs",
+         [&] {
+             sim::SimulationConfig config;
+             config.numPes = 0;
+             config.validate();
+         }},
+        {"negative SMVP threads",
+         [&] {
+             sim::SimulationConfig config;
+             config.smvpThreads = -2;
+             config.validate();
+         }},
+        {"negative sample interval",
+         [&] {
+             sim::SimulationConfig config;
+             config.sampleInterval = -1;
+             config.validate();
+         }},
+    };
+    for (const Case &c : cases)
+    {
+        const PropertyResult r = expectFatal(c.what, c.fn);
+        if (!r.pass)
+            return r;
+    }
+
+    // And the positive side: the seeded generators must only produce
+    // inputs every validated entry point accepts — in particular no
+    // empty partition parts even at extreme part counts.
+    GeneratedSystem sys = gen.randomSystem();
+    const auto parts = static_cast<int>(
+        std::min<std::int64_t>(sys.mesh.numElements(), 9));
+    const partition::Partition part = gen.randomPartition(sys.mesh, parts);
+    std::vector<std::int64_t> sizes = part.partSizes();
+    if (std::find(sizes.begin(), sizes.end(), 0) != sizes.end())
+        return fail("randomPartition produced an empty part");
+    return ok();
+}
+
+// ---------------------------------------------------------------------------
+// Property: adversarial meshes (single element, slivers, disconnected
+// graphs, pathological grading) survive assembly, every kernel, and
+// the distributed engine.
+// ---------------------------------------------------------------------------
+
+PropertyResult
+propAdversarialMeshes(const TrialConfig &cfg)
+{
+    InputGen gen(cfg.seed, cfg.size);
+    std::vector<std::pair<std::string, mesh::TetMesh>> meshes;
+    meshes.emplace_back("single-element", InputGen::singleElementMesh());
+    meshes.emplace_back("sliver-fan",
+                        InputGen::sliverMesh(3 + cfg.size, 1e-4));
+    meshes.emplace_back("disconnected",
+                        InputGen::disconnectedMesh(2 + cfg.size));
+    meshes.emplace_back("graded-collapse", gen.pathologicalGradedMesh());
+
+    for (auto &[name, m] : meshes)
+    {
+        GeneratedSystem sys = gen.systemFromMesh(std::move(m));
+        spark::KernelSuite suite(sys.mesh, *sys.model);
+        const std::vector<double> x = gen.randomVector(suite.dof());
+        const std::vector<double> ref = suite.run(spark::Kernel::kCsr, x);
+        for (spark::Kernel k : spark::kAllKernels)
+        {
+            std::string why;
+            if (!withinMixedTolerance(ref, suite.run(k, x), kUlpBound,
+                                      kRelEps, &why))
+                return fail(name + ": kernel " + spark::kernelName(k) +
+                            ": " + why);
+        }
+
+        if (sys.mesh.numElements() < 2)
+            continue;
+        const auto parts = static_cast<int>(std::min<std::int64_t>(
+            2 + cfg.size, sys.mesh.numElements()));
+        const partition::Partition part =
+            gen.randomPartition(sys.mesh, parts);
+        const parallel::DistributedProblem problem =
+            parallel::distribute(sys.mesh, *sys.model, part);
+        const std::vector<double> xg =
+            gen.randomVector(3 * problem.numGlobalNodes);
+        const std::vector<double> refG = sys.stiffness.multiply(xg);
+        std::vector<double> yFirst;
+        for (parallel::ExchangeMode mode :
+             {parallel::ExchangeMode::kBarrier,
+              parallel::ExchangeMode::kOverlapped})
+            for (int t : {1, 4})
+            {
+                const parallel::ParallelSmvp engine(problem, t, mode);
+                const std::vector<double> y = engine.multiply(xg);
+                if (yFirst.empty())
+                {
+                    std::string why;
+                    if (!withinMixedTolerance(refG, y, kUlpBound, kRelEps,
+                                              &why))
+                        return fail(name + ": engine vs global: " + why);
+                    yFirst = y;
+                }
+                else if (!bitwiseEqual(yFirst, y))
+                {
+                    return fail(name +
+                                ": engine multiply varies across configs");
+                }
+            }
+    }
+    return ok();
+}
+
+// ---------------------------------------------------------------------------
+// Property: telemetry is observation-only — tracing on vs off is
+// bitwise identical, and the traced steady state allocates nothing.
+// ---------------------------------------------------------------------------
+
+PropertyResult
+propTelemetryTransparent(const TrialConfig &cfg)
+{
+    InputGen gen(cfg.seed, cfg.size);
+    GeneratedSystem sys = gen.randomSystem();
+    const int parts = gen.randomPartCount(sys.mesh);
+    const partition::Partition part = gen.randomPartition(sys.mesh, parts);
+    const parallel::DistributedProblem problem =
+        parallel::distribute(sys.mesh, *sys.model, part);
+    const std::int64_t n = 3 * problem.numGlobalNodes;
+    StepFixture fx = StepFixture::make(gen, n, sys.lumpedMass, sys.dt);
+    const int steps = 6 + 2 * cfg.size;
+
+    // Run the fused stepping loop; returns allocations observed after
+    // the warm-up (or -1 when the host installed no counter).
+    const auto runLoop = [&](telemetry::Collector *col,
+                             std::vector<double> &u,
+                             std::vector<double> &up) -> std::int64_t {
+        parallel::ParallelSmvp engine(problem, 2);
+        engine.setCollector(col); // also wires the worker pool
+        u = fx.u;
+        up = fx.up0;
+        std::int64_t before = -1;
+        sparse::StepUpdate su = fx.su(nullptr);
+        for (int s = 0; s < steps; ++s)
+        {
+            if (col != nullptr)
+                col->setStep(s);
+            if (s == 2)
+                before = allocationsNow();
+            su.u = u.data();
+            su.up = up.data();
+            engine.stepFused(su);
+            std::swap(u, up); // up held u_{n-1}; now holds u_{n+1}
+        }
+        const std::int64_t after = allocationsNow();
+        return before >= 0 && after >= 0 ? after - before : -1;
+    };
+
+    std::vector<double> uOff;
+    std::vector<double> upOff;
+    runLoop(nullptr, uOff, upOff);
+
+    telemetry::CollectorConfig cc;
+    cc.enabled = true;
+    cc.spanCapacity = 1 << 12;
+    cc.sampleEvery = 1; // record fine-grained spans on every step
+    telemetry::Collector col(cc);
+    std::vector<double> uOn;
+    std::vector<double> upOn;
+    const std::int64_t allocs = runLoop(&col, uOn, upOn);
+
+    if (!bitwiseEqual(uOff, uOn) || !bitwiseEqual(upOff, upOn))
+        return fail("displacements differ with telemetry on vs off");
+    if (allocs > 0)
+        return fail("traced steady state allocated " +
+                    std::to_string(allocs) + " times");
+    if (col.counterTotal(telemetry::Counter::kSmvpCalls) !=
+        static_cast<std::uint64_t>(steps))
+        return fail("collector missed fused-step calls");
+    return ok();
+}
+
+} // namespace
+
+const std::vector<Property> &
+allProperties()
+{
+    static const std::vector<Property> kProps = {
+        {"kernel_differential",
+         "every KernelSuite kernel vs reference CSR, ULP-bounded; "
+         "threaded kernels bitwise/deterministic",
+         propKernelDifferential},
+        {"spd_block_differential",
+         "random SPD block matrices through BCSR3, symmetric, and "
+         "threaded paths",
+         propSpdBlockDifferential},
+        {"fused_vs_unfused",
+         "fused step == unfused SMVP + reference triad, bitwise, on all "
+         "fused backends",
+         propFusedVsUnfused},
+        {"engine_bitwise",
+         "ParallelSmvp bitwise invariant across 1/2/4/8 threads and "
+         "barrier/overlapped modes",
+         propEngineBitwise},
+        {"symmetry_bilinear", "x'Ky == y'Kx on assembled and random SPD K",
+         propSymmetryBilinear},
+        {"determinism_rerun",
+         "mesh -> kernels -> engine -> reliable exchange fingerprint "
+         "identical across reruns",
+         propDeterminismRerun},
+        {"exchange_faultfree",
+         "reliable exchange with no faults reproduces the ideal "
+         "simulator bit for bit",
+         propExchangeFaultFree},
+        {"exchange_faulty",
+         "faulty reliable exchange is rerun-deterministic and conserves "
+         "message counts",
+         propExchangeFaulty},
+        {"reject_invalid",
+         "invalid specs/schedules/configs raise FatalError at every "
+         "entry point",
+         propRejectInvalid},
+        {"adversarial_meshes",
+         "slivers, disconnected graphs, single elements, and "
+         "pathological grading survive all paths",
+         propAdversarialMeshes},
+        {"telemetry_transparent",
+         "tracing on vs off is bitwise identical with 0 steady-state "
+         "allocations",
+         propTelemetryTransparent},
+    };
+    return kProps;
+}
+
+const Property *
+findProperty(const std::string &name)
+{
+    for (const Property &p : allProperties())
+        if (p.name == name)
+            return &p;
+    return nullptr;
+}
+
+PropertyResult
+runProperty(const Property &prop, const TrialConfig &cfg)
+{
+    try
+    {
+        return prop.run(cfg);
+    }
+    catch (const common::FatalError &e)
+    {
+        return PropertyResult::fail(std::string("unexpected FatalError: ") +
+                                    e.what());
+    }
+    catch (const std::exception &e)
+    {
+        return PropertyResult::fail(std::string("unexpected exception: ") +
+                                    e.what());
+    }
+}
+
+} // namespace quake::verify

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The property catalogue of the differential-verification harness
+ * (DESIGN.md §10).  A property is a named predicate over one seeded
+ * trial: it draws inputs from InputGen(seed, size), runs two or more
+ * implementations (or one implementation plus an invariant), and
+ * reports pass/fail with a human-readable diagnostic.  The fuzz driver
+ * (fuzz.h) runs each property over many seeds and shrinks failures.
+ */
+
+#ifndef QUAKE98_VERIFY_PROPERTIES_H_
+#define QUAKE98_VERIFY_PROPERTIES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "verify/generators.h"
+
+namespace quake::verify
+{
+
+/** Outcome of one property trial. */
+struct PropertyResult
+{
+    bool pass = true;
+    std::string message; ///< diagnostic on failure, empty on success
+
+    static PropertyResult ok() { return {}; }
+
+    static PropertyResult
+    fail(std::string why)
+    {
+        return {false, std::move(why)};
+    }
+};
+
+/** A named property over seeded trials. */
+struct Property
+{
+    std::string name;    ///< stable id, used by --property
+    std::string summary; ///< one line for --list
+    std::function<PropertyResult(const TrialConfig &)> run;
+};
+
+/** The full catalogue, in stable order. */
+const std::vector<Property> &allProperties();
+
+/** Look up a property by name; nullptr when unknown. */
+const Property *findProperty(const std::string &name);
+
+/**
+ * Run one trial of `prop`, converting any escaped exception
+ * (common::FatalError from a generator or checked entry point,
+ * std::exception from anywhere else) into a failing result — a
+ * property crash is a finding, not a harness abort.
+ */
+PropertyResult runProperty(const Property &prop, const TrialConfig &cfg);
+
+} // namespace quake::verify
+
+#endif // QUAKE98_VERIFY_PROPERTIES_H_

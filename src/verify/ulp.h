@@ -1,0 +1,60 @@
+/**
+ * @file
+ * ULP (units-in-the-last-place) arithmetic for the differential
+ * oracles.  Kernel variants reorder floating-point sums, so exact
+ * equality is the wrong bar for cross-format comparisons; an
+ * element-wise ULP distance against the reference CSR product is the
+ * standard discipline (DESIGN.md §10).  The distance is computed on the
+ * IEEE-754 bit patterns mapped to a monotone integer line, so it is a
+ * pure integer function with no tolerance heuristics of its own.
+ */
+
+#ifndef QUAKE98_VERIFY_ULP_H_
+#define QUAKE98_VERIFY_ULP_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace quake::verify
+{
+
+/**
+ * Number of representable doubles between a and b (0 when bitwise
+ * equal; +0 and -0 are one apart).  NaN on either side saturates to
+ * INT64_MAX, as does any distance too large to represent — callers
+ * compare against small bounds, so saturation is the right overflow
+ * behaviour.
+ */
+inline std::int64_t
+ulpDistance(double a, double b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return std::numeric_limits<std::int64_t>::max();
+    std::int64_t ia = 0;
+    std::int64_t ib = 0;
+    std::memcpy(&ia, &a, sizeof(a));
+    std::memcpy(&ib, &b, sizeof(b));
+    // Map the sign-magnitude bit pattern onto a monotone integer line:
+    // negative doubles (sign bit set) fold below zero in value order.
+    if (ia < 0)
+        ia = std::numeric_limits<std::int64_t>::min() - ia;
+    if (ib < 0)
+        ib = std::numeric_limits<std::int64_t>::min() - ib;
+    // The true distance always fits in a uint64; compute it with
+    // wrapping arithmetic, then saturate into int64.
+    const std::uint64_t d = ia >= ib
+                                ? static_cast<std::uint64_t>(ia) -
+                                      static_cast<std::uint64_t>(ib)
+                                : static_cast<std::uint64_t>(ib) -
+                                      static_cast<std::uint64_t>(ia);
+    if (d > static_cast<std::uint64_t>(
+                std::numeric_limits<std::int64_t>::max()))
+        return std::numeric_limits<std::int64_t>::max();
+    return static_cast<std::int64_t>(d);
+}
+
+} // namespace quake::verify
+
+#endif // QUAKE98_VERIFY_ULP_H_
