@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Checkpoint/restart overhead benchmark (DESIGN.md §11): what does
+ * crash-safety cost the fused step loop, and what does it cost to come
+ * back from the dead?
+ *
+ * Three runs of the same distributed fused scenario:
+ *
+ *   plain         checkpointing disabled — the baseline step rate, with
+ *                 the global allocation hook proving the disabled hook
+ *                 costs ZERO heap allocations (the acceptance gate);
+ *   checkpointed  a real checkpoint written atomically to disk every
+ *                 --every steps, timing each write;
+ *   resumed       a fresh engine restored from the last on-disk
+ *                 checkpoint and advanced to the same final step — its
+ *                 displacement triad must be bitwise identical to both
+ *                 runs above (checkpointing must not perturb, and
+ *                 resuming must not diverge).
+ *
+ * Also times readCheckpoint in isolation.  Emits BENCH_checkpoint.json
+ * for the perf trajectory.  Exit status reflects correctness only:
+ * nonzero iff the zero-allocation contract or any bitwise comparison
+ * fails.
+ *
+ * Flags: --smoke (tiny mesh, few steps — the `perf` ctest label),
+ *        --pes N, --threads N, --steps N, --every K, --dir DIR.
+ */
+
+#include "bench/bench_util.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "common/error.h"
+#include "quake/simulation.h"
+#include "quake/time_stepper.h"
+#include "resilience/checkpoint.h"
+
+// ---------------------------------------------------------------------
+// Allocation-counting hook: every heap allocation in the process goes
+// through here.  Counting is relaxed-atomic so the hook itself never
+// perturbs the timing it guards.
+// ---------------------------------------------------------------------
+
+namespace
+{
+std::atomic<std::int64_t> g_allocations{0};
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using namespace quake;
+
+/** One timed stepping run. */
+struct RunResult
+{
+    double wallSeconds = 0.0;
+    std::int64_t allocations = 0;
+    std::vector<double> u;
+    std::vector<double> up;
+    double peak = 0.0;
+};
+
+/**
+ * Step `engine` from its current count up to `target` total steps,
+ * timing the loop and the allocations it makes.  The warm-up step (if
+ * any) is the caller's business so every run ends at the same absolute
+ * step index.
+ */
+RunResult
+timeRun(sim::SimulationEngine &engine, std::int64_t target)
+{
+    sim::ExplicitTimeStepper &stepper = *engine.stepper;
+    const std::int64_t alloc0 =
+        g_allocations.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    while (stepper.stepCount() < target)
+        stepper.step();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    RunResult r;
+    r.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    r.allocations =
+        g_allocations.load(std::memory_order_relaxed) - alloc0;
+    r.u = stepper.displacement();
+    r.up = stepper.previousDisplacement();
+    r.peak = stepper.peakDisplacement();
+    return r;
+}
+
+bool
+bitwiseEqual(const std::vector<double> &a, const std::vector<double> &b)
+{
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(),
+                       a.size() * sizeof(double)) == 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const common::Args args(argc, argv);
+    bench::benchHeader(
+        "Checkpoint/restart overhead (crash-safe step loop)",
+        "the Section 2.2 step loop, supervised per DESIGN.md section 11");
+
+    const bench::EngineBenchOptions opt = bench::engineBenchOptions(args);
+    const bool smoke = opt.smoke;
+    const int steps =
+        static_cast<int>(args.getInt("steps", smoke ? 60 : 300));
+    const int every =
+        static_cast<int>(args.getInt("every", smoke ? 10 : 25));
+    const std::string dir = args.get("dir", ".");
+    const std::string path = dir + "/bench_checkpoint.ckpt";
+
+    const bench::BenchMesh bm = opt.mesh;
+    const mesh::TetMesh &m = bench::cachedMesh(bm);
+    const mesh::LayeredBasinModel model;
+
+    sim::SimulationConfig config;
+    config.numPes = opt.pes;
+    config.smvpThreads = opt.threads;
+
+    // Every run is driven to the same absolute step index: one warm-up
+    // step outside the timed window, then `steps` timed steps.
+    const std::int64_t target = steps + 1;
+
+    // --- Plain run: hook disabled, allocation gate armed. ---
+    sim::SimulationEngine plain_engine =
+        sim::makeSimulationEngine(m, model, config);
+    std::cout << "mesh: " << bm.label << ", " << m.numNodes()
+              << " nodes, " << steps << " timed steps, dt = "
+              << plain_engine.dt << " s\n"
+              << "logical PEs: " << opt.pes
+              << ", checkpoint every " << every << " steps\n\n";
+    plain_engine.stepper->step(); // warm caches and pool
+    const RunResult plain = timeRun(plain_engine, target);
+
+    // --- Checkpointed run: a real atomic write every `every` steps. ---
+    sim::SimulationEngine ckpt_engine =
+        sim::makeSimulationEngine(m, model, config);
+    resilience::Checkpoint last;
+    std::int64_t writes = 0;
+    std::size_t ckpt_bytes = 0;
+    double write_seconds = 0.0;
+    ckpt_engine.stepper->checkpointEvery(
+        every, [&](const sim::ExplicitTimeStepper &st) {
+            last.fingerprint = ckpt_engine.fingerprint;
+            last.dt = ckpt_engine.dt;
+            last.plannedSteps = target;
+            st.saveState(last.state);
+            last.reportPeak = st.peakDisplacement();
+            const auto w0 = std::chrono::steady_clock::now();
+            ckpt_bytes = resilience::writeCheckpoint(path, last);
+            const auto w1 = std::chrono::steady_clock::now();
+            write_seconds +=
+                std::chrono::duration<double>(w1 - w0).count();
+            ++writes;
+        });
+    ckpt_engine.stepper->step(); // warm-up, same absolute step index
+    const RunResult ckpt = timeRun(ckpt_engine, target);
+    QUAKE_EXPECT(writes > 0, "checkpoint hook never fired in " << steps
+                                 << " steps at interval " << every);
+
+    // --- Read latency, measured in isolation. ---
+    const int read_reps = 5;
+    double read_seconds = 0.0;
+    for (int i = 0; i < read_reps; ++i) {
+        const auto r0 = std::chrono::steady_clock::now();
+        const resilience::Checkpoint back =
+            resilience::readCheckpoint(path);
+        const auto r1 = std::chrono::steady_clock::now();
+        read_seconds += std::chrono::duration<double>(r1 - r0).count();
+        QUAKE_EXPECT(back.fingerprint == ckpt_engine.fingerprint,
+                     "read-back checkpoint fingerprint mismatch");
+    }
+
+    // --- Resume run: restore the last on-disk checkpoint and finish. ---
+    sim::SimulationEngine resume_engine =
+        sim::makeSimulationEngine(m, model, config);
+    const resilience::Checkpoint restored =
+        resilience::readCheckpoint(path);
+    resilience::requireCompatible(restored, resume_engine);
+    resume_engine.stepper->restoreState(restored.state);
+    const std::int64_t resumed_from = restored.state.steps;
+    const RunResult resumed = timeRun(resume_engine, target);
+
+    // --- Correctness gates. ---
+    const bool zero_alloc_ok = plain.allocations == 0;
+    const bool unperturbed =
+        bitwiseEqual(plain.u, ckpt.u) && bitwiseEqual(plain.up, ckpt.up);
+    const bool resume_ok =
+        bitwiseEqual(resumed.u, plain.u) &&
+        bitwiseEqual(resumed.up, plain.up) &&
+        resumed.peak == plain.peak;
+
+    // --- Report. ---
+    const double plain_rate = steps / plain.wallSeconds;
+    const double ckpt_rate = steps / ckpt.wallSeconds;
+    const double overhead_pct =
+        100.0 * (ckpt.wallSeconds - plain.wallSeconds) /
+        plain.wallSeconds;
+    const double write_ms = write_seconds / writes * 1e3;
+    const double read_ms = read_seconds / read_reps * 1e3;
+
+    common::Table table(
+        {"configuration", "steps/s", "ms/step", "allocs/step"});
+    table.addRow({"plain", common::formatFixed(plain_rate, 1),
+                  common::formatFixed(1e3 / plain_rate, 3),
+                  common::formatFixed(
+                      static_cast<double>(plain.allocations) / steps,
+                      2)});
+    table.addRow({"checkpointed", common::formatFixed(ckpt_rate, 1),
+                  common::formatFixed(1e3 / ckpt_rate, 3),
+                  common::formatFixed(
+                      static_cast<double>(ckpt.allocations) / steps,
+                      2)});
+    bench::printTable(table, args);
+
+    std::cout << "\ncheckpoints written: " << writes << " ("
+              << ckpt_bytes << " bytes each)\n"
+              << "write latency       : "
+              << common::formatFixed(write_ms, 3) << " ms/checkpoint\n"
+              << "read latency        : "
+              << common::formatFixed(read_ms, 3) << " ms/checkpoint\n"
+              << "stepping overhead   : "
+              << common::formatFixed(overhead_pct, 2) << "% at 1/"
+              << every << " steps\n"
+              << "resumed from step " << resumed_from << " of " << target
+              << "\n\n"
+              << "zero allocations with checkpointing disabled: "
+              << (zero_alloc_ok ? "PASS" : "FAIL") << " ("
+              << plain.allocations << " in " << steps << " steps)\n"
+              << "checkpointing does not perturb the trajectory: "
+              << (unperturbed ? "PASS" : "FAIL") << "\n"
+              << "resumed run bitwise-equals uninterrupted run: "
+              << (resume_ok ? "PASS" : "FAIL") << "\n";
+
+    std::vector<bench::BenchJsonRecord> records;
+    auto add_row = [&](const std::string &name, const RunResult &r) {
+        bench::BenchJsonRecord rec;
+        rec.kernel = name;
+        rec.rows = static_cast<std::int64_t>(plain.u.size());
+        rec.secondsPerSmvp = r.wallSeconds / steps;
+        rec.extra.emplace_back("steps_per_sec",
+                               steps / r.wallSeconds);
+        rec.extra.emplace_back(
+            "allocs_per_step",
+            static_cast<double>(r.allocations) / steps);
+        rec.extra.emplace_back("pes",
+                               static_cast<double>(opt.pes));
+        records.push_back(std::move(rec));
+    };
+    add_row("plain", plain);
+    add_row("checkpointed", ckpt);
+    records.back().extra.emplace_back("ckpt_write_ms", write_ms);
+    records.back().extra.emplace_back("ckpt_read_ms", read_ms);
+    records.back().extra.emplace_back(
+        "ckpt_bytes", static_cast<double>(ckpt_bytes));
+    records.back().extra.emplace_back("overhead_pct", overhead_pct);
+
+    bench::writeBenchJson(
+        "checkpoint", records,
+        {{"mesh", bm.label},
+         {"pes", std::to_string(opt.pes)},
+         {"steps", std::to_string(steps)},
+         {"checkpoint_every", std::to_string(every)},
+         {"zero_alloc_ok", zero_alloc_ok ? "true" : "false"},
+         {"resume_bitwise_equal", resume_ok ? "true" : "false"}});
+
+    std::remove(path.c_str());
+    return (zero_alloc_ok && unperturbed && resume_ok) ? 0 : 1;
+}

@@ -10,11 +10,16 @@
  * Usage: capacity_planner [--mflops F] [--latency-us L] [--burst-mbs B]
  *                         [--mesh sf10|sf5|sf2|sf1] [--block-words W]
  *                         [--faults [--drop-rate R] [--seed S]]
+ *                         [--deadline-ms D [--retry-budget N]]
  *
  * Defaults describe the Cray T3E as measured in the paper.  With
  * --faults, a synthetic irregular exchange is executed through the
  * reliable protocol at the given drop rate and the Equation (1)/(2)
- * targets are deflated by the measured phase inflation.
+ * targets are deflated by the measured phase inflation.  With
+ * --deadline-ms, the planner checks a per-step watchdog deadline SLO
+ * against the Eq. (1) model prediction for the worst instance — the
+ * same model-informed timeout the resilience supervisor derives — and
+ * says whether the budgeted retries can absorb a stall.
  */
 
 #include <iostream>
@@ -30,6 +35,7 @@
 #include "parallel/phase_simulator.h"
 #include "parallel/reliable_exchange.h"
 #include "partition/geometric_bisection.h"
+#include "resilience/supervisor.h"
 
 namespace
 {
@@ -61,6 +67,17 @@ run(int argc, char **argv)
         fault_spec.ackDropProbability = fault_spec.dropProbability;
         fault_spec.validate();
     }
+
+    // Deadline/SLO arguments are rejected at entry, before any table is
+    // printed, matching the rest of the front-end validation style.
+    const double deadline_ms = args.getDouble("deadline-ms", 0.0);
+    const long retry_budget = args.getInt("retry-budget", 3);
+    if (args.has("deadline-ms"))
+        QUAKE_EXPECT(deadline_ms > 0,
+                     "--deadline-ms must be positive, got "
+                         << deadline_ms);
+    QUAKE_EXPECT(retry_budget >= 1,
+                 "--retry-budget must be >= 1, got " << retry_budget);
 
     std::cout << "Machine: " << common::formatFixed(machine.mflops(), 0)
               << " MFLOPS sustained, T_l = "
@@ -116,6 +133,34 @@ run(int argc, char **argv)
               << "\n"
               << "  half-bw latency     : "
               << common::formatTime(h.halfPoint.latency) << "\n";
+
+    if (args.has("deadline-ms")) {
+        // The watchdog deadline the resilience supervisor would derive
+        // from Eq. (1) for this machine's worst instance, vs the SLO.
+        const double tc =
+            core::tcFromBlocks(worst, machine.tl, machine.tw);
+        const std::chrono::milliseconds model =
+            resilience::modelStepDeadline(worst, machine.tf, tc, 3.0);
+        const bool feasible =
+            deadline_ms >= static_cast<double>(model.count());
+        std::cout << "\nDeadline SLO check ("
+                  << ref::paperMeshName(mesh) << "/128, "
+                  << retry_budget << " attempt budget):\n"
+                  << "  model step deadline : " << model.count()
+                  << " ms (3x Eq. (1) prediction)\n"
+                  << "  requested deadline  : "
+                  << common::formatFixed(deadline_ms, 1) << " ms — "
+                  << (feasible
+                          ? "feasible; stalls leave headroom for "
+                                + std::to_string(retry_budget - 1) +
+                                " retr" +
+                                (retry_budget == 2 ? std::string("y")
+                                                   : std::string("ies"))
+                          : "INFEASIBLE: tighter than the model predicts "
+                            "a healthy step takes; the watchdog would "
+                            "cancel healthy runs")
+                  << "\n";
+    }
 
     if (args.has("faults")) {
         // Execute a synthetic irregular exchange (Kuhn lattice, 64

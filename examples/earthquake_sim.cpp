@@ -11,6 +11,19 @@
  *                       [--trace path] [--metrics path]
  *                       [--sample-every N]
  *                       [--faults [--drop-rate R] [--seed S]]
+ *                       [--checkpoint path [--checkpoint-every N]]
+ *                       [--resume] [--deadline ms] [--retries N]
+ *
+ * With --checkpoint, the run snapshots its full state to `path`
+ * atomically every N steps (default 100); kill it at any point and
+ * rerun with --resume to continue bitwise identically from the last
+ * checkpoint (DESIGN.md §11 and the README crash-recovery recipe).
+ * --deadline arms the watchdog: a run whose per-step heartbeat stalls
+ * longer than the given milliseconds is cancelled, restored from the
+ * last checkpoint, and retried (up to --retries attempts) under capped
+ * exponential backoff, halving the worker threads after each stall.
+ * Note: seismogram traces cover only the steps the final attempt
+ * executed; the checkpointed state and report history are complete.
  *
  * With --trace or --metrics, the run records telemetry (DESIGN.md §9):
  * --trace writes a Chrome trace_event JSON loadable in Perfetto /
@@ -37,6 +50,7 @@
 #include "parallel/reliable_exchange.h"
 #include "partition/geometric_bisection.h"
 #include "quake/simulation.h"
+#include "resilience/supervisor.h"
 #include "telemetry/collector.h"
 #include "telemetry/export.h"
 #include "telemetry/report.h"
@@ -68,6 +82,24 @@ run(int argc, char **argv)
     const std::int64_t sample_every = args.getInt("sample-every", 16);
     QUAKE_EXPECT(sample_every >= 1,
                  "--sample-every must be >= 1, got " << sample_every);
+    resilience::ResilientRunOptions resilient;
+    resilient.checkpointPath = args.get("checkpoint");
+    resilient.checkpointEvery = args.getInt(
+        "checkpoint-every", resilient.checkpointPath.empty() ? 0 : 100);
+    resilient.resume = args.has("resume");
+    resilient.supervisor.maxAttempts =
+        static_cast<int>(args.getInt("retries", 3));
+    resilient.supervisor.stallTimeout =
+        std::chrono::milliseconds{args.getInt("deadline", 0)};
+    resilient.supervisor.validate();
+    QUAKE_EXPECT(resilient.checkpointEvery >= 0,
+                 "--checkpoint-every must be >= 0, got "
+                     << resilient.checkpointEvery);
+    QUAKE_EXPECT(!resilient.resume || !resilient.checkpointPath.empty(),
+                 "--resume requires --checkpoint <path>");
+    QUAKE_EXPECT(resilient.supervisor.stallTimeout.count() >= 0,
+                 "--deadline must be >= 0 ms, got "
+                     << resilient.supervisor.stallTimeout.count());
     parallel::FaultSpec fault_spec;
     if (args.has("faults")) {
         fault_spec.seed =
@@ -103,8 +135,17 @@ run(int argc, char **argv)
     if (collector.enabled())
         config.collector = &collector;
 
-    const sim::SimulationReport report =
-        sim::runSimulation(generated.mesh, model, config);
+    // Every run goes through the supervisor; with no checkpoint or
+    // deadline flags it degenerates to a single plain attempt (no
+    // watchdog thread, no hook) but still reports the final-state
+    // fingerprint the crash-recovery smoke compares.
+    const resilience::RunOutcome outcome =
+        resilience::runSupervisedSimulation(generated.mesh, model,
+                                            config, resilient);
+    QUAKE_EXPECT(outcome.succeeded,
+                 "run failed after " << outcome.attempts
+                                     << " attempt(s): " << outcome.error);
+    const sim::SimulationReport &report = outcome.report;
 
     std::cout << "\nRun summary:\n"
               << "  time step (CFL)      : "
@@ -121,6 +162,18 @@ run(int argc, char **argv)
               << "% — paper reports >80%)\n"
               << "  peak |displacement|  : "
               << common::formatFixed(report.peakDisplacement, 6) << "\n";
+
+    std::cout << "\nResilience:\n"
+              << "  attempts             : " << outcome.attempts << "\n"
+              << "  restarts             : " << outcome.restarts;
+    if (outcome.restarts > 0)
+        std::cout << "  (resumed from step " << outcome.resumedFromStep
+                  << ")";
+    std::cout << "\n"
+              << "  stalls / degradations: " << outcome.stalls << " / "
+              << outcome.degradations << "\n"
+              << "  final state fingerprint: 0x" << std::hex
+              << outcome.stateFingerprint << std::dec << "\n";
 
     if (!report.samples.empty()) {
         std::cout << "\nWavefield history:\n";

@@ -1,0 +1,62 @@
+#!/bin/sh
+# Crash-recovery smoke (DESIGN.md §11, README "crash recovery"):
+#
+#   1. run a checkpointing simulation to completion -> golden fingerprint
+#   2. start the identical run again, SIGKILL it once a checkpoint
+#      has been committed to disk (atomic rename: existence == complete)
+#   3. resume with --resume and compare final-state fingerprints
+#
+# The fingerprint covers the step index, the displacement triad, the
+# cached reductions, and the report history, so matching lines mean the
+# resumed run is bitwise identical to the run that never died.
+#
+# Usage: kill_resume_smoke.sh <earthquake_sim-binary> <workdir>
+set -eu
+
+SIM="$1"
+DIR="$2"
+mkdir -p "$DIR"
+rm -f "$DIR"/golden.ckpt "$DIR"/victim.ckpt
+
+ARGS="--mesh sf20 --max-steps 40 --pes 2 --scale 1.5 --checkpoint-every 5"
+
+fingerprint() {
+    sed -n 's/.*final state fingerprint: //p' "$1"
+}
+
+# 1. Golden uninterrupted run.
+"$SIM" $ARGS --checkpoint "$DIR/golden.ckpt" > "$DIR/golden.log" 2>&1
+GOLDEN=$(fingerprint "$DIR/golden.log")
+[ -n "$GOLDEN" ] || { echo "FAIL: golden run printed no fingerprint"; exit 1; }
+
+# 2. Identical run, SIGKILLed once the first checkpoint lands.
+"$SIM" $ARGS --checkpoint "$DIR/victim.ckpt" > "$DIR/victim.log" 2>&1 &
+PID=$!
+TRIES=0
+while [ ! -f "$DIR/victim.ckpt" ]; do
+    # Give up politely if the run finished before we saw a checkpoint.
+    kill -0 "$PID" 2>/dev/null || break
+    TRIES=$((TRIES + 1))
+    [ "$TRIES" -le 600 ] || { echo "FAIL: no checkpoint after 60s"; kill -9 "$PID"; exit 1; }
+    sleep 0.1
+done
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+[ -f "$DIR/victim.ckpt" ] || { echo "FAIL: victim left no checkpoint"; exit 1; }
+
+# 3. Resume and compare.  (If the kill raced completion, the resume
+# restores the final checkpoint and advances zero steps — still equal.)
+"$SIM" $ARGS --checkpoint "$DIR/victim.ckpt" --resume > "$DIR/resume.log" 2>&1
+RESUMED=$(fingerprint "$DIR/resume.log")
+[ -n "$RESUMED" ] || { echo "FAIL: resumed run printed no fingerprint"; exit 1; }
+
+if [ "$GOLDEN" != "$RESUMED" ]; then
+    echo "FAIL: resumed fingerprint $RESUMED != golden $GOLDEN"
+    exit 1
+fi
+if ! grep -q "restarts             : [1-9]" "$DIR/resume.log" && \
+   ! grep -q "resumed from step" "$DIR/resume.log"; then
+    echo "FAIL: resume run did not actually restore a checkpoint"
+    exit 1
+fi
+echo "PASS: resumed run matches golden ($GOLDEN)"

@@ -1,0 +1,77 @@
+#include "common/atomic_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/error.h"
+
+namespace quake::common
+{
+
+std::string
+errnoMessage()
+{
+    const int err = errno;
+    return std::string(std::strerror(err)) + " (errno " +
+           std::to_string(err) + ")";
+}
+
+void
+writeFileAtomic(const std::string &path, const void *data, std::size_t size)
+{
+    QUAKE_EXPECT(!path.empty(), "atomic write target path is empty");
+    const std::string tmp = path + ".tmp";
+
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    QUAKE_EXPECT(fd >= 0,
+                 "cannot create " << tmp << ": " << errnoMessage());
+
+    const auto *p = static_cast<const char *>(data);
+    std::size_t written = 0;
+    while (written < size) {
+        const ::ssize_t n = ::write(fd, p + written, size - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const std::string why = errnoMessage();
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            QUAKE_EXPECT(false, "cannot write " << tmp << ": " << why);
+        }
+        written += static_cast<std::size_t>(n);
+    }
+
+    // The payload must be durable BEFORE the rename makes it visible;
+    // otherwise a crash can expose a named-but-empty file.
+    if (::fsync(fd) != 0) {
+        const std::string why = errnoMessage();
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        QUAKE_EXPECT(false, "cannot fsync " << tmp << ": " << why);
+    }
+    if (::close(fd) != 0) {
+        const std::string why = errnoMessage();
+        ::unlink(tmp.c_str());
+        QUAKE_EXPECT(false, "cannot close " << tmp << ": " << why);
+    }
+
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const std::string why = errnoMessage();
+        ::unlink(tmp.c_str());
+        QUAKE_EXPECT(false, "cannot rename " << tmp << " over " << path
+                                             << ": " << why);
+    }
+}
+
+void
+writeFileAtomic(const std::string &path, const std::string &contents)
+{
+    writeFileAtomic(path, contents.data(), contents.size());
+}
+
+} // namespace quake::common

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Crash-safe file replacement (DESIGN.md §11).
+ *
+ * Every durable artifact this library writes — checkpoints, BENCH json
+ * files, metrics exports — must never be observable in a half-written
+ * state: a reader (or a resumed run) that finds the file either sees
+ * the previous complete version or the new complete version, even if
+ * the writer is SIGKILLed mid-write.  The standard POSIX recipe
+ * delivers that guarantee: write the full payload to a temporary file
+ * in the same directory, fsync it, then rename(2) over the target
+ * (rename within one filesystem is atomic).
+ */
+
+#ifndef QUAKE98_COMMON_ATOMIC_FILE_H_
+#define QUAKE98_COMMON_ATOMIC_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+namespace quake::common
+{
+
+/**
+ * The current errno rendered as "strerror (errno N)".  Capture it
+ * immediately after the failing call — later library calls may
+ * overwrite errno.
+ */
+std::string errnoMessage();
+
+/**
+ * Atomically replace `path` with `size` bytes from `data`: the payload
+ * is written to `path + ".tmp"`, fsynced, and renamed over `path`.  A
+ * crash at any point leaves either the old complete file or the new
+ * complete file, never a truncation.  Throws common::FatalError with
+ * errno context when the temporary cannot be created, written, synced,
+ * or renamed.
+ */
+void writeFileAtomic(const std::string &path, const void *data,
+                     std::size_t size);
+
+/** Convenience overload for string payloads. */
+void writeFileAtomic(const std::string &path, const std::string &contents);
+
+} // namespace quake::common
+
+#endif // QUAKE98_COMMON_ATOMIC_FILE_H_

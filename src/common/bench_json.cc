@@ -1,9 +1,11 @@
 #include "common/bench_json.h"
 
-#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <thread>
+
+#include "common/atomic_file.h"
+#include "common/error.h"
 
 namespace quake::common
 {
@@ -42,11 +44,10 @@ writeBenchJson(
 {
     const std::string target =
         path.empty() ? "BENCH_" + name + ".json" : path;
-    std::ofstream out(target);
-    if (!out) {
-        std::cerr << "[bench] cannot write " << target << "\n";
-        return;
-    }
+    // Rendered fully in memory, then atomically replaced on disk: an
+    // interrupted bench never leaves a truncated BENCH_*.json behind
+    // for the perf-trajectory tooling to choke on (DESIGN.md §11).
+    std::ostringstream out;
 
     out << "{\n  \"bench\": \"" << jsonEscape(name) << "\",\n";
     out << "  \"host\": {\n"
@@ -89,6 +90,13 @@ writeBenchJson(
         out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
+    try {
+        writeFileAtomic(target, out.str());
+    } catch (const FatalError &e) {
+        std::cerr << "[bench] cannot write " << target << ": " << e.what()
+                  << "\n";
+        return;
+    }
     std::cout << "[bench] wrote " << target << "\n";
 }
 

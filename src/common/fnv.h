@@ -1,0 +1,55 @@
+/**
+ * @file
+ * FNV-1a 64-bit hashing over raw bytes — the one fingerprint/checksum
+ * primitive shared by the resilience subsystem (checkpoint section
+ * checksums, config fingerprints) and the verify harness (determinism
+ * fingerprints).  Not cryptographic; it detects corruption and config
+ * skew, not adversaries.
+ */
+
+#ifndef QUAKE98_COMMON_FNV_H_
+#define QUAKE98_COMMON_FNV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace quake::common
+{
+
+constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/** Fold `n` bytes at `p` into hash state `h`. */
+inline std::uint64_t
+fnv1a(const void *p, std::size_t n, std::uint64_t h = kFnvOffsetBasis)
+{
+    const auto *b = static_cast<const unsigned char *>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= b[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** Fold one trivially copyable value (its object representation). */
+template <typename T>
+inline std::uint64_t
+fnv1aValue(const T &v, std::uint64_t h = kFnvOffsetBasis)
+{
+    return fnv1a(&v, sizeof(T), h);
+}
+
+/** Fold a vector of trivially copyable elements (length + payload). */
+template <typename T>
+inline std::uint64_t
+fnv1aVector(const std::vector<T> &v, std::uint64_t h = kFnvOffsetBasis)
+{
+    const std::uint64_t n = v.size();
+    h = fnv1a(&n, sizeof(n), h);
+    return fnv1a(v.data(), v.size() * sizeof(T), h);
+}
+
+} // namespace quake::common
+
+#endif // QUAKE98_COMMON_FNV_H_

@@ -7,6 +7,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/atomic_file.h"
 #include "common/error.h"
 
 namespace quake::mesh
@@ -37,14 +38,21 @@ writeEleFile(const TetMesh &mesh, std::ostream &os)
 void
 writeMesh(const TetMesh &mesh, const std::string &path_prefix)
 {
+    // errno is captured immediately after each failed open so the
+    // diagnostic names the OS-level cause (permissions, missing
+    // directory, read-only filesystem), not just the path.
     std::ofstream node_os(path_prefix + ".node");
-    QUAKE_EXPECT(node_os.good(),
-                 "cannot open " << path_prefix << ".node for writing");
+    std::string why = common::errnoMessage();
+    QUAKE_EXPECT(node_os.good(), "cannot open " << path_prefix
+                                                << ".node for writing: "
+                                                << why);
     writeNodeFile(mesh, node_os);
 
     std::ofstream ele_os(path_prefix + ".ele");
-    QUAKE_EXPECT(ele_os.good(),
-                 "cannot open " << path_prefix << ".ele for writing");
+    why = common::errnoMessage();
+    QUAKE_EXPECT(ele_os.good(), "cannot open " << path_prefix
+                                               << ".ele for writing: "
+                                               << why);
     writeEleFile(mesh, ele_os);
 }
 
@@ -171,9 +179,13 @@ TetMesh
 readMesh(const std::string &path_prefix)
 {
     std::ifstream node_is(path_prefix + ".node");
-    QUAKE_EXPECT(node_is.good(), "cannot open " << path_prefix << ".node");
+    std::string why = common::errnoMessage();
+    QUAKE_EXPECT(node_is.good(),
+                 "cannot open " << path_prefix << ".node: " << why);
     std::ifstream ele_is(path_prefix + ".ele");
-    QUAKE_EXPECT(ele_is.good(), "cannot open " << path_prefix << ".ele");
+    why = common::errnoMessage();
+    QUAKE_EXPECT(ele_is.good(),
+                 "cannot open " << path_prefix << ".ele: " << why);
     return readMesh(node_is, ele_is);
 }
 

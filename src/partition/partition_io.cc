@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/atomic_file.h"
 #include "common/error.h"
 
 namespace quake::partition
@@ -23,7 +24,9 @@ void
 writePartition(const Partition &partition, const std::string &path)
 {
     std::ofstream os(path);
-    QUAKE_EXPECT(os.good(), "cannot open " << path << " for writing");
+    const std::string why = common::errnoMessage();
+    QUAKE_EXPECT(os.good(),
+                 "cannot open " << path << " for writing: " << why);
     writePartition(partition, os);
 }
 
@@ -116,7 +119,8 @@ Partition
 readPartition(const std::string &path)
 {
     std::ifstream is(path);
-    QUAKE_EXPECT(is.good(), "cannot open " << path);
+    const std::string why = common::errnoMessage();
+    QUAKE_EXPECT(is.good(), "cannot open " << path << ": " << why);
     return readPartition(is);
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/fnv.h"
 #include "parallel/parallel_smvp.h"
 #include "partition/geometric_bisection.h"
 #include "sparse/assembly.h"
@@ -33,27 +34,80 @@ SimulationConfig::validate() const
     QUAKE_EXPECT(maxSteps >= 0, "maxSteps must be >= 0, got " << maxSteps);
 }
 
-SimulationReport
-runSimulation(const mesh::TetMesh &mesh, const mesh::SoilModel &model,
-              const SimulationConfig &config)
+namespace
+{
+
+/** Fold a Bcsr3 matrix (structure + values) into a fingerprint. */
+std::uint64_t
+hashMatrix(const sparse::Bcsr3Matrix &k, std::uint64_t h)
+{
+    h = common::fnv1aVector(k.xadj(), h);
+    h = common::fnv1aVector(k.blockCols(), h);
+    if (k.numBlocks() > 0)
+        h = common::fnv1a(k.blockAt(0),
+                          static_cast<std::size_t>(9 * k.numBlocks()) *
+                              sizeof(double),
+                          h);
+    return h;
+}
+
+/**
+ * The config fingerprint (DESIGN.md §11): everything that determines
+ * the trajectory's bit pattern, so a checkpoint can never silently
+ * resume against the wrong mesh, partition, or matrix.
+ */
+std::uint64_t
+computeFingerprint(const mesh::TetMesh &mesh,
+                   const SimulationConfig &config, double dt,
+                   const std::vector<double> &mass,
+                   const PointSource &source,
+                   const sparse::Bcsr3Matrix *global_k,
+                   const parallel::DistributedProblem *problem)
+{
+    std::uint64_t h = common::kFnvOffsetBasis;
+    h = common::fnv1aVector(mesh.nodes(), h);
+    h = common::fnv1aVector(mesh.tets(), h);
+    h = common::fnv1aValue(config.numPes, h);
+    h = common::fnv1aValue(config.poisson, h);
+    h = common::fnv1aValue(config.dampingA0, h);
+    h = common::fnv1aValue(dt, h);
+    h = common::fnv1aVector(mass, h);
+    h = common::fnv1aValue(source.node, h);
+    h = common::fnv1aValue(source.direction, h);
+    h = common::fnv1aValue(source.wavelet, h);
+    if (global_k != nullptr)
+        h = hashMatrix(*global_k, h);
+    if (problem != nullptr) {
+        h = common::fnv1aVector(problem->partition.elementPart, h);
+        for (const parallel::Subdomain &sub : problem->subdomains)
+            h = hashMatrix(sub.stiffness, h);
+    }
+    return h;
+}
+
+} // namespace
+
+SimulationEngine
+makeSimulationEngine(const mesh::TetMesh &mesh,
+                     const mesh::SoilModel &model,
+                     const SimulationConfig &config)
 {
     config.validate();
 
-    const double dt =
+    SimulationEngine engine;
+    engine.dt =
         stableTimeStep(mesh, model, config.poisson, config.cflSafety);
     std::vector<double> mass = sparse::assembleLumpedMass(mesh, model);
 
     // Bind the SMVP: a single global matrix when sequential, the
-    // distributed two-phase kernel otherwise.  Keep the backing objects
-    // alive for the whole run.
-    std::shared_ptr<sparse::Bcsr3Matrix> global_k;
-    std::shared_ptr<parallel::DistributedProblem> problem;
-    std::shared_ptr<parallel::ParallelSmvp> psmvp;
+    // distributed two-phase kernel otherwise.  The backing objects live
+    // in the engine for the whole run.
     SmvpFn smvp;
     FusedStepFn fused;
     if (config.numPes == 1) {
-        global_k = std::make_shared<sparse::Bcsr3Matrix>(
+        engine.globalK = std::make_shared<sparse::Bcsr3Matrix>(
             sparse::assembleStiffness(mesh, model, config.poisson));
+        const auto global_k = engine.globalK;
         smvp = [global_k](const std::vector<double> &x,
                           std::vector<double> &y) {
             global_k->multiply(x.data(), y.data());
@@ -64,18 +118,19 @@ runSimulation(const mesh::TetMesh &mesh, const mesh::SoilModel &model,
             };
     } else {
         const partition::GeometricBisection partitioner;
-        problem = std::make_shared<parallel::DistributedProblem>(
+        engine.problem = std::make_shared<parallel::DistributedProblem>(
             parallel::distribute(mesh, model,
                                  partitioner.partition(mesh,
                                                        config.numPes),
                                  config.poisson));
-        psmvp = std::make_shared<parallel::ParallelSmvp>(
-            *problem, config.smvpThreads,
+        engine.psmvp = std::make_shared<parallel::ParallelSmvp>(
+            *engine.problem, config.smvpThreads,
             config.overlapSmvp ? parallel::ExchangeMode::kOverlapped
                                : parallel::ExchangeMode::kBarrier);
         // Zero-copy: the engine writes straight into the stepper's ku
         // scratch — the seed's `y = psmvp->multiply(x)` allocated and
         // copied a full DOF vector every step.
+        const auto psmvp = engine.psmvp;
         smvp = [psmvp](const std::vector<double> &x,
                        std::vector<double> &y) {
             psmvp->multiplyInto(x, y);
@@ -86,30 +141,42 @@ runSimulation(const mesh::TetMesh &mesh, const mesh::SoilModel &model,
             };
     }
 
-    ExplicitTimeStepper stepper(smvp, std::move(mass), dt);
+    const PointSource source = makePointSource(
+        mesh, config.hypocenter, config.sourceDirection, config.wavelet);
+    engine.fingerprint = computeFingerprint(
+        mesh, config, engine.dt, mass, source, engine.globalK.get(),
+        engine.problem.get());
+
+    engine.stepper = std::make_unique<ExplicitTimeStepper>(
+        smvp, std::move(mass), engine.dt);
     if (fused)
-        stepper.setFusedStep(std::move(fused));
-    if (psmvp)
-        stepper.setWorkerPool(&psmvp->workerPool());
+        engine.stepper->setFusedStep(std::move(fused));
+    if (engine.psmvp)
+        engine.stepper->setWorkerPool(&engine.psmvp->workerPool());
     if (config.collector != nullptr) {
-        stepper.setCollector(config.collector);
-        if (psmvp)
-            psmvp->setCollector(config.collector);
+        engine.stepper->setCollector(config.collector);
+        if (engine.psmvp)
+            engine.psmvp->setCollector(config.collector);
     }
     if (config.dampingA0 > 0)
-        stepper.setDamping(config.dampingA0);
-    stepper.addSource(makePointSource(mesh, config.hypocenter,
-                                      config.sourceDirection,
-                                      config.wavelet));
+        engine.stepper->setDamping(config.dampingA0);
+    engine.stepper->addSource(source);
 
-    std::int64_t num_steps = static_cast<std::int64_t>(
-        std::ceil(config.durationSeconds / dt));
+    engine.plannedSteps = static_cast<std::int64_t>(
+        std::ceil(config.durationSeconds / engine.dt));
     if (config.maxSteps > 0)
-        num_steps = std::min(num_steps, config.maxSteps);
+        engine.plannedSteps =
+            std::min(engine.plannedSteps, config.maxSteps);
+    return engine;
+}
 
-    SimulationReport report;
-    report.dt = dt;
-    for (std::int64_t s = 0; s < num_steps; ++s) {
+void
+advanceSimulation(SimulationEngine &engine, const SimulationConfig &config,
+                  SimulationReport &report, const StepObserver &observer)
+{
+    ExplicitTimeStepper &stepper = *engine.stepper;
+    for (std::int64_t s = stepper.stepCount(); s < engine.plannedSteps;
+         ++s) {
         stepper.step();
         // O(1): the step pass folds the max into its per-row update,
         // replacing the seed's per-step O(n) displacement sweep.
@@ -124,6 +191,8 @@ runSimulation(const mesh::TetMesh &mesh, const mesh::SoilModel &model,
                 config.recorder->record(stepper.time(),
                                         stepper.displacement());
         }
+        if (observer)
+            observer(stepper.stepCount());
     }
 
     report.steps = stepper.stepCount();
@@ -133,6 +202,16 @@ runSimulation(const mesh::TetMesh &mesh, const mesh::SoilModel &model,
     report.smvpFraction = report.totalSeconds > 0
                               ? report.smvpSeconds / report.totalSeconds
                               : 0.0;
+}
+
+SimulationReport
+runSimulation(const mesh::TetMesh &mesh, const mesh::SoilModel &model,
+              const SimulationConfig &config)
+{
+    SimulationEngine engine = makeSimulationEngine(mesh, model, config);
+    SimulationReport report;
+    report.dt = engine.dt;
+    advanceSimulation(engine, config, report);
     return report;
 }
 

@@ -19,6 +19,11 @@
 #include "quake/seismogram.h"
 #include "quake/time_stepper.h"
 
+namespace quake::parallel
+{
+class ParallelSmvp;
+}
+
 namespace quake::sim
 {
 
@@ -124,6 +129,69 @@ struct SimulationReport
     double peakDisplacement = 0.0; ///< max over the whole run
     std::vector<FieldSample> samples;
 };
+
+/**
+ * The bound simulation engine: the stepper plus every backing object
+ * (global matrix or distributed problem + SMVP engine) it multiplies
+ * through, kept alive together (DESIGN.md §11).  Exposing this lets
+ * the resilience subsystem restore a checkpoint into a freshly built
+ * engine and drive the stepping loop itself; runSimulation is the thin
+ * uninterrupted loop over the same pieces.
+ */
+struct SimulationEngine
+{
+    double dt = 0.0;
+
+    /** Steps the configured duration requires (after the maxSteps cap). */
+    std::int64_t plannedSteps = 0;
+
+    /**
+     * FNV-1a fingerprint of everything that determines the bit pattern
+     * of the trajectory: mesh geometry/topology, partition (via numPes
+     * over the deterministic bisection), stiffness values, lumped
+     * mass, dt, damping, and the bound source.  Thread counts,
+     * exchange mode, and fused/unfused are deliberately EXCLUDED —
+     * the engine is proven bitwise invariant across them, so a
+     * checkpoint may legally resume under any of those configurations.
+     */
+    std::uint64_t fingerprint = 0;
+
+    std::unique_ptr<ExplicitTimeStepper> stepper;
+
+    /** Backing objects (exactly one family is populated). */
+    std::shared_ptr<sparse::Bcsr3Matrix> globalK;
+    std::shared_ptr<parallel::DistributedProblem> problem;
+    std::shared_ptr<parallel::ParallelSmvp> psmvp;
+};
+
+/**
+ * Assemble and bind the engine for `mesh`/`model` per `config`
+ * (validated on entry): stable dt, lumped mass, stiffness (global or
+ * distributed over config.numPes geometric-bisection parts), fused
+ * backend, telemetry, damping, and the point source.
+ */
+SimulationEngine makeSimulationEngine(const mesh::TetMesh &mesh,
+                                      const mesh::SoilModel &model,
+                                      const SimulationConfig &config);
+
+/**
+ * Observation hook run after every completed step of
+ * advanceSimulation, with the just-finished step index (1-based, ==
+ * stepper.stepCount()).  The resilience supervisor uses it as the
+ * watchdog heartbeat; it may throw to abort the attempt.
+ */
+using StepObserver = std::function<void(std::int64_t step)>;
+
+/**
+ * Advance `engine` from its current step count to engine.plannedSteps,
+ * folding the running peak and periodic samples into `report` — which
+ * may already hold the prefix restored from a checkpoint.  Fills the
+ * report's final fields (steps, times, smvp split) on completion.
+ */
+void advanceSimulation(SimulationEngine &engine,
+                       const SimulationConfig &config,
+                       SimulationReport &report,
+                       const StepObserver &observer = {});
 
 /**
  * Run the earthquake simulation on `mesh`/`model` per `config`.

@@ -236,6 +236,40 @@ ExplicitTimeStepper::step()
     }
 
     total_seconds_ += now_seconds() - t_start;
+
+    // Checkpoint hook last, so the snapshot sees the fully advanced
+    // state (u_n = the step's result, stats cached).  Disabled (the
+    // default) this is one compare — no time, no allocation.
+    if (ckpt_every_ > 0 && steps_ % ckpt_every_ == 0)
+        ckpt_hook_(*this);
+}
+
+void
+ExplicitTimeStepper::saveState(StepperState &out) const
+{
+    out.steps = steps_;
+    out.u = u_;
+    out.up = up_;
+    out.partials = last_partials_;
+    out.statsValid = stats_valid_;
+}
+
+void
+ExplicitTimeStepper::restoreState(const StepperState &state)
+{
+    QUAKE_EXPECT(state.u.size() == u_.size() &&
+                     state.up.size() == up_.size(),
+                 "checkpoint state has " << state.u.size()
+                                         << " DOFs, stepper has "
+                                         << u_.size());
+    QUAKE_EXPECT(state.steps >= 0,
+                 "checkpoint step index must be >= 0, got "
+                     << state.steps);
+    steps_ = state.steps;
+    u_ = state.u;
+    up_ = state.up;
+    last_partials_ = state.partials;
+    stats_valid_ = state.statsValid;
 }
 
 double

@@ -54,6 +54,22 @@ double stableTimeStep(const mesh::TetMesh &mesh,
                       const mesh::SoilModel &model, double poisson = 0.25,
                       double safety = 0.5);
 
+/**
+ * A complete snapshot of the integrator's step state (DESIGN.md §11).
+ * Restoring it into a stepper built over the same operator reproduces
+ * the continuation bitwise: step() depends only on (u_n, u_{n-1}, step
+ * index) plus the construction-time operator/mass/dt/damping/sources,
+ * and the force scratch is all-zero between steps by invariant.
+ */
+struct StepperState
+{
+    std::int64_t steps = 0;         ///< completed steps (defines time())
+    std::vector<double> u;          ///< u_n
+    std::vector<double> up;         ///< u_{n-1}
+    sparse::StepPartials partials;  ///< cached peak/energy reductions
+    bool statsValid = false;        ///< whether `partials` is populated
+};
+
 /** Central-difference integrator over a lumped-mass elastic system. */
 class ExplicitTimeStepper
 {
@@ -150,6 +166,46 @@ class ExplicitTimeStepper
     double totalSeconds() const { return total_seconds_; }
 
     /**
+     * Called after every checkpointInterval()-th completed step with
+     * the stepper itself; the resilience subsystem binds a hook that
+     * snapshots the state and writes it to disk atomically.
+     */
+    using CheckpointHook = std::function<void(const ExplicitTimeStepper &)>;
+
+    /**
+     * Arrange for `hook` to run after every `every`-th completed step
+     * (DESIGN.md §11).  `every` == 0 disables checkpointing — the
+     * disabled path costs exactly one integer compare per step and
+     * zero allocations (guarded by the resilience perf smoke).  Pass a
+     * null hook with every == 0 to unbind.
+     */
+    void
+    checkpointEvery(std::int64_t every, CheckpointHook hook)
+    {
+        ckpt_every_ = every > 0 ? every : 0;
+        ckpt_hook_ = std::move(hook);
+    }
+
+    /** Steps between checkpoint-hook firings; 0 = disabled. */
+    std::int64_t checkpointInterval() const { return ckpt_every_; }
+
+    /**
+     * Copy the full integrator state into `out` (reusing its buffers
+     * when already sized).  O(n); checkpoint/verify path only.
+     */
+    void saveState(StepperState &out) const;
+
+    /**
+     * Restore a previously saved state.  The stepper must have been
+     * constructed over the same DOF count (FatalError otherwise);
+     * matching the operator/mass/dt/damping/sources is the caller's
+     * contract — the resilience loader enforces it with the config
+     * fingerprint.  Subsequent steps are bitwise identical to a run
+     * that never stopped.
+     */
+    void restoreState(const StepperState &state);
+
+    /**
      * Attach a telemetry collector (DESIGN.md §9).  Each step() then
      * publishes the step number (driving the collector's every-N
      * fine-grained sampling), records a whole-step span on the control
@@ -175,6 +231,8 @@ class ExplicitTimeStepper
 
     SmvpFn smvp_;
     FusedStepFn fused_;
+    CheckpointHook ckpt_hook_;
+    std::int64_t ckpt_every_ = 0;
     parallel::WorkerPool *pool_ = nullptr;
     telemetry::Collector *tele_ = nullptr;
     std::vector<double> inv_mass_;

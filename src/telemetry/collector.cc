@@ -43,6 +43,10 @@ counterName(Counter c)
       case Counter::kDataSent: return "data_sent";
       case Counter::kDataDropped: return "data_dropped";
       case Counter::kBackoffWaitNanos: return "backoff_wait_nanos";
+      case Counter::kCheckpointsWritten: return "checkpoints_written";
+      case Counter::kCheckpointBytes: return "checkpoint_bytes";
+      case Counter::kRunRestarts: return "run_restarts";
+      case Counter::kRunDegradations: return "run_degradations";
       case Counter::kCount: break;
     }
     return "unknown";

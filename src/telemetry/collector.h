@@ -74,6 +74,11 @@ enum class Counter : std::uint8_t
     kDataSent,
     kDataDropped,
     kBackoffWaitNanos, ///< sender wait represented by fired timers
+    // Resilience counters (resilience/supervisor.h).
+    kCheckpointsWritten, ///< checkpoints committed to disk
+    kCheckpointBytes,    ///< serialized checkpoint bytes written
+    kRunRestarts,        ///< attempts that resumed from a checkpoint
+    kRunDegradations,    ///< thread-budget halvings after stalls
     kCount
 };
 

@@ -12,6 +12,7 @@
 #include "parallel/reliable_exchange.h"
 #include "parallel/worker_pool.h"
 #include "quake/simulation.h"
+#include "resilience/checkpoint.h"
 #include "spark/kernels.h"
 #include "sparse/assembly.h"
 #include "sparse/bcsr3_sym.h"
@@ -957,6 +958,303 @@ propTelemetryTransparent(const TrialConfig &cfg)
     return ok();
 }
 
+// ---------------------------------------------------------------------------
+// Resilience properties (DESIGN.md §11): the checkpoint format round-trips
+// bitwise and a killed-and-resumed run is bitwise identical to one that
+// never stopped — including across execution-config changes (threads,
+// exchange mode, fused/unfused), which the fingerprint deliberately
+// excludes.
+// ---------------------------------------------------------------------------
+
+/** A small scenario config drawn from the trial's stream. */
+sim::SimulationConfig
+randomScenarioConfig(InputGen &gen, const mesh::TetMesh &m,
+                     const TrialConfig &cfg)
+{
+    sim::SimulationConfig config;
+    config.durationSeconds = 1.0;
+    config.maxSteps = 6 + 3 * cfg.size;
+    config.sampleInterval = 2;
+    config.dampingA0 = gen.rng().nextBounded(2) == 0 ? 0.0 : 0.15;
+    config.numPes = m.numElements() >= 2
+                        ? 1 + static_cast<int>(gen.rng().nextBounded(3))
+                        : 1;
+    config.numPes = static_cast<int>(std::min<std::int64_t>(
+        config.numPes, m.numElements()));
+    config.smvpThreads = cfg.threads[gen.rng().nextBounded(
+        static_cast<std::uint64_t>(cfg.threads.size()))];
+    config.overlapSmvp = gen.rng().nextBounded(2) == 0;
+    config.fusedStep = gen.rng().nextBounded(2) == 0;
+    return config;
+}
+
+/** Re-draw only the execution knobs the fingerprint excludes. */
+sim::SimulationConfig
+reshuffleExecution(InputGen &gen, sim::SimulationConfig config,
+                   const TrialConfig &cfg)
+{
+    config.smvpThreads = cfg.threads[gen.rng().nextBounded(
+        static_cast<std::uint64_t>(cfg.threads.size()))];
+    config.overlapSmvp = gen.rng().nextBounded(2) == 0;
+    config.fusedStep = gen.rng().nextBounded(2) == 0;
+    return config;
+}
+
+/**
+ * Bitwise equality of two checkpoints.  `strictEnergy` relaxes only the
+ * kinetic-energy fields to the mixed tolerance: energy is a cross-DOF
+ * sum whose order is bitwise-pinned across threads and exchange modes
+ * but differs between the fused and unfused backends (DESIGN.md §8), so
+ * a resume that flips fusedStep legally drifts those bits.
+ */
+bool
+checkpointsBitwiseEqual(const resilience::Checkpoint &a,
+                        const resilience::Checkpoint &b, std::string *why,
+                        bool strictEnergy = true)
+{
+    const auto energyEq = [&](double x, double y) {
+        return strictEnergy ? bitEq(x, y) : scalarClose(x, y);
+    };
+    if (a.fingerprint != b.fingerprint) { *why = "fingerprint"; return false; }
+    if (!bitEq(a.dt, b.dt)) { *why = "dt"; return false; }
+    if (a.plannedSteps != b.plannedSteps) { *why = "plannedSteps"; return false; }
+    if (a.state.steps != b.state.steps) { *why = "steps"; return false; }
+    if (!bitwiseEqual(a.state.u, b.state.u)) { *why = "u"; return false; }
+    if (!bitwiseEqual(a.state.up, b.state.up)) { *why = "u_prev"; return false; }
+    if (!bitEq(a.state.partials.peak, b.state.partials.peak) ||
+        !energyEq(a.state.partials.energy, b.state.partials.energy) ||
+        a.state.statsValid != b.state.statsValid) {
+        *why = "cached stats";
+        return false;
+    }
+    if (!bitEq(a.reportPeak, b.reportPeak)) { *why = "reportPeak"; return false; }
+    if (a.samples.size() != b.samples.size()) { *why = "sample count"; return false; }
+    for (std::size_t i = 0; i < a.samples.size(); ++i)
+        if (!bitEq(a.samples[i].time, b.samples[i].time) ||
+            !bitEq(a.samples[i].peakDisplacement,
+                   b.samples[i].peakDisplacement) ||
+            !energyEq(a.samples[i].kineticEnergy,
+                      b.samples[i].kineticEnergy)) {
+            *why = "sample " + std::to_string(i);
+            return false;
+        }
+    return true;
+}
+
+/** The snapshot the supervisor's hook takes, replicated for the harness. */
+resilience::Checkpoint
+snapshotAtHook(const sim::SimulationEngine &engine,
+               const sim::ExplicitTimeStepper &st,
+               const sim::SimulationReport &report, int sample_every)
+{
+    resilience::Checkpoint ckpt;
+    ckpt.fingerprint = engine.fingerprint;
+    ckpt.dt = engine.dt;
+    ckpt.plannedSteps = engine.plannedSteps;
+    st.saveState(ckpt.state);
+    ckpt.reportPeak =
+        std::max(report.peakDisplacement, st.peakDisplacement());
+    ckpt.samples = report.samples;
+    if (sample_every > 0 && st.stepCount() % sample_every == 0)
+        ckpt.samples.push_back(sim::FieldSample{
+            st.time(), st.peakDisplacement(), st.kineticEnergy()});
+    return ckpt;
+}
+
+/** Final-state checkpoint of a finished run (for golden comparison). */
+resilience::Checkpoint
+finalSnapshot(const sim::SimulationEngine &engine,
+              const sim::SimulationReport &report)
+{
+    resilience::Checkpoint ckpt;
+    ckpt.fingerprint = engine.fingerprint;
+    ckpt.dt = engine.dt;
+    ckpt.plannedSteps = engine.plannedSteps;
+    engine.stepper->saveState(ckpt.state);
+    ckpt.reportPeak = report.peakDisplacement;
+    ckpt.samples = report.samples;
+    return ckpt;
+}
+
+PropertyResult
+propCheckpointRoundtrip(const TrialConfig &cfg)
+{
+    InputGen gen(cfg.seed, cfg.size);
+    GeneratedSystem sys = gen.randomSystem();
+    const sim::SimulationConfig config =
+        randomScenarioConfig(gen, sys.mesh, cfg);
+
+    // Golden uninterrupted run.
+    sim::SimulationEngine golden =
+        sim::makeSimulationEngine(sys.mesh, *sys.model, config);
+    sim::SimulationReport goldenReport;
+    goldenReport.dt = golden.dt;
+    sim::advanceSimulation(golden, config, goldenReport);
+
+    // Checkpointed run: the real stepper hook fires every k steps; each
+    // snapshot must equal the loop-level view of the same step, and the
+    // serialized image must parse back bitwise.
+    const std::int64_t k =
+        1 + static_cast<std::int64_t>(
+                gen.rng().nextBounded(
+                    static_cast<std::uint64_t>(golden.plannedSteps)));
+    sim::SimulationEngine run =
+        sim::makeSimulationEngine(sys.mesh, *sys.model, config);
+    if (run.fingerprint != golden.fingerprint)
+        return fail("fingerprint not deterministic across rebuilds");
+
+    sim::SimulationReport report;
+    report.dt = run.dt;
+    std::vector<resilience::Checkpoint> hooked;
+    run.stepper->checkpointEvery(
+        k, [&](const sim::ExplicitTimeStepper &st) {
+            hooked.push_back(snapshotAtHook(run, st, report,
+                                            config.sampleInterval));
+        });
+    std::vector<resilience::Checkpoint> observed;
+    sim::advanceSimulation(run, config, report,
+                           [&](std::int64_t step) {
+                               if (step % k != 0)
+                                   return;
+                               resilience::Checkpoint c =
+                                   finalSnapshot(run, report);
+                               observed.push_back(std::move(c));
+                           });
+    if (hooked.size() != observed.size() || hooked.empty())
+        return fail("hook fired " + std::to_string(hooked.size()) +
+                    " times, loop observed " +
+                    std::to_string(observed.size()));
+    for (std::size_t i = 0; i < hooked.size(); ++i) {
+        std::string why;
+        if (!checkpointsBitwiseEqual(hooked[i], observed[i], &why))
+            return fail("hook snapshot " + std::to_string(i) +
+                        " diverges from the loop view: " + why);
+        const std::vector<std::uint8_t> bytes =
+            resilience::serializeCheckpoint(hooked[i]);
+        const resilience::Checkpoint back =
+            resilience::parseCheckpoint(bytes, "in-memory");
+        if (!checkpointsBitwiseEqual(hooked[i], back, &why))
+            return fail("serialize/parse round trip lost " + why);
+    }
+
+    // The checkpointed run itself must be bitwise identical to golden —
+    // hooks are observation-only.
+    std::string why;
+    if (!checkpointsBitwiseEqual(finalSnapshot(golden, goldenReport),
+                                 finalSnapshot(run, report), &why))
+        return fail("checkpointing perturbed the run: " + why);
+
+    // Any single corrupted byte must be refused.
+    std::vector<std::uint8_t> bytes =
+        resilience::serializeCheckpoint(hooked.back());
+    const std::size_t victim =
+        gen.rng().nextBounded(static_cast<std::uint64_t>(bytes.size()));
+    bytes[victim] ^= 0x40;
+    try {
+        (void)resilience::parseCheckpoint(bytes, "corrupted");
+        return fail("accepted a checkpoint with byte " +
+                    std::to_string(victim) + " flipped");
+    } catch (const common::FatalError &) {
+        // expected
+    }
+
+    // A fingerprint skew must be refused at resume time.
+    sim::SimulationConfig skew = config;
+    skew.dampingA0 = config.dampingA0 + 0.05;
+    sim::SimulationEngine other =
+        sim::makeSimulationEngine(sys.mesh, *sys.model, skew);
+    try {
+        resilience::requireCompatible(hooked.back(), other);
+        return fail("resumed against a mismatched fingerprint");
+    } catch (const common::FatalError &) {
+        // expected
+    }
+    return ok();
+}
+
+PropertyResult
+propCheckpointKillResume(const TrialConfig &cfg)
+{
+    InputGen gen(cfg.seed, cfg.size);
+    GeneratedSystem sys = gen.randomSystem();
+    const sim::SimulationConfig config =
+        randomScenarioConfig(gen, sys.mesh, cfg);
+
+    // Golden uninterrupted run.
+    sim::SimulationEngine golden =
+        sim::makeSimulationEngine(sys.mesh, *sys.model, config);
+    sim::SimulationReport goldenReport;
+    goldenReport.dt = golden.dt;
+    sim::advanceSimulation(golden, config, goldenReport);
+
+    // Crash run: checkpoint every k steps through the real hook, then
+    // die at a random step >= k (an exception abandons the engine the
+    // way SIGKILL abandons the process — the checkpoint is all that
+    // survives).
+    const std::int64_t k =
+        1 + static_cast<std::int64_t>(gen.rng().nextBounded(
+                static_cast<std::uint64_t>(golden.plannedSteps)));
+    const std::int64_t die =
+        k + static_cast<std::int64_t>(gen.rng().nextBounded(
+                static_cast<std::uint64_t>(golden.plannedSteps - k + 1)));
+    struct SimulatedCrash
+    {
+    };
+    resilience::Checkpoint last;
+    bool have = false;
+    {
+        sim::SimulationEngine run =
+            sim::makeSimulationEngine(sys.mesh, *sys.model, config);
+        sim::SimulationReport report;
+        report.dt = run.dt;
+        run.stepper->checkpointEvery(
+            k, [&](const sim::ExplicitTimeStepper &st) {
+                last = snapshotAtHook(run, st, report,
+                                      config.sampleInterval);
+                have = true;
+            });
+        try {
+            sim::advanceSimulation(run, config, report,
+                                   [&](std::int64_t step) {
+                                       if (step >= die)
+                                           throw SimulatedCrash{};
+                                   });
+        } catch (const SimulatedCrash &) {
+            // the "kill"
+        }
+    }
+    if (!have)
+        return fail("no checkpoint written before the crash at step " +
+                    std::to_string(die));
+
+    // Resume under a reshuffled execution config (threads / exchange
+    // mode / fused are excluded from the fingerprint by contract).
+    const sim::SimulationConfig resumeCfg =
+        reshuffleExecution(gen, config, cfg);
+    sim::SimulationEngine resumed =
+        sim::makeSimulationEngine(sys.mesh, *sys.model, resumeCfg);
+    resilience::requireCompatible(last, resumed);
+    resumed.stepper->restoreState(last.state);
+    sim::SimulationReport report;
+    report.dt = resumed.dt;
+    report.peakDisplacement = last.reportPeak;
+    report.samples = last.samples;
+    sim::advanceSimulation(resumed, resumeCfg, report);
+
+    std::string why;
+    const bool strictEnergy = resumeCfg.fusedStep == config.fusedStep;
+    if (!checkpointsBitwiseEqual(finalSnapshot(golden, goldenReport),
+                                 finalSnapshot(resumed, report), &why,
+                                 strictEnergy))
+        return fail("resumed run diverged from golden at " + why +
+                    " (checkpoint step " +
+                    std::to_string(last.state.steps) + ", killed at " +
+                    std::to_string(die) + ")");
+    if (report.steps != goldenReport.steps)
+        return fail("resumed run took a different step count");
+    return ok();
+}
+
 } // namespace
 
 const std::vector<Property> &
@@ -1005,6 +1303,14 @@ allProperties()
          "tracing on vs off is bitwise identical with 0 steady-state "
          "allocations",
          propTelemetryTransparent},
+        {"checkpoint_roundtrip",
+         "checkpoint snapshots match the loop view, round-trip bitwise, "
+         "and refuse any corrupted byte or fingerprint skew",
+         propCheckpointRoundtrip},
+        {"checkpoint_kill_resume",
+         "a run killed at a random step and resumed from its checkpoint "
+         "is bitwise identical to one that never stopped",
+         propCheckpointKillResume},
     };
     return kProps;
 }

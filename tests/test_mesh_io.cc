@@ -161,6 +161,34 @@ TEST(MeshIo, RejectsMissingFile)
     EXPECT_THROW(readMesh("/nonexistent/path/prefix"), FatalError);
 }
 
+TEST(MeshIo, MissingFileDiagnosticCarriesErrnoContext)
+{
+    // Regression: the IO rejections must name the OS-level cause
+    // ("No such file or directory (errno 2)"), not just the path.
+    try {
+        readMesh("/nonexistent/path/prefix");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("/nonexistent/path/prefix.node"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("(errno "), std::string::npos) << what;
+    }
+}
+
+TEST(MeshIo, UnwritablePathDiagnosticCarriesErrnoContext)
+{
+    try {
+        writeMesh(sampleMesh(), "/nonexistent/dir/prefix");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("for writing"), std::string::npos) << what;
+        EXPECT_NE(what.find("(errno "), std::string::npos) << what;
+    }
+}
+
 TEST(MeshIo, RejectsNonNumericNodeHeader)
 {
     const std::string node_text = "four 3 0 0\n";

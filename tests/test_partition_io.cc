@@ -87,6 +87,33 @@ TEST(PartitionIo, RejectsMissingFile)
     EXPECT_THROW(readPartition("/no/such/file.part"), FatalError);
 }
 
+TEST(PartitionIo, MissingFileDiagnosticCarriesErrnoContext)
+{
+    // Regression: IO rejections must name the OS-level cause
+    // ("No such file or directory (errno 2)"), not just the path.
+    try {
+        readPartition("/no/such/file.part");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("/no/such/file.part"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("(errno "), std::string::npos) << what;
+    }
+}
+
+TEST(PartitionIo, UnwritablePathDiagnosticCarriesErrnoContext)
+{
+    try {
+        writePartition(samplePartition(), "/no/such/dir/out.part");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("for writing"), std::string::npos) << what;
+        EXPECT_NE(what.find("(errno "), std::string::npos) << what;
+    }
+}
+
 TEST(PartitionIo, RejectsEmptyStream)
 {
     std::istringstream is("");
