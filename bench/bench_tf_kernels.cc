@@ -8,20 +8,28 @@
  *
  * Besides the usual google-benchmark console output, the run writes
  * BENCH_tf_kernels.json (see bench_util.h) so the measured T_f values
- * can be diffed across commits alongside BENCH_smvp.json.
+ * can be diffed across commits alongside BENCH_smvp.json.  Each record
+ * carries a roofline annotation — bytes/flop from a per-format byte
+ * traffic model, the sustained GB/s that follows from the measured
+ * time, and the padding-overhead ratio (stored/structural blocks) —
+ * and the run ends with a Figure 9-style requirement grid derived from
+ * the best measured T_f via core::gridFromMeasuredTf.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 #include <map>
 #include <memory>
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
+#include "core/requirements.h"
 #include "mesh/generator.h"
 #include "spark/kernels.h"
 #include "sparse/bcsr3_sym.h"
+#include "sparse/sliced_ell3.h"
 
 namespace
 {
@@ -54,6 +62,76 @@ jsonRecords()
     return records;
 }
 
+/**
+ * Streamed bytes of one SMVP in each format — the roofline numerator.
+ * The model counts each array once per multiply (the streaming-access
+ * pattern §3.1 attributes the low sustained rates to): matrix values +
+ * indices + row offsets, one read of x, and one write of y — plus one
+ * *read* of y for the symmetric scatter formats, whose y[col] updates
+ * are read-modify-write.  Gather locality in x is deliberately ignored
+ * (pessimistic for x, like every first-order roofline).
+ */
+double
+bytesPerSmvp(const spark::KernelSuite &suite, spark::Kernel kernel)
+{
+    const double dof = static_cast<double>(suite.dof());
+    const double xy_stream = 16.0 * dof;  // read x + write y
+    const double y_rmw = 8.0 * dof;       // extra y read for scatters
+    switch (kernel) {
+      case spark::Kernel::kCsr: {
+        const sparse::CsrMatrix &m = suite.csr();
+        return 12.0 * static_cast<double>(m.nnz()) + // 8B value + 4B col
+               8.0 * (dof + 1) + xy_stream;          // xadj
+      }
+      case spark::Kernel::kBcsr3:
+      case spark::Kernel::kThreaded: {
+        const sparse::Bcsr3Matrix &m = suite.bcsr();
+        // 72B of values + 4B block column per 3x3 block.
+        return 76.0 * static_cast<double>(m.numBlocks()) +
+               8.0 * static_cast<double>(m.numBlockRows() + 1) +
+               xy_stream;
+      }
+      case spark::Kernel::kSym: {
+        const sparse::SymCsrMatrix &m = suite.sym();
+        return 12.0 * static_cast<double>(m.storedEntries()) +
+               8.0 * (dof + 1) + xy_stream + y_rmw;
+      }
+      case spark::Kernel::kSymBcsr3:
+      case spark::Kernel::kSymBcsr3Mt:
+      case spark::Kernel::kSymBcsr3Simd: {
+        const sparse::SymBcsr3Matrix &m = suite.symBcsr();
+        return 76.0 * static_cast<double>(m.storedBlocks()) +
+               8.0 * static_cast<double>(m.numBlockRows() + 1) +
+               xy_stream + y_rmw;
+      }
+      case spark::Kernel::kSlicedEll3:
+      case spark::Kernel::kSlicedEll3Mt: {
+        const sparse::SlicedEll3Matrix &m = suite.slicedEll();
+        // Every stored slot (structural + padding) is streamed: 72B of
+        // element planes + 4B column.  Lane row map and slice bases
+        // stream once per multiply.
+        return 76.0 * static_cast<double>(m.storedBlocks()) +
+               8.0 * static_cast<double>(m.numSlices() *
+                                         m.sliceHeight()) +
+               8.0 * static_cast<double>(m.numSlices() + 1) + xy_stream;
+      }
+    }
+    return 0.0;
+}
+
+/** Padding overhead of the format (1.0 for the unpadded formats). */
+double
+paddingRatioOf(const spark::KernelSuite &suite, spark::Kernel kernel)
+{
+    switch (kernel) {
+      case spark::Kernel::kSlicedEll3:
+      case spark::Kernel::kSlicedEll3Mt:
+        return suite.slicedEll().paddingRatio();
+      default:
+        return 1.0;
+    }
+}
+
 void
 runKernelBench(benchmark::State &state, const std::string &label,
                mesh::SfClass cls, spark::Kernel kernel)
@@ -82,8 +160,15 @@ runKernelBench(benchmark::State &state, const std::string &label,
           case spark::Kernel::kSymBcsr3:
             suite.symBcsr().multiply(x.data(), y.data());
             break;
+          case spark::Kernel::kSymBcsr3Simd:
+            suite.symBcsr().multiplySimd(x.data(), y.data());
+            break;
+          case spark::Kernel::kSlicedEll3:
+            suite.slicedEll().multiply(x.data(), y.data());
+            break;
           case spark::Kernel::kThreaded:
           case spark::Kernel::kSymBcsr3Mt:
+          case spark::Kernel::kSlicedEll3Mt:
             // Pool-backed kernels go through the suite (which owns the
             // persistent worker pool and the padded scratch slabs).
             y = suite.run(kernel, x);
@@ -116,6 +201,14 @@ runKernelBench(benchmark::State &state, const std::string &label,
         rec.gflops = flops / per_smvp / 1e9;
         rec.tfNs = per_smvp / flops * 1e9;
 
+        // Roofline annotation: model bytes per flop, the sustained
+        // bandwidth the measured time implies, and padding overhead.
+        const double bytes = bytesPerSmvp(suite, kernel);
+        rec.extra.emplace_back("bytes_per_flop", bytes / flops);
+        rec.extra.emplace_back("gbps", bytes / per_smvp / 1e9);
+        rec.extra.emplace_back("padding_ratio",
+                               paddingRatioOf(suite, kernel));
+
         // google-benchmark invokes the function several times while
         // calibrating the iteration count; keep only the final (longest,
         // most reliable) run for each benchmark label.
@@ -140,15 +233,74 @@ QUAKE_TF_BENCH(sf20_csr, kSf20, kCsr);
 QUAKE_TF_BENCH(sf20_bcsr3, kSf20, kBcsr3);
 QUAKE_TF_BENCH(sf20_sym, kSf20, kSym);
 QUAKE_TF_BENCH(sf20_bcsr3sym, kSf20, kSymBcsr3);
+QUAKE_TF_BENCH(sf20_bcsr3sym_simd, kSf20, kSymBcsr3Simd);
+QUAKE_TF_BENCH(sf20_ell3, kSf20, kSlicedEll3);
 QUAKE_TF_BENCH(sf10_csr, kSf10, kCsr);
 QUAKE_TF_BENCH(sf10_bcsr3, kSf10, kBcsr3);
 QUAKE_TF_BENCH(sf10_sym, kSf10, kSym);
 QUAKE_TF_BENCH(sf10_bcsr3sym, kSf10, kSymBcsr3);
 QUAKE_TF_BENCH(sf10_bcsr3sym_mt, kSf10, kSymBcsr3Mt);
+QUAKE_TF_BENCH(sf10_bcsr3sym_simd, kSf10, kSymBcsr3Simd);
+QUAKE_TF_BENCH(sf10_ell3, kSf10, kSlicedEll3);
+QUAKE_TF_BENCH(sf10_ell3_mt, kSf10, kSlicedEll3Mt);
 QUAKE_TF_BENCH(sf5_csr, kSf5, kCsr);
 QUAKE_TF_BENCH(sf5_bcsr3, kSf5, kBcsr3);
 QUAKE_TF_BENCH(sf5_sym, kSf5, kSym);
 QUAKE_TF_BENCH(sf5_bcsr3sym, kSf5, kSymBcsr3);
+QUAKE_TF_BENCH(sf5_bcsr3sym_simd, kSf5, kSymBcsr3Simd);
+QUAKE_TF_BENCH(sf5_ell3, kSf5, kSlicedEll3);
+QUAKE_TF_BENCH(sf5_ell3_mt, kSf5, kSlicedEll3Mt);
+
+namespace
+{
+
+/**
+ * §4-style closing summary: take the best measured T_f across all
+ * records and derive the requirement operating points the way the
+ * paper's Figure 9 grid does — from the kernel that actually runs.
+ */
+void
+printRooflineSummary()
+{
+    const auto &records = jsonRecords();
+    if (records.empty())
+        return;
+    const bench::BenchJsonRecord *best = &records.front();
+    for (const bench::BenchJsonRecord &r : records)
+        if (r.tfNs < best->tfNs)
+            best = &r;
+
+    std::printf("\nRoofline summary (per-format byte-traffic model)\n");
+    std::printf("%-24s %10s %12s %10s %10s\n", "kernel", "tf_ns",
+                "bytes/flop", "GB/s", "pad_ratio");
+    for (const bench::BenchJsonRecord &r : records) {
+        double bpf = 0.0, gbps = 0.0, pad = 1.0;
+        for (const auto &kv : r.extra) {
+            if (kv.first == "bytes_per_flop")
+                bpf = kv.second;
+            else if (kv.first == "gbps")
+                gbps = kv.second;
+            else if (kv.first == "padding_ratio")
+                pad = kv.second;
+        }
+        std::printf("%-24s %10.3f %12.2f %10.2f %10.3f\n",
+                    r.kernel.c_str(), r.tfNs, bpf, gbps, pad);
+    }
+
+    std::printf("\nSliced-ELL dispatch: %s\n",
+                sparse::SlicedEll3Matrix::activeKernelName());
+    std::printf("Requirement grid from best measured T_f (%s, %.3f "
+                "ns/flop):\n",
+                best->kernel.c_str(), best->tfNs);
+    const std::vector<core::OperatingPoint> grid =
+        core::gridFromMeasuredTf(best->tfNs * 1e-9,
+                                 {0.25, 0.5, 0.75});
+    for (const core::OperatingPoint &p : grid)
+        std::printf("  E = %.2f -> sustained %.1f MFLOPS per PE\n",
+                    p.efficiency, p.mflops);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -158,6 +310,7 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    printRooflineSummary();
     bench::writeBenchJson("tf_kernels", jsonRecords());
     return 0;
 }

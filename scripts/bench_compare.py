@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and flag performance regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+    bench_compare.py --self-test
+
+Records are matched by their "kernel" label.  For each metric present
+in both records the relative change is computed; the run exits nonzero
+when any matched record regresses by more than the threshold (default
+15%):
+
+  - lower-is-better metrics (tf_ns, seconds_per_smvp): regression when
+    the candidate exceeds baseline * (1 + threshold);
+  - higher-is-better metrics (gflops, steps_per_sec): regression when
+    the candidate falls below baseline * (1 - threshold).
+
+Informational metrics (bytes_per_flop, gbps, padding_ratio) are
+reported but never gate: bytes/flop is a model constant, and GB/s moves
+inversely with tf_ns, which already gates.
+
+Kernels present in only one file are reported but do not fail the
+comparison (new benchmarks appear, old ones are retired).  The intended
+workflow (README.md "Benchmark workflow"): save BENCH_tf_kernels.json
+from the baseline commit, rerun on the candidate, then diff.
+"""
+
+import argparse
+import json
+import sys
+
+# metric name -> True when lower is better.
+GATED_METRICS = {
+    "tf_ns": True,
+    "seconds_per_smvp": True,
+    "gflops": False,
+    "steps_per_sec": False,
+}
+
+INFO_METRICS = ("bytes_per_flop", "gbps", "padding_ratio")
+
+
+def load_records(path):
+    """Map kernel label -> record dict from a BENCH json file."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    records = {}
+    for rec in doc.get("records", []):
+        records[rec["kernel"]] = rec
+    return records
+
+
+def compare(baseline, candidate, threshold):
+    """Return (report_lines, regressions) for two kernel->record maps."""
+    lines = []
+    regressions = []
+
+    common = sorted(set(baseline) & set(candidate))
+    only_base = sorted(set(baseline) - set(candidate))
+    only_cand = sorted(set(candidate) - set(baseline))
+
+    for kernel in common:
+        b, c = baseline[kernel], candidate[kernel]
+        for metric, lower_is_better in GATED_METRICS.items():
+            if metric not in b or metric not in c:
+                continue
+            old, new = float(b[metric]), float(c[metric])
+            if old == 0.0:
+                continue
+            rel = (new - old) / old
+            worse = rel > threshold if lower_is_better else rel < -threshold
+            tag = "REGRESSION" if worse else "ok"
+            lines.append(
+                "  %-24s %-16s %12.4g -> %12.4g  (%+6.1f%%)  %s"
+                % (kernel, metric, old, new, 100.0 * rel, tag)
+            )
+            if worse:
+                regressions.append((kernel, metric, old, new, rel))
+        for metric in INFO_METRICS:
+            if metric in b and metric in c and float(b[metric]) != 0.0:
+                old, new = float(b[metric]), float(c[metric])
+                rel = (new - old) / old
+                lines.append(
+                    "  %-24s %-16s %12.4g -> %12.4g  (%+6.1f%%)  info"
+                    % (kernel, metric, old, new, 100.0 * rel)
+                )
+
+    for kernel in only_base:
+        lines.append("  %-24s only in baseline (retired?)" % kernel)
+    for kernel in only_cand:
+        lines.append("  %-24s only in candidate (new)" % kernel)
+
+    return lines, regressions
+
+
+def self_test():
+    """Exercise the comparison logic on embedded fixtures."""
+    base = {
+        "fast": {"kernel": "fast", "tf_ns": 1.0, "gflops": 2.0},
+        "slow": {"kernel": "slow", "tf_ns": 4.0, "gflops": 0.5,
+                 "steps_per_sec": 100.0},
+        "gone": {"kernel": "gone", "tf_ns": 9.9},
+    }
+
+    # Within threshold: +10% tf_ns, -10% gflops -> no regression.
+    ok_cand = {
+        "fast": {"kernel": "fast", "tf_ns": 1.10, "gflops": 1.8},
+        "slow": {"kernel": "slow", "tf_ns": 4.0, "gflops": 0.5,
+                 "steps_per_sec": 95.0},
+        "new": {"kernel": "new", "tf_ns": 0.5},
+    }
+    _, regressions = compare(base, ok_cand, 0.15)
+    assert not regressions, "false positive: %r" % regressions
+
+    # tf_ns +20% and steps_per_sec -20% must both be flagged.
+    bad_cand = {
+        "fast": {"kernel": "fast", "tf_ns": 1.20, "gflops": 2.0},
+        "slow": {"kernel": "slow", "tf_ns": 4.0, "gflops": 0.5,
+                 "steps_per_sec": 80.0},
+    }
+    _, regressions = compare(base, bad_cand, 0.15)
+    flagged = {(k, m) for k, m, *_ in regressions}
+    assert ("fast", "tf_ns") in flagged, flagged
+    assert ("slow", "steps_per_sec") in flagged, flagged
+    assert len(flagged) == 2, flagged
+
+    # An improvement in a lower-is-better metric never flags.
+    good_cand = {"fast": {"kernel": "fast", "tf_ns": 0.5, "gflops": 4.0}}
+    _, regressions = compare(base, good_cand, 0.15)
+    assert not regressions, regressions
+
+    # Zero baselines are skipped, not divided by.
+    zero_base = {"z": {"kernel": "z", "tf_ns": 0.0}}
+    zero_cand = {"z": {"kernel": "z", "tf_ns": 1.0}}
+    _, regressions = compare(zero_base, zero_cand, 0.15)
+    assert not regressions, regressions
+
+    print("bench_compare self-test: all assertions passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json files; exit nonzero on "
+        "performance regressions beyond the threshold."
+    )
+    parser.add_argument("baseline", nargs="?", help="baseline BENCH json")
+    parser.add_argument("candidate", nargs="?", help="candidate BENCH json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative regression threshold (default 0.15 = 15%%)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the embedded fixture checks and exit",
+    )
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        parser.error("baseline and candidate files are required")
+
+    baseline = load_records(args.baseline)
+    candidate = load_records(args.candidate)
+    lines, regressions = compare(baseline, candidate, args.threshold)
+
+    print(
+        "bench_compare: %s -> %s (threshold %.0f%%)"
+        % (args.baseline, args.candidate, 100.0 * args.threshold)
+    )
+    for line in lines:
+        print(line)
+
+    if regressions:
+        print(
+            "\n%d regression(s) beyond %.0f%%:"
+            % (len(regressions), 100.0 * args.threshold)
+        )
+        for kernel, metric, old, new, rel in regressions:
+            print(
+                "  %s %s: %.4g -> %.4g (%+.1f%%)"
+                % (kernel, metric, old, new, 100.0 * rel)
+            )
+        return 1
+    print("\nno regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,8 @@ constexpr std::size_t kPartialsStride = 4;
 } // namespace
 
 ParallelSmvp::ParallelSmvp(const DistributedProblem &problem,
-                           int num_threads, ExchangeMode mode)
+                           int num_threads, ExchangeMode mode,
+                           SmvpKernelBackend backend)
     : problem_(problem),
       num_threads_([&] {
           QUAKE_EXPECT(!problem.subdomains.empty(),
@@ -26,12 +27,32 @@ ParallelSmvp::ParallelSmvp(const DistributedProblem &problem,
                                   : WorkerPool::hardwareThreads();
           return std::min(n, problem.numPes());
       }()),
-      mode_(mode), pool_(num_threads_)
+      mode_(mode), backend_(backend), pool_(num_threads_)
 {
     for (const Subdomain &sub : problem.subdomains)
         QUAKE_EXPECT(sub.stiffness.numBlockRows() > 0,
                      "subdomain " << sub.part
                                   << " has no assembled stiffness");
+
+    // kSlicedEll3: convert each PE's boundary and interior row lists
+    // into sliced-ELL slabs once, here — the steady-state step then
+    // touches only these preallocated slabs.  The row lists are sorted
+    // ascending, so slab lane order preserves the ascending-row
+    // accumulation order the fused path's determinism relies on.
+    if (backend_ == SmvpKernelBackend::kSlicedEll3) {
+        boundary_ell_.reserve(problem.subdomains.size());
+        interior_ell_.reserve(problem.subdomains.size());
+        for (const Subdomain &sub : problem.subdomains) {
+            boundary_ell_.push_back(
+                sparse::SlicedEll3Matrix::fromBcsr3Rows(
+                    sub.stiffness, sub.boundaryRows.data(),
+                    static_cast<std::int64_t>(sub.boundaryRows.size())));
+            interior_ell_.push_back(
+                sparse::SlicedEll3Matrix::fromBcsr3Rows(
+                    sub.stiffness, sub.interiorRows.data(),
+                    static_cast<std::int64_t>(sub.interiorRows.size())));
+        }
+    }
 
     // Precompute exchange bookkeeping.
     const int p = problem.numPes();
@@ -130,6 +151,24 @@ ParallelSmvp::waitForPublish(std::int64_t peer_flat, int slot,
 }
 
 void
+ParallelSmvp::recordEllCounters(int pe, telemetry::Collector *tele,
+                                int slot) const
+{
+    if (tele == nullptr)
+        return;
+    const sparse::SlicedEll3Matrix &b =
+        boundary_ell_[static_cast<std::size_t>(pe)];
+    const sparse::SlicedEll3Matrix &in =
+        interior_ell_[static_cast<std::size_t>(pe)];
+    tele->add(slot, telemetry::Counter::kEllSliceMultiplies,
+              static_cast<std::uint64_t>(b.numSlices() + in.numSlices()));
+    tele->add(slot, telemetry::Counter::kEllPaddedBlocks,
+              static_cast<std::uint64_t>(
+                  (b.storedBlocks() - b.structuralBlocks()) +
+                  (in.storedBlocks() - in.structuralBlocks())));
+}
+
+void
 ParallelSmvp::runLocalPhase(const double *x, int tid,
                             bool publish_early) const
 {
@@ -158,9 +197,12 @@ ParallelSmvp::runLocalPhase(const double *x, int tid,
         }
 
         std::vector<double> &yl = y_local_[i];
-        sub.stiffness.multiplyRowList(
-            xl.data(), yl.data(), sub.boundaryRows.data(),
-            static_cast<std::int64_t>(sub.boundaryRows.size()));
+        if (backend_ == SmvpKernelBackend::kSlicedEll3)
+            boundary_ell_[i].multiply(xl.data(), yl.data());
+        else
+            sub.stiffness.multiplyRowList(
+                xl.data(), yl.data(), sub.boundaryRows.data(),
+                static_cast<std::int64_t>(sub.boundaryRows.size()));
 
         const PeSchedule &pe = problem_.schedule.pe(i);
         for (std::size_t k = 0; k < pe.exchanges.size(); ++k) {
@@ -185,10 +227,16 @@ ParallelSmvp::runLocalPhase(const double *x, int tid,
 
     for (int i = tid; i < p; i += num_threads_) {
         const Subdomain &sub = problem_.subdomains[i];
-        sub.stiffness.multiplyRowList(
-            x_local_[i].data(), y_local_[i].data(),
-            sub.interiorRows.data(),
-            static_cast<std::int64_t>(sub.interiorRows.size()));
+        if (backend_ == SmvpKernelBackend::kSlicedEll3) {
+            interior_ell_[i].multiply(x_local_[i].data(),
+                                      y_local_[i].data());
+            recordEllCounters(i, tele, slot);
+        } else {
+            sub.stiffness.multiplyRowList(
+                x_local_[i].data(), y_local_[i].data(),
+                sub.interiorRows.data(),
+                static_cast<std::int64_t>(sub.interiorRows.size()));
+        }
     }
 
     if (tele != nullptr) {
@@ -281,9 +329,12 @@ ParallelSmvp::runLocalPhaseFused(int tid, bool publish_early) const
         }
 
         std::vector<double> &yl = y_local_[i];
-        sub.stiffness.multiplyRowList(
-            xl.data(), yl.data(), sub.boundaryRows.data(),
-            static_cast<std::int64_t>(sub.boundaryRows.size()));
+        if (backend_ == SmvpKernelBackend::kSlicedEll3)
+            boundary_ell_[i].multiply(xl.data(), yl.data());
+        else
+            sub.stiffness.multiplyRowList(
+                xl.data(), yl.data(), sub.boundaryRows.data(),
+                static_cast<std::int64_t>(sub.boundaryRows.size()));
 
         const PeSchedule &pe = problem_.schedule.pe(i);
         for (std::size_t k = 0; k < pe.exchanges.size(); ++k) {
@@ -304,6 +355,54 @@ ParallelSmvp::runLocalPhaseFused(int tid, bool publish_early) const
         if (sampled)
             tele->recordSpan(slot, telemetry::Span::kBoundaryPhase, i,
                              b0, tele->now());
+    }
+
+    if (backend_ == SmvpKernelBackend::kSlicedEll3) {
+        // Sliced-ELL fused interior: each slice's K u values are
+        // computed by the dispatched slice kernel, then the update
+        // triad consumes the slice's lanes while they are hot.  Lane
+        // order is the ascending interiorRows order (fromBcsr3Rows
+        // preserves list order and pad lanes trail the last slice), so
+        // the per-PE partials accumulate in exactly the row order of
+        // the BCSR3 formulation — bitwise deterministic across thread
+        // counts and exchange modes within this backend.  No heap
+        // allocation: the slabs and scratch are persistent.
+        for (int i = tid; i < p; i += num_threads_) {
+            const Subdomain &sub = problem_.subdomains[i];
+            const std::vector<double> &xl = x_local_[i];
+            std::vector<double> &yl = y_local_[i];
+            sparse::StepPartials &partials = step_partials_
+                [static_cast<std::size_t>(i) * kPartialsStride];
+            const sparse::SlicedEll3Matrix &ell =
+                interior_ell_[static_cast<std::size_t>(i)];
+            const std::int64_t S = ell.sliceHeight();
+            for (std::int64_t sl = 0; sl < ell.numSlices(); ++sl) {
+                ell.multiplySlices(xl.data(), yl.data(), sl, sl + 1);
+                for (std::int64_t l = 0; l < S; ++l) {
+                    const std::int64_t v = ell.laneRow(sl * S + l);
+                    if (v < 0)
+                        break;
+                    const std::int64_t g = sub.globalNodes[v];
+                    for (int c = 0; c < 3; ++c) {
+                        const std::int64_t gi = 3 * g + c;
+                        const double ui = xl[3 * v + c];
+                        partials.accumulate(
+                            su, gi, ui,
+                            su.apply(gi, ui, yl[3 * v + c]));
+                    }
+                }
+            }
+            recordEllCounters(i, tele, slot);
+        }
+        if (tele != nullptr) {
+            const std::uint64_t t1 = tele->now();
+            tele->observe(slot, telemetry::Hist::kLocalPhaseNanos,
+                          t1 - t0);
+            if (sampled)
+                tele->recordSpan(slot, telemetry::Span::kLocalPhase, -1,
+                                 t0, t1);
+        }
+        return;
     }
 
     // ...then interior rows are updated in small chunks: one kernel

@@ -32,6 +32,7 @@
 
 #include "parallel/distributor.h"
 #include "parallel/worker_pool.h"
+#include "sparse/sliced_ell3.h"
 
 namespace quake::parallel
 {
@@ -43,6 +44,20 @@ enum class ExchangeMode
     kOverlapped, ///< publish boundary results early, overlap interior
 };
 
+/**
+ * Which kernel computes the per-PE local SMVP rows (DESIGN.md §12).
+ * The choice is an execution knob with a caveat: results are bitwise
+ * deterministic across thread counts and exchange modes WITHIN a
+ * backend, but the two backends agree only within ULP tolerance (the
+ * sliced-ELL kernel may run the AVX2/FMA path), so trajectories are
+ * comparable across backends only through the verify/ oracles.
+ */
+enum class SmvpKernelBackend
+{
+    kBcsr3,      ///< row-at-a-time blocked CSR (the PR 2 kernel)
+    kSlicedEll3, ///< per-PE sliced-ELLPACK slabs, SIMD-dispatched
+};
+
 /** Executes global SMVPs y = Kx over a distributed problem. */
 class ParallelSmvp
 {
@@ -52,10 +67,16 @@ class ParallelSmvp
      *                    stiffness matrices.  Must outlive the engine.
      * @param num_threads Worker threads; 0 means hardware concurrency.
      * @param mode        Exchange scheduling (result is identical).
+     * @param backend     Local-row kernel.  kSlicedEll3 converts each
+     *                    PE's boundary and interior rows into
+     *                    cache-line-padded sliced-ELL slabs at
+     *                    construction; the steady-state step performs
+     *                    no further allocation.
      */
-    explicit ParallelSmvp(const DistributedProblem &problem,
-                          int num_threads = 0,
-                          ExchangeMode mode = ExchangeMode::kOverlapped);
+    explicit ParallelSmvp(
+        const DistributedProblem &problem, int num_threads = 0,
+        ExchangeMode mode = ExchangeMode::kOverlapped,
+        SmvpKernelBackend backend = SmvpKernelBackend::kBcsr3);
 
     /**
      * Compute y = K x on global vectors of length 3 * numGlobalNodes.
@@ -105,6 +126,9 @@ class ParallelSmvp
     /** Exchange scheduling mode. */
     ExchangeMode mode() const { return mode_; }
 
+    /** Local-row kernel backend. */
+    SmvpKernelBackend kernelBackend() const { return backend_; }
+
     /**
      * The engine's persistent pool, for callers that want to run their
      * own fork/join work (e.g. initial-condition setup) on the same
@@ -130,6 +154,17 @@ class ParallelSmvp
     const DistributedProblem &problem_;
     int num_threads_;
     ExchangeMode mode_;
+    SmvpKernelBackend backend_;
+
+    /**
+     * Per-PE sliced-ELL slabs (kSlicedEll3 backend only): boundary rows
+     * and interior rows converted separately so the two-phase schedule
+     * (boundary → publish → interior) is preserved.  Lane order is the
+     * subdomain's ascending row-list order, so the fused triad visits
+     * interior rows in exactly the order of the BCSR3 path.
+     */
+    std::vector<sparse::SlicedEll3Matrix> boundary_ell_;
+    std::vector<sparse::SlicedEll3Matrix> interior_ell_;
 
     /**
      * For subdomain p, exchange k: index of the mirrored exchange in the
@@ -166,6 +201,14 @@ class ParallelSmvp
 
     /** Per-PE step partials, padded to a cache line (stride 4). */
     mutable std::vector<sparse::StepPartials> step_partials_;
+
+    /**
+     * Record PE i's sliced-ELL slab counters (slice kernels executed,
+     * padding blocks streamed) into telemetry slot `slot`.  No-op when
+     * tele is null; preallocated-slot writes only.
+     */
+    void recordEllCounters(int pe, telemetry::Collector *tele,
+                           int slot) const;
 
     void runLocalPhase(const double *x, int tid,
                        bool publish_early) const;

@@ -7,6 +7,7 @@
 #include "parallel/parallel_smvp.h"
 #include "partition/geometric_bisection.h"
 #include "sparse/assembly.h"
+#include "sparse/sliced_ell3.h"
 
 namespace quake::sim
 {
@@ -68,6 +69,10 @@ computeFingerprint(const mesh::TetMesh &mesh,
     h = common::fnv1aVector(mesh.nodes(), h);
     h = common::fnv1aVector(mesh.tets(), h);
     h = common::fnv1aValue(config.numPes, h);
+    // The backend changes trajectory bits (ULP-level kernel
+    // differences), so it is part of the trajectory identity —
+    // checkpoints must not resume under a different backend.
+    h = common::fnv1aValue(static_cast<int>(config.kernelBackend), h);
     h = common::fnv1aValue(config.poisson, h);
     h = common::fnv1aValue(config.dampingA0, h);
     h = common::fnv1aValue(dt, h);
@@ -104,18 +109,42 @@ makeSimulationEngine(const mesh::TetMesh &mesh,
     // in the engine for the whole run.
     SmvpFn smvp;
     FusedStepFn fused;
+    const bool use_ell =
+        config.kernelBackend == SimulationConfig::KernelBackend::kSlicedEll3;
     if (config.numPes == 1) {
         engine.globalK = std::make_shared<sparse::Bcsr3Matrix>(
             sparse::assembleStiffness(mesh, model, config.poisson));
-        const auto global_k = engine.globalK;
-        smvp = [global_k](const std::vector<double> &x,
-                          std::vector<double> &y) {
-            global_k->multiply(x.data(), y.data());
-        };
-        if (config.fusedStep)
-            fused = [global_k](const sparse::StepUpdate &su) {
-                return global_k->multiplyFusedStep(su);
+        if (use_ell) {
+            engine.globalEll = std::make_shared<sparse::SlicedEll3Matrix>(
+                sparse::SlicedEll3Matrix::fromBcsr3(*engine.globalK));
+            const auto ell = engine.globalEll;
+            smvp = [ell](const std::vector<double> &x,
+                         std::vector<double> &y) {
+                ell->multiply(x.data(), y.data());
             };
+            if (config.fusedStep) {
+                // Persistent K u scratch so the fused lambda performs
+                // no per-step allocation (the BCSR3 fused path keeps
+                // its scratch inside the matrix; the ELL path is
+                // caller-provided by design).
+                auto scratch = std::make_shared<std::vector<double>>(
+                    static_cast<std::size_t>(engine.globalEll->numRows()),
+                    0.0);
+                fused = [ell, scratch](const sparse::StepUpdate &su) {
+                    return ell->multiplyFusedStep(su, scratch->data());
+                };
+            }
+        } else {
+            const auto global_k = engine.globalK;
+            smvp = [global_k](const std::vector<double> &x,
+                              std::vector<double> &y) {
+                global_k->multiply(x.data(), y.data());
+            };
+            if (config.fusedStep)
+                fused = [global_k](const sparse::StepUpdate &su) {
+                    return global_k->multiplyFusedStep(su);
+                };
+        }
     } else {
         const partition::GeometricBisection partitioner;
         engine.problem = std::make_shared<parallel::DistributedProblem>(
@@ -126,7 +155,9 @@ makeSimulationEngine(const mesh::TetMesh &mesh,
         engine.psmvp = std::make_shared<parallel::ParallelSmvp>(
             *engine.problem, config.smvpThreads,
             config.overlapSmvp ? parallel::ExchangeMode::kOverlapped
-                               : parallel::ExchangeMode::kBarrier);
+                               : parallel::ExchangeMode::kBarrier,
+            use_ell ? parallel::SmvpKernelBackend::kSlicedEll3
+                    : parallel::SmvpKernelBackend::kBcsr3);
         // Zero-copy: the engine writes straight into the stepper's ku
         // scratch — the seed's `y = psmvp->multiply(x)` allocated and
         // copied a full DOF vector every step.

@@ -24,6 +24,11 @@ namespace quake::parallel
 class ParallelSmvp;
 }
 
+namespace quake::sparse
+{
+class SlicedEll3Matrix;
+}
+
 namespace quake::sim
 {
 
@@ -70,6 +75,26 @@ struct SimulationConfig
      * changes scheduling and memory traffic.
      */
     bool fusedStep = true;
+
+    /**
+     * SMVP kernel backend (DESIGN.md §12).  kSlicedEll3 converts the
+     * stiffness into sliced-ELLPACK-3x3 slabs at engine construction
+     * (global matrix when sequential, per-PE boundary/interior slabs
+     * when distributed) and runs the SIMD-dispatched slice kernel.
+     *
+     * Unlike smvpThreads/overlapSmvp/fusedStep, this knob CHANGES the
+     * trajectory bits: within one backend results stay bitwise
+     * invariant across threads, modes, and fusion, but the two
+     * backends agree only within ULP tolerance (FMA contraction on the
+     * AVX2 path) — so the backend is folded into the checkpoint
+     * fingerprint and a checkpoint cannot resume under the other one.
+     */
+    enum class KernelBackend
+    {
+        kBcsr3,      ///< blocked-CSR row kernel (the default)
+        kSlicedEll3, ///< sliced-ELLPACK-3x3, SIMD dispatched
+    };
+    KernelBackend kernelBackend = KernelBackend::kBcsr3;
 
     /** Source description. */
     mesh::Vec3 hypocenter{25.0, 25.0, 8.0}; ///< under the basin
@@ -153,6 +178,8 @@ struct SimulationEngine
      * exchange mode, and fused/unfused are deliberately EXCLUDED —
      * the engine is proven bitwise invariant across them, so a
      * checkpoint may legally resume under any of those configurations.
+     * The kernel backend IS included: backends agree only within ULP
+     * tolerance, so their trajectories are distinct bit patterns.
      */
     std::uint64_t fingerprint = 0;
 
@@ -162,6 +189,9 @@ struct SimulationEngine
     std::shared_ptr<sparse::Bcsr3Matrix> globalK;
     std::shared_ptr<parallel::DistributedProblem> problem;
     std::shared_ptr<parallel::ParallelSmvp> psmvp;
+
+    /** Sequential sliced-ELL backend: the converted global matrix. */
+    std::shared_ptr<sparse::SlicedEll3Matrix> globalEll;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <iterator>
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -60,6 +61,9 @@ kernelName(Kernel kernel)
       case Kernel::kThreaded: return "smv-threaded";
       case Kernel::kSymBcsr3: return "smv-bcsr3sym";
       case Kernel::kSymBcsr3Mt: return "smv-bcsr3sym-mt";
+      case Kernel::kSlicedEll3: return "smv-ell3";
+      case Kernel::kSlicedEll3Mt: return "smv-ell3-mt";
+      case Kernel::kSymBcsr3Simd: return "smv-bcsr3sym-simd";
     }
     QUAKE_PANIC("unknown kernel");
 }
@@ -121,6 +125,23 @@ smvpSymBcsr3Threaded(const sparse::SymBcsr3Matrix &a, const double *x,
     });
 }
 
+void
+smvpSlicedEll3Threaded(const sparse::SlicedEll3Matrix &a, const double *x,
+                       double *y, parallel::WorkerPool &pool)
+{
+    if (pool.size() == 1 || a.numSlices() < 2) {
+        a.multiply(x, y);
+        return;
+    }
+    // Stored-block-balanced slice cuts: sliceBases() is the slot-count
+    // prefix over slices, exactly the shape balancedRowCuts expects.
+    const std::vector<std::int64_t> cut =
+        balancedRowCuts(a.sliceBases(), a.numSlices(), pool.size());
+    pool.run([&](int tid) {
+        a.multiplySlices(x, y, cut[tid], cut[tid + 1]);
+    });
+}
+
 FusedStepKernel::FusedStepKernel(const sparse::Bcsr3Matrix &a,
                                  parallel::WorkerPool &pool)
     : a_(a), pool_(pool),
@@ -163,7 +184,8 @@ KernelSuite::KernelSuite(const mesh::TetMesh &mesh,
     : bcsr_(sparse::assembleStiffness(mesh, model, poisson)),
       csr_(bcsr_.toCsr()),
       sym_(sparse::SymCsrMatrix::fromCsr(csr_, 1e-9)),
-      sym_bcsr_(sparse::SymBcsr3Matrix::fromBcsr3(bcsr_, 1e-9))
+      sym_bcsr_(sparse::SymBcsr3Matrix::fromBcsr3(bcsr_, 1e-9)),
+      ell_(sparse::SlicedEll3Matrix::fromBcsr3(bcsr_))
 {
 }
 
@@ -200,6 +222,15 @@ KernelSuite::run(Kernel kernel, const std::vector<double> &x) const
       case Kernel::kSymBcsr3Mt:
         smvpSymBcsr3Threaded(sym_bcsr_, x.data(), y.data(), poolFor(),
                              sym_scratch_);
+        break;
+      case Kernel::kSlicedEll3:
+        ell_.multiply(x.data(), y.data());
+        break;
+      case Kernel::kSlicedEll3Mt:
+        smvpSlicedEll3Threaded(ell_, x.data(), y.data(), poolFor());
+        break;
+      case Kernel::kSymBcsr3Simd:
+        sym_bcsr_.multiplySimd(x.data(), y.data());
         break;
     }
     return y;
@@ -245,6 +276,15 @@ KernelSuite::measure(Kernel kernel, int repetitions) const
             smvpSymBcsr3Threaded(sym_bcsr_, x.data(), y.data(),
                                  poolFor(), sym_scratch_);
             break;
+          case Kernel::kSlicedEll3:
+            ell_.multiply(x.data(), y.data());
+            break;
+          case Kernel::kSlicedEll3Mt:
+            smvpSlicedEll3Threaded(ell_, x.data(), y.data(), poolFor());
+            break;
+          case Kernel::kSymBcsr3Simd:
+            sym_bcsr_.multiplySimd(x.data(), y.data());
+            break;
         }
     };
 
@@ -267,17 +307,27 @@ KernelSuite::measure(Kernel kernel, int repetitions) const
 }
 
 AutotuneResult
-KernelSuite::autotune(int repetitions) const
+KernelSuite::selectBest(const std::vector<Kernel> &kernels,
+                        int repetitions, const MeasureFn &measure)
 {
+    QUAKE_EXPECT(!kernels.empty(), "no kernels to autotune");
     AutotuneResult result;
     bool first = true;
-    for (Kernel kernel : kAllKernels) {
+    for (Kernel kernel : kernels) {
         AutotuneEntry entry;
         entry.kernel = kernel;
         entry.timing = measure(kernel, repetitions);
-        if (first ||
+        // Strictly faster wins; exact ties break by enum order — never
+        // by measurement order, so permuting `kernels` cannot change
+        // the verdict (given a deterministic measure).
+        const bool better =
+            first ||
             entry.timing.secondsPerSmvp <
-                result.bestTiming.secondsPerSmvp) {
+                result.bestTiming.secondsPerSmvp ||
+            (entry.timing.secondsPerSmvp ==
+                 result.bestTiming.secondsPerSmvp &&
+             static_cast<int>(kernel) < static_cast<int>(result.best));
+        if (better) {
             result.best = kernel;
             result.bestTiming = entry.timing;
             first = false;
@@ -285,6 +335,29 @@ KernelSuite::autotune(int repetitions) const
         result.entries.push_back(std::move(entry));
     }
     return result;
+}
+
+AutotuneResult
+KernelSuite::autotune(const std::vector<Kernel> &kernels,
+                      int repetitions) const
+{
+    // Discarded warm-up pass over every contender BEFORE any timed
+    // measurement: without it, the first-measured kernel paid the
+    // cold-cache and pool-spin-up cost alone and could lose unfairly.
+    for (Kernel kernel : kernels)
+        (void)measure(kernel, 1);
+    return selectBest(kernels, repetitions,
+                      [this](Kernel kernel, int reps) {
+                          return measure(kernel, reps);
+                      });
+}
+
+AutotuneResult
+KernelSuite::autotune(int repetitions) const
+{
+    return autotune(std::vector<Kernel>(std::begin(kAllKernels),
+                                        std::end(kAllKernels)),
+                    repetitions);
 }
 
 } // namespace quake::spark

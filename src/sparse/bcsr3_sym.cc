@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "sparse/sliced_ell3_kernels.h"
 
 namespace quake::sparse
 {
@@ -127,6 +128,23 @@ SymBcsr3Matrix::multiply(const double *x, double *y) const
 {
     std::memset(y, 0,
                 static_cast<std::size_t>(numRows()) * sizeof(double));
+    multiplyRowsScatter(x, y, 0, block_rows_);
+}
+
+void
+SymBcsr3Matrix::multiplySimd(const double *x, double *y) const
+{
+    std::memset(y, 0,
+                static_cast<std::size_t>(numRows()) * sizeof(double));
+#if defined(QUAKE98_HAVE_AVX2)
+    if (detail::avx2KernelsAvailable()) {
+        detail::symScatterRowsAvx2(
+            detail::SymScatterView{xadj_.data(), block_cols_.data(),
+                                   values_.data()},
+            x, y, 0, block_rows_);
+        return;
+    }
+#endif
     multiplyRowsScatter(x, y, 0, block_rows_);
 }
 

@@ -52,8 +52,23 @@ class SymBcsr3Matrix
     const std::vector<std::int64_t> &xadj() const { return xadj_; }
     const std::vector<std::int32_t> &blockCols() const { return block_cols_; }
 
+    /** The 3x3 block at storage slot k (row-major 9 doubles). */
+    const double *blockAt(std::int64_t k) const { return &values_[9 * k]; }
+
     /** y = A x on scalar vectors of length numRows(); y is overwritten. */
     void multiply(const double *x, double *y) const;
+
+    /**
+     * y = A x through the explicitly vectorized scatter kernel (AVX2
+     * FMAs for the transposed y[col] updates, vector row accumulators
+     * folded by a horizontal sum) when the build and host support it;
+     * falls back to the portable scalar scatter otherwise — so this is
+     * always safe to call.  The vector path reorders the summation, so
+     * its result matches multiply() within ULP tolerance, not bitwise;
+     * against itself it is deterministic (the dispatch is fixed per
+     * process).  Registered as spark::Kernel::kSymBcsr3Simd.
+     */
+    void multiplySimd(const double *x, double *y) const;
 
     /** Convenience overload on vectors; sizes are checked. */
     std::vector<double> multiply(const std::vector<double> &x) const;

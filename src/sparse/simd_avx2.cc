@@ -1,0 +1,177 @@
+/**
+ * @file
+ * AVX2+FMA kernels for the sliced-ELL slice multiply and the symmetric
+ * BCSR3 transposed scatter.  This translation unit is the ONLY one
+ * compiled with -mavx2 -mfma (see src/sparse/CMakeLists.txt); it is
+ * added to the build only when the QUAKE98_SIMD probe passes, and its
+ * entry points are only ever called after a runtime
+ * __builtin_cpu_supports("avx2")/("fma") check (sliced_ell3.cc), so no
+ * illegal instruction can reach an older host.
+ *
+ * Both kernels use FMA contraction and (for the scatter) vector partial
+ * sums folded by a horizontal add, so their results agree with the
+ * portable kernels only within ULP tolerance — never claimed bitwise.
+ * Within one process the dispatch is fixed, so each kernel is bitwise
+ * deterministic against itself across thread counts and slicings.
+ */
+
+#include <immintrin.h>
+
+#include "sparse/sliced_ell3.h"
+#include "sparse/sliced_ell3_kernels.h"
+
+// GCC's _mm256_i32gather_pd expands through _mm256_undefined_pd, which
+// trips -Wmaybe-uninitialized inside avxintrin.h itself; the gather
+// overwrites every lane, so the warning is spurious.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace quake::sparse::detail
+{
+
+namespace
+{
+
+/** Sum of the four lanes of v, in fixed (0+1) + (2+3) order. */
+inline double
+hsum4(__m256d v)
+{
+    const __m128d lo = _mm256_castpd256_pd128(v);
+    const __m128d hi = _mm256_extractf128_pd(v, 1);
+    const __m128d pair = _mm_add_pd(lo, hi); // {l0+l2, l1+l3}
+    const __m128d swap = _mm_unpackhi_pd(pair, pair);
+    return _mm_cvtsd_f64(_mm_add_sd(pair, swap));
+}
+
+} // namespace
+
+void
+ellMultiplySlicesAvx2(const EllSliceView &v, const double *x, double *y,
+                      std::int64_t s0, std::int64_t s1)
+{
+    const std::int64_t S = v.slice_height;
+    const std::int64_t Sv = S - (S % 4); // lanes handled 4 at a time
+    const __m128i three = _mm_set1_epi32(3);
+
+    alignas(32) double out0[SlicedEll3Matrix::kMaxSliceHeight];
+    alignas(32) double out1[SlicedEll3Matrix::kMaxSliceHeight];
+    alignas(32) double out2[SlicedEll3Matrix::kMaxSliceHeight];
+
+    for (std::int64_t s = s0; s < s1; ++s) {
+        const std::int64_t base = v.slice_base[s];
+        const std::int64_t width = (v.slice_base[s + 1] - base) / S;
+
+        for (std::int64_t l0 = 0; l0 < Sv; l0 += 4) {
+            __m256d a0 = _mm256_setzero_pd();
+            __m256d a1 = _mm256_setzero_pd();
+            __m256d a2 = _mm256_setzero_pd();
+            for (std::int64_t j = 0; j < width; ++j) {
+                const std::int64_t group = base + j * S;
+                const __m128i colv = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(v.cols + group +
+                                                      l0));
+                const __m128i idx = _mm_mullo_epi32(colv, three);
+                const __m256d x0 = _mm256_i32gather_pd(x + 0, idx, 8);
+                const __m256d x1 = _mm256_i32gather_pd(x + 1, idx, 8);
+                const __m256d x2 = _mm256_i32gather_pd(x + 2, idx, 8);
+                const double *p = v.values + 9 * group + l0;
+                a0 = _mm256_fmadd_pd(_mm256_loadu_pd(p + 0 * S), x0, a0);
+                a0 = _mm256_fmadd_pd(_mm256_loadu_pd(p + 1 * S), x1, a0);
+                a0 = _mm256_fmadd_pd(_mm256_loadu_pd(p + 2 * S), x2, a0);
+                a1 = _mm256_fmadd_pd(_mm256_loadu_pd(p + 3 * S), x0, a1);
+                a1 = _mm256_fmadd_pd(_mm256_loadu_pd(p + 4 * S), x1, a1);
+                a1 = _mm256_fmadd_pd(_mm256_loadu_pd(p + 5 * S), x2, a1);
+                a2 = _mm256_fmadd_pd(_mm256_loadu_pd(p + 6 * S), x0, a2);
+                a2 = _mm256_fmadd_pd(_mm256_loadu_pd(p + 7 * S), x1, a2);
+                a2 = _mm256_fmadd_pd(_mm256_loadu_pd(p + 8 * S), x2, a2);
+            }
+            _mm256_store_pd(out0 + l0, a0);
+            _mm256_store_pd(out1 + l0, a1);
+            _mm256_store_pd(out2 + l0, a2);
+        }
+
+        // Remainder lanes (S not a multiple of 4): one lane at a time,
+        // same ascending-j order.
+        for (std::int64_t l = Sv; l < S; ++l) {
+            double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0;
+            for (std::int64_t j = 0; j < width; ++j) {
+                const std::int64_t group = base + j * S;
+                const double *xv = &x[3 * v.cols[group + l]];
+                const double *p = v.values + 9 * group;
+                acc0 += p[0 * S + l] * xv[0] + p[1 * S + l] * xv[1] +
+                        p[2 * S + l] * xv[2];
+                acc1 += p[3 * S + l] * xv[0] + p[4 * S + l] * xv[1] +
+                        p[5 * S + l] * xv[2];
+                acc2 += p[6 * S + l] * xv[0] + p[7 * S + l] * xv[1] +
+                        p[8 * S + l] * xv[2];
+            }
+            out0[l] = acc0;
+            out1[l] = acc1;
+            out2[l] = acc2;
+        }
+
+        const std::int64_t *rows = v.lane_rows + s * S;
+        for (std::int64_t l = 0; l < S; ++l) {
+            const std::int64_t r = rows[l];
+            if (r < 0)
+                continue;
+            y[3 * r + 0] = out0[l];
+            y[3 * r + 1] = out1[l];
+            y[3 * r + 2] = out2[l];
+        }
+    }
+}
+
+void
+symScatterRowsAvx2(const SymScatterView &v, const double *x, double *y,
+                   std::int64_t row_begin, std::int64_t row_end)
+{
+    // Lane-3-off mask: 3-double loads/stores without touching the
+    // neighbouring row's scalar (and without reading past the arrays).
+    const __m256i mask3 =
+        _mm256_set_epi64x(0, -1ll, -1ll, -1ll);
+
+    for (std::int64_t br = row_begin; br < row_end; ++br) {
+        const double xr0s = x[3 * br + 0];
+        const double xr1s = x[3 * br + 1];
+        const double xr2s = x[3 * br + 2];
+        const __m256d xr0 = _mm256_set1_pd(xr0s);
+        const __m256d xr1 = _mm256_set1_pd(xr1s);
+        const __m256d xr2 = _mm256_set1_pd(xr2s);
+        __m256d vacc0 = _mm256_setzero_pd();
+        __m256d vacc1 = _mm256_setzero_pd();
+        __m256d vacc2 = _mm256_setzero_pd();
+
+        for (std::int64_t k = v.xadj[br]; k < v.xadj[br + 1]; ++k) {
+            const std::int64_t bc = v.cols[k];
+            const double *b = v.values + 9 * k;
+            // row_i = [b(3i), b(3i+1), b(3i+2), junk]; the junk lane
+            // multiplies xc's +0.0 lane, contributing exact +0.0.
+            const __m256d row0 = _mm256_loadu_pd(b);
+            const __m256d row1 = _mm256_loadu_pd(b + 3);
+            const __m256d row2 = _mm256_maskload_pd(b + 6, mask3);
+            const __m256d xc = _mm256_maskload_pd(x + 3 * bc, mask3);
+            vacc0 = _mm256_fmadd_pd(row0, xc, vacc0);
+            vacc1 = _mm256_fmadd_pd(row1, xc, vacc1);
+            vacc2 = _mm256_fmadd_pd(row2, xc, vacc2);
+
+            if (bc != br) {
+                // Transposed scatter y[col] += B^T x[row]: lane c holds
+                // b[c] xr0 + b[3+c] xr1 + b[6+c] xr2.
+                __m256d tv = _mm256_mul_pd(row0, xr0);
+                tv = _mm256_fmadd_pd(row1, xr1, tv);
+                tv = _mm256_fmadd_pd(row2, xr2, tv);
+                const __m256d yv = _mm256_add_pd(
+                    _mm256_maskload_pd(y + 3 * bc, mask3), tv);
+                _mm256_maskstore_pd(y + 3 * bc, mask3, yv);
+            }
+        }
+
+        y[3 * br + 0] += hsum4(vacc0);
+        y[3 * br + 1] += hsum4(vacc1);
+        y[3 * br + 2] += hsum4(vacc2);
+    }
+}
+
+} // namespace quake::sparse::detail

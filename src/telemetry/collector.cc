@@ -47,6 +47,8 @@ counterName(Counter c)
       case Counter::kCheckpointBytes: return "checkpoint_bytes";
       case Counter::kRunRestarts: return "run_restarts";
       case Counter::kRunDegradations: return "run_degradations";
+      case Counter::kEllSliceMultiplies: return "ell_slice_multiplies";
+      case Counter::kEllPaddedBlocks: return "ell_padded_blocks";
       case Counter::kCount: break;
     }
     return "unknown";

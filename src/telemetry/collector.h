@@ -79,6 +79,9 @@ enum class Counter : std::uint8_t
     kCheckpointBytes,    ///< serialized checkpoint bytes written
     kRunRestarts,        ///< attempts that resumed from a checkpoint
     kRunDegradations,    ///< thread-budget halvings after stalls
+    // Per-kernel backend counters (sliced-ELL engine, DESIGN.md §12).
+    kEllSliceMultiplies, ///< sliced-ELL slice kernels executed
+    kEllPaddedBlocks,    ///< zero-padding blocks streamed by those slices
     kCount
 };
 

@@ -16,6 +16,7 @@
 #include "spark/kernels.h"
 #include "sparse/assembly.h"
 #include "sparse/bcsr3_sym.h"
+#include "sparse/sliced_ell3.h"
 #include "telemetry/collector.h"
 #include "verify/oracles.h"
 #include "verify/ulp.h"
@@ -1255,6 +1256,261 @@ propCheckpointKillResume(const TrialConfig &cfg)
     return ok();
 }
 
+// ---------------------------------------------------------------------------
+// Sliced-ELLPACK properties (DESIGN.md §12): the conversion round-trips
+// the BCSR3 structure exactly at every slice height (including the
+// degenerate height 1), the multiply matches the CSR reference within
+// the mixed oracle, the slice-partitioned threaded kernel is bitwise
+// identical to the serial one, and the fused step is bitwise identical
+// to multiply + the reference triad.
+// ---------------------------------------------------------------------------
+
+PropertyResult
+propSlicedEll3Differential(const TrialConfig &cfg)
+{
+    InputGen gen(cfg.seed, cfg.size);
+    GeneratedSystem sys = gen.randomSystem();
+    const sparse::Bcsr3Matrix &a = sys.stiffness;
+    const std::int64_t n = a.numRows();
+    const std::vector<double> x = gen.randomVector(n);
+    const std::vector<double> ref = a.toCsr().multiply(x);
+
+    // Slice heights: degenerate 1 (one row per slice), a non-power-of-
+    // two, and a random draw across the legal range.
+    const std::int64_t heights[] = {
+        1, 3,
+        1 + static_cast<std::int64_t>(gen.rng().nextBounded(
+                static_cast<std::uint64_t>(
+                    sparse::SlicedEll3Matrix::kMaxSliceHeight)))};
+    for (std::int64_t h : heights)
+    {
+        const sparse::SlicedEll3Matrix ell =
+            sparse::SlicedEll3Matrix::fromBcsr3(a, h);
+        ell.validate();
+        if (!ell.identityRowMap() || ell.numCoveredRows() != a.numBlockRows())
+            return fail("fromBcsr3 lost the identity row map at S=" +
+                        std::to_string(h));
+        if (ell.structuralBlocks() != a.numBlocks())
+            return fail("structural block count changed at S=" +
+                        std::to_string(h));
+        if (ell.paddingRatio() < 1.0)
+            return fail("padding ratio < 1 at S=" + std::to_string(h));
+
+        // Round trip: every lane must replay its BCSR3 row — same
+        // columns, bit-identical block values — and every slot past the
+        // row's end must be the zero pad on column 0.
+        const std::vector<std::int64_t> &xadj = a.xadj();
+        const std::vector<std::int32_t> &cols = a.blockCols();
+        for (std::int64_t s = 0; s < ell.numSlices(); ++s)
+        {
+            const std::int64_t width = ell.sliceWidth(s);
+            for (std::int64_t lane = 0; lane < h; ++lane)
+            {
+                const std::int64_t r = ell.laneRow(s * h + lane);
+                const std::int64_t len =
+                    r >= 0 ? xadj[static_cast<std::size_t>(r) + 1] -
+                                 xadj[static_cast<std::size_t>(r)]
+                           : 0;
+                for (std::int64_t j = 0; j < width; ++j)
+                {
+                    if (j < len)
+                    {
+                        const std::int64_t b =
+                            xadj[static_cast<std::size_t>(r)] + j;
+                        if (ell.colAt(s, j, lane) !=
+                            cols[static_cast<std::size_t>(b)])
+                            return fail("round trip: column mismatch at "
+                                        "row " +
+                                        std::to_string(r));
+                        for (int e = 0; e < 9; ++e)
+                            if (!bitEq(ell.valueAt(s, j, lane, e),
+                                       a.blockAt(b)[e]))
+                                return fail("round trip: value mismatch "
+                                            "at row " +
+                                            std::to_string(r));
+                    }
+                    else
+                    {
+                        if (ell.colAt(s, j, lane) != 0)
+                            return fail("pad slot carries column != 0");
+                        for (int e = 0; e < 9; ++e)
+                            if (ell.valueAt(s, j, lane, e) != 0.0)
+                                return fail("pad slot carries a nonzero "
+                                            "value");
+                    }
+                }
+            }
+        }
+
+        // Differential vs CSR, plus exact determinism on a rerun and
+        // agreement between the pointer and vector entry points.
+        const std::vector<double> y = ell.multiply(x);
+        std::string why;
+        if (!withinMixedTolerance(ref, y, kUlpBound, kRelEps, &why))
+            return fail("sliced-ELL (S=" + std::to_string(h) +
+                        ") vs CSR: " + why);
+        if (!bitwiseEqual(y, ell.multiply(x)))
+            return fail("sliced-ELL multiply not deterministic at S=" +
+                        std::to_string(h));
+        std::vector<double> yp(static_cast<std::size_t>(n), -1.0);
+        ell.multiply(x.data(), yp.data());
+        if (!bitwiseEqual(y, yp))
+            return fail("pointer multiply != vector multiply at S=" +
+                        std::to_string(h));
+    }
+
+    // The symmetric-source conversion mirrors the stored triangle back
+    // into a full operator; it must agree with the CSR reference.
+    const sparse::SymBcsr3Matrix sym =
+        sparse::SymBcsr3Matrix::fromBcsr3(a, 1e-9);
+    const sparse::SlicedEll3Matrix ellSym =
+        sparse::SlicedEll3Matrix::fromSymBcsr3(sym);
+    ellSym.validate();
+    std::string why;
+    if (!withinMixedTolerance(ref, ellSym.multiply(x), kUlpBound, kRelEps,
+                              &why))
+        return fail("fromSymBcsr3 vs CSR: " + why);
+
+    // Fused step == this backend's multiply + the reference triad,
+    // bitwise (the fused sweep reuses the same slice kernel and applies
+    // the triad in ascending row order).
+    const sparse::SlicedEll3Matrix ell =
+        sparse::SlicedEll3Matrix::fromBcsr3(a);
+    const StepFixture fx = StepFixture::make(gen, n, sys.lumpedMass, sys.dt);
+    const std::vector<double> ku = ell.multiply(fx.u);
+    std::vector<double> upRef = fx.up0;
+    sparse::StepPartials pRef;
+    sparse::applyStepUpdateRange(fx.su(upRef.data()), ku.data(), 0, n, pRef);
+    std::vector<double> upF = fx.up0;
+    std::vector<double> scratch(static_cast<std::size_t>(n), 0.0);
+    const sparse::StepPartials pF =
+        ell.multiplyFusedStep(fx.su(upF.data()), scratch.data());
+    if (!bitwiseEqual(upRef, upF))
+        return fail("sliced-ELL fused u_{n+1} != multiply + triad bitwise");
+    if (!bitEq(pRef.peak, pF.peak) || !bitEq(pRef.energy, pF.energy))
+        return fail("sliced-ELL fused partials != reference bitwise");
+
+    // The slice-partitioned threaded kernel writes disjoint output rows,
+    // so it is bitwise identical to the serial sliced-ELL kernel at
+    // every thread count.
+    spark::KernelSuite suite(sys.mesh, *sys.model);
+    const std::vector<double> xs = gen.randomVector(suite.dof());
+    const std::vector<double> ySerial =
+        suite.run(spark::Kernel::kSlicedEll3, xs);
+    for (int t : cfg.threads)
+    {
+        suite.setThreads(t);
+        if (!bitwiseEqual(ySerial,
+                          suite.run(spark::Kernel::kSlicedEll3Mt, xs)))
+            return fail("kSlicedEll3Mt != serial sliced-ELL bitwise at " +
+                        std::to_string(t) + " threads");
+    }
+    return ok();
+}
+
+// ---------------------------------------------------------------------------
+// Property: the distributed engine on the sliced-ELL backend keeps the
+// same invariants as the BCSR3 backend — bitwise invariant across
+// thread counts and exchange modes, fused == multiply + triad bitwise —
+// and the two backends agree within the mixed oracle.
+// ---------------------------------------------------------------------------
+
+PropertyResult
+propEngineBackendEll(const TrialConfig &cfg)
+{
+    InputGen gen(cfg.seed, cfg.size);
+    GeneratedSystem sys = gen.randomSystem();
+    const int parts = gen.randomPartCount(sys.mesh);
+    const partition::Partition part = gen.randomPartition(sys.mesh, parts);
+    const parallel::DistributedProblem problem =
+        parallel::distribute(sys.mesh, *sys.model, part);
+    const std::int64_t n = 3 * problem.numGlobalNodes;
+
+    const std::vector<double> x = gen.randomVector(n);
+    const std::vector<double> refGlobal = sys.stiffness.multiply(x);
+    StepFixture fx = StepFixture::make(gen, n, sys.lumpedMass, sys.dt);
+    fx.u = x; // the fused step's x is the multiply's x
+
+    std::vector<double> yFirst;
+    std::vector<double> upRef;
+    sparse::StepPartials pRef;
+    bool first = true;
+    sparse::StepPartials pFirst;
+
+    for (parallel::ExchangeMode mode :
+         {parallel::ExchangeMode::kBarrier,
+          parallel::ExchangeMode::kOverlapped})
+    {
+        for (int t : cfg.threads)
+        {
+            const parallel::ParallelSmvp engine(
+                problem, t, mode, parallel::SmvpKernelBackend::kSlicedEll3);
+            const std::vector<double> y = engine.multiply(x);
+            const char *mname =
+                mode == parallel::ExchangeMode::kBarrier ? "barrier"
+                                                         : "overlapped";
+            if (first)
+            {
+                std::string why;
+                if (!withinMixedTolerance(refGlobal, y, kUlpBound, kRelEps,
+                                          &why))
+                    return fail("ELL engine vs global assembly: " + why);
+                yFirst = y;
+                upRef = fx.up0;
+                sparse::applyStepUpdateRange(fx.su(upRef.data()),
+                                             yFirst.data(), 0, n, pRef);
+            }
+            else if (!bitwiseEqual(yFirst, y))
+            {
+                return fail(std::string("ELL engine multiply varies (") +
+                            mname + ", " + std::to_string(t) +
+                            " threads)");
+            }
+
+            std::vector<double> y2(static_cast<std::size_t>(n));
+            engine.multiplyInto(x.data(), y2.data());
+            if (!bitwiseEqual(yFirst, y2))
+                return fail(std::string("ELL multiplyInto != multiply (") +
+                            mname + ", " + std::to_string(t) +
+                            " threads)");
+
+            std::vector<double> upT = fx.up0;
+            const sparse::StepPartials pT =
+                engine.stepFused(fx.su(upT.data()));
+            if (!bitwiseEqual(upRef, upT))
+                return fail(std::string("ELL stepFused u_{n+1} != "
+                                        "multiply + triad (") +
+                            mname + ", " + std::to_string(t) +
+                            " threads)");
+            if (first)
+            {
+                pFirst = pT;
+                first = false;
+            }
+            else if (!bitEq(pFirst.peak, pT.peak) ||
+                     !bitEq(pFirst.energy, pT.energy))
+            {
+                return fail("ELL stepFused partials vary across configs");
+            }
+            if (!bitEq(pRef.peak, pT.peak))
+                return fail("ELL stepFused peak != reference triad peak");
+            if (!scalarClose(pRef.energy, pT.energy))
+                return fail("ELL stepFused energy drifted from reference");
+        }
+    }
+
+    // Cross-backend: the two kernel backends may legally differ (FMA
+    // contraction on the AVX2 path) but only within the mixed oracle.
+    const parallel::ParallelSmvp bcsr(problem, cfg.threads.front(),
+                                      parallel::ExchangeMode::kBarrier,
+                                      parallel::SmvpKernelBackend::kBcsr3);
+    std::string why;
+    if (!withinMixedTolerance(bcsr.multiply(x), yFirst, kUlpBound, kRelEps,
+                              &why))
+        return fail("ELL backend vs BCSR3 backend: " + why);
+    return ok();
+}
+
 } // namespace
 
 const std::vector<Property> &
@@ -1311,6 +1567,14 @@ allProperties()
          "a run killed at a random step and resumed from its checkpoint "
          "is bitwise identical to one that never stopped",
          propCheckpointKillResume},
+        {"sliced_ell3_differential",
+         "sliced-ELL conversion round-trips BCSR3 at every slice "
+         "height; multiply matches CSR; MT and fused paths bitwise",
+         propSlicedEll3Differential},
+        {"engine_backend_ell",
+         "distributed sliced-ELL backend bitwise invariant across "
+         "threads/modes, fused == multiply + triad, ULP vs BCSR3",
+         propEngineBackendEll},
     };
     return kProps;
 }

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <iterator>
 
@@ -195,6 +196,78 @@ TEST_F(SuiteTest, AutotunePicksAMeasuredKernel)
             best_in_entries = true;
     }
     EXPECT_TRUE(best_in_entries);
+}
+
+// Deterministic fake measurement: the verdict must be a pure function
+// of the kernel SET, never of the order the kernels are measured in
+// (regression for the missing-warm-up bug, where the first-measured
+// kernel paid the cold-start cost alone and could lose unfairly).
+TEST(Autotune, VerdictIndependentOfMeasurementOrder)
+{
+    const auto measure = [](Kernel k, int) {
+        KernelTiming t;
+        switch (k) {
+        case Kernel::kCsr: t.secondsPerSmvp = 5e-6; break;
+        case Kernel::kBcsr3: t.secondsPerSmvp = 2e-6; break;
+        case Kernel::kSym: t.secondsPerSmvp = 3e-6; break;
+        case Kernel::kSlicedEll3: t.secondsPerSmvp = 1e-6; break;
+        default: t.secondsPerSmvp = 9e-6; break;
+        }
+        return t;
+    };
+
+    std::vector<Kernel> order = {Kernel::kCsr, Kernel::kBcsr3,
+                                 Kernel::kSym, Kernel::kSlicedEll3,
+                                 Kernel::kSymBcsr3Mt};
+    std::sort(order.begin(), order.end());
+    do {
+        const AutotuneResult r =
+            KernelSuite::selectBest(order, 3, measure);
+        EXPECT_EQ(r.best, Kernel::kSlicedEll3);
+        EXPECT_DOUBLE_EQ(r.bestTiming.secondsPerSmvp, 1e-6);
+        // Entries stay in call order, one per contender.
+        ASSERT_EQ(r.entries.size(), order.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            EXPECT_EQ(r.entries[i].kernel, order[i]);
+    } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(Autotune, ExactTiesBreakByEnumOrderNotMeasurementOrder)
+{
+    const auto measure = [](Kernel, int) {
+        KernelTiming t;
+        t.secondsPerSmvp = 4e-6; // everyone identical
+        return t;
+    };
+    const std::vector<Kernel> fwd = {Kernel::kCsr, Kernel::kSlicedEll3};
+    const std::vector<Kernel> rev = {Kernel::kSlicedEll3, Kernel::kCsr};
+    EXPECT_EQ(KernelSuite::selectBest(fwd, 1, measure).best, Kernel::kCsr);
+    EXPECT_EQ(KernelSuite::selectBest(rev, 1, measure).best, Kernel::kCsr);
+}
+
+TEST(Autotune, SubsetOverloadWarmsUpEveryContender)
+{
+    // The real autotune must produce a verdict drawn from the requested
+    // subset and measure each contender (warm-up + timed); this is the
+    // integration-level check that the subset overload works end to end.
+    const TetMesh m =
+        buildKuhnLattice(Aabb{{0, 0, 0}, {1, 1, 1}}, 2, 2, 2);
+    const UniformModel model(Aabb{{0, 0, 0}, {1, 1, 1}}, 1.0, 1.0);
+    KernelSuite suite(m, model);
+    const std::vector<Kernel> subset = {Kernel::kBcsr3,
+                                        Kernel::kSlicedEll3};
+    const AutotuneResult r = suite.autotune(subset, 1);
+    ASSERT_EQ(r.entries.size(), 2u);
+    EXPECT_TRUE(r.best == Kernel::kBcsr3 ||
+                r.best == Kernel::kSlicedEll3);
+    for (const AutotuneEntry &e : r.entries)
+        EXPECT_GT(e.timing.secondsPerSmvp, 0.0);
+}
+
+TEST(Autotune, RejectsEmptyKernelList)
+{
+    const auto measure = [](Kernel, int) { return KernelTiming{}; };
+    EXPECT_THROW(KernelSuite::selectBest({}, 1, measure), FatalError);
 }
 
 TEST(SymBcsr3, KnownProduct)
