@@ -9,6 +9,7 @@
  *
  * Usage: capacity_planner [--mflops F] [--latency-us L] [--burst-mbs B]
  *                         [--mesh sf10|sf5|sf2|sf1] [--block-words W]
+ *                         [--shards S] [--pin] [--topology SPEC]
  *                         [--faults [--drop-rate R] [--seed S]]
  *                         [--deadline-ms D [--retry-budget N]]
  *
@@ -20,6 +21,12 @@
  * against the Eq. (1) model prediction for the worst instance — the
  * same model-informed timeout the resilience supervisor derives — and
  * says whether the budgeted retries can absorb a stall.
+ *
+ * With --shards / --topology, the planner prints the normalized
+ * shard x thread execution topology the SMVP engine would run under
+ * (DESIGN.md §13) — "auto" shows what NUMA detection sees on this
+ * host — so a placement can be sanity-checked before committing to a
+ * long run.  --pin marks the printed topology as pinned.
  */
 
 #include <iostream>
@@ -34,6 +41,8 @@
 #include "parallel/machine.h"
 #include "parallel/phase_simulator.h"
 #include "parallel/reliable_exchange.h"
+#include "parallel/topology.h"
+#include "parallel/worker_pool.h"
 #include "partition/geometric_bisection.h"
 #include "resilience/supervisor.h"
 
@@ -79,6 +88,18 @@ run(int argc, char **argv)
     QUAKE_EXPECT(retry_budget >= 1,
                  "--retry-budget must be >= 1, got " << retry_budget);
 
+    // Topology flags are rejected at entry like every other knob;
+    // --topology parses (or FatalErrors) before any table is printed.
+    const long shards = args.getInt("shards", 1);
+    QUAKE_EXPECT(shards >= 1, "--shards must be >= 1, got " << shards);
+    const bool pin = args.has("pin");
+    parallel::Topology topo;
+    topo.numShards = static_cast<int>(shards);
+    topo.pin = pin;
+    if (args.has("topology"))
+        topo = parallel::Topology::parse(args.get("topology"), pin);
+    topo.validate();
+
     std::cout << "Machine: " << common::formatFixed(machine.mflops(), 0)
               << " MFLOPS sustained, T_l = "
               << common::formatTime(machine.tl) << ", burst = "
@@ -87,6 +108,27 @@ run(int argc, char **argv)
                                         "-word blocks)"
                                   : " (maximally aggregated blocks)")
               << "\n\n";
+
+    if (args.has("topology") || shards > 1 || pin) {
+        // What the engine would run under (DESIGN.md §13): shard count,
+        // threads per shard (0 = even split of the visible CPUs), and
+        // any detected per-shard CPU placement.
+        std::cout << "Execution topology: " << topo.numShards
+                  << " shard(s) x "
+                  << (topo.threadsPerShard > 0
+                          ? std::to_string(topo.threadsPerShard)
+                          : std::string("auto"))
+                  << " thread(s)" << (topo.pin ? ", pinned" : "")
+                  << " (" << parallel::WorkerPool::hardwareThreads()
+                  << " CPUs visible to this process)\n";
+        for (std::size_t s = 0; s < topo.shardCpus.size(); ++s) {
+            std::cout << "  shard " << s << " CPUs:";
+            for (int c : topo.shardCpus[s])
+                std::cout << " " << c;
+            std::cout << "\n";
+        }
+        std::cout << "\n";
+    }
 
     common::Table t({"instance", "F/C_max", "T_comp", "T_comm",
                      "efficiency", "latency share", "advice"});

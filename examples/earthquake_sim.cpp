@@ -8,11 +8,19 @@
  *                       [--duration seconds] [--max-steps N]
  *                       [--freq hz] [--scale h-scale]
  *                       [--damping a0] [--seismogram path]
+ *                       [--shards S] [--pin] [--topology SPEC]
  *                       [--trace path] [--metrics path]
  *                       [--sample-every N]
  *                       [--faults [--drop-rate R] [--seed S]]
  *                       [--checkpoint path [--checkpoint-every N]]
  *                       [--resume] [--deadline ms] [--retries N]
+ *
+ * --shards splits the distributed engine's PEs into S NUMA-style
+ * shards (nested pinned worker pools, DESIGN.md §13); --pin pins shard
+ * workers to their shard's CPUs (advisory); --topology overrides both
+ * with "flat", "auto" (NUMA detection), or "SxT" (e.g. "2x4").  All
+ * three are execution knobs: the trajectory is bitwise identical for
+ * every topology.
  *
  * With --checkpoint, the run snapshots its full state to `path`
  * atomically every N steps (default 100); kill it at any point and
@@ -74,6 +82,9 @@ run(int argc, char **argv)
     config.wavelet.delaySeconds = 2.0 / config.wavelet.peakFrequencyHz;
     config.sampleInterval = 50;
     config.dampingA0 = args.getDouble("damping", 0.0);
+    config.smvpShards = static_cast<int>(args.getInt("shards", 1));
+    config.pinSmvpThreads = args.has("pin");
+    config.topologySpec = args.get("topology");
 
     // Fail on bad flags before any mesh is generated: the config, the
     // telemetry thinning interval, and the fault spec (when requested)
@@ -113,6 +124,14 @@ run(int argc, char **argv)
               << config.numPes << " PE(s), source at ("
               << config.hypocenter.x << ", " << config.hypocenter.y
               << ", " << config.hypocenter.z << ") km depth...\n";
+    if (!config.topologySpec.empty() || config.smvpShards > 1 ||
+        config.pinSmvpThreads)
+        std::cout << "  engine topology: "
+                  << (config.topologySpec.empty()
+                          ? std::to_string(config.smvpShards) +
+                                " shard(s)"
+                          : config.topologySpec)
+                  << (config.pinSmvpThreads ? ", pinned" : "") << "\n";
 
     // Generate the mesh up front so receiver stations can be placed.
     const mesh::LayeredBasinModel model;

@@ -14,48 +14,101 @@ namespace
 /** StepPartials per 64-byte cache line: padding stride for PE slots. */
 constexpr std::size_t kPartialsStride = 4;
 
+/** Split `cpus` into `parts` contiguous chunks (some may be empty). */
+std::vector<std::vector<int>>
+splitCpus(const std::vector<int> &cpus, int parts)
+{
+    std::vector<std::vector<int>> out(static_cast<std::size_t>(parts));
+    const int n = static_cast<int>(cpus.size());
+    for (int s = 0; s < parts; ++s) {
+        const int lo = s * n / parts;
+        const int hi = (s + 1) * n / parts;
+        out[static_cast<std::size_t>(s)].assign(cpus.begin() + lo,
+                                                cpus.begin() + hi);
+    }
+    return out;
+}
+
 } // namespace
 
 ParallelSmvp::ParallelSmvp(const DistributedProblem &problem,
                            int num_threads, ExchangeMode mode,
                            SmvpKernelBackend backend)
-    : problem_(problem),
-      num_threads_([&] {
-          QUAKE_EXPECT(!problem.subdomains.empty(),
-                       "problem has no subdomains");
-          int n = num_threads > 0 ? num_threads
-                                  : WorkerPool::hardwareThreads();
-          return std::min(n, problem.numPes());
-      }()),
-      mode_(mode), backend_(backend), pool_(num_threads_)
+    : ParallelSmvp(problem, Topology::flat(num_threads), mode, backend)
 {
+}
+
+ParallelSmvp::ParallelSmvp(const DistributedProblem &problem,
+                           const Topology &topo, ExchangeMode mode,
+                           SmvpKernelBackend backend)
+    : problem_(problem), mode_(mode), backend_(backend)
+{
+    QUAKE_EXPECT(!problem.subdomains.empty(),
+                 "problem has no subdomains");
+    topo.validate();
     for (const Subdomain &sub : problem.subdomains)
         QUAKE_EXPECT(sub.stiffness.numBlockRows() > 0,
                      "subdomain " << sub.part
                                   << " has no assembled stiffness");
 
-    // kSlicedEll3: convert each PE's boundary and interior row lists
-    // into sliced-ELL slabs once, here — the steady-state step then
-    // touches only these preallocated slabs.  The row lists are sorted
-    // ascending, so slab lane order preserves the ascending-row
-    // accumulation order the fused path's determinism relies on.
-    if (backend_ == SmvpKernelBackend::kSlicedEll3) {
-        boundary_ell_.reserve(problem.subdomains.size());
-        interior_ell_.reserve(problem.subdomains.size());
-        for (const Subdomain &sub : problem.subdomains) {
-            boundary_ell_.push_back(
-                sparse::SlicedEll3Matrix::fromBcsr3Rows(
-                    sub.stiffness, sub.boundaryRows.data(),
-                    static_cast<std::int64_t>(sub.boundaryRows.size())));
-            interior_ell_.push_back(
-                sparse::SlicedEll3Matrix::fromBcsr3Rows(
-                    sub.stiffness, sub.interiorRows.data(),
-                    static_cast<std::int64_t>(sub.interiorRows.size())));
-        }
+    // Normalize the topology against the problem: shards clamp to the
+    // PE count (the paper's unit of decomposition), PEs map to
+    // contiguous ascending shard blocks, and the per-shard thread
+    // count caps at the largest block (extra threads would idle).
+    const int p = problem.numPes();
+    num_shards_ = std::clamp(topo.numShards, 1, p);
+    const int max_block = (p + num_shards_ - 1) / num_shards_;
+    if (topo.threadsPerShard > 0) {
+        threads_per_shard_ = std::min(topo.threadsPerShard, max_block);
+    } else {
+        const int budget = topo.threadBudget > 0
+                               ? topo.threadBudget
+                               : WorkerPool::hardwareThreads();
+        threads_per_shard_ =
+            std::min(std::max(1, budget / num_shards_), max_block);
+    }
+
+    shard_begin_.resize(static_cast<std::size_t>(num_shards_) + 1);
+    for (int s = 0; s <= num_shards_; ++s)
+        shard_begin_[static_cast<std::size_t>(s)] = s * p / num_shards_;
+    shard_of_.resize(static_cast<std::size_t>(p));
+    for (int s = 0; s < num_shards_; ++s)
+        for (int i = shard_begin_[s]; i < shard_begin_[s + 1]; ++i)
+            shard_of_[static_cast<std::size_t>(i)] = s;
+
+    // CPU placement for pinning: the topology's explicit per-shard
+    // lists when given, else an even contiguous split of the affinity
+    // mask.  Advisory throughout — empty sets and failed pins fall
+    // back to unpinned workers.
+    std::vector<std::vector<int>> shard_cpus = topo.shardCpus;
+    if (static_cast<int>(shard_cpus.size()) > num_shards_)
+        shard_cpus.resize(static_cast<std::size_t>(num_shards_));
+    if (topo.pin && shard_cpus.empty())
+        shard_cpus = splitCpus(affinityCpus(), num_shards_);
+    const bool pin = topo.pin && !shard_cpus.empty();
+
+    if (num_shards_ > 1) {
+        // Outer pool: one worker per shard, pinned to its shard's CPU
+        // set so inline work (threads_per_shard_ == 1) and first-touch
+        // allocation land in the shard's domain.
+        WorkerPoolOptions outer_opts;
+        if (pin)
+            outer_opts.workerCpus = shard_cpus;
+        outer_pool_ = std::make_unique<WorkerPool>(num_shards_,
+                                                   std::move(outer_opts));
+    }
+    shard_pools_.resize(static_cast<std::size_t>(num_shards_));
+    for (int s = 0; s < num_shards_; ++s) {
+        WorkerPoolOptions opts;
+        if (pin)
+            opts.workerCpus = {shard_cpus[static_cast<std::size_t>(
+                s % static_cast<int>(shard_cpus.size()))]};
+        shard_pools_[static_cast<std::size_t>(s)] =
+            std::make_unique<WorkerPool>(threads_per_shard_,
+                                         std::move(opts));
     }
 
     // Precompute exchange bookkeeping.
-    const int p = problem.numPes();
     exchange_base_.resize(static_cast<std::size_t>(p) + 1, 0);
     for (int i = 0; i < p; ++i)
         exchange_base_[i + 1] =
@@ -66,6 +119,8 @@ ParallelSmvp::ParallelSmvp(const DistributedProblem &problem,
     mirror_index_.resize(static_cast<std::size_t>(p));
     exchange_local_nodes_.resize(
         static_cast<std::size_t>(exchange_base_[p]));
+    pe_remote_bytes_.assign(static_cast<std::size_t>(p), 0);
+    pe_local_bytes_.assign(static_cast<std::size_t>(p), 0);
     for (int i = 0; i < p; ++i) {
         const PeSchedule &pe = problem.schedule.pe(i);
         mirror_index_[i].resize(pe.exchanges.size());
@@ -92,21 +147,70 @@ ParallelSmvp::ParallelSmvp(const DistributedProblem &problem,
             const Subdomain &sub = problem.subdomains[i];
             for (mesh::NodeId g : ex.nodes)
                 locals.push_back(sub.localNodeOf(g));
+
+            // Classify this PE's received exchange traffic by the
+            // shard map: crossing a shard boundary means crossing a
+            // memory domain when shards are pinned to NUMA nodes.
+            const std::int64_t bytes = static_cast<std::int64_t>(
+                3 * ex.nodes.size() * sizeof(double));
+            if (shard_of_[static_cast<std::size_t>(ex.peer)] ==
+                shard_of_[static_cast<std::size_t>(i)])
+                pe_local_bytes_[static_cast<std::size_t>(i)] += bytes;
+            else
+                pe_remote_bytes_[static_cast<std::size_t>(i)] += bytes;
         }
+        remote_bytes_ += pe_remote_bytes_[static_cast<std::size_t>(i)];
+        local_bytes_ += pe_local_bytes_[static_cast<std::size_t>(i)];
     }
 
-    // Persistent scratch: local vectors, message buffers, publish flags.
+    // Shard load imbalance over local rows (the kernel work measure).
+    {
+        std::vector<std::int64_t> rows(
+            static_cast<std::size_t>(num_shards_), 0);
+        std::int64_t total = 0;
+        for (int i = 0; i < p; ++i) {
+            const std::int64_t r =
+                problem.subdomains[static_cast<std::size_t>(i)]
+                    .numLocalNodes();
+            rows[static_cast<std::size_t>(shard_of_[i])] += r;
+            total += r;
+        }
+        const double mean =
+            static_cast<double>(total) / num_shards_;
+        const std::int64_t maxr =
+            *std::max_element(rows.begin(), rows.end());
+        shard_imbalance_ =
+            mean > 0 ? static_cast<double>(maxr) / mean - 1.0 : 0.0;
+    }
+
+    // Persistent slabs: outer containers sized here, inner storage
+    // filled by initPeSlabs — inline when flat, on each owning shard's
+    // worker threads when hierarchical, so pages are first-touched in
+    // the domain that will stream them every step.
     x_local_.resize(static_cast<std::size_t>(p));
     y_local_.resize(static_cast<std::size_t>(p));
-    for (int i = 0; i < p; ++i) {
-        const std::size_t n = static_cast<std::size_t>(
-            3 * problem.subdomains[i].numLocalNodes());
-        x_local_[i].assign(n, 0.0);
-        y_local_[i].assign(n, 0.0);
-    }
     buffers_.resize(static_cast<std::size_t>(exchange_base_[p]));
-    for (std::size_t e = 0; e < buffers_.size(); ++e)
-        buffers_[e].assign(3 * exchange_local_nodes_[e].size(), 0.0);
+    if (backend_ == SmvpKernelBackend::kSlicedEll3) {
+        boundary_ell_.resize(static_cast<std::size_t>(p));
+        interior_ell_.resize(static_cast<std::size_t>(p));
+    } else if (num_shards_ > 1) {
+        local_stiffness_.resize(static_cast<std::size_t>(p));
+    }
+    if (num_shards_ == 1) {
+        for (int i = 0; i < p; ++i)
+            initPeSlabs(i);
+    } else {
+        outer_pool_->run([this](int s) {
+            shard_pools_[static_cast<std::size_t>(s)]->run(
+                [this, s](int t) {
+                    for (int i = shard_begin_[s] + t;
+                         i < shard_begin_[s + 1];
+                         i += threads_per_shard_)
+                        initPeSlabs(i);
+                });
+        });
+    }
+
     published_ = std::make_unique<std::atomic<std::uint64_t>[]>(
         static_cast<std::size_t>(exchange_base_[p]));
     for (std::int64_t e = 0; e < exchange_base_[p]; ++e)
@@ -119,12 +223,77 @@ ParallelSmvp::ParallelSmvp(const DistributedProblem &problem,
 }
 
 void
+ParallelSmvp::initPeSlabs(int i)
+{
+    const Subdomain &sub =
+        problem_.subdomains[static_cast<std::size_t>(i)];
+    const std::size_t n =
+        static_cast<std::size_t>(3 * sub.numLocalNodes());
+    x_local_[static_cast<std::size_t>(i)].assign(n, 0.0);
+    y_local_[static_cast<std::size_t>(i)].assign(n, 0.0);
+    for (std::int64_t e = exchange_base_[i]; e < exchange_base_[i + 1];
+         ++e)
+        buffers_[static_cast<std::size_t>(e)].assign(
+            3 * exchange_local_nodes_[static_cast<std::size_t>(e)]
+                    .size(),
+            0.0);
+
+    // kSlicedEll3: convert the PE's boundary and interior row lists
+    // into sliced-ELL slabs once, here — the steady-state step then
+    // touches only these preallocated slabs.  The row lists are sorted
+    // ascending, so slab lane order preserves the ascending-row
+    // accumulation order the fused path's determinism relies on.
+    if (backend_ == SmvpKernelBackend::kSlicedEll3) {
+        boundary_ell_[static_cast<std::size_t>(i)] =
+            sparse::SlicedEll3Matrix::fromBcsr3Rows(
+                sub.stiffness, sub.boundaryRows.data(),
+                static_cast<std::int64_t>(sub.boundaryRows.size()));
+        interior_ell_[static_cast<std::size_t>(i)] =
+            sparse::SlicedEll3Matrix::fromBcsr3Rows(
+                sub.stiffness, sub.interiorRows.data(),
+                static_cast<std::int64_t>(sub.interiorRows.size()));
+    } else if (!local_stiffness_.empty()) {
+        // Hierarchical BCSR3: copy the subdomain stiffness so the
+        // dominant kernel stream reads pages this shard first-touched.
+        // Identical values — results are bitwise unchanged.
+        local_stiffness_[static_cast<std::size_t>(i)] = sub.stiffness;
+    }
+}
+
+std::int64_t
+ParallelSmvp::pinFailures() const
+{
+    std::int64_t failures =
+        outer_pool_ != nullptr ? outer_pool_->pinFailures() : 0;
+    for (const std::unique_ptr<WorkerPool> &pool : shard_pools_)
+        failures += pool->pinFailures();
+    return failures;
+}
+
+void
 ParallelSmvp::setCollector(telemetry::Collector *collector)
 {
+    const int S = num_shards_;
+    const int T = threads_per_shard_;
     if (collector != nullptr)
-        collector->ensureSlots(num_threads_ + 1);
+        collector->ensureSlots(S == 1 ? 1 + T : 1 + S + S * T);
     tele_ = collector;
-    pool_.setCollector(collector);
+    if (outer_pool_ != nullptr)
+        outer_pool_->setCollector(collector, 0, 1);
+    for (int s = 0; s < S; ++s)
+        shard_pools_[static_cast<std::size_t>(s)]->setCollector(
+            collector, S == 1 ? 0 : 1 + s,
+            S == 1 ? 1 : 1 + S + s * T);
+    if (collector != nullptr && collector->enabled()) {
+        // Construction-time facts, recorded once on attach.
+        collector->add(0, telemetry::Counter::kPinFailures,
+                       static_cast<std::uint64_t>(pinFailures()));
+        collector->add(
+            0, telemetry::Counter::kShardImbalanceMilli,
+            static_cast<std::uint64_t>(
+                shard_imbalance_ > 0 ? shard_imbalance_ * 1000.0 + 0.5
+                                     : 0.0));
+    }
 }
 
 void
@@ -169,21 +338,22 @@ ParallelSmvp::recordEllCounters(int pe, telemetry::Collector *tele,
 }
 
 void
-ParallelSmvp::runLocalPhase(const double *x, int tid,
+ParallelSmvp::runLocalPhase(const double *x, int s, int tid,
                             bool publish_early) const
 {
-    const int p = problem_.numPes();
+    const int end = shard_begin_[s + 1];
     telemetry::Collector *tele =
         tele_ != nullptr && tele_->enabled() ? tele_ : nullptr;
     const bool sampled = tele != nullptr && tele->sampledStep();
-    const int slot = 1 + tid;
+    const int slot = teleSlot(s, tid);
     const std::uint64_t t0 = tele != nullptr ? tele->now() : 0;
 
     // Boundary rows first, message buffers published, then interior.
     // When publish_early is set, peers may start consuming a buffer the
     // moment its release-store lands — while this thread is still in
     // the interior sweep below.
-    for (int i = tid; i < p; i += num_threads_) {
+    for (int i = shard_begin_[s] + tid; i < end;
+         i += threads_per_shard_) {
         const Subdomain &sub = problem_.subdomains[i];
         const std::int64_t nl = sub.numLocalNodes();
         const std::uint64_t b0 = sampled ? tele->now() : 0;
@@ -200,7 +370,7 @@ ParallelSmvp::runLocalPhase(const double *x, int tid,
         if (backend_ == SmvpKernelBackend::kSlicedEll3)
             boundary_ell_[i].multiply(xl.data(), yl.data());
         else
-            sub.stiffness.multiplyRowList(
+            localK(i).multiplyRowList(
                 xl.data(), yl.data(), sub.boundaryRows.data(),
                 static_cast<std::int64_t>(sub.boundaryRows.size()));
 
@@ -211,10 +381,10 @@ ParallelSmvp::runLocalPhase(const double *x, int tid,
             const std::vector<std::int64_t> &locals =
                 exchange_local_nodes_[flat];
             std::vector<double> &buf = buffers_[flat];
-            for (std::size_t s = 0; s < locals.size(); ++s) {
-                buf[3 * s + 0] = yl[3 * locals[s] + 0];
-                buf[3 * s + 1] = yl[3 * locals[s] + 1];
-                buf[3 * s + 2] = yl[3 * locals[s] + 2];
+            for (std::size_t v = 0; v < locals.size(); ++v) {
+                buf[3 * v + 0] = yl[3 * locals[v] + 0];
+                buf[3 * v + 1] = yl[3 * locals[v] + 1];
+                buf[3 * v + 2] = yl[3 * locals[v] + 2];
             }
             if (publish_early)
                 published_[flat].store(epoch_,
@@ -225,14 +395,15 @@ ParallelSmvp::runLocalPhase(const double *x, int tid,
                              b0, tele->now());
     }
 
-    for (int i = tid; i < p; i += num_threads_) {
+    for (int i = shard_begin_[s] + tid; i < end;
+         i += threads_per_shard_) {
         const Subdomain &sub = problem_.subdomains[i];
         if (backend_ == SmvpKernelBackend::kSlicedEll3) {
             interior_ell_[i].multiply(x_local_[i].data(),
                                       y_local_[i].data());
             recordEllCounters(i, tele, slot);
         } else {
-            sub.stiffness.multiplyRowList(
+            localK(i).multiplyRowList(
                 x_local_[i].data(), y_local_[i].data(),
                 sub.interiorRows.data(),
                 static_cast<std::int64_t>(sub.interiorRows.size()));
@@ -249,17 +420,18 @@ ParallelSmvp::runLocalPhase(const double *x, int tid,
 }
 
 void
-ParallelSmvp::runExchangePhase(double *y, int tid,
+ParallelSmvp::runExchangePhase(double *y, int s, int tid,
                                bool wait_for_publish) const
 {
-    const int p = problem_.numPes();
+    const int end = shard_begin_[s + 1];
     telemetry::Collector *tele =
         tele_ != nullptr && tele_->enabled() ? tele_ : nullptr;
     const bool sampled = tele != nullptr && tele->sampledStep();
-    const int slot = 1 + tid;
+    const int slot = teleSlot(s, tid);
     const std::uint64_t t0 = tele != nullptr ? tele->now() : 0;
 
-    for (int i = tid; i < p; i += num_threads_) {
+    for (int i = shard_begin_[s] + tid; i < end;
+         i += threads_per_shard_) {
         const Subdomain &sub = problem_.subdomains[i];
         std::vector<double> &yl = y_local_[i];
         const PeSchedule &pe = problem_.schedule.pe(i);
@@ -277,10 +449,10 @@ ParallelSmvp::runExchangePhase(double *y, int tid,
             const std::vector<std::int64_t> &locals =
                 exchange_local_nodes_[exchange_base_[i] +
                                       static_cast<std::int64_t>(k)];
-            for (std::size_t s = 0; s < locals.size(); ++s) {
-                yl[3 * locals[s] + 0] += buf[3 * s + 0];
-                yl[3 * locals[s] + 1] += buf[3 * s + 1];
-                yl[3 * locals[s] + 2] += buf[3 * s + 2];
+            for (std::size_t v = 0; v < locals.size(); ++v) {
+                yl[3 * locals[v] + 0] += buf[3 * v + 0];
+                yl[3 * locals[v] + 1] += buf[3 * v + 1];
+                yl[3 * locals[v] + 2] += buf[3 * v + 2];
             }
         }
 
@@ -291,6 +463,12 @@ ParallelSmvp::runExchangePhase(double *y, int tid,
             y[3 * g + 0] = yl[3 * v + 0];
             y[3 * g + 1] = yl[3 * v + 1];
             y[3 * g + 2] = yl[3 * v + 2];
+        }
+        if (tele != nullptr) {
+            tele->add(slot, telemetry::Counter::kShardRemoteBytes,
+                      static_cast<std::uint64_t>(pe_remote_bytes_[i]));
+            tele->add(slot, telemetry::Counter::kShardLocalBytes,
+                      static_cast<std::uint64_t>(pe_local_bytes_[i]));
         }
         if (sampled)
             tele->recordSpan(slot, telemetry::Span::kExchange, i, e0,
@@ -303,19 +481,20 @@ ParallelSmvp::runExchangePhase(double *y, int tid,
 }
 
 void
-ParallelSmvp::runLocalPhaseFused(int tid, bool publish_early) const
+ParallelSmvp::runLocalPhaseFused(int s, int tid, bool publish_early) const
 {
     const sparse::StepUpdate &su = *su_arg_;
-    const int p = problem_.numPes();
+    const int end = shard_begin_[s + 1];
     telemetry::Collector *tele =
         tele_ != nullptr && tele_->enabled() ? tele_ : nullptr;
     const bool sampled = tele != nullptr && tele->sampledStep();
-    const int slot = 1 + tid;
+    const int slot = teleSlot(s, tid);
     const std::uint64_t t0 = tele != nullptr ? tele->now() : 0;
 
     // Identical to runLocalPhase (same gather, same kernels, same
     // publish protocol) up to the interior sweep...
-    for (int i = tid; i < p; i += num_threads_) {
+    for (int i = shard_begin_[s] + tid; i < end;
+         i += threads_per_shard_) {
         const Subdomain &sub = problem_.subdomains[i];
         const std::int64_t nl = sub.numLocalNodes();
         const std::uint64_t b0 = sampled ? tele->now() : 0;
@@ -332,7 +511,7 @@ ParallelSmvp::runLocalPhaseFused(int tid, bool publish_early) const
         if (backend_ == SmvpKernelBackend::kSlicedEll3)
             boundary_ell_[i].multiply(xl.data(), yl.data());
         else
-            sub.stiffness.multiplyRowList(
+            localK(i).multiplyRowList(
                 xl.data(), yl.data(), sub.boundaryRows.data(),
                 static_cast<std::int64_t>(sub.boundaryRows.size()));
 
@@ -343,10 +522,10 @@ ParallelSmvp::runLocalPhaseFused(int tid, bool publish_early) const
             const std::vector<std::int64_t> &locals =
                 exchange_local_nodes_[flat];
             std::vector<double> &buf = buffers_[flat];
-            for (std::size_t s = 0; s < locals.size(); ++s) {
-                buf[3 * s + 0] = yl[3 * locals[s] + 0];
-                buf[3 * s + 1] = yl[3 * locals[s] + 1];
-                buf[3 * s + 2] = yl[3 * locals[s] + 2];
+            for (std::size_t v = 0; v < locals.size(); ++v) {
+                buf[3 * v + 0] = yl[3 * locals[v] + 0];
+                buf[3 * v + 1] = yl[3 * locals[v] + 1];
+                buf[3 * v + 2] = yl[3 * locals[v] + 2];
             }
             if (publish_early)
                 published_[flat].store(epoch_,
@@ -364,10 +543,12 @@ ParallelSmvp::runLocalPhaseFused(int tid, bool publish_early) const
         // order is the ascending interiorRows order (fromBcsr3Rows
         // preserves list order and pad lanes trail the last slice), so
         // the per-PE partials accumulate in exactly the row order of
-        // the BCSR3 formulation — bitwise deterministic across thread
-        // counts and exchange modes within this backend.  No heap
-        // allocation: the slabs and scratch are persistent.
-        for (int i = tid; i < p; i += num_threads_) {
+        // the BCSR3 formulation — bitwise deterministic across shard
+        // counts, thread counts, and exchange modes within this
+        // backend.  No heap allocation: the slabs and scratch are
+        // persistent.
+        for (int i = shard_begin_[s] + tid; i < end;
+             i += threads_per_shard_) {
             const Subdomain &sub = problem_.subdomains[i];
             const std::vector<double> &xl = x_local_[i];
             std::vector<double> &yl = y_local_[i];
@@ -415,7 +596,8 @@ ParallelSmvp::runLocalPhaseFused(int tid, bool publish_early) const
     // the global one) and that PE owns them, so the write to su.up is
     // race-free and disjoint across PEs.
     constexpr std::int64_t kFuseChunk = 64;
-    for (int i = tid; i < p; i += num_threads_) {
+    for (int i = shard_begin_[s] + tid; i < end;
+         i += threads_per_shard_) {
         const Subdomain &sub = problem_.subdomains[i];
         const std::vector<double> &xl = x_local_[i];
         std::vector<double> &yl = y_local_[i];
@@ -425,7 +607,7 @@ ParallelSmvp::runLocalPhaseFused(int tid, bool publish_early) const
             static_cast<std::int64_t>(sub.interiorRows.size());
         for (std::int64_t r0 = 0; r0 < nr; r0 += kFuseChunk) {
             const std::int64_t count = std::min(kFuseChunk, nr - r0);
-            sub.stiffness.multiplyRowList(
+            localK(i).multiplyRowList(
                 xl.data(), yl.data(), sub.interiorRows.data() + r0,
                 count);
             // Apply the update over maximal runs of rows whose local
@@ -467,17 +649,19 @@ ParallelSmvp::runLocalPhaseFused(int tid, bool publish_early) const
 }
 
 void
-ParallelSmvp::runExchangePhaseFused(int tid, bool wait_for_publish) const
+ParallelSmvp::runExchangePhaseFused(int s, int tid,
+                                    bool wait_for_publish) const
 {
     const sparse::StepUpdate &su = *su_arg_;
-    const int p = problem_.numPes();
+    const int end = shard_begin_[s + 1];
     telemetry::Collector *tele =
         tele_ != nullptr && tele_->enabled() ? tele_ : nullptr;
     const bool sampled = tele != nullptr && tele->sampledStep();
-    const int slot = 1 + tid;
+    const int slot = teleSlot(s, tid);
     const std::uint64_t t0 = tele != nullptr ? tele->now() : 0;
 
-    for (int i = tid; i < p; i += num_threads_) {
+    for (int i = shard_begin_[s] + tid; i < end;
+         i += threads_per_shard_) {
         const Subdomain &sub = problem_.subdomains[i];
         std::vector<double> &yl = y_local_[i];
         const PeSchedule &pe = problem_.schedule.pe(i);
@@ -495,10 +679,10 @@ ParallelSmvp::runExchangePhaseFused(int tid, bool wait_for_publish) const
             const std::vector<std::int64_t> &locals =
                 exchange_local_nodes_[exchange_base_[i] +
                                       static_cast<std::int64_t>(k)];
-            for (std::size_t s = 0; s < locals.size(); ++s) {
-                yl[3 * locals[s] + 0] += buf[3 * s + 0];
-                yl[3 * locals[s] + 1] += buf[3 * s + 1];
-                yl[3 * locals[s] + 2] += buf[3 * s + 2];
+            for (std::size_t v = 0; v < locals.size(); ++v) {
+                yl[3 * locals[v] + 0] += buf[3 * v + 0];
+                yl[3 * locals[v] + 1] += buf[3 * v + 1];
+                yl[3 * locals[v] + 2] += buf[3 * v + 2];
             }
         }
 
@@ -524,6 +708,12 @@ ParallelSmvp::runExchangePhaseFused(int tid, bool wait_for_publish) const
                     su, gi, ui, su.apply(gi, ui, yl[3 * v + c]));
             }
         }
+        if (tele != nullptr) {
+            tele->add(slot, telemetry::Counter::kShardRemoteBytes,
+                      static_cast<std::uint64_t>(pe_remote_bytes_[i]));
+            tele->add(slot, telemetry::Counter::kShardLocalBytes,
+                      static_cast<std::uint64_t>(pe_local_bytes_[i]));
+        }
         if (sampled)
             tele->recordSpan(slot, telemetry::Span::kExchange, i, e0,
                              tele->now());
@@ -545,20 +735,57 @@ ParallelSmvp::multiplyInto(const double *x, double *y) const
     y_arg_ = y;
     ++epoch_;
 
-    if (mode_ == ExchangeMode::kOverlapped) {
-        // One fork/join: each worker publishes its boundary buffers,
-        // overlaps its interior rows with the peers' publishes, then
-        // spin-waits (with yield) only for buffers not yet ready.
-        pool_.run([this](int tid) {
-            runLocalPhase(x_arg_, tid, /*publish_early=*/true);
-            runExchangePhase(y_arg_, tid, /*wait_for_publish=*/true);
+    if (num_shards_ == 1) {
+        WorkerPool &pool = *shard_pools_[0];
+        if (mode_ == ExchangeMode::kOverlapped) {
+            // One fork/join: each worker publishes its boundary
+            // buffers, overlaps its interior rows with the peers'
+            // publishes, then spin-waits (with yield) only for buffers
+            // not yet ready.
+            pool.run([this](int tid) {
+                runLocalPhase(x_arg_, 0, tid, /*publish_early=*/true);
+                runExchangePhase(y_arg_, 0, tid,
+                                 /*wait_for_publish=*/true);
+            });
+        } else {
+            // Two fork/joins: the pool's join is the BSP barrier.
+            pool.run([this](int tid) {
+                runLocalPhase(x_arg_, 0, tid, false);
+            });
+            pool.run([this](int tid) {
+                runExchangePhase(y_arg_, 0, tid, false);
+            });
+        }
+    } else if (mode_ == ExchangeMode::kOverlapped) {
+        // One outer fork/join: every shard's inner pool runs both
+        // phases; publishes cross shard boundaries through the same
+        // release-store/acquire-spin protocol as the flat engine (all
+        // shards are concurrently live inside the single dispatch).
+        outer_pool_->run([this](int s) {
+            shard_pools_[static_cast<std::size_t>(s)]->run(
+                [this, s](int tid) {
+                    runLocalPhase(x_arg_, s, tid,
+                                  /*publish_early=*/true);
+                    runExchangePhase(y_arg_, s, tid,
+                                     /*wait_for_publish=*/true);
+                });
         });
     } else {
-        // Two fork/joins: the pool's join is the BSP barrier.
-        pool_.run(
-            [this](int tid) { runLocalPhase(x_arg_, tid, false); });
-        pool_.run(
-            [this](int tid) { runExchangePhase(y_arg_, tid, false); });
+        // Two outer fork/joins: the OUTER join is the global BSP
+        // barrier — a shard-local join would let a shard read peer
+        // buffers other shards have not written yet.
+        outer_pool_->run([this](int s) {
+            shard_pools_[static_cast<std::size_t>(s)]->run(
+                [this, s](int tid) {
+                    runLocalPhase(x_arg_, s, tid, false);
+                });
+        });
+        outer_pool_->run([this](int s) {
+            shard_pools_[static_cast<std::size_t>(s)]->run(
+                [this, s](int tid) {
+                    runExchangePhase(y_arg_, s, tid, false);
+                });
+        });
     }
     x_arg_ = nullptr;
     y_arg_ = nullptr;
@@ -612,20 +839,51 @@ ParallelSmvp::stepFused(const sparse::StepUpdate &su) const
 
     su_arg_ = &su;
     ++epoch_;
-    if (mode_ == ExchangeMode::kOverlapped) {
-        pool_.run([this](int tid) {
-            runLocalPhaseFused(tid, /*publish_early=*/true);
-            runExchangePhaseFused(tid, /*wait_for_publish=*/true);
+    if (num_shards_ == 1) {
+        WorkerPool &pool = *shard_pools_[0];
+        if (mode_ == ExchangeMode::kOverlapped) {
+            pool.run([this](int tid) {
+                runLocalPhaseFused(0, tid, /*publish_early=*/true);
+                runExchangePhaseFused(0, tid,
+                                      /*wait_for_publish=*/true);
+            });
+        } else {
+            pool.run([this](int tid) {
+                runLocalPhaseFused(0, tid, false);
+            });
+            pool.run([this](int tid) {
+                runExchangePhaseFused(0, tid, false);
+            });
+        }
+    } else if (mode_ == ExchangeMode::kOverlapped) {
+        outer_pool_->run([this](int s) {
+            shard_pools_[static_cast<std::size_t>(s)]->run(
+                [this, s](int tid) {
+                    runLocalPhaseFused(s, tid, /*publish_early=*/true);
+                    runExchangePhaseFused(s, tid,
+                                          /*wait_for_publish=*/true);
+                });
         });
     } else {
-        pool_.run([this](int tid) { runLocalPhaseFused(tid, false); });
-        pool_.run([this](int tid) { runExchangePhaseFused(tid, false); });
+        // Outer joins are the global barriers (see multiplyInto).
+        outer_pool_->run([this](int s) {
+            shard_pools_[static_cast<std::size_t>(s)]->run(
+                [this, s](int tid) {
+                    runLocalPhaseFused(s, tid, false);
+                });
+        });
+        outer_pool_->run([this](int s) {
+            shard_pools_[static_cast<std::size_t>(s)]->run(
+                [this, s](int tid) {
+                    runExchangePhaseFused(s, tid, false);
+                });
+        });
     }
     su_arg_ = nullptr;
 
     // Ascending-PE combine: the per-PE accumulation order is fixed by
-    // the partition, so the reduced values are independent of thread
-    // count and exchange mode.
+    // the partition, so the reduced values are independent of shard
+    // count, thread count, and exchange mode.
     sparse::StepPartials out;
     for (int i = 0; i < p; ++i)
         out.combine(

@@ -8,7 +8,7 @@
  *
  * This is an *engine*, built for the thousands-of-timesteps inner loop:
  *
- *  - Logical PEs are multiplexed onto a persistent WorkerPool created
+ *  - Logical PEs are multiplexed onto persistent WorkerPools created
  *    once per engine lifetime; no threads are spawned per multiply.
  *  - Message buffers and local vectors are allocated once and reused.
  *  - In ExchangeMode::kOverlapped (the default), each PE computes its
@@ -17,9 +17,20 @@
  *    flight — the paper's footnote-1 overlap, realized in execution
  *    rather than only in the analytic model.
  *
- * The result is bitwise deterministic and independent of thread count
- * and overlap mode: every row is computed by the same unrolled kernel,
- * and each PE sums peer contributions in ascending peer order.
+ * The engine is two-level (DESIGN.md §13): a Topology maps the PEs
+ * onto contiguous shards — one per NUMA domain when detected — and
+ * each shard owns a nested pinned WorkerPool whose threads first-touch
+ * that shard's slabs, scratch, and exchange buffers so pages land in
+ * the local memory domain.  The boundary exchange runs *between*
+ * shards (each shard publishes its boundary buffers, then sums peers'
+ * in ascending peer order) while the kernels thread-split *within* a
+ * shard.  A single-shard Topology degenerates to the historical flat
+ * engine, same code path, same dispatch shape.
+ *
+ * The result is bitwise deterministic and independent of shard count,
+ * thread count, and overlap mode: every row is computed by the same
+ * unrolled kernel, and each PE sums peer contributions in ascending
+ * peer order (verify property `engine_hierarchy`).
  */
 
 #ifndef QUAKE98_PARALLEL_PARALLEL_SMVP_H_
@@ -31,6 +42,7 @@
 #include <vector>
 
 #include "parallel/distributor.h"
+#include "parallel/topology.h"
 #include "parallel/worker_pool.h"
 #include "sparse/sliced_ell3.h"
 
@@ -63,6 +75,10 @@ class ParallelSmvp
 {
   public:
     /**
+     * Flat-engine convenience ctor: a single shard of `num_threads`
+     * workers (0 = hardwareThreads(), capped at the PE count) — the
+     * historical interface, delegating to the Topology ctor.
+     *
      * @param problem     Distributed problem; must have assembled
      *                    stiffness matrices.  Must outlive the engine.
      * @param num_threads Worker threads; 0 means hardware concurrency.
@@ -79,11 +95,27 @@ class ParallelSmvp
         SmvpKernelBackend backend = SmvpKernelBackend::kBcsr3);
 
     /**
+     * Two-level ctor (DESIGN.md §13).  The topology is normalized
+     * against the problem: shards are clamped to the PE count, PEs map
+     * to contiguous ascending shard blocks, and threads-per-shard is
+     * capped at the largest shard's PE count (0 = divide the topology
+     * thread budget evenly).  With topo.pin set, shard workers pin to
+     * topo.shardCpus (or an even split of the affinity mask when no
+     * placement is given); pins are advisory — see pinFailures().
+     * With more than one shard, each shard's worker threads
+     * first-touch-initialize that shard's kernel slabs, scratch
+     * vectors, and exchange buffers during construction.
+     */
+    ParallelSmvp(const DistributedProblem &problem, const Topology &topo,
+                 ExchangeMode mode = ExchangeMode::kOverlapped,
+                 SmvpKernelBackend backend = SmvpKernelBackend::kBcsr3);
+
+    /**
      * Compute y = K x on global vectors of length 3 * numGlobalNodes.
      * x must be consistent (a single value per global node); y is the
      * exact global product, each entry written by its owning PE.
      *
-     * Reuses the engine's persistent pool and scratch buffers, so a
+     * Reuses the engine's persistent pools and scratch buffers, so a
      * given engine must not run two multiplies concurrently.
      */
     std::vector<double> multiply(const std::vector<double> &x) const;
@@ -111,17 +143,24 @@ class ParallelSmvp
      * pass.  Peak/energy reductions accumulate into per-PE partials
      * (fixed per-PE row order: interior ascending, then owned boundary
      * ascending) combined in ascending PE order, so the returned
-     * values are bitwise deterministic across thread counts and
-     * exchange modes.  The updated u_{n+1} written to su.up is bitwise
-     * identical to multiply() + the unfused reference triad.
+     * values are bitwise deterministic across shard counts, thread
+     * counts, and exchange modes.  The updated u_{n+1} written to
+     * su.up is bitwise identical to multiply() + the unfused reference
+     * triad.
      *
      * Performs no heap allocation: scratch is persistent and the pool
-     * dispatch captures only `this`.
+     * dispatches capture only `this` (+ a shard index).
      */
     sparse::StepPartials stepFused(const sparse::StepUpdate &su) const;
 
-    /** Number of worker threads used. */
-    int numThreads() const { return num_threads_; }
+    /** Shards in the normalized topology (1 = flat engine). */
+    int numShards() const { return num_shards_; }
+
+    /** Worker threads inside each shard. */
+    int threadsPerShard() const { return threads_per_shard_; }
+
+    /** Total kernel worker threads: numShards * threadsPerShard. */
+    int numThreads() const { return num_shards_ * threads_per_shard_; }
 
     /** Exchange scheduling mode. */
     ExchangeMode mode() const { return mode_; }
@@ -130,41 +169,90 @@ class ParallelSmvp
     SmvpKernelBackend kernelBackend() const { return backend_; }
 
     /**
-     * The engine's persistent pool, for callers that want to run their
-     * own fork/join work (e.g. initial-condition setup) on the same
-     * threads.  Must not be used while a multiply is in flight.
+     * Advisory pin attempts that failed across every pool (0 when the
+     * topology did not request pinning or every pin stuck).  Complete
+     * once construction returns: the first-touch setup dispatch joins
+     * all workers past their self-pin.
      */
-    WorkerPool &workerPool() const { return pool_; }
+    std::int64_t pinFailures() const;
+
+    /**
+     * Exchange traffic classified by the shard map: bytes whose sender
+     * and receiver PEs live in different shards (crossing a memory
+     * domain under pinning) vs the same shard, per multiply.
+     */
+    std::int64_t remoteExchangeBytes() const { return remote_bytes_; }
+    std::int64_t localExchangeBytes() const { return local_bytes_; }
+
+    /**
+     * Shard load imbalance: (max shard rows / mean shard rows - 1),
+     * where rows are local nodes summed over the shard's PEs.  0 for
+     * a perfectly even split and for the flat engine.
+     */
+    double shardImbalance() const { return shard_imbalance_; }
+
+    /**
+     * The engine's shard-0 worker pool, for callers that want to run
+     * their own fork/join work (e.g. initial-condition setup, the
+     * stepper's chunked vector ops) on the same threads.  Must not be
+     * used while a multiply is in flight.
+     */
+    WorkerPool &workerPool() const { return *shard_pools_[0]; }
 
     /**
      * Attach a telemetry collector (DESIGN.md §9).  Each worker then
      * times its local and exchange phases into per-thread histograms on
-     * every multiply, counts actual publish waits (acquire-spin nanos),
-     * and records per-PE boundary/exchange/spin spans on steps where
-     * collector->sampledStep() holds.  Recording writes only to the
-     * collector's preallocated per-thread slots, so the 0-allocs/step
-     * and bitwise-determinism contracts of DESIGN.md §8 are preserved
-     * (tested in test_telemetry.cc).  Setup-time only; pass nullptr to
-     * detach.  The collector must outlive the engine or be detached.
+     * every multiply, counts actual publish waits (acquire-spin nanos)
+     * and shard-local vs shard-remote exchange bytes, and records
+     * per-PE boundary/exchange/spin spans on steps where
+     * collector->sampledStep() holds.  Pin failures and the shard
+     * imbalance are recorded once, on attach.  Slot layout: 0 = the
+     * engine/outer pool, 1..S = shard control slots (written only by
+     * the owning outer worker), then S*T contiguous worker slots — a
+     * single writer per slot, so recording never contends (flat
+     * engines keep the historical 0 / 1+tid layout).  Recording writes
+     * only to the collector's preallocated per-thread slots, so the
+     * 0-allocs/step and bitwise-determinism contracts of DESIGN.md §8
+     * are preserved (tested in test_telemetry.cc).  Setup-time only;
+     * pass nullptr to detach.  The collector must outlive the engine
+     * or be detached.
      */
     void setCollector(telemetry::Collector *collector);
 
   private:
     telemetry::Collector *tele_ = nullptr;
     const DistributedProblem &problem_;
-    int num_threads_;
+    int num_shards_ = 1;
+    int threads_per_shard_ = 1;
     ExchangeMode mode_;
     SmvpKernelBackend backend_;
+
+    /** PE blocks: shard s owns PEs [shard_begin_[s], shard_begin_[s+1]). */
+    std::vector<int> shard_begin_;
+
+    /** Shard owning each PE (contiguous ascending blocks). */
+    std::vector<int> shard_of_;
 
     /**
      * Per-PE sliced-ELL slabs (kSlicedEll3 backend only): boundary rows
      * and interior rows converted separately so the two-phase schedule
      * (boundary → publish → interior) is preserved.  Lane order is the
      * subdomain's ascending row-list order, so the fused triad visits
-     * interior rows in exactly the order of the BCSR3 path.
+     * interior rows in exactly the order of the BCSR3 path.  With more
+     * than one shard the conversion runs on the owning shard's threads
+     * (first touch).
      */
     std::vector<sparse::SlicedEll3Matrix> boundary_ell_;
     std::vector<sparse::SlicedEll3Matrix> interior_ell_;
+
+    /**
+     * kBcsr3 backend, hierarchical topology only: per-PE copies of the
+     * subdomain stiffness, first-touched by the owning shard's threads
+     * so the dominant kernel stream reads local-domain pages.  Values
+     * are identical to the originals, so results are bitwise unchanged;
+     * empty in the flat engine (kernels read the subdomain matrix).
+     */
+    std::vector<sparse::Bcsr3Matrix> local_stiffness_;
 
     /**
      * For subdomain p, exchange k: index of the mirrored exchange in the
@@ -178,10 +266,18 @@ class ParallelSmvp
     /** Local ids (per subdomain) of each exchange's shared nodes. */
     std::vector<std::vector<std::int64_t>> exchange_local_nodes_;
 
+    /** Per-PE exchange bytes received from other/same-shard peers. */
+    std::vector<std::int64_t> pe_remote_bytes_;
+    std::vector<std::int64_t> pe_local_bytes_;
+    std::int64_t remote_bytes_ = 0;
+    std::int64_t local_bytes_ = 0;
+    double shard_imbalance_ = 0.0;
+
     // Persistent engine state, reused across multiplies.  Mutable so
     // multiply() stays const for callers; the engine is documented as
     // non-reentrant.
-    mutable WorkerPool pool_;
+    mutable std::unique_ptr<WorkerPool> outer_pool_; ///< S > 1 only
+    mutable std::vector<std::unique_ptr<WorkerPool>> shard_pools_;
     mutable std::vector<std::vector<double>> x_local_;
     mutable std::vector<std::vector<double>> y_local_;
     mutable std::vector<std::vector<double>> buffers_;
@@ -192,8 +288,9 @@ class ParallelSmvp
 
     /**
      * Arguments of the multiply/step in flight, stashed as members so
-     * the pool dispatch lambdas capture only `this` (small enough for
-     * std::function's inline buffer — no per-step heap allocation).
+     * the pool dispatch lambdas capture only `this` (plus a shard
+     * index; small enough for std::function's inline buffer — no
+     * per-step heap allocation).
      */
     mutable const double *x_arg_ = nullptr;
     mutable double *y_arg_ = nullptr;
@@ -203,6 +300,36 @@ class ParallelSmvp
     mutable std::vector<sparse::StepPartials> step_partials_;
 
     /**
+     * Telemetry slot of worker `tid` of shard `s`: the flat engine
+     * keeps the historical 1 + tid; the hierarchical engine reserves
+     * 1..S for shard control slots and packs workers after them.
+     */
+    int teleSlot(int s, int tid) const
+    {
+        return num_shards_ == 1
+                   ? 1 + tid
+                   : 1 + num_shards_ + s * threads_per_shard_ + tid;
+    }
+
+    /** The stiffness PE i's kernels read (first-touched copy if any). */
+    const sparse::Bcsr3Matrix &localK(int i) const
+    {
+        return local_stiffness_.empty()
+                   ? problem_.subdomains[static_cast<std::size_t>(i)]
+                         .stiffness
+                   : local_stiffness_[static_cast<std::size_t>(i)];
+    }
+
+    /**
+     * Allocate and fill PE i's persistent slabs: local vectors,
+     * exchange buffers, and the backend's kernel structures.  Called
+     * once per PE at construction — inline for the flat engine, on the
+     * owning shard's worker threads for hierarchical topologies (the
+     * first-touch discipline of DESIGN.md §13).
+     */
+    void initPeSlabs(int i);
+
+    /**
      * Record PE i's sliced-ELL slab counters (slice kernels executed,
      * padding blocks streamed) into telemetry slot `slot`.  No-op when
      * tele is null; preallocated-slot writes only.
@@ -210,12 +337,13 @@ class ParallelSmvp
     void recordEllCounters(int pe, telemetry::Collector *tele,
                            int slot) const;
 
-    void runLocalPhase(const double *x, int tid,
+    void runLocalPhase(const double *x, int s, int tid,
                        bool publish_early) const;
-    void runExchangePhase(double *y, int tid,
+    void runExchangePhase(double *y, int s, int tid,
                           bool wait_for_publish) const;
-    void runLocalPhaseFused(int tid, bool publish_early) const;
-    void runExchangePhaseFused(int tid, bool wait_for_publish) const;
+    void runLocalPhaseFused(int s, int tid, bool publish_early) const;
+    void runExchangePhaseFused(int s, int tid,
+                               bool wait_for_publish) const;
 
     /**
      * Spin until exchange `peer_flat` publishes the current epoch,

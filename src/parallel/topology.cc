@@ -1,0 +1,235 @@
+#include "parallel/topology.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/error.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace quake::parallel
+{
+
+namespace
+{
+
+/** Parse a nonnegative integer; -1 on anything else. */
+int
+parseNonNegative(const std::string &s)
+{
+    if (s.empty())
+        return -1;
+    long v = 0;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return -1;
+        v = v * 10 + (c - '0');
+        if (v > 1 << 22) // absurd CPU/shard id: reject, avoid overflow
+            return -1;
+    }
+    return static_cast<int>(v);
+}
+
+} // namespace
+
+std::vector<int>
+parseCpuList(const std::string &list)
+{
+    std::vector<int> cpus;
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        // Trim whitespace (sysfs cpulist files end in '\n').
+        while (!item.empty() &&
+               std::isspace(static_cast<unsigned char>(item.back())))
+            item.pop_back();
+        while (!item.empty() &&
+               std::isspace(static_cast<unsigned char>(item.front())))
+            item.erase(item.begin());
+        if (item.empty())
+            continue;
+        const std::size_t dash = item.find('-');
+        if (dash == std::string::npos) {
+            const int c = parseNonNegative(item);
+            if (c < 0)
+                return {};
+            cpus.push_back(c);
+        } else {
+            const int lo = parseNonNegative(item.substr(0, dash));
+            const int hi = parseNonNegative(item.substr(dash + 1));
+            if (lo < 0 || hi < lo)
+                return {};
+            for (int c = lo; c <= hi; ++c)
+                cpus.push_back(c);
+        }
+    }
+    std::sort(cpus.begin(), cpus.end());
+    cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+    return cpus;
+}
+
+std::vector<int>
+affinityCpus()
+{
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+        std::vector<int> cpus;
+        for (int c = 0; c < CPU_SETSIZE; ++c)
+            if (CPU_ISSET(c, &set))
+                cpus.push_back(c);
+        if (!cpus.empty())
+            return cpus;
+    }
+#endif
+    const int n = std::max(
+        1, static_cast<int>(std::thread::hardware_concurrency()));
+    std::vector<int> cpus(static_cast<std::size_t>(n));
+    for (int c = 0; c < n; ++c)
+        cpus[static_cast<std::size_t>(c)] = c;
+    return cpus;
+}
+
+std::vector<std::vector<int>>
+detectNumaDomains()
+{
+    std::vector<std::vector<int>> domains;
+#if defined(__linux__)
+    const std::vector<int> affinity = affinityCpus();
+    // "possible" bounds the node scan; nodes may be sparse, so each
+    // node<k> directory is probed individually via its cpulist.
+    std::ifstream possible("/sys/devices/system/node/possible");
+    if (!possible)
+        return domains;
+    std::string range;
+    std::getline(possible, range);
+    const std::vector<int> nodes = parseCpuList(range);
+    for (int node : nodes) {
+        std::ifstream cpulist("/sys/devices/system/node/node" +
+                              std::to_string(node) + "/cpulist");
+        if (!cpulist)
+            continue;
+        std::string line;
+        std::getline(cpulist, line);
+        std::vector<int> cpus = parseCpuList(line);
+        // Keep only CPUs the process may actually run on.
+        std::vector<int> usable;
+        std::set_intersection(cpus.begin(), cpus.end(), affinity.begin(),
+                              affinity.end(),
+                              std::back_inserter(usable));
+        if (!usable.empty())
+            domains.push_back(std::move(usable));
+    }
+#endif
+    return domains;
+}
+
+bool
+pinCurrentThreadToCpus(const std::vector<int> &cpus)
+{
+#if defined(__linux__)
+    if (cpus.empty())
+        return false;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    for (int c : cpus) {
+        if (c < 0 || c >= CPU_SETSIZE)
+            return false;
+        CPU_SET(c, &set);
+    }
+    return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+    (void)cpus;
+    return false;
+#endif
+}
+
+Topology
+Topology::flat(int num_threads)
+{
+    Topology t;
+    t.numShards = 1;
+    t.threadsPerShard = 0;
+    t.threadBudget = num_threads;
+    return t;
+}
+
+Topology
+Topology::uniform(int shards, int threads_per_shard, bool pin)
+{
+    Topology t;
+    t.numShards = shards;
+    t.threadsPerShard = threads_per_shard;
+    t.pin = pin;
+    t.validate();
+    return t;
+}
+
+Topology
+Topology::detect(bool pin)
+{
+    std::vector<std::vector<int>> domains = detectNumaDomains();
+    if (domains.empty())
+        domains.push_back(affinityCpus());
+    Topology t;
+    t.numShards = static_cast<int>(domains.size());
+    t.threadsPerShard = 0; // divide the visible CPUs evenly
+    t.pin = pin;
+    t.shardCpus = std::move(domains);
+    return t;
+}
+
+Topology
+Topology::parse(const std::string &spec, bool pin)
+{
+    if (spec == "auto" || spec == "detect")
+        return detect(pin);
+    if (spec == "flat") {
+        Topology t = flat(0);
+        t.pin = pin;
+        return t;
+    }
+    const std::size_t x = spec.find('x');
+    QUAKE_EXPECT(x != std::string::npos,
+                 "topology spec must be 'flat', 'auto', or SxT (e.g. "
+                 "2x4); got '"
+                     << spec << "'");
+    const int shards = parseNonNegative(spec.substr(0, x));
+    const int tps = parseNonNegative(spec.substr(x + 1));
+    QUAKE_EXPECT(shards >= 1 && tps >= 0,
+                 "topology spec '"
+                     << spec
+                     << "' must be SxT with S >= 1 and T >= 0");
+    Topology t;
+    t.numShards = shards;
+    t.threadsPerShard = tps;
+    t.pin = pin;
+    return t;
+}
+
+void
+Topology::validate() const
+{
+    QUAKE_EXPECT(numShards >= 1,
+                 "topology numShards must be >= 1, got " << numShards);
+    QUAKE_EXPECT(threadsPerShard >= 0,
+                 "topology threadsPerShard must be >= 0, got "
+                     << threadsPerShard);
+    QUAKE_EXPECT(threadBudget >= 0,
+                 "topology threadBudget must be >= 0, got "
+                     << threadBudget);
+    QUAKE_EXPECT(shardCpus.empty() ||
+                     static_cast<int>(shardCpus.size()) == numShards,
+                 "topology shardCpus has " << shardCpus.size()
+                                           << " entries for " << numShards
+                                           << " shards");
+}
+
+} // namespace quake::parallel

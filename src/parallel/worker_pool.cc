@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "parallel/topology.h"
 
 namespace quake::parallel
 {
@@ -10,10 +11,20 @@ namespace quake::parallel
 int
 WorkerPool::hardwareThreads()
 {
-    return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    // affinityCpus() honors sched_getaffinity where available, so a
+    // container restricted to 4 of 64 cores gets 4 workers instead of
+    // oversubscribing 64 onto 4; it already falls back to
+    // hardware_concurrency (clamped to >= 1) elsewhere.
+    return static_cast<int>(affinityCpus().size());
 }
 
 WorkerPool::WorkerPool(int num_threads)
+    : WorkerPool(num_threads, WorkerPoolOptions{})
+{
+}
+
+WorkerPool::WorkerPool(int num_threads, WorkerPoolOptions options)
+    : options_(std::move(options))
 {
     QUAKE_EXPECT(num_threads >= 0, "thread count must be nonnegative");
     size_ = num_threads > 0 ? num_threads : hardwareThreads();
@@ -36,17 +47,35 @@ WorkerPool::~WorkerPool()
 }
 
 void
-WorkerPool::setCollector(telemetry::Collector *collector)
+WorkerPool::setCollector(telemetry::Collector *collector,
+                         int control_slot, int worker_base)
 {
+    QUAKE_EXPECT(control_slot >= 0 && worker_base >= 0,
+                 "collector slots must be nonnegative");
     std::lock_guard<std::mutex> lock(mu_);
     if (collector != nullptr)
-        collector->ensureSlots(size_ + 1);
+        collector->ensureSlots(
+            std::max(control_slot + 1, worker_base + size_));
     tele_ = collector;
+    control_slot_ = control_slot;
+    worker_base_ = worker_base;
 }
 
 void
 WorkerPool::workerLoop(int tid)
 {
+    // Self-pin before the first wait: any task this worker ever runs
+    // (and any page it first-touches) executes post-pin.  Advisory —
+    // a failure is counted and the worker keeps running unpinned.
+    if (!options_.workerCpus.empty()) {
+        const std::vector<int> &cpus =
+            options_.workerCpus[static_cast<std::size_t>(tid) %
+                                options_.workerCpus.size()];
+        pin_attempts_.fetch_add(1, std::memory_order_relaxed);
+        if (!pinCurrentThreadToCpus(cpus))
+            pin_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+
     std::uint64_t seen = 0;
     for (;;) {
         const std::function<void(int)> *task;
@@ -57,12 +86,13 @@ WorkerPool::workerLoop(int tid)
             // the same mutex setCollector takes.
             telemetry::Collector *tele =
                 tele_ != nullptr && tele_->enabled() ? tele_ : nullptr;
+            const int slot = worker_base_ + tid;
             const std::uint64_t wait0 =
                 tele != nullptr ? tele->now() : 0;
             cv_start_.wait(lock,
                            [&] { return stop_ || epoch_ != seen; });
             if (tele != nullptr)
-                tele->add(1 + tid, telemetry::Counter::kWorkerWaitNanos,
+                tele->add(slot, telemetry::Counter::kWorkerWaitNanos,
                           tele->now() - wait0);
             if (stop_)
                 return;
@@ -109,10 +139,12 @@ WorkerPool::run(const std::function<void(int)> &fn)
     const std::uint64_t t0 = tele->now();
     dispatch(fn);
     const std::uint64_t t1 = tele->now();
-    tele->add(0, telemetry::Counter::kPoolRuns, 1);
-    tele->observe(0, telemetry::Hist::kForkJoinNanos, t1 - t0);
+    tele->add(control_slot_, telemetry::Counter::kPoolRuns, 1);
+    tele->observe(control_slot_, telemetry::Hist::kForkJoinNanos,
+                  t1 - t0);
     if (tele->sampledStep())
-        tele->recordSpan(0, telemetry::Span::kForkJoin, -1, t0, t1);
+        tele->recordSpan(control_slot_, telemetry::Span::kForkJoin, -1,
+                         t0, t1);
 }
 
 } // namespace quake::parallel

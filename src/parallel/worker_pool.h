@@ -8,11 +8,18 @@
  * created once per engine lifetime and reused: workers sleep on a
  * condition variable between multiplies, so the steady-state dispatch
  * cost is one wake/notify round trip instead of num_threads clone()s.
+ *
+ * Pools may be nested (DESIGN.md §13): the hierarchical engine runs one
+ * outer pool of shards, each of whose workers dispatches into its own
+ * inner pool.  WorkerPoolOptions optionally pins each worker to a CPU
+ * set so a shard's threads — and the pages they first-touch — stay in
+ * one NUMA domain; pinning is advisory (failures counted, never fatal).
  */
 
 #ifndef QUAKE98_PARALLEL_WORKER_POOL_H_
 #define QUAKE98_PARALLEL_WORKER_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -24,6 +31,19 @@
 
 namespace quake::parallel
 {
+
+/** Optional per-pool placement knobs (see WorkerPool ctor). */
+struct WorkerPoolOptions
+{
+    /**
+     * CPU ids to pin worker t to (entry t, reused modulo size when
+     * shorter); empty = no pinning.  Each worker pins itself before
+     * its first dispatch, so every task runs post-pin.  Pinning is a
+     * no-op for size-1 pools (work runs inline on the caller's thread,
+     * which the pool must not hijack).
+     */
+    std::vector<std::vector<int>> workerCpus;
+};
 
 /**
  * A fixed-size pool of persistent worker threads executing fork/join
@@ -38,8 +58,11 @@ namespace quake::parallel
 class WorkerPool
 {
   public:
-    /** @param num_threads Workers; 0 means hardware concurrency. */
+    /** @param num_threads Workers; 0 means hardwareThreads(). */
     explicit WorkerPool(int num_threads = 0);
+
+    /** As above, with placement options (pinning). */
+    WorkerPool(int num_threads, WorkerPoolOptions options);
 
     ~WorkerPool();
 
@@ -56,19 +79,40 @@ class WorkerPool
      */
     void run(const std::function<void(int)> &fn);
 
-    /** Hardware concurrency, clamped to at least 1. */
+    /**
+     * Usable concurrency: the number of CPUs in the process affinity
+     * mask when the platform exposes it (container/cgroup cpusets
+     * narrow it below the machine's core count), else
+     * std::thread::hardware_concurrency; always >= 1.
+     */
     static int hardwareThreads();
+
+    /** Pin attempts made by this pool's workers (0 when unpinned). */
+    std::int64_t pinAttempts() const
+    {
+        return pin_attempts_.load(std::memory_order_relaxed);
+    }
+
+    /** Pin attempts that failed (the advisory-fallback path). */
+    std::int64_t pinFailures() const
+    {
+        return pin_failures_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Attach a telemetry collector (DESIGN.md §9): each run() records a
-     * fork/join span + latency histogram on the control slot, and each
+     * fork/join span + latency histogram on `control_slot`, and each
      * worker accumulates the nanoseconds it spent parked between
-     * dispatches into Counter::kWorkerWaitNanos on its own slot.
+     * dispatches into Counter::kWorkerWaitNanos on slot
+     * `worker_base + tid`.  The slot parameters let nested pools share
+     * one collector without write collisions (DESIGN.md §13): the
+     * hierarchical engine gives every pool a disjoint slot range.
      * Setup-time only — must not be called while a run is in flight;
      * pass nullptr to detach.  The collector must outlive the pool or
      * be detached first.
      */
-    void setCollector(telemetry::Collector *collector);
+    void setCollector(telemetry::Collector *collector,
+                      int control_slot = 0, int worker_base = 1);
 
   private:
     void workerLoop(int tid);
@@ -77,8 +121,13 @@ class WorkerPool
     void dispatch(const std::function<void(int)> &fn);
 
     telemetry::Collector *tele_ = nullptr;
+    int control_slot_ = 0;
+    int worker_base_ = 1;
 
     int size_ = 1;
+    WorkerPoolOptions options_;
+    std::atomic<std::int64_t> pin_attempts_{0};
+    std::atomic<std::int64_t> pin_failures_{0};
     std::vector<std::thread> threads_;
 
     std::mutex mu_;

@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "common/fnv.h"
 #include "parallel/parallel_smvp.h"
+#include "parallel/topology.h"
 #include "partition/geometric_bisection.h"
 #include "sparse/assembly.h"
 #include "sparse/sliced_ell3.h"
@@ -30,6 +31,14 @@ SimulationConfig::validate() const
                  "smvpThreads must be >= 1, or 0 for hardware "
                  "concurrency; got "
                      << smvpThreads);
+    QUAKE_EXPECT(smvpShards >= 1,
+                 "smvpShards must be >= 1, got " << smvpShards);
+    QUAKE_EXPECT(smvpThreadsPerShard >= 0,
+                 "smvpThreadsPerShard must be >= 1, or 0 for an even "
+                 "split of the thread budget; got "
+                     << smvpThreadsPerShard);
+    if (!topologySpec.empty())
+        parallel::Topology::parse(topologySpec); // throws when malformed
     QUAKE_EXPECT(sampleInterval >= 0,
                  "sampleInterval must be >= 0, got " << sampleInterval);
     QUAKE_EXPECT(maxSteps >= 0, "maxSteps must be >= 0, got " << maxSteps);
@@ -152,8 +161,24 @@ makeSimulationEngine(const mesh::TetMesh &mesh,
                                  partitioner.partition(mesh,
                                                        config.numPes),
                                  config.poisson));
+        // Execution topology (DESIGN.md §13): an explicit spec wins;
+        // otherwise the shard/thread knobs are folded into a Topology
+        // whose single-shard default reproduces the historical flat
+        // engine (smvpThreads as the thread budget) exactly.  None of
+        // this enters the fingerprint: the trajectory is bitwise
+        // invariant across topologies.
+        parallel::Topology topo;
+        if (!config.topologySpec.empty()) {
+            topo = parallel::Topology::parse(config.topologySpec,
+                                             config.pinSmvpThreads);
+        } else {
+            topo.numShards = config.smvpShards;
+            topo.threadsPerShard = config.smvpThreadsPerShard;
+            topo.threadBudget = config.smvpThreads;
+            topo.pin = config.pinSmvpThreads;
+        }
         engine.psmvp = std::make_shared<parallel::ParallelSmvp>(
-            *engine.problem, config.smvpThreads,
+            *engine.problem, topo,
             config.overlapSmvp ? parallel::ExchangeMode::kOverlapped
                                : parallel::ExchangeMode::kBarrier,
             use_ell ? parallel::SmvpKernelBackend::kSlicedEll3

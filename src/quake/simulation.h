@@ -11,6 +11,7 @@
 #define QUAKE98_QUAKE_SIMULATION_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mesh/generator.h"
@@ -57,8 +58,32 @@ struct SimulationConfig
     /**
      * Worker threads for the distributed SMVP engine; 0 = hardware
      * concurrency (capped at numPes).  Ignored when numPes == 1.
+     * With the default single-shard topology this is the flat thread
+     * count; with shards it becomes the total thread budget divided
+     * across shards (unless smvpThreadsPerShard overrides it).
      */
     int smvpThreads = 0;
+
+    /**
+     * Hierarchical topology knobs (DESIGN.md §13), distributed runs
+     * only.  smvpShards splits the PEs into contiguous shards — one
+     * nested pinned worker pool each, first-touching its own slabs —
+     * while the boundary exchange runs between shards.
+     * smvpThreadsPerShard sizes each nested pool (0 = divide the
+     * smvpThreads budget evenly); pinSmvpThreads pins shard workers to
+     * their shard's CPUs (advisory; failures are counted, never
+     * fatal).  topologySpec, when non-empty, overrides all three:
+     * "flat", "auto"/"detect" (NUMA detection), or "SxT" (e.g. "2x4").
+     *
+     * Like smvpThreads/overlapSmvp/fusedStep these are execution knobs
+     * only — the trajectory is bitwise invariant across every topology
+     * (verify property `engine_hierarchy`) — so none of them enter the
+     * checkpoint fingerprint.
+     */
+    int smvpShards = 1;
+    int smvpThreadsPerShard = 0;
+    bool pinSmvpThreads = false;
+    std::string topologySpec;
 
     /**
      * Overlap the interior-row compute with the boundary exchange
@@ -126,8 +151,10 @@ struct SimulationConfig
     /**
      * Reject invalid field combinations (FatalError naming the field):
      * positive finite duration/cflSafety, poisson in [0, 0.5),
-     * dampingA0 >= 0, numPes >= 1, smvpThreads >= 0, sampleInterval >=
-     * 0, maxSteps >= 0.  runSimulation calls this on entry; CLI front
+     * dampingA0 >= 0, numPes >= 1, smvpThreads >= 0, smvpShards >= 1,
+     * smvpThreadsPerShard >= 0, a parseable topologySpec,
+     * sampleInterval >= 0, maxSteps >= 0.  runSimulation calls this on
+     * entry; CLI front
      * ends call it right after argument parsing so a bad flag fails
      * before any mesh is generated.
      */

@@ -10,6 +10,7 @@
 #include "parallel/event_sim.h"
 #include "parallel/parallel_smvp.h"
 #include "parallel/reliable_exchange.h"
+#include "parallel/topology.h"
 #include "parallel/worker_pool.h"
 #include "quake/simulation.h"
 #include "resilience/checkpoint.h"
@@ -1511,6 +1512,137 @@ propEngineBackendEll(const TrialConfig &cfg)
     return ok();
 }
 
+// ---------------------------------------------------------------------------
+// Property: the hierarchical (shard x thread) engine is bitwise equal
+// to the flat engine across shard counts, threads per shard, exchange
+// modes, and fused/unfused — including pinned topologies, whose pins
+// may fail (advisory) without perturbing a single bit.
+// ---------------------------------------------------------------------------
+
+PropertyResult
+propEngineHierarchy(const TrialConfig &cfg)
+{
+    InputGen gen(cfg.seed, cfg.size);
+    GeneratedSystem sys = gen.randomSystem();
+    const int parts = gen.randomPartCount(sys.mesh);
+    const partition::Partition part = gen.randomPartition(sys.mesh, parts);
+    const parallel::DistributedProblem problem =
+        parallel::distribute(sys.mesh, *sys.model, part);
+    const std::int64_t n = 3 * problem.numGlobalNodes;
+
+    const std::vector<double> x = gen.randomVector(n);
+    const std::vector<double> refGlobal = sys.stiffness.multiply(x);
+    StepFixture fx = StepFixture::make(gen, n, sys.lumpedMass, sys.dt);
+    fx.u = x; // the fused step's x is the multiply's x
+
+    // Flat single-thread reference: the trajectory every topology must
+    // reproduce bit for bit.
+    const parallel::ParallelSmvp flat(problem, 1,
+                                      parallel::ExchangeMode::kBarrier);
+    const std::vector<double> yRef = flat.multiply(x);
+    {
+        std::string why;
+        if (!withinMixedTolerance(refGlobal, yRef, kUlpBound, kRelEps,
+                                  &why))
+            return fail("flat engine vs global assembly: " + why);
+    }
+    std::vector<double> upRef = fx.up0;
+    sparse::StepPartials pRef;
+    sparse::applyStepUpdateRange(fx.su(upRef.data()), yRef.data(), 0, n,
+                                 pRef);
+
+    // Shard x thread grid from the ISSUE: 1/2/4 shards x 1-4 threads
+    // per shard (shards clamp to the PE count on small partitions —
+    // also under test).  The last config pins to a CPU id that cannot
+    // exist, forcing every pin through the advisory-failure fallback.
+    struct Topo
+    {
+        int shards;
+        int tps;
+        bool pin;
+        bool bogus_cpus;
+    };
+    const Topo grid[] = {
+        {1, 1, false, false}, {1, 3, false, false}, {2, 1, false, false},
+        {2, 2, false, false}, {4, 1, false, false}, {4, 3, false, false},
+        {2, 2, true, false},  {2, 2, true, true},
+    };
+
+    for (parallel::ExchangeMode mode :
+         {parallel::ExchangeMode::kBarrier,
+          parallel::ExchangeMode::kOverlapped})
+    {
+        for (const Topo &tp : grid)
+        {
+            parallel::Topology topo =
+                parallel::Topology::uniform(tp.shards, tp.tps, tp.pin);
+            if (tp.bogus_cpus)
+                topo.shardCpus.assign(
+                    static_cast<std::size_t>(tp.shards), {1 << 20});
+            const parallel::ParallelSmvp engine(problem, topo, mode);
+            const std::string label =
+                std::string(mode == parallel::ExchangeMode::kBarrier
+                                ? "barrier "
+                                : "overlapped ") +
+                std::to_string(tp.shards) + "x" + std::to_string(tp.tps) +
+                (tp.bogus_cpus ? " bogus-pin" : tp.pin ? " pinned" : "");
+
+            if (engine.numShards() < 1 ||
+                engine.numShards() > problem.numPes() ||
+                engine.threadsPerShard() < 1)
+                return fail("topology normalization out of range (" +
+                            label + ")");
+            if (tp.bogus_cpus && engine.numShards() > 1 &&
+                engine.pinFailures() == 0)
+                return fail("bogus-CPU pins reported no failure (" +
+                            label + ")");
+
+            const std::vector<double> y = engine.multiply(x);
+            if (!bitwiseEqual(yRef, y))
+                return fail("hierarchical multiply != flat (" + label +
+                            ")");
+            std::vector<double> y2(static_cast<std::size_t>(n));
+            engine.multiplyInto(x.data(), y2.data());
+            if (!bitwiseEqual(yRef, y2))
+                return fail("hierarchical multiplyInto != flat (" +
+                            label + ")");
+
+            std::vector<double> upT = fx.up0;
+            const sparse::StepPartials pT =
+                engine.stepFused(fx.su(upT.data()));
+            if (!bitwiseEqual(upRef, upT))
+                return fail("hierarchical stepFused u_{n+1} != flat "
+                            "multiply + triad (" +
+                            label + ")");
+            if (!bitEq(pRef.peak, pT.peak))
+                return fail("hierarchical stepFused peak != reference (" +
+                            label + ")");
+            if (!scalarClose(pRef.energy, pT.energy))
+                return fail("hierarchical stepFused energy drifted (" +
+                            label + ")");
+        }
+    }
+
+    // The ELL backend must obey the same hierarchy invariance within
+    // itself (its bits legally differ from BCSR3's by ULPs only).
+    const parallel::ParallelSmvp ellFlat(
+        problem, 1, parallel::ExchangeMode::kBarrier,
+        parallel::SmvpKernelBackend::kSlicedEll3);
+    const std::vector<double> yEll = ellFlat.multiply(x);
+    {
+        std::string why;
+        if (!withinMixedTolerance(yRef, yEll, kUlpBound, kRelEps, &why))
+            return fail("ELL flat vs BCSR3 flat: " + why);
+    }
+    const parallel::ParallelSmvp ellHier(
+        problem, parallel::Topology::uniform(2, 2),
+        parallel::ExchangeMode::kOverlapped,
+        parallel::SmvpKernelBackend::kSlicedEll3);
+    if (!bitwiseEqual(yEll, ellHier.multiply(x)))
+        return fail("hierarchical ELL multiply != flat ELL");
+    return ok();
+}
+
 } // namespace
 
 const std::vector<Property> &
@@ -1575,6 +1707,11 @@ allProperties()
          "distributed sliced-ELL backend bitwise invariant across "
          "threads/modes, fused == multiply + triad, ULP vs BCSR3",
          propEngineBackendEll},
+        {"engine_hierarchy",
+         "hierarchical shard x thread engine bitwise equal to the flat "
+         "engine across 1/2/4 shards, 1-4 threads/shard, both exchange "
+         "modes, fused/unfused, and (failing) pins",
+         propEngineHierarchy},
     };
     return kProps;
 }

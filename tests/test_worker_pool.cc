@@ -2,8 +2,10 @@
  * @file
  * Tests for the persistent worker pool: every tid runs exactly once per
  * fork/join, the pool is reusable across many epochs (the engine runs
- * thousands of timesteps against one pool), and the size-1 pool runs
- * inline without spawning threads.
+ * thousands of timesteps against one pool), the size-1 pool runs
+ * inline without spawning threads, hardwareThreads() respects the
+ * process affinity mask, and advisory pinning counts failures instead
+ * of aborting (DESIGN.md §13).
  */
 
 #include <gtest/gtest.h>
@@ -12,6 +14,11 @@
 #include <thread>
 #include <vector>
 
+#ifdef __linux__
+#include <sched.h>
+#endif
+
+#include "parallel/topology.h"
 #include "parallel/worker_pool.h"
 
 namespace
@@ -58,6 +65,106 @@ TEST(WorkerPool, DefaultSizeIsPositive)
     WorkerPool pool;
     EXPECT_GE(pool.size(), 1);
     EXPECT_GE(WorkerPool::hardwareThreads(), 1);
+}
+
+TEST(WorkerPool, HardwareThreadsMatchesAffinityMask)
+{
+    // hardwareThreads() must report usable concurrency — the CPUs the
+    // scheduler will actually grant — not the machine's core count.
+    const std::vector<int> cpus = quake::parallel::affinityCpus();
+    ASSERT_GE(cpus.size(), 1u);
+    EXPECT_EQ(WorkerPool::hardwareThreads(),
+              static_cast<int>(cpus.size()));
+}
+
+#ifdef __linux__
+TEST(WorkerPool, HardwareThreadsRespectsNarrowedMask)
+{
+    // Regression for the seed's hardware_concurrency() fallback, which
+    // over-reported inside cpuset-restricted containers: narrow this
+    // thread's affinity to one CPU and hardwareThreads() must follow.
+    cpu_set_t original;
+    CPU_ZERO(&original);
+    ASSERT_EQ(sched_getaffinity(0, sizeof(original), &original), 0);
+
+    const std::vector<int> cpus = quake::parallel::affinityCpus();
+    ASSERT_GE(cpus.size(), 1u);
+    cpu_set_t narrow;
+    CPU_ZERO(&narrow);
+    CPU_SET(static_cast<std::size_t>(cpus[0]), &narrow);
+    ASSERT_EQ(sched_setaffinity(0, sizeof(narrow), &narrow), 0);
+
+    EXPECT_EQ(WorkerPool::hardwareThreads(), 1);
+    EXPECT_EQ(quake::parallel::affinityCpus(),
+              std::vector<int>{cpus[0]});
+
+    ASSERT_EQ(sched_setaffinity(0, sizeof(original), &original), 0);
+    EXPECT_EQ(WorkerPool::hardwareThreads(),
+              static_cast<int>(cpus.size()));
+}
+#endif
+
+TEST(WorkerPool, PinnedWorkersCountAttemptsAndSucceedOnRealCpus)
+{
+    // Pin both workers to a CPU the process is allowed on: every
+    // attempt must stick, and the pool must work exactly as unpinned.
+    const std::vector<int> cpus = quake::parallel::affinityCpus();
+    quake::parallel::WorkerPoolOptions opts;
+    opts.workerCpus = {{cpus[0]}}; // reused modulo size for both tids
+    WorkerPool pool(2, opts);
+    std::atomic<int> total{0};
+    pool.run([&](int) { total++; });
+    EXPECT_EQ(total.load(), 2);
+    EXPECT_EQ(pool.pinAttempts(), 2);
+    EXPECT_EQ(pool.pinFailures(), 0);
+}
+
+TEST(WorkerPool, BogusPinFailsGracefullyAndStillRuns)
+{
+    // A CPU id far beyond any real machine: the pin must fail, be
+    // counted, and leave the pool fully functional (advisory only).
+    quake::parallel::WorkerPoolOptions opts;
+    opts.workerCpus = {{1 << 20}};
+    WorkerPool pool(2, opts);
+    std::atomic<int> total{0};
+    for (int epoch = 0; epoch < 10; ++epoch)
+        pool.run([&](int) { total++; });
+    EXPECT_EQ(total.load(), 20);
+    EXPECT_EQ(pool.pinAttempts(), 2);
+    EXPECT_EQ(pool.pinFailures(), 2);
+}
+
+TEST(WorkerPool, SizeOnePoolIgnoresPinning)
+{
+    // Size-1 pools run inline on the caller's thread, which the pool
+    // must not re-pin out from under the caller.
+    quake::parallel::WorkerPoolOptions opts;
+    opts.workerCpus = {{0}};
+    WorkerPool pool(1, opts);
+    std::atomic<int> total{0};
+    pool.run([&](int tid) {
+        EXPECT_EQ(tid, 0);
+        total++;
+    });
+    EXPECT_EQ(total.load(), 1);
+    EXPECT_EQ(pool.pinAttempts(), 0);
+}
+
+TEST(WorkerPool, PinnedPoolDestructsCleanly)
+{
+    // Construction joins no dispatch, so destruction must work whether
+    // or not the pool ever ran — including with failed pins pending.
+    quake::parallel::WorkerPoolOptions opts;
+    opts.workerCpus = {{1 << 20}, {0}};
+    {
+        WorkerPool unused(3, opts);
+    }
+    {
+        WorkerPool used(3, opts);
+        std::atomic<int> total{0};
+        used.run([&](int) { total++; });
+        EXPECT_EQ(total.load(), 3);
+    }
 }
 
 TEST(WorkerPool, JoinIsABarrier)
