@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Scenario-service throughput: scenarios/sec as a first-class metric
+ * (DESIGN.md §14).  Runs the same repeated-spec multi-tenant workload
+ * through the ScenarioService twice — cold (cache disabled: every
+ * request regenerates the mesh and reassembles the stiffness) and warm
+ * (content-addressed prefix cache primed) — and reports throughput,
+ * cache hit rate, and the warm/cold speedup the shared prefix buys.
+ *
+ * The hard gate is correctness, not speed: every warm service result
+ * is compared against ScenarioService::runStandalone and the process
+ * exits non-zero on any fingerprint mismatch — a cached prefix or a
+ * packed neighbour that changed one bit of a tenant's answer is a bug,
+ * never a trade-off.  Timings are reported (and into
+ * BENCH_service.json for the cross-run differ) but do not gate.
+ *
+ * Usage: bench_scenario_service [--smoke] [--scenarios N] [--tenants T]
+ *                               [--executors E] [--steps N] [--pes P]
+ */
+
+#include <chrono>
+#include <future>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/error.h"
+#include "service/service.h"
+
+namespace
+{
+
+using namespace quake;
+using SteadyClock = std::chrono::steady_clock;
+
+struct ArmResult
+{
+    double seconds = 0.0;
+    std::uint64_t completed = 0;
+    service::PrefixCache::Stats cache;
+    double prefixSeconds = 0.0;
+    double stepSeconds = 0.0;
+    std::vector<service::ScenarioResult> results;
+};
+
+service::ScenarioRequest
+workloadRequest(int index, int tenants, std::int64_t steps, int pes)
+{
+    service::ScenarioRequest req;
+    req.tenant = "tenant-" + std::to_string(index % tenants);
+    req.label = "scenario-" + std::to_string(index);
+    req.maxSteps = steps;
+    req.numPes = pes;
+    // Distinct sources over a shared prefix: the repeated-spec shape
+    // the cache is designed for.
+    req.wavelet.peakFrequencyHz = 0.25 + 0.05 * (index % 4);
+    return req;
+}
+
+ArmResult
+runArm(std::size_t cache_bytes, int scenarios, int tenants,
+       int executors, std::int64_t steps, int pes)
+{
+    service::ServiceOptions opt;
+    opt.executors = executors;
+    opt.cacheBytes = cache_bytes;
+    opt.queueCapacity =
+        static_cast<std::size_t>(std::max(scenarios, 1));
+    service::ScenarioService svc(opt);
+
+    // Warm arm: prime the cache with one throwaway request so the
+    // timed window measures steady-state serving, not the first build.
+    if (cache_bytes > 0)
+        svc.submit(workloadRequest(0, tenants, steps, pes)).get();
+
+    std::vector<std::future<service::ScenarioResult>> futures;
+    futures.reserve(static_cast<std::size_t>(scenarios));
+    const SteadyClock::time_point t0 = SteadyClock::now();
+    for (int i = 0; i < scenarios; ++i)
+        futures.push_back(
+            svc.submit(workloadRequest(i, tenants, steps, pes)));
+
+    ArmResult arm;
+    for (auto &f : futures) {
+        service::ScenarioResult r = f.get();
+        QUAKE_EXPECT(r.completed, "bench scenario failed: " << r.error);
+        arm.completed += 1;
+        arm.prefixSeconds += r.prefixSeconds;
+        arm.stepSeconds += r.stepSeconds;
+        arm.results.push_back(std::move(r));
+    }
+    arm.seconds =
+        std::chrono::duration<double>(SteadyClock::now() - t0).count();
+    svc.shutdown();
+    arm.cache = svc.cacheStats();
+    return arm;
+}
+
+int
+run(int argc, char **argv)
+{
+    const common::Args args(argc, argv);
+    const bool smoke = args.has("smoke");
+    const int scenarios =
+        static_cast<int>(args.getInt("scenarios", smoke ? 6 : 24));
+    const int tenants = static_cast<int>(args.getInt("tenants", 3));
+    const int executors = static_cast<int>(args.getInt("executors", 2));
+    const std::int64_t steps = args.getInt("steps", smoke ? 10 : 60);
+    const int pes = static_cast<int>(args.getInt("pes", 1));
+
+    bench::benchHeader(
+        "Scenario-service throughput: cold vs prefix-cached serving",
+        "the serving-mode extension (DESIGN.md section 14)");
+    std::cout << scenarios << " scenarios over " << tenants
+              << " tenant(s), " << executors << " executor lane(s), "
+              << steps << " steps each, "
+              << (pes > 1 ? std::to_string(pes) + " PEs"
+                          : std::string("sequential"))
+              << "\n\n";
+
+    const ArmResult cold =
+        runArm(0, scenarios, tenants, executors, steps, pes);
+    const ArmResult warm = runArm(std::size_t{256} << 20, scenarios,
+                                  tenants, executors, steps, pes);
+
+    const double cold_rate =
+        static_cast<double>(cold.completed) / cold.seconds;
+    const double warm_rate =
+        static_cast<double>(warm.completed) / warm.seconds;
+    const double speedup = cold.seconds / warm.seconds;
+    const std::uint64_t lookups = warm.cache.hits + warm.cache.misses;
+    const double hit_rate =
+        lookups > 0 ? static_cast<double>(warm.cache.hits) /
+                          static_cast<double>(lookups)
+                    : 0.0;
+
+    common::Table t({"arm", "scenarios", "wall s", "scenarios/sec",
+                     "prefix s", "step s", "cache hits/misses"});
+    t.addRow({"cold (no cache)", std::to_string(cold.completed),
+              common::formatFixed(cold.seconds, 3),
+              common::formatFixed(cold_rate, 1),
+              common::formatFixed(cold.prefixSeconds, 3),
+              common::formatFixed(cold.stepSeconds, 3),
+              std::to_string(cold.cache.hits) + "/" +
+                  std::to_string(cold.cache.misses)});
+    t.addRow({"warm (primed)", std::to_string(warm.completed),
+              common::formatFixed(warm.seconds, 3),
+              common::formatFixed(warm_rate, 1),
+              common::formatFixed(warm.prefixSeconds, 3),
+              common::formatFixed(warm.stepSeconds, 3),
+              std::to_string(warm.cache.hits) + "/" +
+                  std::to_string(warm.cache.misses)});
+    bench::printTable(t, args);
+
+    std::cout << "\nwarm/cold speedup    : "
+              << common::formatFixed(speedup, 2)
+              << "x  (repeated-spec workload; prefix amortized)\n"
+              << "warm cache hit rate  : "
+              << common::formatFixed(100.0 * hit_rate, 1) << "%\n";
+
+    // --- the hard gate: every warm result bitwise == standalone ---
+    bool bitwise_equal = true;
+    for (int i = 0; i < scenarios && bitwise_equal; ++i) {
+        const service::ScenarioResult solo =
+            service::ScenarioService::runStandalone(
+                workloadRequest(i, tenants, steps, pes));
+        const service::ScenarioResult &served =
+            warm.results[static_cast<std::size_t>(i)];
+        if (served.stateFingerprint != solo.stateFingerprint ||
+            served.engineFingerprint != solo.engineFingerprint) {
+            std::cout << "BITWISE MISMATCH on " << served.tenant << "/"
+                      << served.label << ": service 0x" << std::hex
+                      << served.stateFingerprint << ", standalone 0x"
+                      << solo.stateFingerprint << std::dec << "\n";
+            bitwise_equal = false;
+        }
+    }
+    std::cout << "bitwise vs standalone: "
+              << (bitwise_equal ? "IDENTICAL (all " +
+                                      std::to_string(scenarios) +
+                                      " scenarios)"
+                                : "MISMATCH")
+              << "\n";
+
+    std::vector<bench::BenchJsonRecord> records;
+    for (const ArmResult *arm : {&cold, &warm}) {
+        bench::BenchJsonRecord r;
+        r.kernel = arm == &cold ? "cold" : "warm";
+        r.rows = scenarios;
+        r.nnz = static_cast<std::int64_t>(arm->completed);
+        r.secondsPerSmvp =
+            arm->seconds / static_cast<double>(arm->completed);
+        r.extra = {
+            {"scenarios_per_sec",
+             static_cast<double>(arm->completed) / arm->seconds},
+            {"prefix_seconds", arm->prefixSeconds},
+            {"step_seconds", arm->stepSeconds},
+            {"cache_hits", static_cast<double>(arm->cache.hits)},
+            {"cache_misses", static_cast<double>(arm->cache.misses)},
+        };
+        records.push_back(std::move(r));
+    }
+    bench::writeBenchJson(
+        "service", records,
+        {{"warm_cold_speedup", common::formatFixed(speedup, 3)},
+         {"warm_cache_hit_rate", common::formatFixed(hit_rate, 3)},
+         {"bitwise_equal", bitwise_equal ? "true" : "false"},
+         {"scenarios", std::to_string(scenarios)},
+         {"executors", std::to_string(executors)}});
+
+    return bitwise_equal ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const quake::common::FatalError &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
+    }
+}

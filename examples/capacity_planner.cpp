@@ -32,6 +32,7 @@
 #include <iostream>
 
 #include "common/args.h"
+#include "common/engine_cli.h"
 #include "common/error.h"
 #include "common/table.h"
 #include "core/requirements.h"
@@ -55,6 +56,7 @@ run(int argc, char **argv)
     using namespace quake;
     namespace ref = core::reference;
     const common::Args args(argc, argv);
+    const common::EngineCliOptions cli = common::parseEngineCli(args);
 
     // customMachine validates the hardware description (positive rate,
     // non-negative latency, positive bandwidth); the fault spec, when
@@ -69,35 +71,23 @@ run(int argc, char **argv)
     QUAKE_EXPECT(block_words >= 0,
                  "--block-words must be >= 0, got " << block_words);
     parallel::FaultSpec fault_spec;
-    if (args.has("faults")) {
-        fault_spec.seed =
-            static_cast<std::uint64_t>(args.getInt("seed", 0x5eed));
-        fault_spec.dropProbability = args.getDouble("drop-rate", 1e-3);
+    if (cli.faults) {
+        fault_spec.seed = cli.faultSeed;
+        fault_spec.dropProbability = cli.dropRate;
         fault_spec.ackDropProbability = fault_spec.dropProbability;
         fault_spec.validate();
     }
 
-    // Deadline/SLO arguments are rejected at entry, before any table is
-    // printed, matching the rest of the front-end validation style.
-    const double deadline_ms = args.getDouble("deadline-ms", 0.0);
-    const long retry_budget = args.getInt("retry-budget", 3);
-    if (args.has("deadline-ms"))
-        QUAKE_EXPECT(deadline_ms > 0,
-                     "--deadline-ms must be positive, got "
-                         << deadline_ms);
-    QUAKE_EXPECT(retry_budget >= 1,
-                 "--retry-budget must be >= 1, got " << retry_budget);
-
-    // Topology flags are rejected at entry like every other knob;
-    // --topology parses (or FatalErrors) before any table is printed.
-    const long shards = args.getInt("shards", 1);
-    QUAKE_EXPECT(shards >= 1, "--shards must be >= 1, got " << shards);
-    const bool pin = args.has("pin");
+    // Deadline/SLO and topology arguments were validated by
+    // parseEngineCli before any table is printed; --topology parses
+    // (or FatalErrors) here, still ahead of output.
+    const double deadline_ms = cli.hasDeadlineMs ? cli.deadlineMs : 0.0;
+    const long retry_budget = cli.retryBudget;
     parallel::Topology topo;
-    topo.numShards = static_cast<int>(shards);
-    topo.pin = pin;
-    if (args.has("topology"))
-        topo = parallel::Topology::parse(args.get("topology"), pin);
+    topo.numShards = cli.shards;
+    topo.pin = cli.pin;
+    if (!cli.topologySpec.empty())
+        topo = parallel::Topology::parse(cli.topologySpec, cli.pin);
     topo.validate();
 
     std::cout << "Machine: " << common::formatFixed(machine.mflops(), 0)
@@ -109,7 +99,7 @@ run(int argc, char **argv)
                                   : " (maximally aggregated blocks)")
               << "\n\n";
 
-    if (args.has("topology") || shards > 1 || pin) {
+    if (!cli.topologySpec.empty() || cli.shards > 1 || cli.pin) {
         // What the engine would run under (DESIGN.md §13): shard count,
         // threads per shard (0 = even split of the visible CPUs), and
         // any detected per-shard CPU placement.
@@ -176,7 +166,7 @@ run(int argc, char **argv)
               << "  half-bw latency     : "
               << common::formatTime(h.halfPoint.latency) << "\n";
 
-    if (args.has("deadline-ms")) {
+    if (cli.hasDeadlineMs) {
         // The watchdog deadline the resilience supervisor would derive
         // from Eq. (1) for this machine's worst instance, vs the SLO.
         const double tc =
@@ -204,7 +194,7 @@ run(int argc, char **argv)
                   << "\n";
     }
 
-    if (args.has("faults")) {
+    if (cli.faults) {
         // Execute a synthetic irregular exchange (Kuhn lattice, 64
         // subdomains) through the ack/retransmit protocol on the
         // planned machine, then shrink the hardware budget by the

@@ -51,6 +51,7 @@
 #include <iostream>
 
 #include "common/args.h"
+#include "common/engine_cli.h"
 #include "common/error.h"
 #include "common/table.h"
 #include "parallel/characterize.h"
@@ -71,6 +72,7 @@ run(int argc, char **argv)
 {
     using namespace quake;
     const common::Args args(argc, argv);
+    const common::EngineCliOptions cli = common::parseEngineCli(args);
     const mesh::SfClass cls =
         mesh::sfClassFromName(args.get("mesh", "sf20"));
 
@@ -82,17 +84,14 @@ run(int argc, char **argv)
     config.wavelet.delaySeconds = 2.0 / config.wavelet.peakFrequencyHz;
     config.sampleInterval = 50;
     config.dampingA0 = args.getDouble("damping", 0.0);
-    config.smvpShards = static_cast<int>(args.getInt("shards", 1));
-    config.pinSmvpThreads = args.has("pin");
-    config.topologySpec = args.get("topology");
+    config.smvpShards = cli.shards;
+    config.pinSmvpThreads = cli.pin;
+    config.topologySpec = cli.topologySpec;
 
-    // Fail on bad flags before any mesh is generated: the config, the
-    // telemetry thinning interval, and the fault spec (when requested)
-    // are all validated up front.
+    // Fail on bad flags before any mesh is generated: the shared
+    // engine flags were validated by parseEngineCli above; the config
+    // and the fault spec (when requested) are validated here.
     config.validate();
-    const std::int64_t sample_every = args.getInt("sample-every", 16);
-    QUAKE_EXPECT(sample_every >= 1,
-                 "--sample-every must be >= 1, got " << sample_every);
     resilience::ResilientRunOptions resilient;
     resilient.checkpointPath = args.get("checkpoint");
     resilient.checkpointEvery = args.getInt(
@@ -112,10 +111,9 @@ run(int argc, char **argv)
                  "--deadline must be >= 0 ms, got "
                      << resilient.supervisor.stallTimeout.count());
     parallel::FaultSpec fault_spec;
-    if (args.has("faults")) {
-        fault_spec.seed =
-            static_cast<std::uint64_t>(args.getInt("seed", 0x5eed));
-        fault_spec.dropProbability = args.getDouble("drop-rate", 1e-3);
+    if (cli.faults) {
+        fault_spec.seed = cli.faultSeed;
+        fault_spec.dropProbability = cli.dropRate;
         fault_spec.ackDropProbability = fault_spec.dropProbability;
         fault_spec.validate();
     }
@@ -145,11 +143,11 @@ run(int argc, char **argv)
 
     // Telemetry rides along only when an output was requested; a
     // disabled collector records nothing and costs one branch per hook.
-    const std::string trace_path = args.get("trace");
-    const std::string metrics_path = args.get("metrics");
+    const std::string &trace_path = cli.tracePath;
+    const std::string &metrics_path = cli.metricsPath;
     telemetry::CollectorConfig tele_config;
     tele_config.enabled = !trace_path.empty() || !metrics_path.empty();
-    tele_config.sampleEvery = sample_every;
+    tele_config.sampleEvery = cli.sampleEvery;
     telemetry::Collector collector(tele_config);
     if (collector.enabled())
         config.collector = &collector;
@@ -242,7 +240,7 @@ run(int argc, char **argv)
             telemetry::validateModel(collector, inputs), std::cout);
     }
 
-    if (args.has("faults")) {
+    if (cli.faults) {
         // Replay one step's boundary exchange through the reliable
         // protocol: what would this run cost on a lossy network?
         const int pes = std::max(config.numPes, 2);

@@ -12,6 +12,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <type_traits>
 #include <vector>
 
 namespace quake::common
@@ -49,6 +51,70 @@ fnv1aVector(const std::vector<T> &v, std::uint64_t h = kFnvOffsetBasis)
     h = fnv1a(&n, sizeof(n), h);
     return fnv1a(v.data(), v.size() * sizeof(T), h);
 }
+
+/**
+ * Incremental FNV-1a hasher: feed fields one at a time and read the
+ * digest at any point.  Chaining is exact — `h.bytes(a).bytes(b)` ==
+ * fnv1a(a ++ b) — so a streaming caller and a one-shot caller produce
+ * identical keys.  The service subsystem derives its content-addressed
+ * cache keys this way (DESIGN.md §14): every semantically distinct
+ * field is fed *individually* (never a whole struct, whose padding
+ * bytes would be unspecified), and variable-length payloads go through
+ * vec()/str(), which prepend the length so adjacent fields cannot
+ * alias ("ab","c" vs "a","bc").
+ */
+class Fnv1aHasher
+{
+  public:
+    Fnv1aHasher() = default;
+
+    /** Resume from a previously computed digest (key chaining). */
+    explicit Fnv1aHasher(std::uint64_t state) : h_(state) {}
+
+    /** Fold `n` raw bytes at `p`. */
+    Fnv1aHasher &
+    bytes(const void *p, std::size_t n)
+    {
+        h_ = fnv1a(p, n, h_);
+        return *this;
+    }
+
+    /** Fold one trivially copyable value's object representation. */
+    template <typename T>
+    Fnv1aHasher &
+    value(const T &v)
+    {
+        static_assert(!std::is_pointer_v<T>,
+                      "hash the pointee, not the pointer");
+        h_ = fnv1aValue(v, h_);
+        return *this;
+    }
+
+    /** Fold a vector (length then payload, like fnv1aVector). */
+    template <typename T>
+    Fnv1aHasher &
+    vec(const std::vector<T> &v)
+    {
+        h_ = fnv1aVector(v, h_);
+        return *this;
+    }
+
+    /** Fold a string (length then bytes). */
+    Fnv1aHasher &
+    str(const std::string &s)
+    {
+        const std::uint64_t n = s.size();
+        h_ = fnv1a(&n, sizeof(n), h_);
+        h_ = fnv1a(s.data(), s.size(), h_);
+        return *this;
+    }
+
+    /** The current digest; the hasher may keep accumulating after. */
+    std::uint64_t digest() const { return h_; }
+
+  private:
+    std::uint64_t h_ = kFnvOffsetBasis;
+};
 
 } // namespace quake::common
 

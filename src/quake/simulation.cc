@@ -106,6 +106,15 @@ makeSimulationEngine(const mesh::TetMesh &mesh,
                      const mesh::SoilModel &model,
                      const SimulationConfig &config)
 {
+    return makeSimulationEngineWith(mesh, model, config, EnginePrefix{});
+}
+
+SimulationEngine
+makeSimulationEngineWith(const mesh::TetMesh &mesh,
+                         const mesh::SoilModel &model,
+                         const SimulationConfig &config,
+                         const EnginePrefix &prefix)
+{
     config.validate();
 
     SimulationEngine engine;
@@ -121,8 +130,12 @@ makeSimulationEngine(const mesh::TetMesh &mesh,
     const bool use_ell =
         config.kernelBackend == SimulationConfig::KernelBackend::kSlicedEll3;
     if (config.numPes == 1) {
-        engine.globalK = std::make_shared<sparse::Bcsr3Matrix>(
-            sparse::assembleStiffness(mesh, model, config.poisson));
+        engine.globalK =
+            prefix.globalK != nullptr
+                ? prefix.globalK
+                : std::make_shared<const sparse::Bcsr3Matrix>(
+                      sparse::assembleStiffness(mesh, model,
+                                                config.poisson));
         if (use_ell) {
             engine.globalEll = std::make_shared<sparse::SlicedEll3Matrix>(
                 sparse::SlicedEll3Matrix::fromBcsr3(*engine.globalK));
@@ -155,12 +168,17 @@ makeSimulationEngine(const mesh::TetMesh &mesh,
                 };
         }
     } else {
-        const partition::GeometricBisection partitioner;
-        engine.problem = std::make_shared<parallel::DistributedProblem>(
-            parallel::distribute(mesh, model,
-                                 partitioner.partition(mesh,
-                                                       config.numPes),
-                                 config.poisson));
+        if (prefix.problem != nullptr) {
+            engine.problem = prefix.problem;
+        } else {
+            const partition::GeometricBisection partitioner;
+            engine.problem =
+                std::make_shared<const parallel::DistributedProblem>(
+                    parallel::distribute(
+                        mesh, model,
+                        partitioner.partition(mesh, config.numPes),
+                        config.poisson));
+        }
         // Execution topology (DESIGN.md §13): an explicit spec wins;
         // otherwise the shard/thread knobs are folded into a Topology
         // whose single-shard default reproduces the historical flat

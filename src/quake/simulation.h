@@ -212,13 +212,44 @@ struct SimulationEngine
 
     std::unique_ptr<ExplicitTimeStepper> stepper;
 
-    /** Backing objects (exactly one family is populated). */
-    std::shared_ptr<sparse::Bcsr3Matrix> globalK;
-    std::shared_ptr<parallel::DistributedProblem> problem;
+    /**
+     * Backing objects (exactly one family is populated).  The matrix
+     * and distributed problem are const-shared: the engine only reads
+     * them during stepping (multiply/multiplyFusedStep are const and
+     * scratch-free), so one assembled prefix may back many concurrent
+     * engines — the contract the scenario service's content-addressed
+     * cache relies on (DESIGN.md §14).
+     */
+    std::shared_ptr<const sparse::Bcsr3Matrix> globalK;
+    std::shared_ptr<const parallel::DistributedProblem> problem;
     std::shared_ptr<parallel::ParallelSmvp> psmvp;
 
     /** Sequential sliced-ELL backend: the converted global matrix. */
-    std::shared_ptr<sparse::SlicedEll3Matrix> globalEll;
+    std::shared_ptr<const sparse::SlicedEll3Matrix> globalEll;
+};
+
+/**
+ * A precomputed engine prefix (DESIGN.md §14): the expensive objects
+ * every run of the same (mesh, model, numPes, poisson) recomputes —
+ * the assembled global stiffness when sequential, the partitioned +
+ * distributed problem otherwise.  makeSimulationEngineWith() binds an
+ * engine around a supplied prefix instead of assembling its own; the
+ * scenario service fills one from its content-addressed cache.  Both
+ * pointers optional — whichever is null is built from scratch.
+ *
+ * Correctness: a prefix is pure input data (const, scratch-free), and
+ * the fingerprint is computed from the bound objects, so an engine
+ * built over a cached prefix is bit-for-bit the engine a cold build
+ * produces — provided the prefix actually matches (mesh, model,
+ * numPes, poisson); the service's cache keys guarantee that.
+ */
+struct EnginePrefix
+{
+    /** Assembled global stiffness (used when config.numPes == 1). */
+    std::shared_ptr<const sparse::Bcsr3Matrix> globalK;
+
+    /** Partitioned + distributed problem (used when numPes > 1). */
+    std::shared_ptr<const parallel::DistributedProblem> problem;
 };
 
 /**
@@ -230,6 +261,17 @@ struct SimulationEngine
 SimulationEngine makeSimulationEngine(const mesh::TetMesh &mesh,
                                       const mesh::SoilModel &model,
                                       const SimulationConfig &config);
+
+/**
+ * Like makeSimulationEngine, but reuse the supplied prefix objects
+ * (cached stiffness / distributed problem) instead of assembling them.
+ * Null prefix members are built from scratch, so {} degenerates to
+ * makeSimulationEngine exactly.
+ */
+SimulationEngine makeSimulationEngineWith(const mesh::TetMesh &mesh,
+                                          const mesh::SoilModel &model,
+                                          const SimulationConfig &config,
+                                          const EnginePrefix &prefix);
 
 /**
  * Observation hook run after every completed step of

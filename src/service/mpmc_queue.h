@@ -1,0 +1,136 @@
+/**
+ * @file
+ * A bounded multi-producer/multi-consumer queue — the admission edge of
+ * the scenario service (DESIGN.md §14).  Boundedness is the point:
+ * a full queue pushes back on producers (blocking push, or a failing
+ * trySubmit the server can turn into load shedding) instead of letting
+ * requests pile up unboundedly in memory.
+ *
+ * close() drains gracefully: producers are refused immediately, while
+ * consumers keep popping until the queue is empty and only then see
+ * `false` — so every accepted request is either executed or explicitly
+ * failed, never silently dropped.
+ */
+
+#ifndef QUAKE98_SERVICE_MPMC_QUEUE_H_
+#define QUAKE98_SERVICE_MPMC_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/error.h"
+
+namespace quake::service
+{
+
+/**
+ * Bounded FIFO over a mutex and two condition variables.  All methods
+ * are thread-safe; none spin.  T must be movable.
+ */
+template <typename T>
+class BoundedMpmcQueue
+{
+  public:
+    explicit BoundedMpmcQueue(std::size_t capacity) : capacity_(capacity)
+    {
+        QUAKE_EXPECT(capacity >= 1,
+                     "queue capacity must be >= 1, got " << capacity);
+    }
+
+    BoundedMpmcQueue(const BoundedMpmcQueue &) = delete;
+    BoundedMpmcQueue &operator=(const BoundedMpmcQueue &) = delete;
+
+    /**
+     * Block until there is room, then enqueue.  Returns false (and
+     * drops `item`) when the queue is or becomes closed.
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_full_.wait(lock, [&] {
+            return closed_ || q_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        q_.push_back(std::move(item));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /** Enqueue only if there is room right now; never blocks. */
+    bool
+    tryPush(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (closed_ || q_.size() >= capacity_)
+                return false;
+            q_.push_back(std::move(item));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Block until an item is available and move it into `out`.  Returns
+     * false only when the queue is closed AND drained.
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_empty_.wait(lock, [&] { return closed_ || !q_.empty(); });
+        if (q_.empty())
+            return false; // closed and drained
+        out = std::move(q_.front());
+        q_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return true;
+    }
+
+    /** Refuse new items; wake all blocked producers and consumers. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            closed_ = true;
+        }
+        not_full_.notify_all();
+        not_empty_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return closed_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return q_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<T> q_;
+    const std::size_t capacity_;
+    bool closed_ = false;
+};
+
+} // namespace quake::service
+
+#endif // QUAKE98_SERVICE_MPMC_QUEUE_H_

@@ -1,0 +1,159 @@
+#include "service/prefix_cache.h"
+
+#include <condition_variable>
+#include <exception>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+namespace quake::service
+{
+
+namespace
+{
+
+/** One resident entry, in LRU order (list front = most recent). */
+struct Entry
+{
+    std::uint64_t key = 0;
+    std::shared_ptr<const void> value;
+    std::size_t bytes = 0;
+};
+
+/** One in-flight computation other callers can join. */
+struct Inflight
+{
+    bool done = false;
+    std::shared_ptr<const void> value;
+    std::size_t bytes = 0;
+    std::exception_ptr error;
+};
+
+} // namespace
+
+struct PrefixCache::Impl
+{
+    mutable std::mutex mu;
+    std::condition_variable cv; ///< signals in-flight completions
+    std::list<Entry> lru;
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Inflight>>
+        inflight;
+    Stats stats;
+
+    /** Evict from the LRU tail until the payload fits the budget. */
+    void
+    evictToFit(std::size_t budget)
+    {
+        while (stats.bytes > budget && !lru.empty()) {
+            const Entry &victim = lru.back();
+            stats.bytes -= victim.bytes;
+            stats.entries -= 1;
+            stats.evictions += 1;
+            index.erase(victim.key);
+            lru.pop_back();
+        }
+    }
+};
+
+PrefixCache::PrefixCache(std::size_t byte_budget)
+    : budget_(byte_budget), impl_(std::make_unique<Impl>())
+{}
+
+PrefixCache::~PrefixCache() = default;
+
+std::shared_ptr<const void>
+PrefixCache::getOrComputeErased(std::uint64_t key, const ComputeFn &fn,
+                                bool *hit)
+{
+    if (budget_ == 0) {
+        // Caching disabled: every call computes, nothing is shared —
+        // the cold-cache arm of the service benchmark.  Misses are
+        // still counted so cold-mode accounting stays honest.
+        {
+            std::lock_guard<std::mutex> lock(impl_->mu);
+            impl_->stats.misses += 1;
+        }
+        if (hit != nullptr)
+            *hit = false;
+        return fn().first;
+    }
+
+    std::shared_ptr<Inflight> flight;
+    {
+        std::unique_lock<std::mutex> lock(impl_->mu);
+        for (;;) {
+            const auto it = impl_->index.find(key);
+            if (it != impl_->index.end()) {
+                // Resident: refresh LRU position and share the value.
+                impl_->lru.splice(impl_->lru.begin(), impl_->lru,
+                                  it->second);
+                impl_->stats.hits += 1;
+                if (hit != nullptr)
+                    *hit = true;
+                return it->second->value;
+            }
+            const auto in = impl_->inflight.find(key);
+            if (in == impl_->inflight.end())
+                break; // this caller leads the computation
+            // Join the flight: wait for the leader, then share its
+            // result (or rethrow its failure).
+            const std::shared_ptr<Inflight> joined = in->second;
+            impl_->cv.wait(lock, [&] { return joined->done; });
+            if (joined->error)
+                std::rethrow_exception(joined->error);
+            impl_->stats.hits += 1;
+            if (hit != nullptr)
+                *hit = true;
+            return joined->value;
+            // (A completed flight may have been evicted already; the
+            // joined shared_ptr keeps the value alive regardless.)
+        }
+        flight = std::make_shared<Inflight>();
+        impl_->inflight.emplace(key, flight);
+        impl_->stats.misses += 1;
+    }
+
+    // Compute outside the lock: mesh generation or assembly can take
+    // seconds, and other keys must keep hitting meanwhile.
+    try {
+        auto [value, bytes] = fn();
+        flight->value = std::move(value);
+        flight->bytes = bytes;
+    } catch (...) {
+        flight->error = std::current_exception();
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        flight->done = true;
+        impl_->inflight.erase(key);
+        if (!flight->error && flight->bytes <= budget_) {
+            impl_->lru.push_front(
+                Entry{key, flight->value, flight->bytes});
+            impl_->index[key] = impl_->lru.begin();
+            impl_->stats.bytes += flight->bytes;
+            impl_->stats.entries += 1;
+            impl_->evictToFit(budget_);
+        }
+        // An entry larger than the whole budget is handed to the
+        // caller but never retained (it would evict everything else
+        // and then itself).
+    }
+    impl_->cv.notify_all();
+
+    if (flight->error)
+        std::rethrow_exception(flight->error);
+    if (hit != nullptr)
+        *hit = false;
+    return flight->value;
+}
+
+PrefixCache::Stats
+PrefixCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->stats;
+}
+
+} // namespace quake::service

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The content-addressed prefix cache (DESIGN.md §14): an LRU map from
+ * 64-bit FNV-1a content keys to immutable, shareable prefix objects —
+ * generated meshes, partitions, distributed problems, assembled global
+ * stiffness matrices — with a byte budget enforced by tail eviction.
+ *
+ * Two properties make this safe to share across concurrent scenario
+ * executors:
+ *
+ *  - Entries are `shared_ptr<const T>`: a cached matrix or problem is
+ *    pure input data, read concurrently by any number of engines
+ *    (multiply/multiplyFusedStep are const and scratch-free), and an
+ *    evicted entry stays alive for whoever still holds the pointer.
+ *
+ *  - getOrCompute is single-flight: when N executors miss on the same
+ *    key simultaneously, exactly one computes while the rest block on
+ *    the in-flight entry — the expensive prefix (mesh generation,
+ *    partitioning, assembly) is never duplicated.  A failing compute
+ *    propagates its exception to every waiter and caches nothing.
+ *
+ * A byte budget of 0 disables the cache entirely: every call computes
+ * (no single-flight either), which is exactly the "cold" arm of
+ * bench_scenario_service.
+ */
+
+#ifndef QUAKE98_SERVICE_PREFIX_CACHE_H_
+#define QUAKE98_SERVICE_PREFIX_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace quake::service
+{
+
+/**
+ * Thread-safe content-addressed LRU cache.  Keys must be collision-free
+ * content hashes with domain separation between object kinds (the
+ * stage-tagged keys of service::ScenarioRequest); the cache itself is
+ * type-erased and trusts the key to determine the type.
+ */
+class PrefixCache
+{
+  public:
+    /** Monotonic counters + current occupancy, all under one lock. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;     ///< returned an existing entry
+        std::uint64_t misses = 0;   ///< computed (leader of a flight)
+        std::uint64_t evictions = 0; ///< entries dropped for the budget
+        std::size_t bytes = 0;      ///< resident payload bytes
+        std::size_t entries = 0;    ///< resident entry count
+    };
+
+    /** Compute callback: the value plus its payload byte estimate. */
+    using ComputeFn = std::function<
+        std::pair<std::shared_ptr<const void>, std::size_t>()>;
+
+    /** @param byte_budget Max resident payload bytes; 0 disables. */
+    explicit PrefixCache(std::size_t byte_budget);
+    ~PrefixCache();
+
+    PrefixCache(const PrefixCache &) = delete;
+    PrefixCache &operator=(const PrefixCache &) = delete;
+
+    /**
+     * Return the entry for `key`, computing it via `fn` on a miss.
+     * Waiters joining an in-flight computation of the same key count
+     * as hits.  An entry larger than the whole budget is returned but
+     * not retained.  `hit`, when non-null, reports whether this call
+     * avoided running `fn` itself.
+     */
+    std::shared_ptr<const void> getOrComputeErased(std::uint64_t key,
+                                                   const ComputeFn &fn,
+                                                   bool *hit = nullptr);
+
+    /** Typed wrapper; T must match what `key` was derived for. */
+    template <typename T>
+    std::shared_ptr<const T>
+    getOrCompute(
+        std::uint64_t key,
+        const std::function<std::pair<std::shared_ptr<const T>,
+                                      std::size_t>()> &fn,
+        bool *hit = nullptr)
+    {
+        return std::static_pointer_cast<const T>(getOrComputeErased(
+            key,
+            [&fn]() -> std::pair<std::shared_ptr<const void>,
+                                 std::size_t> {
+                auto [value, bytes] = fn();
+                return {std::static_pointer_cast<const void>(value),
+                        bytes};
+            },
+            hit));
+    }
+
+    Stats stats() const;
+    std::size_t byteBudget() const { return budget_; }
+
+  private:
+    struct Impl;
+    const std::size_t budget_;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace quake::service
+
+#endif // QUAKE98_SERVICE_PREFIX_CACHE_H_

@@ -54,6 +54,17 @@ counterName(Counter c)
       case Counter::kShardLocalBytes: return "shard_local_bytes";
       case Counter::kShardImbalanceMilli:
           return "shard_imbalance_milli";
+      case Counter::kScenariosSubmitted: return "scenarios_submitted";
+      case Counter::kScenariosCompleted: return "scenarios_completed";
+      case Counter::kScenariosShed: return "scenarios_shed";
+      case Counter::kScenarioDeadlineMisses:
+          return "scenario_deadline_misses";
+      case Counter::kScenarioCacheHits: return "scenario_cache_hits";
+      case Counter::kScenarioCacheMisses: return "scenario_cache_misses";
+      case Counter::kScenarioCacheEvictions:
+          return "scenario_cache_evictions";
+      case Counter::kScenarioResultBytes:
+          return "scenario_result_bytes";
       case Counter::kCount: break;
     }
     return "unknown";

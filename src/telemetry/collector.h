@@ -87,6 +87,15 @@ enum class Counter : std::uint8_t
     kShardRemoteBytes,    ///< exchange bytes crossing a shard boundary
     kShardLocalBytes,     ///< exchange bytes staying inside a shard
     kShardImbalanceMilli, ///< (max shard rows / mean - 1) * 1000
+    // Scenario-service counters (service/service.h, DESIGN.md §14).
+    kScenariosSubmitted,     ///< requests accepted into the queue
+    kScenariosCompleted,     ///< scenarios that ran to completion
+    kScenariosShed,          ///< requests shed (queue or admission)
+    kScenarioDeadlineMisses, ///< runs aborted at an SLO deadline
+    kScenarioCacheHits,      ///< prefix-cache stage hits
+    kScenarioCacheMisses,    ///< prefix-cache stage misses (computed)
+    kScenarioCacheEvictions, ///< LRU entries evicted for byte budget
+    kScenarioResultBytes,    ///< result-record bytes streamed to disk
     kCount
 };
 

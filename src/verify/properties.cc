@@ -13,7 +13,9 @@
 #include "parallel/topology.h"
 #include "parallel/worker_pool.h"
 #include "quake/simulation.h"
+#include "common/rng.h"
 #include "resilience/checkpoint.h"
+#include "service/service.h"
 #include "spark/kernels.h"
 #include "sparse/assembly.h"
 #include "sparse/bcsr3_sym.h"
@@ -1643,6 +1645,62 @@ propEngineHierarchy(const TrialConfig &cfg)
     return ok();
 }
 
+/**
+ * The serving-mode contract (DESIGN.md §14): a scenario executed
+ * through the multi-tenant service — queued, prefix-cached,
+ * single-flighted, packed next to a concurrent duplicate — is bitwise
+ * identical to the same request run standalone.  The duplicate
+ * submission forces the cache/single-flight path on at least one of
+ * the two executions.
+ */
+PropertyResult
+propServiceScenarioBitwise(const TrialConfig &cfg)
+{
+    common::SplitMix64 rng(cfg.seed ^ 0x5e41ce5eedULL);
+    service::ScenarioRequest req;
+    req.tenant = "fuzz";
+    req.label = "trial-" + std::to_string(cfg.seed);
+    req.maxSteps = 4 + static_cast<std::int64_t>(rng.next() % 6);
+    req.wavelet.peakFrequencyHz = 0.2 + 0.2 * rng.nextDouble();
+    req.hypocenter.x = 20.0 + 10.0 * rng.nextDouble();
+    req.poisson = 0.2 + 0.1 * rng.nextDouble();
+    if (cfg.size >= 2 && (rng.next() & 1) != 0)
+        req.numPes = 2 + static_cast<int>(rng.next() % 3);
+
+    const service::ScenarioResult solo =
+        service::ScenarioService::runStandalone(req);
+    if (!solo.completed)
+        return fail("standalone run failed: " + solo.error);
+
+    service::ServiceOptions opt;
+    opt.executors = 2;
+    service::ScenarioService svc(opt);
+    std::future<service::ScenarioResult> f1 = svc.submit(req);
+    std::future<service::ScenarioResult> f2 = svc.submit(req);
+    const service::ScenarioResult r1 = f1.get();
+    const service::ScenarioResult r2 = f2.get();
+    svc.shutdown();
+
+    for (const service::ScenarioResult *r : {&r1, &r2})
+    {
+        if (!r->completed)
+            return fail("service run failed: " + r->error);
+        if (r->engineFingerprint != solo.engineFingerprint)
+            return fail("service engine fingerprint != standalone");
+        if (r->stateFingerprint != solo.stateFingerprint)
+            return fail("service state fingerprint != standalone "
+                        "(caching/packing changed the trajectory)");
+        if (r->report.steps != solo.report.steps)
+            return fail("service step count != standalone");
+        if (!bitEq(r->report.peakDisplacement,
+                   solo.report.peakDisplacement))
+            return fail("service peak displacement != standalone");
+    }
+    if (svc.cacheStats().hits < 1)
+        return fail("duplicate submission produced no cache sharing");
+    return ok();
+}
+
 } // namespace
 
 const std::vector<Property> &
@@ -1712,6 +1770,11 @@ allProperties()
          "engine across 1/2/4 shards, 1-4 threads/shard, both exchange "
          "modes, fused/unfused, and (failing) pins",
          propEngineHierarchy},
+        {"service_scenario_bitwise",
+         "a scenario served through the multi-tenant service (queue, "
+         "prefix cache, single-flight, packing) is bitwise identical "
+         "to the same request run standalone",
+         propServiceScenarioBitwise},
     };
     return kProps;
 }

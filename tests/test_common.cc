@@ -9,7 +9,9 @@
 #include <set>
 
 #include "common/args.h"
+#include "common/engine_cli.h"
 #include "common/error.h"
+#include "common/fnv.h"
 #include "common/rng.h"
 #include "common/table.h"
 
@@ -243,6 +245,146 @@ TEST(Args, FlagFollowedByFlagIsBoolean)
     const Args args = makeArgs({"--a", "--b", "val"});
     EXPECT_EQ(args.get("a"), "true");
     EXPECT_EQ(args.get("b"), "val");
+}
+
+// ------------------------------------------------------------------- fnv
+
+using quake::common::Fnv1aHasher;
+using quake::common::fnv1a;
+
+TEST(Fnv1aHasher, MatchesKnownVector)
+{
+    // FNV-1a-64("abc"), computed independently from the published
+    // offset basis and prime — pins the algorithm, not the code.
+    Fnv1aHasher h;
+    h.bytes("abc", 3);
+    EXPECT_EQ(h.digest(), 0xe16801510db89efdULL);
+}
+
+TEST(Fnv1aHasher, EmptyDigestIsOffsetBasis)
+{
+    EXPECT_EQ(Fnv1aHasher().digest(), quake::common::kFnvOffsetBasis);
+}
+
+TEST(Fnv1aHasher, IncrementalEqualsOneShot)
+{
+    // Streaming in two chunks must equal hashing the concatenation —
+    // the property that makes staged cache keys chainable.
+    const char data[] = "the quick brown fox";
+    Fnv1aHasher split;
+    split.bytes(data, 9).bytes(data + 9, sizeof(data) - 1 - 9);
+    EXPECT_EQ(split.digest(), fnv1a(data, sizeof(data) - 1));
+}
+
+TEST(Fnv1aHasher, ResumesFromSavedState)
+{
+    Fnv1aHasher whole;
+    whole.value(1).value(2).value(3);
+
+    Fnv1aHasher first;
+    first.value(1);
+    Fnv1aHasher resumed(first.digest());
+    resumed.value(2).value(3);
+    EXPECT_EQ(resumed.digest(), whole.digest());
+}
+
+TEST(Fnv1aHasher, ValueOrderMatters)
+{
+    Fnv1aHasher ab, ba;
+    ab.value(1.0).value(2.0);
+    ba.value(2.0).value(1.0);
+    EXPECT_NE(ab.digest(), ba.digest());
+}
+
+TEST(Fnv1aHasher, StringLengthPrefixPreventsAliasing)
+{
+    // ("ab", "c") and ("a", "bc") concatenate identically; the length
+    // prefix in str() must still separate them.
+    Fnv1aHasher x, y;
+    x.str("ab").str("c");
+    y.str("a").str("bc");
+    EXPECT_NE(x.digest(), y.digest());
+}
+
+TEST(Fnv1aHasher, VectorLengthPrefixPreventsAliasing)
+{
+    const std::vector<int> one{1, 2, 3}, two{1, 2}, three{3};
+    Fnv1aHasher x, y;
+    x.vec(one);
+    y.vec(two).vec(three);
+    EXPECT_NE(x.digest(), y.digest());
+}
+
+TEST(Fnv1aHasher, SingleValueSensitivity)
+{
+    Fnv1aHasher a, b;
+    a.value(0.25);
+    b.value(0.250001);
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+// ------------------------------------------------------------ engine_cli
+
+using quake::common::EngineCliOptions;
+using quake::common::parseEngineCli;
+
+TEST(EngineCli, DefaultsWhenNoFlags)
+{
+    const EngineCliOptions cli = parseEngineCli(makeArgs({}));
+    EXPECT_EQ(cli.shards, 1);
+    EXPECT_FALSE(cli.pin);
+    EXPECT_TRUE(cli.topologySpec.empty());
+    EXPECT_FALSE(cli.faults);
+    EXPECT_FALSE(cli.hasDeadlineMs);
+    EXPECT_EQ(cli.retryBudget, 3);
+    EXPECT_EQ(cli.sampleEvery, 16);
+}
+
+TEST(EngineCli, ParsesSharedEngineFlags)
+{
+    const EngineCliOptions cli = parseEngineCli(makeArgs(
+        {"--shards", "4", "--pin", "--topology", "2x2", "--faults",
+         "--drop-rate", "0.01", "--seed", "99", "--deadline-ms", "250",
+         "--retry-budget", "5", "--trace", "t.json", "--metrics",
+         "m.json", "--sample-every", "8"}));
+    EXPECT_EQ(cli.shards, 4);
+    EXPECT_TRUE(cli.pin);
+    EXPECT_EQ(cli.topologySpec, "2x2");
+    EXPECT_TRUE(cli.faults);
+    EXPECT_DOUBLE_EQ(cli.dropRate, 0.01);
+    EXPECT_EQ(cli.faultSeed, 99u);
+    EXPECT_TRUE(cli.hasDeadlineMs);
+    EXPECT_DOUBLE_EQ(cli.deadlineMs, 250.0);
+    EXPECT_EQ(cli.retryBudget, 5);
+    EXPECT_EQ(cli.tracePath, "t.json");
+    EXPECT_EQ(cli.metricsPath, "m.json");
+    EXPECT_EQ(cli.sampleEvery, 8);
+}
+
+TEST(EngineCli, RejectsBadValues)
+{
+    EXPECT_THROW(parseEngineCli(makeArgs({"--shards", "0"})),
+                 FatalError);
+    EXPECT_THROW(
+        parseEngineCli(makeArgs({"--faults", "--drop-rate", "1.5"})),
+        FatalError);
+    EXPECT_THROW(parseEngineCli(makeArgs({"--deadline-ms", "0"})),
+                 FatalError);
+    EXPECT_THROW(
+        parseEngineCli(makeArgs({"--deadline-ms", "50",
+                                 "--retry-budget", "0"})),
+        FatalError);
+    EXPECT_THROW(parseEngineCli(makeArgs({"--sample-every", "0"})),
+                 FatalError);
+}
+
+TEST(EngineCli, DropRateIgnoredWithoutFaults)
+{
+    // --drop-rate only matters under --faults; alone it must not trip
+    // the fault-spec validation (matches the old per-example parsing).
+    const EngineCliOptions cli =
+        parseEngineCli(makeArgs({"--drop-rate", "2.0"}));
+    EXPECT_FALSE(cli.faults);
 }
 
 } // namespace
