@@ -37,8 +37,9 @@ CacheConfig::numSets() const
 void
 CacheConfig::validate() const
 {
-    QUAKE_EXPECT(sizeBytes > 0 && lineBytes > 0 && associativity > 0,
-                 "cache geometry must be positive");
+    QUAKE_EXPECT(sizeBytes > 0, "cache size must be positive");
+    QUAKE_EXPECT(lineBytes > 0, "line size must be positive");
+    QUAKE_EXPECT(associativity > 0, "associativity must be positive");
     QUAKE_EXPECT(isPowerOfTwo(lineBytes),
                  "line size must be a power of two");
     QUAKE_EXPECT(sizeBytes % (static_cast<std::int64_t>(lineBytes) *

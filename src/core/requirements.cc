@@ -44,6 +44,16 @@ gridFromMeasuredTf(double tf_seconds,
     return grid;
 }
 
+std::vector<RequirementRow>
+requirementSweepFromTf(const SmvpShape &shape, double tf_seconds,
+                       const std::vector<double> &efficiencies,
+                       std::int64_t bisection_words)
+{
+    return requirementSweep(shape,
+                            gridFromMeasuredTf(tf_seconds, efficiencies),
+                            bisection_words);
+}
+
 std::vector<TradeoffPoint>
 tradeoffCurve(const SmvpShape &shape, double tc_target, double bw_min_bytes,
               double bw_max_bytes, int num_points)

@@ -51,6 +51,17 @@ std::vector<RequirementRow> requirementSweep(
 std::vector<OperatingPoint> gridFromMeasuredTf(
     double tf_seconds, const std::vector<double> &efficiencies);
 
+/**
+ * requirementSweep over gridFromMeasuredTf: re-derive the Equation (1)
+ * requirement rows directly from a per-flop time — the path the MESI
+ * co-simulator's predicted effective T_f feeds (arch/cosim.h), turning
+ * a modeled memory hierarchy into §4 network requirements.
+ */
+std::vector<RequirementRow> requirementSweepFromTf(
+    const SmvpShape &shape, double tf_seconds,
+    const std::vector<double> &efficiencies,
+    std::int64_t bisection_words = 0);
+
 /** One point on a Figure 10 curve. */
 struct TradeoffPoint
 {

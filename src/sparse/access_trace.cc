@@ -1,0 +1,231 @@
+#include "sparse/access_trace.h"
+
+#include "common/error.h"
+
+namespace quake::sparse
+{
+
+namespace
+{
+
+constexpr std::uint64_t kAlign = 64;
+
+std::uint64_t
+alignUp(std::uint64_t v)
+{
+    return (v + kAlign - 1) & ~(kAlign - 1);
+}
+
+} // namespace
+
+TraceLayout
+layoutBcsr3(const Bcsr3Matrix &m, std::uint64_t matrix_base,
+            std::uint64_t x_base, std::uint64_t y_base)
+{
+    TraceLayout l;
+    l.xadj = alignUp(matrix_base);
+    l.cols = alignUp(l.xadj + 8 * static_cast<std::uint64_t>(
+                                    m.xadj().size()));
+    l.values = alignUp(l.cols + 4 * static_cast<std::uint64_t>(
+                                       m.blockCols().size()));
+    l.end = alignUp(l.values +
+                    72 * static_cast<std::uint64_t>(m.numBlocks()));
+    l.x = x_base;
+    l.y = y_base;
+    return l;
+}
+
+TraceLayout
+layoutSymBcsr3(const SymBcsr3Matrix &m, std::uint64_t matrix_base,
+               std::uint64_t x_base, std::uint64_t y_base)
+{
+    TraceLayout l;
+    l.xadj = alignUp(matrix_base);
+    l.cols = alignUp(l.xadj + 8 * static_cast<std::uint64_t>(
+                                    m.xadj().size()));
+    l.values = alignUp(l.cols + 4 * static_cast<std::uint64_t>(
+                                       m.blockCols().size()));
+    l.end = alignUp(l.values +
+                    72 * static_cast<std::uint64_t>(m.storedBlocks()));
+    l.x = x_base;
+    l.y = y_base;
+    return l;
+}
+
+TraceLayout
+layoutSlicedEll3(const SlicedEll3Matrix &m, std::uint64_t matrix_base,
+                 std::uint64_t x_base, std::uint64_t y_base)
+{
+    TraceLayout l;
+    l.sliceBase = alignUp(matrix_base);
+    l.laneRows =
+        alignUp(l.sliceBase +
+                8 * static_cast<std::uint64_t>(m.numSlices() + 1));
+    l.cols = alignUp(l.laneRows +
+                     8 * static_cast<std::uint64_t>(m.numSlices() *
+                                                    m.sliceHeight()));
+    l.values = alignUp(l.cols + 4 * static_cast<std::uint64_t>(
+                                       m.storedBlocks()));
+    l.end = alignUp(l.values +
+                    72 * static_cast<std::uint64_t>(m.storedBlocks()));
+    l.x = x_base;
+    l.y = y_base;
+    return l;
+}
+
+void
+traceBcsr3Rows(const Bcsr3Matrix &m, const TraceLayout &layout,
+               std::int64_t row_begin, std::int64_t row_end,
+               AccessTrace &out)
+{
+    QUAKE_EXPECT(row_begin >= 0 && row_end <= m.numBlockRows() &&
+                     row_begin <= row_end,
+                 "trace row range out of bounds");
+    const auto &xadj = m.xadj();
+    const auto &cols = m.blockCols();
+
+    for (std::int64_t br = row_begin; br < row_end; ++br) {
+        // Row bounds: two 8-byte loads (the second is reused next row
+        // in real code; modeling both is the conservative choice).
+        out.read(layout.xadj + 8 * static_cast<std::uint64_t>(br), 8);
+        out.read(layout.xadj + 8 * static_cast<std::uint64_t>(br + 1), 8);
+
+        for (std::int64_t k = xadj[br]; k < xadj[br + 1]; ++k) {
+            out.read(layout.cols + 4 * static_cast<std::uint64_t>(k), 4);
+            const std::uint64_t blk =
+                layout.values + 72 * static_cast<std::uint64_t>(k);
+            for (int v = 0; v < 9; ++v)
+                out.read(blk + 8 * static_cast<std::uint64_t>(v), 8);
+            const std::uint64_t xaddr =
+                layout.x + 24 * static_cast<std::uint64_t>(cols[k]);
+            for (int v = 0; v < 3; ++v)
+                out.read(xaddr + 8 * static_cast<std::uint64_t>(v), 8);
+            out.flops += 18;
+        }
+
+        const std::uint64_t yaddr =
+            layout.y + 24 * static_cast<std::uint64_t>(br);
+        for (int v = 0; v < 3; ++v)
+            out.write(yaddr + 8 * static_cast<std::uint64_t>(v), 8);
+    }
+}
+
+void
+traceSymBcsr3Rows(const SymBcsr3Matrix &m, const TraceLayout &layout,
+                  std::int64_t row_begin, std::int64_t row_end,
+                  AccessTrace &out)
+{
+    QUAKE_EXPECT(row_begin >= 0 && row_end <= m.numBlockRows() &&
+                     row_begin <= row_end,
+                 "trace row range out of bounds");
+    const auto &xadj = m.xadj();
+    const auto &cols = m.blockCols();
+
+    for (std::int64_t br = row_begin; br < row_end; ++br) {
+        out.read(layout.xadj + 8 * static_cast<std::uint64_t>(br), 8);
+        out.read(layout.xadj + 8 * static_cast<std::uint64_t>(br + 1), 8);
+
+        // x[row] is loaded once into registers for the whole row.
+        const std::uint64_t xrow =
+            layout.x + 24 * static_cast<std::uint64_t>(br);
+        for (int v = 0; v < 3; ++v)
+            out.read(xrow + 8 * static_cast<std::uint64_t>(v), 8);
+
+        for (std::int64_t k = xadj[br]; k < xadj[br + 1]; ++k) {
+            const std::int32_t bc = cols[k];
+            out.read(layout.cols + 4 * static_cast<std::uint64_t>(k), 4);
+            const std::uint64_t blk =
+                layout.values + 72 * static_cast<std::uint64_t>(k);
+            for (int v = 0; v < 9; ++v)
+                out.read(blk + 8 * static_cast<std::uint64_t>(v), 8);
+            const std::uint64_t xcol =
+                layout.x + 24 * static_cast<std::uint64_t>(bc);
+            for (int v = 0; v < 3; ++v)
+                out.read(xcol + 8 * static_cast<std::uint64_t>(v), 8);
+            out.flops += 18;
+
+            if (bc != static_cast<std::int32_t>(br)) {
+                // Transposed scatter: y[col] += B^T x[row] — a
+                // read-modify-write landing in a LATER row's output.
+                const std::uint64_t ycol =
+                    layout.y + 24 * static_cast<std::uint64_t>(bc);
+                for (int v = 0; v < 3; ++v) {
+                    out.read(ycol + 8 * static_cast<std::uint64_t>(v), 8);
+                    out.write(ycol + 8 * static_cast<std::uint64_t>(v),
+                              8);
+                }
+                out.flops += 18;
+            }
+        }
+
+        // y[row] += the row accumulators (y already carries scatters
+        // from rows < br, so this is a read-modify-write too).
+        const std::uint64_t yrow =
+            layout.y + 24 * static_cast<std::uint64_t>(br);
+        for (int v = 0; v < 3; ++v) {
+            out.read(yrow + 8 * static_cast<std::uint64_t>(v), 8);
+            out.write(yrow + 8 * static_cast<std::uint64_t>(v), 8);
+        }
+    }
+}
+
+void
+traceSlicedEll3(const SlicedEll3Matrix &m, const TraceLayout &layout,
+                AccessTrace &out)
+{
+    const std::int64_t S = m.sliceHeight();
+    const auto &bases = m.sliceBases();
+
+    for (std::int64_t s = 0; s < m.numSlices(); ++s) {
+        out.read(layout.sliceBase + 8 * static_cast<std::uint64_t>(s), 8);
+        out.read(layout.sliceBase + 8 * static_cast<std::uint64_t>(s + 1),
+                 8);
+        for (std::int64_t lane = 0; lane < S; ++lane)
+            out.read(layout.laneRows +
+                         8 * static_cast<std::uint64_t>(s * S + lane),
+                     8);
+
+        const std::int64_t base = bases[s];
+        const std::int64_t width = m.sliceWidth(s);
+        for (std::int64_t j = 0; j < width; ++j) {
+            const std::int64_t group = base + j * S;
+            // S contiguous column indices, then the per-lane x
+            // gathers, then the nine S-wide value planes — the order
+            // the vertical kernel streams.  Padding lanes stream too:
+            // their bandwidth is the price of the regular layout.
+            for (std::int64_t lane = 0; lane < S; ++lane)
+                out.read(layout.cols +
+                             4 * static_cast<std::uint64_t>(group + lane),
+                         4);
+            for (std::int64_t lane = 0; lane < S; ++lane) {
+                const std::uint64_t xaddr =
+                    layout.x +
+                    24 * static_cast<std::uint64_t>(m.colAt(s, j, lane));
+                for (int v = 0; v < 3; ++v)
+                    out.read(xaddr + 8 * static_cast<std::uint64_t>(v),
+                             8);
+            }
+            const std::uint64_t plane0 =
+                layout.values + 72 * static_cast<std::uint64_t>(group);
+            for (int e = 0; e < 9; ++e)
+                for (std::int64_t lane = 0; lane < S; ++lane)
+                    out.read(plane0 +
+                                 8 * static_cast<std::uint64_t>(
+                                         e * S + lane),
+                             8);
+        }
+
+        for (std::int64_t lane = 0; lane < S; ++lane) {
+            const std::int64_t r = m.laneRow(s * S + lane);
+            if (r < 0)
+                break; // pad lanes are trailing
+            const std::uint64_t yaddr =
+                layout.y + 24 * static_cast<std::uint64_t>(r);
+            for (int v = 0; v < 3; ++v)
+                out.write(yaddr + 8 * static_cast<std::uint64_t>(v), 8);
+        }
+    }
+    out.flops += 18 * m.structuralBlocks();
+}
+
+} // namespace quake::sparse

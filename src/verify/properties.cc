@@ -5,6 +5,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "arch/cosim.h"
 #include "common/error.h"
 #include "parallel/distributor.h"
 #include "parallel/event_sim.h"
@@ -1701,6 +1702,172 @@ propServiceScenarioBitwise(const TrialConfig &cfg)
     return ok();
 }
 
+// ---------------------------------------------------------------------------
+// Property: the MESI co-simulator's replay is a pure function of the
+// trace set + config — bit-identical stats across reruns and across
+// the order traces are handed in (DESIGN.md §15's canonical-schedule
+// contract).
+// ---------------------------------------------------------------------------
+
+std::string
+diffMesiStats(const arch::MesiStats &a, const arch::MesiStats &b)
+{
+    if (a.pe.size() != b.pe.size())
+        return "PE count differs";
+    for (std::size_t p = 0; p < a.pe.size(); ++p)
+    {
+        const arch::PeStats &x = a.pe[p];
+        const arch::PeStats &y = b.pe[p];
+        const std::int64_t xs[] = {
+            x.accesses, x.reads, x.writes, x.l1Misses, x.l2Misses,
+            x.llcMisses, x.coldMisses, x.coherenceMisses,
+            x.capacityMisses, x.trueSharingMisses, x.falseSharingMisses,
+            x.upgrades, x.invalidationsReceived, x.writebacks};
+        const std::int64_t ys[] = {
+            y.accesses, y.reads, y.writes, y.l1Misses, y.l2Misses,
+            y.llcMisses, y.coldMisses, y.coherenceMisses,
+            y.capacityMisses, y.trueSharingMisses, y.falseSharingMisses,
+            y.upgrades, y.invalidationsReceived, y.writebacks};
+        for (std::size_t i = 0; i < std::size(xs); ++i)
+            if (xs[i] != ys[i])
+                return "PE " + std::to_string(p) + " counter " +
+                       std::to_string(i) + " differs";
+        if (!bitEq(x.seconds, y.seconds))
+            return "PE " + std::to_string(p) + " seconds differ";
+    }
+    if (a.llcAccesses != b.llcAccesses || a.llcMisses != b.llcMisses ||
+        a.bytesFromDram != b.bytesFromDram)
+        return "shared-level counters differ";
+    return "";
+}
+
+PropertyResult
+propArchReplayDeterministic(const TrialConfig &cfg)
+{
+    InputGen gen(cfg.seed, cfg.size);
+    const std::int64_t n =
+        4 + 8 * cfg.size +
+        static_cast<std::int64_t>(gen.rng().nextBounded(7));
+    const sparse::Bcsr3Matrix a = gen.randomSpdBcsr3(n);
+
+    const int pes = 1 + static_cast<int>(gen.rng().nextBounded(4));
+    arch::MesiHierarchyConfig config =
+        (gen.rng().next() & 1) != 0
+            ? arch::MesiHierarchyConfig::nehalemCmp(pes)
+            : arch::MesiHierarchyConfig::t3e1998(pes);
+
+    for (arch::TraceFormat format :
+         {arch::TraceFormat::kBcsr3, arch::TraceFormat::kSymBcsr3,
+          arch::TraceFormat::kSlicedEll3})
+    {
+        arch::CosimOptions opt;
+        opt.format = format;
+        opt.numPes = pes;
+        opt.iterations = 2;
+        opt.chunkRefs =
+            16 + static_cast<int>(gen.rng().nextBounded(64));
+
+        std::vector<arch::PeTrace> traces =
+            arch::buildCosimTraces(a, opt);
+        const arch::MesiStats s1 =
+            arch::replayTraces(traces, config, opt.chunkRefs);
+        const arch::MesiStats s2 =
+            arch::replayTraces(traces, config, opt.chunkRefs);
+        std::string why = diffMesiStats(s1, s2);
+        if (!why.empty())
+            return fail(std::string("rerun not bit-identical (") +
+                        arch::traceFormatName(format) + "): " + why);
+
+        // Hand the traces over in a different container order; per-PE
+        // program order is untouched, so the canonical schedule — and
+        // every statistic — must be invariant.
+        std::reverse(traces.begin(), traces.end());
+        if (traces.size() > 2)
+            std::rotate(traces.begin(), traces.begin() + 1, traces.end());
+        const arch::MesiStats s3 =
+            arch::replayTraces(traces, config, opt.chunkRefs);
+        why = diffMesiStats(s1, s3);
+        if (!why.empty())
+            return fail(std::string("container-order replay differs (") +
+                        arch::traceFormatName(format) + "): " + why);
+    }
+    return ok();
+}
+
+// ---------------------------------------------------------------------------
+// Property: hierarchy statistics are internally consistent — the miss
+// pyramid is monotone, every private miss is classified exactly once,
+// sharing splits sum, single-PE runs see zero coherence traffic, and
+// the cross-format useful-flop count is conserved.
+// ---------------------------------------------------------------------------
+
+PropertyResult
+propArchHierarchySane(const TrialConfig &cfg)
+{
+    InputGen gen(cfg.seed, cfg.size);
+    const std::int64_t n =
+        4 + 8 * cfg.size +
+        static_cast<std::int64_t>(gen.rng().nextBounded(7));
+    const sparse::Bcsr3Matrix a = gen.randomSpdBcsr3(n);
+
+    const int pes = 1 + static_cast<int>(gen.rng().nextBounded(4));
+    arch::MesiHierarchyConfig config =
+        (gen.rng().next() & 1) != 0
+            ? arch::MesiHierarchyConfig::nehalemCmp(pes)
+            : arch::MesiHierarchyConfig::t3e1998(pes);
+
+    for (arch::TraceFormat format :
+         {arch::TraceFormat::kBcsr3, arch::TraceFormat::kSymBcsr3,
+          arch::TraceFormat::kSlicedEll3})
+    {
+        arch::CosimOptions opt;
+        opt.format = format;
+        opt.numPes = pes;
+        opt.iterations = 2;
+        const arch::CosimResult r = arch::runCosim(a, config, opt);
+        const std::string tag = arch::traceFormatName(format);
+
+        std::int64_t llc_total = 0;
+        for (std::size_t p = 0; p < r.stats.pe.size(); ++p)
+        {
+            const arch::PeStats &ps = r.stats.pe[p];
+            const std::string at =
+                tag + " PE " + std::to_string(p) + ": ";
+            if (ps.reads + ps.writes != ps.accesses)
+                return fail(at + "reads + writes != accesses");
+            if (ps.l1Misses > ps.accesses)
+                return fail(at + "L1 misses exceed accesses");
+            if (ps.l2Misses > ps.l1Misses)
+                return fail(at + "L2 misses exceed L1 misses");
+            if (ps.llcMisses > ps.l2Misses)
+                return fail(at + "LLC misses exceed L2 misses");
+            if (ps.coldMisses + ps.coherenceMisses + ps.capacityMisses !=
+                ps.l2Misses)
+                return fail(at + "miss classification not conserved");
+            if (ps.trueSharingMisses + ps.falseSharingMisses !=
+                ps.coherenceMisses)
+                return fail(at + "sharing split != coherence misses");
+            if (ps.accesses > 0 && !(ps.seconds > 0))
+                return fail(at + "nonpositive modeled seconds");
+            llc_total += ps.llcMisses;
+        }
+        if (llc_total != r.stats.llcMisses)
+            return fail(tag + ": per-PE LLC misses != shared count");
+        if (pes == 1 && r.stats.totalCoherenceMisses() != 0)
+            return fail(tag + ": coherence misses at a single PE");
+        if (r.totalFlops !=
+            static_cast<std::int64_t>(opt.iterations) *
+                a.flopsPerMultiply())
+            return fail(tag + ": useful flops not conserved vs BCSR3");
+        if (r.stats.bytesFromDram <= 0)
+            return fail(tag + ": no modeled DRAM traffic");
+        if (!(r.tfSeconds > 0) || !(r.fractionOfPeak > 0) ||
+            r.fractionOfPeak > 1.0)
+            return fail(tag + ": implausible derived T_f numbers");
+    }
+    return ok();
+}
+
 } // namespace
 
 const std::vector<Property> &
@@ -1775,6 +1942,14 @@ allProperties()
          "prefix cache, single-flight, packing) is bitwise identical "
          "to the same request run standalone",
          propServiceScenarioBitwise},
+        {"arch_replay_deterministic",
+         "MESI co-sim replay is bit-identical across reruns and across "
+         "trace container orders (canonical schedule)",
+         propArchReplayDeterministic},
+        {"arch_hierarchy_sane",
+         "miss pyramid monotone, classification conserved, zero "
+         "coherence at 1 PE, useful flops format-invariant",
+         propArchHierarchySane},
     };
     return kProps;
 }

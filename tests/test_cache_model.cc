@@ -36,6 +36,50 @@ TEST(CacheConfig, RejectsBadGeometry)
     EXPECT_THROW((CacheConfig{8192, 32, 7}).validate(), FatalError);
 }
 
+std::string
+validationMessage(const CacheConfig &c)
+{
+    try {
+        c.validate();
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+// Each rejected field names itself, so a CLI user (or a rejection
+// test) can tell a bad size from a bad line from a bad way count.
+TEST(CacheConfig, DistinctMessagePerField)
+{
+    EXPECT_NE(validationMessage(CacheConfig{0, 32, 1})
+                  .find("cache size must be positive"),
+              std::string::npos);
+    EXPECT_NE(validationMessage(CacheConfig{-8192, 32, 1})
+                  .find("cache size must be positive"),
+              std::string::npos);
+    EXPECT_NE(validationMessage(CacheConfig{8192, 0, 1})
+                  .find("line size must be positive"),
+              std::string::npos);
+    EXPECT_NE(validationMessage(CacheConfig{8192, -32, 1})
+                  .find("line size must be positive"),
+              std::string::npos);
+    EXPECT_NE(validationMessage(CacheConfig{8192, 48, 1})
+                  .find("line size must be a power of two"),
+              std::string::npos);
+    EXPECT_NE(validationMessage(CacheConfig{8192, 32, 0})
+                  .find("associativity must be positive"),
+              std::string::npos);
+    EXPECT_NE(validationMessage(CacheConfig{8192, 32, -2})
+                  .find("associativity must be positive"),
+              std::string::npos);
+    EXPECT_NE(validationMessage(CacheConfig{8200, 32, 1})
+                  .find("size must be a multiple of line * associativity"),
+              std::string::npos);
+    EXPECT_NE(validationMessage(CacheConfig{96 * 1024, 32, 1})
+                  .find("set count must be a power of two"),
+              std::string::npos);
+}
+
 TEST(CacheSim, ColdMissThenHit)
 {
     CacheSim cache(CacheConfig{1024, 32, 1});

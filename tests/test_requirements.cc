@@ -66,6 +66,36 @@ TEST(RequirementSweep, BisectionOmittedWhenVolumeZero)
     EXPECT_DOUBLE_EQ(rows[0].bisectionBandwidthBytes, 0.0);
 }
 
+TEST(RequirementSweep, FromTfMatchesExplicitGrid)
+{
+    const double tf = 14e-9; // the paper's measured T3E T_f
+    const std::vector<double> effs = {0.25, 0.5, 0.75};
+    const auto direct =
+        requirementSweepFromTf(sampleShape(), tf, effs, 10'000);
+    const auto via_grid = requirementSweep(
+        sampleShape(), gridFromMeasuredTf(tf, effs), 10'000);
+    ASSERT_EQ(direct.size(), via_grid.size());
+    ASSERT_EQ(direct.size(), effs.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+        EXPECT_DOUBLE_EQ(direct[i].tc, via_grid[i].tc);
+        EXPECT_DOUBLE_EQ(direct[i].sustainedBandwidthBytes,
+                         via_grid[i].sustainedBandwidthBytes);
+        EXPECT_DOUBLE_EQ(direct[i].bisectionBandwidthBytes,
+                         via_grid[i].bisectionBandwidthBytes);
+        EXPECT_DOUBLE_EQ(direct[i].point.mflops, 1.0 / (tf * 1e6));
+    }
+}
+
+TEST(RequirementSweep, FromTfRejectsBadInputs)
+{
+    EXPECT_THROW(requirementSweepFromTf(sampleShape(), 0.0, {0.5}),
+                 FatalError);
+    EXPECT_THROW(requirementSweepFromTf(sampleShape(), -1e-9, {0.5}),
+                 FatalError);
+    EXPECT_THROW(requirementSweepFromTf(sampleShape(), 14e-9, {1.5}),
+                 FatalError);
+}
+
 TEST(TradeoffCurve, MonotoneDecreasingLatency)
 {
     // More burst bandwidth never shrinks the latency budget.
